@@ -1,0 +1,165 @@
+// Ablations for the design choices called out in DESIGN.md §5:
+//   1. Routing substrate: AODV vs omniscient shortest-path oracle — how much
+//      of the comparison is routing overhead?
+//   2. RPCC UPDATE push timing: batched at the TTN tick (paper Fig 6b) vs
+//      immediate push on modification (§4.3 reading) — staleness and traffic.
+//   3. POLL first-ring TTL: latency/traffic tradeoff of the expanding-ring
+//      relay search.
+//   4. Relay election thresholds (μ_CS): relay population vs quality.
+//   5. TTR vs TTN: Table 1 sets TTR (90 s) below TTN (120 s), leaving every
+//      relay unanswerable for 25% of each interval; TTR >= TTN closes it.
+//   6. Adaptive TTN (paper future work #1): push frequency follows the
+//      update rate.
+//   7. Bounded relay tables (paper future work #2): relay count vs cost.
+//   8. The [Lan03] hybrid baseline vs RPCC: what the relay tier itself buys.
+//   9. Interference model: idealized channel vs CSMA-style collisions.
+//
+// Usage: ablation [--full] [key=value ...]
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace manet;
+using namespace manet::bench;
+
+namespace {
+
+void row_for(table_printer& t, const std::string& label, const run_result& r) {
+  t.add_row({label, table_printer::fmt(r.total_messages),
+             table_printer::fmt(r.app_messages),
+             table_printer::fmt(r.routing_messages),
+             table_printer::fmt(r.avg_query_latency_s, 4),
+             table_printer::fmt(100 * r.stale_answer_rate(), 1),
+             table_printer::fmt(r.avg_relay_peers, 1)});
+}
+
+table_printer make_table() {
+  return table_printer(
+      {"config", "msgs", "app", "routing", "avg lat (s)", "stale%", "relays"});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_options opt = parse_bench_args(argc, argv);
+  print_preamble("Ablations", opt);
+  const protocol_variant rpcc_sc{"rpcc-SC", "rpcc", level_mix::strong_only()};
+
+  {
+    std::printf("--- Ablation 1: routing substrate (all protocols, SC) ---\n");
+    auto t = make_table();
+    for (const auto& v : fig9_variants()) {
+      for (const char* router : {"aodv", "oracle"}) {
+        scenario_params p = opt.base;
+        p.router = router;
+        row_for(t, v.label + std::string("/") + router, run_variant(p, v));
+      }
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  {
+    std::printf("--- Ablation 2: RPCC UPDATE push timing ---\n");
+    auto t = make_table();
+    for (bool immediate : {false, true}) {
+      scenario_params p = opt.base;
+      p.rpcc_immediate_update = immediate;
+      row_for(t, immediate ? "immediate-on-modify" : "batched-at-TTN (paper)",
+              run_variant(p, rpcc_sc));
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  {
+    std::printf("--- Ablation 3: POLL first-ring TTL ---\n");
+    auto t = make_table();
+    for (int ttl : {1, 2, 3, 4}) {
+      scenario_params p = opt.base;
+      p.poll_ttl = ttl;
+      row_for(t, "poll_ttl=" + std::to_string(ttl), run_variant(p, rpcc_sc));
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  {
+    std::printf("--- Ablation 4: relay election strictness (mu_CS) ---\n");
+    auto t = make_table();
+    for (double mu : {0.3, 0.5, 0.6, 0.7, 0.9}) {
+      scenario_params p = opt.base;
+      p.mu_cs = mu;
+      char label[32];
+      std::snprintf(label, sizeof label, "mu_CS=%.1f", mu);
+      row_for(t, label, run_variant(p, rpcc_sc));
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  {
+    std::printf("--- Ablation 5: relay freshness window (TTR vs TTN) ---\n");
+    auto t = make_table();
+    for (double ttr : {60.0, 90.0, 120.0, 150.0}) {
+      scenario_params p = opt.base;
+      p.ttr = ttr;
+      char label[48];
+      std::snprintf(label, sizeof label, "ttr=%.0fs (ttn=%.0fs)", ttr, p.ttn);
+      row_for(t, label, run_variant(p, rpcc_sc));
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  {
+    std::printf("--- Ablation 6: adaptive push/pull frequency (future work #1) ---\n");
+    auto t = make_table();
+    for (int mode = 0; mode < 3; ++mode) {
+      for (double iu : {30.0, 480.0}) {
+        scenario_params p = opt.base;
+        p.rpcc_adaptive_ttn = mode >= 1;
+        p.rpcc_adaptive_ttp = mode == 2;
+        p.i_update = iu;
+        const char* name = mode == 0 ? "fixed        "
+                           : mode == 1 ? "adaptive-TTN "
+                                       : "adaptive-both";
+        char label[48];
+        std::snprintf(label, sizeof label, "%s i_update=%.0fs", name, iu);
+        row_for(t, label, run_variant(p, rpcc_sc));
+      }
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  {
+    std::printf("--- Ablation 7: bounded relay tables (future work #2) ---\n");
+    auto t = make_table();
+    for (long long cap : {0LL, 1LL, 2LL, 4LL, 8LL}) {
+      scenario_params p = opt.base;
+      p.rpcc_max_relays = static_cast<std::size_t>(cap);
+      row_for(t, cap == 0 ? "cap=unlimited" : "cap=" + std::to_string(cap),
+              run_variant(p, rpcc_sc));
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  {
+    std::printf("--- Ablation 9: interference model (collisions) ---\n");
+    auto t = make_table();
+    for (const auto& v : fig9_variants()) {
+      for (const char* mac : {"simple", "csma"}) {
+        scenario_params p = opt.base;
+        p.mac = mac;
+        row_for(t, v.label + std::string("/") + mac, run_variant(p, v));
+      }
+    }
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  {
+    std::printf("--- Ablation 8: [Lan03] hybrid baseline vs RPCC ---\n");
+    auto t = make_table();
+    row_for(t, "push_pull [Lan03]",
+            run_variant(opt.base, {"push_pull", "push_pull", level_mix::strong_only()}));
+    row_for(t, "rpcc-SC", run_variant(opt.base, rpcc_sc));
+    std::printf("%s\n", t.render().c_str());
+  }
+
+  return 0;
+}

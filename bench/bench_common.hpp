@@ -1,0 +1,75 @@
+// Shared plumbing for the figure benches: argument handling, progress
+// output, and the standard preamble that mirrors the paper's Table 1.
+#ifndef MANET_BENCH_BENCH_COMMON_HPP
+#define MANET_BENCH_BENCH_COMMON_HPP
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenario/params.hpp"
+#include "scenario/sweep.hpp"
+#include "util/config.hpp"
+
+namespace manet::bench {
+
+struct bench_options {
+  scenario_params base;
+  int repetitions = 1;
+  bool quiet = false;
+  std::vector<std::string> rest;  ///< non key=value args (e.g. --panel)
+};
+
+/// Parses key=value overrides plus:
+///   --full       paper-scale simulation time (5 h)
+///   --reps=N     repetitions per point (seeds base..base+N-1)
+///   --quiet      suppress per-run progress lines
+/// Bench default sim_time is 30 simulated minutes so the whole suite runs in
+/// minutes; --full restores Table 1's T_Sim.
+inline bench_options parse_bench_args(int argc, char** argv) {
+  config cfg;
+  bench_options opt;
+  auto rest = cfg.parse_args(argc - 1, argv + 1);
+  bool full = false;
+  for (const auto& arg : rest) {
+    if (arg == "--full") {
+      full = true;
+    } else if (arg.rfind("--reps=", 0) == 0) {
+      opt.repetitions = std::stoi(arg.substr(7));
+    } else if (arg == "--quiet") {
+      opt.quiet = true;
+    } else {
+      opt.rest.push_back(arg);
+    }
+  }
+  opt.base = scenario_params::from_config(cfg);
+  if (!cfg.contains("sim_time")) {
+    opt.base.sim_time = full ? hours(5) : minutes(30);
+  }
+  if (!cfg.contains("warmup")) {
+    // Give RPCC's relay overlay two coefficient windows to form before
+    // measurement starts (negligible relative to the paper's 5 h runs).
+    opt.base.warmup = minutes(10);
+  }
+  return opt;
+}
+
+inline void print_preamble(const char* title, const bench_options& opt) {
+  std::printf("=== %s ===\n", title);
+  std::printf("%s", opt.base.describe().c_str());
+  std::printf("repetitions=%d  (use --full for the paper's 5h T_Sim)\n\n",
+              opt.repetitions);
+}
+
+inline std::function<void(const std::string&, double, int)> progress_printer(
+    const bench_options& opt) {
+  if (opt.quiet) return nullptr;
+  return [](const std::string& variant, double x, int rep) {
+    std::printf("  done %-8s x=%-8g rep=%d\n", variant.c_str(), x, rep);
+    std::fflush(stdout);
+  };
+}
+
+}  // namespace manet::bench
+
+#endif  // MANET_BENCH_BENCH_COMMON_HPP

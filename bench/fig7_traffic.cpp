@@ -1,0 +1,90 @@
+// Reproduces paper Fig 7: network traffic (one-hop message transmissions)
+// under the six strategies, swept over (a) the update interval, (b) the
+// query/request interval and (c) the cache number.
+//
+// Usage: fig7_traffic [--panel a|b|c] [--full] [--reps=N] [key=value ...]
+// Without --panel, all three panels run.
+#include <cstdio>
+#include <cstring>
+
+#include "bench_common.hpp"
+
+using namespace manet;
+using namespace manet::bench;
+
+namespace {
+
+void run_panel(char panel, const bench_options& opt) {
+  sweep_spec spec;
+  spec.base = opt.base;
+  spec.variants = paper_variants();
+  spec.repetitions = opt.repetitions;
+  spec.progress = progress_printer(opt);
+
+  const char* what = nullptr;
+  switch (panel) {
+    case 'a':
+      what = "Fig 7(a): traffic vs update interval";
+      spec.x_name = "I_Update(s)";
+      spec.xs = {30, 60, 120, 240, 480};
+      spec.apply = [](scenario_params& p, double x) { p.i_update = x; };
+      break;
+    case 'b':
+      what = "Fig 7(b): traffic vs query interval";
+      spec.x_name = "I_Query(s)";
+      spec.xs = {5, 10, 20, 40, 80};
+      spec.apply = [](scenario_params& p, double x) { p.i_query = x; };
+      break;
+    case 'c':
+      what = "Fig 7(c): traffic vs cache number";
+      spec.x_name = "C_Num";
+      spec.xs = {2, 5, 10, 20, 40};
+      spec.apply = [](scenario_params& p, double x) {
+        p.cache_num = static_cast<int>(x);
+      };
+      break;
+    default:
+      std::fprintf(stderr, "unknown panel '%c'\n", panel);
+      return;
+  }
+
+  std::printf("--- %s ---\n", what);
+  const auto points = run_sweep(spec);
+  std::printf("\nTotal messages (thousands, incl. routing control):\n%s\n",
+              render_series(points, spec.x_name, spec.variants,
+                            [](const run_result& r) {
+                              return static_cast<double>(r.total_messages) / 1e3;
+                            })
+                  .c_str());
+  std::printf("Consistency-protocol messages only (thousands):\n%s\n",
+              render_series(points, spec.x_name, spec.variants,
+                            [](const run_result& r) {
+                              return static_cast<double>(r.app_messages) / 1e3;
+                            })
+                  .c_str());
+  std::printf("Average concurrent relay peers (RPCC rows only):\n%s\n",
+              render_series(points, spec.x_name, spec.variants,
+                            [](const run_result& r) { return r.avg_relay_peers; })
+                  .c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_options opt = parse_bench_args(argc, argv);
+  print_preamble("Fig 7 — network traffic", opt);
+
+  std::string panel;
+  for (std::size_t i = 0; i < opt.rest.size(); ++i) {
+    if (opt.rest[i] == "--panel" && i + 1 < opt.rest.size()) panel = opt.rest[i + 1];
+    if (opt.rest[i].rfind("--panel=", 0) == 0) panel = opt.rest[i].substr(8);
+  }
+  if (panel.empty()) {
+    run_panel('a', opt);
+    run_panel('b', opt);
+    run_panel('c', opt);
+  } else {
+    run_panel(panel[0], opt);
+  }
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Reproduces paper Fig 9: the impact of the INVALIDATION TTL on RPCC.
+//
+// Setup per the paper §5.3: one randomly chosen source host; its data item
+// is cached by all other peers; RPCC runs with strong consistency. Simple
+// push and pull run in the same single-item scenario as references. TTL is
+// swept 1..7. Expected shape: at TTL=1 almost no relay peers form and RPCC
+// degenerates to pull-like polling; at TTL=7 most cache peers are relays
+// and RPCC behaves like push.
+//
+// Usage: fig9_ttl [--full] [--reps=N] [key=value ...]
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace manet;
+using namespace manet::bench;
+
+int main(int argc, char** argv) {
+  bench_options opt = parse_bench_args(argc, argv);
+  opt.base.single_item_mode = true;
+  print_preamble("Fig 9 — impact of invalidation TTL (single-item scenario)", opt);
+
+  // References: push and pull do not depend on the invalidation TTL.
+  std::printf("Reference baselines (single-item scenario):\n");
+  table_printer ref({"strategy", "msgs", "app msgs", "avg lat (s)", "p95 lat (s)"});
+  run_result push_ref;
+  run_result pull_ref;
+  for (const auto& v : fig9_variants()) {
+    if (v.protocol == "rpcc") continue;
+    run_result sum{};
+    for (int rep = 0; rep < opt.repetitions; ++rep) {
+      scenario_params p = opt.base;
+      p.seed = opt.base.seed + static_cast<std::uint64_t>(rep);
+      const run_result r = run_variant(p, v);
+      sum.total_messages += r.total_messages;
+      sum.app_messages += r.app_messages;
+      sum.avg_query_latency_s += r.avg_query_latency_s;
+      sum.p95_query_latency_s += r.p95_query_latency_s;
+    }
+    const auto k = static_cast<double>(opt.repetitions);
+    run_result avg{};
+    avg.total_messages = static_cast<std::uint64_t>(sum.total_messages / k);
+    avg.app_messages = static_cast<std::uint64_t>(sum.app_messages / k);
+    avg.avg_query_latency_s = sum.avg_query_latency_s / k;
+    avg.p95_query_latency_s = sum.p95_query_latency_s / k;
+    (v.protocol == "push" ? push_ref : pull_ref) = avg;
+    ref.add_row({v.label, table_printer::fmt(avg.total_messages),
+                 table_printer::fmt(avg.app_messages),
+                 table_printer::fmt(avg.avg_query_latency_s, 4),
+                 table_printer::fmt(avg.p95_query_latency_s, 4)});
+  }
+  std::printf("%s\n", ref.render().c_str());
+
+  // RPCC(SC) across TTL = 1..7.
+  sweep_spec spec;
+  spec.base = opt.base;
+  spec.x_name = "TTL";
+  spec.xs = {1, 2, 3, 4, 5, 6, 7};
+  spec.apply = [](scenario_params& p, double x) { p.ttl_inv = static_cast<int>(x); };
+  spec.variants = {{"rpcc-SC", "rpcc", level_mix::strong_only()}};
+  spec.repetitions = opt.repetitions;
+  spec.progress = progress_printer(opt);
+  const auto points = run_sweep(spec);
+
+  std::printf("Fig 9(a): RPCC(SC) traffic vs invalidation TTL\n");
+  table_printer t9a({"TTL", "msgs", "app msgs", "relays", "vs push", "vs pull"});
+  for (const auto& p : points) {
+    t9a.add_row({table_printer::fmt(p.x, 0),
+                 table_printer::fmt(p.result.total_messages),
+                 table_printer::fmt(p.result.app_messages),
+                 table_printer::fmt(p.result.avg_relay_peers, 1),
+                 table_printer::fmt(static_cast<double>(p.result.total_messages) /
+                                        static_cast<double>(push_ref.total_messages),
+                                    2),
+                 table_printer::fmt(static_cast<double>(p.result.total_messages) /
+                                        static_cast<double>(pull_ref.total_messages),
+                                    2)});
+  }
+  std::printf("%s\n", t9a.render().c_str());
+
+  std::printf("Fig 9(b): RPCC(SC) query latency vs invalidation TTL\n");
+  table_printer t9b({"TTL", "avg lat (s)", "p95 lat (s)", "stale%"});
+  for (const auto& p : points) {
+    t9b.add_row({table_printer::fmt(p.x, 0),
+                 table_printer::fmt(p.result.avg_query_latency_s, 4),
+                 table_printer::fmt(p.result.p95_query_latency_s, 4),
+                 table_printer::fmt(100 * p.result.stale_answer_rate(), 1)});
+  }
+  std::printf("%s\n", t9b.render().c_str());
+  std::printf(
+      "push reference: lat=%.4fs msgs=%llu | pull reference: lat=%.4fs msgs=%llu\n",
+      push_ref.avg_query_latency_s,
+      static_cast<unsigned long long>(push_ref.total_messages),
+      pull_ref.avg_query_latency_s,
+      static_cast<unsigned long long>(pull_ref.total_messages));
+  return 0;
+}

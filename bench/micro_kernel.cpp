@@ -1,0 +1,124 @@
+// google-benchmark microbenchmarks for the simulation kernel and network
+// substrate hot paths.
+#include <benchmark/benchmark.h>
+
+#include "net/flooding.hpp"
+#include "net/network.hpp"
+#include "routing/aodv.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace manet;
+
+void BM_RngNextU64(benchmark::State& state) {
+  rng g(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.next_u64());
+  }
+}
+BENCHMARK(BM_RngNextU64);
+
+void BM_RngExponential(benchmark::State& state) {
+  rng g(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.exponential(20.0));
+  }
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  event_queue q;
+  rng g(2);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < batch; ++i) {
+      q.schedule(g.uniform(0, 1000), [] {});
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    simulator sim(1);
+    int remaining = 100000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) sim.schedule_in(0.001, tick);
+    };
+    sim.schedule_in(0.001, tick);
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 100000);
+}
+BENCHMARK(BM_SimulatorEventThroughput)->Unit(benchmark::kMillisecond);
+
+/// Builds a 50-node grid network with adjacent-node connectivity.
+std::unique_ptr<network> make_grid(simulator& sim) {
+  radio_params rp;
+  rp.range = 250;
+  auto net = std::make_unique<network>(sim, terrain(2000, 2000), rp);
+  for (int i = 0; i < 50; ++i) {
+    const double x = 100.0 + 200.0 * (i % 8);
+    const double y = 100.0 + 200.0 * (i / 8);
+    net->add_node(std::make_unique<static_mobility>(vec2{x, y}));
+  }
+  return net;
+}
+
+void BM_Flood50Nodes(benchmark::State& state) {
+  for (auto _ : state) {
+    simulator sim(1);
+    auto net = make_grid(sim);
+    flooding_service floods(*net);
+    net->set_dispatcher([&](node_id self, node_id from, const packet& p) {
+      floods.on_frame(self, from, p);
+    });
+    floods.flood(0, 150, nullptr, 64, 16);
+    sim.run();
+    benchmark::DoNotOptimize(net->meter().total_tx_frames());
+  }
+}
+BENCHMARK(BM_Flood50Nodes)->Unit(benchmark::kMicrosecond);
+
+void BM_AodvDiscoveryAndSend(benchmark::State& state) {
+  for (auto _ : state) {
+    simulator sim(1);
+    auto net = make_grid(sim);
+    flooding_service floods(*net);
+    aodv_router route(*net);
+    net->set_dispatcher([&](node_id self, node_id from, const packet& p) {
+      if (is_routing_kind(p.kind)) {
+        route.on_frame(self, from, p);
+      } else if (p.dst == broadcast_node) {
+        floods.on_frame(self, from, p);
+      } else {
+        route.on_frame(self, from, p);
+      }
+    });
+    route.send(0, 49, 150, nullptr, 256);
+    sim.run();
+    benchmark::DoNotOptimize(net->meter().total_tx_frames());
+  }
+}
+BENCHMARK(BM_AodvDiscoveryAndSend)->Unit(benchmark::kMicrosecond);
+
+void BM_BfsShortestPath(benchmark::State& state) {
+  simulator sim(1);
+  auto net = make_grid(sim);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net->shortest_path(0, 49));
+  }
+}
+BENCHMARK(BM_BfsShortestPath);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// google-benchmark microbenchmarks for protocol hot paths: full small
+// scenario runs per protocol (events/second of simulated workload) and the
+// mobility model.
+#include <benchmark/benchmark.h>
+
+#include "mobility/random_waypoint.hpp"
+#include "scenario/scenario.hpp"
+
+namespace {
+
+using namespace manet;
+
+scenario_params micro_params() {
+  scenario_params p;
+  p.n_peers = 30;
+  p.area_width = 1200;
+  p.area_height = 1200;
+  p.sim_time = 120.0;
+  p.cache_num = 6;
+  return p;
+}
+
+void run_protocol(benchmark::State& state, const char* name, level_mix mix) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    scenario_params p = micro_params();
+    p.mix = mix;
+    scenario sc(p, name);
+    benchmark::DoNotOptimize(sc.run());
+    events += sc.sim().executed_events();
+  }
+  state.counters["sim_events/s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+}
+
+void BM_ScenarioPush(benchmark::State& state) {
+  run_protocol(state, "push", level_mix::strong_only());
+}
+BENCHMARK(BM_ScenarioPush)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioPull(benchmark::State& state) {
+  run_protocol(state, "pull", level_mix::strong_only());
+}
+BENCHMARK(BM_ScenarioPull)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioRpccStrong(benchmark::State& state) {
+  run_protocol(state, "rpcc", level_mix::strong_only());
+}
+BENCHMARK(BM_ScenarioRpccStrong)->Unit(benchmark::kMillisecond);
+
+void BM_ScenarioRpccHybrid(benchmark::State& state) {
+  run_protocol(state, "rpcc", level_mix::hybrid());
+}
+BENCHMARK(BM_ScenarioRpccHybrid)->Unit(benchmark::kMillisecond);
+
+void BM_RandomWaypointAdvance(benchmark::State& state) {
+  terrain land(1500, 1500);
+  random_waypoint m(land, {}, rng(3));
+  double t = 0;
+  for (auto _ : state) {
+    t += 1.0;
+    benchmark::DoNotOptimize(m.position_at(t));
+  }
+}
+BENCHMARK(BM_RandomWaypointAdvance);
+
+}  // namespace
+
+BENCHMARK_MAIN();

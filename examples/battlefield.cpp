@@ -1,0 +1,67 @@
+// Battlefield scenario (paper §1, first motivating example): a platoon of
+// soldiers with micro data centers forms a MANET. Each soldier's device owns
+// one fast-changing item (position/intel) and cooperatively caches the
+// others. Commanders issue strong-consistency reads; routine checks are
+// delta reads. The run compares RPCC against simple pull under this
+// update-heavy, mobile, churn-prone workload and audits how stale the
+// answered intel actually was.
+//
+// Usage: battlefield [key=value ...]
+#include <cstdio>
+
+#include "metrics/collector.hpp"
+#include "scenario/scenario.hpp"
+#include "util/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+
+  config cfg;
+  cfg.parse_args(argc - 1, argv + 1);
+  scenario_params p = scenario_params::from_config(cfg);
+  if (!cfg.contains("n_peers")) p.n_peers = 30;
+  if (!cfg.contains("area_width")) p.area_width = p.area_height = 1000;
+  if (!cfg.contains("sim_time")) p.sim_time = minutes(20);
+  if (!cfg.contains("warmup")) p.warmup = minutes(10);
+  if (!cfg.contains("i_update")) p.i_update = seconds(30);  // intel changes fast
+  if (!cfg.contains("i_query")) p.i_query = seconds(10);
+  if (!cfg.contains("min_speed")) p.min_speed = 1.0;  // advancing on foot
+  if (!cfg.contains("max_speed")) p.max_speed = 4.0;
+  if (!cfg.contains("cache_num")) p.cache_num = 8;
+  // Soldiers move as squads (RPGM): members stay tethered to their squad's
+  // reference point, so relay peers remain useful to their own squad.
+  if (!cfg.contains("mobility")) p.mobility = "group";
+  if (!cfg.contains("group_size")) p.group_size = 6;
+  // Radios drop in and out under jamming/terrain: aggressive churn.
+  if (!cfg.contains("switch_probability")) p.switch_probability = 0.3;
+  if (!cfg.contains("mix")) {
+    p.mix = level_mix{0.5, 0.5, 0.0};  // half command reads (SC), half routine (DC)
+  }
+
+  std::printf("Battlefield data sharing — %d soldiers in squads of %d, intel every ~%.0fs\n",
+              p.n_peers, p.group_size, p.i_update);
+  std::printf("%s\n", p.describe().c_str());
+
+  table_printer table({"protocol", "msgs/s", "avg lat (s)", "p95 lat (s)",
+                       "stale answers", "avg stale age (s)", "dviol"});
+  for (const char* proto : {"rpcc", "pull", "push"}) {
+    scenario sc(p, proto);
+    const run_result r = sc.run();
+    table.add_row({proto, table_printer::fmt(r.messages_per_second(), 1),
+                   table_printer::fmt(r.avg_query_latency_s, 3),
+                   table_printer::fmt(r.p95_query_latency_s, 3),
+                   table_printer::fmt(r.stale_answers),
+                   table_printer::fmt(r.avg_stale_age_s, 1),
+                   table_printer::fmt(r.delta_violations)});
+    std::printf("--- %s per-level audit ---\n%s\n", proto,
+                sc.qlog().report().c_str());
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReading the table: with intel changing every ~%.0f s, push-based\n"
+      "invalidation (latency ~ TTN/2) is useless for command decisions, and\n"
+      "pull floods the shared channel. RPCC serves SC reads from nearby relay\n"
+      "peers and DC reads from the TTP window.\n",
+      p.i_update);
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Internet-gateway scenario (paper §1, third motivating example), built
+// directly on the substrate API rather than through the scenario helper:
+// a stationary MSS gateway owns a routing/reachability
+// record that roaming users cache; users drift in and out of coverage and
+// disconnect often. Demonstrates manual composition of simulator, network,
+// mobility, flooding, AODV and the RPCC protocol, plus the
+// disconnection-recovery machinery (GET_NEW/SEND_NEW) of paper §4.5.
+//
+// Usage: gateway [key=value ...]
+#include <cstdio>
+
+#include "consistency/rpcc/rpcc_protocol.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "routing/aodv.hpp"
+#include "scenario/params.hpp"
+#include "util/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+
+  config cfg;
+  cfg.parse_args(argc - 1, argv + 1);
+  const int n_users = static_cast<int>(cfg.get_int("users", 24));
+  const double sim_seconds = cfg.get_double("sim_time", 1800.0);
+  const std::uint64_t seed = static_cast<std::uint64_t>(cfg.get_int("seed", 1));
+
+  // --- substrate, assembled by hand ---
+  simulator sim(seed);
+  terrain land(1200, 1200);
+  radio_params radio;
+  radio.range = 250;
+  network net(sim, land, radio);
+
+  // Node 0: the gateway (MSS), a fixed access point at the center of town.
+  const node_id gateway =
+      net.add_node(std::make_unique<static_mobility>(vec2{600, 600}));
+  for (int i = 0; i < n_users; ++i) {
+    random_waypoint_params wp;
+    wp.min_speed_mps = 0.5;
+    wp.max_speed_mps = 2.5;
+    wp.pause = 45;
+    net.add_node(std::make_unique<random_waypoint>(
+        land, wp, sim.make_rng("user.mobility", static_cast<std::uint64_t>(i))));
+  }
+
+  flooding_service floods(net);
+  aodv_router route(net);
+  net.set_dispatcher([&](node_id self, node_id from, const packet& p) {
+    if (is_routing_kind(p.kind)) {
+      route.on_frame(self, from, p);
+    } else if (p.dst == broadcast_node) {
+      route.learn_route(self, p.src, from, p.hops + 1);
+      floods.on_frame(self, from, p);
+    } else {
+      route.on_frame(self, from, p);
+    }
+  });
+
+  // One data item: the gateway's connectivity record; every user caches it.
+  item_registry registry;
+  const item_id reach = registry.add_item(gateway, 256);
+  std::vector<cache_store> stores;
+  for (node_id n = 0; n < net.size(); ++n) {
+    stores.emplace_back(4);
+    if (n != gateway) {
+      cached_copy c;
+      c.item = reach;
+      stores.back().put(c);
+    }
+  }
+  query_log qlog(sim, registry, /*delta=*/120.0);
+
+  protocol_context ctx;
+  ctx.sim = &sim;
+  ctx.net = &net;
+  ctx.floods = &floods;
+  ctx.route = &route;
+  ctx.registry = &registry;
+  ctx.stores = &stores;
+  ctx.qlog = &qlog;
+
+  rpcc_params rp;
+  rp.ttn = 60.0;
+  rp.ttr = 70.0;
+  rp.ttp = 120.0;
+  rp.invalidation_ttl = 4;
+  rp.coeff.window = 180.0;
+  rpcc_protocol proto(ctx, rp);
+  proto.start();
+
+  // Gateway updates its record every ~90 s (routes to the Internet change).
+  rng update_rng = sim.make_rng("updates");
+  std::function<void()> schedule_update = [&] {
+    sim.schedule_in(update_rng.exponential(90.0), [&] {
+      if (net.at(gateway).up()) {
+        registry.bump(reach, sim.now());
+        proto.on_update(reach);
+      }
+      schedule_update();
+    });
+  };
+  schedule_update();
+
+  // Each user checks reachability before transfers (strong consistency);
+  // a steady per-user stream also feeds the PAR coefficient, as real cache
+  // traffic would.
+  std::vector<rng> query_rngs;
+  for (int i = 0; i < n_users; ++i) {
+    query_rngs.push_back(sim.make_rng("queries", static_cast<std::uint64_t>(i)));
+  }
+  std::function<void(node_id)> schedule_query = [&](node_id user) {
+    sim.schedule_in(query_rngs[user - 1].exponential(15.0), [&, user] {
+      if (net.at(user).up()) {
+        proto.on_query(user, reach, consistency_level::strong);
+      }
+      schedule_query(user);
+    });
+  };
+  for (int i = 0; i < n_users; ++i) schedule_query(1 + static_cast<node_id>(i));
+
+  // Users churn hard: out of coverage ~every 3 min for ~45 s.
+  rng churn_rng = sim.make_rng("churn");
+  std::function<void(node_id)> schedule_churn = [&](node_id n) {
+    sim.schedule_in(churn_rng.exponential(180.0), [&, n] {
+      net.set_node_up(n, false);
+      sim.schedule_in(churn_rng.exponential(45.0), [&, n] {
+        net.set_node_up(n, true);
+        schedule_churn(n);
+      });
+    });
+  };
+  for (int i = 0; i < n_users; ++i) schedule_churn(1 + static_cast<node_id>(i));
+
+  sim.run_until(sim_seconds);
+
+  std::printf("Internet gateway over MANET — %d roaming users, 1 MSS\n\n", n_users);
+  std::printf("%s\n", qlog.report().c_str());
+  std::printf("%s\n", proto.extra_report().c_str());
+  std::printf("\nTraffic breakdown:\n%s\n", net.meter().report().c_str());
+  std::printf(
+      "GET_NEW/SEND_NEW exchanges above are the paper's §4.5 reconnection\n"
+      "recovery: users that slept through UPDATEs resynchronize with the\n"
+      "gateway after hearing the next INVALIDATION.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Mobile store scenario (paper §1, second motivating example): mobile booths
+// hold commodity records (price, stock). Booths are mostly stationary —
+// they relocate occasionally — and shoppers' price checks tolerate a bounded
+// Δ of staleness while checkout requires the current record. The example
+// runs RPCC with a DC-heavy query mix and shows how the Δ window (TTP)
+// trades traffic against the audited staleness bound.
+//
+// Usage: mobile_store [key=value ...]
+#include <cstdio>
+
+#include "metrics/collector.hpp"
+#include "scenario/scenario.hpp"
+#include "util/config.hpp"
+
+int main(int argc, char** argv) {
+  using namespace manet;
+
+  config cfg;
+  cfg.parse_args(argc - 1, argv + 1);
+  scenario_params base = scenario_params::from_config(cfg);
+  if (!cfg.contains("n_peers")) base.n_peers = 40;
+  // A market square, not open country: booths stay mutually reachable.
+  if (!cfg.contains("area_width")) base.area_width = base.area_height = 900;
+  if (!cfg.contains("sim_time")) base.sim_time = minutes(20);
+  if (!cfg.contains("warmup")) base.warmup = minutes(10);
+  if (!cfg.contains("mobility")) base.mobility = "walk";
+  if (!cfg.contains("min_speed")) base.min_speed = 0.2;  // booths barely move
+  if (!cfg.contains("max_speed")) base.max_speed = 0.8;
+  if (!cfg.contains("i_update")) base.i_update = minutes(3);  // deals happen
+  if (!cfg.contains("mix")) {
+    base.mix = level_mix{0.2, 0.8, 0.0};  // checkout (SC) vs price check (DC)
+  }
+
+  std::printf("Mobile store — %d booths exchanging commodity records\n",
+              base.n_peers);
+  std::printf("%s\n", base.describe().c_str());
+
+  std::printf("Sweeping the Δ window (TTP): how stale may a price check be?\n\n");
+  table_printer table({"TTP (s)", "msgs/s", "avg lat (s)", "stale%",
+                       "avg stale age (s)", "delta violations"});
+  for (double ttp : {30.0, 60.0, 120.0, 240.0, 480.0}) {
+    scenario_params p = base;
+    p.ttp = ttp;
+    scenario sc(p, "rpcc");
+    const run_result r = sc.run();
+    table.add_row({table_printer::fmt(ttp, 0),
+                   table_printer::fmt(r.messages_per_second(), 1),
+                   table_printer::fmt(r.avg_query_latency_s, 3),
+                   table_printer::fmt(100 * r.stale_answer_rate(), 1),
+                   table_printer::fmt(r.avg_stale_age_s, 1),
+                   table_printer::fmt(r.delta_violations)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nA larger Δ (TTP) lets booths answer price checks locally for longer —\n"
+      "traffic falls — but the records served drift further behind the\n"
+      "merchant's master copy. Delta violations count answers whose audited\n"
+      "staleness exceeded the configured Δ bound.\n");
+  return 0;
+}

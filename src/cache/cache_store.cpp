@@ -1,0 +1,62 @@
+#include "cache/cache_store.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+cache_store::cache_store(std::size_t capacity) : capacity_(capacity) {}
+
+cached_copy* cache_store::find(item_id id) {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+const cached_copy* cache_store::find(item_id id) const {
+  auto it = index_.find(id);
+  return it == index_.end() ? nullptr : &*it->second;
+}
+
+cached_copy* cache_store::touch(item_id id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return nullptr;
+  entries_.splice(entries_.begin(), entries_, it->second);
+  return &*it->second;
+}
+
+std::optional<item_id> cache_store::put(cached_copy copy) {
+  assert(copy.item != invalid_item);
+  if (auto it = index_.find(copy.item); it != index_.end()) {
+    *it->second = copy;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return std::nullopt;
+  }
+  std::optional<item_id> evicted;
+  if (capacity_ == 0) return std::nullopt;
+  if (entries_.size() >= capacity_) {
+    const item_id victim = entries_.back().item;
+    index_.erase(victim);
+    entries_.pop_back();
+    ++evictions_;
+    evicted = victim;
+  }
+  entries_.push_front(copy);
+  index_[copy.item] = entries_.begin();
+  return evicted;
+}
+
+bool cache_store::erase(item_id id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  entries_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+std::vector<item_id> cache_store::items() const {
+  std::vector<item_id> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e.item);
+  return out;
+}
+
+}  // namespace manet

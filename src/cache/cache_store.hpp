@@ -1,0 +1,64 @@
+// Per-node cache of data-item copies with LRU replacement.
+//
+// The store keeps protocol-visible per-copy state: the cached version, when
+// that version was obtained, the TTP validity deadline (paper: "time to
+// poll"), and an invalid flag set by push-style invalidations. Capacity is
+// the paper's C_Num.
+#ifndef MANET_CACHE_CACHE_STORE_HPP
+#define MANET_CACHE_CACHE_STORE_HPP
+
+#include <cstddef>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace manet {
+
+struct cached_copy {
+  item_id item = invalid_item;
+  version_t version = 0;
+  sim_time version_obtained_at = 0;  ///< when this version arrived here
+  sim_time validated_until = 0;      ///< TTP deadline: copy known fresh until then
+  bool invalid = false;              ///< push invalidation received, content stale
+};
+
+class cache_store {
+ public:
+  explicit cache_store(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return entries_.size(); }
+  bool contains(item_id id) const { return index_.count(id) != 0; }
+
+  /// Mutable access without LRU effect; nullptr when absent.
+  cached_copy* find(item_id id);
+  const cached_copy* find(item_id id) const;
+
+  /// Access that marks the entry most-recently-used; nullptr when absent.
+  cached_copy* touch(item_id id);
+
+  /// Inserts or overwrites a copy; evicts the LRU entry when full.
+  /// Returns the evicted item id, if any.
+  std::optional<item_id> put(cached_copy copy);
+
+  bool erase(item_id id);
+
+  /// Item ids currently cached, most-recently-used first.
+  std::vector<item_id> items() const;
+
+  std::uint64_t evictions() const { return evictions_; }
+
+ private:
+  std::size_t capacity_;
+  // MRU-ordered list of copies + index into it.
+  std::list<cached_copy> entries_;
+  std::unordered_map<item_id, std::list<cached_copy>::iterator> index_;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CACHE_CACHE_STORE_HPP

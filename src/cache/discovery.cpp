@@ -1,0 +1,57 @@
+#include "cache/discovery.hpp"
+
+#include <queue>
+#include <vector>
+
+namespace manet {
+
+oracle_discovery::oracle_discovery(network& net, const item_registry& registry)
+    : net_(net), registry_(registry) {}
+
+void oracle_discovery::add_holder(item_id item, node_id holder) {
+  holders_[item].insert(holder);
+}
+
+void oracle_discovery::remove_holder(item_id item, node_id holder) {
+  auto it = holders_.find(item);
+  if (it != holders_.end()) it->second.erase(holder);
+}
+
+bool oracle_discovery::is_holder(item_id item, node_id n) const {
+  if (registry_.source(item) == n) return true;
+  auto it = holders_.find(item);
+  return it != holders_.end() && it->second.count(n) != 0;
+}
+
+node_id oracle_discovery::nearest_holder(node_id asker, item_id item) {
+  if (!net_.at(asker).up()) return invalid_node;
+  // Breadth-first over current connectivity; within a BFS layer prefer the
+  // smallest node id so results are deterministic.
+  std::vector<char> seen(net_.size(), 0);
+  std::queue<node_id> frontier;
+  frontier.push(asker);
+  seen[asker] = 1;
+  std::vector<node_id> layer;
+  while (!frontier.empty()) {
+    layer.clear();
+    const std::size_t layer_size = frontier.size();
+    for (std::size_t i = 0; i < layer_size; ++i) {
+      const node_id u = frontier.front();
+      frontier.pop();
+      for (node_id v : net_.air().neighbors(u)) {
+        if (seen[v]) continue;
+        seen[v] = 1;
+        layer.push_back(v);
+        frontier.push(v);
+      }
+    }
+    node_id best = invalid_node;
+    for (node_id v : layer) {
+      if (is_holder(item, v) && (best == invalid_node || v < best)) best = v;
+    }
+    if (best != invalid_node) return best;
+  }
+  return invalid_node;
+}
+
+}  // namespace manet

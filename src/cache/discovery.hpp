@@ -1,0 +1,50 @@
+// Cache discovery: locating the nearest node holding a copy of an item.
+//
+// The paper assumes "an independent mechanism for replica placement and for
+// locating the nearest cache node" (§3). oracle_discovery implements that
+// assumption directly: a hop-count-nearest lookup over the true topology and
+// the true holder sets. It is used by the miss/fetch path in dynamic-
+// placement scenarios and by examples; the consistency figures use static
+// pre-placement and never miss.
+#ifndef MANET_CACHE_DISCOVERY_HPP
+#define MANET_CACHE_DISCOVERY_HPP
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "cache/data_item.hpp"
+#include "net/network.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+class discovery_service {
+ public:
+  virtual ~discovery_service() = default;
+
+  /// Nearest (hop-count) up-node holding `item`, excluding `asker` itself;
+  /// ties broken by node id. invalid_node if no holder is reachable.
+  virtual node_id nearest_holder(node_id asker, item_id item) = 0;
+};
+
+class oracle_discovery final : public discovery_service {
+ public:
+  oracle_discovery(network& net, const item_registry& registry);
+
+  /// Maintains holder sets as protocols place/evict copies. The source host
+  /// is always implicitly a holder.
+  void add_holder(item_id item, node_id holder);
+  void remove_holder(item_id item, node_id holder);
+  bool is_holder(item_id item, node_id n) const;
+
+  node_id nearest_holder(node_id asker, item_id item) override;
+
+ private:
+  network& net_;
+  const item_registry& registry_;
+  std::unordered_map<item_id, std::unordered_set<node_id>> holders_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CACHE_DISCOVERY_HPP

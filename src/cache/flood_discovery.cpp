@@ -1,0 +1,99 @@
+#include "cache/flood_discovery.hpp"
+
+#include <cassert>
+
+#include "consistency/messages.hpp"
+
+namespace manet {
+
+flood_discovery::flood_discovery(network& net, flooding_service& floods,
+                                 router& route, const item_registry& registry,
+                                 const std::vector<cache_store>* stores,
+                                 flood_discovery_params params)
+    : net_(net),
+      floods_(floods),
+      route_(route),
+      registry_(registry),
+      stores_(stores),
+      params_(params) {
+  net_.meter().register_kind(kind_disc_req, "DISC_REQ");
+  net_.meter().register_kind(kind_disc_rep, "DISC_REP");
+  floods_.set_kind_handler(kind_disc_req,
+                           [this](node_id self, const packet& p) { on_request(self, p); });
+  route_.set_kind_handler(kind_disc_rep,
+                          [this](node_id self, const packet& p) { on_reply(self, p); });
+}
+
+bool flood_discovery::holds(node_id n, item_id item) const {
+  if (registry_.source(item) == n) return true;
+  if (stores_ == nullptr || n >= stores_->size()) return false;
+  return (*stores_)[n].contains(item);
+}
+
+void flood_discovery::locate(node_id asker, item_id item, locate_callback cb) {
+  // Trivial case: the asker already holds a copy (or owns the item).
+  if (holds(asker, item)) {
+    cb(asker);
+    return;
+  }
+  pending_locate& st = pending_[key(asker, item)];
+  st.callbacks.push_back(std::move(cb));
+  if (st.callbacks.size() > 1) return;  // round already in flight
+  st.retries = 0;
+  st.ttl = params_.initial_ttl;
+  send_request(asker, item);
+}
+
+void flood_discovery::send_request(node_id asker, item_id item) {
+  auto payload = std::make_shared<poll_msg>();
+  payload->item = item;
+  payload->asker = asker;
+  floods_.flood(asker, kind_disc_req, std::move(payload), params_.request_bytes,
+                pending_[key(asker, item)].ttl);
+  ++requests_;
+  pending_locate& st = pending_[key(asker, item)];
+  st.timer.cancel();
+  st.timer = net_.sim().schedule_in(params_.reply_timeout,
+                                    [this, asker, item] { on_timeout(asker, item); });
+}
+
+void flood_discovery::on_timeout(node_id asker, item_id item) {
+  auto it = pending_.find(key(asker, item));
+  if (it == pending_.end()) return;
+  if (!net_.at(asker).up() || it->second.retries >= params_.max_retries) {
+    finish(asker, item, invalid_node);
+    return;
+  }
+  ++it->second.retries;
+  it->second.ttl = std::min(it->second.ttl * 2, params_.max_ttl);
+  send_request(asker, item);
+}
+
+void flood_discovery::on_request(node_id self, const packet& p) {
+  const auto* req = payload_cast<poll_msg>(p);
+  assert(req != nullptr);
+  if (req->asker == self) return;
+  if (!holds(self, req->item)) return;
+  auto reply = std::make_shared<poll_msg>();
+  reply->item = req->item;
+  reply->asker = req->asker;
+  route_.send(self, req->asker, kind_disc_rep, std::move(reply),
+              params_.reply_bytes);
+}
+
+void flood_discovery::on_reply(node_id self, const packet& p) {
+  const auto* rep = payload_cast<poll_msg>(p);
+  assert(rep != nullptr);
+  finish(self, rep->item, p.src);
+}
+
+void flood_discovery::finish(node_id asker, item_id item, node_id holder) {
+  auto it = pending_.find(key(asker, item));
+  if (it == pending_.end()) return;  // late duplicate reply
+  it->second.timer.cancel();
+  std::vector<locate_callback> cbs = std::move(it->second.callbacks);
+  pending_.erase(it);
+  for (auto& cb : cbs) cb(holder);
+}
+
+}  // namespace manet

@@ -1,0 +1,88 @@
+// Distributed cache discovery by expanding-ring flooding — the protocol-level
+// alternative to oracle_discovery for scenarios where the paper's "assumed
+// independent mechanism" must itself be paid for on the air.
+//
+// locate() floods a DISC_REQ; every node holding a copy (or the source host)
+// replies DISC_REP by routed unicast. The first reply wins, which under
+// uniform per-hop delays approximates the hop-nearest holder. Failed rings
+// expand up to a cap, then the callback fires with invalid_node.
+#ifndef MANET_CACHE_FLOOD_DISCOVERY_HPP
+#define MANET_CACHE_FLOOD_DISCOVERY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+#include "cache/data_item.hpp"
+#include "net/flooding.hpp"
+#include "net/network.hpp"
+#include "routing/routing.hpp"
+
+namespace manet {
+
+enum discovery_kind : packet_kind {
+  kind_disc_req = 160,  ///< flooded: who holds item X?
+  kind_disc_rep = 161,  ///< unicast: I do.
+};
+
+struct flood_discovery_params {
+  int initial_ttl = 2;
+  int max_ttl = 8;
+  sim_duration reply_timeout = 0.5;
+  int max_retries = 2;
+  std::size_t request_bytes = 24;
+  std::size_t reply_bytes = 24;
+};
+
+class flood_discovery {
+ public:
+  /// Receives the discovered holder, or invalid_node when every ring failed.
+  using locate_callback = std::function<void(node_id holder)>;
+
+  /// `stores` may be nullptr (only source hosts answer then). Registers its
+  /// message kinds with the flooding service and router.
+  flood_discovery(network& net, flooding_service& floods, router& route,
+                  const item_registry& registry,
+                  const std::vector<cache_store>* stores,
+                  flood_discovery_params params = {});
+
+  /// Starts an asynchronous location round. At most one round per
+  /// (asker, item) runs at a time; concurrent calls share the result.
+  void locate(node_id asker, item_id item, locate_callback cb);
+
+  std::uint64_t requests_sent() const { return requests_; }
+
+ private:
+  struct pending_locate {
+    std::vector<locate_callback> callbacks;
+    int retries = 0;
+    int ttl = 0;
+    event_handle timer;
+  };
+
+  static std::uint64_t key(node_id n, item_id d) {
+    return (static_cast<std::uint64_t>(n) << 32) | d;
+  }
+
+  bool holds(node_id n, item_id item) const;
+  void send_request(node_id asker, item_id item);
+  void on_timeout(node_id asker, item_id item);
+  void on_request(node_id self, const packet& p);
+  void on_reply(node_id self, const packet& p);
+  void finish(node_id asker, item_id item, node_id holder);
+
+  network& net_;
+  flooding_service& floods_;
+  router& route_;
+  const item_registry& registry_;
+  const std::vector<cache_store>* stores_;
+  flood_discovery_params params_;
+  std::unordered_map<std::uint64_t, pending_locate> pending_;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CACHE_FLOOD_DISCOVERY_HPP

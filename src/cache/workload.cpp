@@ -1,0 +1,60 @@
+#include "cache/workload.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+workload_generator::workload_generator(simulator& sim, std::size_t n_nodes,
+                                       workload_params params, item_picker pick,
+                                       query_cb on_query, update_cb on_update,
+                                       up_predicate node_up)
+    : sim_(sim),
+      n_nodes_(n_nodes),
+      params_(params),
+      pick_(std::move(pick)),
+      on_query_(std::move(on_query)),
+      on_update_(std::move(on_update)),
+      node_up_(std::move(node_up)) {
+  assert(params_.mean_query_interval > 0);
+  assert(params_.mean_update_interval > 0);
+  query_rng_.reserve(n_nodes_);
+  update_rng_.reserve(n_nodes_);
+  for (std::size_t i = 0; i < n_nodes_; ++i) {
+    query_rng_.push_back(sim_.make_rng("workload.query", i));
+    update_rng_.push_back(sim_.make_rng("workload.update", i));
+  }
+}
+
+void workload_generator::start() {
+  for (node_id n = 0; n < n_nodes_; ++n) {
+    schedule_query(n);
+    schedule_update(n);
+  }
+}
+
+void workload_generator::schedule_query(node_id n) {
+  const sim_duration dt = query_rng_[n].exponential(params_.mean_query_interval);
+  sim_.schedule_in(dt, [this, n] {
+    if (!node_up_ || node_up_(n)) {
+      const item_id item = pick_ ? pick_(n, query_rng_[n]) : invalid_item;
+      if (item != invalid_item) {
+        ++queries_;
+        on_query_(n, item, params_.mix.sample(query_rng_[n]));
+      }
+    }
+    schedule_query(n);
+  });
+}
+
+void workload_generator::schedule_update(node_id n) {
+  const sim_duration dt = update_rng_[n].exponential(params_.mean_update_interval);
+  sim_.schedule_in(dt, [this, n] {
+    if (!node_up_ || node_up_(n)) {
+      ++updates_;
+      on_update_(n);
+    }
+    schedule_update(n);
+  });
+}
+
+}  // namespace manet

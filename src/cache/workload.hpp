@@ -1,0 +1,66 @@
+// Workload generation (paper §5): every host generates an independent
+// stream of updates to its source data (exponential I_Update) and an
+// independent stream of query requests (exponential I_Query). Queries go to
+// items the host caches; each query carries a consistency level drawn from
+// the configured mix.
+#ifndef MANET_CACHE_WORKLOAD_HPP
+#define MANET_CACHE_WORKLOAD_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "consistency/level.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+struct workload_params {
+  sim_duration mean_update_interval = minutes(2);  ///< I_Update
+  sim_duration mean_query_interval = seconds(20);  ///< I_Query
+  level_mix mix = level_mix::strong_only();
+};
+
+class workload_generator {
+ public:
+  /// Picks the item a node queries; return invalid_item to skip (empty
+  /// cache). Receives the node's query RNG for deterministic choices.
+  using item_picker = std::function<item_id(node_id, rng&)>;
+  using query_cb = std::function<void(node_id, item_id, consistency_level)>;
+  using update_cb = std::function<void(node_id source)>;
+  using up_predicate = std::function<bool(node_id)>;
+
+  workload_generator(simulator& sim, std::size_t n_nodes, workload_params params,
+                     item_picker pick, query_cb on_query, update_cb on_update,
+                     up_predicate node_up);
+
+  /// Schedules the first query/update for every node. Events for a node
+  /// that is down at fire time are skipped (the stream keeps ticking).
+  void start();
+
+  std::uint64_t queries_issued() const { return queries_; }
+  std::uint64_t updates_issued() const { return updates_; }
+
+ private:
+  void schedule_query(node_id n);
+  void schedule_update(node_id n);
+
+  simulator& sim_;
+  std::size_t n_nodes_;
+  workload_params params_;
+  item_picker pick_;
+  query_cb on_query_;
+  update_cb on_update_;
+  up_predicate node_up_;
+
+  std::vector<rng> query_rng_;
+  std::vector<rng> update_rng_;
+  std::uint64_t queries_ = 0;
+  std::uint64_t updates_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CACHE_WORKLOAD_HPP

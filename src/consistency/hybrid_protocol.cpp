@@ -1,0 +1,208 @@
+#include "consistency/hybrid_protocol.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+namespace {
+constexpr version_t no_version = static_cast<version_t>(-1);
+}  // namespace
+
+hybrid_protocol::hybrid_protocol(protocol_context ctx, hybrid_params params)
+    : consistency_protocol(ctx), params_(params) {
+  net().meter().register_kind(kind_hyb_inv, "HYB_INV");
+  net().meter().register_kind(kind_hyb_poll, "HYB_POLL");
+  net().meter().register_kind(kind_hyb_valid, "HYB_VALID");
+  net().meter().register_kind(kind_hyb_data, "HYB_DATA");
+}
+
+void hybrid_protocol::start() {
+  attach_handlers();
+  report_timers_.clear();
+  for (item_id d = 0; d < registry().size(); ++d) {
+    auto timer = std::make_unique<periodic_timer>(sim(), params_.ttn,
+                                                  [this, d] { flood_report(d); });
+    rng phase_rng = sim().make_rng("hybrid.phase", d);
+    timer->start(phase_rng.uniform(0, params_.ttn));
+    report_timers_.push_back(std::move(timer));
+  }
+}
+
+void hybrid_protocol::flood_report(item_id item) {
+  const node_id src = registry().source(item);
+  if (!node_up(src)) return;
+  auto payload = std::make_shared<item_version_msg>();
+  payload->item = item;
+  payload->version = registry().version(item);
+  floods().flood(src, kind_hyb_inv, std::move(payload), control_bytes(),
+                 params_.inv_ttl);
+}
+
+void hybrid_protocol::on_update(item_id item) {
+  // Push side is IR-based: the change rides the next periodic report.
+  (void)item;
+}
+
+void hybrid_protocol::on_query(node_id n, item_id item, consistency_level level) {
+  const query_id q = qlog().issue(n, item, level);
+  if (registry().source(item) == n) {
+    answer_from_cache(q, n, item, /*validated=*/true);
+    return;
+  }
+  const cached_copy* copy = store(n).find(item);
+  switch (level) {
+    case consistency_level::weak:
+      if (copy != nullptr) {
+        answer_from_cache(q, n, item, /*validated=*/false);
+        return;
+      }
+      break;
+    case consistency_level::delta:
+      if (copy != nullptr && copy->validated_until > sim().now()) {
+        answer_from_cache(q, n, item, /*validated=*/true);
+        return;
+      }
+      break;
+    case consistency_level::strong:
+      // "Adaptive pull": a copy the latest report confirmed (and that has
+      // not been invalidated since) is served without polling.
+      if (copy != nullptr && !copy->invalid &&
+          copy->validated_until > sim().now()) {
+        answer_from_cache(q, n, item, /*validated=*/true);
+        return;
+      }
+      break;
+  }
+  begin_poll(n, item, q);
+}
+
+void hybrid_protocol::begin_poll(node_id n, item_id item, query_id q) {
+  poll_state& st = polls_[key(n, item)];
+  if (st.waiting.empty() && sim().now() < st.backoff_until) {
+    if (store(n).find(item) != nullptr) {
+      answer_from_cache(q, n, item, /*validated=*/false);
+      ++unvalidated_answers_;
+    }
+    return;
+  }
+  st.waiting.push_back(q);
+  if (st.waiting.size() > 1) return;
+  st.retries = 0;
+  send_poll(n, item);
+}
+
+void hybrid_protocol::send_poll(node_id n, item_id item) {
+  auto payload = std::make_shared<poll_msg>();
+  payload->item = item;
+  payload->asker = n;
+  const cached_copy* copy = store(n).find(item);
+  payload->asker_version = copy != nullptr ? copy->version : no_version;
+  // Routed unicast straight to the owner peer — no flood.
+  send(n, registry().source(item), kind_hyb_poll, std::move(payload),
+       control_bytes());
+  ++polls_sent_;
+  poll_state& st = polls_[key(n, item)];
+  st.timer.cancel();
+  st.timer = sim().schedule_in(params_.poll_timeout,
+                               [this, n, item] { on_poll_timeout(n, item); });
+}
+
+void hybrid_protocol::on_poll_timeout(node_id n, item_id item) {
+  auto it = polls_.find(key(n, item));
+  if (it == polls_.end() || it->second.waiting.empty()) return;
+  if (!node_up(n)) {
+    polls_.erase(it);
+    return;
+  }
+  if (it->second.retries < params_.max_retries) {
+    ++it->second.retries;
+    send_poll(n, item);
+    return;
+  }
+  if (params_.failure_backoff > 0) {
+    it->second.backoff_until = sim().now() + params_.failure_backoff;
+  }
+  finish_poll(n, item, /*validated=*/false);
+}
+
+void hybrid_protocol::finish_poll(node_id n, item_id item, bool validated) {
+  auto it = polls_.find(key(n, item));
+  if (it == polls_.end()) return;
+  poll_state& st = it->second;
+  st.timer.cancel();
+  std::vector<query_id> waiting = std::move(st.waiting);
+  st.waiting.clear();
+  if (validated) st.backoff_until = 0;
+  const cached_copy* copy = store(n).find(item);
+  for (query_id q : waiting) {
+    if (!qlog().outstanding(q)) continue;
+    if (copy != nullptr) {
+      answer_from_cache(q, n, item, validated);
+      if (!validated) ++unvalidated_answers_;
+    }
+  }
+}
+
+void hybrid_protocol::on_flood(node_id self, const packet& p) {
+  if (p.kind != kind_hyb_inv) return;
+  const auto* msg = payload_cast<item_version_msg>(p);
+  assert(msg != nullptr);
+  cached_copy* copy = store(self).find(msg->item);
+  if (copy == nullptr) return;
+  if (copy->version == msg->version) {
+    copy->invalid = false;
+    copy->validated_until = sim().now() + params_.validity;
+  } else {
+    // Adaptive part: just mark stale; content is pulled on demand.
+    copy->invalid = true;
+  }
+}
+
+void hybrid_protocol::on_unicast(node_id self, const packet& p) {
+  switch (p.kind) {
+    case kind_hyb_poll: {
+      const auto* poll = payload_cast<poll_msg>(p);
+      assert(poll != nullptr);
+      if (registry().source(poll->item) != self) return;
+      const version_t current = registry().version(poll->item);
+      auto reply = std::make_shared<item_version_msg>();
+      reply->item = poll->item;
+      reply->version = current;
+      if (poll->asker_version == current) {
+        send(self, poll->asker, kind_hyb_valid, std::move(reply), control_bytes());
+      } else {
+        send(self, poll->asker, kind_hyb_data, std::move(reply),
+             content_bytes(poll->item));
+      }
+      return;
+    }
+    case kind_hyb_valid:
+    case kind_hyb_data: {
+      const auto* msg = payload_cast<item_version_msg>(p);
+      assert(msg != nullptr);
+      cached_copy* copy = store(self).find(msg->item);
+      if (p.kind == kind_hyb_data) {
+        if (copy == nullptr || msg->version > copy->version) {
+          cached_copy fresh;
+          fresh.item = msg->item;
+          fresh.version = msg->version;
+          fresh.version_obtained_at = sim().now();
+          fresh.validated_until = sim().now() + params_.validity;
+          store(self).put(fresh);
+        } else if (msg->version == copy->version) {
+          copy->validated_until = sim().now() + params_.validity;
+          copy->invalid = false;
+        }
+      } else if (copy != nullptr && copy->version == msg->version) {
+        copy->validated_until = sim().now() + params_.validity;
+        copy->invalid = false;
+      }
+      finish_poll(self, msg->item, /*validated=*/true);
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+}  // namespace manet

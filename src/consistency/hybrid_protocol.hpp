@@ -1,0 +1,84 @@
+// "Push with adaptive pull" baseline, after Lan et al. [Lan03] (the related
+// work the paper positions RPCC against, §2).
+//
+// Like simple push, every source floods a periodic invalidation report; like
+// pull, a cache node that cannot vouch for its copy polls — but the poll is
+// a routed *unicast* straight to the source host (the cache data structure
+// carries the owner id, Fig 6a), not a network-wide flood, and a copy
+// confirmed by a report is served without polling until the report marks it
+// stale. No relay tier: this isolates how much of RPCC's win comes from the
+// relay overlay versus merely mixing push with targeted pulls.
+#ifndef MANET_CONSISTENCY_HYBRID_PROTOCOL_HPP
+#define MANET_CONSISTENCY_HYBRID_PROTOCOL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "consistency/protocol.hpp"
+#include "sim/timer.hpp"
+
+namespace manet {
+
+/// Message kinds for the hybrid baseline.
+enum hybrid_kind : packet_kind {
+  kind_hyb_inv = 150,    ///< source -> flood, every TTN
+  kind_hyb_poll = 151,   ///< cache node -> source (unicast)
+  kind_hyb_valid = 152,  ///< source -> cache node: copy is current
+  kind_hyb_data = 153,   ///< source -> cache node: new content
+};
+
+struct hybrid_params {
+  sim_duration ttn = minutes(2);       ///< invalidation-report interval
+  int inv_ttl = 8;                     ///< TTL_BR for the report flood
+  sim_duration validity = minutes(4);  ///< Δ window opened by confirmations
+  sim_duration poll_timeout = 1.5;
+  int max_retries = 2;
+  sim_duration failure_backoff = 30.0;
+};
+
+class hybrid_protocol final : public consistency_protocol {
+ public:
+  hybrid_protocol(protocol_context ctx, hybrid_params params);
+
+  std::string name() const override { return "push_pull"; }
+  void start() override;
+  void on_update(item_id item) override;
+  void on_query(node_id n, item_id item, consistency_level level) override;
+
+  std::uint64_t polls_sent() const { return polls_sent_; }
+  std::uint64_t unvalidated_answers() const { return unvalidated_answers_; }
+
+ protected:
+  void on_flood(node_id self, const packet& p) override;
+  void on_unicast(node_id self, const packet& p) override;
+
+ private:
+  struct poll_state {
+    std::vector<query_id> waiting;
+    int retries = 0;
+    event_handle timer;
+    sim_time backoff_until = 0;
+  };
+
+  static std::uint64_t key(node_id n, item_id d) {
+    return (static_cast<std::uint64_t>(n) << 32) | d;
+  }
+
+  void flood_report(item_id item);
+  void begin_poll(node_id n, item_id item, query_id q);
+  void send_poll(node_id n, item_id item);
+  void on_poll_timeout(node_id n, item_id item);
+  void finish_poll(node_id n, item_id item, bool validated);
+
+  hybrid_params params_;
+  std::vector<std::unique_ptr<periodic_timer>> report_timers_;
+  std::unordered_map<std::uint64_t, poll_state> polls_;
+  std::uint64_t polls_sent_ = 0;
+  std::uint64_t unvalidated_answers_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CONSISTENCY_HYBRID_PROTOCOL_HPP

@@ -1,0 +1,51 @@
+// The paper's three consistency levels (§3) and per-query level mixes.
+#ifndef MANET_CONSISTENCY_LEVEL_HPP
+#define MANET_CONSISTENCY_LEVEL_HPP
+
+#include <cassert>
+
+#include "util/rng.hpp"
+
+namespace manet {
+
+/// Consistency requirement attached to each query (paper Eq. 3.2.1–3.2.3).
+///   strong — the answered version must be up to date with the master copy;
+///   delta  — the answered version may lag the master copy by at most Δ;
+///   weak   — any previously correct version is acceptable.
+enum class consistency_level { strong, delta, weak };
+
+inline const char* consistency_level_name(consistency_level l) {
+  switch (l) {
+    case consistency_level::strong: return "SC";
+    case consistency_level::delta: return "DC";
+    case consistency_level::weak: return "WC";
+  }
+  return "?";
+}
+
+/// Probability mix over consistency levels for generated queries. The
+/// paper's scenarios: SC-only, DC-only, WC-only, and HY (all three equally
+/// likely).
+struct level_mix {
+  double p_strong = 1.0;
+  double p_delta = 0.0;
+  double p_weak = 0.0;
+
+  static level_mix strong_only() { return {1, 0, 0}; }
+  static level_mix delta_only() { return {0, 1, 0}; }
+  static level_mix weak_only() { return {0, 0, 1}; }
+  static level_mix hybrid() { return {1.0 / 3, 1.0 / 3, 1.0 / 3}; }
+
+  consistency_level sample(rng& gen) const {
+    const double total = p_strong + p_delta + p_weak;
+    assert(total > 0);
+    const double u = gen.uniform() * total;
+    if (u < p_strong) return consistency_level::strong;
+    if (u < p_strong + p_delta) return consistency_level::delta;
+    return consistency_level::weak;
+  }
+};
+
+}  // namespace manet
+
+#endif  // MANET_CONSISTENCY_LEVEL_HPP

@@ -1,0 +1,76 @@
+// Message kinds and payloads for the consistency protocols.
+//
+// RPCC's ten message types follow the paper's Fig 6(a). The push and pull
+// baselines get their own kinds so traffic reports separate the strategies
+// when they are mixed in one scenario. Content-carrying messages
+// (UPDATE, SEND_NEW, POLL_ACK_B, ...) model their size as
+// control_bytes + item content size; nothing is actually serialized.
+#ifndef MANET_CONSISTENCY_MESSAGES_HPP
+#define MANET_CONSISTENCY_MESSAGES_HPP
+
+#include "net/packet.hpp"
+#include "net/traffic_meter.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+enum app_kind : packet_kind {
+  // Shared fetch path (cache-miss handling in dynamic-placement scenarios).
+  kind_fetch_req = 100,
+  kind_fetch_reply = 101,
+
+  // RPCC (paper Fig 6a).
+  kind_invalidation = 110,  ///< source -> flood, every TTN
+  kind_update = 111,        ///< source -> relay peers, content
+  kind_get_new = 112,       ///< relay -> source after missed updates
+  kind_send_new = 113,      ///< source -> relay, content
+  kind_apply = 114,         ///< candidate -> source
+  kind_apply_ack = 115,     ///< source -> candidate
+  kind_cancel = 116,        ///< relay -> source on demotion
+  kind_poll = 117,          ///< cache node -> flood (find nearby relay)
+  kind_poll_ack_a = 118,    ///< relay -> cache node: copy is up to date
+  kind_poll_ack_b = 119,    ///< relay -> cache node: new content
+
+  // Simple push baseline (IR-style).
+  kind_push_inv = 130,   ///< source -> flood (TTL_BR), every TTN
+  kind_push_get = 131,   ///< cache node -> source, refresh request
+  kind_push_send = 132,  ///< source -> cache node, content
+
+  // Simple pull baseline.
+  kind_pull_poll = 140,   ///< cache node -> flood (TTL_BR), per query
+  kind_pull_valid = 141,  ///< source -> cache node: copy is up to date
+  kind_pull_data = 142,   ///< source -> cache node: new content
+};
+
+/// Registers readable names for all consistency kinds with a meter.
+void register_consistency_kinds(traffic_meter& meter);
+
+/// Message about an item, no version (GET_NEW, APPLY, APPLY_ACK, CANCEL,
+/// fetch request).
+struct item_msg final : message_payload {
+  item_id item = invalid_item;
+};
+
+/// Message carrying the sender's known version of an item (INVALIDATION,
+/// UPDATE, SEND_NEW, POLL_ACKs, push/pull replies, fetch reply). For
+/// content-carrying kinds the packet's size_bytes includes the content.
+struct item_version_msg final : message_payload {
+  item_id item = invalid_item;
+  version_t version = 0;
+  /// INVALIDATION only, adaptive-TTN mode: the source's current
+  /// invalidation interval, so relays can scale TTR to the actual push
+  /// cadence. 0 = no hint.
+  sim_duration interval_hint = 0;
+};
+
+/// POLL / PULL_POLL: the asker announces the version it holds so the
+/// responder can decide between ACK_A (fresh) and ACK_B (content).
+struct poll_msg final : message_payload {
+  item_id item = invalid_item;
+  version_t asker_version = 0;
+  node_id asker = invalid_node;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CONSISTENCY_MESSAGES_HPP

@@ -1,0 +1,52 @@
+#include "consistency/protocol.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+void register_consistency_kinds(traffic_meter& meter) {
+  meter.register_kind(kind_fetch_req, "FETCH_REQ");
+  meter.register_kind(kind_fetch_reply, "FETCH_REPLY");
+  meter.register_kind(kind_invalidation, "INVALIDATION");
+  meter.register_kind(kind_update, "UPDATE");
+  meter.register_kind(kind_get_new, "GET_NEW");
+  meter.register_kind(kind_send_new, "SEND_NEW");
+  meter.register_kind(kind_apply, "APPLY");
+  meter.register_kind(kind_apply_ack, "APPLY_ACK");
+  meter.register_kind(kind_cancel, "CANCEL");
+  meter.register_kind(kind_poll, "POLL");
+  meter.register_kind(kind_poll_ack_a, "POLL_ACK_A");
+  meter.register_kind(kind_poll_ack_b, "POLL_ACK_B");
+  meter.register_kind(kind_push_inv, "PUSH_INV");
+  meter.register_kind(kind_push_get, "PUSH_GET");
+  meter.register_kind(kind_push_send, "PUSH_SEND");
+  meter.register_kind(kind_pull_poll, "PULL_POLL");
+  meter.register_kind(kind_pull_valid, "PULL_VALID");
+  meter.register_kind(kind_pull_data, "PULL_DATA");
+}
+
+consistency_protocol::consistency_protocol(protocol_context ctx) : ctx_(ctx) {
+  assert(ctx_.sim && ctx_.net && ctx_.floods && ctx_.route && ctx_.registry &&
+         ctx_.stores && ctx_.qlog);
+  register_consistency_kinds(ctx_.net->meter());
+}
+
+void consistency_protocol::attach_handlers() {
+  ctx_.floods->set_handler(
+      [this](node_id self, const packet& p) { on_flood(self, p); });
+  ctx_.route->set_delivery_handler(
+      [this](node_id self, const packet& p) { on_unicast(self, p); });
+}
+
+void consistency_protocol::answer_from_cache(query_id q, node_id n, item_id item,
+                                             bool validated) {
+  if (registry().source(item) == n) {
+    qlog().answer(q, registry().version(item), /*validated=*/true);
+    return;
+  }
+  const cached_copy* copy = store(n).find(item);
+  assert(copy != nullptr && "answering from a cache that lacks the item");
+  qlog().answer(q, copy->version, validated);
+}
+
+}  // namespace manet

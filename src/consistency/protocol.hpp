@@ -1,0 +1,109 @@
+// Consistency-protocol interface and shared plumbing.
+//
+// A protocol receives workload events (queries, source updates) and network
+// events (flood and unicast deliveries) and is responsible for answering
+// every query through the query log. The scenario owns all substrate
+// objects and hands the protocol a context of references.
+#ifndef MANET_CONSISTENCY_PROTOCOL_HPP
+#define MANET_CONSISTENCY_PROTOCOL_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+#include "cache/data_item.hpp"
+#include "consistency/level.hpp"
+#include "consistency/messages.hpp"
+#include "metrics/query_log.hpp"
+#include "net/flooding.hpp"
+#include "net/network.hpp"
+#include "routing/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet {
+
+struct protocol_context {
+  simulator* sim = nullptr;
+  network* net = nullptr;
+  flooding_service* floods = nullptr;
+  router* route = nullptr;
+  item_registry* registry = nullptr;
+  std::vector<cache_store>* stores = nullptr;  ///< one per node
+  query_log* qlog = nullptr;
+  std::size_t control_bytes = 32;  ///< modeled size of content-free messages
+};
+
+class consistency_protocol {
+ public:
+  explicit consistency_protocol(protocol_context ctx);
+  virtual ~consistency_protocol() = default;
+
+  consistency_protocol(const consistency_protocol&) = delete;
+  consistency_protocol& operator=(const consistency_protocol&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Wires network handlers and starts protocol timers. Call once, before
+  /// the simulation runs.
+  virtual void start() = 0;
+
+  /// The master copy of `item` was just updated (the registry has already
+  /// been bumped by the scenario).
+  virtual void on_update(item_id item) = 0;
+
+  /// A query for `item` arrived at node `n` with the given requirement.
+  /// Implementations must eventually answer via the query log.
+  virtual void on_query(node_id n, item_id item, consistency_level level) = 0;
+
+  /// Mean number of concurrent relay peers (RPCC only; 0 for baselines).
+  virtual double avg_relay_peers() const { return 0.0; }
+
+  /// Resets protocol-side measurement aggregates at the end of a warm-up
+  /// phase (protocol *state* — roles, caches, timers — is untouched).
+  virtual void reset_stats() {}
+
+  /// Optional protocol-specific diagnostics appended to run reports.
+  virtual std::string extra_report() const { return {}; }
+
+ protected:
+  /// Receive entry points; attach_handlers() registers them with the
+  /// flooding service and router.
+  virtual void on_flood(node_id self, const packet& p) = 0;
+  virtual void on_unicast(node_id self, const packet& p) = 0;
+
+  void attach_handlers();
+
+  simulator& sim() { return *ctx_.sim; }
+  network& net() { return *ctx_.net; }
+  flooding_service& floods() { return *ctx_.floods; }
+  router& route() { return *ctx_.route; }
+  item_registry& registry() { return *ctx_.registry; }
+  cache_store& store(node_id n) { return ctx_.stores->at(n); }
+  query_log& qlog() { return *ctx_.qlog; }
+
+  bool node_up(node_id n) const { return ctx_.net->at(n).up(); }
+  sim_time now() const { return ctx_.sim->now(); }
+  std::size_t control_bytes() const { return ctx_.control_bytes; }
+  std::size_t content_bytes(item_id item) const {
+    return ctx_.control_bytes + ctx_.registry->content_bytes(item);
+  }
+
+  /// Unicast helper through the router.
+  void send(node_id from, node_id to, packet_kind kind,
+            std::shared_ptr<const message_payload> payload, std::size_t bytes) {
+    ctx_.route->send(from, to, kind, std::move(payload), bytes);
+  }
+
+  /// Answers `q` from the copy of `item` cached at `n` (or from the master
+  /// copy when `n` is the source host). `validated` is the protocol's
+  /// freshness claim. Requires the copy to exist.
+  void answer_from_cache(query_id q, node_id n, item_id item, bool validated);
+
+ private:
+  protocol_context ctx_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CONSISTENCY_PROTOCOL_HPP

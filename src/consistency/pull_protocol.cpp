@@ -1,0 +1,162 @@
+#include "consistency/pull_protocol.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+namespace {
+/// Sentinel "I hold no copy" version in a poll; never equals a real version.
+constexpr version_t no_version = static_cast<version_t>(-1);
+}  // namespace
+
+pull_protocol::pull_protocol(protocol_context ctx, pull_params params)
+    : consistency_protocol(ctx), params_(params) {}
+
+void pull_protocol::start() { attach_handlers(); }
+
+void pull_protocol::on_update(item_id item) {
+  // Purely reactive protocol: the new version is visible in the registry;
+  // cache nodes discover it on their next poll.
+  (void)item;
+}
+
+void pull_protocol::on_query(node_id n, item_id item, consistency_level level) {
+  const query_id q = qlog().issue(n, item, level);
+  if (registry().source(item) == n) {
+    answer_from_cache(q, n, item, /*validated=*/true);
+    return;
+  }
+  const cached_copy* copy = store(n).find(item);
+  switch (level) {
+    case consistency_level::weak:
+      if (copy != nullptr) {
+        answer_from_cache(q, n, item, /*validated=*/false);
+        return;
+      }
+      break;  // no copy: must fetch via poll
+    case consistency_level::delta:
+      if (copy != nullptr && copy->validated_until > sim().now()) {
+        answer_from_cache(q, n, item, /*validated=*/true);
+        return;
+      }
+      break;
+    case consistency_level::strong:
+      break;
+  }
+  begin_poll(n, item, q);
+}
+
+void pull_protocol::begin_poll(node_id n, item_id item, query_id q) {
+  // Failure backoff: a recent fully-failed poll round means we are likely
+  // partitioned; answer locally instead of repeating the flood storm.
+  if (auto it = poll_backoff_until_.find(key(n, item));
+      it != poll_backoff_until_.end() && !polls_.count(key(n, item))) {
+    if (sim().now() < it->second) {
+      if (store(n).find(item) != nullptr) {
+        answer_from_cache(q, n, item, /*validated=*/false);
+        ++unvalidated_answers_;
+      }
+      return;
+    }
+    poll_backoff_until_.erase(it);
+  }
+  poll_state& st = polls_[key(n, item)];
+  st.waiting.push_back(q);
+  if (st.waiting.size() > 1) return;  // poll already in flight
+  st.retries = 0;
+  send_poll(n, item);
+}
+
+void pull_protocol::send_poll(node_id n, item_id item) {
+  auto payload = std::make_shared<poll_msg>();
+  payload->item = item;
+  payload->asker = n;
+  const cached_copy* copy = store(n).find(item);
+  payload->asker_version = copy != nullptr ? copy->version : no_version;
+  floods().flood(n, kind_pull_poll, std::move(payload), control_bytes(),
+                 params_.poll_ttl);
+  ++polls_sent_;
+  poll_state& st = polls_[key(n, item)];
+  st.timer.cancel();
+  st.timer = sim().schedule_in(params_.poll_timeout,
+                               [this, n, item] { on_poll_timeout(n, item); });
+}
+
+void pull_protocol::on_poll_timeout(node_id n, item_id item) {
+  auto it = polls_.find(key(n, item));
+  if (it == polls_.end()) return;
+  if (!node_up(n)) {
+    // The asker is offline; its user is gone. Abandon silently.
+    polls_.erase(it);
+    return;
+  }
+  if (it->second.retries < params_.max_retries) {
+    ++it->second.retries;
+    send_poll(n, item);
+    return;
+  }
+  // Give up: serve from whatever we have, unvalidated, and back off.
+  if (params_.failure_backoff > 0) {
+    poll_backoff_until_[key(n, item)] = sim().now() + params_.failure_backoff;
+  }
+  finish_poll(n, item, /*validated=*/false);
+}
+
+void pull_protocol::finish_poll(node_id n, item_id item, bool validated) {
+  auto it = polls_.find(key(n, item));
+  if (it == polls_.end()) return;
+  poll_state st = std::move(it->second);
+  polls_.erase(it);
+  st.timer.cancel();
+  const cached_copy* copy = store(n).find(item);
+  for (query_id q : st.waiting) {
+    if (!qlog().outstanding(q)) continue;
+    if (copy != nullptr) {
+      answer_from_cache(q, n, item, validated);
+      if (!validated) ++unvalidated_answers_;
+    }
+    // No copy and poll failed: the query stays unanswered (partition).
+  }
+}
+
+void pull_protocol::on_flood(node_id self, const packet& p) {
+  if (p.kind != kind_pull_poll) return;
+  const auto* poll = payload_cast<poll_msg>(p);
+  assert(poll != nullptr);
+  if (registry().source(poll->item) != self) return;  // only the source replies
+  const version_t current = registry().version(poll->item);
+  auto reply = std::make_shared<item_version_msg>();
+  reply->item = poll->item;
+  reply->version = current;
+  if (poll->asker_version == current) {
+    send(self, poll->asker, kind_pull_valid, std::move(reply), control_bytes());
+  } else {
+    send(self, poll->asker, kind_pull_data, std::move(reply),
+         content_bytes(poll->item));
+  }
+}
+
+void pull_protocol::on_unicast(node_id self, const packet& p) {
+  if (p.kind != kind_pull_valid && p.kind != kind_pull_data) return;
+  const auto* msg = payload_cast<item_version_msg>(p);
+  assert(msg != nullptr);
+  cached_copy* copy = store(self).find(msg->item);
+  if (p.kind == kind_pull_data) {
+    if (copy == nullptr || msg->version > copy->version) {
+      cached_copy fresh;
+      fresh.item = msg->item;
+      fresh.version = msg->version;
+      fresh.version_obtained_at = sim().now();
+      fresh.validated_until = sim().now() + params_.validity;
+      store(self).put(fresh);
+    } else {
+      copy->validated_until = sim().now() + params_.validity;
+    }
+  } else if (copy != nullptr && copy->version == msg->version) {
+    copy->validated_until = sim().now() + params_.validity;
+  }
+  poll_backoff_until_.erase(key(self, msg->item));
+  finish_poll(self, msg->item, /*validated=*/true);
+}
+
+}  // namespace manet

@@ -1,0 +1,70 @@
+// Simple pull baseline (paper §5, after [Lan03]).
+//
+// No source-side activity at all. A query that cannot be answered from the
+// local validity window floods a PULL_POLL (TTL_BR hops) toward the source
+// host, which replies PULL_VALID (version matches) or PULL_DATA (new
+// content). Per-query flooding is what makes pull's traffic dominate every
+// figure in the paper.
+#ifndef MANET_CONSISTENCY_PULL_PROTOCOL_HPP
+#define MANET_CONSISTENCY_PULL_PROTOCOL_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "consistency/protocol.hpp"
+
+namespace manet {
+
+struct pull_params {
+  int poll_ttl = 8;                    ///< TTL_BR for the poll flood
+  sim_duration validity = minutes(4);  ///< Δ window opened by a validation
+  sim_duration poll_timeout = 1.5;     ///< wait for a reply before re-polling
+  int max_retries = 2;
+  /// After a completely failed poll round (partition), skip re-polling this
+  /// item for this long and answer locally; 0 disables the backoff.
+  sim_duration failure_backoff = 30.0;
+};
+
+class pull_protocol final : public consistency_protocol {
+ public:
+  pull_protocol(protocol_context ctx, pull_params params);
+
+  std::string name() const override { return "pull"; }
+  void start() override;
+  void on_update(item_id item) override;
+  void on_query(node_id n, item_id item, consistency_level level) override;
+
+  std::uint64_t polls_sent() const { return polls_sent_; }
+  std::uint64_t unvalidated_answers() const { return unvalidated_answers_; }
+
+ protected:
+  void on_flood(node_id self, const packet& p) override;
+  void on_unicast(node_id self, const packet& p) override;
+
+ private:
+  struct poll_state {
+    std::vector<query_id> waiting;
+    int retries = 0;
+    event_handle timer;
+  };
+
+  static std::uint64_t key(node_id n, item_id d) {
+    return (static_cast<std::uint64_t>(n) << 32) | d;
+  }
+
+  void begin_poll(node_id n, item_id item, query_id q);
+  void send_poll(node_id n, item_id item);
+  void on_poll_timeout(node_id n, item_id item);
+  void finish_poll(node_id n, item_id item, bool validated);
+
+  pull_params params_;
+  std::unordered_map<std::uint64_t, poll_state> polls_;
+  std::unordered_map<std::uint64_t, sim_time> poll_backoff_until_;
+  std::uint64_t polls_sent_ = 0;
+  std::uint64_t unvalidated_answers_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CONSISTENCY_PULL_PROTOCOL_HPP

@@ -1,0 +1,161 @@
+#include "consistency/push_protocol.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+push_protocol::push_protocol(protocol_context ctx, push_params params)
+    : consistency_protocol(ctx), params_(params) {
+  assert(params_.ttn > 0);
+}
+
+void push_protocol::start() {
+  attach_handlers();
+  report_timers_.clear();
+  report_timers_.reserve(registry().size());
+  for (item_id d = 0; d < registry().size(); ++d) {
+    auto timer = std::make_unique<periodic_timer>(sim(), params_.ttn,
+                                                  [this, d] { flood_report(d); });
+    // Stagger the per-source report phases so the reports do not all land
+    // on the channel simultaneously.
+    rng phase_rng = sim().make_rng("push.phase", d);
+    timer->start(phase_rng.uniform(0, params_.ttn));
+    report_timers_.push_back(std::move(timer));
+  }
+}
+
+void push_protocol::flood_report(item_id item) {
+  const node_id src = registry().source(item);
+  if (!node_up(src)) return;
+  auto payload = std::make_shared<item_version_msg>();
+  payload->item = item;
+  payload->version = registry().version(item);
+  floods().flood(src, kind_push_inv, std::move(payload), control_bytes(),
+                 params_.inv_ttl);
+  ++reports_;
+}
+
+void push_protocol::on_update(item_id item) {
+  // IR-based push: the change travels with the next periodic report.
+  (void)item;
+}
+
+void push_protocol::on_query(node_id n, item_id item, consistency_level level) {
+  const query_id q = qlog().issue(n, item, level);
+  if (registry().source(item) == n) {
+    answer_from_cache(q, n, item, /*validated=*/true);
+    return;
+  }
+  const cached_copy* copy = store(n).find(item);
+  if (copy == nullptr) {
+    // Miss: fetch from the source directly, then answer.
+    enqueue_wait(n, item, q);
+    request_refresh(n, item);
+    return;
+  }
+  switch (level) {
+    case consistency_level::weak:
+      answer_from_cache(q, n, item, /*validated=*/false);
+      return;
+    case consistency_level::delta:
+      if (copy->validated_until > sim().now()) {
+        answer_from_cache(q, n, item, /*validated=*/true);
+        return;
+      }
+      break;
+    case consistency_level::strong:
+      break;
+  }
+  if (copy->invalid) {
+    // We already know the copy is stale; ask for content now instead of
+    // waiting another interval.
+    enqueue_wait(n, item, q);
+    request_refresh(n, item);
+    return;
+  }
+  // Wait for the next invalidation report to confirm the copy.
+  enqueue_wait(n, item, q);
+}
+
+void push_protocol::enqueue_wait(node_id n, item_id item, query_id q) {
+  wait_state& st = waits_[key(n, item)];
+  st.waiting.push_back(q);
+  if (st.waiting.size() > 1) return;
+  st.deadline = sim().schedule_in(params_.max_wait_factor * params_.ttn,
+                                  [this, n, item] { on_deadline(n, item); });
+}
+
+void push_protocol::serve_waiting(node_id n, item_id item, bool validated) {
+  auto it = waits_.find(key(n, item));
+  if (it == waits_.end()) return;
+  wait_state st = std::move(it->second);
+  waits_.erase(it);
+  st.deadline.cancel();
+  const cached_copy* copy = store(n).find(item);
+  for (query_id q : st.waiting) {
+    if (!qlog().outstanding(q)) continue;
+    if (copy != nullptr) {
+      answer_from_cache(q, n, item, validated);
+      if (!validated) ++unvalidated_answers_;
+    }
+  }
+}
+
+void push_protocol::on_deadline(node_id n, item_id item) {
+  // No report reached us (partition or source down). Serve unvalidated.
+  serve_waiting(n, item, /*validated=*/false);
+}
+
+void push_protocol::request_refresh(node_id n, item_id item) {
+  if (!node_up(n)) return;
+  auto payload = std::make_shared<item_msg>();
+  payload->item = item;
+  send(n, registry().source(item), kind_push_get, std::move(payload),
+       control_bytes());
+}
+
+void push_protocol::on_flood(node_id self, const packet& p) {
+  if (p.kind != kind_push_inv) return;
+  const auto* msg = payload_cast<item_version_msg>(p);
+  assert(msg != nullptr);
+  cached_copy* copy = store(self).find(msg->item);
+  if (copy == nullptr) return;
+  if (copy->version == msg->version) {
+    copy->invalid = false;
+    copy->validated_until = sim().now() + params_.validity;
+    serve_waiting(self, msg->item, /*validated=*/true);
+  } else {
+    copy->invalid = true;
+    // Refresh the content; waiting queries are served when PUSH_SEND lands.
+    request_refresh(self, msg->item);
+  }
+}
+
+void push_protocol::on_unicast(node_id self, const packet& p) {
+  if (p.kind == kind_push_get) {
+    const auto* msg = payload_cast<item_msg>(p);
+    assert(msg != nullptr);
+    if (registry().source(msg->item) != self) return;
+    auto reply = std::make_shared<item_version_msg>();
+    reply->item = msg->item;
+    reply->version = registry().version(msg->item);
+    send(self, p.src, kind_push_send, std::move(reply), content_bytes(msg->item));
+    return;
+  }
+  if (p.kind == kind_push_send) {
+    const auto* msg = payload_cast<item_version_msg>(p);
+    assert(msg != nullptr);
+    cached_copy* copy = store(self).find(msg->item);
+    if (copy == nullptr || msg->version >= copy->version) {
+      cached_copy fresh;
+      fresh.item = msg->item;
+      fresh.version = msg->version;
+      fresh.version_obtained_at = sim().now();
+      fresh.validated_until = sim().now() + params_.validity;
+      store(self).put(fresh);
+    }
+    serve_waiting(self, msg->item, /*validated=*/true);
+  }
+}
+
+}  // namespace manet

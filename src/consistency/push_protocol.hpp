@@ -1,0 +1,70 @@
+// Simple push baseline (IR-style, after [Bar94]/[Lan03]).
+//
+// Every source host floods an invalidation report for its item (TTL_BR
+// hops) every TTN seconds, whether or not anything changed. A cache node
+// answering a strong-consistency query must hold the answer until the next
+// report confirms (or refreshes) its copy — this is what puts push's query
+// latency at about half the invalidation interval in Fig 8. Stale copies are
+// refreshed with a PUSH_GET / PUSH_SEND exchange with the source.
+#ifndef MANET_CONSISTENCY_PUSH_PROTOCOL_HPP
+#define MANET_CONSISTENCY_PUSH_PROTOCOL_HPP
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "consistency/protocol.hpp"
+#include "sim/timer.hpp"
+
+namespace manet {
+
+struct push_params {
+  sim_duration ttn = minutes(2);       ///< invalidation-report interval
+  int inv_ttl = 8;                     ///< TTL_BR for the report flood
+  sim_duration validity = minutes(4);  ///< Δ window opened by a confirmation
+  double max_wait_factor = 2.5;  ///< SC queries give up after factor * ttn
+};
+
+class push_protocol final : public consistency_protocol {
+ public:
+  push_protocol(protocol_context ctx, push_params params);
+
+  std::string name() const override { return "push"; }
+  void start() override;
+  void on_update(item_id item) override;
+  void on_query(node_id n, item_id item, consistency_level level) override;
+
+  std::uint64_t reports_flooded() const { return reports_; }
+  std::uint64_t unvalidated_answers() const { return unvalidated_answers_; }
+
+ protected:
+  void on_flood(node_id self, const packet& p) override;
+  void on_unicast(node_id self, const packet& p) override;
+
+ private:
+  struct wait_state {
+    std::vector<query_id> waiting;
+    event_handle deadline;
+  };
+
+  static std::uint64_t key(node_id n, item_id d) {
+    return (static_cast<std::uint64_t>(n) << 32) | d;
+  }
+
+  void flood_report(item_id item);
+  void enqueue_wait(node_id n, item_id item, query_id q);
+  void serve_waiting(node_id n, item_id item, bool validated);
+  void on_deadline(node_id n, item_id item);
+  void request_refresh(node_id n, item_id item);
+
+  push_params params_;
+  std::vector<std::unique_ptr<periodic_timer>> report_timers_;  // one per item
+  std::unordered_map<std::uint64_t, wait_state> waits_;
+  std::uint64_t reports_ = 0;
+  std::uint64_t unvalidated_answers_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CONSISTENCY_PUSH_PROTOCOL_HPP

@@ -1,0 +1,261 @@
+// RPCC cache-peer algorithm (paper Fig 6d).
+//
+// Queries: weak consistency answers immediately; delta answers immediately
+// while TTP is live; otherwise the node floods a POLL to find a nearby
+// relay peer (expanding-ring retries). POLL_ACK_A confirms the copy,
+// POLL_ACK_B delivers new content; both renew TTP. The candidacy path
+// (APPLY / APPLY_ACK, promotion via a missed-ACK UPDATE, re-CANCEL on an
+// unexpected UPDATE) follows Fig 6d lines 21-37.
+#include <algorithm>
+#include <cassert>
+
+#include "consistency/rpcc/rpcc_protocol.hpp"
+
+namespace manet {
+
+void rpcc_protocol::cache_on_query(node_id n, item_id item, consistency_level level,
+                                   query_id q) {
+  if (registry().source(item) == n) {
+    answer_from_cache(q, n, item, /*validated=*/true);
+    return;
+  }
+  cached_copy* copy = store(n).find(item);
+  if (copy == nullptr) {
+    // Shouldn't happen with static placement; with dynamic placement the
+    // poll doubles as a fetch (ACK_B brings the content).
+    start_poll(n, item, q);
+    return;
+  }
+  const peer_item_state* st = find_state(n, item);
+
+  switch (level) {
+    case consistency_level::weak:
+      // Fig 6d line (2)-(3): answer immediately.
+      answer_from_cache(q, n, item, /*validated=*/false);
+      return;
+    case consistency_level::delta:
+      // Fig 6d line (5): TTP still live -> answer immediately.
+      if (copy->validated_until > sim().now()) {
+        answer_from_cache(q, n, item, /*validated=*/true);
+        return;
+      }
+      if (st != nullptr && st->role == peer_role::relay &&
+          st->ttr_deadline > sim().now()) {
+        answer_from_cache(q, n, item, /*validated=*/true);
+        return;
+      }
+      start_poll(n, item, q);
+      return;
+    case consistency_level::strong:
+      // A relay peer with live TTR holds data considered up to date.
+      if (st != nullptr && st->role == peer_role::relay &&
+          st->ttr_deadline > sim().now()) {
+        answer_from_cache(q, n, item, /*validated=*/true);
+        return;
+      }
+      start_poll(n, item, q);
+      return;
+  }
+}
+
+void rpcc_protocol::start_poll(node_id n, item_id item, query_id q) {
+  peer_item_state& st = state(n, item);
+  // Failure backoff: a recent fully-failed poll round means no relay or
+  // source is reachable; answer locally instead of repeating the storm.
+  if (!st.polling && sim().now() < st.poll_backoff_until) {
+    if (store(n).find(item) != nullptr) {
+      answer_from_cache(q, n, item, /*validated=*/false);
+      ++unvalidated_answers_;
+    }
+    return;
+  }
+  st.pending_queries.push_back(q);
+  if (st.polling) return;
+  st.polling = true;
+  st.poll_retries = 0;
+  st.poll_ttl = params_.poll_ttl;
+  send_poll(n, item);
+}
+
+void rpcc_protocol::send_poll(node_id n, item_id item) {
+  peer_item_state& st = state(n, item);
+  auto payload = std::make_shared<poll_msg>();
+  payload->item = item;
+  payload->asker = n;
+  const cached_copy* copy = store(n).find(item);
+  payload->asker_version =
+      copy != nullptr ? copy->version : static_cast<version_t>(-1);
+  floods().flood(n, kind_poll, std::move(payload), control_bytes(), st.poll_ttl);
+  ++polls_sent_;
+  st.poll_timer.cancel();
+  st.poll_timer = sim().schedule_in(params_.poll_timeout,
+                                    [this, n, item] { on_poll_timeout(n, item); });
+}
+
+void rpcc_protocol::on_poll_timeout(node_id n, item_id item) {
+  peer_item_state& st = state(n, item);
+  if (!st.polling) return;
+  if (!node_up(n)) {
+    // The device is gone; abandon its outstanding queries.
+    st.polling = false;
+    st.pending_queries.clear();
+    return;
+  }
+  if (st.poll_retries < params_.poll_max_retries) {
+    ++st.poll_retries;
+    // Expanding-ring search for a relay peer farther away.
+    st.poll_ttl = std::min(st.poll_ttl * 2, params_.poll_ttl_max);
+    send_poll(n, item);
+    return;
+  }
+  // No relay reachable: serve from the local copy, unvalidated, and back
+  // off before flooding again.
+  if (params_.poll_failure_backoff > 0) {
+    st.poll_backoff_until = sim().now() + params_.poll_failure_backoff;
+  }
+  st.polling = false;
+  finish_queries(n, item, /*validated=*/false);
+}
+
+void rpcc_protocol::finish_queries(node_id n, item_id item, bool validated) {
+  peer_item_state& st = state(n, item);
+  st.poll_timer.cancel();
+  std::vector<query_id> waiting = std::move(st.pending_queries);
+  st.pending_queries.clear();
+  const cached_copy* copy = store(n).find(item);
+  for (query_id q : waiting) {
+    if (!qlog().outstanding(q)) continue;
+    if (copy != nullptr) {
+      answer_from_cache(q, n, item, validated);
+      if (!validated) ++unvalidated_answers_;
+    }
+    // No copy and no relay answered: unanswered (partition).
+  }
+}
+
+sim_duration rpcc_protocol::current_ttp(node_id n, item_id item) const {
+  const peer_item_state* st = find_state(n, item);
+  if (st == nullptr || st->current_ttp <= 0) return params_.ttp;
+  return st->current_ttp;
+}
+
+void rpcc_protocol::cache_on_poll_ack(node_id self, const packet& p) {
+  const auto* msg = payload_cast<item_version_msg>(p);
+  assert(msg != nullptr);
+  peer_item_state& st = state(self, msg->item);
+  cached_copy* copy = store(self).find(msg->item);
+
+  // Future-work extension #1b: adapt the per-item pull window to what this
+  // poll revealed. ACK_A = nothing changed since last validation: stretch.
+  // ACK_B = content changed: shrink so the next checks come sooner.
+  if (params_.adaptive_ttp) {
+    if (st.current_ttp <= 0) st.current_ttp = params_.ttp;
+    const sim_duration lo = params_.ttp * params_.adaptive_min_factor;
+    const sim_duration hi = params_.ttp * params_.adaptive_max_factor;
+    if (p.kind == kind_poll_ack_a) {
+      st.current_ttp = std::min(hi, st.current_ttp * 1.25);
+    } else {
+      st.current_ttp = std::max(lo, st.current_ttp * 0.7);
+    }
+  }
+  const sim_duration ttp = current_ttp(self, msg->item);
+
+  if (p.kind == kind_poll_ack_b) {
+    // New content from the relay (or a duplicate from a second relay).
+    if (copy == nullptr || msg->version > copy->version) {
+      cached_copy fresh;
+      fresh.item = msg->item;
+      fresh.version = msg->version;
+      fresh.version_obtained_at = sim().now();
+      fresh.validated_until = sim().now() + ttp;
+      store(self).put(fresh);
+    } else if (msg->version == copy->version) {
+      copy->validated_until = sim().now() + ttp;
+    }
+  } else {
+    // POLL_ACK_A: the relay confirmed the version we announced.
+    if (copy != nullptr && copy->version == msg->version) {
+      copy->validated_until = sim().now() + ttp;
+    }
+  }
+
+  st.poll_backoff_until = 0;
+  if (st.polling) {
+    st.polling = false;
+    finish_queries(self, msg->item, /*validated=*/true);
+  }
+}
+
+void rpcc_protocol::maybe_become_candidate(node_id self, item_id item) {
+  // Fig 5: a cache node that hears the INVALIDATION (so it is within TTL
+  // hops of the source) and satisfies Eq. 4.2.8 becomes a candidate and
+  // applies for promotion.
+  if (!coeff_->qualifies(self)) return;
+  set_role(self, item, peer_role::candidate);
+  send_apply(self, item);
+}
+
+void rpcc_protocol::send_apply(node_id self, item_id item) {
+  if (!node_up(self)) return;
+  state(self, item).last_apply_at = sim().now();
+  auto payload = std::make_shared<item_msg>();
+  payload->item = item;
+  send(self, registry().source(item), kind_apply, std::move(payload),
+       control_bytes());
+}
+
+void rpcc_protocol::cache_on_apply_ack(node_id self, item_id item) {
+  peer_item_state& st = state(self, item);
+  if (st.role != peer_role::candidate) return;  // stale ACK after demotion
+  set_role(self, item, peer_role::relay);
+  // Freshness carried over from the INVALIDATION that triggered the APPLY:
+  // if our copy matched the advertised version moments ago, start TTR from
+  // that instant; otherwise fetch the content now.
+  cached_copy* copy = store(self).find(item);
+  if (copy != nullptr && st.last_inv_at >= 0 &&
+      copy->version == st.last_inv_version) {
+    state(self, item).ttr_deadline = st.last_inv_at + params_.ttr;
+  } else {
+    auto payload = std::make_shared<item_msg>();
+    payload->item = item;
+    send(self, registry().source(item), kind_get_new, std::move(payload),
+         control_bytes());
+  }
+}
+
+void rpcc_protocol::cache_on_update(node_id self, item_id item, version_t version) {
+  peer_item_state& st = state(self, item);
+  switch (st.role) {
+    case peer_role::relay:
+      // Fig 6c lines (23)-(25): normal push refresh.
+      apply_fresh_copy(self, item, version);
+      relay_flush_pending_polls(self, item);
+      return;
+    case peer_role::candidate:
+      // Fig 6d lines (27)-(31): the APPLY_ACK was lost but the source
+      // already lists us — accept the promotion.
+      set_role(self, item, peer_role::relay);
+      apply_fresh_copy(self, item, version);
+      return;
+    case peer_role::cache: {
+      // Fig 6d lines (32)-(35): the source missed our CANCEL. Take the free
+      // content but repeat the cancellation.
+      cached_copy* copy = store(self).find(item);
+      if (copy != nullptr && version >= copy->version) {
+        copy->version = version;
+        copy->version_obtained_at = sim().now();
+        copy->validated_until = sim().now() + params_.ttp;
+        copy->invalid = false;
+      }
+      if (node_up(self)) {
+        auto payload = std::make_shared<item_msg>();
+        payload->item = item;
+        send(self, registry().source(item), kind_cancel, std::move(payload),
+             control_bytes());
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace manet

@@ -1,0 +1,74 @@
+#include "consistency/rpcc/coefficients.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace manet {
+
+coefficient_tracker::coefficient_tracker(simulator& sim, network& net,
+                                         coefficient_params params)
+    : sim_(sim), net_(net), params_(params) {
+  assert(params_.window > 0);
+  assert(params_.omega >= 0 && params_.omega <= 1);
+  coeff_.reserve(net_.size());
+  for (std::size_t i = 0; i < net_.size(); ++i) coeff_.emplace_back(params_.omega);
+}
+
+void coefficient_tracker::start() {
+  for (node_id n = 0; n < coeff_.size(); ++n) {
+    coeff_[n].last_switch_count = net_.at(n).switch_count();
+    coeff_[n].last_cell = cell_of(n);
+  }
+  timer_ = std::make_unique<periodic_timer>(sim_, params_.window,
+                                            [this] { roll_window(); });
+  timer_->start();
+}
+
+void coefficient_tracker::count_access(node_id n) {
+  if (n < coeff_.size()) ++coeff_[n].accesses;
+}
+
+bool coefficient_tracker::qualifies(node_id n) const {
+  const node_coeff& c = coeff_.at(n);
+  return c.car < params_.mu_car && c.cs > params_.mu_cs && c.ce > params_.mu_ce;
+}
+
+long coefficient_tracker::cell_of(node_id n) const {
+  const vec2 p = net_.position(n);
+  const long cols =
+      static_cast<long>(std::ceil(net_.land().width() / params_.subnet_cell)) + 1;
+  const long cx = static_cast<long>(p.x / params_.subnet_cell);
+  const long cy = static_cast<long>(p.y / params_.subnet_cell);
+  return cy * cols + cx;
+}
+
+void coefficient_tracker::roll_window() {
+  ++windows_;
+  for (node_id n = 0; n < coeff_.size(); ++n) {
+    node_coeff& c = coeff_[n];
+    const node& host = net_.at(n);
+
+    // N_a: cache accesses this window.
+    const double par_t = c.par.update(static_cast<double>(c.accesses));
+    c.accesses = 0;
+    c.car = 1.0 / (1.0 + par_t);
+
+    // N_s: connect/disconnect switches this window.
+    const std::uint64_t switches = host.switch_count();
+    const double n_s = static_cast<double>(switches - c.last_switch_count);
+    c.last_switch_count = switches;
+    const double psr_t = c.psr.update(n_s);
+
+    // N_m: moved to a different subnet (grid cell) during the window.
+    const long cell = cell_of(n);
+    const double n_m = (c.last_cell >= 0 && cell != c.last_cell) ? 1.0 : 0.0;
+    c.last_cell = cell;
+    const double pmr_t = c.pmr.update(n_m);
+
+    c.cs = 1.0 / (1.0 + psr_t + pmr_t);
+    c.ce = host.energy_fraction();
+  }
+  if (on_window_) on_window_();
+}
+
+}  // namespace manet

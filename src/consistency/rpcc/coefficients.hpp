@@ -1,0 +1,96 @@
+// Relay-peer selection coefficients (paper §4.2).
+//
+// Every window of length φ the tracker recomputes, per node:
+//   PAR_t = PAR_{t-2}·ω/4 + PAR_{t-1}·ω/2 + N_a·(1 − ω/4 − ω/2)   (Eq. 4.2.2)
+//   CAR   = 1 / (1 + PAR_t)                                        (Eq. 4.2.3)
+//   PSR_t = PSR_{t-1}·ω + N_s·(1 − ω)                              (Eq. 4.2.4)
+//   PMR_t = PMR_{t-1}·ω + N_m·(1 − ω)                              (Eq. 4.2.5)
+//   CS    = 1 / (1 + PSR_t + PMR_t)                                (Eq. 4.2.6)
+//   CE    = PER_t / E_MAX                                          (Eq. 4.2.7)
+// where N_a is the number of cache accesses in the window (the paper's
+// N_a/φ with φ normalized to one window), N_s the number of
+// connect/disconnect switches, and N_m whether the node moved to a
+// different subnet (terrain grid cell) during the window.
+//
+// A node qualifies as relay-peer candidate iff
+//   CAR < μ_CAR  ∧  CS > μ_CS  ∧  CE > μ_CE                        (Eq. 4.2.8)
+#ifndef MANET_CONSISTENCY_RPCC_COEFFICIENTS_HPP
+#define MANET_CONSISTENCY_RPCC_COEFFICIENTS_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/timer.hpp"
+#include "util/ewma.hpp"
+
+namespace manet {
+
+struct coefficient_params {
+  sim_duration window = minutes(5);  ///< φ
+  double omega = 0.2;                ///< ω: weight of history vs current
+  double mu_car = 0.15;
+  double mu_cs = 0.6;
+  double mu_ce = 0.6;
+  meters subnet_cell = 250.0;  ///< grid cell size defining "subnets" for N_m
+};
+
+class coefficient_tracker {
+ public:
+  coefficient_tracker(simulator& sim, network& net, coefficient_params params);
+
+  /// Begins the periodic window rollovers.
+  void start();
+
+  /// Records one cache access at node `n` (local query served or a remote
+  /// poll/fetch answered by `n`).
+  void count_access(node_id n);
+
+  /// Eq. 4.2.8 against the values computed at the last rollover.
+  bool qualifies(node_id n) const;
+
+  double car(node_id n) const { return coeff_.at(n).car; }
+  double cs(node_id n) const { return coeff_.at(n).cs; }
+  double ce(node_id n) const { return coeff_.at(n).ce; }
+
+  /// Number of full windows processed so far.
+  std::uint64_t windows() const { return windows_; }
+
+  /// Invoked after every window rollover (the protocol re-checks relay
+  /// qualification here).
+  void set_window_callback(std::function<void()> cb) { on_window_ = std::move(cb); }
+
+  const coefficient_params& params() const { return params_; }
+
+ private:
+  struct node_coeff {
+    explicit node_coeff(double omega) : par(omega), psr(omega), pmr(omega) {}
+    std::uint64_t accesses = 0;  ///< N_a within the current window
+    three_window_average par;
+    ewma psr;
+    ewma pmr;
+    std::uint64_t last_switch_count = 0;
+    long last_cell = -1;
+    // Before the first rollover nothing qualifies: CAR starts at 1.
+    double car = 1.0;
+    double cs = 1.0;
+    double ce = 1.0;
+  };
+
+  long cell_of(node_id n) const;
+  void roll_window();
+
+  simulator& sim_;
+  network& net_;
+  coefficient_params params_;
+  std::vector<node_coeff> coeff_;
+  std::unique_ptr<periodic_timer> timer_;
+  std::function<void()> on_window_;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CONSISTENCY_RPCC_COEFFICIENTS_HPP

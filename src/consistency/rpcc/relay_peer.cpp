@@ -1,0 +1,137 @@
+// RPCC relay-peer algorithm (paper Fig 6c).
+//
+// A relay peer listens to the source's INVALIDATION floods: if its cached
+// copy is current it merely renews TTR; if the version fell behind (it was
+// disconnected when an UPDATE went out) it pulls the content with GET_NEW.
+// POLLs from cache nodes are answered immediately while TTR is live;
+// otherwise they are parked until the next refresh confirms the copy
+// ("wait for the INVALIDATION message", Fig 6c line 16).
+#include <algorithm>
+#include <cassert>
+
+#include "consistency/rpcc/rpcc_protocol.hpp"
+
+namespace manet {
+
+void rpcc_protocol::relay_on_invalidation(node_id self, item_id item,
+                                          version_t version,
+                                          sim_duration interval_hint) {
+  if (registry().source(item) == self) return;
+  cached_copy* copy = store(self).find(item);
+  if (copy == nullptr) return;  // not caching this item: invalidation is noise
+
+  peer_item_state& st = state(self, item);
+  st.last_inv_version = version;
+  st.last_inv_at = sim().now();
+  st.last_inv_interval_hint = interval_hint;
+
+  switch (st.role) {
+    case peer_role::relay: {
+      if (copy->version < version) {
+        // Missed UPDATEs (disconnection, §4.5): resynchronize.
+        auto payload = std::make_shared<item_msg>();
+        payload->item = item;
+        send(self, registry().source(item), kind_get_new, std::move(payload),
+             control_bytes());
+        // Pending polls are flushed when SEND_NEW arrives.
+      } else {
+        // Adaptive-TTN sources advertise their current interval; scale TTR
+        // so the relay stays answerable across a stretched push cadence.
+        sim_duration ttr = params_.ttr;
+        if (st.last_inv_interval_hint > 0) {
+          ttr = std::max(ttr, st.last_inv_interval_hint * (params_.ttr / params_.ttn));
+        }
+        st.ttr_deadline = sim().now() + ttr;
+        relay_flush_pending_polls(self, item);
+      }
+      // Keep the source's relay-table lease alive: an idle relay that never
+      // needs GET_NEW would otherwise silently fall off the table and miss
+      // future UPDATEs.
+      if (sim().now() - st.last_apply_at > params_.relay_lease / 2) {
+        send_apply(self, item);
+      }
+      return;
+    }
+    case peer_role::candidate: {
+      // Fig 6d: a candidate re-applies on every INVALIDATION it hears until
+      // the APPLY_ACK makes it a relay.
+      send_apply(self, item);
+      return;
+    }
+    case peer_role::cache: {
+      maybe_become_candidate(self, item);
+      return;
+    }
+  }
+}
+
+void rpcc_protocol::relay_on_send_new(node_id self, item_id item, version_t version) {
+  peer_item_state& st = state(self, item);
+  if (st.role != peer_role::relay) {
+    // SEND_NEW for a node that demoted while the reply was in flight: treat
+    // as plain content refresh.
+    cache_on_update(self, item, version);
+    return;
+  }
+  apply_fresh_copy(self, item, version);
+  relay_flush_pending_polls(self, item);
+}
+
+void rpcc_protocol::apply_fresh_copy(node_id self, item_id item, version_t version) {
+  cached_copy* copy = store(self).find(item);
+  if (copy == nullptr) {
+    cached_copy fresh;
+    fresh.item = item;
+    fresh.version = version;
+    fresh.version_obtained_at = sim().now();
+    fresh.validated_until = sim().now() + params_.ttp;
+    store(self).put(fresh);
+  } else if (version >= copy->version) {
+    copy->version = version;
+    copy->version_obtained_at = sim().now();
+    copy->validated_until = sim().now() + params_.ttp;
+    copy->invalid = false;
+  }
+  state(self, item).ttr_deadline = sim().now() + params_.ttr;
+}
+
+void rpcc_protocol::relay_answer_poll(node_id self, item_id item, node_id asker,
+                                      version_t asker_version) {
+  if (asker == self) return;
+  const peer_item_state* st = find_state(self, item);
+  if (st == nullptr || st->role != peer_role::relay) return;
+  const cached_copy* copy = store(self).find(item);
+  if (copy == nullptr) return;
+  coeff_->count_access(self);
+
+  if (st->ttr_deadline > sim().now()) {
+    auto reply = std::make_shared<item_version_msg>();
+    reply->item = item;
+    reply->version = copy->version;
+    if (asker_version == copy->version) {
+      send(self, asker, kind_poll_ack_a, std::move(reply), control_bytes());
+    } else {
+      send(self, asker, kind_poll_ack_b, std::move(reply), content_bytes(item));
+    }
+    return;
+  }
+  // TTR expired: park the poll until the next INVALIDATION/SEND_NEW
+  // confirms our copy (Fig 6c line 16). The asker's own retry machinery
+  // covers the case where no refresh ever comes.
+  peer_item_state& mut = state(self, item);
+  mut.pending_polls.push_back(
+      pending_poll{asker, asker_version, sim().now() + params_.pending_poll_max_wait});
+}
+
+void rpcc_protocol::relay_flush_pending_polls(node_id self, item_id item) {
+  peer_item_state& st = state(self, item);
+  if (st.pending_polls.empty()) return;
+  std::vector<pending_poll> polls = std::move(st.pending_polls);
+  st.pending_polls.clear();
+  for (const pending_poll& p : polls) {
+    if (p.expires < sim().now()) continue;
+    relay_answer_poll(self, item, p.asker, p.asker_version);
+  }
+}
+
+}  // namespace manet

@@ -1,0 +1,212 @@
+// RPCC shared glue: construction, event dispatch, role transitions,
+// relay-population accounting and the per-window demotion check.
+#include "consistency/rpcc/rpcc_protocol.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace manet {
+
+rpcc_protocol::rpcc_protocol(protocol_context ctx, rpcc_params params)
+    : consistency_protocol(ctx), params_(params) {
+  assert(params_.ttn > 0 && params_.ttr > 0 && params_.ttp > 0);
+  assert(params_.invalidation_ttl >= 1);
+  coeff_ = std::make_unique<coefficient_tracker>(sim(), net(), params_.coeff);
+  coeff_->set_window_callback([this] { window_check(); });
+  peer_state_.resize(net().size());
+  source_state_.resize(registry().size());
+}
+
+void rpcc_protocol::start() {
+  attach_handlers();
+  coeff_->start();
+  for (item_id d = 0; d < registry().size(); ++d) source_start(d);
+  relay_last_change_ = sim().now();
+}
+
+void rpcc_protocol::on_update(item_id item) {
+  source_item_state& st = source_state_.at(item);
+  st.dirty = true;
+  ++st.updates_this_interval;
+  if (params_.immediate_update_push) push_update_to_relays(item);
+}
+
+void rpcc_protocol::on_query(node_id n, item_id item, consistency_level level) {
+  const query_id q = qlog().issue(n, item, level);
+  coeff_->count_access(n);
+  cache_on_query(n, item, level, q);
+}
+
+rpcc_protocol::peer_item_state& rpcc_protocol::state(node_id n, item_id item) {
+  return peer_state_.at(n)[item];
+}
+
+const rpcc_protocol::peer_item_state* rpcc_protocol::find_state(node_id n,
+                                                                item_id item) const {
+  const auto& m = peer_state_.at(n);
+  auto it = m.find(item);
+  return it == m.end() ? nullptr : &it->second;
+}
+
+rpcc_protocol::peer_role rpcc_protocol::role_of(node_id n, item_id item) const {
+  const peer_item_state* st = find_state(n, item);
+  return st == nullptr ? peer_role::cache : st->role;
+}
+
+std::size_t rpcc_protocol::registered_relays(item_id item) const {
+  return source_state_.at(item).relays.size();
+}
+
+void rpcc_protocol::integrate_relay_count() {
+  relay_integral_ +=
+      static_cast<double>(relay_count_) * (sim().now() - relay_last_change_);
+  relay_last_change_ = sim().now();
+}
+
+void rpcc_protocol::set_role(node_id n, item_id item, peer_role r) {
+  peer_item_state& st = state(n, item);
+  if (st.role == r) return;
+  integrate_relay_count();
+  if (st.role == peer_role::relay) {
+    assert(relay_count_ > 0);
+    --relay_count_;
+    ++demotions_;
+  }
+  if (r == peer_role::relay) {
+    ++relay_count_;
+    ++promotions_;
+  }
+  st.role = r;
+  if (r != peer_role::relay) {
+    st.ttr_deadline = 0;
+    st.pending_polls.clear();
+  }
+}
+
+double rpcc_protocol::avg_relay_peers() const {
+  const sim_time t = now();
+  const double integral =
+      relay_integral_ +
+      static_cast<double>(relay_count_) * (t - relay_last_change_);
+  return t > stats_start_ ? integral / (t - stats_start_) : 0.0;
+}
+
+void rpcc_protocol::reset_stats() {
+  relay_integral_ = 0;
+  relay_last_change_ = now();
+  stats_start_ = now();
+  promotions_ = 0;
+  demotions_ = 0;
+  polls_sent_ = 0;
+  unvalidated_answers_ = 0;
+}
+
+void rpcc_protocol::window_check() {
+  // Paper Fig 5: a candidate or relay that no longer satisfies Eq. 4.2.8
+  // falls back to a plain cache node; relays tell the source with CANCEL.
+  for (node_id n = 0; n < peer_state_.size(); ++n) {
+    if (coeff_->qualifies(n)) continue;
+    for (auto& [item, st] : peer_state_[n]) {
+      if (st.role == peer_role::relay) {
+        if (node_up(n)) {
+          auto payload = std::make_shared<item_msg>();
+          payload->item = item;
+          send(n, registry().source(item), kind_cancel, std::move(payload),
+               control_bytes());
+        }
+        set_role(n, item, peer_role::cache);
+      } else if (st.role == peer_role::candidate) {
+        set_role(n, item, peer_role::cache);
+      }
+    }
+  }
+}
+
+void rpcc_protocol::on_flood(node_id self, const packet& p) {
+  if (!node_up(self)) return;
+  switch (p.kind) {
+    case kind_invalidation: {
+      const auto* msg = payload_cast<item_version_msg>(p);
+      assert(msg != nullptr);
+      relay_on_invalidation(self, msg->item, msg->version, msg->interval_hint);
+      return;
+    }
+    case kind_poll: {
+      const auto* msg = payload_cast<poll_msg>(p);
+      assert(msg != nullptr);
+      if (registry().source(msg->item) == self) {
+        source_answer_poll(self, msg->item, msg->asker, msg->asker_version);
+      } else {
+        relay_answer_poll(self, msg->item, msg->asker, msg->asker_version);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void rpcc_protocol::on_unicast(node_id self, const packet& p) {
+  if (!node_up(self)) return;
+  switch (p.kind) {
+    case kind_apply: {
+      const auto* msg = payload_cast<item_msg>(p);
+      assert(msg != nullptr);
+      source_on_apply(self, msg->item, p.src);
+      return;
+    }
+    case kind_apply_ack: {
+      const auto* msg = payload_cast<item_msg>(p);
+      assert(msg != nullptr);
+      cache_on_apply_ack(self, msg->item);
+      return;
+    }
+    case kind_cancel: {
+      const auto* msg = payload_cast<item_msg>(p);
+      assert(msg != nullptr);
+      source_on_cancel(msg->item, p.src);
+      return;
+    }
+    case kind_get_new: {
+      const auto* msg = payload_cast<item_msg>(p);
+      assert(msg != nullptr);
+      source_on_get_new(self, msg->item, p.src);
+      return;
+    }
+    case kind_send_new: {
+      const auto* msg = payload_cast<item_version_msg>(p);
+      assert(msg != nullptr);
+      relay_on_send_new(self, msg->item, msg->version);
+      return;
+    }
+    case kind_update: {
+      const auto* msg = payload_cast<item_version_msg>(p);
+      assert(msg != nullptr);
+      cache_on_update(self, msg->item, msg->version);
+      return;
+    }
+    case kind_poll_ack_a:
+    case kind_poll_ack_b:
+      cache_on_poll_ack(self, p);
+      return;
+    default:
+      return;
+  }
+}
+
+std::string rpcc_protocol::extra_report() const {
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "rpcc: avg_relays=%.2f now=%zu promotions=%llu demotions=%llu "
+                "polls=%llu unvalidated=%llu windows=%llu mean_ttn=%.0fs",
+                avg_relay_peers(), relay_count_,
+                static_cast<unsigned long long>(promotions_),
+                static_cast<unsigned long long>(demotions_),
+                static_cast<unsigned long long>(polls_sent_),
+                static_cast<unsigned long long>(unvalidated_answers_),
+                static_cast<unsigned long long>(coeff_->windows()),
+                mean_current_ttn());
+  return buf;
+}
+
+}  // namespace manet

@@ -1,0 +1,189 @@
+// RPCC — Relay Peer-based Cache Consistency (the paper's contribution, §4).
+//
+// Roles per (node, item): plain cache node, relay-peer candidate, relay
+// peer (Fig 5). The source host pushes to relay peers (INVALIDATION floods
+// every TTN, UPDATE unicasts for changed content); cache nodes pull from
+// nearby relay peers (POLL / POLL_ACK_A / POLL_ACK_B) only when the query's
+// consistency level requires it. The implementation is split by role:
+//   source_host.cpp — Fig 6(b)
+//   relay_peer.cpp  — Fig 6(c)
+//   cache_node.cpp  — Fig 6(d)
+//   rpcc_protocol.cpp — shared glue, role transitions, relay accounting
+#ifndef MANET_CONSISTENCY_RPCC_RPCC_PROTOCOL_HPP
+#define MANET_CONSISTENCY_RPCC_RPCC_PROTOCOL_HPP
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "consistency/protocol.hpp"
+#include "consistency/rpcc/coefficients.hpp"
+#include "sim/timer.hpp"
+
+namespace manet {
+
+struct rpcc_params {
+  sim_duration ttn = minutes(2);       ///< TTN_OP: invalidation interval
+  sim_duration ttr = seconds(90);      ///< TTR_RP: relay-copy freshness window
+  sim_duration ttp = minutes(4);       ///< TTP_CP: cache validity window (= Δ)
+  int invalidation_ttl = 3;            ///< TTL of INVALIDATION floods
+  int poll_ttl = 2;                    ///< initial POLL flood hop budget
+  int poll_ttl_max = 8;                ///< expanding-ring cap for POLL retries
+  sim_duration poll_timeout = 0.5;     ///< wait for POLL_ACK before retrying
+  int poll_max_retries = 3;
+  sim_duration relay_lease = minutes(6);  ///< source drops silent relay entries
+  sim_duration pending_poll_max_wait = 5.0;  ///< relay-held polls expire (askers
+                                             ///< retry after poll_timeout anyway)
+  /// After a completely failed poll round (partition), skip re-polling this
+  /// item for this long and answer locally; 0 disables the backoff.
+  sim_duration poll_failure_backoff = 30.0;
+  bool immediate_update_push = false;  ///< ablation: push UPDATE on modification
+                                       ///< instead of batching at the TTN tick
+  /// Future-work extension #1 (paper §6): the source adapts its
+  /// invalidation interval to the observed update rate, within
+  /// [ttn * adaptive_min_factor, ttn * adaptive_max_factor]. Invalidation
+  /// messages then carry the current interval so relays scale TTR with it.
+  bool adaptive_ttn = false;
+  double adaptive_min_factor = 0.25;
+  double adaptive_max_factor = 4.0;
+  /// Future-work extension #1b (paper §6): adaptive pull frequency — each
+  /// cache node adapts its TTP window per item to what polls reveal: an
+  /// unchanged confirmation (POLL_ACK_A) stretches the window, new content
+  /// (POLL_ACK_B) shrinks it, within [ttp * adaptive_min_factor,
+  /// ttp * adaptive_max_factor].
+  bool adaptive_ttp = false;
+  /// Future-work extension #2 (paper §6): cap on the relay-peer table per
+  /// item; the source ignores APPLY messages beyond it. 0 = unlimited.
+  std::size_t max_relays_per_item = 0;
+  coefficient_params coeff;
+};
+
+class rpcc_protocol final : public consistency_protocol {
+ public:
+  enum class peer_role { cache, candidate, relay };
+
+  rpcc_protocol(protocol_context ctx, rpcc_params params);
+
+  std::string name() const override { return "rpcc"; }
+  void start() override;
+  void on_update(item_id item) override;
+  void on_query(node_id n, item_id item, consistency_level level) override;
+  double avg_relay_peers() const override;
+  void reset_stats() override;
+  std::string extra_report() const override;
+
+  // Introspection for tests and benchmarks.
+  peer_role role_of(node_id n, item_id item) const;
+  std::size_t current_relay_count() const { return relay_count_; }
+  std::size_t registered_relays(item_id item) const;
+  coefficient_tracker& coefficients() { return *coeff_; }
+  const rpcc_params& params() const { return params_; }
+  std::uint64_t promotions() const { return promotions_; }
+  std::uint64_t demotions() const { return demotions_; }
+  std::uint64_t polls_sent() const { return polls_sent_; }
+  std::uint64_t unvalidated_answers() const { return unvalidated_answers_; }
+  /// Live invalidation interval of an item's source (== ttn unless adaptive).
+  sim_duration current_ttn(item_id item) const;
+  /// Live TTP window at a cache node (== ttp unless adaptive_ttp).
+  sim_duration current_ttp(node_id n, item_id item) const;
+  /// Mean live invalidation interval across items (diagnostics).
+  double mean_current_ttn() const;
+
+ protected:
+  void on_flood(node_id self, const packet& p) override;
+  void on_unicast(node_id self, const packet& p) override;
+
+ private:
+  struct pending_poll {
+    node_id asker = invalid_node;
+    version_t asker_version = 0;
+    sim_time expires = 0;
+  };
+
+  /// Per (node, item) protocol state for every non-source participant.
+  struct peer_item_state {
+    peer_role role = peer_role::cache;
+    // Relay side.
+    sim_time ttr_deadline = 0;  ///< relay copy considered fresh until then
+    std::vector<pending_poll> pending_polls;  ///< polls awaiting a refresh
+    // Candidate bookkeeping: last INVALIDATION observed.
+    version_t last_inv_version = 0;
+    sim_time last_inv_at = -1;
+    sim_duration last_inv_interval_hint = 0;  ///< adaptive-TTN cadence hint
+    sim_time last_apply_at = -1e18;  ///< lease keep-alive bookkeeping
+    // Cache side: outstanding consistency check.
+    std::vector<query_id> pending_queries;
+    bool polling = false;
+    int poll_retries = 0;
+    int poll_ttl = 0;
+    sim_time poll_backoff_until = 0;
+    sim_duration current_ttp = 0;  ///< adaptive-TTP window (0 = use params)
+    event_handle poll_timer;
+  };
+
+  struct source_item_state {
+    bool dirty = false;  ///< updated since the last TTN tick
+    int updates_this_interval = 0;  ///< adaptive-TTN input
+    sim_duration current_ttn = 0;   ///< live interval (adaptive mode)
+    std::unordered_map<node_id, sim_time> relays;  ///< relay -> lease expiry
+    std::unique_ptr<periodic_timer> ttn_timer;
+  };
+
+  // --- source host side (source_host.cpp, Fig 6b) ---
+  void source_start(item_id item);
+  void source_tick(item_id item);
+  void push_update_to_relays(item_id item);
+  void source_on_apply(node_id self, item_id item, node_id candidate);
+  void source_on_get_new(node_id self, item_id item, node_id relay);
+  void source_on_cancel(item_id item, node_id relay);
+  void source_answer_poll(node_id self, item_id item, node_id asker,
+                          version_t asker_version);
+  void prune_relay_leases(item_id item);
+
+  // --- relay peer side (relay_peer.cpp, Fig 6c) ---
+  void relay_on_invalidation(node_id self, item_id item, version_t version,
+                             sim_duration interval_hint);
+  void relay_on_send_new(node_id self, item_id item, version_t version);
+  void relay_answer_poll(node_id self, item_id item, node_id asker,
+                         version_t asker_version);
+  void relay_flush_pending_polls(node_id self, item_id item);
+  void apply_fresh_copy(node_id self, item_id item, version_t version);
+
+  // --- cache node side (cache_node.cpp, Fig 6d) ---
+  void cache_on_query(node_id n, item_id item, consistency_level level, query_id q);
+  void start_poll(node_id n, item_id item, query_id q);
+  void send_poll(node_id n, item_id item);
+  void on_poll_timeout(node_id n, item_id item);
+  void cache_on_poll_ack(node_id self, const packet& p);
+  void cache_on_apply_ack(node_id self, item_id item);
+  void cache_on_update(node_id self, item_id item, version_t version);
+  void maybe_become_candidate(node_id self, item_id item);
+  void finish_queries(node_id n, item_id item, bool validated);
+  void send_apply(node_id self, item_id item);
+
+  // --- shared glue (rpcc_protocol.cpp) ---
+  void set_role(node_id n, item_id item, peer_role r);
+  void window_check();
+  peer_item_state& state(node_id n, item_id item);
+  const peer_item_state* find_state(node_id n, item_id item) const;
+  void integrate_relay_count();
+
+  rpcc_params params_;
+  std::unique_ptr<coefficient_tracker> coeff_;
+  std::vector<std::unordered_map<item_id, peer_item_state>> peer_state_;
+  std::vector<source_item_state> source_state_;
+
+  std::size_t relay_count_ = 0;
+  double relay_integral_ = 0;
+  sim_time relay_last_change_ = 0;
+  sim_time stats_start_ = 0;
+
+  std::uint64_t promotions_ = 0;
+  std::uint64_t demotions_ = 0;
+  std::uint64_t polls_sent_ = 0;
+  std::uint64_t unvalidated_answers_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_CONSISTENCY_RPCC_RPCC_PROTOCOL_HPP

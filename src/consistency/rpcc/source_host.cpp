@@ -1,0 +1,144 @@
+// RPCC source-host algorithm (paper Fig 6b).
+//
+// At every TTN tick the source pushes UPDATE messages (with content) to its
+// registered relay peers if the item changed during the interval, then
+// floods an INVALIDATION scoped by the invalidation TTL. APPLY/CANCEL
+// maintain the relay-peer table; GET_NEW/SEND_NEW resynchronize relays that
+// missed updates (e.g. after a disconnection). The source also answers POLL
+// floods that reach it directly — it is trivially the freshest "relay",
+// which is what makes small-TTL RPCC degrade gracefully toward simple pull
+// (Fig 9).
+#include <algorithm>
+#include <cassert>
+
+#include "consistency/rpcc/rpcc_protocol.hpp"
+
+namespace manet {
+
+void rpcc_protocol::source_start(item_id item) {
+  source_item_state& st = source_state_.at(item);
+  st.current_ttn = params_.ttn;
+  st.ttn_timer = std::make_unique<periodic_timer>(sim(), params_.ttn,
+                                                  [this, item] { source_tick(item); });
+  // Stagger invalidation phases across sources so TTN ticks do not collide.
+  rng phase_rng = sim().make_rng("rpcc.ttn_phase", item);
+  st.ttn_timer->start(phase_rng.uniform(0, params_.ttn));
+}
+
+void rpcc_protocol::source_tick(item_id item) {
+  const node_id src = registry().source(item);
+  if (!node_up(src)) return;  // missed interval; next tick resumes
+  source_item_state& st = source_state_.at(item);
+  prune_relay_leases(item);
+
+  // Fig 6b lines (1)-(5): push the new content to relay peers first.
+  if (st.dirty) {
+    push_update_to_relays(item);
+    st.dirty = false;
+  }
+
+  // Fig 6b line (6): broadcast INVALIDATION.
+  auto payload = std::make_shared<item_version_msg>();
+  payload->item = item;
+  payload->version = registry().version(item);
+  if (params_.adaptive_ttn) payload->interval_hint = st.current_ttn;
+  floods().flood(src, kind_invalidation, std::move(payload), control_bytes(),
+                 params_.invalidation_ttl);
+
+  // Future-work extension #1: adapt the push frequency to the update rate.
+  // A quiet interval stretches the next one; a busy interval shrinks it.
+  if (params_.adaptive_ttn) {
+    const sim_duration lo = params_.ttn * params_.adaptive_min_factor;
+    const sim_duration hi = params_.ttn * params_.adaptive_max_factor;
+    if (st.updates_this_interval == 0) {
+      st.current_ttn = std::min(hi, st.current_ttn * 1.25);
+    } else if (st.updates_this_interval >= 2) {
+      st.current_ttn = std::max(lo, st.current_ttn * 0.7);
+    }
+    st.ttn_timer->set_interval(st.current_ttn);
+  }
+  st.updates_this_interval = 0;
+}
+
+sim_duration rpcc_protocol::current_ttn(item_id item) const {
+  return source_state_.at(item).current_ttn;
+}
+
+double rpcc_protocol::mean_current_ttn() const {
+  if (source_state_.empty()) return 0;
+  double sum = 0;
+  for (const auto& st : source_state_) sum += st.current_ttn;
+  return sum / static_cast<double>(source_state_.size());
+}
+
+void rpcc_protocol::push_update_to_relays(item_id item) {
+  const node_id src = registry().source(item);
+  if (!node_up(src)) return;
+  source_item_state& st = source_state_.at(item);
+  for (const auto& [relay, lease] : st.relays) {
+    (void)lease;
+    auto payload = std::make_shared<item_version_msg>();
+    payload->item = item;
+    payload->version = registry().version(item);
+    send(src, relay, kind_update, std::move(payload), content_bytes(item));
+  }
+}
+
+void rpcc_protocol::source_on_apply(node_id self, item_id item, node_id candidate) {
+  if (registry().source(item) != self) return;
+  source_item_state& st = source_state_.at(item);
+  // Future-work extension #2: bounded relay table. Unknown applicants are
+  // ignored when the table is full; existing relays may always refresh.
+  if (params_.max_relays_per_item > 0 && !st.relays.count(candidate)) {
+    prune_relay_leases(item);
+    if (st.relays.size() >= params_.max_relays_per_item) return;
+  }
+  st.relays[candidate] = sim().now() + params_.relay_lease;
+  auto payload = std::make_shared<item_msg>();
+  payload->item = item;
+  send(self, candidate, kind_apply_ack, std::move(payload), control_bytes());
+}
+
+void rpcc_protocol::source_on_get_new(node_id self, item_id item, node_id relay) {
+  if (registry().source(item) != self) return;
+  source_item_state& st = source_state_.at(item);
+  // A GET_NEW proves the relay is alive and still serving the item; a relay
+  // whose table entry lapsed during a disconnection is re-admitted (§4.5).
+  st.relays[relay] = sim().now() + params_.relay_lease;
+  auto payload = std::make_shared<item_version_msg>();
+  payload->item = item;
+  payload->version = registry().version(item);
+  send(self, relay, kind_send_new, std::move(payload), content_bytes(item));
+}
+
+void rpcc_protocol::source_on_cancel(item_id item, node_id relay) {
+  source_state_.at(item).relays.erase(relay);
+}
+
+void rpcc_protocol::source_answer_poll(node_id self, item_id item, node_id asker,
+                                       version_t asker_version) {
+  if (asker == self || !node_up(self)) return;
+  coeff_->count_access(self);
+  const version_t current = registry().version(item);
+  auto reply = std::make_shared<item_version_msg>();
+  reply->item = item;
+  reply->version = current;
+  if (asker_version == current) {
+    send(self, asker, kind_poll_ack_a, std::move(reply), control_bytes());
+  } else {
+    send(self, asker, kind_poll_ack_b, std::move(reply), content_bytes(item));
+  }
+}
+
+void rpcc_protocol::prune_relay_leases(item_id item) {
+  auto& relays = source_state_.at(item).relays;
+  for (auto it = relays.begin(); it != relays.end();) {
+    if (it->second < sim().now()) {
+      it = relays.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace manet

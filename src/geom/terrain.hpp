@@ -1,0 +1,51 @@
+// The rectangular flatland the hosts roam (paper: 1500 m x 1500 m).
+#ifndef MANET_GEOM_TERRAIN_HPP
+#define MANET_GEOM_TERRAIN_HPP
+
+#include <algorithm>
+#include <cassert>
+
+#include "geom/vec2.hpp"
+
+namespace manet {
+
+class terrain {
+ public:
+  terrain(meters width, meters height) : width_(width), height_(height) {
+    assert(width > 0 && height > 0);
+  }
+
+  meters width() const { return width_; }
+  meters height() const { return height_; }
+
+  bool contains(vec2 p) const {
+    return p.x >= 0 && p.x <= width_ && p.y >= 0 && p.y <= height_;
+  }
+
+  vec2 clamp(vec2 p) const {
+    return {std::clamp(p.x, 0.0, width_), std::clamp(p.y, 0.0, height_)};
+  }
+
+  /// Reflects a point that stepped outside back into the rectangle (used by
+  /// the random-walk model at the boundary).
+  vec2 reflect(vec2 p) const {
+    auto fold = [](double v, double hi) {
+      // Reflect repeatedly until inside [0, hi]; at most a couple of
+      // iterations for realistic step sizes.
+      while (v < 0 || v > hi) {
+        if (v < 0) v = -v;
+        if (v > hi) v = 2 * hi - v;
+      }
+      return v;
+    };
+    return {fold(p.x, width_), fold(p.y, height_)};
+  }
+
+ private:
+  meters width_;
+  meters height_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_GEOM_TERRAIN_HPP

@@ -1,0 +1,33 @@
+// 2-D points and vectors on the flat simulation terrain.
+#ifndef MANET_GEOM_VEC2_HPP
+#define MANET_GEOM_VEC2_HPP
+
+#include <cmath>
+
+#include "util/units.hpp"
+
+namespace manet {
+
+struct vec2 {
+  meters x = 0;
+  meters y = 0;
+
+  friend vec2 operator+(vec2 a, vec2 b) { return {a.x + b.x, a.y + b.y}; }
+  friend vec2 operator-(vec2 a, vec2 b) { return {a.x - b.x, a.y - b.y}; }
+  friend vec2 operator*(vec2 a, double k) { return {a.x * k, a.y * k}; }
+  friend vec2 operator*(double k, vec2 a) { return a * k; }
+  friend bool operator==(vec2 a, vec2 b) { return a.x == b.x && a.y == b.y; }
+
+  double norm2() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+inline double distance(vec2 a, vec2 b) { return (a - b).norm(); }
+inline double distance2(vec2 a, vec2 b) { return (a - b).norm2(); }
+
+/// Linear interpolation: a at t=0, b at t=1.
+inline vec2 lerp(vec2 a, vec2 b, double t) { return a + (b - a) * t; }
+
+}  // namespace manet
+
+#endif  // MANET_GEOM_VEC2_HPP

@@ -1,0 +1,79 @@
+// Run-level result aggregation and fixed-width table rendering for the
+// benchmark harness (the figure benches print paper-style series).
+#ifndef MANET_METRICS_COLLECTOR_HPP
+#define MANET_METRICS_COLLECTOR_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.hpp"
+
+namespace manet {
+
+/// Summary of one simulation run; filled by scenario::run().
+struct run_result {
+  std::string protocol;
+  sim_duration sim_time = 0;
+
+  // Traffic (the paper's Fig 7/9a metric): one-hop frame transmissions.
+  std::uint64_t total_messages = 0;    ///< all frames incl. routing control
+  std::uint64_t app_messages = 0;      ///< consistency-protocol frames only
+  std::uint64_t routing_messages = 0;  ///< RREQ/RREP/RERR frames
+  std::uint64_t total_bytes = 0;
+
+  // Queries (Fig 8 metric).
+  std::uint64_t queries_issued = 0;
+  std::uint64_t queries_answered = 0;
+  double avg_query_latency_s = 0;
+  double p95_query_latency_s = 0;
+
+  // Consistency audit.
+  std::uint64_t stale_answers = 0;
+  std::uint64_t delta_violations = 0;
+  double avg_stale_age_s = 0;
+
+  // Workload.
+  std::uint64_t updates = 0;
+
+  // Energy drained from batteries over the run (sum across nodes), and the
+  // worst single node. The paper motivates energy saving but reports only
+  // message counts; joules make the pull-vs-push asymmetry concrete.
+  double energy_spent_j = 0;
+  double max_node_energy_spent_j = 0;
+
+  // RPCC-specific (0 for baselines).
+  double avg_relay_peers = 0;  ///< mean concurrent relay peers (all items)
+
+  /// Messages per second of simulated time.
+  double messages_per_second() const {
+    return sim_time > 0 ? static_cast<double>(total_messages) / sim_time : 0;
+  }
+  double stale_answer_rate() const {
+    return queries_answered ? static_cast<double>(stale_answers) /
+                                  static_cast<double>(queries_answered)
+                            : 0;
+  }
+};
+
+/// Minimal fixed-width table printer used by benches and examples.
+class table_printer {
+ public:
+  explicit table_printer(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with every column padded to its widest cell.
+  std::string render() const;
+
+  static std::string fmt(double v, int precision = 3);
+  static std::string fmt(std::uint64_t v);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_METRICS_COLLECTOR_HPP

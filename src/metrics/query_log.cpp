@@ -1,0 +1,119 @@
+#include "metrics/query_log.hpp"
+
+#include <cassert>
+#include <cstdio>
+
+namespace manet {
+
+namespace {
+std::size_t level_index(consistency_level l) { return static_cast<std::size_t>(l); }
+}  // namespace
+
+query_log::query_log(simulator& sim, const item_registry& registry, sim_duration delta)
+    : sim_(sim),
+      registry_(registry),
+      delta_(delta),
+      // 100 µs (sub-hop) .. 1000 s (several invalidation intervals).
+      latency_hist_(1e-4, 1e3, 48) {}
+
+query_id query_log::issue(node_id n, item_id item, consistency_level level) {
+  const query_id q = next_id_++;
+  pending_[q] = pending_query{n, item, level, sim_.now()};
+  ++issued_;
+  ++by_level_[level_index(level)].issued;
+  return q;
+}
+
+void query_log::answer(query_id q, version_t version, bool validated) {
+  auto it = pending_.find(q);
+  assert(it != pending_.end() && "answering unknown or already-answered query");
+  const pending_query rec = it->second;
+  pending_.erase(it);
+
+  level_stats& ls = by_level_[level_index(rec.level)];
+  ++answered_;
+  ++ls.answered;
+  if (validated) ++ls.validated;
+
+  const sim_duration latency = sim_.now() - rec.issued_at;
+  ls.latency.add(latency);
+  latency_hist_.add(latency > 1e-9 ? latency : 1e-9);
+
+  const version_t current = registry_.version(rec.item);
+  assert(version <= current && "served version newer than master copy");
+  if (version < current) {
+    ++ls.stale_answers;
+    const sim_duration age = sim_.now() - registry_.stale_since(rec.item, version);
+    ls.stale_age.add(age);
+    if (rec.level == consistency_level::delta && age > delta_) {
+      ++ls.delta_violations;
+    }
+  }
+}
+
+void query_log::reset_stats() {
+  for (auto& ls : by_level_) ls = level_stats{};
+  latency_hist_.reset();
+  answered_ = 0;
+  issued_ = pending_.size();
+  for (const auto& [q, rec] : pending_) {
+    (void)q;
+    ++by_level_[level_index(rec.level)].issued;
+  }
+}
+
+const level_stats& query_log::stats(consistency_level l) const {
+  return by_level_[level_index(l)];
+}
+
+level_stats query_log::totals() const {
+  level_stats out;
+  for (const auto& ls : by_level_) {
+    out.issued += ls.issued;
+    out.answered += ls.answered;
+    out.validated += ls.validated;
+    out.stale_answers += ls.stale_answers;
+    out.delta_violations += ls.delta_violations;
+    out.latency.merge(ls.latency);
+    out.stale_age.merge(ls.stale_age);
+  }
+  return out;
+}
+
+std::string query_log::report() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-6s %9s %9s %9s %9s %9s %12s %12s\n", "level",
+                "issued", "answered", "valid", "stale", "dviol", "lat_mean_s",
+                "stale_age_s");
+  out += line;
+  const consistency_level levels[] = {consistency_level::strong,
+                                      consistency_level::delta,
+                                      consistency_level::weak};
+  for (auto l : levels) {
+    const level_stats& ls = stats(l);
+    if (ls.issued == 0) continue;
+    std::snprintf(line, sizeof line,
+                  "%-6s %9llu %9llu %9llu %9llu %9llu %12.4f %12.2f\n",
+                  consistency_level_name(l),
+                  static_cast<unsigned long long>(ls.issued),
+                  static_cast<unsigned long long>(ls.answered),
+                  static_cast<unsigned long long>(ls.validated),
+                  static_cast<unsigned long long>(ls.stale_answers),
+                  static_cast<unsigned long long>(ls.delta_violations),
+                  ls.latency.mean(), ls.stale_age.mean());
+    out += line;
+  }
+  const level_stats t = totals();
+  std::snprintf(line, sizeof line, "%-6s %9llu %9llu %9llu %9llu %9llu %12.4f %12.2f\n",
+                "ALL", static_cast<unsigned long long>(t.issued),
+                static_cast<unsigned long long>(t.answered),
+                static_cast<unsigned long long>(t.validated),
+                static_cast<unsigned long long>(t.stale_answers),
+                static_cast<unsigned long long>(t.delta_violations),
+                t.latency.mean(), t.stale_age.mean());
+  out += line;
+  return out;
+}
+
+}  // namespace manet

@@ -1,0 +1,92 @@
+// Per-query bookkeeping and consistency auditing.
+//
+// Every generated query is issued here; the protocol answers it with the
+// version it served and whether it considered the answer validated. The log
+// computes latency and audits the answer against the ground-truth registry:
+// whether the served version was current, how stale it was (the Δ bound of
+// Eq. 3.2.2 is checked against the query's level), and whether weak
+// consistency's "some previous correct value" held (it always does for
+// versions obtained from the source chain).
+#ifndef MANET_METRICS_QUERY_LOG_HPP
+#define MANET_METRICS_QUERY_LOG_HPP
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "cache/data_item.hpp"
+#include "consistency/level.hpp"
+#include "sim/simulator.hpp"
+#include "util/histogram.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+using query_id = std::uint64_t;
+constexpr query_id invalid_query = 0;
+
+struct level_stats {
+  std::uint64_t issued = 0;
+  std::uint64_t answered = 0;
+  std::uint64_t validated = 0;      ///< protocol believed the answer fresh
+  std::uint64_t stale_answers = 0;  ///< served version != master version
+  std::uint64_t delta_violations = 0;  ///< staleness age exceeded Δ (delta-level queries)
+  running_stats latency;
+  running_stats stale_age;  ///< seconds the served version had been superseded
+};
+
+class query_log {
+ public:
+  /// `delta` is the Δ bound used to audit delta-level queries.
+  query_log(simulator& sim, const item_registry& registry, sim_duration delta);
+
+  query_id issue(node_id n, item_id item, consistency_level level);
+
+  /// Records the answer for `q`. `version` is the served copy's version;
+  /// `validated` is the protocol's own claim of freshness (for the
+  /// validated/unvalidated split in reports — the audit never trusts it).
+  void answer(query_id q, version_t version, bool validated);
+
+  /// True if the query exists and is still unanswered.
+  bool outstanding(query_id q) const { return pending_.count(q) != 0; }
+
+  /// Clears all aggregates (used at the end of a measurement warm-up).
+  /// Queries still outstanding stay tracked and count as issued, so the
+  /// issued/answered accounting remains consistent across the reset.
+  void reset_stats();
+
+  const level_stats& stats(consistency_level l) const;
+  level_stats totals() const;
+
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t answered() const { return answered_; }
+  std::uint64_t unanswered() const { return issued_ - answered_; }
+
+  /// Latency distribution across all levels (log-bucketed, seconds).
+  const log_histogram& latency_histogram() const { return latency_hist_; }
+
+  std::string report() const;
+
+ private:
+  struct pending_query {
+    node_id node;
+    item_id item;
+    consistency_level level;
+    sim_time issued_at;
+  };
+
+  simulator& sim_;
+  const item_registry& registry_;
+  sim_duration delta_;
+  std::unordered_map<query_id, pending_query> pending_;
+  level_stats by_level_[3];
+  std::uint64_t issued_ = 0;
+  std::uint64_t answered_ = 0;
+  query_id next_id_ = 1;
+  log_histogram latency_hist_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_METRICS_QUERY_LOG_HPP

@@ -1,0 +1,61 @@
+#include "metrics/trace_writer.hpp"
+
+#include <stdexcept>
+
+namespace manet {
+
+trace_writer::trace_writer(const std::string& path) {
+  out_ = std::fopen(path.c_str(), "w");
+  if (out_ == nullptr) {
+    throw std::runtime_error("trace_writer: cannot open '" + path + "'");
+  }
+}
+
+trace_writer::~trace_writer() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+void trace_writer::flush() {
+  if (out_ != nullptr) std::fflush(out_);
+}
+
+void trace_writer::record_rx(sim_time t, node_id self, node_id from,
+                             const packet& p, const traffic_meter& meter) {
+  std::fprintf(out_,
+               "{\"t\":%.6f,\"ev\":\"rx\",\"node\":%u,\"from\":%u,\"kind\":\"%s\","
+               "\"src\":%u,\"hops\":%d,\"bytes\":%zu}\n",
+               t, self, from, meter.kind_name(p.kind).c_str(), p.src, p.hops,
+               p.size_bytes);
+  ++events_;
+}
+
+void trace_writer::record_state(sim_time t, node_id node, bool up) {
+  std::fprintf(out_, "{\"t\":%.6f,\"ev\":\"%s\",\"node\":%u}\n", t,
+               up ? "up" : "down", node);
+  ++events_;
+}
+
+void trace_writer::record_query(sim_time t, node_id node, item_id item,
+                                consistency_level level) {
+  std::fprintf(out_,
+               "{\"t\":%.6f,\"ev\":\"query\",\"node\":%u,\"item\":%u,\"level\":"
+               "\"%s\"}\n",
+               t, node, item, consistency_level_name(level));
+  ++events_;
+}
+
+void trace_writer::record_update(sim_time t, item_id item, version_t version) {
+  std::fprintf(out_,
+               "{\"t\":%.6f,\"ev\":\"update\",\"item\":%u,\"version\":%llu}\n", t,
+               item, static_cast<unsigned long long>(version));
+  ++events_;
+}
+
+void trace_writer::record_position(sim_time t, node_id node, double x, double y) {
+  std::fprintf(out_,
+               "{\"t\":%.6f,\"ev\":\"pos\",\"node\":%u,\"x\":%.1f,\"y\":%.1f}\n", t,
+               node, x, y);
+  ++events_;
+}
+
+}  // namespace manet

@@ -1,0 +1,52 @@
+// JSONL event tracing for debugging and visualization.
+//
+// When a scenario is given a trace path, every frame reception, node
+// state switch, query and update is appended as one JSON object per line:
+//   {"t":12.345,"ev":"rx","node":3,"from":2,"kind":"POLL","src":7,"hops":2}
+//   {"t":60.000,"ev":"down","node":5}
+//   {"t":61.200,"ev":"query","node":4,"item":9,"level":"SC"}
+// The format is line-delimited so traces stream into jq / pandas without a
+// closing bracket; writing is buffered by the underlying FILE.
+#ifndef MANET_METRICS_TRACE_WRITER_HPP
+#define MANET_METRICS_TRACE_WRITER_HPP
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "consistency/level.hpp"
+#include "net/packet.hpp"
+#include "net/traffic_meter.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+class trace_writer {
+ public:
+  /// Opens (truncates) the trace file. Throws std::runtime_error on failure.
+  explicit trace_writer(const std::string& path);
+  ~trace_writer();
+
+  trace_writer(const trace_writer&) = delete;
+  trace_writer& operator=(const trace_writer&) = delete;
+
+  void record_rx(sim_time t, node_id self, node_id from, const packet& p,
+                 const traffic_meter& meter);
+  void record_state(sim_time t, node_id node, bool up);
+  void record_query(sim_time t, node_id node, item_id item, consistency_level level);
+  void record_update(sim_time t, item_id item, version_t version);
+  void record_position(sim_time t, node_id node, double x, double y);
+
+  std::uint64_t events_written() const { return events_; }
+
+  /// Flushes buffered lines to disk (destructor also flushes).
+  void flush();
+
+ private:
+  std::FILE* out_ = nullptr;
+  std::uint64_t events_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_METRICS_TRACE_WRITER_HPP

@@ -1,0 +1,51 @@
+#include "mobility/group_mobility.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace manet {
+
+group_member::group_member(std::shared_ptr<group_reference> ref,
+                           group_mobility_params params, rng gen)
+    : ref_(std::move(ref)), params_(params), gen_(gen) {
+  assert(ref_ != nullptr);
+  assert(params_.max_offset >= 0);
+  assert(params_.offset_epoch > 0);
+  offset_from_ = random_offset();
+  offset_to_ = random_offset();
+}
+
+vec2 group_member::random_offset() {
+  // Uniform point in the tether disk via rejection sampling.
+  const double r = params_.max_offset;
+  if (r <= 0) return {0, 0};
+  for (;;) {
+    const vec2 v{gen_.uniform(-r, r), gen_.uniform(-r, r)};
+    if (v.norm2() <= r * r) return v;
+  }
+}
+
+void group_member::advance_to(sim_time t) {
+  while (t >= epoch_start_ + params_.offset_epoch) {
+    offset_from_ = offset_to_;
+    offset_to_ = random_offset();
+    epoch_start_ += params_.offset_epoch;
+  }
+}
+
+vec2 group_member::position_at(sim_time t) {
+  advance_to(t);
+  const double frac = (t - epoch_start_) / params_.offset_epoch;
+  const vec2 offset = lerp(offset_from_, offset_to_, frac);
+  return ref_->land().clamp(ref_->position_at(t) + offset);
+}
+
+double group_member::speed_at(sim_time t) {
+  advance_to(t);
+  // Reference speed plus the offset drift rate (coarse but monotone).
+  const double drift =
+      distance(offset_from_, offset_to_) / params_.offset_epoch;
+  return ref_->speed_at(t) + drift;
+}
+
+}  // namespace manet

@@ -1,0 +1,61 @@
+// Reference-point group mobility (RPGM-style): nodes move in squads. Each
+// group follows a shared random-waypoint reference point; each member adds
+// its own bounded offset that drifts smoothly between random points in a
+// disk around the reference. Fits the paper's battlefield scenario, where
+// platoons advance together — group structure keeps relay peers useful to
+// their squad even while the squad itself crosses the terrain.
+#ifndef MANET_MOBILITY_GROUP_MOBILITY_HPP
+#define MANET_MOBILITY_GROUP_MOBILITY_HPP
+
+#include <memory>
+
+#include "mobility/random_waypoint.hpp"
+
+namespace manet {
+
+struct group_mobility_params {
+  random_waypoint_params leader;    ///< motion of the group reference point
+  meters max_offset = 150.0;        ///< member tether radius around the reference
+  sim_duration offset_epoch = 60.0; ///< member offset drift period
+};
+
+/// The shared reference point of one group. Create one per group and hand
+/// it (via shared_ptr) to each member.
+class group_reference {
+ public:
+  group_reference(const terrain& land, random_waypoint_params params, rng gen)
+      : land_(land), path_(land, params, gen) {}
+
+  vec2 position_at(sim_time t) { return path_.position_at(t); }
+  double speed_at(sim_time t) { return path_.speed_at(t); }
+  const terrain& land() const { return land_; }
+
+ private:
+  terrain land_;
+  random_waypoint path_;
+};
+
+class group_member final : public mobility_model {
+ public:
+  group_member(std::shared_ptr<group_reference> ref, group_mobility_params params,
+               rng gen);
+
+  vec2 position_at(sim_time t) override;
+  double speed_at(sim_time t) override;
+
+ private:
+  vec2 random_offset();
+  void advance_to(sim_time t);
+
+  std::shared_ptr<group_reference> ref_;
+  group_mobility_params params_;
+  rng gen_;
+
+  vec2 offset_from_{};
+  vec2 offset_to_{};
+  sim_time epoch_start_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_MOBILITY_GROUP_MOBILITY_HPP

@@ -1,0 +1,42 @@
+// Interface for node mobility.
+//
+// A mobility model answers "where is this node at time t" for non-decreasing
+// queries of t. Models are per-node objects, advanced lazily: the network
+// substrate queries positions only when it needs connectivity, so no events
+// are spent on movement itself.
+#ifndef MANET_MOBILITY_MOBILITY_MODEL_HPP
+#define MANET_MOBILITY_MOBILITY_MODEL_HPP
+
+#include <memory>
+
+#include "geom/vec2.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+class mobility_model {
+ public:
+  virtual ~mobility_model() = default;
+
+  /// Position at time t. Requires t to be non-decreasing across calls
+  /// (models advance internal waypoint state lazily).
+  virtual vec2 position_at(sim_time t) = 0;
+
+  /// Current speed in m/s at time t (after advancing to t); informational.
+  virtual double speed_at(sim_time t) = 0;
+};
+
+/// Node that never moves.
+class static_mobility final : public mobility_model {
+ public:
+  explicit static_mobility(vec2 pos) : pos_(pos) {}
+  vec2 position_at(sim_time) override { return pos_; }
+  double speed_at(sim_time) override { return 0.0; }
+
+ private:
+  vec2 pos_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_MOBILITY_MOBILITY_MODEL_HPP

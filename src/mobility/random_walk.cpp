@@ -1,0 +1,44 @@
+#include "mobility/random_walk.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace manet {
+
+random_walk::random_walk(const terrain& land, random_walk_params params, rng gen)
+    : land_(land), params_(params), gen_(gen) {
+  assert(params_.min_speed_mps > 0);
+  assert(params_.max_speed_mps >= params_.min_speed_mps);
+  assert(params_.epoch > 0);
+  from_ = {gen_.uniform(0, land_.width()), gen_.uniform(0, land_.height())};
+  epoch_start_ = 0;
+  next_epoch();
+}
+
+void random_walk::next_epoch() {
+  speed_ = gen_.uniform(params_.min_speed_mps, params_.max_speed_mps);
+  const double angle = gen_.uniform(0, 2 * 3.14159265358979323846);
+  step_ = {std::cos(angle) * speed_ * params_.epoch,
+           std::sin(angle) * speed_ * params_.epoch};
+}
+
+void random_walk::advance_to(sim_time t) {
+  while (t >= epoch_start_ + params_.epoch) {
+    from_ = land_.reflect(from_ + step_);
+    epoch_start_ += params_.epoch;
+    next_epoch();
+  }
+}
+
+vec2 random_walk::position_at(sim_time t) {
+  advance_to(t);
+  const double frac = (t - epoch_start_) / params_.epoch;
+  return land_.reflect(from_ + step_ * frac);
+}
+
+double random_walk::speed_at(sim_time t) {
+  advance_to(t);
+  return speed_;
+}
+
+}  // namespace manet

@@ -1,0 +1,43 @@
+// Random-walk (Brownian-style) mobility: at fixed epochs the node picks a
+// uniform direction and speed and walks for one epoch, reflecting off the
+// terrain boundary. Provided as an alternative to random waypoint for
+// sensitivity experiments.
+#ifndef MANET_MOBILITY_RANDOM_WALK_HPP
+#define MANET_MOBILITY_RANDOM_WALK_HPP
+
+#include "geom/terrain.hpp"
+#include "mobility/mobility_model.hpp"
+#include "util/rng.hpp"
+
+namespace manet {
+
+struct random_walk_params {
+  double min_speed_mps = 1.0;
+  double max_speed_mps = 10.0;
+  sim_duration epoch = 60.0;  // direction change interval
+};
+
+class random_walk final : public mobility_model {
+ public:
+  random_walk(const terrain& land, random_walk_params params, rng gen);
+
+  vec2 position_at(sim_time t) override;
+  double speed_at(sim_time t) override;
+
+ private:
+  void advance_to(sim_time t);
+  void next_epoch();
+
+  terrain land_;
+  random_walk_params params_;
+  rng gen_;
+
+  vec2 from_{};
+  vec2 step_{};  // displacement over one full epoch
+  sim_time epoch_start_ = 0;
+  double speed_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_MOBILITY_RANDOM_WALK_HPP

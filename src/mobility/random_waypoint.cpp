@@ -1,0 +1,47 @@
+#include "mobility/random_waypoint.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+random_waypoint::random_waypoint(const terrain& land, random_waypoint_params params,
+                                 rng gen)
+    : land_(land), params_(params), gen_(gen) {
+  assert(params_.min_speed_mps > 0);
+  assert(params_.max_speed_mps >= params_.min_speed_mps);
+  assert(params_.pause >= 0);
+  from_ = {gen_.uniform(0, land_.width()), gen_.uniform(0, land_.height())};
+  to_ = from_;
+  leg_start_ = leg_end_ = 0;
+  pause_until_ = 0;  // first leg starts immediately
+  next_leg();
+}
+
+void random_waypoint::next_leg() {
+  from_ = to_;
+  to_ = {gen_.uniform(0, land_.width()), gen_.uniform(0, land_.height())};
+  speed_ = gen_.uniform(params_.min_speed_mps, params_.max_speed_mps);
+  leg_start_ = pause_until_;
+  const double dist = distance(from_, to_);
+  leg_end_ = leg_start_ + (speed_ > 0 ? dist / speed_ : 0);
+  pause_until_ = leg_end_ + params_.pause;
+}
+
+void random_waypoint::advance_to(sim_time t) {
+  while (t >= pause_until_) next_leg();
+}
+
+vec2 random_waypoint::position_at(sim_time t) {
+  advance_to(t);
+  if (t <= leg_start_) return from_;
+  if (t >= leg_end_) return to_;
+  const double frac = (t - leg_start_) / (leg_end_ - leg_start_);
+  return lerp(from_, to_, frac);
+}
+
+double random_waypoint::speed_at(sim_time t) {
+  advance_to(t);
+  return (t > leg_start_ && t < leg_end_) ? speed_ : 0.0;
+}
+
+}  // namespace manet

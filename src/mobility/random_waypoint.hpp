@@ -1,0 +1,46 @@
+// Random-waypoint mobility [Joh96], the movement pattern used in the paper's
+// evaluation: a node repeatedly picks a uniform destination in the terrain,
+// moves to it in a straight line at a uniform-random speed, pauses, repeats.
+#ifndef MANET_MOBILITY_RANDOM_WAYPOINT_HPP
+#define MANET_MOBILITY_RANDOM_WAYPOINT_HPP
+
+#include "geom/terrain.hpp"
+#include "mobility/mobility_model.hpp"
+#include "util/rng.hpp"
+
+namespace manet {
+
+struct random_waypoint_params {
+  double min_speed_mps = 1.0;   // pedestrian-to-vehicle range
+  double max_speed_mps = 20.0;
+  sim_duration pause = 30.0;    // pause at each waypoint, seconds
+};
+
+class random_waypoint final : public mobility_model {
+ public:
+  random_waypoint(const terrain& land, random_waypoint_params params, rng gen);
+
+  vec2 position_at(sim_time t) override;
+  double speed_at(sim_time t) override;
+
+ private:
+  // One leg of movement: stand at `from` until depart_at, then travel to
+  // `to`, arriving at arrive_at.
+  void advance_to(sim_time t);
+  void next_leg();
+
+  terrain land_;
+  random_waypoint_params params_;
+  rng gen_;
+
+  vec2 from_{};
+  vec2 to_{};
+  sim_time leg_start_ = 0;    // time movement on the current leg begins
+  sim_time leg_end_ = 0;      // arrival time at `to_`
+  sim_time pause_until_ = 0;  // end of the pause after arrival
+  double speed_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_MOBILITY_RANDOM_WAYPOINT_HPP

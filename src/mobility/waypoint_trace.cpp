@@ -1,0 +1,43 @@
+#include "mobility/waypoint_trace.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+waypoint_trace::waypoint_trace(std::vector<waypoint> points)
+    : points_(std::move(points)) {
+  assert(!points_.empty());
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].at > points_[i - 1].at && "waypoint times must increase");
+  }
+}
+
+vec2 waypoint_trace::position_at(sim_time t) {
+  if (t <= points_.front().at) return points_.front().pos;
+  if (t >= points_.back().at) return points_.back().pos;
+  // Linear search is fine: traces in tests are short and queries are in
+  // roughly increasing order anyway.
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (t <= points_[i].at) {
+      const auto& a = points_[i - 1];
+      const auto& b = points_[i];
+      const double frac = (t - a.at) / (b.at - a.at);
+      return lerp(a.pos, b.pos, frac);
+    }
+  }
+  return points_.back().pos;
+}
+
+double waypoint_trace::speed_at(sim_time t) {
+  if (t <= points_.front().at || t >= points_.back().at) return 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (t <= points_[i].at) {
+      const auto& a = points_[i - 1];
+      const auto& b = points_[i];
+      return distance(a.pos, b.pos) / (b.at - a.at);
+    }
+  }
+  return 0.0;
+}
+
+}  // namespace manet

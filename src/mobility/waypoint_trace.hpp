@@ -1,0 +1,32 @@
+// Scripted mobility: a fixed list of (time, position) waypoints with linear
+// interpolation between them. Used by tests to construct exact topologies
+// and topology changes at known instants.
+#ifndef MANET_MOBILITY_WAYPOINT_TRACE_HPP
+#define MANET_MOBILITY_WAYPOINT_TRACE_HPP
+
+#include <vector>
+
+#include "mobility/mobility_model.hpp"
+
+namespace manet {
+
+class waypoint_trace final : public mobility_model {
+ public:
+  struct waypoint {
+    sim_time at;
+    vec2 pos;
+  };
+
+  /// Requires at least one waypoint with strictly increasing times.
+  explicit waypoint_trace(std::vector<waypoint> points);
+
+  vec2 position_at(sim_time t) override;
+  double speed_at(sim_time t) override;
+
+ private:
+  std::vector<waypoint> points_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_MOBILITY_WAYPOINT_TRACE_HPP

@@ -1,0 +1,51 @@
+// Two-generation duplicate-suppression cache for flood/RREQ uids.
+// Memory is bounded by the number of uids seen in the last ~2 windows;
+// rotation happens lazily on access.
+#ifndef MANET_NET_DEDUP_CACHE_HPP
+#define MANET_NET_DEDUP_CACHE_HPP
+
+#include <unordered_set>
+#include <utility>
+
+#include "net/packet.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+class dedup_cache {
+ public:
+  explicit dedup_cache(sim_duration window = 30.0) : window_(window) {}
+
+  /// Returns true if `uid` was seen within roughly the last two windows;
+  /// otherwise records it and returns false.
+  bool seen_before(sim_time now, packet_uid uid) {
+    rotate_if_due(now);
+    if (current_.count(uid) || previous_.count(uid)) return true;
+    current_.insert(uid);
+    return false;
+  }
+
+  void set_window(sim_duration w) { window_ = w; }
+
+ private:
+  void rotate_if_due(sim_time now) {
+    if (now - last_rotate_ < window_) return;
+    if (now - last_rotate_ >= 2 * window_) {
+      previous_.clear();
+      current_.clear();
+    } else {
+      previous_ = std::move(current_);
+      current_.clear();
+    }
+    last_rotate_ = now;
+  }
+
+  sim_duration window_;
+  std::unordered_set<packet_uid> current_;
+  std::unordered_set<packet_uid> previous_;
+  sim_time last_rotate_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_NET_DEDUP_CACHE_HPP

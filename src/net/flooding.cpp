@@ -1,0 +1,53 @@
+#include "net/flooding.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace manet {
+
+flooding_service::flooding_service(network& net) : net_(net) {}
+
+bool flooding_service::seen_before(node_id self, packet_uid uid) {
+  if (dedup_.size() < net_.size()) dedup_.resize(net_.size());
+  return dedup_[self].seen_before(net_.sim().now(), uid);
+}
+
+packet_uid flooding_service::flood(node_id origin, packet_kind kind,
+                                   std::shared_ptr<const message_payload> payload,
+                                   std::size_t size_bytes, int ttl) {
+  if (ttl < 1) return 0;
+  if (!net_.at(origin).up()) return 0;
+  packet p;
+  p.uid = net_.next_uid();
+  p.kind = kind;
+  p.src = origin;
+  p.dst = broadcast_node;
+  p.ttl = ttl;
+  p.hops = 0;
+  p.size_bytes = size_bytes;
+  p.payload = std::move(payload);
+  const packet_uid uid = p.uid;
+  net_.meter().record_originated(kind);
+  // Mark as seen at the origin so an echo from a neighbor is not re-flooded.
+  seen_before(origin, uid);
+  net_.send_frame(origin, broadcast_node, std::move(p));
+  return uid;
+}
+
+void flooding_service::on_frame(node_id self, node_id from, const packet& p) {
+  (void)from;
+  if (seen_before(self, p.uid)) return;
+  if (auto it = kind_handlers_.find(p.kind); it != kind_handlers_.end()) {
+    it->second(self, p);
+  } else if (handler_) {
+    handler_(self, p);
+  }
+  if (p.ttl > 1) {
+    packet fwd = p;
+    --fwd.ttl;
+    ++fwd.hops;
+    net_.send_frame(self, broadcast_node, std::move(fwd));
+  }
+}
+
+}  // namespace manet

@@ -1,0 +1,61 @@
+// TTL-scoped network-wide flooding with per-node duplicate suppression.
+//
+// This is the primitive behind the paper's INVALIDATION broadcasts (scoped
+// by TTL_BR / the RPCC invalidation TTL) and the POLL search for a nearby
+// relay peer. Every node that hears a flood packet delivers it to the
+// application handler exactly once and rebroadcasts it while hop budget
+// remains.
+#ifndef MANET_NET_FLOODING_HPP
+#define MANET_NET_FLOODING_HPP
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/dedup_cache.hpp"
+#include "net/network.hpp"
+#include "net/packet.hpp"
+
+namespace manet {
+
+class flooding_service {
+ public:
+  /// Handler invoked once per node per unique flood packet (not at the
+  /// originator).
+  using handler = std::function<void(node_id self, const packet&)>;
+
+  explicit flooding_service(network& net);
+
+  void set_handler(handler h) { handler_ = std::move(h); }
+
+  /// Registers a handler for one specific packet kind; it takes precedence
+  /// over the default handler. Lets auxiliary services (e.g. discovery)
+  /// coexist with a consistency protocol on the same flood fabric.
+  void set_kind_handler(packet_kind kind, handler h) {
+    kind_handlers_[kind] = std::move(h);
+  }
+
+  /// Originates a flood. `ttl` is the hop budget: ttl=1 reaches only direct
+  /// neighbors. Returns the flood's packet uid. No-op returning 0 if the
+  /// origin is down or ttl < 1.
+  packet_uid flood(node_id origin, packet_kind kind,
+                   std::shared_ptr<const message_payload> payload,
+                   std::size_t size_bytes, int ttl);
+
+  /// Frame entry point; the network dispatcher routes broadcast-destination
+  /// app frames here.
+  void on_frame(node_id self, node_id from, const packet& p);
+
+ private:
+  bool seen_before(node_id self, packet_uid uid);
+
+  network& net_;
+  handler handler_;
+  std::unordered_map<packet_kind, handler> kind_handlers_;
+  std::vector<dedup_cache> dedup_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_NET_FLOODING_HPP

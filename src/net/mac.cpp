@@ -1,0 +1,55 @@
+#include "net/mac.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+mac::mac(simulator& sim, rng gen, double bandwidth_bps, sim_duration per_hop_overhead,
+         sim_duration max_backoff, air_callback on_air)
+    : sim_(sim),
+      gen_(gen),
+      bandwidth_bps_(bandwidth_bps),
+      per_hop_overhead_(per_hop_overhead),
+      max_backoff_(max_backoff),
+      on_air_(std::move(on_air)) {
+  assert(bandwidth_bps_ > 0);
+  assert(on_air_ != nullptr);
+}
+
+void mac::enqueue(frame f) {
+  queue_.push_back(std::move(f));
+  if (!busy_) start_next();
+}
+
+std::size_t mac::flush() {
+  std::size_t lost = queue_.size() + (busy_ ? 1 : 0);
+  queue_.clear();
+  in_flight_.cancel();
+  busy_ = false;
+  return lost;
+}
+
+void mac::start_next() {
+  if (queue_.empty()) return;
+  busy_ = true;
+  frame f = std::move(queue_.front());
+  queue_.pop_front();
+
+  const sim_duration backoff = max_backoff_ > 0 ? gen_.uniform(0, max_backoff_) : 0;
+  const sim_duration tx =
+      per_hop_overhead_ +
+      static_cast<double>(f.pkt.size_bytes) * 8.0 / bandwidth_bps_;
+
+  // Two stages: after the backoff the frame goes on the air (the network
+  // learns the airtime interval up front, which is what makes interference
+  // detection possible); when the airtime ends the next frame may start.
+  in_flight_ = sim_.schedule_in(backoff, [this, f = std::move(f), tx] {
+    on_air_(f, tx);
+    in_flight_ = sim_.schedule_in(tx, [this] {
+      busy_ = false;
+      start_next();
+    });
+  });
+}
+
+}  // namespace manet

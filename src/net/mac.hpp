@@ -1,0 +1,54 @@
+// Per-node MAC: a FIFO transmit queue serialized over a bandwidth-limited
+// half-duplex radio, with a small random pre-transmission backoff standing
+// in for CSMA contention (it disperses the otherwise lock-step
+// retransmissions of a flood). Collisions are not modeled; see DESIGN.md §2.
+#ifndef MANET_NET_MAC_HPP
+#define MANET_NET_MAC_HPP
+
+#include <deque>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace manet {
+
+class mac {
+ public:
+  /// `on_air` is invoked when a frame's transmission *starts* (after the
+  /// backoff); the network fabric records the airtime and schedules the
+  /// delivery tx_time later. The MAC stays busy until the airtime ends.
+  using air_callback = std::function<void(const frame&, sim_duration tx_time)>;
+
+  mac(simulator& sim, rng gen, double bandwidth_bps, sim_duration per_hop_overhead,
+      sim_duration max_backoff, air_callback on_air);
+
+  /// Queues a frame for transmission.
+  void enqueue(frame f);
+
+  /// Drops all queued frames and aborts any in-progress transmission (the
+  /// node went down). Returns the number of frames lost.
+  std::size_t flush();
+
+  std::size_t queue_length() const { return queue_.size() + (busy_ ? 1 : 0); }
+  bool busy() const { return busy_; }
+
+ private:
+  void start_next();
+
+  simulator& sim_;
+  rng gen_;
+  double bandwidth_bps_;
+  sim_duration per_hop_overhead_;
+  sim_duration max_backoff_;
+  air_callback on_air_;
+
+  std::deque<frame> queue_;
+  bool busy_ = false;
+  event_handle in_flight_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_NET_MAC_HPP

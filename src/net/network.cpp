@@ -1,0 +1,157 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+
+namespace manet {
+
+network::network(simulator& sim, terrain land, radio_params rparams,
+                 energy_params eparams)
+    : sim_(sim),
+      land_(land),
+      radio_(*this, rparams),
+      eparams_(eparams),
+      loss_rng_(sim.make_rng("net.loss")) {}
+
+node_id network::add_node(std::unique_ptr<mobility_model> mobility) {
+  const auto id = static_cast<node_id>(nodes_.size());
+  auto link = std::make_unique<mac>(
+      sim_, sim_.make_rng("net.mac", id), radio_.params().bandwidth_bps,
+      radio_.params().per_hop_overhead, radio_.params().max_backoff,
+      [this, id](const frame& f, sim_duration tx_time) { on_air(id, f, tx_time); });
+  nodes_.push_back(
+      std::make_unique<node>(id, std::move(mobility), eparams_, std::move(link)));
+  return id;
+}
+
+void network::send_frame(node_id from, node_id rx, packet pkt) {
+  node& n = at(from);
+  if (!n.up()) {
+    meter_.record_drop(pkt.kind, drop_reason::node_down);
+    return;
+  }
+  n.link().enqueue(frame{from, rx, std::move(pkt)});
+}
+
+void network::set_node_up(node_id id, bool up) {
+  const std::size_t flushed = at(id).set_up(up);
+  for (std::size_t i = 0; i < flushed; ++i) {
+    meter_.record_drop(0, drop_reason::queue_flushed);
+  }
+}
+
+void network::on_air(node_id tx_node, const frame& f, sim_duration tx_time) {
+  node& sender = at(tx_node);
+  // The MAC only signals frames it actually put on the air; a node that
+  // went down beforehand had its pending event cancelled.
+  assert(sender.up());
+
+  meter_.record_tx(f.pkt.kind, f.pkt.size_bytes);
+  sender.drain(eparams_.tx_power_watts * tx_time);
+
+  const sim_time air_start = sim_.now();
+  const sim_time air_end = air_start + tx_time;
+  if (radio_.params().collisions) {
+    // Prune stale records opportunistically, then log this transmission.
+    std::erase_if(airtimes_,
+                  [&](const airtime& a) { return a.end < air_start - 1.0; });
+    airtimes_.push_back(airtime{tx_node, air_start, air_end});
+  }
+
+  const sim_duration prop = radio_.params().propagation_delay;
+  auto deliver_to = [&](node_id rx) {
+    if (loss_rng_.chance(radio_.params().loss_probability)) {
+      meter_.record_drop(f.pkt.kind, drop_reason::channel_loss);
+      return;
+    }
+    at(rx).drain(eparams_.rx_power_watts * tx_time);
+    // Copy the frame for the delayed delivery; payload is shared.
+    sim_.schedule_in(tx_time + prop, [this, rx, f, air_start, air_end] {
+      deliver(rx, f, air_start, air_end);
+    });
+  };
+
+  if (f.rx == broadcast_node) {
+    for (node_id nb : radio_.neighbors(tx_node)) deliver_to(nb);
+  } else {
+    if (!radio_.reachable(tx_node, f.rx)) {
+      meter_.record_drop(f.pkt.kind, at(f.rx).up() ? drop_reason::out_of_range
+                                                   : drop_reason::node_down);
+      return;
+    }
+    deliver_to(f.rx);
+  }
+}
+
+bool network::interfered(node_id rx_node, node_id tx_node, sim_time air_start,
+                         sim_time air_end) const {
+  meters r = radio_.params().interference_range;
+  if (r <= 0) r = radio_.params().range;
+  const vec2 rx_pos = at(rx_node).position_at(sim_.now());
+  for (const airtime& a : airtimes_) {
+    if (a.tx == tx_node || a.tx == rx_node) continue;
+    if (a.end <= air_start || a.start >= air_end) continue;  // no overlap
+    if (distance2(rx_pos, at(a.tx).position_at(sim_.now())) <= r * r) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void network::deliver(node_id rx_node, const frame& f, sim_time air_start,
+                      sim_time air_end) {
+  node& receiver = at(rx_node);
+  if (!receiver.up()) {
+    meter_.record_drop(f.pkt.kind, drop_reason::node_down);
+    return;
+  }
+  if (!at(f.tx).up()) {
+    // The sender died mid-transmission: the frame was truncated.
+    meter_.record_drop(f.pkt.kind, drop_reason::node_down);
+    return;
+  }
+  if (radio_.params().collisions && interfered(rx_node, f.tx, air_start, air_end)) {
+    meter_.record_drop(f.pkt.kind, drop_reason::collision);
+    return;
+  }
+  meter_.record_rx(f.pkt.kind, f.pkt.size_bytes);
+  if (dispatch_) dispatch_(rx_node, f.tx, f.pkt);
+}
+
+int network::hop_distance(node_id a, node_id b) const {
+  if (a == b) return 0;
+  auto path = shortest_path(a, b);
+  return path.empty() ? -1 : static_cast<int>(path.size()) - 1;
+}
+
+std::vector<node_id> network::shortest_path(node_id a, node_id b) const {
+  if (a == b) return {a};
+  if (!at(a).up() || !at(b).up()) return {};
+  std::vector<node_id> prev(nodes_.size(), invalid_node);
+  std::vector<char> seen(nodes_.size(), 0);
+  std::queue<node_id> frontier;
+  frontier.push(a);
+  seen[a] = 1;
+  while (!frontier.empty()) {
+    const node_id u = frontier.front();
+    frontier.pop();
+    for (node_id v : radio_.neighbors(u)) {
+      if (seen[v]) continue;
+      seen[v] = 1;
+      prev[v] = u;
+      if (v == b) {
+        std::vector<node_id> path{b};
+        for (node_id w = b; prev[w] != invalid_node; w = prev[w]) {
+          path.push_back(prev[w]);
+        }
+        std::reverse(path.begin(), path.end());
+        return path;
+      }
+      frontier.push(v);
+    }
+  }
+  return {};
+}
+
+}  // namespace manet

@@ -1,0 +1,100 @@
+// The network fabric: owns the nodes, the radio model and the traffic meter,
+// and performs frame delivery between MACs.
+//
+// Layering: protocol services (flooding, routing) call send_frame(); the
+// per-node MAC serializes transmissions; when a frame finishes transmitting
+// the fabric finds the receivers via the radio model, applies loss, charges
+// energy, meters traffic and hands received packets to the registered
+// dispatcher.
+#ifndef MANET_NET_NETWORK_HPP
+#define MANET_NET_NETWORK_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/terrain.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "net/radio.hpp"
+#include "net/traffic_meter.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet {
+
+class network {
+ public:
+  network(simulator& sim, terrain land, radio_params rparams,
+          energy_params eparams = {});
+
+  network(const network&) = delete;
+  network& operator=(const network&) = delete;
+
+  /// Adds a node with the given mobility model; ids are assigned densely
+  /// starting at 0. Returns the new node's id.
+  node_id add_node(std::unique_ptr<mobility_model> mobility);
+
+  std::size_t size() const { return nodes_.size(); }
+  node& at(node_id id) { return *nodes_.at(id); }
+  const node& at(node_id id) const { return *nodes_.at(id); }
+
+  simulator& sim() { return sim_; }
+  const terrain& land() const { return land_; }
+  radio& air() { return radio_; }
+  const radio& air() const { return radio_; }
+  traffic_meter& meter() { return meter_; }
+  const traffic_meter& meter() const { return meter_; }
+
+  vec2 position(node_id id) const { return nodes_.at(id)->position_at(sim_.now()); }
+
+  /// Fresh end-to-end packet identifier.
+  packet_uid next_uid() { return ++uid_counter_; }
+
+  /// Receiver-side dispatcher: (self, previous hop, packet).
+  using dispatcher = std::function<void(node_id self, node_id from, const packet&)>;
+  void set_dispatcher(dispatcher d) { dispatch_ = std::move(d); }
+
+  /// Queues a one-hop transmission at `from`'s MAC. Dropped immediately if
+  /// the node is down. `rx` may be broadcast_node.
+  void send_frame(node_id from, node_id rx, packet pkt);
+
+  /// Takes node `id` down / up, accounting flushed frames as drops.
+  void set_node_up(node_id id, bool up);
+
+  /// Hop count (BFS over the current connectivity graph) from a to b;
+  /// -1 if unreachable. Used by the oracle router, discovery oracle and
+  /// tests; the distributed protocols never call it.
+  int hop_distance(node_id a, node_id b) const;
+
+  /// BFS predecessor path a -> b over current connectivity; empty if
+  /// unreachable. path.front() == a, path.back() == b.
+  std::vector<node_id> shortest_path(node_id a, node_id b) const;
+
+ private:
+  struct airtime {
+    node_id tx = invalid_node;
+    sim_time start = 0;
+    sim_time end = 0;
+  };
+
+  void on_air(node_id tx_node, const frame& f, sim_duration tx_time);
+  void deliver(node_id rx_node, const frame& f, sim_time air_start,
+               sim_time air_end);
+  bool interfered(node_id rx_node, node_id tx_node, sim_time air_start,
+                  sim_time air_end) const;
+
+  simulator& sim_;
+  terrain land_;
+  radio radio_;
+  energy_params eparams_;
+  traffic_meter meter_;
+  std::vector<std::unique_ptr<node>> nodes_;
+  dispatcher dispatch_;
+  packet_uid uid_counter_ = 0;
+  rng loss_rng_;
+  std::vector<airtime> airtimes_;  ///< recent transmissions (collision mode)
+};
+
+}  // namespace manet
+
+#endif  // MANET_NET_NETWORK_HPP

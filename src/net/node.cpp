@@ -1,0 +1,38 @@
+#include "net/node.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace manet {
+
+node::node(node_id id, std::unique_ptr<mobility_model> mobility, energy_params energy,
+           std::unique_ptr<mac> link)
+    : id_(id),
+      mobility_(std::move(mobility)),
+      energy_(energy),
+      link_(std::move(link)),
+      energy_joules_(energy.initial_joules) {
+  assert(mobility_ != nullptr);
+  assert(link_ != nullptr);
+}
+
+std::size_t node::set_up(bool up) {
+  if (up == up_) return 0;
+  up_ = up;
+  ++switches_;
+  std::size_t flushed = 0;
+  if (!up_) flushed = link_->flush();
+  for (const auto& obs : observers_) obs(id_, up_);
+  return flushed;
+}
+
+double node::energy_fraction() const {
+  if (energy_.initial_joules <= 0) return 0.0;
+  return std::clamp(energy_joules_ / energy_.initial_joules, 0.0, 1.0);
+}
+
+void node::drain(double joules) {
+  energy_joules_ = std::max(0.0, energy_joules_ - joules);
+}
+
+}  // namespace manet

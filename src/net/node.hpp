@@ -1,0 +1,82 @@
+// A mobile host: identity, mobility, up/down state, battery, and the MAC.
+//
+// The node is deliberately protocol-agnostic. Protocol layers observe state
+// changes through callbacks and read position/energy through accessors; the
+// network fabric owns frame delivery.
+#ifndef MANET_NET_NODE_HPP
+#define MANET_NET_NODE_HPP
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "mobility/mobility_model.hpp"
+#include "net/mac.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+struct energy_params {
+  double initial_joules = 5000.0;  ///< E_MAX; generous so churn, not battery death, dominates
+  double tx_power_watts = 1.4;     ///< drawn for the duration of a transmission
+  double rx_power_watts = 1.0;     ///< drawn for the duration of a reception
+  double idle_drain_watts = 0.0;   ///< optional idle drain (off by default)
+};
+
+class node {
+ public:
+  node(node_id id, std::unique_ptr<mobility_model> mobility, energy_params energy,
+       std::unique_ptr<mac> link);
+
+  node_id id() const { return id_; }
+
+  bool up() const { return up_; }
+
+  /// Brings the node down/up. State changes increment the switch counter
+  /// (the paper's N_s) and notify observers. Going down flushes the MAC
+  /// queue; the number of flushed frames is returned for drop accounting.
+  std::size_t set_up(bool up);
+
+  /// Total number of state switches since creation (N_s is computed by
+  /// protocols as a per-window difference of this counter).
+  std::uint64_t switch_count() const { return switches_; }
+
+  vec2 position_at(sim_time t) const { return mobility_->position_at(t); }
+
+  mobility_model& mobility() { return *mobility_; }
+
+  mac& link() { return *link_; }
+
+  double energy_joules() const { return energy_joules_; }
+  double energy_max() const { return energy_.initial_joules; }
+  /// Remaining energy as a fraction of E_MAX, clamped to [0, 1].
+  double energy_fraction() const;
+
+  /// Drains the battery; clamps at zero. A dead battery does not force the
+  /// node down by itself (scenario code may choose to); CE simply reaches 0
+  /// and the node stops qualifying as a relay peer.
+  void drain(double joules);
+
+  const energy_params& energy_config() const { return energy_; }
+
+  using state_observer = std::function<void(node_id, bool up)>;
+  void add_state_observer(state_observer obs) {
+    observers_.push_back(std::move(obs));
+  }
+
+ private:
+  node_id id_;
+  std::unique_ptr<mobility_model> mobility_;
+  energy_params energy_;
+  std::unique_ptr<mac> link_;
+
+  bool up_ = true;
+  std::uint64_t switches_ = 0;
+  double energy_joules_;
+  std::vector<state_observer> observers_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_NET_NODE_HPP

@@ -1,0 +1,65 @@
+// Packets (end-to-end units) and frames (one-hop transmissions).
+//
+// Payloads are polymorphic, reference-counted objects so a broadcast frame
+// fans out to many receivers without copying. `size_bytes` models the
+// serialized size of the message on the air and drives both transmission
+// delay and traffic accounting — the simulation never actually serializes.
+#ifndef MANET_NET_PACKET_HPP
+#define MANET_NET_PACKET_HPP
+
+#include <cstdint>
+#include <memory>
+
+#include "util/units.hpp"
+
+namespace manet {
+
+/// Pseudo-address meaning "all neighbors" (one-hop) or "flood" (end-to-end).
+constexpr node_id broadcast_node = 0xfffffffeu;
+
+/// Unique per-origination packet identifier; used by floods for duplicate
+/// suppression and by routers to correlate requests and replies.
+using packet_uid = std::uint64_t;
+
+/// Application/protocol message kind. Kinds below `first_app_kind` are
+/// reserved for the routing layer (see routing/aodv.hpp).
+using packet_kind = std::uint16_t;
+constexpr packet_kind first_app_kind = 100;
+
+inline bool is_routing_kind(packet_kind k) { return k < first_app_kind; }
+
+/// Base class for message payloads. Concrete payload types live next to the
+/// protocol that defines them (consistency/messages.hpp, routing/aodv.cpp).
+struct message_payload {
+  virtual ~message_payload() = default;
+};
+
+struct packet {
+  packet_uid uid = 0;
+  packet_kind kind = 0;
+  node_id src = invalid_node;  ///< originator
+  node_id dst = invalid_node;  ///< final destination; broadcast_node = flood
+  int ttl = 0;                 ///< remaining hop budget
+  int hops = 0;                ///< hops traveled so far
+  std::size_t size_bytes = 0;  ///< modeled wire size incl. headers
+  std::shared_ptr<const message_payload> payload;
+};
+
+/// One-hop transmission of a packet.
+struct frame {
+  node_id tx = invalid_node;    ///< transmitter of this hop
+  node_id rx = broadcast_node;  ///< intended next hop; broadcast_node = all
+  packet pkt;
+};
+
+/// Convenience downcast for received payloads. Returns nullptr when the
+/// payload is absent or of a different type (a protocol bug the caller
+/// should surface, not mask).
+template <typename T>
+const T* payload_cast(const packet& p) {
+  return dynamic_cast<const T*>(p.payload.get());
+}
+
+}  // namespace manet
+
+#endif  // MANET_NET_PACKET_HPP

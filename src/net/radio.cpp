@@ -1,0 +1,45 @@
+#include "net/radio.hpp"
+
+#include <cassert>
+
+#include "net/network.hpp"
+
+namespace manet {
+
+radio::radio(network& net, radio_params params) : net_(net), params_(params) {
+  assert(params_.range > 0);
+  assert(params_.bandwidth_bps > 0);
+}
+
+sim_duration radio::tx_time(std::size_t bytes) const {
+  return params_.per_hop_overhead +
+         static_cast<double>(bytes) * 8.0 / params_.bandwidth_bps;
+}
+
+bool radio::reachable(node_id a, node_id b) const {
+  if (a == b) return false;
+  const node& na = net_.at(a);
+  const node& nb = net_.at(b);
+  if (!na.up() || !nb.up()) return false;
+  const sim_time now = net_.sim().now();
+  const double r = params_.range;
+  return distance2(na.position_at(now), nb.position_at(now)) <= r * r;
+}
+
+std::vector<node_id> radio::neighbors(node_id u) const {
+  std::vector<node_id> out;
+  const node& nu = net_.at(u);
+  if (!nu.up()) return out;
+  const sim_time now = net_.sim().now();
+  const vec2 pu = nu.position_at(now);
+  const double r2 = params_.range * params_.range;
+  for (node_id v = 0; v < net_.size(); ++v) {
+    if (v == u) continue;
+    const node& nv = net_.at(v);
+    if (!nv.up()) continue;
+    if (distance2(pu, nv.position_at(now)) <= r2) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace manet

@@ -1,0 +1,54 @@
+// Unit-disk radio model: two hosts can exchange frames iff both are up and
+// within communication range (paper: C_Range = 250 m). Connectivity is
+// evaluated lazily from the mobility models at the moment of delivery.
+#ifndef MANET_NET_RADIO_HPP
+#define MANET_NET_RADIO_HPP
+
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+class network;  // forward; radio queries node positions through the network
+
+struct radio_params {
+  meters range = 250.0;          ///< unit-disk communication range
+  double bandwidth_bps = 2e6;    ///< shared-channel bit rate (802.11-era 2 Mb/s)
+  sim_duration per_hop_overhead = 0.5e-3;  ///< MAC+PHY framing overhead per frame
+  sim_duration propagation_delay = 5e-6;   ///< flat propagation delay
+  sim_duration max_backoff = 2e-3;  ///< random pre-transmission backoff (CSMA stand-in)
+  double loss_probability = 0.0;    ///< independent per-receiver frame loss
+  /// Interference modeling: when true, a reception fails if any other
+  /// transmission within interference range of the receiver overlapped the
+  /// frame's airtime (no capture effect). The default "simple" mode relies
+  /// on the random backoff alone, like many protocol-level simulators.
+  bool collisions = false;
+  /// Interference radius; 0 means "same as communication range".
+  meters interference_range = 0;
+};
+
+class radio {
+ public:
+  radio(network& net, radio_params params);
+
+  const radio_params& params() const { return params_; }
+
+  /// Transmission time on the air for a frame of `bytes` bytes.
+  sim_duration tx_time(std::size_t bytes) const;
+
+  /// True if `a` can currently deliver a frame to `b` (both up, in range).
+  bool reachable(node_id a, node_id b) const;
+
+  /// All up nodes currently within range of `u` (excluding `u`).
+  std::vector<node_id> neighbors(node_id u) const;
+
+ private:
+  network& net_;
+  radio_params params_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_NET_RADIO_HPP

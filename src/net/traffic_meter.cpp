@@ -1,0 +1,127 @@
+#include "net/traffic_meter.hpp"
+
+#include <cstdio>
+
+namespace manet {
+
+const char* drop_reason_name(drop_reason r) {
+  switch (r) {
+    case drop_reason::node_down: return "node_down";
+    case drop_reason::out_of_range: return "out_of_range";
+    case drop_reason::channel_loss: return "channel_loss";
+    case drop_reason::collision: return "collision";
+    case drop_reason::no_route: return "no_route";
+    case drop_reason::ttl_expired: return "ttl_expired";
+    case drop_reason::queue_flushed: return "queue_flushed";
+  }
+  return "?";
+}
+
+void traffic_meter::register_kind(packet_kind kind, std::string name) {
+  names_[kind] = std::move(name);
+}
+
+std::string traffic_meter::kind_name(packet_kind kind) const {
+  auto it = names_.find(kind);
+  if (it != names_.end()) return it->second;
+  return "kind_" + std::to_string(kind);
+}
+
+void traffic_meter::record_originated(packet_kind kind) {
+  ++by_kind_[kind].originated;
+}
+
+void traffic_meter::record_tx(packet_kind kind, std::size_t bytes) {
+  auto& c = by_kind_[kind];
+  ++c.tx_frames;
+  c.tx_bytes += bytes;
+}
+
+void traffic_meter::record_rx(packet_kind kind, std::size_t bytes) {
+  auto& c = by_kind_[kind];
+  ++c.rx_frames;
+  (void)bytes;
+}
+
+void traffic_meter::record_drop(packet_kind kind, drop_reason reason) {
+  (void)kind;
+  ++drops_[reason];
+}
+
+const kind_counters& traffic_meter::counters(packet_kind kind) const {
+  static const kind_counters zero{};
+  auto it = by_kind_.find(kind);
+  return it == by_kind_.end() ? zero : it->second;
+}
+
+std::uint64_t traffic_meter::total_tx_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& [_, c] : by_kind_) n += c.tx_frames;
+  return n;
+}
+
+std::uint64_t traffic_meter::total_tx_bytes() const {
+  std::uint64_t n = 0;
+  for (const auto& [_, c] : by_kind_) n += c.tx_bytes;
+  return n;
+}
+
+std::uint64_t traffic_meter::total_drops() const {
+  std::uint64_t n = 0;
+  for (const auto& [_, c] : drops_) n += c;
+  return n;
+}
+
+std::uint64_t traffic_meter::drops(drop_reason reason) const {
+  auto it = drops_.find(reason);
+  return it == drops_.end() ? 0 : it->second;
+}
+
+std::uint64_t traffic_meter::app_tx_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& [k, c] : by_kind_) {
+    if (k >= first_app_kind) n += c.tx_frames;
+  }
+  return n;
+}
+
+std::uint64_t traffic_meter::routing_tx_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& [k, c] : by_kind_) {
+    if (k < first_app_kind) n += c.tx_frames;
+  }
+  return n;
+}
+
+std::string traffic_meter::report() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof line, "%-20s %12s %14s %12s %12s\n", "kind", "tx_frames",
+                "tx_bytes", "rx_frames", "originated");
+  out += line;
+  for (const auto& [k, c] : by_kind_) {
+    std::snprintf(line, sizeof line, "%-20s %12llu %14llu %12llu %12llu\n",
+                  kind_name(k).c_str(), static_cast<unsigned long long>(c.tx_frames),
+                  static_cast<unsigned long long>(c.tx_bytes),
+                  static_cast<unsigned long long>(c.rx_frames),
+                  static_cast<unsigned long long>(c.originated));
+    out += line;
+  }
+  std::snprintf(line, sizeof line, "%-20s %12llu %14llu\n", "TOTAL",
+                static_cast<unsigned long long>(total_tx_frames()),
+                static_cast<unsigned long long>(total_tx_bytes()));
+  out += line;
+  for (const auto& [r, n] : drops_) {
+    std::snprintf(line, sizeof line, "  drop[%-13s] %10llu\n", drop_reason_name(r),
+                  static_cast<unsigned long long>(n));
+    out += line;
+  }
+  return out;
+}
+
+void traffic_meter::reset() {
+  by_kind_.clear();
+  drops_.clear();
+}
+
+}  // namespace manet

@@ -1,0 +1,179 @@
+#include "replica/anti_entropy.hpp"
+
+#include <cassert>
+#include <unordered_map>
+
+namespace manet {
+
+namespace {
+
+struct digest_payload final : message_payload {
+  std::vector<std::pair<object_id, version_vector>> entries;
+};
+
+struct delta_payload final : message_payload {
+  std::vector<replica_object> objects;
+  std::vector<object_id> want;  ///< piggybacked pull request
+};
+
+}  // namespace
+
+anti_entropy::anti_entropy(network& net, router& route,
+                           std::vector<replica_store>& stores,
+                           anti_entropy_params params)
+    : net_(net), route_(route), stores_(stores), params_(params) {
+  assert(stores_.size() == net_.size());
+  for (node_id n = 0; n < net_.size(); ++n) {
+    rngs_.push_back(net_.sim().make_rng("anti_entropy", n));
+  }
+  net_.meter().register_kind(kind_ae_digest, "AE_DIGEST");
+  net_.meter().register_kind(kind_ae_delta, "AE_DELTA");
+  route_.set_kind_handler(kind_ae_digest,
+                          [this](node_id self, const packet& p) { on_digest(self, p); });
+  route_.set_kind_handler(kind_ae_delta,
+                          [this](node_id self, const packet& p) { on_delta(self, p); });
+}
+
+void anti_entropy::start() {
+  timers_.clear();
+  for (node_id n = 0; n < net_.size(); ++n) {
+    auto timer = std::make_unique<periodic_timer>(
+        net_.sim(), params_.gossip_interval, [this, n] { gossip_once(n); });
+    timer->start(rngs_.at(n).uniform(0, params_.gossip_interval));
+    timers_.push_back(std::move(timer));
+  }
+}
+
+void anti_entropy::gossip_once(node_id n) {
+  if (!net_.at(n).up()) return;
+  const auto neighbors = net_.air().neighbors(n);
+  if (neighbors.empty()) return;
+  const node_id peer = neighbors[rngs_.at(n).uniform_int(neighbors.size())];
+  ++rounds_;
+
+  auto payload = std::make_shared<digest_payload>();
+  for (object_id o : stores_[n].objects()) {
+    const replica_object* obj = stores_[n].find(o);
+    payload->entries.emplace_back(o, obj->clock);
+  }
+  const std::size_t bytes =
+      params_.header_bytes + payload->entries.size() * params_.digest_entry_bytes;
+  route_.send(n, peer, kind_ae_digest, std::move(payload), bytes);
+}
+
+void anti_entropy::send_delta(node_id from, node_id to,
+                              const std::vector<object_id>& objects,
+                              const std::vector<object_id>& want) {
+  if (objects.empty() && want.empty()) return;
+  auto payload = std::make_shared<delta_payload>();
+  for (object_id o : objects) {
+    const replica_object* obj = stores_[from].find(o);
+    if (obj != nullptr) payload->objects.push_back(*obj);
+  }
+  payload->want = want;
+  transferred_ += payload->objects.size();
+  const std::size_t bytes = params_.header_bytes +
+                            payload->objects.size() * params_.value_bytes +
+                            want.size() * 8;
+  route_.send(from, to, kind_ae_delta, std::move(payload), bytes);
+}
+
+void anti_entropy::on_digest(node_id self, const packet& p) {
+  if (!net_.at(self).up()) return;
+  const auto* digest = payload_cast<digest_payload>(p);
+  assert(digest != nullptr);
+  const node_id sender = p.src;
+  replica_store& mine = stores_[self];
+
+  std::vector<object_id> push;  // objects where I have news for the sender
+  std::vector<object_id> want;  // objects where the sender has news for me
+  std::unordered_map<object_id, bool> in_digest;
+  for (const auto& [o, remote_clock] : digest->entries) {
+    in_digest[o] = true;
+    const replica_object* local = mine.find(o);
+    if (local == nullptr) {
+      want.push_back(o);
+      continue;
+    }
+    switch (local->clock.compare(remote_clock)) {
+      case vv_order::equal:
+        break;
+      case vv_order::after:
+        push.push_back(o);
+        break;
+      case vv_order::before:
+        want.push_back(o);
+        break;
+      case vv_order::concurrent:
+        push.push_back(o);
+        want.push_back(o);
+        break;
+    }
+  }
+  // Objects the sender has never heard of.
+  for (object_id o : mine.objects()) {
+    if (!in_digest.count(o)) push.push_back(o);
+  }
+  send_delta(self, sender, push, want);
+}
+
+void anti_entropy::on_delta(node_id self, const packet& p) {
+  if (!net_.at(self).up()) return;
+  const auto* delta = payload_cast<delta_payload>(p);
+  assert(delta != nullptr);
+  replica_store& mine = stores_[self];
+  for (const replica_object& obj : delta->objects) {
+    mine.merge(obj);
+  }
+  if (!delta->want.empty()) {
+    send_delta(self, p.src, delta->want, {});
+  }
+}
+
+bool anti_entropy::converged() const {
+  return divergent_states() == 0;
+}
+
+std::size_t anti_entropy::divergent_states() const {
+  // For each object, the eventual winner is the join of all replicas.
+  std::unordered_map<object_id, replica_object> winner;
+  for (const auto& store : stores_) {
+    for (object_id o : store.objects()) {
+      const replica_object* obj = store.find(o);
+      auto it = winner.find(o);
+      if (it == winner.end()) {
+        winner[o] = *obj;
+      } else {
+        // Reuse the store merge rule via a scratch store-less merge.
+        replica_object& w = it->second;
+        switch (w.clock.compare(obj->clock)) {
+          case vv_order::equal:
+          case vv_order::after:
+            break;
+          case vv_order::before:
+            w = *obj;
+            break;
+          case vv_order::concurrent: {
+            const bool other_wins =
+                obj->clock.total() > w.clock.total() ||
+                (obj->clock.total() == w.clock.total() && obj->value > w.value);
+            w.clock.merge(obj->clock);
+            if (other_wins) w.value = obj->value;
+            break;
+          }
+        }
+      }
+    }
+  }
+  std::size_t divergent = 0;
+  for (const auto& store : stores_) {
+    for (object_id o : store.objects()) {
+      const replica_object* obj = store.find(o);
+      const replica_object& w = winner.at(o);
+      if (obj->value != w.value || !(obj->clock == w.clock)) ++divergent;
+    }
+  }
+  return divergent;
+}
+
+}  // namespace manet

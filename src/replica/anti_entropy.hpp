@@ -1,0 +1,79 @@
+// Anti-entropy gossip for multi-writer replicas (paper §6, future work #3).
+//
+// Every gossip interval each node picks a random current neighbor and runs a
+// push-pull reconciliation round:
+//   DIGEST  A->B : (object, version vector) summaries of A's replicas
+//   DELTA   B->A : full objects where B is newer/concurrent or A unaware,
+//                  plus a want-list of objects where A is newer
+//   DELTA   A->B : the wanted objects
+// Rounds touch only direct neighbors, so reconciliation piggybacks on
+// mobility: partitions converge internally and heal when carriers move
+// between them (epidemic replication).
+#ifndef MANET_REPLICA_ANTI_ENTROPY_HPP
+#define MANET_REPLICA_ANTI_ENTROPY_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/network.hpp"
+#include "replica/replica_store.hpp"
+#include "routing/routing.hpp"
+#include "sim/timer.hpp"
+
+namespace manet {
+
+enum replica_kind : packet_kind {
+  kind_ae_digest = 170,
+  kind_ae_delta = 171,
+};
+
+struct anti_entropy_params {
+  sim_duration gossip_interval = 10.0;
+  std::size_t header_bytes = 16;
+  std::size_t digest_entry_bytes = 16;  ///< per (object, clock) summary
+  std::size_t value_bytes = 256;        ///< per full object transferred
+};
+
+class anti_entropy {
+ public:
+  /// `stores` must outlive the service and hold one store per node id.
+  anti_entropy(network& net, router& route, std::vector<replica_store>& stores,
+               anti_entropy_params params = {});
+
+  /// Starts the per-node gossip timers (phase-staggered).
+  void start();
+
+  /// Runs one gossip round for `n` immediately (tests).
+  void gossip_once(node_id n);
+
+  std::uint64_t rounds_started() const { return rounds_; }
+  std::uint64_t objects_transferred() const { return transferred_; }
+
+  /// True when every pair of stores agrees on every object (values and
+  /// clocks). O(nodes * objects); audit/diagnostic use.
+  bool converged() const;
+
+  /// Number of (node, object) states that disagree with the eventual-winner
+  /// state; 0 iff converged for all objects every node knows about.
+  std::size_t divergent_states() const;
+
+ private:
+  void on_digest(node_id self, const packet& p);
+  void on_delta(node_id self, const packet& p);
+  void send_delta(node_id from, node_id to, const std::vector<object_id>& objects,
+                  const std::vector<object_id>& want);
+
+  network& net_;
+  router& route_;
+  std::vector<replica_store>& stores_;
+  anti_entropy_params params_;
+  std::vector<std::unique_ptr<periodic_timer>> timers_;
+  std::vector<rng> rngs_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t transferred_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_REPLICA_ANTI_ENTROPY_HPP

@@ -1,0 +1,115 @@
+// Per-node store of multi-writer replicated objects.
+//
+// Each object carries a version vector and an opaque "value id" standing in
+// for content (the simulation never materializes payload bytes). merge()
+// implements the reconciliation rule: dominating histories win outright;
+// concurrent histories are joined and the value is chosen deterministically
+// (larger writes-total, then larger value id), counting one conflict.
+#ifndef MANET_REPLICA_REPLICA_STORE_HPP
+#define MANET_REPLICA_REPLICA_STORE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "replica/version_vector.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+/// Identifier of a replicated object (separate space from cache item_id).
+using object_id = std::uint32_t;
+
+/// Opaque content identity: two replicas agree iff value ids match.
+using value_id = std::uint64_t;
+
+struct replica_object {
+  object_id object = 0;
+  value_id value = 0;
+  version_vector clock;
+};
+
+class replica_store {
+ public:
+  explicit replica_store(node_id self) : self_(self) {}
+
+  node_id self() const { return self_; }
+  std::size_t size() const { return objects_.size(); }
+  bool contains(object_id o) const { return objects_.count(o) != 0; }
+
+  const replica_object* find(object_id o) const {
+    auto it = objects_.find(o);
+    return it == objects_.end() ? nullptr : &it->second;
+  }
+
+  /// Local write: installs `value` and advances this node's clock component.
+  void write(object_id o, value_id value) {
+    replica_object& obj = objects_[o];
+    obj.object = o;
+    obj.value = value;
+    obj.clock.bump(self_);
+    ++local_writes_;
+  }
+
+  enum class merge_result {
+    unchanged,    ///< remote was older or identical
+    fast_forward, ///< remote dominated; adopted outright
+    conflict,     ///< concurrent histories; deterministically reconciled
+    created,      ///< object was unknown here
+  };
+
+  /// Incorporates a remote state.
+  merge_result merge(const replica_object& remote);
+
+  std::uint64_t conflicts() const { return conflicts_; }
+  std::uint64_t local_writes() const { return local_writes_; }
+
+  std::vector<object_id> objects() const {
+    std::vector<object_id> out;
+    out.reserve(objects_.size());
+    for (const auto& [o, _] : objects_) out.push_back(o);
+    return out;
+  }
+
+ private:
+  node_id self_;
+  std::unordered_map<object_id, replica_object> objects_;
+  std::uint64_t conflicts_ = 0;
+  std::uint64_t local_writes_ = 0;
+};
+
+inline replica_store::merge_result replica_store::merge(const replica_object& remote) {
+  auto it = objects_.find(remote.object);
+  if (it == objects_.end()) {
+    objects_[remote.object] = remote;
+    return merge_result::created;
+  }
+  replica_object& local = it->second;
+  switch (local.clock.compare(remote.clock)) {
+    case vv_order::equal:
+      return merge_result::unchanged;
+    case vv_order::after:
+      return merge_result::unchanged;
+    case vv_order::before:
+      local.value = remote.value;
+      local.clock = remote.clock;
+      return merge_result::fast_forward;
+    case vv_order::concurrent: {
+      // Deterministic last-writer-wins: more total writes win; ties break
+      // toward the larger value id so every replica picks the same winner.
+      const bool remote_wins =
+          remote.clock.total() > local.clock.total() ||
+          (remote.clock.total() == local.clock.total() &&
+           remote.value > local.value);
+      local.clock.merge(remote.clock);
+      if (remote_wins) local.value = remote.value;
+      ++conflicts_;
+      return merge_result::conflict;
+    }
+  }
+  return merge_result::unchanged;
+}
+
+}  // namespace manet
+
+#endif  // MANET_REPLICA_REPLICA_STORE_HPP

@@ -1,0 +1,86 @@
+// Vector clocks for multi-writer replicas (paper §6, future work #3).
+//
+// Unlike the cache model — where only the source host writes and a scalar
+// version number suffices — replicas accept writes at any holder. A version
+// vector per object detects whether two states are ordered or concurrent;
+// concurrent states are merged deterministically by the replica store.
+#ifndef MANET_REPLICA_VERSION_VECTOR_HPP
+#define MANET_REPLICA_VERSION_VECTOR_HPP
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+#include "util/units.hpp"
+
+namespace manet {
+
+enum class vv_order {
+  equal,       ///< identical histories
+  before,      ///< lhs happened strictly before rhs
+  after,       ///< lhs happened strictly after rhs
+  concurrent,  ///< conflicting histories
+};
+
+class version_vector {
+ public:
+  /// Records one write by `writer`.
+  void bump(node_id writer) { ++counts_[writer]; }
+
+  std::uint64_t count(node_id writer) const {
+    auto it = counts_.find(writer);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Total writes across all writers (used as a deterministic LWW tiebreak).
+  std::uint64_t total() const {
+    std::uint64_t t = 0;
+    for (const auto& [_, c] : counts_) t += c;
+    return t;
+  }
+
+  bool empty() const { return counts_.empty(); }
+
+  vv_order compare(const version_vector& other) const {
+    bool le = true;  // this <= other component-wise
+    bool ge = true;
+    for (const auto& [w, c] : counts_) {
+      const std::uint64_t oc = other.count(w);
+      if (c > oc) le = false;
+      if (c < oc) ge = false;
+    }
+    for (const auto& [w, oc] : other.counts_) {
+      const std::uint64_t c = count(w);
+      if (c > oc) le = false;
+      if (c < oc) ge = false;
+    }
+    if (le && ge) return vv_order::equal;
+    if (le) return vv_order::before;
+    if (ge) return vv_order::after;
+    return vv_order::concurrent;
+  }
+
+  /// Component-wise maximum (join of the two histories).
+  void merge(const version_vector& other) {
+    for (const auto& [w, oc] : other.counts_) {
+      auto& c = counts_[w];
+      c = std::max(c, oc);
+    }
+  }
+
+  bool operator==(const version_vector& other) const {
+    return compare(other) == vv_order::equal;
+  }
+
+  /// Modeled wire size: one (id, counter) pair per writer.
+  std::size_t wire_bytes() const { return 4 + counts_.size() * 12; }
+
+  const std::map<node_id, std::uint64_t>& counts() const { return counts_; }
+
+ private:
+  std::map<node_id, std::uint64_t> counts_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_REPLICA_VERSION_VECTOR_HPP

@@ -1,0 +1,321 @@
+#include "routing/aodv.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+namespace {
+
+/// RREQ: flooded; pkt.src = origin, payload names the sought target.
+struct rreq_payload final : message_payload {
+  node_id target = invalid_node;
+};
+
+/// RREP: unicast hop-by-hop from target back to origin along reverse routes;
+/// pkt.src = target, pkt.dst = origin.
+struct rrep_payload final : message_payload {
+  node_id target = invalid_node;
+};
+
+/// RERR: unicast toward the origin of a failed packet; receivers drop their
+/// route to `unreachable`.
+struct rerr_payload final : message_payload {
+  node_id unreachable = invalid_node;
+};
+
+}  // namespace
+
+aodv_router::aodv_router(network& net, aodv_params params)
+    : net_(net), params_(params) {
+  net_.meter().register_kind(kind_rreq, "aodv.RREQ");
+  net_.meter().register_kind(kind_rrep, "aodv.RREP");
+  net_.meter().register_kind(kind_rerr, "aodv.RERR");
+}
+
+aodv_router::node_state& aodv_router::state(node_id id) {
+  if (states_.size() < net_.size()) states_.resize(net_.size());
+  return states_.at(id);
+}
+
+void aodv_router::install_route(node_id self, node_id dst, node_id next_hop,
+                                int hops) {
+  auto& st = state(self);
+  auto it = st.routes.find(dst);
+  const sim_time expires = net_.sim().now() + params_.route_lifetime;
+  // Without AODV sequence numbers, refreshing an existing entry on evidence
+  // that arrived via a *different* neighbor is how routing loops form; only
+  // accept the new path when it is at least as short, or when the old entry
+  // already expired, or when the evidence is about the entry's own next hop.
+  if (it == st.routes.end() || it->second.expires < net_.sim().now() ||
+      hops <= it->second.hops) {
+    st.routes[dst] = route_entry{next_hop, hops, expires};
+  } else if (it->second.next_hop == next_hop) {
+    it->second.hops = hops;
+    it->second.expires = expires;
+  }
+}
+
+const aodv_router::route_entry* aodv_router::lookup_route(node_id self, node_id dst) {
+  auto& st = state(self);
+  auto it = st.routes.find(dst);
+  if (it == st.routes.end()) return nullptr;
+  if (it->second.expires < net_.sim().now()) {
+    st.routes.erase(it);
+    return nullptr;
+  }
+  return &it->second;
+}
+
+bool aodv_router::has_route(node_id self, node_id dst) const {
+  // const_cast-free reimplementation of lookup without erasure.
+  if (states_.size() <= self) return false;
+  auto it = states_[self].routes.find(dst);
+  return it != states_[self].routes.end() && it->second.expires >= net_.sim().now();
+}
+
+void aodv_router::send(node_id from, node_id to, packet_kind kind,
+                       std::shared_ptr<const message_payload> payload,
+                       std::size_t size_bytes) {
+  assert(kind >= first_app_kind && "app unicast must use app kinds");
+  packet p;
+  p.uid = net_.next_uid();
+  p.kind = kind;
+  p.src = from;
+  p.dst = to;
+  p.ttl = static_cast<int>(net_.size()) + params_.rreq_ttl_max;
+  p.size_bytes = size_bytes;
+  p.payload = std::move(payload);
+  net_.meter().record_originated(kind);
+  if (from == to) {
+    deliver_to_app(from, p);
+    return;
+  }
+  if (!net_.at(from).up()) {
+    net_.meter().record_drop(kind, drop_reason::node_down);
+    return;
+  }
+  forward_data(from, std::move(p));
+}
+
+void aodv_router::forward_data(node_id self, packet p) {
+  if (p.dst == self) {
+    deliver_to_app(self, p);
+    return;
+  }
+  if (p.ttl <= 0) {
+    net_.meter().record_drop(p.kind, drop_reason::ttl_expired);
+    return;
+  }
+  const route_entry* route = lookup_route(self, p.dst);
+  if (route != nullptr && !net_.air().reachable(self, route->next_hop)) {
+    // Link break detected (stand-in for MAC-layer feedback, paper §4.5).
+    state(self).routes.erase(p.dst);
+    route = nullptr;
+    if (self != p.src) {
+      handle_forward_failure(self, p);
+      return;
+    }
+  }
+  if (route == nullptr) {
+    if (self == p.src) {
+      auto& st = state(self);
+      auto& pd = st.pending[p.dst];
+      if (pd.queue.size() >= params_.pending_queue_cap) {
+        net_.meter().record_drop(p.kind, drop_reason::no_route);
+        return;
+      }
+      const bool fresh = pd.queue.empty() && !pd.timeout.pending();
+      pd.queue.push_back(std::move(p));
+      if (fresh) start_discovery(self, pd.queue.back().dst);
+      return;
+    }
+    handle_forward_failure(self, p);
+    return;
+  }
+  --p.ttl;
+  ++p.hops;
+  // Refresh the route we are using.
+  state(self).routes[p.dst].expires = net_.sim().now() + params_.route_lifetime;
+  net_.send_frame(self, route->next_hop, std::move(p));
+}
+
+void aodv_router::handle_forward_failure(node_id self, const packet& p) {
+  net_.meter().record_drop(p.kind, drop_reason::no_route);
+  // Tell the origin its route through us is dead so it rediscovers promptly.
+  const route_entry* back = lookup_route(self, p.src);
+  if (back == nullptr || !net_.air().reachable(self, back->next_hop)) return;
+  auto payload = std::make_shared<rerr_payload>();
+  payload->unreachable = p.dst;
+  packet err;
+  err.uid = net_.next_uid();
+  err.kind = kind_rerr;
+  err.src = self;
+  err.dst = p.src;
+  err.ttl = static_cast<int>(net_.size());
+  err.size_bytes = params_.rerr_bytes;
+  err.payload = std::move(payload);
+  net_.meter().record_originated(kind_rerr);
+  net_.send_frame(self, back->next_hop, std::move(err));
+}
+
+void aodv_router::start_discovery(node_id self, node_id dst) {
+  ++discoveries_;
+  send_rreq(self, dst);
+}
+
+void aodv_router::send_rreq(node_id self, node_id dst) {
+  if (!net_.at(self).up()) {
+    fail_pending(self, dst);
+    return;
+  }
+  // Expanding-ring search: each retry widens the flood.
+  const int retries = state(self).pending[dst].retries;
+  int ring_ttl = params_.rreq_ttl_start;
+  for (int i = 0; i < retries && ring_ttl < params_.rreq_ttl_max; ++i) ring_ttl *= 2;
+  if (ring_ttl > params_.rreq_ttl_max) ring_ttl = params_.rreq_ttl_max;
+
+  auto payload = std::make_shared<rreq_payload>();
+  payload->target = dst;
+  packet p;
+  p.uid = net_.next_uid();
+  p.kind = kind_rreq;
+  p.src = self;
+  p.dst = broadcast_node;
+  p.ttl = ring_ttl;
+  p.size_bytes = params_.rreq_bytes;
+  p.payload = std::move(payload);
+  net_.meter().record_originated(kind_rreq);
+  state(self).rreq_seen.seen_before(net_.sim().now(), p.uid);
+  net_.send_frame(self, broadcast_node, std::move(p));
+
+  auto& pd = state(self).pending[dst];
+  pd.timeout.cancel();
+  pd.timeout = net_.sim().schedule_in(params_.rreq_timeout, [this, self, dst] {
+    auto& st = state(self);
+    auto it = st.pending.find(dst);
+    if (it == st.pending.end()) return;
+    if (it->second.retries < params_.max_discovery_retries) {
+      ++it->second.retries;
+      send_rreq(self, dst);
+    } else {
+      fail_pending(self, dst);
+    }
+  });
+}
+
+void aodv_router::on_rreq(node_id self, node_id from, const packet& p) {
+  if (state(self).rreq_seen.seen_before(net_.sim().now(), p.uid)) return;
+  const auto* req = payload_cast<rreq_payload>(p);
+  assert(req != nullptr);
+  // Learn/refresh the reverse route toward the origin.
+  install_route(self, p.src, from, p.hops + 1);
+  if (req->target == self) {
+    auto payload = std::make_shared<rrep_payload>();
+    payload->target = self;
+    packet rep;
+    rep.uid = net_.next_uid();
+    rep.kind = kind_rrep;
+    rep.src = self;
+    rep.dst = p.src;
+    rep.ttl = static_cast<int>(net_.size());
+    rep.size_bytes = params_.rrep_bytes;
+    rep.payload = std::move(payload);
+    net_.meter().record_originated(kind_rrep);
+    const route_entry* back = lookup_route(self, p.src);
+    assert(back != nullptr);  // just installed
+    net_.send_frame(self, back->next_hop, std::move(rep));
+    return;
+  }
+  if (p.ttl > 1) {
+    packet fwd = p;
+    --fwd.ttl;
+    ++fwd.hops;
+    net_.send_frame(self, broadcast_node, std::move(fwd));
+  }
+}
+
+void aodv_router::on_rrep(node_id self, node_id from, const packet& p) {
+  const auto* rep = payload_cast<rrep_payload>(p);
+  assert(rep != nullptr);
+  // Learn the forward route toward the target.
+  install_route(self, rep->target, from, p.hops + 1);
+  if (p.dst == self) {
+    flush_pending(self, rep->target);
+    return;
+  }
+  const route_entry* back = lookup_route(self, p.dst);
+  if (back == nullptr || !net_.air().reachable(self, back->next_hop)) {
+    net_.meter().record_drop(p.kind, drop_reason::no_route);
+    return;
+  }
+  if (p.ttl <= 1) {
+    net_.meter().record_drop(p.kind, drop_reason::ttl_expired);
+    return;
+  }
+  packet fwd = p;
+  --fwd.ttl;
+  ++fwd.hops;
+  net_.send_frame(self, back->next_hop, std::move(fwd));
+}
+
+void aodv_router::on_rerr(node_id self, node_id from, const packet& p) {
+  (void)from;
+  const auto* err = payload_cast<rerr_payload>(p);
+  assert(err != nullptr);
+  state(self).routes.erase(err->unreachable);
+  if (p.dst == self) return;
+  const route_entry* back = lookup_route(self, p.dst);
+  if (back == nullptr || !net_.air().reachable(self, back->next_hop)) return;
+  packet fwd = p;
+  --fwd.ttl;
+  ++fwd.hops;
+  if (fwd.ttl <= 0) return;
+  net_.send_frame(self, back->next_hop, std::move(fwd));
+}
+
+void aodv_router::flush_pending(node_id self, node_id dst) {
+  auto& st = state(self);
+  auto it = st.pending.find(dst);
+  if (it == st.pending.end()) return;
+  it->second.timeout.cancel();
+  std::vector<packet> queue = std::move(it->second.queue);
+  st.pending.erase(it);
+  for (auto& p : queue) forward_data(self, std::move(p));
+}
+
+void aodv_router::fail_pending(node_id self, node_id dst) {
+  auto& st = state(self);
+  auto it = st.pending.find(dst);
+  if (it == st.pending.end()) return;
+  it->second.timeout.cancel();
+  for (const auto& p : it->second.queue) {
+    net_.meter().record_drop(p.kind, drop_reason::no_route);
+  }
+  st.pending.erase(it);
+}
+
+void aodv_router::learn_route(node_id self, node_id origin, node_id from, int hops) {
+  if (self == origin) return;
+  install_route(self, origin, from, hops);
+}
+
+void aodv_router::on_frame(node_id self, node_id from, const packet& p) {
+  switch (p.kind) {
+    case kind_rreq:
+      on_rreq(self, from, p);
+      return;
+    case kind_rrep:
+      on_rrep(self, from, p);
+      return;
+    case kind_rerr:
+      on_rerr(self, from, p);
+      return;
+    default:
+      // Unicast application data in transit.
+      install_route(self, p.src, from, p.hops + 1);
+      forward_data(self, p);
+      return;
+  }
+}
+
+}  // namespace manet

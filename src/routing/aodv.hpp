@@ -1,0 +1,101 @@
+// On-demand unicast routing in the style of AODV.
+//
+// Route discovery: the origin floods a RREQ; nodes learn reverse routes from
+// the RREQ's path; the target unicasts a RREP back along the reverse route,
+// installing forward routes. Data packets are forwarded hop-by-hop; a node
+// that cannot reach the next hop invalidates the route and sends a RERR back
+// toward the origin, which rediscovers on the next send. Routes expire after
+// a lifetime so mobility-induced staleness is bounded.
+//
+// Simplifications vs RFC 3561 (documented in DESIGN.md): no sequence
+// numbers (expiry bounds staleness instead), no intermediate-node RREP from
+// cached routes, no HELLO beacons (reachability is checked against the
+// radio model at forwarding time, standing in for link-layer feedback).
+#ifndef MANET_ROUTING_AODV_HPP
+#define MANET_ROUTING_AODV_HPP
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/dedup_cache.hpp"
+#include "net/network.hpp"
+#include "routing/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet {
+
+struct aodv_params {
+  int rreq_ttl_start = 2;           ///< expanding-ring search: first RREQ hop budget
+  int rreq_ttl_max = 16;            ///< hop budget cap for RREQ retries
+  sim_duration rreq_timeout = 1.0;  ///< wait for RREP before retry
+  int max_discovery_retries = 2;    ///< RREQ retries before giving up
+  sim_duration route_lifetime = 30.0;  ///< idle route expiry
+  std::size_t pending_queue_cap = 64;  ///< buffered packets per destination
+  std::size_t rreq_bytes = 24;
+  std::size_t rrep_bytes = 24;
+  std::size_t rerr_bytes = 20;
+};
+
+class aodv_router final : public router {
+ public:
+  aodv_router(network& net, aodv_params params = {});
+
+  void send(node_id from, node_id to, packet_kind kind,
+            std::shared_ptr<const message_payload> payload,
+            std::size_t size_bytes) override;
+
+  void on_frame(node_id self, node_id from, const packet& p) override;
+
+  void learn_route(node_id self, node_id origin, node_id from, int hops) override;
+
+  const aodv_params& params() const { return params_; }
+
+  /// True if `self` currently holds an unexpired route to `dst` (tests).
+  bool has_route(node_id self, node_id dst) const;
+
+  /// Number of discoveries started (diagnostics/benchmarks).
+  std::uint64_t discoveries_started() const { return discoveries_; }
+
+ private:
+  struct route_entry {
+    node_id next_hop = invalid_node;
+    int hops = 0;
+    sim_time expires = 0;
+  };
+
+  struct pending_discovery {
+    std::vector<packet> queue;
+    int retries = 0;
+    event_handle timeout;
+  };
+
+  struct node_state {
+    std::unordered_map<node_id, route_entry> routes;
+    std::unordered_map<node_id, pending_discovery> pending;
+    dedup_cache rreq_seen;
+  };
+
+  node_state& state(node_id id);
+
+  void install_route(node_id self, node_id dst, node_id next_hop, int hops);
+  const route_entry* lookup_route(node_id self, node_id dst);
+
+  void forward_data(node_id self, packet p);
+  void start_discovery(node_id self, node_id dst);
+  void send_rreq(node_id self, node_id dst);
+  void on_rreq(node_id self, node_id from, const packet& p);
+  void on_rrep(node_id self, node_id from, const packet& p);
+  void on_rerr(node_id self, node_id from, const packet& p);
+  void handle_forward_failure(node_id self, const packet& p);
+  void flush_pending(node_id self, node_id dst);
+  void fail_pending(node_id self, node_id dst);
+
+  network& net_;
+  aodv_params params_;
+  std::vector<node_state> states_;
+  std::uint64_t discoveries_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_ROUTING_AODV_HPP

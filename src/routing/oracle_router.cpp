@@ -1,0 +1,53 @@
+#include "routing/oracle_router.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+oracle_router::oracle_router(network& net) : net_(net) {}
+
+void oracle_router::send(node_id from, node_id to, packet_kind kind,
+                         std::shared_ptr<const message_payload> payload,
+                         std::size_t size_bytes) {
+  packet p;
+  p.uid = net_.next_uid();
+  p.kind = kind;
+  p.src = from;
+  p.dst = to;
+  p.ttl = static_cast<int>(net_.size());  // ample hop budget
+  p.size_bytes = size_bytes;
+  p.payload = std::move(payload);
+  net_.meter().record_originated(kind);
+  if (from == to) {
+    // Local delivery without touching the air.
+    deliver_to_app(from, p);
+    return;
+  }
+  forward(from, std::move(p));
+}
+
+void oracle_router::forward(node_id self, packet p) {
+  const auto path = net_.shortest_path(self, p.dst);
+  if (path.size() < 2) {
+    net_.meter().record_drop(p.kind, drop_reason::no_route);
+    return;
+  }
+  if (p.ttl <= 0) {
+    net_.meter().record_drop(p.kind, drop_reason::ttl_expired);
+    return;
+  }
+  --p.ttl;
+  ++p.hops;
+  net_.send_frame(self, path[1], std::move(p));
+}
+
+void oracle_router::on_frame(node_id self, node_id from, const packet& p) {
+  (void)from;
+  if (p.dst == self) {
+    deliver_to_app(self, p);
+    return;
+  }
+  forward(self, p);
+}
+
+}  // namespace manet

@@ -1,0 +1,31 @@
+// Omniscient router: every hop consults a BFS over the true current
+// connectivity graph. No control traffic; data frames still traverse the
+// MAC hop by hop. Recomputing at each hop makes it robust to movement
+// between hops.
+#ifndef MANET_ROUTING_ORACLE_ROUTER_HPP
+#define MANET_ROUTING_ORACLE_ROUTER_HPP
+
+#include "net/network.hpp"
+#include "routing/routing.hpp"
+
+namespace manet {
+
+class oracle_router final : public router {
+ public:
+  explicit oracle_router(network& net);
+
+  void send(node_id from, node_id to, packet_kind kind,
+            std::shared_ptr<const message_payload> payload,
+            std::size_t size_bytes) override;
+
+  void on_frame(node_id self, node_id from, const packet& p) override;
+
+ private:
+  void forward(node_id self, packet p);
+
+  network& net_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_ROUTING_ORACLE_ROUTER_HPP

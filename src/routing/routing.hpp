@@ -1,0 +1,82 @@
+// Unicast routing interface.
+//
+// Consistency protocols send end-to-end unicast messages (UPDATE, POLL_ACK,
+// GET_NEW, ...) through a router. Two implementations are provided:
+//   * aodv_router      — distributed on-demand route discovery (default)
+//   * oracle_router    — omniscient shortest-path forwarding, zero control
+//                        overhead (tests, ablation)
+// Both transmit data frames hop-by-hop through the MAC so multi-hop latency
+// and traffic are accounted identically; they differ only in how routes are
+// found.
+#ifndef MANET_ROUTING_ROUTING_HPP
+#define MANET_ROUTING_ROUTING_HPP
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "net/packet.hpp"
+
+namespace manet {
+
+/// Routing-layer packet kinds (all < first_app_kind).
+enum routing_kind : packet_kind {
+  kind_rreq = 1,
+  kind_rrep = 2,
+  kind_rerr = 3,
+};
+
+class router {
+ public:
+  virtual ~router() = default;
+
+  /// Invoked at the destination when a unicast packet arrives.
+  using delivery_handler = std::function<void(node_id self, const packet&)>;
+  void set_delivery_handler(delivery_handler h) { deliver_default_ = std::move(h); }
+
+  /// Kind-specific delivery handler; takes precedence over the default.
+  void set_kind_handler(packet_kind kind, delivery_handler h) {
+    deliver_by_kind_[kind] = std::move(h);
+  }
+
+  /// Sends an end-to-end unicast message. Delivery is best-effort: packets
+  /// may be dropped on route failure (metered as drops); callers that need
+  /// reliability retry at the protocol layer, as real MANET protocols do.
+  virtual void send(node_id from, node_id to, packet_kind kind,
+                    std::shared_ptr<const message_payload> payload,
+                    std::size_t size_bytes) = 0;
+
+  /// Frame entry point for unicast data and routing control frames.
+  virtual void on_frame(node_id self, node_id from, const packet& p) = 0;
+
+ protected:
+  /// Implementations call this when a packet reaches its destination.
+  void deliver_to_app(node_id self, const packet& p) {
+    if (auto it = deliver_by_kind_.find(p.kind); it != deliver_by_kind_.end()) {
+      it->second(self, p);
+    } else if (deliver_default_) {
+      deliver_default_(self, p);
+    }
+  }
+
+ private:
+  delivery_handler deliver_default_;
+  std::unordered_map<packet_kind, delivery_handler> deliver_by_kind_;
+
+ public:
+  /// Route learning from overheard flood traffic (DSR-style): a flood frame
+  /// from `origin` arriving via neighbor `from` after `hops` hops implies a
+  /// usable reverse route. The network dispatcher feeds every received flood
+  /// frame here; protocols then reply to flooded requests without a route
+  /// discovery. No-op for routers that do not keep tables.
+  virtual void learn_route(node_id self, node_id origin, node_id from, int hops) {
+    (void)self;
+    (void)origin;
+    (void)from;
+    (void)hops;
+  }
+};
+
+}  // namespace manet
+
+#endif  // MANET_ROUTING_ROUTING_HPP

@@ -1,0 +1,159 @@
+#include "scenario/params.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace manet {
+
+level_mix parse_mix(const std::string& name) {
+  if (name == "SC" || name == "sc") return level_mix::strong_only();
+  if (name == "DC" || name == "dc") return level_mix::delta_only();
+  if (name == "WC" || name == "wc") return level_mix::weak_only();
+  if (name == "HY" || name == "hy") return level_mix::hybrid();
+  throw std::runtime_error("unknown consistency mix '" + name +
+                           "' (expected SC|DC|WC|HY)");
+}
+
+std::string mix_name(const level_mix& mix) {
+  auto close = [](double a, double b) { return std::fabs(a - b) < 1e-9; };
+  if (close(mix.p_strong, 1) && close(mix.p_delta, 0) && close(mix.p_weak, 0))
+    return "SC";
+  if (close(mix.p_strong, 0) && close(mix.p_delta, 1) && close(mix.p_weak, 0))
+    return "DC";
+  if (close(mix.p_strong, 0) && close(mix.p_delta, 0) && close(mix.p_weak, 1))
+    return "WC";
+  if (close(mix.p_strong, mix.p_delta) && close(mix.p_delta, mix.p_weak))
+    return "HY";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "mix(%.2f/%.2f/%.2f)", mix.p_strong, mix.p_delta,
+                mix.p_weak);
+  return buf;
+}
+
+scenario_params scenario_params::from_config(const config& cfg) {
+  scenario_params p;
+  p.n_peers = static_cast<int>(cfg.get_int("n_peers", p.n_peers));
+  p.area_width = cfg.get_double("area_width", p.area_width);
+  p.area_height = cfg.get_double("area_height", p.area_height);
+  p.cache_num = static_cast<int>(cfg.get_int("cache_num", p.cache_num));
+  p.comm_range = cfg.get_double("comm_range", p.comm_range);
+  p.sim_time = cfg.get_double("sim_time", p.sim_time);
+  p.i_update = cfg.get_double("i_update", p.i_update);
+  p.i_query = cfg.get_double("i_query", p.i_query);
+  p.ttl_br = static_cast<int>(cfg.get_int("ttl_br", p.ttl_br));
+  p.ttl_inv = static_cast<int>(cfg.get_int("ttl_inv", p.ttl_inv));
+  p.ttn = cfg.get_double("ttn", p.ttn);
+  p.ttr = cfg.get_double("ttr", p.ttr);
+  p.ttp = cfg.get_double("ttp", p.ttp);
+  p.i_switch = cfg.get_double("i_switch", p.i_switch);
+  p.mu_car = cfg.get_double("mu_car", p.mu_car);
+  p.mu_cs = cfg.get_double("mu_cs", p.mu_cs);
+  p.mu_ce = cfg.get_double("mu_ce", p.mu_ce);
+  p.omega = cfg.get_double("omega", p.omega);
+  p.seed = static_cast<std::uint64_t>(cfg.get_int("seed", static_cast<long long>(p.seed)));
+  p.min_speed = cfg.get_double("min_speed", p.min_speed);
+  p.max_speed = cfg.get_double("max_speed", p.max_speed);
+  p.pause = cfg.get_double("pause", p.pause);
+  p.mobility = cfg.get_string("mobility", p.mobility);
+  p.group_size = static_cast<int>(cfg.get_int("group_size", p.group_size));
+  p.router = cfg.get_string("router", p.router);
+  p.mac = cfg.get_string("mac", p.mac);
+  p.loss_probability = cfg.get_double("loss", p.loss_probability);
+  p.mean_down_time = cfg.get_double("mean_down_time", p.mean_down_time);
+  p.switch_probability = cfg.get_double("switch_probability", p.switch_probability);
+  p.churn = cfg.get_bool("churn", p.churn);
+  p.content_bytes =
+      static_cast<std::size_t>(cfg.get_int("content_bytes", static_cast<long long>(p.content_bytes)));
+  p.control_bytes =
+      static_cast<std::size_t>(cfg.get_int("control_bytes", static_cast<long long>(p.control_bytes)));
+  p.coeff_window = cfg.get_double("coeff_window", p.coeff_window);
+  p.subnet_cell = cfg.get_double("subnet_cell", p.subnet_cell);
+  p.warmup = cfg.get_double("warmup", p.warmup);
+  if (cfg.contains("mix")) p.mix = parse_mix(cfg.get_string("mix", "SC"));
+  p.poll_ttl = static_cast<int>(cfg.get_int("poll_ttl", p.poll_ttl));
+  p.poll_ttl_max = static_cast<int>(cfg.get_int("poll_ttl_max", p.poll_ttl_max));
+  p.rpcc_immediate_update =
+      cfg.get_bool("rpcc_immediate_update", p.rpcc_immediate_update);
+  p.rpcc_adaptive_ttn = cfg.get_bool("rpcc_adaptive_ttn", p.rpcc_adaptive_ttn);
+  p.rpcc_adaptive_ttp = cfg.get_bool("rpcc_adaptive_ttp", p.rpcc_adaptive_ttp);
+  p.rpcc_max_relays =
+      static_cast<std::size_t>(cfg.get_int("rpcc_max_relays", static_cast<long long>(p.rpcc_max_relays)));
+  p.placement = cfg.get_string("placement", p.placement);
+  p.zipf_theta = cfg.get_double("zipf_theta", p.zipf_theta);
+  p.single_item_mode = cfg.get_bool("single_item_mode", p.single_item_mode);
+  p.trace_file = cfg.get_string("trace_file", p.trace_file);
+  p.trace_position_interval =
+      cfg.get_double("trace_position_interval", p.trace_position_interval);
+  return p;
+}
+
+void scenario_params::to_config(config& cfg) const {
+  cfg.set("n_peers", static_cast<long long>(n_peers));
+  cfg.set("area_width", area_width);
+  cfg.set("area_height", area_height);
+  cfg.set("cache_num", static_cast<long long>(cache_num));
+  cfg.set("comm_range", comm_range);
+  cfg.set("sim_time", sim_time);
+  cfg.set("i_update", i_update);
+  cfg.set("i_query", i_query);
+  cfg.set("ttl_br", static_cast<long long>(ttl_br));
+  cfg.set("ttl_inv", static_cast<long long>(ttl_inv));
+  cfg.set("ttn", ttn);
+  cfg.set("ttr", ttr);
+  cfg.set("ttp", ttp);
+  cfg.set("i_switch", i_switch);
+  cfg.set("mu_car", mu_car);
+  cfg.set("mu_cs", mu_cs);
+  cfg.set("mu_ce", mu_ce);
+  cfg.set("omega", omega);
+  cfg.set("seed", static_cast<long long>(seed));
+  cfg.set("min_speed", min_speed);
+  cfg.set("max_speed", max_speed);
+  cfg.set("pause", pause);
+  cfg.set("mobility", mobility);
+  cfg.set("group_size", static_cast<long long>(group_size));
+  cfg.set("router", router);
+  cfg.set("mac", mac);
+  cfg.set("loss", loss_probability);
+  cfg.set("mean_down_time", mean_down_time);
+  cfg.set("switch_probability", switch_probability);
+  cfg.set("churn", churn);
+  cfg.set("content_bytes", static_cast<long long>(content_bytes));
+  cfg.set("control_bytes", static_cast<long long>(control_bytes));
+  cfg.set("coeff_window", coeff_window);
+  cfg.set("subnet_cell", subnet_cell);
+  cfg.set("warmup", warmup);
+  cfg.set("mix", mix_name(mix));
+  cfg.set("poll_ttl", static_cast<long long>(poll_ttl));
+  cfg.set("poll_ttl_max", static_cast<long long>(poll_ttl_max));
+  cfg.set("rpcc_immediate_update", rpcc_immediate_update);
+  cfg.set("rpcc_adaptive_ttn", rpcc_adaptive_ttn);
+  cfg.set("rpcc_adaptive_ttp", rpcc_adaptive_ttp);
+  cfg.set("rpcc_max_relays", static_cast<long long>(rpcc_max_relays));
+  cfg.set("placement", placement);
+  cfg.set("zipf_theta", zipf_theta);
+  cfg.set("single_item_mode", single_item_mode);
+  if (!trace_file.empty()) cfg.set("trace_file", trace_file);
+}
+
+std::string scenario_params::describe() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof buf,
+      "N_Peers=%d  T_Area=%.0fx%.0fm  C_Num=%d  C_Range=%.0fm  T_Sim=%.0fs\n"
+      "I_Update=%.0fs  I_Query=%.0fs  TTL_BR=%d  TTL_INV=%d\n"
+      "TTN=%.0fs  TTR=%.0fs  TTP=%.0fs  I_Switch=%.0fs\n"
+      "mu_CAR=%.2f  mu_CS=%.2f  mu_CE=%.2f  omega=%.2f  phi=%.0fs\n"
+      "router=%s  mac=%s  mobility=%s(%.1f-%.1fm/s,pause %.0fs)  loss=%.2f  "
+      "churn=%s  placement=%s  mix=%s  warmup=%.0fs  seed=%llu\n",
+      n_peers, area_width, area_height, cache_num, comm_range, sim_time, i_update,
+      i_query, ttl_br, ttl_inv, ttn, ttr, ttp, i_switch, mu_car, mu_cs, mu_ce,
+      omega, coeff_window, router.c_str(), mac.c_str(), mobility.c_str(),
+      min_speed, max_speed, pause, loss_probability, churn ? "on" : "off",
+      placement.c_str(), mix_name(mix).c_str(), warmup,
+      static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+}  // namespace manet

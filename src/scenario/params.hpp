@@ -1,0 +1,111 @@
+// Scenario parameters (paper Table 1 plus substrate knobs the paper leaves
+// implicit). All defaults match the paper where the paper specifies them;
+// deviations are commented.
+#ifndef MANET_SCENARIO_PARAMS_HPP
+#define MANET_SCENARIO_PARAMS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "consistency/level.hpp"
+#include "util/config.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+struct scenario_params {
+  // --- Table 1 ---
+  int n_peers = 50;                         // N_Peers
+  meters area_width = 1500;                 // T_Area
+  meters area_height = 1500;
+  int cache_num = 10;                       // C_Num
+  meters comm_range = 250;                  // C_Range
+  sim_duration sim_time = hours(5);         // T_Sim
+  sim_duration i_update = minutes(2);       // I_Update
+  sim_duration i_query = seconds(20);       // I_Query
+  int ttl_br = 8;                           // TTL_BR: push/pull flood scope
+  int ttl_inv = 3;                          // TTL of RPCC INVALIDATION
+  sim_duration ttn = minutes(2);            // TTN_OP
+  sim_duration ttr = seconds(90);           // TTR_RP
+  sim_duration ttp = minutes(4);            // TTP_CP
+  sim_duration i_switch = minutes(5);       // I_Switch
+  double mu_car = 0.15;
+  double mu_cs = 0.6;
+  double mu_ce = 0.6;
+  double omega = 0.2;
+
+  // --- substrate knobs the paper does not pin down ---
+  std::uint64_t seed = 1;
+  // Pedestrian mobility: the paper's motivating scenarios (soldiers, mobile
+  // booths, walking users) are people-carried devices. Speeds are not given
+  // in Table 1.
+  double min_speed = 0.5;   // m/s
+  double max_speed = 2.0;   // m/s
+  sim_duration pause = 60;  // waypoint pause
+  std::string mobility = "waypoint";  // waypoint | walk | static | group
+  int group_size = 8;                 // nodes per squad for mobility=group
+  std::string router = "aodv";        // aodv | oracle
+  // Interference model: "simple" (random backoff only, default) or "csma"
+  // (overlapping transmissions within interference range collide).
+  std::string mac = "simple";
+  double loss_probability = 0.0;
+  sim_duration mean_down_time = 30;  // outage length per switch event
+  // I_Switch is modeled as the interval at which a peer *considers*
+  // disconnecting; it actually does so with switch_probability. With the
+  // paper's thresholds (mu_CS=0.6, omega=0.2) a peer that toggled every
+  // 5 minutes could never qualify as a relay, so the paper's table only
+  // makes sense if switches are occasional (see DESIGN.md §2).
+  double switch_probability = 0.1;
+  bool churn = true;
+  std::size_t content_bytes = 1024;
+  std::size_t control_bytes = 32;
+  sim_duration coeff_window = minutes(5);  // φ
+  meters subnet_cell = 1500;               // PMR "subnet" grid size: crossing a
+                                           // quadrant of the terrain counts as a
+                                           // subnet move (N_m)
+  // Measurement warm-up: the simulation runs for this long before traffic
+  // and latency counters are reset and measurement begins. RPCC's relay
+  // overlay needs one or two coefficient windows to form; the paper's 5 h
+  // runs make that negligible, short bench runs do not.
+  sim_duration warmup = 0;
+
+  // --- protocol/workload selection ---
+  level_mix mix = level_mix::strong_only();
+  // RPCC extras.
+  int poll_ttl = 2;
+  int poll_ttl_max = 8;
+  bool rpcc_immediate_update = false;
+  bool rpcc_adaptive_ttn = false;     // future-work #1: adaptive push frequency
+  bool rpcc_adaptive_ttp = false;     // future-work #1b: adaptive pull window
+  std::size_t rpcc_max_relays = 0;    // future-work #2: relay table cap (0 = off)
+
+  // Placement: "static" pre-warms caches per the paper's assumption;
+  // "dynamic" starts cold — queries draw Zipf(zipf_theta) over the whole
+  // catalogue, misses fetch content through the consistency protocol and
+  // fill the LRU stores.
+  std::string placement = "static";
+  double zipf_theta = 0.8;
+
+  // Fig 9 setup: one random source host whose item every other peer caches.
+  bool single_item_mode = false;
+
+  // Optional JSONL event trace (see metrics/trace_writer.hpp); empty = off.
+  std::string trace_file;
+  sim_duration trace_position_interval = 30.0;  ///< position sampling period
+
+  /// Builds from "key=value" config entries (unknown keys ignored so config
+  /// objects can be shared with bench flags). See params.cpp for key names.
+  static scenario_params from_config(const config& cfg);
+  void to_config(config& cfg) const;
+
+  /// Human-readable parameter block (benches print it, mirroring Table 1).
+  std::string describe() const;
+};
+
+/// Parses a mix name: SC | DC | WC | HY. Throws on unknown names.
+level_mix parse_mix(const std::string& name);
+std::string mix_name(const level_mix& mix);
+
+}  // namespace manet
+
+#endif  // MANET_SCENARIO_PARAMS_HPP

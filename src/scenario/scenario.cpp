@@ -1,0 +1,384 @@
+#include "scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "consistency/hybrid_protocol.hpp"
+#include "consistency/pull_protocol.hpp"
+#include "consistency/push_protocol.hpp"
+#include "consistency/rpcc/rpcc_protocol.hpp"
+#include "mobility/group_mobility.hpp"
+#include "mobility/random_walk.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "routing/aodv.hpp"
+#include "routing/oracle_router.hpp"
+#include "sim/timer.hpp"
+
+namespace manet {
+
+std::unique_ptr<consistency_protocol> make_protocol(const std::string& name,
+                                                    protocol_context ctx,
+                                                    const scenario_params& p) {
+  if (name == "push") {
+    push_params pp;
+    pp.ttn = p.ttn;
+    pp.inv_ttl = p.ttl_br;
+    pp.validity = p.ttp;
+    return std::make_unique<push_protocol>(ctx, pp);
+  }
+  if (name == "pull") {
+    pull_params pp;
+    pp.poll_ttl = p.ttl_br;
+    pp.validity = p.ttp;
+    return std::make_unique<pull_protocol>(ctx, pp);
+  }
+  if (name == "push_pull") {
+    hybrid_params hp;
+    hp.ttn = p.ttn;
+    hp.inv_ttl = p.ttl_br;
+    hp.validity = p.ttp;
+    return std::make_unique<hybrid_protocol>(ctx, hp);
+  }
+  if (name == "rpcc") {
+    rpcc_params rp;
+    rp.ttn = p.ttn;
+    rp.ttr = p.ttr;
+    rp.ttp = p.ttp;
+    rp.invalidation_ttl = p.ttl_inv;
+    rp.poll_ttl = p.poll_ttl;
+    rp.poll_ttl_max = p.poll_ttl_max;
+    rp.immediate_update_push = p.rpcc_immediate_update;
+    rp.adaptive_ttn = p.rpcc_adaptive_ttn;
+    rp.adaptive_ttp = p.rpcc_adaptive_ttp;
+    rp.max_relays_per_item = p.rpcc_max_relays;
+    rp.coeff.window = p.coeff_window;
+    rp.coeff.omega = p.omega;
+    rp.coeff.mu_car = p.mu_car;
+    rp.coeff.mu_cs = p.mu_cs;
+    rp.coeff.mu_ce = p.mu_ce;
+    rp.coeff.subnet_cell = p.subnet_cell;
+    return std::make_unique<rpcc_protocol>(ctx, rp);
+  }
+  throw std::runtime_error("unknown protocol '" + name +
+                           "' (expected push|pull|push_pull|rpcc)");
+}
+
+scenario::scenario(scenario_params params, std::string protocol_name)
+    : params_(params), protocol_name_(std::move(protocol_name)) {
+  build();
+}
+
+scenario::~scenario() = default;
+
+void scenario::build() {
+  assert(params_.n_peers > 0);
+  sim_ = std::make_unique<simulator>(params_.seed);
+
+  radio_params rp;
+  rp.range = params_.comm_range;
+  rp.loss_probability = params_.loss_probability;
+  if (params_.mac == "csma") {
+    rp.collisions = true;
+  } else if (params_.mac != "simple") {
+    throw std::runtime_error("unknown mac model '" + params_.mac + "'");
+  }
+  net_ = std::make_unique<network>(
+      *sim_, terrain(params_.area_width, params_.area_height), rp, energy_params{});
+
+  const terrain land(params_.area_width, params_.area_height);
+  std::vector<std::shared_ptr<group_reference>> groups;
+  if (params_.mobility == "group") {
+    const int n_groups =
+        std::max(1, (params_.n_peers + params_.group_size - 1) / params_.group_size);
+    random_waypoint_params leader;
+    leader.min_speed_mps = params_.min_speed;
+    leader.max_speed_mps = params_.max_speed;
+    leader.pause = params_.pause;
+    for (int g = 0; g < n_groups; ++g) {
+      groups.push_back(std::make_shared<group_reference>(
+          land, leader, sim_->make_rng("mobility.group", static_cast<std::uint64_t>(g))));
+    }
+  }
+  for (int i = 0; i < params_.n_peers; ++i) {
+    std::unique_ptr<mobility_model> mob;
+    rng gen = sim_->make_rng("mobility", static_cast<std::uint64_t>(i));
+    if (params_.mobility == "waypoint") {
+      random_waypoint_params wp;
+      wp.min_speed_mps = params_.min_speed;
+      wp.max_speed_mps = params_.max_speed;
+      wp.pause = params_.pause;
+      mob = std::make_unique<random_waypoint>(land, wp, gen);
+    } else if (params_.mobility == "walk") {
+      random_walk_params wp;
+      wp.min_speed_mps = params_.min_speed;
+      wp.max_speed_mps = params_.max_speed;
+      mob = std::make_unique<random_walk>(land, wp, gen);
+    } else if (params_.mobility == "group") {
+      group_mobility_params gp;
+      gp.leader.min_speed_mps = params_.min_speed;
+      gp.leader.max_speed_mps = params_.max_speed;
+      gp.leader.pause = params_.pause;
+      mob = std::make_unique<group_member>(
+          groups[static_cast<std::size_t>(i / params_.group_size)], gp, gen);
+    } else if (params_.mobility == "static") {
+      mob = std::make_unique<static_mobility>(
+          vec2{gen.uniform(0, land.width()), gen.uniform(0, land.height())});
+    } else {
+      throw std::runtime_error("unknown mobility model '" + params_.mobility + "'");
+    }
+    net_->add_node(std::move(mob));
+  }
+
+  // Data items: the paper's model has m == n (host i owns item i); in
+  // single-item mode one random host owns the only item (Fig 9 setup).
+  item_of_source_.assign(params_.n_peers, invalid_item);
+  if (params_.single_item_mode) {
+    rng pick = sim_->make_rng("single_source");
+    single_source_ =
+        static_cast<node_id>(pick.uniform_int(static_cast<std::uint64_t>(params_.n_peers)));
+    const item_id d = registry_.add_item(single_source_, params_.content_bytes);
+    item_of_source_[single_source_] = d;
+  } else {
+    for (int i = 0; i < params_.n_peers; ++i) {
+      const item_id d =
+          registry_.add_item(static_cast<node_id>(i), params_.content_bytes);
+      item_of_source_[i] = d;
+    }
+  }
+
+  const std::size_t capacity = params_.single_item_mode
+                                   ? 1
+                                   : static_cast<std::size_t>(params_.cache_num);
+  stores_.clear();
+  stores_.reserve(params_.n_peers);
+  for (int i = 0; i < params_.n_peers; ++i) stores_.emplace_back(capacity);
+  place_caches();
+
+  qlog_ = std::make_unique<query_log>(*sim_, registry_, params_.ttp);
+  floods_ = std::make_unique<flooding_service>(*net_);
+  if (params_.router == "aodv") {
+    router_ = std::make_unique<aodv_router>(*net_);
+  } else if (params_.router == "oracle") {
+    router_ = std::make_unique<oracle_router>(*net_);
+  } else {
+    throw std::runtime_error("unknown router '" + params_.router + "'");
+  }
+
+  if (!params_.trace_file.empty()) {
+    trace_ = std::make_unique<trace_writer>(params_.trace_file);
+    for (int i = 0; i < params_.n_peers; ++i) {
+      net_->at(static_cast<node_id>(i))
+          .add_state_observer([this](node_id n, bool up) {
+            trace_->record_state(sim_->now(), n, up);
+          });
+    }
+  }
+
+  net_->set_dispatcher([this](node_id self, node_id from, const packet& p) {
+    if (trace_) trace_->record_rx(sim_->now(), self, from, p, net_->meter());
+    if (is_routing_kind(p.kind)) {
+      router_->on_frame(self, from, p);
+      return;
+    }
+    if (p.dst == broadcast_node) {
+      // Every heard flood frame doubles as a route advertisement for its
+      // origin (DSR-style overhearing).
+      router_->learn_route(self, p.src, from, p.hops + 1);
+      floods_->on_frame(self, from, p);
+      return;
+    }
+    router_->on_frame(self, from, p);
+  });
+
+  protocol_context ctx;
+  ctx.sim = sim_.get();
+  ctx.net = net_.get();
+  ctx.floods = floods_.get();
+  ctx.route = router_.get();
+  ctx.registry = &registry_;
+  ctx.stores = &stores_;
+  ctx.qlog = qlog_.get();
+  ctx.control_bytes = params_.control_bytes;
+  protocol_ = make_protocol(protocol_name_, ctx, params_);
+
+  workload_params wl;
+  wl.mean_query_interval = params_.i_query;
+  wl.mean_update_interval = params_.i_update;
+  wl.mix = params_.mix;
+  workload_ = std::make_unique<workload_generator>(
+      *sim_, static_cast<std::size_t>(params_.n_peers), wl,
+      /*pick=*/
+      [this](node_id n, rng& gen) -> item_id {
+        if (params_.placement == "dynamic") {
+          // Zipf over the catalogue, skipping the node's own item: queries
+          // drive both discovery-style fetching and LRU replacement.
+          for (int attempt = 0; attempt < 8; ++attempt) {
+            const auto d = static_cast<item_id>(
+                gen.zipf(registry_.size(), params_.zipf_theta));
+            if (registry_.source(d) != n) return d;
+          }
+          return invalid_item;
+        }
+        const auto items = stores_[n].items();
+        if (items.empty()) return invalid_item;
+        return items[gen.uniform_int(items.size())];
+      },
+      /*on_query=*/
+      [this](node_id n, item_id item, consistency_level level) {
+        if (trace_) trace_->record_query(sim_->now(), n, item, level);
+        protocol_->on_query(n, item, level);
+      },
+      /*on_update=*/
+      [this](node_id source) {
+        const item_id d = item_of_source_.at(source);
+        if (d == invalid_item) return;
+        const version_t v = registry_.bump(d, sim_->now());
+        if (trace_) trace_->record_update(sim_->now(), d, v);
+        protocol_->on_update(d);
+      },
+      /*node_up=*/[this](node_id n) { return net_->at(n).up(); });
+
+  if (params_.churn) {
+    churn_rng_.clear();
+    churn_rng_.reserve(params_.n_peers);
+    for (int i = 0; i < params_.n_peers; ++i) {
+      churn_rng_.push_back(sim_->make_rng("churn", static_cast<std::uint64_t>(i)));
+    }
+  }
+}
+
+void scenario::place_caches() {
+  // Dynamic placement starts cold: queries fill the LRU stores on demand.
+  if (params_.placement == "dynamic") return;
+  if (params_.placement != "static") {
+    throw std::runtime_error("unknown placement '" + params_.placement + "'");
+  }
+  // Static pre-placement: the paper assumes an independent placement
+  // mechanism, so caches start warm with version 0 copies.
+  if (params_.single_item_mode) {
+    for (int i = 0; i < params_.n_peers; ++i) {
+      if (static_cast<node_id>(i) == single_source_) continue;
+      cached_copy c;
+      c.item = item_of_source_.at(single_source_);
+      c.version = 0;
+      stores_[i].put(c);
+    }
+    return;
+  }
+  for (int i = 0; i < params_.n_peers; ++i) {
+    rng gen = sim_->make_rng("placement", static_cast<std::uint64_t>(i));
+    std::unordered_set<item_id> chosen;
+    const auto want = static_cast<std::size_t>(
+        std::min<long long>(params_.cache_num, params_.n_peers - 1));
+    while (chosen.size() < want) {
+      const auto d = static_cast<item_id>(
+          gen.uniform_int(static_cast<std::uint64_t>(registry_.size())));
+      if (registry_.source(d) == static_cast<node_id>(i)) continue;
+      if (!chosen.insert(d).second) continue;
+      cached_copy c;
+      c.item = d;
+      c.version = 0;
+      stores_[i].put(c);
+    }
+  }
+}
+
+void scenario::schedule_churn(node_id n) {
+  // Every ~I_Switch the peer considers disconnecting and does so with
+  // switch_probability (see scenario_params for why this is not an
+  // unconditional toggle).
+  const sim_duration until_consider = churn_rng_[n].exponential(params_.i_switch);
+  sim_->schedule_in(until_consider, [this, n] {
+    if (!churn_rng_[n].chance(params_.switch_probability)) {
+      schedule_churn(n);
+      return;
+    }
+    net_->set_node_up(n, false);
+    const sim_duration outage = churn_rng_[n].exponential(params_.mean_down_time);
+    sim_->schedule_in(outage, [this, n] {
+      net_->set_node_up(n, true);
+      schedule_churn(n);
+    });
+  });
+}
+
+void scenario::start_all() {
+  if (started_) return;
+  started_ = true;
+  if (trace_ && params_.trace_position_interval > 0) {
+    trace_position_timer_ = std::make_unique<periodic_timer>(
+        *sim_, params_.trace_position_interval, [this] {
+          for (int i = 0; i < params_.n_peers; ++i) {
+            const auto n = static_cast<node_id>(i);
+            const vec2 pos = net_->position(n);
+            trace_->record_position(sim_->now(), n, pos.x, pos.y);
+          }
+        });
+    trace_position_timer_->start(0.0);
+  }
+  protocol_->start();
+  workload_->start();
+  if (params_.churn) {
+    for (int i = 0; i < params_.n_peers; ++i) {
+      schedule_churn(static_cast<node_id>(i));
+    }
+  }
+}
+
+void scenario::run_until(sim_time t) {
+  start_all();
+  sim_->run_until(t);
+}
+
+run_result scenario::run() {
+  if (params_.warmup > 0) {
+    run_until(params_.warmup);
+    // End of warm-up: zero every measurement aggregate; protocol and cache
+    // state carry over so measurement starts from the formed steady state.
+    net_->meter().reset();
+    qlog_->reset_stats();
+    protocol_->reset_stats();
+    workload_baseline_queries_ = workload_->queries_issued();
+    workload_baseline_updates_ = workload_->updates_issued();
+    energy_baseline_.clear();
+    for (node_id n = 0; n < net_->size(); ++n) {
+      energy_baseline_.push_back(net_->at(n).energy_joules());
+    }
+  }
+  run_until(params_.warmup + params_.sim_time);
+  return summarize();
+}
+
+run_result scenario::summarize() const {
+  run_result r;
+  r.protocol = protocol_->name();
+  r.sim_time = sim_->now() - params_.warmup;
+  const traffic_meter& m = net_->meter();
+  r.total_messages = m.total_tx_frames();
+  r.app_messages = m.app_tx_frames();
+  r.routing_messages = m.routing_tx_frames();
+  r.total_bytes = m.total_tx_bytes();
+  r.queries_issued = qlog_->issued();
+  r.queries_answered = qlog_->answered();
+  const level_stats t = qlog_->totals();
+  r.avg_query_latency_s = t.latency.mean();
+  r.p95_query_latency_s = qlog_->latency_histogram().quantile(0.95);
+  r.stale_answers = t.stale_answers;
+  r.delta_violations = t.delta_violations;
+  r.avg_stale_age_s = t.stale_age.mean();
+  r.updates = workload_->updates_issued() - workload_baseline_updates_;
+  r.avg_relay_peers = protocol_->avg_relay_peers();
+  for (node_id n = 0; n < net_->size(); ++n) {
+    const double start = n < energy_baseline_.size()
+                             ? energy_baseline_[n]
+                             : net_->at(n).energy_max();
+    const double spent = start - net_->at(n).energy_joules();
+    r.energy_spent_j += spent;
+    r.max_node_energy_spent_j = std::max(r.max_node_energy_spent_j, spent);
+  }
+  return r;
+}
+
+}  // namespace manet

@@ -1,0 +1,100 @@
+// Scenario assembly: builds the complete simulation — terrain, nodes,
+// mobility, radio, MAC, flooding, routing, caches, workload, churn, metrics
+// and the chosen consistency protocol — from a scenario_params, runs it,
+// and summarizes the run.
+#ifndef MANET_SCENARIO_SCENARIO_HPP
+#define MANET_SCENARIO_SCENARIO_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+#include "cache/data_item.hpp"
+#include "cache/workload.hpp"
+#include "consistency/protocol.hpp"
+#include "metrics/collector.hpp"
+#include "metrics/query_log.hpp"
+#include "metrics/trace_writer.hpp"
+#include "net/flooding.hpp"
+#include "net/network.hpp"
+#include "routing/routing.hpp"
+#include "scenario/params.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace manet {
+
+/// Creates a protocol instance by name: "push" | "pull" | "rpcc".
+/// Throws std::runtime_error for unknown names.
+std::unique_ptr<consistency_protocol> make_protocol(const std::string& name,
+                                                    protocol_context ctx,
+                                                    const scenario_params& params);
+
+class scenario {
+ public:
+  scenario(scenario_params params, std::string protocol_name);
+  ~scenario();
+
+  scenario(const scenario&) = delete;
+  scenario& operator=(const scenario&) = delete;
+
+  /// Starts protocol/workload/churn (idempotent) and runs until
+  /// params.sim_time, then returns the summary.
+  run_result run();
+
+  /// Partial run for tests: starts everything on first call.
+  void run_until(sim_time t);
+
+  run_result summarize() const;
+
+  // --- accessors for tests, examples and benches ---
+  simulator& sim() { return *sim_; }
+  network& net() { return *net_; }
+  flooding_service& floods() { return *floods_; }
+  router& route() { return *router_; }
+  item_registry& registry() { return registry_; }
+  std::vector<cache_store>& stores() { return stores_; }
+  query_log& qlog() { return *qlog_; }
+  consistency_protocol& protocol() { return *protocol_; }
+  workload_generator& workload() { return *workload_; }
+  const scenario_params& params() const { return params_; }
+
+  /// The single source host in single_item_mode (invalid_node otherwise).
+  node_id single_source() const { return single_source_; }
+
+  /// The JSONL trace, when params.trace_file is set (nullptr otherwise).
+  trace_writer* trace() { return trace_.get(); }
+
+ private:
+  void build();
+  void place_caches();
+  void start_all();
+  void schedule_churn(node_id n);
+
+  scenario_params params_;
+  std::string protocol_name_;
+
+  std::unique_ptr<simulator> sim_;
+  std::unique_ptr<network> net_;
+  std::unique_ptr<flooding_service> floods_;
+  std::unique_ptr<router> router_;
+  item_registry registry_;
+  std::vector<item_id> item_of_source_;  ///< node -> item it owns (or invalid)
+  std::vector<cache_store> stores_;
+  std::unique_ptr<query_log> qlog_;
+  std::unique_ptr<consistency_protocol> protocol_;
+  std::unique_ptr<workload_generator> workload_;
+  std::vector<rng> churn_rng_;
+  std::unique_ptr<trace_writer> trace_;
+  std::unique_ptr<periodic_timer> trace_position_timer_;
+  node_id single_source_ = invalid_node;
+  bool started_ = false;
+  std::uint64_t workload_baseline_queries_ = 0;
+  std::uint64_t workload_baseline_updates_ = 0;
+  std::vector<double> energy_baseline_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_SCENARIO_SCENARIO_HPP

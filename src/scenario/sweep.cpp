@@ -1,0 +1,135 @@
+#include "scenario/sweep.hpp"
+
+#include <cassert>
+
+#include "scenario/scenario.hpp"
+
+namespace manet {
+
+std::vector<protocol_variant> paper_variants() {
+  return {
+      {"push", "push", level_mix::strong_only()},
+      {"pull", "pull", level_mix::strong_only()},
+      {"rpcc-SC", "rpcc", level_mix::strong_only()},
+      {"rpcc-DC", "rpcc", level_mix::delta_only()},
+      {"rpcc-WC", "rpcc", level_mix::weak_only()},
+      {"rpcc-HY", "rpcc", level_mix::hybrid()},
+  };
+}
+
+std::vector<protocol_variant> fig9_variants() {
+  return {
+      {"push", "push", level_mix::strong_only()},
+      {"pull", "pull", level_mix::strong_only()},
+      {"rpcc-SC", "rpcc", level_mix::strong_only()},
+  };
+}
+
+run_result run_variant(scenario_params base, const protocol_variant& v) {
+  base.mix = v.mix;
+  scenario sc(base, v.protocol);
+  return sc.run();
+}
+
+namespace {
+
+run_result average(const std::vector<run_result>& rs) {
+  assert(!rs.empty());
+  run_result out = rs.front();
+  if (rs.size() == 1) return out;
+  const double k = static_cast<double>(rs.size());
+  auto avg_u64 = [&](auto get) {
+    double s = 0;
+    for (const auto& r : rs) s += static_cast<double>(get(r));
+    return static_cast<std::uint64_t>(s / k + 0.5);
+  };
+  auto avg_d = [&](auto get) {
+    double s = 0;
+    for (const auto& r : rs) s += get(r);
+    return s / k;
+  };
+  out.total_messages = avg_u64([](const run_result& r) { return r.total_messages; });
+  out.app_messages = avg_u64([](const run_result& r) { return r.app_messages; });
+  out.routing_messages =
+      avg_u64([](const run_result& r) { return r.routing_messages; });
+  out.total_bytes = avg_u64([](const run_result& r) { return r.total_bytes; });
+  out.queries_issued = avg_u64([](const run_result& r) { return r.queries_issued; });
+  out.queries_answered =
+      avg_u64([](const run_result& r) { return r.queries_answered; });
+  out.avg_query_latency_s =
+      avg_d([](const run_result& r) { return r.avg_query_latency_s; });
+  out.p95_query_latency_s =
+      avg_d([](const run_result& r) { return r.p95_query_latency_s; });
+  out.stale_answers = avg_u64([](const run_result& r) { return r.stale_answers; });
+  out.delta_violations =
+      avg_u64([](const run_result& r) { return r.delta_violations; });
+  out.avg_stale_age_s = avg_d([](const run_result& r) { return r.avg_stale_age_s; });
+  out.updates = avg_u64([](const run_result& r) { return r.updates; });
+  out.avg_relay_peers = avg_d([](const run_result& r) { return r.avg_relay_peers; });
+  out.energy_spent_j = avg_d([](const run_result& r) { return r.energy_spent_j; });
+  out.max_node_energy_spent_j =
+      avg_d([](const run_result& r) { return r.max_node_energy_spent_j; });
+  return out;
+}
+
+}  // namespace
+
+std::vector<sweep_point> run_sweep(const sweep_spec& spec) {
+  std::vector<sweep_point> out;
+  for (double x : spec.xs) {
+    for (const auto& v : spec.variants) {
+      std::vector<run_result> reps;
+      for (int rep = 0; rep < std::max(1, spec.repetitions); ++rep) {
+        scenario_params p = spec.base;
+        spec.apply(p, x);
+        p.seed = spec.base.seed + static_cast<std::uint64_t>(rep);
+        reps.push_back(run_variant(p, v));
+        if (spec.progress) spec.progress(v.label, x, rep);
+      }
+      out.push_back(sweep_point{x, v.label, average(reps)});
+    }
+  }
+  return out;
+}
+
+std::string render_series(const std::vector<sweep_point>& points,
+                          const std::string& x_name,
+                          const std::vector<protocol_variant>& variants,
+                          const std::function<double(const run_result&)>& metric,
+                          int precision) {
+  std::vector<std::string> headers{x_name};
+  for (const auto& v : variants) headers.push_back(v.label);
+  table_printer table(std::move(headers));
+
+  // Preserve x order of appearance.
+  std::vector<double> xs;
+  for (const auto& p : points) {
+    if (xs.empty() || xs.back() != p.x) {
+      bool known = false;
+      for (double x : xs) {
+        if (x == p.x) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) xs.push_back(p.x);
+    }
+  }
+  for (double x : xs) {
+    std::vector<std::string> row{table_printer::fmt(x, 0)};
+    for (const auto& v : variants) {
+      double value = 0;
+      for (const auto& p : points) {
+        if (p.x == x && p.variant == v.label) {
+          value = metric(p.result);
+          break;
+        }
+      }
+      row.push_back(table_printer::fmt(value, precision));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+}  // namespace manet

@@ -1,0 +1,66 @@
+// Parameter sweeps for the figure benches: run a list of protocol variants
+// across a list of x-axis values, optionally averaging over repetitions
+// with different seeds, and render the paper-style series table.
+#ifndef MANET_SCENARIO_SWEEP_HPP
+#define MANET_SCENARIO_SWEEP_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "scenario/params.hpp"
+
+namespace manet {
+
+/// One line in a figure: a protocol plus the consistency mix its queries
+/// use. The paper's six lines: push, pull (both under SC queries) and
+/// RPCC(SC) / RPCC(DC) / RPCC(WC) / RPCC(HY).
+struct protocol_variant {
+  std::string label;
+  std::string protocol;  ///< push | pull | rpcc
+  level_mix mix;
+};
+
+/// The paper's standard variant set for Figs 7 and 8.
+std::vector<protocol_variant> paper_variants();
+
+/// Baselines + RPCC(SC) only, for Fig 9.
+std::vector<protocol_variant> fig9_variants();
+
+/// Runs a single scenario with the variant's protocol and mix.
+run_result run_variant(scenario_params base, const protocol_variant& v);
+
+struct sweep_point {
+  double x = 0;
+  std::string variant;
+  run_result result;  ///< averaged over repetitions
+};
+
+struct sweep_spec {
+  scenario_params base;
+  std::string x_name;          ///< axis label, e.g. "update interval (s)"
+  std::vector<double> xs;      ///< x-axis values
+  /// Applies the x value to a copy of base (e.g. set i_update).
+  std::function<void(scenario_params&, double)> apply;
+  std::vector<protocol_variant> variants;
+  int repetitions = 1;  ///< runs per point, seeds base.seed .. base.seed+reps-1
+  /// Progress callback per completed run (may be null).
+  std::function<void(const std::string& variant, double x, int rep)> progress;
+};
+
+/// Runs the whole sweep. Numeric fields of run_result are averaged across
+/// repetitions.
+std::vector<sweep_point> run_sweep(const sweep_spec& spec);
+
+/// Renders one metric of a finished sweep as a table: rows = x values,
+/// columns = variants. `metric` extracts the plotted value.
+std::string render_series(const std::vector<sweep_point>& points,
+                          const std::string& x_name,
+                          const std::vector<protocol_variant>& variants,
+                          const std::function<double(const run_result&)>& metric,
+                          int precision = 1);
+
+}  // namespace manet
+
+#endif  // MANET_SCENARIO_SWEEP_HPP

@@ -1,0 +1,57 @@
+// Events and cancellable event handles for the discrete-event kernel.
+#ifndef MANET_SIM_EVENT_HPP
+#define MANET_SIM_EVENT_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "util/units.hpp"
+
+namespace manet {
+
+/// Unique, monotonically increasing sequence number assigned at scheduling
+/// time. Breaks ties between events scheduled for the same instant, making
+/// execution order fully deterministic (FIFO among equal-time events).
+using event_seq = std::uint64_t;
+
+namespace detail {
+
+/// Shared state between the queue and outstanding handles. The queue never
+/// removes cancelled entries eagerly; they are skipped on pop.
+struct event_record {
+  sim_time when = 0;
+  event_seq seq = 0;
+  std::function<void()> action;
+  bool cancelled = false;
+};
+
+}  // namespace detail
+
+/// Handle to a scheduled event. Default-constructed handles are inert.
+/// Cancelling an already-fired or already-cancelled event is a no-op, which
+/// makes timer bookkeeping in protocol code straightforward.
+class event_handle {
+ public:
+  event_handle() = default;
+  explicit event_handle(std::shared_ptr<detail::event_record> rec)
+      : rec_(std::move(rec)) {}
+
+  /// True if the event is still scheduled to fire.
+  bool pending() const { return rec_ && !rec_->cancelled && rec_->action != nullptr; }
+
+  /// Prevents the event from firing. Safe to call at any time.
+  void cancel() {
+    if (rec_) rec_->cancelled = true;
+  }
+
+  /// Scheduled fire time (meaningless for inert handles).
+  sim_time when() const { return rec_ ? rec_->when : time_never; }
+
+ private:
+  std::shared_ptr<detail::event_record> rec_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_SIM_EVENT_HPP

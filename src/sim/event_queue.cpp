@@ -1,0 +1,58 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace manet {
+
+bool event_queue::later(const entry& a, const entry& b) {
+  // std::push_heap builds a max-heap; we want the *earliest* event on top,
+  // so "less" means "fires later".
+  if (a.rec->when != b.rec->when) return a.rec->when > b.rec->when;
+  return a.rec->seq > b.rec->seq;
+}
+
+event_handle event_queue::schedule(sim_time when, std::function<void()> action) {
+  assert(when >= last_popped_ && "scheduling into the past");
+  assert(action != nullptr);
+  auto rec = std::make_shared<detail::event_record>();
+  rec->when = when;
+  rec->seq = next_seq_++;
+  rec->action = std::move(action);
+  heap_.push_back(entry{rec});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return event_handle{rec};
+}
+
+void event_queue::drop_dead_prefix() const {
+  while (!heap_.empty() && heap_.front().rec->cancelled) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+bool event_queue::empty() const {
+  drop_dead_prefix();
+  return heap_.empty();
+}
+
+sim_time event_queue::next_time() const {
+  drop_dead_prefix();
+  return heap_.empty() ? time_never : heap_.front().rec->when;
+}
+
+std::shared_ptr<detail::event_record> event_queue::pop() {
+  drop_dead_prefix();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  auto rec = std::move(heap_.back().rec);
+  heap_.pop_back();
+  last_popped_ = rec->when;
+  return rec;
+}
+
+void event_queue::clear() {
+  heap_.clear();
+}
+
+}  // namespace manet

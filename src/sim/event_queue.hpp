@@ -1,0 +1,58 @@
+// Binary-heap priority queue of simulation events, ordered by
+// (time, sequence). Cancelled events are skipped lazily on pop.
+#ifndef MANET_SIM_EVENT_QUEUE_HPP
+#define MANET_SIM_EVENT_QUEUE_HPP
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/event.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+class event_queue {
+ public:
+  /// Schedules `action` at absolute time `when`. Requires when >= the last
+  /// popped time (no scheduling into the past).
+  event_handle schedule(sim_time when, std::function<void()> action);
+
+  /// True if no live (non-cancelled) events remain.
+  bool empty() const;
+
+  /// Time of the earliest live event; time_never when empty.
+  sim_time next_time() const;
+
+  /// Pops and returns the earliest live event record. Requires !empty().
+  std::shared_ptr<detail::event_record> pop();
+
+  /// Number of entries currently stored, including cancelled ones awaiting
+  /// lazy removal (useful for capacity diagnostics in tests).
+  std::size_t raw_size() const { return heap_.size(); }
+
+  /// Total events ever scheduled.
+  event_seq scheduled_count() const { return next_seq_; }
+
+  /// Drops all pending events.
+  void clear();
+
+ private:
+  struct entry {
+    std::shared_ptr<detail::event_record> rec;
+  };
+  static bool later(const entry& a, const entry& b);
+
+  void drop_dead_prefix() const;
+
+  // Mutable: dead-entry skipping in const accessors is an implementation
+  // detail, not observable state.
+  mutable std::vector<entry> heap_;
+  event_seq next_seq_ = 0;
+  sim_time last_popped_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_SIM_EVENT_QUEUE_HPP

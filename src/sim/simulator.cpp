@@ -1,0 +1,56 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <cstdarg>
+#include <cstdio>
+
+namespace manet {
+
+simulator::simulator(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+rng simulator::make_rng(std::string_view stream_name, std::uint64_t index) const {
+  return rng{derive_seed(master_seed_, stream_name, index)};
+}
+
+event_handle simulator::schedule_in(sim_duration delay, std::function<void()> action) {
+  assert(delay >= 0);
+  return queue_.schedule(now_ + delay, std::move(action));
+}
+
+event_handle simulator::schedule_at(sim_time when, std::function<void()> action) {
+  assert(when >= now_);
+  return queue_.schedule(when, std::move(action));
+}
+
+bool simulator::step() {
+  if (queue_.empty()) return false;
+  auto rec = queue_.pop();
+  now_ = rec->when;
+  ++executed_;
+  // Move the action out so self-cancellation inside the callback is safe.
+  auto action = std::move(rec->action);
+  action();
+  return true;
+}
+
+void simulator::run_until(sim_time until) {
+  while (!queue_.empty() && queue_.next_time() <= until) step();
+  if (now_ < until) now_ = until;
+}
+
+void simulator::run() {
+  while (step()) {
+  }
+}
+
+void simulator::logf(log_level level, const char* fmt, ...) const {
+  if (level < get_log_level() || get_log_level() == log_level::off) return;
+  char body[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof body, fmt, args);
+  va_end(args);
+  manet::logf(level, "t=%.3f %s", now_, body);
+}
+
+}  // namespace manet

@@ -1,0 +1,73 @@
+// The simulation clock and run loop.
+//
+// A simulator owns an event queue and a master RNG seed. All model objects
+// (network, mobility, protocols) hold a reference to the simulator for
+// scheduling and time queries. Runs are fully deterministic given the seed.
+#ifndef MANET_SIM_SIMULATOR_HPP
+#define MANET_SIM_SIMULATOR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "sim/event_queue.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+class simulator {
+ public:
+  explicit simulator(std::uint64_t master_seed = 1);
+
+  simulator(const simulator&) = delete;
+  simulator& operator=(const simulator&) = delete;
+
+  /// Current simulation time in seconds.
+  sim_time now() const { return now_; }
+
+  std::uint64_t master_seed() const { return master_seed_; }
+
+  /// Creates an independent deterministic RNG for (stream_name, index).
+  rng make_rng(std::string_view stream_name, std::uint64_t index = 0) const;
+
+  /// Schedules `action` to run `delay` seconds from now. Requires delay >= 0.
+  event_handle schedule_in(sim_duration delay, std::function<void()> action);
+
+  /// Schedules `action` at absolute time `when`. Requires when >= now().
+  event_handle schedule_at(sim_time when, std::function<void()> action);
+
+  /// Runs until the queue is empty or `until` is reached; the clock is left
+  /// at min(until, last event time). Events scheduled exactly at `until`
+  /// fire.
+  void run_until(sim_time until);
+
+  /// Runs until the queue drains completely.
+  void run();
+
+  /// Executes at most one event; returns false if the queue was empty.
+  bool step();
+
+  /// Number of events executed so far.
+  std::uint64_t executed_events() const { return executed_; }
+
+  event_queue& queue() { return queue_; }
+
+  /// printf-style log with a "t=<time>" prefix.
+  void logf(log_level level, const char* fmt, ...) const
+#if defined(__GNUC__)
+      __attribute__((format(printf, 3, 4)))
+#endif
+      ;
+
+ private:
+  std::uint64_t master_seed_;
+  event_queue queue_;
+  sim_time now_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_SIM_SIMULATOR_HPP

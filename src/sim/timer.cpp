@@ -1,0 +1,44 @@
+#include "sim/timer.hpp"
+
+#include <cassert>
+
+namespace manet {
+
+periodic_timer::periodic_timer(simulator& sim, sim_duration interval,
+                               std::function<void()> on_fire)
+    : sim_(sim), interval_(interval), on_fire_(std::move(on_fire)) {
+  assert(interval_ > 0);
+  assert(on_fire_ != nullptr);
+}
+
+periodic_timer::~periodic_timer() { stop(); }
+
+void periodic_timer::start(sim_duration phase) {
+  stop();
+  running_ = true;
+  arm(phase >= 0 ? phase : interval_);
+}
+
+void periodic_timer::stop() {
+  running_ = false;
+  pending_.cancel();
+}
+
+void periodic_timer::set_interval(sim_duration interval) {
+  assert(interval > 0);
+  interval_ = interval;
+}
+
+void periodic_timer::arm(sim_duration delay) {
+  pending_ = sim_.schedule_in(delay, [this] { fire(); });
+}
+
+void periodic_timer::fire() {
+  if (!running_) return;
+  // Re-arm before invoking the callback so the callback may stop() or
+  // restart the timer and have the final say.
+  arm(interval_);
+  on_fire_();
+}
+
+}  // namespace manet

@@ -1,0 +1,75 @@
+// Timers built on the event queue.
+//
+// Protocol code uses countdown_timer for the paper's TTN/TTR/TTP fields:
+// a value that can be "renewed" to a duration and queried for expiry, and
+// periodic_timer for fixed-interval activities (invalidation broadcasts,
+// coefficient windows).
+#ifndef MANET_SIM_TIMER_HPP
+#define MANET_SIM_TIMER_HPP
+
+#include <functional>
+
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+/// Fires `on_fire` every `interval` seconds until stopped. The first firing
+/// is one interval after start (plus optional phase offset).
+class periodic_timer {
+ public:
+  periodic_timer(simulator& sim, sim_duration interval, std::function<void()> on_fire);
+  ~periodic_timer();
+
+  periodic_timer(const periodic_timer&) = delete;
+  periodic_timer& operator=(const periodic_timer&) = delete;
+
+  /// Starts (or restarts) the timer. The first firing is at now + phase when
+  /// phase >= 0 (used to de-synchronize per-node periodic activity), or at
+  /// now + interval when phase is negative (the default).
+  void start(sim_duration phase = -1);
+
+  void stop();
+  bool running() const { return running_; }
+  sim_duration interval() const { return interval_; }
+
+  /// Changes the interval; takes effect from the next (re)arm.
+  void set_interval(sim_duration interval);
+
+ private:
+  void arm(sim_duration delay);
+  void fire();
+
+  simulator& sim_;
+  sim_duration interval_;
+  std::function<void()> on_fire_;
+  event_handle pending_;
+  bool running_ = false;
+};
+
+/// A renewable deadline, equivalent to the paper's TTN/TTR/TTP counters.
+/// renew(d) sets the deadline to now + d; remaining() counts down to zero.
+class countdown_timer {
+ public:
+  explicit countdown_timer(simulator& sim) : sim_(sim) {}
+
+  void renew(sim_duration d) { deadline_ = sim_.now() + d; }
+  void expire_now() { deadline_ = sim_.now(); }
+
+  /// Seconds until expiry; zero if already expired or never renewed.
+  sim_duration remaining() const {
+    const sim_duration r = deadline_ - sim_.now();
+    return r > 0 ? r : 0;
+  }
+
+  bool expired() const { return remaining() <= 0; }
+  sim_time deadline() const { return deadline_; }
+
+ private:
+  simulator& sim_;
+  sim_time deadline_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_SIM_TIMER_HPP

@@ -1,0 +1,124 @@
+#include "util/config.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace manet {
+
+void config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+void config::set(const std::string& key, double value) {
+  std::ostringstream os;
+  os << value;
+  values_[key] = os.str();
+}
+
+void config::set(const std::string& key, long long value) {
+  values_[key] = std::to_string(value);
+}
+
+void config::set(const std::string& key, bool value) {
+  values_[key] = value ? "true" : "false";
+}
+
+bool config::contains(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string config::get_string(const std::string& key, const std::string& dflt) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? dflt : it->second;
+}
+
+double config::get_double(const std::string& key, double dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::runtime_error("config: key '" + key + "' has non-numeric value '" +
+                             it->second + "'");
+  }
+  return v;
+}
+
+long long config::get_int(const std::string& key, long long dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  if (end == it->second.c_str() || *end != '\0') {
+    throw std::runtime_error("config: key '" + key + "' has non-integer value '" +
+                             it->second + "'");
+  }
+  return v;
+}
+
+bool config::get_bool(const std::string& key, bool dflt) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return dflt;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::runtime_error("config: key '" + key + "' has non-boolean value '" + v +
+                           "'");
+}
+
+bool config::parse_assignment(const std::string& token) {
+  const auto eq = token.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  values_[token.substr(0, eq)] = token.substr(eq + 1);
+  return true;
+}
+
+std::vector<std::string> config::parse_args(int argc, const char* const* argv) {
+  std::vector<std::string> rest;
+  for (int i = 0; i < argc; ++i) {
+    std::string token = argv[i];
+    if (!parse_assignment(token)) rest.push_back(std::move(token));
+  }
+  return rest;
+}
+
+void config::load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("config: cannot open '" + path + "'");
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim whitespace.
+    const auto begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = line.find_last_not_of(" \t\r");
+    line = line.substr(begin, end - begin + 1);
+    if (line.empty()) continue;
+    if (!parse_assignment(line)) {
+      throw std::runtime_error("config: malformed line '" + line + "' in " + path);
+    }
+  }
+}
+
+std::vector<std::string> config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+std::string config::dump() const {
+  std::string out;
+  for (const auto& [k, v] : values_) {
+    out += k;
+    out += '=';
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace manet

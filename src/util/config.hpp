@@ -1,0 +1,55 @@
+// Tiny key=value configuration store. Scenario parameters (Table 1) are
+// registered with defaults; benches and examples override from command-line
+// "key=value" arguments or config files. Keeps all parameter plumbing in one
+// place and makes every knob discoverable via dump().
+#ifndef MANET_UTIL_CONFIG_HPP
+#define MANET_UTIL_CONFIG_HPP
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace manet {
+
+class config {
+ public:
+  /// Sets (or overwrites) a value.
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, double value);
+  void set(const std::string& key, long long value);
+  void set(const std::string& key, bool value);
+
+  bool contains(const std::string& key) const;
+
+  /// Typed getters with defaults. Throw std::runtime_error on a present but
+  /// unparsable value (a silent fallback would hide typos in sweeps).
+  std::string get_string(const std::string& key, const std::string& dflt) const;
+  double get_double(const std::string& key, double dflt) const;
+  long long get_int(const std::string& key, long long dflt) const;
+  bool get_bool(const std::string& key, bool dflt) const;
+
+  /// Parses one "key=value" token; returns false if it is not of that form.
+  bool parse_assignment(const std::string& token);
+
+  /// Parses argv-style arguments, consuming every key=value token and
+  /// returning the rest (flags, positional args) unconsumed.
+  std::vector<std::string> parse_args(int argc, const char* const* argv);
+
+  /// Loads key=value lines from a file. '#' starts a comment. Throws on I/O
+  /// error.
+  void load_file(const std::string& path);
+
+  /// All keys in sorted order, for dumps and tests.
+  std::vector<std::string> keys() const;
+
+  /// "key=value" per line, sorted.
+  std::string dump() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_UTIL_CONFIG_HPP

@@ -1,0 +1,69 @@
+// Weighted moving averages used by the RPCC relay-peer selection criteria
+// (paper Eq. 4.2.2, 4.2.4, 4.2.5).
+#ifndef MANET_UTIL_EWMA_HPP
+#define MANET_UTIL_EWMA_HPP
+
+#include <cassert>
+
+namespace manet {
+
+/// Simple exponentially weighted moving average:
+///   v_t = v_{t-1} * w + sample * (1 - w)
+/// This is the paper's form for PSR/PMR (Eq. 4.2.4 / 4.2.5), where w is the
+/// weight given to history.
+class ewma {
+ public:
+  explicit ewma(double history_weight) : w_(history_weight) {
+    assert(w_ >= 0.0 && w_ <= 1.0);
+  }
+
+  /// Feeds one sample; returns the updated average.
+  double update(double sample) {
+    if (!seeded_) {
+      value_ = sample;
+      seeded_ = true;
+    } else {
+      value_ = value_ * w_ + sample * (1.0 - w_);
+    }
+    return value_;
+  }
+
+  double value() const { return value_; }
+  bool seeded() const { return seeded_; }
+  void reset() { value_ = 0.0; seeded_ = false; }
+
+ private:
+  double w_;
+  double value_ = 0.0;
+  bool seeded_ = false;
+};
+
+/// Three-window weighted average used for the peer access rate
+/// (paper Eq. 4.2.2):
+///   PAR_t = PAR_{t-2} * w/4 + PAR_{t-1} * w/2 + sample * (1 - w/4 - w/2)
+/// where `sample` = N_a / phi for the just-finished window.
+class three_window_average {
+ public:
+  explicit three_window_average(double w) : w_(w) {
+    assert(w_ >= 0.0 && w_ <= 1.0);
+  }
+
+  double update(double sample) {
+    const double v = prev2_ * (w_ / 4.0) + prev1_ * (w_ / 2.0) +
+                     sample * (1.0 - w_ / 4.0 - w_ / 2.0);
+    prev2_ = prev1_;
+    prev1_ = v;
+    return v;
+  }
+
+  double value() const { return prev1_; }
+
+ private:
+  double w_;
+  double prev1_ = 0.0;  // PAR_{t-1}
+  double prev2_ = 0.0;  // PAR_{t-2}
+};
+
+}  // namespace manet
+
+#endif  // MANET_UTIL_EWMA_HPP

@@ -1,0 +1,93 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+
+namespace manet {
+
+log_histogram::log_histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  assert(lo > 0.0 && hi > lo && buckets >= 1);
+  log_lo_ = std::log(lo);
+  log_step_ = (std::log(hi) - log_lo_) / static_cast<double>(buckets);
+}
+
+void log_histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((std::log(x) - log_lo_) / log_step_);
+  idx = std::min(idx, counts_.size() - 1);
+  ++counts_[idx];
+}
+
+double log_histogram::bucket_lo(std::size_t i) const {
+  return std::exp(log_lo_ + log_step_ * static_cast<double>(i));
+}
+
+double log_histogram::bucket_hi(std::size_t i) const {
+  return std::exp(log_lo_ + log_step_ * static_cast<double>(i + 1));
+}
+
+double log_histogram::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (total_ == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(q * static_cast<double>(total_ - 1)) + 1;
+  std::uint64_t acc = underflow_;
+  if (acc >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (acc + counts_[i] >= target) {
+      // Interpolate within the bucket (log-linear).
+      const double frac =
+          static_cast<double>(target - acc) / static_cast<double>(counts_[i]);
+      return bucket_lo(i) * std::pow(bucket_hi(i) / bucket_lo(i), frac);
+    }
+    acc += counts_[i];
+  }
+  return hi_;
+}
+
+std::string log_histogram::render(std::size_t bar_width) const {
+  std::string out;
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  char line[160];
+  if (underflow_ > 0) {
+    std::snprintf(line, sizeof line, "%12s < %-9.4g %8llu\n", "", lo_,
+                  static_cast<unsigned long long>(underflow_));
+    out += line;
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const auto bar = static_cast<std::size_t>(
+        static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+        static_cast<double>(bar_width));
+    std::snprintf(line, sizeof line, "%12.4g - %-9.4g %8llu |", bucket_lo(i),
+                  bucket_hi(i), static_cast<unsigned long long>(counts_[i]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  if (overflow_ > 0) {
+    std::snprintf(line, sizeof line, "%12s>= %-9.4g %8llu\n", "", hi_,
+                  static_cast<unsigned long long>(overflow_));
+    out += line;
+  }
+  return out;
+}
+
+void log_histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  underflow_ = overflow_ = total_ = 0;
+}
+
+}  // namespace manet

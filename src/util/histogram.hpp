@@ -1,0 +1,56 @@
+// Log-bucketed histogram for latency distributions. The paper plots query
+// latency on a log scale (Fig 8); the histogram lets benches print the
+// distribution shape, not just the mean.
+#ifndef MANET_UTIL_HISTOGRAM_HPP
+#define MANET_UTIL_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace manet {
+
+/// Histogram with logarithmically spaced bucket boundaries between
+/// `lo` and `hi`. Values below lo land in the underflow bucket, values at or
+/// above hi in the overflow bucket.
+class log_histogram {
+ public:
+  /// Requires 0 < lo < hi, buckets >= 1.
+  log_histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+
+  /// Lower bound of bucket i.
+  double bucket_lo(std::size_t i) const;
+  /// Upper bound of bucket i.
+  double bucket_hi(std::size_t i) const;
+
+  /// Approximate quantile using bucket interpolation; q in [0,1].
+  double quantile(double q) const;
+
+  /// ASCII rendering: one line per non-empty bucket with a proportional bar.
+  std::string render(std::size_t bar_width = 40) const;
+
+  void reset();
+
+ private:
+  double lo_;
+  double hi_;
+  double log_lo_;
+  double log_step_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_UTIL_HISTOGRAM_HPP

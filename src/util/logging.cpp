@@ -1,0 +1,47 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace manet {
+
+namespace {
+log_level g_level = log_level::warn;
+}
+
+void set_log_level(log_level level) { g_level = level; }
+log_level get_log_level() { return g_level; }
+
+const char* log_level_name(log_level level) {
+  switch (level) {
+    case log_level::trace: return "TRACE";
+    case log_level::debug: return "DEBUG";
+    case log_level::info: return "INFO";
+    case log_level::warn: return "WARN";
+    case log_level::error: return "ERROR";
+    case log_level::off: return "OFF";
+  }
+  return "?";
+}
+
+bool parse_log_level(const std::string& name, log_level& out) {
+  if (name == "trace") out = log_level::trace;
+  else if (name == "debug") out = log_level::debug;
+  else if (name == "info") out = log_level::info;
+  else if (name == "warn") out = log_level::warn;
+  else if (name == "error") out = log_level::error;
+  else if (name == "off") out = log_level::off;
+  else return false;
+  return true;
+}
+
+void logf(log_level level, const char* fmt, ...) {
+  if (level < g_level || g_level == log_level::off) return;
+  std::fprintf(stderr, "[%s] ", log_level_name(level));
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace manet

@@ -1,0 +1,33 @@
+// Minimal levelled logger. Simulation code logs through this so tests can
+// silence output and examples can show protocol traces.
+#ifndef MANET_UTIL_LOGGING_HPP
+#define MANET_UTIL_LOGGING_HPP
+
+#include <cstdarg>
+#include <string>
+
+namespace manet {
+
+enum class log_level { trace, debug, info, warn, error, off };
+
+/// Global log threshold; messages below it are dropped. Defaults to warn so
+/// library users see problems but not traces.
+void set_log_level(log_level level);
+log_level get_log_level();
+
+/// printf-style logging. The simulation time prefix is supplied by callers
+/// that have access to a simulator clock (see simulator::logf).
+void logf(log_level level, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+const char* log_level_name(log_level level);
+
+/// Parses "trace"/"debug"/... into a level; returns false on unknown names.
+bool parse_log_level(const std::string& name, log_level& out);
+
+}  // namespace manet
+
+#endif  // MANET_UTIL_LOGGING_HPP

@@ -1,0 +1,109 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace manet {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+rng::rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+  // Avoid the all-zero state (cannot occur from splitmix64 in practice, but
+  // guard anyway: the generator would be stuck at zero forever).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double rng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double rng::uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t rng::uniform_int(std::uint64_t n) {
+  assert(n > 0);
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t v;
+  do {
+    v = next_u64();
+  } while (v >= limit);
+  return v % n;
+}
+
+double rng::exponential(double mean) {
+  assert(mean > 0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);  // avoid log(0)
+  return -mean * std::log(u);
+}
+
+bool rng::chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return uniform() < p;
+}
+
+std::uint64_t rng::zipf(std::uint64_t n, double theta) {
+  assert(n > 0);
+  if (theta <= 0) return uniform_int(n);
+  // Inverse transform via linear scan over the (unnormalized) CDF. Catalogues
+  // here are O(number of peers), so the scan is cheap and allocation-free.
+  double norm = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) norm += 1.0 / std::pow(double(i), theta);
+  double u = uniform() * norm;
+  double acc = 0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    acc += 1.0 / std::pow(double(i), theta);
+    if (u <= acc) return i - 1;
+  }
+  return n - 1;
+}
+
+std::uint64_t derive_seed(std::uint64_t master_seed, std::string_view stream_name,
+                          std::uint64_t index) {
+  // FNV-1a over the stream name, mixed with the master seed and index via
+  // splitmix rounds. Deterministic across platforms.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : stream_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  std::uint64_t x = master_seed ^ h;
+  (void)splitmix64(x);
+  x ^= index * 0x9e3779b97f4a7c15ull;
+  return splitmix64(x);
+}
+
+}  // namespace manet

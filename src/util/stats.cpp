@@ -1,0 +1,77 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace manet {
+
+void running_stats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double running_stats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double running_stats::stddev() const { return std::sqrt(variance()); }
+
+void running_stats::merge(const running_stats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double sample_set::mean() const {
+  if (xs_.empty()) return 0.0;
+  double s = 0;
+  for (double x : xs_) s += x;
+  return s / static_cast<double>(xs_.size());
+}
+
+double sample_set::quantile(double q) const {
+  assert(q >= 0.0 && q <= 1.0);
+  if (xs_.empty()) return 0.0;
+  std::vector<double> sorted = xs_;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = static_cast<std::size_t>(q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(rank, sorted.size() - 1)];
+}
+
+double sample_set::min() const {
+  if (xs_.empty()) return 0.0;
+  return *std::min_element(xs_.begin(), xs_.end());
+}
+
+double sample_set::max() const {
+  if (xs_.empty()) return 0.0;
+  return *std::max_element(xs_.begin(), xs_.end());
+}
+
+double ci95_half_width(const running_stats& s) {
+  if (s.count() < 2) return 0.0;
+  return 1.96 * s.stddev() / std::sqrt(static_cast<double>(s.count()));
+}
+
+}  // namespace manet

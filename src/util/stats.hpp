@@ -1,0 +1,64 @@
+// Running statistics and small-sample summaries used by the metric
+// collectors and the benchmark harness.
+#ifndef MANET_UTIL_STATS_HPP
+#define MANET_UTIL_STATS_HPP
+
+#include <cstddef>
+#include <vector>
+
+namespace manet {
+
+/// Welford running mean/variance plus min/max. O(1) per sample, no storage.
+class running_stats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+  /// Merges another accumulator into this one (parallel-safe combination).
+  void merge(const running_stats& other);
+
+  void reset() { *this = running_stats{}; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Stores all samples; supports exact quantiles. Used for latency series
+/// where the paper reports averages but we additionally audit tails.
+class sample_set {
+ public:
+  void add(double x) { xs_.push_back(x); }
+  std::size_t count() const { return xs_.size(); }
+  bool empty() const { return xs_.empty(); }
+  double mean() const;
+  /// Exact quantile by nearest-rank on the sorted copy; q in [0, 1].
+  double quantile(double q) const;
+  double min() const;
+  double max() const;
+  const std::vector<double>& samples() const { return xs_; }
+  void reset() { xs_.clear(); }
+
+ private:
+  std::vector<double> xs_;
+};
+
+/// Half-width of a normal-approximation 95% confidence interval for the mean
+/// of the given stats (1.96 * s / sqrt(n)); 0 when n < 2.
+double ci95_half_width(const running_stats& s);
+
+}  // namespace manet
+
+#endif  // MANET_UTIL_STATS_HPP

@@ -1,0 +1,45 @@
+// Basic strong-ish types shared across the library.
+//
+// Simulation time is a double count of seconds since simulation start.
+// A dedicated arithmetic struct would be heavier than it is worth here;
+// instead we give the alias a name and provide readable constructors
+// (seconds/minutes/hours) so scenario code never contains magic numbers.
+#ifndef MANET_UTIL_UNITS_HPP
+#define MANET_UTIL_UNITS_HPP
+
+#include <cstdint>
+#include <limits>
+
+namespace manet {
+
+/// Simulation time in seconds.
+using sim_time = double;
+
+/// A duration in seconds (same representation as sim_time).
+using sim_duration = double;
+
+constexpr sim_duration seconds(double s) { return s; }
+constexpr sim_duration minutes(double m) { return m * 60.0; }
+constexpr sim_duration hours(double h) { return h * 3600.0; }
+
+constexpr sim_time time_never = std::numeric_limits<double>::infinity();
+
+/// Identifier of a mobile host. Hosts are numbered 0..n_peers-1.
+using node_id = std::uint32_t;
+
+/// Identifier of a data item. In the paper's model m == n and host i is the
+/// source host of item i, but the types are kept distinct for readability.
+using item_id = std::uint32_t;
+
+/// Monotonically increasing version number of a data item (0 on creation).
+using version_t = std::uint64_t;
+
+constexpr node_id invalid_node = static_cast<node_id>(-1);
+constexpr item_id invalid_item = static_cast<item_id>(-1);
+
+/// Meters; the terrain is a flat rectangle (paper: 1500 m x 1500 m).
+using meters = double;
+
+}  // namespace manet
+
+#endif  // MANET_UTIL_UNITS_HPP

@@ -1,0 +1,258 @@
+// Cache store (LRU), item registry, discovery, workload generation.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "cache/cache_store.hpp"
+#include "cache/data_item.hpp"
+#include "cache/discovery.hpp"
+#include "cache/workload.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+
+cached_copy copy_of(item_id d, version_t v = 0) {
+  cached_copy c;
+  c.item = d;
+  c.version = v;
+  return c;
+}
+
+TEST(CacheStore, PutAndFind) {
+  cache_store s(3);
+  EXPECT_FALSE(s.put(copy_of(1, 4)).has_value());
+  ASSERT_TRUE(s.contains(1));
+  EXPECT_EQ(s.find(1)->version, 4u);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.find(99), nullptr);
+}
+
+TEST(CacheStore, OverwriteKeepsSize) {
+  cache_store s(2);
+  s.put(copy_of(1, 1));
+  s.put(copy_of(1, 2));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.find(1)->version, 2u);
+}
+
+TEST(CacheStore, EvictsLeastRecentlyUsed) {
+  cache_store s(2);
+  s.put(copy_of(1));
+  s.put(copy_of(2));
+  auto evicted = s.put(copy_of(3));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 1u);
+  EXPECT_FALSE(s.contains(1));
+  EXPECT_TRUE(s.contains(2));
+  EXPECT_TRUE(s.contains(3));
+  EXPECT_EQ(s.evictions(), 1u);
+}
+
+TEST(CacheStore, TouchProtectsFromEviction) {
+  cache_store s(2);
+  s.put(copy_of(1));
+  s.put(copy_of(2));
+  ASSERT_NE(s.touch(1), nullptr);  // 1 becomes MRU
+  auto evicted = s.put(copy_of(3));
+  ASSERT_TRUE(evicted.has_value());
+  EXPECT_EQ(*evicted, 2u);
+  EXPECT_TRUE(s.contains(1));
+}
+
+TEST(CacheStore, FindDoesNotAffectLruOrder) {
+  cache_store s(2);
+  s.put(copy_of(1));
+  s.put(copy_of(2));
+  ASSERT_NE(s.find(1), nullptr);  // no LRU effect
+  auto evicted = s.put(copy_of(3));
+  EXPECT_EQ(*evicted, 1u);
+}
+
+TEST(CacheStore, EraseRemoves) {
+  cache_store s(2);
+  s.put(copy_of(1));
+  EXPECT_TRUE(s.erase(1));
+  EXPECT_FALSE(s.erase(1));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(CacheStore, ItemsMruFirst) {
+  cache_store s(3);
+  s.put(copy_of(1));
+  s.put(copy_of(2));
+  s.put(copy_of(3));
+  s.touch(1);
+  EXPECT_EQ(s.items(), (std::vector<item_id>{1, 3, 2}));
+}
+
+TEST(CacheStore, ZeroCapacityStoresNothing) {
+  cache_store s(0);
+  EXPECT_FALSE(s.put(copy_of(1)).has_value());
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_FALSE(s.contains(1));
+}
+
+TEST(ItemRegistry, VersionsAndHistory) {
+  item_registry reg;
+  const item_id d = reg.add_item(3, 512);
+  EXPECT_EQ(reg.size(), 1u);
+  EXPECT_EQ(reg.source(d), 3u);
+  EXPECT_EQ(reg.content_bytes(d), 512u);
+  EXPECT_EQ(reg.version(d), 0u);
+  EXPECT_EQ(reg.bump(d, 10.0), 1u);
+  EXPECT_EQ(reg.bump(d, 25.0), 2u);
+  EXPECT_EQ(reg.version(d), 2u);
+  EXPECT_EQ(reg.version_created_at(d, 0), 0.0);
+  EXPECT_EQ(reg.version_created_at(d, 2), 25.0);
+  // Version 0 became stale when version 1 appeared.
+  EXPECT_EQ(reg.stale_since(d, 0), 10.0);
+  EXPECT_EQ(reg.stale_since(d, 1), 25.0);
+  EXPECT_EQ(reg.total_updates(), 2u);
+}
+
+TEST(OracleDiscovery, FindsNearestHolder) {
+  rig r = rig::line(6);
+  item_registry reg;
+  const item_id d = reg.add_item(5, 100);  // source at far end
+  oracle_discovery disc(*r.net, reg);
+  // Only the source holds it: nearest from node 0 is node 5.
+  EXPECT_EQ(disc.nearest_holder(0, d), 5u);
+  disc.add_holder(d, 2);
+  EXPECT_EQ(disc.nearest_holder(0, d), 2u);
+  EXPECT_EQ(disc.nearest_holder(4, d), 5u);  // source is 1 hop, holder 2 hops
+  disc.remove_holder(d, 2);
+  EXPECT_EQ(disc.nearest_holder(0, d), 5u);
+}
+
+TEST(OracleDiscovery, ExcludesAskerAndUnreachable) {
+  rig r({{0, 0}, {200, 0}, {2000, 0}});
+  item_registry reg;
+  const item_id d = reg.add_item(2, 100);  // source is partitioned
+  oracle_discovery disc(*r.net, reg);
+  disc.add_holder(d, 0);
+  // Asker 0 holds the item itself but wants another holder: nothing near.
+  EXPECT_EQ(disc.nearest_holder(0, d), invalid_node);
+  // From node 1, holder 0 is adjacent.
+  EXPECT_EQ(disc.nearest_holder(1, d), 0u);
+}
+
+TEST(OracleDiscovery, TieBreaksByNodeId) {
+  rig r({{0, 0}, {200, 0}, {-200, 0}});
+  item_registry reg;
+  const item_id d = reg.add_item(1, 100);
+  oracle_discovery disc(*r.net, reg);
+  disc.add_holder(d, 2);
+  // Nodes 1 (source) and 2 (holder) are both one hop from 0.
+  EXPECT_EQ(disc.nearest_holder(0, d), 1u);
+}
+
+TEST(Workload, GeneratesQueriesAndUpdatesAtConfiguredRates) {
+  simulator sim(7);
+  workload_params wp;
+  wp.mean_query_interval = 10;
+  wp.mean_update_interval = 50;
+  std::uint64_t queries = 0;
+  std::uint64_t updates = 0;
+  workload_generator wl(
+      sim, 4, wp, [](node_id, rng&) { return item_id{0}; },
+      [&](node_id, item_id, consistency_level) { ++queries; },
+      [&](node_id) { ++updates; }, nullptr);
+  wl.start();
+  sim.run_until(10000.0);
+  // 4 nodes * 10000s: expect ~4000 queries, ~800 updates (exponential).
+  EXPECT_NEAR(static_cast<double>(queries), 4000.0, 300.0);
+  EXPECT_NEAR(static_cast<double>(updates), 800.0, 150.0);
+  EXPECT_EQ(wl.queries_issued(), queries);
+  EXPECT_EQ(wl.updates_issued(), updates);
+}
+
+TEST(Workload, MixProportionsRespected) {
+  simulator sim(8);
+  workload_params wp;
+  wp.mean_query_interval = 1;
+  wp.mix = level_mix::hybrid();
+  std::map<consistency_level, int> counts;
+  workload_generator wl(
+      sim, 1, wp, [](node_id, rng&) { return item_id{0}; },
+      [&](node_id, item_id, consistency_level l) { ++counts[l]; }, [](node_id) {},
+      nullptr);
+  wl.start();
+  sim.run_until(30000.0);
+  const double total = counts[consistency_level::strong] +
+                       counts[consistency_level::delta] +
+                       counts[consistency_level::weak];
+  EXPECT_NEAR(counts[consistency_level::strong] / total, 1.0 / 3, 0.03);
+  EXPECT_NEAR(counts[consistency_level::delta] / total, 1.0 / 3, 0.03);
+  EXPECT_NEAR(counts[consistency_level::weak] / total, 1.0 / 3, 0.03);
+}
+
+TEST(Workload, SkipsEventsWhileNodeDown) {
+  simulator sim(9);
+  workload_params wp;
+  wp.mean_query_interval = 1;
+  wp.mean_update_interval = 1;
+  bool up = false;
+  int queries = 0;
+  workload_generator wl(
+      sim, 1, wp, [](node_id, rng&) { return item_id{0}; },
+      [&](node_id, item_id, consistency_level) { ++queries; }, [](node_id) {},
+      [&](node_id) { return up; });
+  wl.start();
+  sim.run_until(100.0);
+  EXPECT_EQ(queries, 0);
+  up = true;
+  sim.run_until(200.0);
+  EXPECT_GT(queries, 50);
+}
+
+TEST(Workload, InvalidItemSkipsQuery) {
+  simulator sim(10);
+  workload_params wp;
+  wp.mean_query_interval = 1;
+  int queries = 0;
+  workload_generator wl(
+      sim, 1, wp, [](node_id, rng&) { return invalid_item; },
+      [&](node_id, item_id, consistency_level) { ++queries; }, [](node_id) {},
+      nullptr);
+  wl.start();
+  sim.run_until(100.0);
+  EXPECT_EQ(queries, 0);
+  EXPECT_EQ(wl.queries_issued(), 0u);
+}
+
+TEST(Workload, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    simulator sim(11);
+    workload_params wp;
+    std::vector<std::pair<double, node_id>> events;
+    workload_generator wl(
+        sim, 3, wp, [](node_id, rng&) { return item_id{0}; },
+        [&](node_id n, item_id, consistency_level) {
+          events.emplace_back(sim.now(), n);
+        },
+        [](node_id) {}, nullptr);
+    wl.start();
+    sim.run_until(500.0);
+    return events;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(LevelMix, SampleHonorsDegenerateMixes) {
+  rng g(3);
+  EXPECT_EQ(level_mix::strong_only().sample(g), consistency_level::strong);
+  EXPECT_EQ(level_mix::delta_only().sample(g), consistency_level::delta);
+  EXPECT_EQ(level_mix::weak_only().sample(g), consistency_level::weak);
+}
+
+TEST(LevelMix, NamesRoundTrip) {
+  EXPECT_STREQ(consistency_level_name(consistency_level::strong), "SC");
+  EXPECT_STREQ(consistency_level_name(consistency_level::delta), "DC");
+  EXPECT_STREQ(consistency_level_name(consistency_level::weak), "WC");
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,183 @@
+// Config store, log histogram, table printer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+#include "metrics/collector.hpp"
+#include "util/config.hpp"
+#include "util/histogram.hpp"
+
+namespace manet {
+namespace {
+
+TEST(Config, SetAndGetTyped) {
+  config c;
+  c.set("a", 1.5);
+  c.set("b", static_cast<long long>(42));
+  c.set("c", true);
+  c.set("d", std::string("hello"));
+  EXPECT_DOUBLE_EQ(c.get_double("a", 0), 1.5);
+  EXPECT_EQ(c.get_int("b", 0), 42);
+  EXPECT_TRUE(c.get_bool("c", false));
+  EXPECT_EQ(c.get_string("d", ""), "hello");
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  config c;
+  EXPECT_DOUBLE_EQ(c.get_double("x", 3.25), 3.25);
+  EXPECT_EQ(c.get_int("x", -7), -7);
+  EXPECT_FALSE(c.get_bool("x", false));
+  EXPECT_EQ(c.get_string("x", "dflt"), "dflt");
+  EXPECT_FALSE(c.contains("x"));
+}
+
+TEST(Config, ThrowsOnBadValues) {
+  config c;
+  c.set("n", std::string("not_a_number"));
+  EXPECT_THROW(c.get_double("n", 0), std::runtime_error);
+  EXPECT_THROW(c.get_int("n", 0), std::runtime_error);
+  EXPECT_THROW(c.get_bool("n", false), std::runtime_error);
+}
+
+TEST(Config, BoolSpellings) {
+  config c;
+  for (const char* t : {"true", "1", "yes", "on"}) {
+    c.set("k", std::string(t));
+    EXPECT_TRUE(c.get_bool("k", false)) << t;
+  }
+  for (const char* f : {"false", "0", "no", "off"}) {
+    c.set("k", std::string(f));
+    EXPECT_FALSE(c.get_bool("k", true)) << f;
+  }
+}
+
+TEST(Config, ParseAssignment) {
+  config c;
+  EXPECT_TRUE(c.parse_assignment("key=value"));
+  EXPECT_EQ(c.get_string("key", ""), "value");
+  EXPECT_TRUE(c.parse_assignment("eq=a=b"));  // first '=' splits
+  EXPECT_EQ(c.get_string("eq", ""), "a=b");
+  EXPECT_FALSE(c.parse_assignment("no_equals"));
+  EXPECT_FALSE(c.parse_assignment("=leading"));
+}
+
+TEST(Config, ParseArgsSeparatesRest) {
+  config c;
+  const char* argv[] = {"a=1", "--flag", "b=2", "positional"};
+  auto rest = c.parse_args(4, argv);
+  EXPECT_EQ(c.get_int("a", 0), 1);
+  EXPECT_EQ(c.get_int("b", 0), 2);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0], "--flag");
+  EXPECT_EQ(rest[1], "positional");
+}
+
+TEST(Config, LoadFileWithComments) {
+  const std::string path = ::testing::TempDir() + "/manet_config_test.cfg";
+  {
+    std::ofstream out(path);
+    out << "# comment line\n"
+        << "alpha=1\n"
+        << "  beta = spaced? no: value kept verbatim\n"
+        << "\n"
+        << "gamma=2 # trailing comment\n";
+  }
+  config c;
+  c.load_file(path);
+  EXPECT_EQ(c.get_int("alpha", 0), 1);
+  EXPECT_EQ(c.get_string("gamma", ""), "2");
+  std::remove(path.c_str());
+}
+
+TEST(Config, LoadMissingFileThrows) {
+  config c;
+  EXPECT_THROW(c.load_file("/nonexistent/path/xyz.cfg"), std::runtime_error);
+}
+
+TEST(Config, DumpIsSortedKeyValueLines) {
+  config c;
+  c.set("zz", std::string("2"));
+  c.set("aa", std::string("1"));
+  EXPECT_EQ(c.dump(), "aa=1\nzz=2\n");
+  auto keys = c.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "aa");
+}
+
+TEST(LogHistogram, CountsAndBoundaries) {
+  log_histogram h(1.0, 100.0, 2);  // buckets [1,10) and [10,100)
+  h.add(0.5);   // underflow
+  h.add(5.0);   // bucket 0
+  h.add(50.0);  // bucket 1
+  h.add(100.0); // overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_NEAR(h.bucket_lo(1), 10.0, 1e-9);
+  EXPECT_NEAR(h.bucket_hi(0), 10.0, 1e-9);
+}
+
+TEST(LogHistogram, QuantileApproximation) {
+  log_histogram h(0.001, 1000.0, 60);
+  for (int i = 1; i <= 1000; ++i) h.add(static_cast<double>(i) / 10.0);
+  const double median = h.quantile(0.5);
+  EXPECT_GT(median, 35.0);
+  EXPECT_LT(median, 70.0);
+  const double p99 = h.quantile(0.99);
+  EXPECT_GT(p99, 80.0);
+  EXPECT_LE(p99, 110.0);
+}
+
+TEST(LogHistogram, RenderMentionsCounts) {
+  log_histogram h(1, 10, 1);
+  h.add(2);
+  h.add(3);
+  const std::string r = h.render();
+  EXPECT_NE(r.find('2'), std::string::npos);
+  EXPECT_NE(r.find('#'), std::string::npos);
+}
+
+TEST(LogHistogram, ResetZeroes) {
+  log_histogram h(1, 10, 4);
+  h.add(5);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  table_printer t({"name", "v"});
+  t.add_row({"long-label", "1"});
+  t.add_row({"x", "22"});
+  const std::string out = t.render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("long-label"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TablePrinter, FmtHelpers) {
+  EXPECT_EQ(table_printer::fmt(1.25, 2), "1.25");
+  EXPECT_EQ(table_printer::fmt(static_cast<std::uint64_t>(7)), "7");
+}
+
+TEST(RunResult, DerivedMetrics) {
+  run_result r;
+  r.sim_time = 100;
+  r.total_messages = 500;
+  r.queries_answered = 10;
+  r.stale_answers = 4;
+  EXPECT_DOUBLE_EQ(r.messages_per_second(), 5.0);
+  EXPECT_DOUBLE_EQ(r.stale_answer_rate(), 0.4);
+  run_result zero;
+  EXPECT_DOUBLE_EQ(zero.messages_per_second(), 0.0);
+  EXPECT_DOUBLE_EQ(zero.stale_answer_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,351 @@
+// Paper §6 future-work extensions: adaptive TTN, bounded relay tables,
+// dynamic placement, group mobility, energy accounting.
+#include <gtest/gtest.h>
+
+#include "consistency/rpcc/rpcc_protocol.hpp"
+#include "mobility/group_mobility.hpp"
+#include "scenario/scenario.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+using peer_role = rpcc_protocol::peer_role;
+
+rpcc_params lenient_params() {
+  rpcc_params p;
+  p.ttn = 15.0;
+  p.ttr = 20.0;
+  p.ttp = 60.0;
+  p.invalidation_ttl = 2;
+  p.poll_timeout = 0.5;
+  p.coeff.window = 10.0;
+  p.coeff.mu_car = 1.1;
+  p.coeff.mu_cs = 0.0;
+  p.coeff.mu_ce = 0.0;
+  return p;
+}
+
+// --- Adaptive TTN (future work #1) ---
+
+TEST(AdaptiveTtn, QuietSourceStretchesInterval) {
+  rig r = rig::line(3);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient_params();
+  p.adaptive_ttn = true;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  // No updates at all: every tick stretches the interval toward the cap.
+  r.run_for(600.0);
+  EXPECT_GT(proto.current_ttn(0), p.ttn * 2);
+  EXPECT_LE(proto.current_ttn(0), p.ttn * p.adaptive_max_factor + 1e-9);
+}
+
+TEST(AdaptiveTtn, BusySourceShrinksInterval) {
+  rig r = rig::line(3);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient_params();
+  p.adaptive_ttn = true;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  // Several updates per interval: shrink toward the floor.
+  for (int i = 0; i < 200; ++i) {
+    r.run_for(3.0);
+    r.registry.bump(0, r.sim.now());
+    proto.on_update(0);
+  }
+  EXPECT_LT(proto.current_ttn(0), p.ttn);
+  EXPECT_GE(proto.current_ttn(0), p.ttn * p.adaptive_min_factor - 1e-9);
+}
+
+TEST(AdaptiveTtn, DisabledKeepsTableInterval) {
+  rig r = rig::line(3);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_protocol proto(ctx, lenient_params());
+  proto.start();
+  r.run_for(300.0);
+  EXPECT_DOUBLE_EQ(proto.current_ttn(0), 15.0);
+  EXPECT_DOUBLE_EQ(proto.mean_current_ttn(), 15.0);
+}
+
+TEST(AdaptiveTtn, InvalidationCarriesIntervalHintToRelays) {
+  rig r = rig::line(3);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient_params();
+  p.adaptive_ttn = true;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  r.run_for(400.0);  // interval stretched well past TTR by now
+  ASSERT_EQ(proto.role_of(1, 0), peer_role::relay);
+  // The relay must still answer polls from its scaled TTR window even
+  // though the base TTR (20 s) is far shorter than the stretched interval.
+  proto.on_query(2, 0, consistency_level::strong);
+  r.run_for(3.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(r.qlog->stats(consistency_level::strong).validated, 1u);
+}
+
+TEST(AdaptiveTtp, UnchangedConfirmationsStretchWindow) {
+  // Node 3 is outside the invalidation TTL, so it stays a plain cache node
+  // and actually polls (a relay would self-answer and never adapt).
+  rig r = rig::line(4);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient_params();
+  p.adaptive_ttp = true;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  r.run_for(60.0);
+  // No updates: every strong poll comes back ACK_A; the window grows.
+  for (int i = 0; i < 8; ++i) {
+    proto.on_query(3, 0, consistency_level::strong);
+    r.run_for(5.0);
+  }
+  EXPECT_GT(proto.current_ttp(3, 0), p.ttp);
+  EXPECT_LE(proto.current_ttp(3, 0), p.ttp * p.adaptive_max_factor + 1e-9);
+}
+
+TEST(AdaptiveTtp, ContentChangesShrinkWindow) {
+  rig r = rig::line(4);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient_params();
+  p.adaptive_ttp = true;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  r.run_for(60.0);
+  // Update before every poll: each poll returns ACK_B and shrinks the window.
+  for (int i = 0; i < 8; ++i) {
+    r.registry.bump(0, r.sim.now());
+    proto.on_update(0);
+    r.run_for(20.0);  // let the TTN tick refresh the relays
+    proto.on_query(3, 0, consistency_level::strong);
+    r.run_for(5.0);
+  }
+  EXPECT_LT(proto.current_ttp(3, 0), p.ttp);
+  EXPECT_GE(proto.current_ttp(3, 0), p.ttp * p.adaptive_min_factor - 1e-9);
+}
+
+TEST(AdaptiveTtp, DisabledKeepsConfiguredWindow) {
+  rig r = rig::line(4);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_protocol proto(ctx, lenient_params());
+  proto.start();
+  r.run_for(60.0);
+  proto.on_query(3, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_DOUBLE_EQ(proto.current_ttp(3, 0), lenient_params().ttp);
+}
+
+// --- Bounded relay table (future work #2) ---
+
+TEST(RelayCap, SourceStopsAcceptingBeyondCap) {
+  rig r = rig::line(5);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient_params();
+  p.invalidation_ttl = 4;  // all four non-source nodes hear invalidations
+  p.max_relays_per_item = 2;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  r.run_for(120.0);
+  EXPECT_EQ(proto.registered_relays(0), 2u);
+  int relays = 0;
+  for (node_id n = 1; n <= 4; ++n) {
+    if (proto.role_of(n, 0) == peer_role::relay) ++relays;
+  }
+  EXPECT_EQ(relays, 2);
+}
+
+TEST(RelayCap, UnlimitedByDefault) {
+  rig r = rig::line(5);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient_params();
+  p.invalidation_ttl = 4;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  r.run_for(120.0);
+  EXPECT_EQ(proto.registered_relays(0), 4u);
+}
+
+TEST(RelayCap, SlotReusedAfterCancel) {
+  // Dense cluster: every node hears every other, so killing the promoted
+  // relay cannot partition the flood.
+  rig r({{0, 0}, {100, 0}, {0, 100}, {100, 100}});
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient_params();
+  p.invalidation_ttl = 3;
+  p.max_relays_per_item = 1;
+  p.relay_lease = 40.0;  // short lease so a dead relay's slot frees quickly
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  r.run_for(120.0);
+  ASSERT_EQ(proto.registered_relays(0), 1u);
+  // Find the current relay and kill it for good.
+  node_id holder = invalid_node;
+  for (node_id n = 1; n <= 3; ++n) {
+    if (proto.role_of(n, 0) == peer_role::relay) holder = n;
+  }
+  ASSERT_NE(holder, invalid_node);
+  r.net->set_node_up(holder, false);
+  r.run_for(200.0);  // lease expires; another candidate takes the slot
+  EXPECT_EQ(proto.registered_relays(0), 1u);
+  node_id new_holder = invalid_node;
+  for (node_id n = 1; n <= 3; ++n) {
+    if (n != holder && proto.role_of(n, 0) == peer_role::relay) new_holder = n;
+  }
+  EXPECT_NE(new_holder, invalid_node);
+}
+
+// --- Dynamic placement ---
+
+TEST(DynamicPlacement, StoresStartColdAndFill) {
+  scenario_params p;
+  p.n_peers = 20;
+  p.area_width = p.area_height = 1000;
+  p.placement = "dynamic";
+  p.cache_num = 4;
+  p.sim_time = 400.0;
+  p.seed = 5;
+  scenario sc(p, "pull");
+  for (node_id n = 0; n < 20; ++n) EXPECT_EQ(sc.stores()[n].size(), 0u);
+  const run_result r = sc.run();
+  EXPECT_GT(r.queries_answered, 0u);
+  std::size_t filled = 0;
+  std::uint64_t evictions = 0;
+  for (node_id n = 0; n < 20; ++n) {
+    filled += sc.stores()[n].size();
+    evictions += sc.stores()[n].evictions();
+    EXPECT_LE(sc.stores()[n].size(), 4u);
+  }
+  EXPECT_GT(filled, 20u);      // caches warmed up
+  EXPECT_GT(evictions, 0u);    // LRU replacement actually exercised
+}
+
+TEST(DynamicPlacement, WorksWithRpcc) {
+  scenario_params p;
+  p.n_peers = 20;
+  p.area_width = p.area_height = 1000;
+  p.placement = "dynamic";
+  p.sim_time = 400.0;
+  p.seed = 6;
+  scenario sc(p, "rpcc");
+  const run_result r = sc.run();
+  EXPECT_GT(r.queries_answered, r.queries_issued / 2);
+}
+
+TEST(DynamicPlacement, ZipfSkewsTowardPopularItems) {
+  scenario_params p;
+  p.n_peers = 20;
+  p.area_width = p.area_height = 1000;
+  p.placement = "dynamic";
+  p.zipf_theta = 1.2;
+  p.sim_time = 300.0;
+  p.seed = 7;
+  scenario sc(p, "pull");
+  sc.run();
+  // Popular (low-id) items should be cached far more widely than rare ones.
+  int low_copies = 0;
+  int high_copies = 0;
+  for (node_id n = 0; n < 20; ++n) {
+    for (item_id d : sc.stores()[n].items()) {
+      if (d < 5) ++low_copies;
+      if (d >= 15) ++high_copies;
+    }
+  }
+  EXPECT_GT(low_copies, 2 * high_copies);
+}
+
+TEST(DynamicPlacement, UnknownPlacementThrows) {
+  scenario_params p;
+  p.placement = "quantum";
+  EXPECT_THROW(scenario(p, "pull"), std::runtime_error);
+}
+
+// --- Group mobility ---
+
+TEST(GroupMobility, MembersStayTethered) {
+  terrain land(2000, 2000);
+  random_waypoint_params leader;
+  leader.min_speed_mps = 1;
+  leader.max_speed_mps = 5;
+  auto ref = std::make_shared<group_reference>(land, leader, rng(11));
+  group_mobility_params gp;
+  gp.max_offset = 100;
+  group_member a(ref, gp, rng(12));
+  group_member b(ref, gp, rng(13));
+  for (double t = 0; t < 2000; t += 17) {
+    const vec2 center = ref->position_at(t);
+    // Clamping at the border can add at most the offset again.
+    EXPECT_LE(distance(a.position_at(t), center), 2 * gp.max_offset + 1e-6);
+    EXPECT_LE(distance(b.position_at(t), center), 2 * gp.max_offset + 1e-6);
+    EXPECT_TRUE(land.contains(a.position_at(t)));
+  }
+}
+
+TEST(GroupMobility, MembersAreDistinct) {
+  terrain land(2000, 2000);
+  auto ref = std::make_shared<group_reference>(land, random_waypoint_params{}, rng(1));
+  group_mobility_params gp;
+  group_member a(ref, gp, rng(2));
+  group_member b(ref, gp, rng(3));
+  int same = 0;
+  for (double t = 0; t < 500; t += 50) {
+    if (a.position_at(t) == b.position_at(t)) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(GroupMobility, ScenarioRunsWithGroups) {
+  scenario_params p;
+  p.n_peers = 24;
+  p.mobility = "group";
+  p.group_size = 6;
+  p.area_width = p.area_height = 1200;
+  p.sim_time = 300.0;
+  p.seed = 8;
+  scenario sc(p, "rpcc");
+  const run_result r = sc.run();
+  EXPECT_GT(r.queries_answered, 0u);
+}
+
+// --- Energy accounting ---
+
+TEST(Energy, DrainsProportionallyToTraffic) {
+  scenario_params p;
+  p.n_peers = 20;
+  p.area_width = p.area_height = 1000;
+  p.sim_time = 300.0;
+  p.seed = 9;
+  scenario pull(p, "pull");
+  scenario wc(p, "rpcc");
+  const run_result rp = pull.run();
+  scenario_params pw = p;
+  pw.mix = level_mix::weak_only();
+  scenario rw(pw, "rpcc");
+  const run_result rr = rw.run();
+  (void)wc;
+  EXPECT_GT(rp.energy_spent_j, 0.0);
+  EXPECT_GT(rr.energy_spent_j, 0.0);
+  // Pull's flood storms must cost more battery than weak-consistency RPCC.
+  EXPECT_GT(rp.energy_spent_j, rr.energy_spent_j);
+  EXPECT_GE(rp.max_node_energy_spent_j, rp.energy_spent_j / 20);
+}
+
+TEST(Energy, WarmupExcludedFromAccounting) {
+  scenario_params p;
+  p.n_peers = 15;
+  p.area_width = p.area_height = 1000;
+  p.sim_time = 200.0;
+  p.seed = 10;
+  scenario cold(p, "pull");
+  scenario_params pw = p;
+  pw.warmup = 200.0;
+  scenario warm(pw, "pull");
+  const run_result rc = cold.run();
+  const run_result rww = warm.run();
+  // Same measured duration; warm-up traffic must not be billed.
+  EXPECT_DOUBLE_EQ(rc.sim_time, rww.sim_time);
+  EXPECT_LT(rww.energy_spent_j, 2.0 * rc.energy_spent_j + 1.0);
+}
+
+}  // namespace
+}  // namespace manet

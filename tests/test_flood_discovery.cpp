@@ -1,0 +1,115 @@
+// Flood-based cache discovery, and agreement with the oracle locator.
+#include <gtest/gtest.h>
+
+#include "cache/discovery.hpp"
+#include "cache/flood_discovery.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+
+class FloodDiscoveryTest : public ::testing::Test {
+ protected:
+  FloodDiscoveryTest() : r(rig::line(6)) {
+    // Item owned by node 5 (far end); nodes can be given copies per test.
+    item = registry.add_item(5, 100);
+    for (node_id n = 0; n < 6; ++n) stores.emplace_back(4);
+    disc = std::make_unique<flood_discovery>(*r.net, *r.floods, *r.route, registry,
+                                             &stores);
+  }
+
+  void give_copy(node_id n) {
+    cached_copy c;
+    c.item = item;
+    stores[n].put(c);
+  }
+
+  rig r;
+  item_registry registry;
+  std::vector<cache_store> stores;
+  std::unique_ptr<flood_discovery> disc;
+  item_id item = invalid_item;
+};
+
+TEST_F(FloodDiscoveryTest, FindsSourceWhenNoCopies) {
+  node_id found = 99;
+  disc->locate(0, item, [&](node_id h) { found = h; });
+  r.run_for(10.0);
+  EXPECT_EQ(found, 5u);
+}
+
+TEST_F(FloodDiscoveryTest, PrefersNearbyCopyOverFarSource) {
+  give_copy(1);
+  node_id found = 99;
+  disc->locate(0, item, [&](node_id h) { found = h; });
+  r.run_for(10.0);
+  EXPECT_EQ(found, 1u);
+  // The first ring (ttl 2) sufficed: one request round.
+  EXPECT_EQ(disc->requests_sent(), 1u);
+}
+
+TEST_F(FloodDiscoveryTest, AskersOwnCopyShortCircuits) {
+  give_copy(0);
+  node_id found = 99;
+  disc->locate(0, item, [&](node_id h) { found = h; });
+  EXPECT_EQ(found, 0u);  // synchronous, no traffic
+  EXPECT_EQ(r.net->meter().total_tx_frames(), 0u);
+}
+
+TEST_F(FloodDiscoveryTest, ExpandsRingUntilHolderFound) {
+  node_id found = 99;
+  disc->locate(0, item, [&](node_id h) { found = h; });
+  r.run_for(10.0);
+  EXPECT_EQ(found, 5u);
+  // Source is 5 hops away: rings 2 and 4 fail first.
+  EXPECT_EQ(disc->requests_sent(), 3u);
+}
+
+TEST_F(FloodDiscoveryTest, ReportsFailureWhenPartitioned) {
+  r.net->set_node_up(2, false);
+  node_id found = 99;
+  disc->locate(0, item, [&](node_id h) { found = h; });
+  r.run_for(10.0);
+  EXPECT_EQ(found, invalid_node);
+}
+
+TEST_F(FloodDiscoveryTest, ConcurrentLocatesShareOneRound) {
+  give_copy(1);
+  int calls = 0;
+  disc->locate(0, item, [&](node_id) { ++calls; });
+  disc->locate(0, item, [&](node_id) { ++calls; });
+  r.run_for(10.0);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(disc->requests_sent(), 1u);
+}
+
+TEST_F(FloodDiscoveryTest, AgreesWithOracleOnHopDistance) {
+  give_copy(2);
+  give_copy(4);
+  oracle_discovery oracle(*r.net, registry);
+  oracle.add_holder(item, 2);
+  oracle.add_holder(item, 4);
+  const node_id oracle_pick = oracle.nearest_holder(0, item);
+  node_id flood_pick = invalid_node;
+  disc->locate(0, item, [&](node_id h) { flood_pick = h; });
+  r.run_for(10.0);
+  ASSERT_NE(flood_pick, invalid_node);
+  EXPECT_EQ(r.net->hop_distance(0, flood_pick), r.net->hop_distance(0, oracle_pick));
+}
+
+TEST_F(FloodDiscoveryTest, CoexistsWithProtocolHandlers) {
+  // A default flood handler must not swallow discovery requests.
+  int default_handler_calls = 0;
+  r.floods->set_handler([&](node_id, const packet&) { ++default_handler_calls; });
+  give_copy(1);
+  node_id found = 99;
+  disc->locate(0, item, [&](node_id h) { found = h; });
+  r.run_for(10.0);
+  EXPECT_EQ(found, 1u);
+  EXPECT_EQ(default_handler_calls, 0);  // kind handler took precedence
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,132 @@
+// TTL-scoped flooding: reach, duplicate suppression, hop counting.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+
+struct tag_payload final : message_payload {
+  int tag = 0;
+};
+
+TEST(Flooding, TtlLimitsReach) {
+  for (int ttl = 1; ttl <= 5; ++ttl) {
+    rig r = rig::line(8);
+    std::map<node_id, int> heard;
+    r.floods->set_handler([&](node_id self, const packet&) { ++heard[self]; });
+    r.floods->flood(0, 150, std::make_shared<tag_payload>(), 64, ttl);
+    r.run_for(5.0);
+    // Exactly the nodes within ttl hops hear it (line topology).
+    EXPECT_EQ(heard.size(), static_cast<std::size_t>(std::min(ttl, 7)))
+        << "ttl=" << ttl;
+    for (const auto& [n, count] : heard) {
+      EXPECT_LE(static_cast<int>(n), ttl);
+      EXPECT_EQ(count, 1) << "duplicate delivery at node " << n;
+    }
+  }
+}
+
+TEST(Flooding, EveryNodeForwardsOnce) {
+  rig r = rig::line(6);
+  r.floods->set_handler([](node_id, const packet&) {});
+  r.floods->flood(0, 150, nullptr, 64, 10);
+  r.run_for(5.0);
+  // Nodes 0..4 transmit (node 5 receives with ttl 10-5 left but has no new
+  // neighbors; it still rebroadcasts once). Total = 6 transmissions.
+  EXPECT_EQ(r.net->meter().counters(150).tx_frames, 6u);
+}
+
+TEST(Flooding, HopsCountedAlongPath) {
+  rig r = rig::line(5);
+  std::map<node_id, int> hops;
+  r.floods->set_handler([&](node_id self, const packet& p) { hops[self] = p.hops; });
+  r.floods->flood(0, 150, nullptr, 64, 10);
+  r.run_for(5.0);
+  EXPECT_EQ(hops[1], 0);  // first hop: originator's own transmission
+  EXPECT_EQ(hops[2], 1);
+  EXPECT_EQ(hops[4], 3);
+}
+
+TEST(Flooding, ZeroTtlIsNoop) {
+  rig r = rig::line(3);
+  int heard = 0;
+  r.floods->set_handler([&](node_id, const packet&) { ++heard; });
+  EXPECT_EQ(r.floods->flood(0, 150, nullptr, 64, 0), 0u);
+  r.run_for(1.0);
+  EXPECT_EQ(heard, 0);
+  EXPECT_EQ(r.net->meter().total_tx_frames(), 0u);
+}
+
+TEST(Flooding, DownOriginIsNoop) {
+  rig r = rig::line(3);
+  r.net->set_node_up(0, false);
+  EXPECT_EQ(r.floods->flood(0, 150, nullptr, 64, 3), 0u);
+  r.run_for(1.0);
+  EXPECT_EQ(r.net->meter().total_tx_frames(), 0u);
+}
+
+TEST(Flooding, DownNodeBlocksPropagation) {
+  rig r = rig::line(5);
+  r.net->set_node_up(2, false);
+  std::map<node_id, int> heard;
+  r.floods->set_handler([&](node_id self, const packet&) { ++heard[self]; });
+  r.floods->flood(0, 150, nullptr, 64, 10);
+  r.run_for(5.0);
+  EXPECT_TRUE(heard.count(1));
+  EXPECT_FALSE(heard.count(2));
+  EXPECT_FALSE(heard.count(3));
+  EXPECT_FALSE(heard.count(4));
+}
+
+TEST(Flooding, MeshDeliversOncePerNode) {
+  // Dense 3x3 grid, everyone within range of several others.
+  std::vector<vec2> pos;
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) {
+      pos.push_back(vec2{100.0 * x, 100.0 * y});
+    }
+  }
+  rig r(pos);
+  std::map<node_id, int> heard;
+  r.floods->set_handler([&](node_id self, const packet&) { ++heard[self]; });
+  r.floods->flood(4, 150, nullptr, 64, 5);  // center node
+  r.run_for(5.0);
+  EXPECT_EQ(heard.size(), 8u);
+  for (const auto& [n, count] : heard) EXPECT_EQ(count, 1) << "node " << n;
+}
+
+TEST(Flooding, TwoFloodsDistinctUids) {
+  rig r = rig::line(3);
+  std::map<packet_uid, int> deliveries;
+  r.floods->set_handler([&](node_id, const packet& p) { ++deliveries[p.uid]; });
+  const auto u1 = r.floods->flood(0, 150, nullptr, 64, 5);
+  const auto u2 = r.floods->flood(0, 150, nullptr, 64, 5);
+  r.run_for(5.0);
+  EXPECT_NE(u1, u2);
+  EXPECT_EQ(deliveries[u1], 2);  // nodes 1 and 2
+  EXPECT_EQ(deliveries[u2], 2);
+}
+
+TEST(Flooding, PayloadSharedAcrossReceivers) {
+  rig r = rig::line(4);
+  auto payload = std::make_shared<tag_payload>();
+  payload->tag = 77;
+  int checked = 0;
+  r.floods->set_handler([&](node_id, const packet& p) {
+    const auto* t = payload_cast<tag_payload>(p);
+    ASSERT_NE(t, nullptr);
+    EXPECT_EQ(t->tag, 77);
+    ++checked;
+  });
+  r.floods->flood(0, 150, payload, 64, 10);
+  r.run_for(5.0);
+  EXPECT_EQ(checked, 3);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,153 @@
+// Geometry primitives and mobility models.
+#include <gtest/gtest.h>
+
+#include "geom/terrain.hpp"
+#include "geom/vec2.hpp"
+#include "mobility/random_walk.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "mobility/waypoint_trace.hpp"
+#include "util/rng.hpp"
+
+namespace manet {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  vec2 a{1, 2};
+  vec2 b{3, -1};
+  EXPECT_EQ(a + b, (vec2{4, 1}));
+  EXPECT_EQ(a - b, (vec2{-2, 3}));
+  EXPECT_EQ(a * 2.0, (vec2{2, 4}));
+  EXPECT_EQ(2.0 * a, (vec2{2, 4}));
+}
+
+TEST(Vec2, NormAndDistance) {
+  EXPECT_DOUBLE_EQ((vec2{3, 4}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((vec2{3, 4}).norm2(), 25.0);
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance2({1, 1}, {4, 5}), 25.0);
+}
+
+TEST(Vec2, Lerp) {
+  const vec2 a{0, 0};
+  const vec2 b{10, 20};
+  EXPECT_EQ(lerp(a, b, 0.0), a);
+  EXPECT_EQ(lerp(a, b, 1.0), b);
+  EXPECT_EQ(lerp(a, b, 0.5), (vec2{5, 10}));
+}
+
+TEST(Terrain, ContainsAndClamp) {
+  terrain t(100, 50);
+  EXPECT_TRUE(t.contains({0, 0}));
+  EXPECT_TRUE(t.contains({100, 50}));
+  EXPECT_FALSE(t.contains({101, 10}));
+  EXPECT_FALSE(t.contains({-1, 10}));
+  EXPECT_EQ(t.clamp({150, -20}), (vec2{100, 0}));
+  EXPECT_EQ(t.clamp({50, 25}), (vec2{50, 25}));
+}
+
+TEST(Terrain, ReflectFoldsBackInside) {
+  terrain t(100, 100);
+  EXPECT_EQ(t.reflect({-10, 20}), (vec2{10, 20}));
+  EXPECT_EQ(t.reflect({110, 20}), (vec2{90, 20}));
+  EXPECT_EQ(t.reflect({50, -30}), (vec2{50, 30}));
+  const vec2 in = t.reflect({250, 250});
+  EXPECT_TRUE(t.contains(in));
+}
+
+TEST(RandomWaypoint, StaysInsideTerrain) {
+  terrain land(1500, 1500);
+  random_waypoint_params p;
+  p.min_speed_mps = 1;
+  p.max_speed_mps = 20;
+  p.pause = 10;
+  random_waypoint m(land, p, rng(77));
+  for (double t = 0; t < 5000; t += 13.7) {
+    EXPECT_TRUE(land.contains(m.position_at(t))) << "at t=" << t;
+  }
+}
+
+TEST(RandomWaypoint, ContinuousPath) {
+  terrain land(1000, 1000);
+  random_waypoint m(land, {}, rng(5));
+  vec2 prev = m.position_at(0);
+  for (double t = 0.5; t < 600; t += 0.5) {
+    const vec2 cur = m.position_at(t);
+    // Max default speed is 20 m/s; in 0.5 s at most 10 m.
+    EXPECT_LE(distance(prev, cur), 10.0 + 1e-9);
+    prev = cur;
+  }
+}
+
+TEST(RandomWaypoint, SpeedWithinBounds) {
+  terrain land(1000, 1000);
+  random_waypoint_params p;
+  p.min_speed_mps = 2;
+  p.max_speed_mps = 5;
+  p.pause = 3;
+  random_waypoint m(land, p, rng(6));
+  for (double t = 0; t < 2000; t += 1.0) {
+    const double s = m.speed_at(t);
+    EXPECT_TRUE(s == 0.0 || (s >= 2.0 && s <= 5.0));
+  }
+}
+
+TEST(RandomWaypoint, DeterministicGivenSeed) {
+  terrain land(500, 500);
+  random_waypoint a(land, {}, rng(9));
+  random_waypoint b(land, {}, rng(9));
+  for (double t = 0; t < 300; t += 7) {
+    EXPECT_EQ(a.position_at(t), b.position_at(t));
+  }
+}
+
+TEST(RandomWalk, StaysInsideTerrain) {
+  terrain land(800, 800);
+  random_walk m(land, {}, rng(3));
+  for (double t = 0; t < 4000; t += 9.3) {
+    EXPECT_TRUE(land.contains(m.position_at(t)));
+  }
+}
+
+TEST(RandomWalk, SpeedWithinBounds) {
+  terrain land(800, 800);
+  random_walk_params p;
+  p.min_speed_mps = 1;
+  p.max_speed_mps = 4;
+  random_walk m(land, p, rng(4));
+  for (double t = 0; t < 1000; t += 2.1) {
+    const double s = m.speed_at(t);
+    EXPECT_GE(s, 1.0);
+    EXPECT_LE(s, 4.0);
+  }
+}
+
+TEST(StaticMobility, NeverMoves) {
+  static_mobility m({42, 17});
+  EXPECT_EQ(m.position_at(0), (vec2{42, 17}));
+  EXPECT_EQ(m.position_at(1e6), (vec2{42, 17}));
+  EXPECT_EQ(m.speed_at(5), 0.0);
+}
+
+TEST(WaypointTrace, InterpolatesLinearly) {
+  waypoint_trace m({{0, {0, 0}}, {10, {100, 0}}, {20, {100, 50}}});
+  EXPECT_EQ(m.position_at(0), (vec2{0, 0}));
+  EXPECT_EQ(m.position_at(5), (vec2{50, 0}));
+  EXPECT_EQ(m.position_at(10), (vec2{100, 0}));
+  EXPECT_EQ(m.position_at(15), (vec2{100, 25}));
+  EXPECT_EQ(m.position_at(20), (vec2{100, 50}));
+}
+
+TEST(WaypointTrace, ClampsOutsideRange) {
+  waypoint_trace m({{5, {1, 1}}, {6, {2, 2}}});
+  EXPECT_EQ(m.position_at(0), (vec2{1, 1}));
+  EXPECT_EQ(m.position_at(100), (vec2{2, 2}));
+}
+
+TEST(WaypointTrace, SpeedBetweenWaypoints) {
+  waypoint_trace m({{0, {0, 0}}, {10, {100, 0}}});
+  EXPECT_DOUBLE_EQ(m.speed_at(5), 10.0);
+  EXPECT_DOUBLE_EQ(m.speed_at(50), 0.0);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,105 @@
+// "Push with adaptive pull" hybrid baseline [Lan03].
+#include <gtest/gtest.h>
+
+#include "consistency/hybrid_protocol.hpp"
+#include "scenario/scenario.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+
+class HybridTest : public ::testing::Test {
+ protected:
+  HybridTest() : r(rig::line(4)) {
+    ctx = r.make_context(64, 256, 60.0);
+    hybrid_params hp;
+    hp.ttn = 20.0;
+    hp.inv_ttl = 8;
+    hp.validity = 60.0;
+    hp.poll_timeout = 1.0;
+    proto = std::make_unique<hybrid_protocol>(ctx, hp);
+    proto->start();
+  }
+
+  rig r;
+  protocol_context ctx;
+  std::unique_ptr<hybrid_protocol> proto;
+};
+
+TEST_F(HybridTest, PollIsUnicastNotFlood) {
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  // A poll over 3 hops = 3 frames per attempt (the first attempt may time
+  // out while AODV's expanding ring is still searching); a flood-based poll
+  // would transmit from every node. Assert the cost stays path-linear.
+  EXPECT_LE(r.net->meter().counters(kind_hyb_poll).originated, 2u);
+  EXPECT_LE(r.net->meter().counters(kind_hyb_poll).tx_frames, 8u);
+}
+
+TEST_F(HybridTest, ReportConfirmedCopySkipsPolling) {
+  r.run_for(25.0);  // at least one report cycle confirms the copies
+  const auto polls_before = proto->polls_sent();
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(1.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(proto->polls_sent(), polls_before);
+  EXPECT_EQ(r.qlog->stats(consistency_level::strong).validated, 1u);
+}
+
+TEST_F(HybridTest, InvalidatedCopyPullsContent) {
+  r.run_for(25.0);
+  r.registry.bump(0, r.sim.now());
+  proto->on_update(0);
+  r.run_for(25.0);  // next report marks the copy invalid everywhere
+  const cached_copy* copy = r.stores[3].find(0);
+  ASSERT_NE(copy, nullptr);
+  EXPECT_TRUE(copy->invalid);
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_GT(r.net->meter().counters(kind_hyb_data).originated, 0u);
+  EXPECT_EQ(r.stores[3].find(0)->version, 1u);
+  EXPECT_EQ(r.qlog->totals().stale_answers, 0u);
+}
+
+TEST_F(HybridTest, WeakAnswersLocally) {
+  proto->on_query(3, 0, consistency_level::weak);
+  r.run_for(1.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(proto->polls_sent(), 0u);
+}
+
+TEST_F(HybridTest, UnreachableSourceFallsBackWithBackoff) {
+  r.net->set_node_up(0, false);
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(10.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(proto->unvalidated_answers(), 1u);
+  const auto polls = proto->polls_sent();
+  // Within the backoff window a second query answers locally, no new poll.
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(1.0);
+  EXPECT_EQ(r.qlog->answered(), 2u);
+  EXPECT_EQ(proto->polls_sent(), polls);
+}
+
+TEST(HybridScenario, RunsEndToEndCheaperThanPull) {
+  scenario_params p;
+  p.n_peers = 25;
+  p.area_width = p.area_height = 1000;
+  p.sim_time = 400.0;
+  p.seed = 3;
+  scenario hybrid(p, "push_pull");
+  scenario pull(p, "pull");
+  const run_result rh = hybrid.run();
+  const run_result rp = pull.run();
+  EXPECT_GT(rh.queries_answered, rh.queries_issued * 7 / 10);
+  // Unicast polls + shared reports must beat per-query flooding.
+  EXPECT_LT(rh.total_messages, rp.total_messages);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,108 @@
+// Logging, meter naming/reporting, payload casting, units.
+#include <gtest/gtest.h>
+
+#include "consistency/messages.hpp"
+#include "net/packet.hpp"
+#include "net/traffic_meter.hpp"
+#include "util/logging.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+namespace {
+
+TEST(Logging, ParseLevelNames) {
+  log_level l = log_level::off;
+  EXPECT_TRUE(parse_log_level("trace", l));
+  EXPECT_EQ(l, log_level::trace);
+  EXPECT_TRUE(parse_log_level("warn", l));
+  EXPECT_EQ(l, log_level::warn);
+  EXPECT_TRUE(parse_log_level("off", l));
+  EXPECT_EQ(l, log_level::off);
+  EXPECT_FALSE(parse_log_level("verbose", l));
+}
+
+TEST(Logging, LevelNamesRoundTrip) {
+  EXPECT_STREQ(log_level_name(log_level::debug), "DEBUG");
+  EXPECT_STREQ(log_level_name(log_level::error), "ERROR");
+}
+
+TEST(Logging, SetAndGetThreshold) {
+  const log_level before = get_log_level();
+  set_log_level(log_level::error);
+  EXPECT_EQ(get_log_level(), log_level::error);
+  logf(log_level::debug, "suppressed %d", 1);  // below threshold: no crash
+  set_log_level(before);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(seconds(30), 30.0);
+  EXPECT_DOUBLE_EQ(minutes(2), 120.0);
+  EXPECT_DOUBLE_EQ(hours(5), 18000.0);
+}
+
+TEST(TrafficMeter, KindNamesAndFallback) {
+  traffic_meter m;
+  register_consistency_kinds(m);
+  EXPECT_EQ(m.kind_name(kind_invalidation), "INVALIDATION");
+  EXPECT_EQ(m.kind_name(kind_poll_ack_b), "POLL_ACK_B");
+  EXPECT_EQ(m.kind_name(9999), "kind_9999");
+}
+
+TEST(TrafficMeter, CountersAccumulateAndReset) {
+  traffic_meter m;
+  m.record_originated(150);
+  m.record_tx(150, 100);
+  m.record_tx(150, 200);
+  m.record_rx(150, 100);
+  m.record_drop(150, drop_reason::channel_loss);
+  const kind_counters& c = m.counters(150);
+  EXPECT_EQ(c.originated, 1u);
+  EXPECT_EQ(c.tx_frames, 2u);
+  EXPECT_EQ(c.tx_bytes, 300u);
+  EXPECT_EQ(c.rx_frames, 1u);
+  EXPECT_EQ(m.total_drops(), 1u);
+  m.reset();
+  EXPECT_EQ(m.total_tx_frames(), 0u);
+  EXPECT_EQ(m.total_drops(), 0u);
+}
+
+TEST(TrafficMeter, AppVersusRoutingSplit) {
+  traffic_meter m;
+  m.record_tx(1, 24);    // routing kind
+  m.record_tx(150, 64);  // app kind
+  m.record_tx(150, 64);
+  EXPECT_EQ(m.routing_tx_frames(), 1u);
+  EXPECT_EQ(m.app_tx_frames(), 2u);
+  EXPECT_EQ(m.total_tx_frames(), 3u);
+}
+
+TEST(TrafficMeter, ReportListsKindsAndDrops) {
+  traffic_meter m;
+  m.register_kind(150, "MY_KIND");
+  m.record_tx(150, 10);
+  m.record_drop(150, drop_reason::collision);
+  const std::string rep = m.report();
+  EXPECT_NE(rep.find("MY_KIND"), std::string::npos);
+  EXPECT_NE(rep.find("collision"), std::string::npos);
+  EXPECT_NE(rep.find("TOTAL"), std::string::npos);
+}
+
+TEST(PayloadCast, NullAndWrongTypeReturnNullptr) {
+  packet p;
+  EXPECT_EQ(payload_cast<item_msg>(p), nullptr);
+  p.payload = std::make_shared<item_version_msg>();
+  EXPECT_EQ(payload_cast<item_msg>(p), nullptr);
+  EXPECT_NE(payload_cast<item_version_msg>(p), nullptr);
+}
+
+TEST(DropReasons, AllNamed) {
+  for (drop_reason r :
+       {drop_reason::node_down, drop_reason::out_of_range, drop_reason::channel_loss,
+        drop_reason::collision, drop_reason::no_route, drop_reason::ttl_expired,
+        drop_reason::queue_flushed}) {
+    EXPECT_STRNE(drop_reason_name(r), "?");
+  }
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,208 @@
+// Radio, MAC, network fabric: delivery, broadcast, drops, energy, paths.
+#include <gtest/gtest.h>
+
+#include "net/dedup_cache.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+
+packet make_packet(network& net, packet_kind kind, node_id src, node_id dst,
+                   std::size_t bytes = 100) {
+  packet p;
+  p.uid = net.next_uid();
+  p.kind = kind;
+  p.src = src;
+  p.dst = dst;
+  p.ttl = 10;
+  p.size_bytes = bytes;
+  return p;
+}
+
+TEST(Radio, ReachableRespectsRange) {
+  rig r({{0, 0}, {200, 0}, {600, 0}});
+  EXPECT_TRUE(r.net->air().reachable(0, 1));
+  EXPECT_TRUE(r.net->air().reachable(1, 0));
+  EXPECT_FALSE(r.net->air().reachable(0, 2));
+  EXPECT_TRUE(r.net->air().reachable(1, 2) == false);  // 400 > 250
+  EXPECT_FALSE(r.net->air().reachable(0, 0));          // self
+}
+
+TEST(Radio, DownNodesAreUnreachable) {
+  rig r({{0, 0}, {100, 0}});
+  EXPECT_TRUE(r.net->air().reachable(0, 1));
+  r.net->set_node_up(1, false);
+  EXPECT_FALSE(r.net->air().reachable(0, 1));
+  r.net->set_node_up(1, true);
+  EXPECT_TRUE(r.net->air().reachable(0, 1));
+}
+
+TEST(Radio, NeighborsListsNodesInRange) {
+  rig r({{0, 0}, {100, 0}, {200, 0}, {1000, 0}});
+  auto nb = r.net->air().neighbors(1);
+  EXPECT_EQ(nb.size(), 2u);  // 0 and 2
+  auto far = r.net->air().neighbors(3);
+  EXPECT_TRUE(far.empty());
+}
+
+TEST(Radio, TxTimeScalesWithBytes) {
+  rig r({{0, 0}});
+  const auto small = r.net->air().tx_time(100);
+  const auto large = r.net->air().tx_time(10000);
+  EXPECT_GT(large, small);
+  // 2 Mb/s: 10 KB ~ 40 ms plus overhead.
+  EXPECT_NEAR(large - small, (10000 - 100) * 8.0 / 2e6, 1e-9);
+}
+
+TEST(Network, UnicastFrameDelivered) {
+  rig r({{0, 0}, {100, 0}});
+  int delivered = 0;
+  r.net->set_dispatcher([&](node_id self, node_id from, const packet& p) {
+    EXPECT_EQ(self, 1u);
+    EXPECT_EQ(from, 0u);
+    EXPECT_EQ(p.kind, 150);
+    ++delivered;
+  });
+  r.net->send_frame(0, 1, make_packet(*r.net, 150, 0, 1));
+  r.run_for(1.0);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(r.net->meter().counters(150).tx_frames, 1u);
+  EXPECT_EQ(r.net->meter().counters(150).rx_frames, 1u);
+}
+
+TEST(Network, BroadcastReachesAllNeighbors) {
+  rig r({{0, 0}, {100, 0}, {-100, 0}, {900, 0}});
+  int delivered = 0;
+  r.net->set_dispatcher([&](node_id, node_id, const packet&) { ++delivered; });
+  r.net->send_frame(0, broadcast_node, make_packet(*r.net, 150, 0, broadcast_node));
+  r.run_for(1.0);
+  EXPECT_EQ(delivered, 2);  // nodes 1 and 2; node 3 out of range
+}
+
+TEST(Network, DownSenderDropsFrame) {
+  rig r({{0, 0}, {100, 0}});
+  r.net->set_node_up(0, false);
+  r.net->send_frame(0, 1, make_packet(*r.net, 150, 0, 1));
+  r.run_for(1.0);
+  EXPECT_EQ(r.net->meter().counters(150).tx_frames, 0u);
+  EXPECT_EQ(r.net->meter().drops(drop_reason::node_down), 1u);
+}
+
+TEST(Network, DownReceiverDropsFrame) {
+  rig r({{0, 0}, {100, 0}});
+  int delivered = 0;
+  r.net->set_dispatcher([&](node_id, node_id, const packet&) { ++delivered; });
+  r.net->set_node_up(1, false);
+  r.net->send_frame(0, 1, make_packet(*r.net, 150, 0, 1));
+  r.run_for(1.0);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_GE(r.net->meter().drops(drop_reason::node_down), 1u);
+}
+
+TEST(Network, OutOfRangeUnicastDropped) {
+  rig r({{0, 0}, {1000, 0}});
+  r.net->send_frame(0, 1, make_packet(*r.net, 150, 0, 1));
+  r.run_for(1.0);
+  EXPECT_EQ(r.net->meter().drops(drop_reason::out_of_range), 1u);
+}
+
+TEST(Network, ChannelLossDropsSomeFrames) {
+  rig r({{0, 0}, {100, 0}}, 250.0, 42, false, /*loss=*/0.5);
+  int delivered = 0;
+  r.net->set_dispatcher([&](node_id, node_id, const packet&) { ++delivered; });
+  for (int i = 0; i < 200; ++i) {
+    r.net->send_frame(0, 1, make_packet(*r.net, 150, 0, 1));
+  }
+  r.run_for(60.0);
+  EXPECT_GT(delivered, 50);
+  EXPECT_LT(delivered, 150);
+  EXPECT_EQ(delivered + static_cast<int>(r.net->meter().drops(drop_reason::channel_loss)), 200);
+}
+
+TEST(Network, MacSerializesTransmissions) {
+  rig r({{0, 0}, {100, 0}});
+  std::vector<double> arrival;
+  r.net->set_dispatcher([&](node_id, node_id, const packet&) {
+    arrival.push_back(r.sim.now());
+  });
+  // Two 10 KB frames: each ~40 ms on air; deliveries must be serialized.
+  r.net->send_frame(0, 1, make_packet(*r.net, 150, 0, 1, 10000));
+  r.net->send_frame(0, 1, make_packet(*r.net, 150, 0, 1, 10000));
+  r.run_for(5.0);
+  ASSERT_EQ(arrival.size(), 2u);
+  EXPECT_GT(arrival[1] - arrival[0], 0.039);
+}
+
+TEST(Network, NodeDownFlushesQueue) {
+  rig r({{0, 0}, {100, 0}});
+  int delivered = 0;
+  r.net->set_dispatcher([&](node_id, node_id, const packet&) { ++delivered; });
+  for (int i = 0; i < 5; ++i) {
+    r.net->send_frame(0, 1, make_packet(*r.net, 150, 0, 1, 50000));
+  }
+  r.sim.run_until(0.1);  // first frame ~0.2 s on air: nothing delivered yet
+  r.net->set_node_up(0, false);
+  r.run_for(10.0);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_GE(r.net->meter().drops(drop_reason::queue_flushed), 4u);
+}
+
+TEST(Network, EnergyDrainsOnTraffic) {
+  rig r({{0, 0}, {100, 0}});
+  const double e0_tx = r.net->at(0).energy_joules();
+  const double e0_rx = r.net->at(1).energy_joules();
+  r.net->send_frame(0, 1, make_packet(*r.net, 150, 0, 1, 100000));
+  r.run_for(5.0);
+  EXPECT_LT(r.net->at(0).energy_joules(), e0_tx);
+  EXPECT_LT(r.net->at(1).energy_joules(), e0_rx);
+  EXPECT_GT(r.net->at(0).energy_fraction(), 0.99);
+}
+
+TEST(Network, SwitchCountTracksStateChanges) {
+  rig r({{0, 0}});
+  EXPECT_EQ(r.net->at(0).switch_count(), 0u);
+  r.net->set_node_up(0, false);
+  r.net->set_node_up(0, false);  // no-op
+  r.net->set_node_up(0, true);
+  EXPECT_EQ(r.net->at(0).switch_count(), 2u);
+}
+
+TEST(Network, HopDistanceBfs) {
+  rig r = rig::line(5);  // 0-1-2-3-4
+  EXPECT_EQ(r.net->hop_distance(0, 0), 0);
+  EXPECT_EQ(r.net->hop_distance(0, 1), 1);
+  EXPECT_EQ(r.net->hop_distance(0, 4), 4);
+  r.net->set_node_up(2, false);
+  EXPECT_EQ(r.net->hop_distance(0, 4), -1);
+}
+
+TEST(Network, ShortestPathEndpoints) {
+  rig r = rig::line(4);
+  auto path = r.net->shortest_path(0, 3);
+  ASSERT_EQ(path.size(), 4u);
+  EXPECT_EQ(path.front(), 0u);
+  EXPECT_EQ(path.back(), 3u);
+  EXPECT_EQ(path[1], 1u);
+  EXPECT_EQ(path[2], 2u);
+}
+
+TEST(DedupCache, RemembersWithinWindow) {
+  dedup_cache d(10.0);
+  EXPECT_FALSE(d.seen_before(0, 1));
+  EXPECT_TRUE(d.seen_before(0, 1));
+  EXPECT_TRUE(d.seen_before(5, 1));    // same window
+  EXPECT_TRUE(d.seen_before(15, 1));   // previous generation
+  EXPECT_FALSE(d.seen_before(35, 1));  // fully aged out
+}
+
+TEST(DedupCache, IndependentUids) {
+  dedup_cache d(10.0);
+  EXPECT_FALSE(d.seen_before(0, 1));
+  EXPECT_FALSE(d.seen_before(0, 2));
+  EXPECT_TRUE(d.seen_before(0, 1));
+}
+
+}  // namespace
+}  // namespace manet

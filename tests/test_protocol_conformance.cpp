@@ -1,0 +1,160 @@
+// Protocol conformance: behaviors every consistency protocol must share,
+// parameterized over all four implementations.
+#include <gtest/gtest.h>
+
+#include "consistency/hybrid_protocol.hpp"
+#include "consistency/pull_protocol.hpp"
+#include "consistency/push_protocol.hpp"
+#include "consistency/rpcc/rpcc_protocol.hpp"
+#include "scenario/scenario.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+
+std::unique_ptr<consistency_protocol> make_test_protocol(const std::string& name,
+                                                         protocol_context ctx) {
+  if (name == "push") {
+    push_params pp;
+    pp.ttn = 20.0;
+    pp.validity = 60.0;
+    return std::make_unique<push_protocol>(ctx, pp);
+  }
+  if (name == "pull") {
+    pull_params pp;
+    pp.validity = 60.0;
+    pp.poll_timeout = 1.0;
+    return std::make_unique<pull_protocol>(ctx, pp);
+  }
+  if (name == "push_pull") {
+    hybrid_params hp;
+    hp.ttn = 20.0;
+    hp.validity = 60.0;
+    hp.poll_timeout = 1.0;
+    return std::make_unique<hybrid_protocol>(ctx, hp);
+  }
+  rpcc_params rp;
+  rp.ttn = 20.0;
+  rp.ttr = 25.0;
+  rp.ttp = 60.0;
+  rp.invalidation_ttl = 2;
+  rp.poll_timeout = 0.5;
+  rp.coeff.window = 10.0;
+  rp.coeff.mu_car = 1.1;
+  rp.coeff.mu_cs = 0.0;
+  rp.coeff.mu_ce = 0.0;
+  return std::make_unique<rpcc_protocol>(ctx, rp);
+}
+
+class Conformance : public ::testing::TestWithParam<const char*> {
+ protected:
+  Conformance() : r(rig::line(4)) {
+    ctx = r.make_context(64, 256, 60.0);
+    proto = make_test_protocol(GetParam(), ctx);
+    proto->start();
+  }
+
+  rig r;
+  protocol_context ctx;
+  std::unique_ptr<consistency_protocol> proto;
+};
+
+TEST_P(Conformance, SourceAnswersOwnQueryInstantlyValidated) {
+  proto->on_query(0, 0, consistency_level::strong);
+  r.run_for(0.01);
+  ASSERT_EQ(r.qlog->answered(), 1u);
+  const auto& s = r.qlog->stats(consistency_level::strong);
+  EXPECT_EQ(s.validated, 1u);
+  EXPECT_DOUBLE_EQ(s.latency.mean(), 0.0);
+}
+
+TEST_P(Conformance, WeakQueryAnswersImmediatelyFromCache) {
+  proto->on_query(3, 0, consistency_level::weak);
+  r.run_for(0.01);
+  ASSERT_EQ(r.qlog->answered(), 1u);
+  EXPECT_DOUBLE_EQ(r.qlog->stats(consistency_level::weak).latency.mean(), 0.0);
+}
+
+TEST_P(Conformance, StrongQueryEventuallyAnsweredOnHealthyPath) {
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(120.0);  // covers push's wait-for-report worst case
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(r.qlog->stats(consistency_level::strong).validated, 1u);
+}
+
+TEST_P(Conformance, UpdatedContentEventuallyReachesReader) {
+  r.registry.bump(0, r.sim.now());
+  proto->on_update(0);
+  r.run_for(60.0);
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(120.0);
+  ASSERT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(r.qlog->totals().stale_answers, 0u);
+  const cached_copy* copy = r.stores[3].find(0);
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->version, 1u);
+}
+
+TEST_P(Conformance, RepeatedStrongQueriesStayFresh) {
+  for (int round = 0; round < 5; ++round) {
+    r.registry.bump(0, r.sim.now());
+    proto->on_update(0);
+    r.run_for(45.0);
+    proto->on_query(2, 0, consistency_level::strong);
+    r.run_for(120.0);
+  }
+  const auto t = r.qlog->totals();
+  EXPECT_EQ(t.answered, 5u);
+  // Strong answers across the run: at most one transiently stale (push-type
+  // protocols can race a report against a just-issued update).
+  EXPECT_LE(t.stale_answers, 1u);
+}
+
+TEST_P(Conformance, DeltaQueriesNeverViolateBoundOnHealthyPath) {
+  for (int round = 0; round < 10; ++round) {
+    proto->on_query(3, 0, consistency_level::delta);
+    r.run_for(30.0);
+    if (round == 4) {
+      r.registry.bump(0, r.sim.now());
+      proto->on_update(0);
+    }
+  }
+  r.run_for(120.0);
+  EXPECT_EQ(r.qlog->totals().delta_violations, 0u);
+}
+
+TEST_P(Conformance, NoDoubleAnswers) {
+  // The query log asserts on double answers; hammer the same item from the
+  // same node to stress pending-queue handling.
+  for (int i = 0; i < 20; ++i) {
+    proto->on_query(3, 0, consistency_level::strong);
+    r.run_for(0.2);
+  }
+  r.run_for(180.0);
+  EXPECT_EQ(r.qlog->issued(), 20u);
+  EXPECT_EQ(r.qlog->answered(), 20u);
+}
+
+TEST_P(Conformance, SurvivesAskerChurnMidQuery) {
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(0.05);
+  r.net->set_node_up(3, false);
+  r.run_for(60.0);
+  r.net->set_node_up(3, true);
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(120.0);
+  // The pre-churn query may be lost; the post-churn one must answer.
+  EXPECT_GE(r.qlog->answered(), 1u);
+  EXPECT_LE(r.qlog->unanswered(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, Conformance,
+                         ::testing::Values("push", "pull", "push_pull", "rpcc"),
+                         [](const ::testing::TestParamInfo<const char*>& info) {
+                           return std::string(info.param);
+                         });
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,130 @@
+// Simple pull baseline: per-query polls, validity window, retry fallback.
+#include <gtest/gtest.h>
+
+#include "consistency/pull_protocol.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+
+class PullTest : public ::testing::Test {
+ protected:
+  PullTest() : r(rig::line(4)) {
+    ctx = r.make_context(64, 256, /*delta=*/60.0);
+    pull_params pp;
+    pp.poll_ttl = 8;
+    pp.validity = 60.0;
+    pp.poll_timeout = 1.0;
+    pp.max_retries = 2;
+    proto = std::make_unique<pull_protocol>(ctx, pp);
+    proto->start();
+  }
+
+  rig r;
+  protocol_context ctx;
+  std::unique_ptr<pull_protocol> proto;
+};
+
+TEST_F(PullTest, NoBackgroundTraffic) {
+  r.run_for(300.0);
+  EXPECT_EQ(r.net->meter().total_tx_frames(), 0u);
+}
+
+TEST_F(PullTest, StrongQueryPollsSourceAndValidates) {
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  const auto& s = r.qlog->stats(consistency_level::strong);
+  EXPECT_EQ(s.validated, 1u);
+  EXPECT_GT(s.latency.mean(), 0.0);
+  EXPECT_LT(s.latency.mean(), 1.0);
+  EXPECT_EQ(r.net->meter().counters(kind_pull_poll).originated, 1u);
+  EXPECT_EQ(r.net->meter().counters(kind_pull_valid).originated, 1u);
+  EXPECT_EQ(r.qlog->totals().stale_answers, 0u);
+}
+
+TEST_F(PullTest, StaleCopyGetsContentReply) {
+  r.registry.bump(0, r.sim.now());
+  proto->on_update(0);
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(r.net->meter().counters(kind_pull_data).originated, 1u);
+  const cached_copy* copy = r.stores[3].find(0);
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->version, 1u);
+  EXPECT_EQ(r.qlog->totals().stale_answers, 0u);
+}
+
+TEST_F(PullTest, WeakNeverPolls) {
+  proto->on_query(3, 0, consistency_level::weak);
+  r.run_for(5.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(r.net->meter().counters(kind_pull_poll).originated, 0u);
+}
+
+TEST_F(PullTest, DeltaPollsOnlyOutsideValidityWindow) {
+  proto->on_query(3, 0, consistency_level::delta);
+  r.run_for(5.0);
+  EXPECT_EQ(r.net->meter().counters(kind_pull_poll).originated, 1u);
+  // Inside the freshly opened window: no new poll.
+  proto->on_query(3, 0, consistency_level::delta);
+  r.run_for(5.0);
+  EXPECT_EQ(r.net->meter().counters(kind_pull_poll).originated, 1u);
+  EXPECT_EQ(r.qlog->answered(), 2u);
+  // After the window expires: polls again.
+  r.run_for(120.0);
+  proto->on_query(3, 0, consistency_level::delta);
+  r.run_for(5.0);
+  EXPECT_EQ(r.net->meter().counters(kind_pull_poll).originated, 2u);
+}
+
+TEST_F(PullTest, ConcurrentQueriesShareOnePoll) {
+  proto->on_query(3, 0, consistency_level::strong);
+  proto->on_query(3, 0, consistency_level::strong);
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_EQ(r.qlog->answered(), 3u);
+  EXPECT_EQ(proto->polls_sent(), 1u);
+}
+
+TEST_F(PullTest, RetriesThenAnswersUnvalidatedWhenSourceDown) {
+  r.net->set_node_up(0, false);
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(10.0);  // 1 + 2 retries at 1 s timeout each
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(proto->unvalidated_answers(), 1u);
+  EXPECT_EQ(proto->polls_sent(), 3u);  // initial + 2 retries
+  EXPECT_EQ(r.qlog->stats(consistency_level::strong).validated, 0u);
+}
+
+TEST_F(PullTest, SourceAnswersOwnQuery) {
+  proto->on_query(0, 0, consistency_level::strong);
+  r.run_for(0.01);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(r.net->meter().total_tx_frames(), 0u);
+}
+
+TEST_F(PullTest, AskerGoesDownQueryAbandoned) {
+  proto->on_query(3, 0, consistency_level::strong);
+  r.net->set_node_up(3, false);  // before any reply can arrive
+  r.run_for(30.0);
+  EXPECT_EQ(r.qlog->answered(), 0u);
+  EXPECT_EQ(r.qlog->unanswered(), 1u);
+}
+
+TEST_F(PullTest, LatencyGrowsWithDistance) {
+  proto->on_query(1, 0, consistency_level::strong);  // 1 hop
+  r.run_for(5.0);
+  const double near = r.qlog->totals().latency.mean();
+  proto->on_query(3, 0, consistency_level::strong);  // 3 hops
+  r.run_for(5.0);
+  const double total2 = r.qlog->totals().latency.sum();
+  const double far = total2 - near;
+  EXPECT_GT(far, near);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,121 @@
+// Simple push baseline: IR floods, wait-for-report latency, refresh path.
+#include <gtest/gtest.h>
+
+#include "consistency/push_protocol.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+
+class PushTest : public ::testing::Test {
+ protected:
+  PushTest() : r(rig::line(4)) {
+    ctx = r.make_context(/*cache_capacity=*/64, /*item_bytes=*/256,
+                         /*delta=*/60.0);
+    push_params pp;
+    pp.ttn = 20.0;
+    pp.inv_ttl = 8;
+    pp.validity = 60.0;
+    proto = std::make_unique<push_protocol>(ctx, pp);
+    proto->start();
+  }
+
+  rig r;
+  protocol_context ctx;
+  std::unique_ptr<push_protocol> proto;
+};
+
+TEST_F(PushTest, ReportsFloodPeriodically) {
+  r.run_for(100.0);
+  // 4 items, ttn=20 over 100 s: ~5 reports each (phase-staggered).
+  EXPECT_GE(proto->reports_flooded(), 16u);
+  EXPECT_LE(proto->reports_flooded(), 24u);
+  EXPECT_GT(r.net->meter().counters(kind_push_inv).tx_frames, 0u);
+}
+
+TEST_F(PushTest, SourceAnswersOwnQueriesInstantly) {
+  proto->on_query(0, 0, consistency_level::strong);
+  r.run_for(0.1);
+  const auto& s = r.qlog->stats(consistency_level::strong);
+  EXPECT_EQ(s.answered, 1u);
+  EXPECT_DOUBLE_EQ(s.latency.mean(), 0.0);
+  EXPECT_EQ(s.validated, 1u);
+}
+
+TEST_F(PushTest, StrongQueryWaitsForNextReport) {
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(0.5);
+  EXPECT_EQ(r.qlog->answered(), 0u);  // still waiting for the IR
+  r.run_for(25.0);                    // one full interval has passed
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  const auto& s = r.qlog->stats(consistency_level::strong);
+  EXPECT_GT(s.latency.mean(), 0.01);
+  EXPECT_LE(s.latency.mean(), 21.0);
+  EXPECT_EQ(s.validated, 1u);
+}
+
+TEST_F(PushTest, WeakQueryAnswersImmediately) {
+  proto->on_query(3, 0, consistency_level::weak);
+  r.run_for(0.01);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_DOUBLE_EQ(r.qlog->stats(consistency_level::weak).latency.mean(), 0.0);
+}
+
+TEST_F(PushTest, DeltaUsesValidityWindow) {
+  // First SC query validates the copy via the next report.
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(25.0);
+  ASSERT_EQ(r.qlog->answered(), 1u);
+  // A delta query inside the validity window answers instantly.
+  proto->on_query(3, 0, consistency_level::delta);
+  r.run_for(0.01);
+  EXPECT_EQ(r.qlog->answered(), 2u);
+  EXPECT_DOUBLE_EQ(r.qlog->stats(consistency_level::delta).latency.mean(), 0.0);
+}
+
+TEST_F(PushTest, StaleCopyRefreshedWithContent) {
+  r.registry.bump(0, r.sim.now());
+  proto->on_update(0);
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(30.0);  // next report announces v1, node 3 fetches
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  const cached_copy* copy = r.stores[3].find(0);
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->version, 1u);
+  EXPECT_GT(r.net->meter().counters(kind_push_get).tx_frames, 0u);
+  EXPECT_GT(r.net->meter().counters(kind_push_send).tx_frames, 0u);
+  // The answer served the refreshed version: not stale.
+  EXPECT_EQ(r.qlog->totals().stale_answers, 0u);
+}
+
+TEST_F(PushTest, ReportsKeepCachesCurrentWithoutQueries) {
+  r.registry.bump(0, r.sim.now());
+  proto->on_update(0);
+  r.run_for(50.0);
+  // All cache nodes noticed the report mismatch and refreshed.
+  for (node_id n = 1; n <= 3; ++n) {
+    const cached_copy* copy = r.stores[n].find(0);
+    ASSERT_NE(copy, nullptr);
+    EXPECT_EQ(copy->version, 1u) << "node " << n;
+  }
+}
+
+TEST_F(PushTest, PartitionedNodeGivesUpUnvalidated) {
+  r.net->set_node_up(1, false);  // cut the line: 0 | 2-3
+  proto->on_query(3, 0, consistency_level::strong);
+  r.run_for(70.0);  // > max_wait_factor * ttn = 50
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(proto->unvalidated_answers(), 1u);
+  EXPECT_EQ(r.qlog->stats(consistency_level::strong).validated, 0u);
+}
+
+TEST_F(PushTest, DownSourceSkipsReports) {
+  r.net->set_node_up(0, false);
+  r.run_for(100.0);
+  EXPECT_EQ(r.net->meter().counters(kind_push_inv).originated, 15u);  // items 1-3 only
+}
+
+}  // namespace
+}  // namespace manet

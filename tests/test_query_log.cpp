@@ -1,0 +1,122 @@
+// Query log: latency bookkeeping and the ground-truth staleness audit.
+#include <gtest/gtest.h>
+
+#include "cache/data_item.hpp"
+#include "metrics/query_log.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet {
+namespace {
+
+class QueryLogTest : public ::testing::Test {
+ protected:
+  QueryLogTest() : log(sim, reg, /*delta=*/60.0) {
+    item = reg.add_item(0, 100);
+  }
+  simulator sim;
+  item_registry reg;
+  item_id item = invalid_item;
+  query_log log{sim, reg, 60.0};
+};
+
+TEST_F(QueryLogTest, LatencyMeasuredFromIssueToAnswer) {
+  const query_id q = log.issue(1, item, consistency_level::strong);
+  EXPECT_TRUE(log.outstanding(q));
+  sim.run_until(2.5);
+  log.answer(q, 0, true);
+  EXPECT_FALSE(log.outstanding(q));
+  const auto& s = log.stats(consistency_level::strong);
+  EXPECT_EQ(s.answered, 1u);
+  EXPECT_DOUBLE_EQ(s.latency.mean(), 2.5);
+}
+
+TEST_F(QueryLogTest, FreshAnswerNotStale) {
+  reg.bump(item, 0.0);
+  const query_id q = log.issue(1, item, consistency_level::strong);
+  log.answer(q, reg.version(item), true);
+  EXPECT_EQ(log.totals().stale_answers, 0u);
+}
+
+TEST_F(QueryLogTest, StaleAnswerAgeMeasured) {
+  sim.run_until(10.0);
+  reg.bump(item, sim.now());  // version 1 at t=10
+  sim.run_until(40.0);
+  const query_id q = log.issue(1, item, consistency_level::strong);
+  log.answer(q, 0, true);  // serving version 0 at t=40
+  const auto t = log.totals();
+  EXPECT_EQ(t.stale_answers, 1u);
+  EXPECT_DOUBLE_EQ(t.stale_age.mean(), 30.0);  // stale since t=10
+}
+
+TEST_F(QueryLogTest, DeltaViolationOnlyBeyondDelta) {
+  sim.run_until(10.0);
+  reg.bump(item, sim.now());
+  // Within delta (60 s): stale but not a violation.
+  sim.run_until(50.0);
+  const query_id q1 = log.issue(1, item, consistency_level::delta);
+  log.answer(q1, 0, true);
+  EXPECT_EQ(log.totals().delta_violations, 0u);
+  // Beyond delta: violation.
+  sim.run_until(100.0);
+  const query_id q2 = log.issue(1, item, consistency_level::delta);
+  log.answer(q2, 0, true);
+  EXPECT_EQ(log.totals().delta_violations, 1u);
+}
+
+TEST_F(QueryLogTest, StrongStaleIsNotDeltaViolation) {
+  reg.bump(item, 0.0);
+  sim.run_until(1000.0);
+  const query_id q = log.issue(1, item, consistency_level::strong);
+  log.answer(q, 0, true);
+  EXPECT_EQ(log.totals().stale_answers, 1u);
+  EXPECT_EQ(log.totals().delta_violations, 0u);
+}
+
+TEST_F(QueryLogTest, ValidatedFlagCounted) {
+  const query_id q1 = log.issue(1, item, consistency_level::weak);
+  log.answer(q1, 0, false);
+  const query_id q2 = log.issue(1, item, consistency_level::weak);
+  log.answer(q2, 0, true);
+  const auto& s = log.stats(consistency_level::weak);
+  EXPECT_EQ(s.answered, 2u);
+  EXPECT_EQ(s.validated, 1u);
+}
+
+TEST_F(QueryLogTest, PerLevelSeparation) {
+  log.answer(log.issue(1, item, consistency_level::strong), 0, true);
+  log.answer(log.issue(1, item, consistency_level::delta), 0, true);
+  log.answer(log.issue(1, item, consistency_level::delta), 0, true);
+  EXPECT_EQ(log.stats(consistency_level::strong).answered, 1u);
+  EXPECT_EQ(log.stats(consistency_level::delta).answered, 2u);
+  EXPECT_EQ(log.stats(consistency_level::weak).answered, 0u);
+  EXPECT_EQ(log.totals().answered, 3u);
+}
+
+TEST_F(QueryLogTest, UnansweredTracked) {
+  log.issue(1, item, consistency_level::strong);
+  const query_id q = log.issue(1, item, consistency_level::strong);
+  log.answer(q, 0, true);
+  EXPECT_EQ(log.issued(), 2u);
+  EXPECT_EQ(log.answered(), 1u);
+  EXPECT_EQ(log.unanswered(), 1u);
+}
+
+TEST_F(QueryLogTest, HistogramCollectsLatencies) {
+  for (int i = 0; i < 10; ++i) {
+    const query_id q = log.issue(1, item, consistency_level::strong);
+    sim.run_until(sim.now() + 1.0);
+    log.answer(q, 0, true);
+  }
+  EXPECT_EQ(log.latency_histogram().total(), 10u);
+  EXPECT_NEAR(log.latency_histogram().quantile(0.5), 1.0, 0.2);
+}
+
+TEST_F(QueryLogTest, ReportContainsLevels) {
+  log.answer(log.issue(1, item, consistency_level::strong), 0, true);
+  const std::string rep = log.report();
+  EXPECT_NE(rep.find("SC"), std::string::npos);
+  EXPECT_NE(rep.find("ALL"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manet

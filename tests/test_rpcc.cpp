@@ -1,0 +1,235 @@
+// RPCC: relay election, push/pull interplay, consistency levels,
+// disconnection recovery (paper §4).
+#include <gtest/gtest.h>
+
+#include "consistency/rpcc/rpcc_protocol.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+using peer_role = rpcc_protocol::peer_role;
+
+rpcc_params lenient_params() {
+  rpcc_params p;
+  p.ttn = 15.0;
+  p.ttr = 20.0;  // > ttn: relays stay fresh between invalidations
+  p.ttp = 60.0;
+  p.invalidation_ttl = 2;
+  p.poll_ttl = 2;
+  p.poll_ttl_max = 8;
+  p.poll_timeout = 0.5;
+  p.coeff.window = 10.0;
+  // Everyone qualifies: CAR < 1.1 always (CAR <= 1), CS > 0, CE > 0.
+  p.coeff.mu_car = 1.1;
+  p.coeff.mu_cs = 0.0;
+  p.coeff.mu_ce = 0.0;
+  return p;
+}
+
+class RpccTest : public ::testing::Test {
+ protected:
+  explicit RpccTest(rpcc_params params = lenient_params(), std::size_t n_nodes = 5)
+      : r(rig::line(n_nodes)) {
+    ctx = r.make_context(64, 256, params.ttp);
+    proto = std::make_unique<rpcc_protocol>(ctx, params);
+    proto->start();
+  }
+
+  rig r;
+  protocol_context ctx;
+  std::unique_ptr<rpcc_protocol> proto;
+};
+
+TEST_F(RpccTest, InvalidationFloodsAreTtlScoped) {
+  r.run_for(40.0);
+  // ttl=2: for item 0 (source node 0) only nodes 1 and 2 can hear it.
+  EXPECT_GT(r.net->meter().counters(kind_invalidation).originated, 0u);
+  EXPECT_EQ(proto->role_of(4, 0), peer_role::cache);
+}
+
+TEST_F(RpccTest, CandidatesPromoteToRelays) {
+  r.run_for(60.0);
+  // Nodes 1 and 2 hear item-0 invalidations, qualify, apply and promote.
+  EXPECT_EQ(proto->role_of(1, 0), peer_role::relay);
+  EXPECT_EQ(proto->role_of(2, 0), peer_role::relay);
+  EXPECT_EQ(proto->registered_relays(0), 2u);
+  EXPECT_GT(proto->promotions(), 0u);
+  EXPECT_GT(r.net->meter().counters(kind_apply).originated, 0u);
+  EXPECT_GT(r.net->meter().counters(kind_apply_ack).originated, 0u);
+  EXPECT_GT(proto->avg_relay_peers(), 0.0);
+}
+
+TEST_F(RpccTest, RelayAnswersNearbyPollValidated) {
+  r.run_for(60.0);  // let relays form
+  ASSERT_EQ(proto->role_of(2, 0), peer_role::relay);
+  // Node 4 is 4 hops from the source but 2 from relay node 2.
+  proto->on_query(4, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(r.qlog->stats(consistency_level::strong).validated, 1u);
+  EXPECT_GT(r.net->meter().counters(kind_poll).originated, 0u);
+  EXPECT_GT(r.net->meter().counters(kind_poll_ack_a).originated, 0u);
+}
+
+TEST_F(RpccTest, UpdatePropagatesToRelaysAtTtnTick) {
+  r.run_for(60.0);
+  ASSERT_EQ(proto->role_of(1, 0), peer_role::relay);
+  r.registry.bump(0, r.sim.now());
+  proto->on_update(0);
+  r.run_for(20.0);  // next TTN tick pushes UPDATE
+  const cached_copy* copy = r.stores[1].find(0);
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->version, 1u);
+  EXPECT_GT(r.net->meter().counters(kind_update).originated, 0u);
+}
+
+TEST_F(RpccTest, PollAckBDeliversNewContent) {
+  r.run_for(60.0);
+  r.registry.bump(0, r.sim.now());
+  proto->on_update(0);
+  r.run_for(20.0);  // relays now hold v1
+  proto->on_query(4, 0, consistency_level::strong);  // node 4 still has v0
+  r.run_for(5.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  const cached_copy* copy = r.stores[4].find(0);
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->version, 1u);
+  EXPECT_GT(r.net->meter().counters(kind_poll_ack_b).originated, 0u);
+  EXPECT_EQ(r.qlog->totals().stale_answers, 0u);
+}
+
+TEST_F(RpccTest, WeakAnswersImmediatelyWithoutPolling) {
+  proto->on_query(4, 0, consistency_level::weak);
+  r.run_for(1.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_DOUBLE_EQ(r.qlog->stats(consistency_level::weak).latency.mean(), 0.0);
+  EXPECT_EQ(r.net->meter().counters(kind_poll).originated, 0u);
+}
+
+TEST_F(RpccTest, DeltaWithinTtpAnswersImmediately) {
+  r.run_for(60.0);
+  proto->on_query(4, 0, consistency_level::strong);  // opens the TTP window
+  r.run_for(5.0);
+  ASSERT_EQ(r.qlog->answered(), 1u);
+  const auto polls_before = proto->polls_sent();
+  proto->on_query(4, 0, consistency_level::delta);
+  r.run_for(1.0);
+  EXPECT_EQ(r.qlog->answered(), 2u);
+  EXPECT_EQ(proto->polls_sent(), polls_before);
+}
+
+TEST_F(RpccTest, StrongAlwaysPollsEvenWithinTtp) {
+  r.run_for(60.0);
+  proto->on_query(4, 0, consistency_level::strong);
+  r.run_for(5.0);
+  const auto polls_before = proto->polls_sent();
+  proto->on_query(4, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_EQ(proto->polls_sent(), polls_before + 1);
+}
+
+TEST_F(RpccTest, RelayAnswersOwnStrongQueryInstantly) {
+  r.run_for(60.0);
+  ASSERT_EQ(proto->role_of(1, 0), peer_role::relay);
+  const auto polls_before = proto->polls_sent();
+  proto->on_query(1, 0, consistency_level::strong);
+  r.run_for(1.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(proto->polls_sent(), polls_before);
+  EXPECT_DOUBLE_EQ(r.qlog->totals().latency.mean(), 0.0);
+}
+
+TEST_F(RpccTest, SourceAnswersPollWhenNoRelaysYet) {
+  // Immediately, before any invalidation/relay formation.
+  proto->on_query(1, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(r.qlog->stats(consistency_level::strong).validated, 1u);
+}
+
+TEST_F(RpccTest, FarNodeFallsBackUnvalidatedWhenPartitioned) {
+  r.net->set_node_up(2, false);  // cut: 0,1 | 3,4
+  proto->on_query(4, 0, consistency_level::strong);
+  r.run_for(30.0);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(proto->unvalidated_answers(), 1u);
+}
+
+TEST_F(RpccTest, DisconnectedRelayResyncsViaGetNew) {
+  r.run_for(60.0);
+  ASSERT_EQ(proto->role_of(1, 0), peer_role::relay);
+  // Relay 1 sleeps through an update cycle.
+  r.net->set_node_up(1, false);
+  r.registry.bump(0, r.sim.now());
+  proto->on_update(0);
+  r.run_for(20.0);  // UPDATE goes out; node 1 misses it
+  r.net->set_node_up(1, true);
+  r.run_for(20.0);  // next INVALIDATION reveals the gap -> GET_NEW
+  const cached_copy* copy = r.stores[1].find(0);
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->version, 1u);
+  EXPECT_GT(r.net->meter().counters(kind_get_new).originated, 0u);
+  EXPECT_GT(r.net->meter().counters(kind_send_new).originated, 0u);
+}
+
+TEST_F(RpccTest, ConcurrentQueriesShareOnePoll) {
+  r.run_for(60.0);
+  const auto polls_before = proto->polls_sent();
+  proto->on_query(4, 0, consistency_level::strong);
+  proto->on_query(4, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_EQ(r.qlog->answered(), 2u);
+  EXPECT_EQ(proto->polls_sent(), polls_before + 1);
+}
+
+TEST_F(RpccTest, ExtraReportMentionsRelays) {
+  r.run_for(60.0);
+  const std::string rep = proto->extra_report();
+  EXPECT_NE(rep.find("avg_relays"), std::string::npos);
+}
+
+// --- strict-threshold fixture: demotion dynamics ---
+
+rpcc_params strict_cs_params() {
+  rpcc_params p = lenient_params();
+  p.coeff.mu_cs = 0.99;  // any switching disqualifies for a while
+  return p;
+}
+
+class RpccDemotionTest : public RpccTest {
+ protected:
+  RpccDemotionTest() : RpccTest(strict_cs_params()) {}
+};
+
+TEST_F(RpccDemotionTest, SwitchingRelayIsDemotedAndCancels) {
+  r.run_for(60.0);
+  ASSERT_EQ(proto->role_of(1, 0), peer_role::relay);
+  // Node 1 flaps; at the next coefficient window PSR spikes and CS drops.
+  r.net->set_node_up(1, false);
+  r.run_for(1.0);
+  r.net->set_node_up(1, true);
+  r.run_for(15.0);  // next window rollover triggers the check
+  EXPECT_EQ(proto->role_of(1, 0), peer_role::cache);
+  EXPECT_GT(proto->demotions(), 0u);
+  EXPECT_GT(r.net->meter().counters(kind_cancel).originated, 0u);
+  // The source eventually drops it from the relay table.
+  r.run_for(1.0);
+  EXPECT_EQ(proto->registered_relays(0), 1u);  // node 2 remains
+}
+
+TEST_F(RpccDemotionTest, DemotedNodeRequalifiesLater) {
+  r.run_for(60.0);
+  r.net->set_node_up(1, false);
+  r.run_for(1.0);
+  r.net->set_node_up(1, true);
+  r.run_for(15.0);
+  ASSERT_EQ(proto->role_of(1, 0), peer_role::cache);
+  // PSR decays over quiet windows; candidacy returns with an invalidation.
+  r.run_for(200.0);
+  EXPECT_EQ(proto->role_of(1, 0), peer_role::relay);
+}
+
+}  // namespace
+}  // namespace manet

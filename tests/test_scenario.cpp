@@ -1,0 +1,259 @@
+// Scenario assembly and end-to-end integration invariants.
+#include <gtest/gtest.h>
+
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+
+namespace manet {
+namespace {
+
+scenario_params small_params() {
+  scenario_params p;
+  p.n_peers = 20;
+  p.sim_time = 300.0;
+  p.cache_num = 5;
+  p.seed = 3;
+  return p;
+}
+
+TEST(Scenario, BuildsPaperModel) {
+  scenario sc(small_params(), "rpcc");
+  EXPECT_EQ(sc.net().size(), 20u);
+  EXPECT_EQ(sc.registry().size(), 20u);
+  for (node_id n = 0; n < 20; ++n) {
+    EXPECT_EQ(sc.registry().source(n), n);  // m == n, host i owns item i
+    EXPECT_EQ(sc.stores()[n].size(), 5u);   // C_Num pre-placed
+    EXPECT_FALSE(sc.stores()[n].contains(n));  // never caches its own item
+  }
+}
+
+TEST(Scenario, SingleItemModeForFig9) {
+  scenario_params p = small_params();
+  p.single_item_mode = true;
+  scenario sc(p, "rpcc");
+  EXPECT_EQ(sc.registry().size(), 1u);
+  const node_id src = sc.single_source();
+  ASSERT_NE(src, invalid_node);
+  EXPECT_EQ(sc.registry().source(0), src);
+  for (node_id n = 0; n < 20; ++n) {
+    if (n == src) {
+      EXPECT_EQ(sc.stores()[n].size(), 0u);
+    } else {
+      EXPECT_TRUE(sc.stores()[n].contains(0));
+    }
+  }
+}
+
+TEST(Scenario, UnknownProtocolThrows) {
+  EXPECT_THROW(scenario(small_params(), "gossip"), std::runtime_error);
+}
+
+TEST(Scenario, UnknownRouterThrows) {
+  scenario_params p = small_params();
+  p.router = "teleport";
+  EXPECT_THROW(scenario(p, "push"), std::runtime_error);
+}
+
+TEST(Scenario, UnknownMobilityThrows) {
+  scenario_params p = small_params();
+  p.mobility = "jetpack";
+  EXPECT_THROW(scenario(p, "push"), std::runtime_error);
+}
+
+TEST(Scenario, RunProducesConsistentSummary) {
+  scenario sc(small_params(), "pull");
+  const run_result r = sc.run();
+  EXPECT_EQ(r.protocol, "pull");
+  EXPECT_DOUBLE_EQ(r.sim_time, 300.0);
+  EXPECT_GT(r.queries_issued, 0u);
+  EXPECT_LE(r.queries_answered, r.queries_issued);
+  EXPECT_GT(r.queries_answered, r.queries_issued * 8 / 10);
+  EXPECT_GT(r.total_messages, 0u);
+  EXPECT_EQ(r.total_messages, r.app_messages + r.routing_messages);
+  EXPECT_GT(r.total_bytes, r.total_messages);  // every frame has bytes
+  EXPECT_GE(r.avg_query_latency_s, 0.0);
+}
+
+TEST(Scenario, DeterministicGivenSeed) {
+  auto run_once = [] {
+    scenario sc(small_params(), "rpcc");
+    return sc.run();
+  };
+  const run_result a = run_once();
+  const run_result b = run_once();
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.queries_issued, b.queries_issued);
+  EXPECT_EQ(a.queries_answered, b.queries_answered);
+  EXPECT_EQ(a.stale_answers, b.stale_answers);
+  EXPECT_DOUBLE_EQ(a.avg_query_latency_s, b.avg_query_latency_s);
+  EXPECT_DOUBLE_EQ(a.avg_relay_peers, b.avg_relay_peers);
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+  scenario_params p = small_params();
+  scenario a(p, "pull");
+  p.seed = 4;
+  scenario b(p, "pull");
+  EXPECT_NE(a.run().total_messages, b.run().total_messages);
+}
+
+TEST(Scenario, WorkloadIdenticalAcrossProtocols) {
+  // Common random numbers: the query/update streams do not depend on the
+  // protocol under test.
+  scenario a(small_params(), "push");
+  scenario b(small_params(), "pull");
+  const run_result ra = a.run();
+  const run_result rb = b.run();
+  EXPECT_EQ(ra.queries_issued, rb.queries_issued);
+  EXPECT_EQ(ra.updates, rb.updates);
+}
+
+TEST(Scenario, ChurnCanBeDisabled) {
+  scenario_params p = small_params();
+  p.churn = false;
+  scenario sc(p, "push");
+  sc.run();
+  for (node_id n = 0; n < 20; ++n) {
+    EXPECT_EQ(sc.net().at(n).switch_count(), 0u);
+  }
+}
+
+TEST(Scenario, OracleRouterWorksEndToEnd) {
+  scenario_params p = small_params();
+  p.router = "oracle";
+  scenario sc(p, "rpcc");
+  const run_result r = sc.run();
+  EXPECT_EQ(r.routing_messages, 0u);
+  EXPECT_GT(r.queries_answered, 0u);
+}
+
+TEST(Scenario, StaticMobilityAndWalkModelsRun) {
+  for (const char* mob : {"static", "walk"}) {
+    scenario_params p = small_params();
+    p.mobility = mob;
+    p.sim_time = 120.0;
+    scenario sc(p, "pull");
+    EXPECT_GT(sc.run().queries_answered, 0u) << mob;
+  }
+}
+
+TEST(Scenario, RpccFormsRelaysInDefaultScenario) {
+  scenario_params p;
+  p.n_peers = 50;
+  p.sim_time = 1200.0;
+  p.seed = 5;
+  scenario sc(p, "rpcc");
+  const run_result r = sc.run();
+  EXPECT_GT(r.avg_relay_peers, 5.0);
+}
+
+TEST(Scenario, WeakConsistencyLatencyIsZero) {
+  scenario_params p = small_params();
+  p.mix = level_mix::weak_only();
+  scenario sc(p, "rpcc");
+  const run_result r = sc.run();
+  EXPECT_EQ(r.queries_answered, r.queries_issued);
+  EXPECT_LT(r.avg_query_latency_s, 1e-6);
+}
+
+TEST(Scenario, PartialRunsAccumulate) {
+  scenario sc(small_params(), "push");
+  sc.run_until(100.0);
+  const auto q1 = sc.qlog().issued();
+  sc.run_until(200.0);
+  const auto q2 = sc.qlog().issued();
+  EXPECT_GT(q1, 0u);
+  EXPECT_GT(q2, q1);
+}
+
+TEST(Sweep, PaperVariantsComplete) {
+  const auto vs = paper_variants();
+  ASSERT_EQ(vs.size(), 6u);
+  EXPECT_EQ(vs[0].label, "push");
+  EXPECT_EQ(vs[1].label, "pull");
+  EXPECT_EQ(vs[2].label, "rpcc-SC");
+  EXPECT_EQ(vs[5].label, "rpcc-HY");
+  EXPECT_EQ(fig9_variants().size(), 3u);
+}
+
+TEST(Sweep, RunSweepCoversGrid) {
+  sweep_spec spec;
+  spec.base = small_params();
+  spec.base.sim_time = 60.0;
+  spec.x_name = "i_query";
+  spec.xs = {10.0, 40.0};
+  spec.apply = [](scenario_params& p, double x) { p.i_query = x; };
+  spec.variants = {{"pull", "pull", level_mix::strong_only()}};
+  const auto points = run_sweep(spec);
+  ASSERT_EQ(points.size(), 2u);
+  EXPECT_EQ(points[0].x, 10.0);
+  EXPECT_EQ(points[1].x, 40.0);
+  // Longer query interval -> fewer queries.
+  EXPECT_GT(points[0].result.queries_issued, points[1].result.queries_issued);
+}
+
+TEST(Sweep, RepetitionsAverage) {
+  sweep_spec spec;
+  spec.base = small_params();
+  spec.base.sim_time = 60.0;
+  spec.x_name = "x";
+  spec.xs = {1.0};
+  spec.apply = [](scenario_params&, double) {};
+  spec.variants = {{"pull", "pull", level_mix::strong_only()}};
+  spec.repetitions = 3;
+  int runs = 0;
+  spec.progress = [&](const std::string&, double, int) { ++runs; };
+  const auto points = run_sweep(spec);
+  EXPECT_EQ(runs, 3);
+  ASSERT_EQ(points.size(), 1u);
+}
+
+TEST(Sweep, RenderSeriesHasRowPerX) {
+  sweep_spec spec;
+  spec.base = small_params();
+  spec.base.sim_time = 30.0;
+  spec.x_name = "x";
+  spec.xs = {1.0, 2.0};
+  spec.apply = [](scenario_params&, double) {};
+  spec.variants = {{"pull", "pull", level_mix::strong_only()}};
+  const auto points = run_sweep(spec);
+  const std::string table = render_series(
+      points, "x", spec.variants,
+      [](const run_result& r) { return static_cast<double>(r.total_messages); });
+  EXPECT_EQ(std::count(table.begin(), table.end(), '\n'), 4);  // hdr+rule+2 rows
+}
+
+TEST(Params, ConfigRoundTrip) {
+  scenario_params p;
+  p.n_peers = 33;
+  p.i_query = 7.5;
+  p.mix = level_mix::hybrid();
+  p.router = "oracle";
+  p.single_item_mode = true;
+  config cfg;
+  p.to_config(cfg);
+  const scenario_params q = scenario_params::from_config(cfg);
+  EXPECT_EQ(q.n_peers, 33);
+  EXPECT_DOUBLE_EQ(q.i_query, 7.5);
+  EXPECT_EQ(mix_name(q.mix), "HY");
+  EXPECT_EQ(q.router, "oracle");
+  EXPECT_TRUE(q.single_item_mode);
+}
+
+TEST(Params, ParseMixNames) {
+  EXPECT_EQ(mix_name(parse_mix("SC")), "SC");
+  EXPECT_EQ(mix_name(parse_mix("dc")), "DC");
+  EXPECT_EQ(mix_name(parse_mix("WC")), "WC");
+  EXPECT_EQ(mix_name(parse_mix("hy")), "HY");
+  EXPECT_THROW(parse_mix("XX"), std::runtime_error);
+}
+
+TEST(Params, DescribeMentionsTable1Names) {
+  const std::string d = scenario_params{}.describe();
+  EXPECT_NE(d.find("N_Peers"), std::string::npos);
+  EXPECT_NE(d.find("I_Update"), std::string::npos);
+  EXPECT_NE(d.find("TTN"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,224 @@
+// Event queue, simulator clock and timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+
+namespace manet {
+namespace {
+
+TEST(EventQueue, PopsInTimeOrder) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto rec = q.pop();
+    rec->action();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesAreFifo) {
+  event_queue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop()->action();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, CancelSkipsEvent) {
+  event_queue q;
+  bool fired = false;
+  auto h = q.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelMiddleEventOnly) {
+  event_queue q;
+  std::vector<int> order;
+  q.schedule(1.0, [&] { order.push_back(1); });
+  auto h = q.schedule(2.0, [&] { order.push_back(2); });
+  q.schedule(3.0, [&] { order.push_back(3); });
+  h.cancel();
+  while (!q.empty()) q.pop()->action();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, NextTimeTracksEarliestLive) {
+  event_queue q;
+  auto h1 = q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1.0);
+  h1.cancel();
+  EXPECT_DOUBLE_EQ(q.next_time(), 2.0);
+}
+
+TEST(EventQueue, ClearEmptiesEverything) {
+  event_queue q;
+  for (int i = 0; i < 5; ++i) q.schedule(i, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_DOUBLE_EQ(q.next_time(), time_never);
+}
+
+TEST(EventQueue, DefaultHandleIsInert) {
+  event_handle h;
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // must not crash
+}
+
+TEST(Simulator, ClockAdvancesToEventTime) {
+  simulator sim;
+  double seen = -1;
+  sim.schedule_at(7.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(seen, 7.5);
+  EXPECT_DOUBLE_EQ(sim.now(), 7.5);
+}
+
+TEST(Simulator, RunUntilAdvancesClockWithoutEvents) {
+  simulator sim;
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(sim.now(), 100.0);
+}
+
+TEST(Simulator, RunUntilIncludesBoundaryEvents) {
+  simulator sim;
+  int fired = 0;
+  sim.schedule_at(10.0, [&] { ++fired; });
+  sim.schedule_at(10.5, [&] { ++fired; });
+  sim.run_until(10.0);
+  EXPECT_EQ(fired, 1);
+  sim.run_until(20.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  simulator sim;
+  std::vector<double> times;
+  sim.schedule_in(5, [&] {
+    times.push_back(sim.now());
+    sim.schedule_in(5, [&] { times.push_back(sim.now()); });
+  });
+  sim.run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+  EXPECT_DOUBLE_EQ(times[1], 10.0);
+}
+
+TEST(Simulator, ExecutedEventsCounts) {
+  simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule_in(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.executed_events(), 7u);
+}
+
+TEST(Simulator, MakeRngIsDeterministicPerStream) {
+  simulator a(5);
+  simulator b(5);
+  rng ra = a.make_rng("s", 1);
+  rng rb = b.make_rng("s", 1);
+  EXPECT_EQ(ra.next_u64(), rb.next_u64());
+  rng rc = a.make_rng("s", 2);
+  rng rd = a.make_rng("t", 1);
+  rng re = a.make_rng("s", 1);
+  EXPECT_NE(rc.next_u64(), re.next_u64());
+  EXPECT_NE(rd.next_u64(), re.next_u64());
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule_in(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(PeriodicTimer, FiresAtInterval) {
+  simulator sim;
+  std::vector<double> fires;
+  periodic_timer t(sim, 10.0, [&] { fires.push_back(sim.now()); });
+  t.start();
+  sim.run_until(35.0);
+  EXPECT_EQ(fires, (std::vector<double>{10, 20, 30}));
+}
+
+TEST(PeriodicTimer, PhaseOffsetsFirstFiring) {
+  simulator sim;
+  std::vector<double> fires;
+  periodic_timer t(sim, 10.0, [&] { fires.push_back(sim.now()); });
+  t.start(3.0);
+  sim.run_until(25.0);
+  EXPECT_EQ(fires, (std::vector<double>{3, 13, 23}));
+}
+
+TEST(PeriodicTimer, StopPreventsFutureFirings) {
+  simulator sim;
+  int fired = 0;
+  periodic_timer t(sim, 5.0, [&] { ++fired; });
+  t.start();
+  sim.run_until(12.0);
+  t.stop();
+  sim.run_until(100.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(t.running());
+}
+
+TEST(PeriodicTimer, CallbackMayStopTimer) {
+  simulator sim;
+  int fired = 0;
+  periodic_timer t(sim, 1.0, [&] {
+    ++fired;
+    if (fired == 3) t.stop();
+  });
+  t.start();
+  sim.run_until(50.0);
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(PeriodicTimer, RestartResetsPhase) {
+  simulator sim;
+  std::vector<double> fires;
+  periodic_timer t(sim, 10.0, [&] { fires.push_back(sim.now()); });
+  t.start();
+  sim.run_until(15.0);  // fired at 10
+  t.start();            // re-arm: next at 25
+  sim.run_until(26.0);
+  EXPECT_EQ(fires, (std::vector<double>{10, 25}));
+}
+
+TEST(CountdownTimer, RenewAndExpiry) {
+  simulator sim;
+  countdown_timer t(sim);
+  EXPECT_TRUE(t.expired());
+  t.renew(30.0);
+  EXPECT_FALSE(t.expired());
+  EXPECT_DOUBLE_EQ(t.remaining(), 30.0);
+  sim.run_until(20.0);
+  EXPECT_DOUBLE_EQ(t.remaining(), 10.0);
+  sim.run_until(31.0);
+  EXPECT_TRUE(t.expired());
+  EXPECT_DOUBLE_EQ(t.remaining(), 0.0);
+}
+
+TEST(CountdownTimer, ExpireNow) {
+  simulator sim;
+  countdown_timer t(sim);
+  t.renew(100.0);
+  t.expire_now();
+  EXPECT_TRUE(t.expired());
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,154 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/ewma.hpp"
+
+namespace manet {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  running_stats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  running_stats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+  EXPECT_EQ(s.sum(), 5.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  running_stats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1: sum sq dev = 32, n-1 = 7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesCombined) {
+  running_stats a;
+  running_stats b;
+  running_stats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  running_stats a;
+  a.add(1);
+  a.add(3);
+  running_stats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 2u);
+  EXPECT_EQ(empty.mean(), 2.0);
+}
+
+TEST(SampleSet, QuantilesExact) {
+  sample_set s;
+  for (int i = 100; i >= 1; --i) s.add(i);  // 1..100 reversed
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_EQ(s.quantile(0.0), 1.0);
+  EXPECT_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 1.0);
+  EXPECT_NEAR(s.quantile(0.95), 95.0, 1.0);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 100.0);
+}
+
+TEST(SampleSet, EmptySafe) {
+  sample_set s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+}
+
+TEST(Ci95, ZeroForTinySamples) {
+  running_stats s;
+  EXPECT_EQ(ci95_half_width(s), 0.0);
+  s.add(1.0);
+  EXPECT_EQ(ci95_half_width(s), 0.0);
+}
+
+TEST(Ci95, ShrinksWithSamples) {
+  running_stats small;
+  running_stats big;
+  for (int i = 0; i < 10; ++i) small.add(i % 5);
+  for (int i = 0; i < 1000; ++i) big.add(i % 5);
+  EXPECT_GT(ci95_half_width(small), ci95_half_width(big));
+}
+
+TEST(Ewma, FirstSampleSeeds) {
+  ewma e(0.5);
+  EXPECT_FALSE(e.seeded());
+  e.update(10.0);
+  EXPECT_TRUE(e.seeded());
+  EXPECT_EQ(e.value(), 10.0);
+}
+
+TEST(Ewma, PaperFormula) {
+  // v_t = v_{t-1} * w + sample * (1 - w), w = 0.2
+  ewma e(0.2);
+  e.update(1.0);
+  e.update(0.0);
+  EXPECT_NEAR(e.value(), 0.2, 1e-12);
+  e.update(1.0);
+  EXPECT_NEAR(e.value(), 0.2 * 0.2 + 0.8, 1e-12);
+}
+
+TEST(Ewma, ResetClears) {
+  ewma e(0.3);
+  e.update(5);
+  e.reset();
+  EXPECT_FALSE(e.seeded());
+  EXPECT_EQ(e.value(), 0.0);
+}
+
+TEST(ThreeWindowAverage, PaperEquation422) {
+  // PAR_t = PAR_{t-2} * w/4 + PAR_{t-1} * w/2 + N_a * (1 - w/4 - w/2)
+  const double w = 0.2;
+  three_window_average par(w);
+  const double v1 = par.update(10.0);
+  EXPECT_NEAR(v1, 10.0 * (1 - w / 4 - w / 2), 1e-12);
+  const double v2 = par.update(20.0);
+  EXPECT_NEAR(v2, 0.0 * w / 4 + v1 * w / 2 + 20.0 * (1 - w / 4 - w / 2), 1e-12);
+  const double v3 = par.update(0.0);
+  EXPECT_NEAR(v3, v1 * w / 4 + v2 * w / 2, 1e-12);
+}
+
+TEST(ThreeWindowAverage, SteadyStateConverges) {
+  three_window_average par(0.2);
+  double v = 0;
+  for (int i = 0; i < 100; ++i) v = par.update(8.0);
+  // Fixed point of v = v*w/4 + v*w/2 + 8*(1 - 3w/4) is exactly 8.
+  EXPECT_NEAR(v, 8.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace manet

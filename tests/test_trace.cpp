@@ -1,0 +1,105 @@
+// JSONL trace writer and its scenario wiring.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "metrics/trace_writer.hpp"
+#include "scenario/scenario.hpp"
+
+namespace manet {
+namespace {
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+int count_event(const std::vector<std::string>& lines, const std::string& ev) {
+  int n = 0;
+  const std::string needle = "\"ev\":\"" + ev + "\"";
+  for (const auto& l : lines) {
+    if (l.find(needle) != std::string::npos) ++n;
+  }
+  return n;
+}
+
+TEST(TraceWriter, WritesWellFormedLines) {
+  const std::string path = ::testing::TempDir() + "/manet_trace_unit.jsonl";
+  {
+    trace_writer tw(path);
+    traffic_meter meter;
+    meter.register_kind(150, "TEST_KIND");
+    packet p;
+    p.kind = 150;
+    p.src = 7;
+    p.hops = 2;
+    p.size_bytes = 64;
+    tw.record_rx(1.5, 3, 2, p, meter);
+    tw.record_state(2.0, 5, false);
+    tw.record_query(3.0, 4, 9, consistency_level::strong);
+    tw.record_update(4.0, 9, 2);
+    tw.record_position(5.0, 1, 100.5, 200.25);
+    EXPECT_EQ(tw.events_written(), 5u);
+  }
+  const auto lines = read_lines(path);
+  ASSERT_EQ(lines.size(), 5u);
+  for (const auto& l : lines) {
+    EXPECT_EQ(l.front(), '{');
+    EXPECT_EQ(l.back(), '}');
+    EXPECT_NE(l.find("\"t\":"), std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("TEST_KIND"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"down\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"SC\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceWriter, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(trace_writer("/nonexistent_dir/trace.jsonl"), std::runtime_error);
+}
+
+TEST(TraceScenario, CapturesAllEventClasses) {
+  const std::string path = ::testing::TempDir() + "/manet_trace_scenario.jsonl";
+  {
+    scenario_params p;
+    p.n_peers = 12;
+    p.area_width = p.area_height = 800;
+    p.sim_time = 200.0;
+    p.seed = 23;
+    p.switch_probability = 1.0;  // guarantee up/down events
+    p.i_switch = 60.0;
+    p.trace_file = path;
+    p.trace_position_interval = 50.0;
+    scenario sc(p, "rpcc");
+    sc.run();
+    ASSERT_NE(sc.trace(), nullptr);
+    sc.trace()->flush();
+    EXPECT_GT(sc.trace()->events_written(), 100u);
+  }
+  const auto lines = read_lines(path);
+  EXPECT_GT(count_event(lines, "rx"), 50);
+  EXPECT_GT(count_event(lines, "query"), 10);
+  EXPECT_GT(count_event(lines, "update"), 0);
+  EXPECT_GT(count_event(lines, "pos"), 12 * 3);
+  EXPECT_GT(count_event(lines, "down"), 0);
+  EXPECT_GT(count_event(lines, "up"), 0);
+  std::remove(path.c_str());
+}
+
+TEST(TraceScenario, OffByDefault) {
+  scenario_params p;
+  p.n_peers = 5;
+  p.sim_time = 10.0;
+  scenario sc(p, "pull");
+  EXPECT_EQ(sc.trace(), nullptr);
+  sc.run();
+}
+
+}  // namespace
+}  // namespace manet

@@ -1,0 +1,115 @@
+// Shared fixtures for unit tests: a hand-built network rig with a static
+// line (or custom) topology, all substrate services wired the same way
+// scenario.cpp wires them, and helpers for crafting protocol contexts.
+#ifndef MANET_TESTS_TEST_UTIL_HPP
+#define MANET_TESTS_TEST_UTIL_HPP
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+#include "cache/data_item.hpp"
+#include "consistency/protocol.hpp"
+#include "metrics/query_log.hpp"
+#include "net/flooding.hpp"
+#include "net/network.hpp"
+#include "routing/aodv.hpp"
+#include "routing/oracle_router.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet::testing {
+
+/// A complete substrate with an explicit topology. Nodes are static by
+/// default; pass positions to place them. Wire a protocol (or raw handlers)
+/// afterwards.
+class rig {
+ public:
+  explicit rig(std::vector<vec2> positions, double range = 250.0,
+               std::uint64_t seed = 42, bool use_oracle_router = false,
+               double loss = 0.0)
+      : sim(seed) {
+    radio_params rp;
+    rp.range = range;
+    rp.loss_probability = loss;
+    net = std::make_unique<network>(sim, terrain(5000, 5000), rp);
+    for (const auto& p : positions) {
+      net->add_node(std::make_unique<static_mobility>(p));
+    }
+    floods = std::make_unique<flooding_service>(*net);
+    if (use_oracle_router) {
+      route = std::make_unique<oracle_router>(*net);
+    } else {
+      route = std::make_unique<aodv_router>(*net);
+    }
+    net->set_dispatcher([this](node_id self, node_id from, const packet& p) {
+      if (is_routing_kind(p.kind)) {
+        route->on_frame(self, from, p);
+        return;
+      }
+      if (p.dst == broadcast_node) {
+        route->learn_route(self, p.src, from, p.hops + 1);
+        floods->on_frame(self, from, p);
+        return;
+      }
+      route->on_frame(self, from, p);
+    });
+  }
+
+  /// A horizontal line of `n` nodes spaced `gap` meters apart (neighbors
+  /// only adjacent for gap in (range/2, range]).
+  static rig line(std::size_t n, double gap = 200.0, double range = 250.0,
+                  bool use_oracle_router = false) {
+    std::vector<vec2> pos;
+    pos.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      pos.push_back(vec2{100.0 + gap * static_cast<double>(i), 100.0});
+    }
+    return rig(std::move(pos), range, 42, use_oracle_router);
+  }
+
+  /// Registers one item per node (paper model) with the given payload size
+  /// and pre-warms every node's cache with every other item, then builds a
+  /// protocol context. Call once.
+  protocol_context make_context(std::size_t cache_capacity = 64,
+                                std::size_t item_bytes = 256,
+                                sim_duration delta = 240.0) {
+    for (node_id i = 0; i < net->size(); ++i) {
+      registry.add_item(i, item_bytes);
+    }
+    stores.clear();
+    for (node_id i = 0; i < net->size(); ++i) {
+      stores.emplace_back(cache_capacity);
+      for (item_id d = 0; d < registry.size(); ++d) {
+        if (registry.source(d) == i) continue;
+        cached_copy c;
+        c.item = d;
+        stores.back().put(c);
+      }
+    }
+    qlog = std::make_unique<query_log>(sim, registry, delta);
+    protocol_context ctx;
+    ctx.sim = &sim;
+    ctx.net = net.get();
+    ctx.floods = floods.get();
+    ctx.route = route.get();
+    ctx.registry = &registry;
+    ctx.stores = &stores;
+    ctx.qlog = qlog.get();
+    return ctx;
+  }
+
+  /// Runs the simulation for `d` simulated seconds.
+  void run_for(sim_duration d) { sim.run_until(sim.now() + d); }
+
+  simulator sim;
+  std::unique_ptr<network> net;
+  std::unique_ptr<flooding_service> floods;
+  std::unique_ptr<router> route;
+  item_registry registry;
+  std::vector<cache_store> stores;
+  std::unique_ptr<query_log> qlog;
+};
+
+}  // namespace manet::testing
+
+#endif  // MANET_TESTS_TEST_UTIL_HPP

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation.dir/ablation.cpp.o"
+  "CMakeFiles/ablation.dir/ablation.cpp.o.d"
+  "ablation"
+  "ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

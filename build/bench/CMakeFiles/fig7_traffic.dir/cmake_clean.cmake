@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_traffic.dir/fig7_traffic.cpp.o"
+  "CMakeFiles/fig7_traffic.dir/fig7_traffic.cpp.o.d"
+  "fig7_traffic"
+  "fig7_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_latency.dir/fig8_latency.cpp.o"
+  "CMakeFiles/fig8_latency.dir/fig8_latency.cpp.o.d"
+  "fig8_latency"
+  "fig8_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_ttl.dir/fig9_ttl.cpp.o"
+  "CMakeFiles/fig9_ttl.dir/fig9_ttl.cpp.o.d"
+  "fig9_ttl"
+  "fig9_ttl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_ttl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_replication.dir/future_replication.cpp.o"
+  "CMakeFiles/future_replication.dir/future_replication.cpp.o.d"
+  "future_replication"
+  "future_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

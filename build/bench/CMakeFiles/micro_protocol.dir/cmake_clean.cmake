@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_protocol.dir/micro_protocol.cpp.o"
+  "CMakeFiles/micro_protocol.dir/micro_protocol.cpp.o.d"
+  "micro_protocol"
+  "micro_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

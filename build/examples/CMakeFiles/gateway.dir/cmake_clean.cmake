@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway.dir/gateway.cpp.o"
+  "CMakeFiles/gateway.dir/gateway.cpp.o.d"
+  "gateway"
+  "gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_store.dir/mobile_store.cpp.o"
+  "CMakeFiles/mobile_store.dir/mobile_store.cpp.o.d"
+  "mobile_store"
+  "mobile_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpcc_sim.dir/rpcc_sim.cpp.o"
+  "CMakeFiles/rpcc_sim.dir/rpcc_sim.cpp.o.d"
+  "rpcc_sim"
+  "rpcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/cache_store.cpp" "src/CMakeFiles/manet.dir/cache/cache_store.cpp.o" "gcc" "src/CMakeFiles/manet.dir/cache/cache_store.cpp.o.d"
+  "/root/repo/src/cache/discovery.cpp" "src/CMakeFiles/manet.dir/cache/discovery.cpp.o" "gcc" "src/CMakeFiles/manet.dir/cache/discovery.cpp.o.d"
+  "/root/repo/src/cache/flood_discovery.cpp" "src/CMakeFiles/manet.dir/cache/flood_discovery.cpp.o" "gcc" "src/CMakeFiles/manet.dir/cache/flood_discovery.cpp.o.d"
+  "/root/repo/src/cache/workload.cpp" "src/CMakeFiles/manet.dir/cache/workload.cpp.o" "gcc" "src/CMakeFiles/manet.dir/cache/workload.cpp.o.d"
+  "/root/repo/src/consistency/hybrid_protocol.cpp" "src/CMakeFiles/manet.dir/consistency/hybrid_protocol.cpp.o" "gcc" "src/CMakeFiles/manet.dir/consistency/hybrid_protocol.cpp.o.d"
+  "/root/repo/src/consistency/protocol.cpp" "src/CMakeFiles/manet.dir/consistency/protocol.cpp.o" "gcc" "src/CMakeFiles/manet.dir/consistency/protocol.cpp.o.d"
+  "/root/repo/src/consistency/pull_protocol.cpp" "src/CMakeFiles/manet.dir/consistency/pull_protocol.cpp.o" "gcc" "src/CMakeFiles/manet.dir/consistency/pull_protocol.cpp.o.d"
+  "/root/repo/src/consistency/push_protocol.cpp" "src/CMakeFiles/manet.dir/consistency/push_protocol.cpp.o" "gcc" "src/CMakeFiles/manet.dir/consistency/push_protocol.cpp.o.d"
+  "/root/repo/src/consistency/rpcc/cache_node.cpp" "src/CMakeFiles/manet.dir/consistency/rpcc/cache_node.cpp.o" "gcc" "src/CMakeFiles/manet.dir/consistency/rpcc/cache_node.cpp.o.d"
+  "/root/repo/src/consistency/rpcc/coefficients.cpp" "src/CMakeFiles/manet.dir/consistency/rpcc/coefficients.cpp.o" "gcc" "src/CMakeFiles/manet.dir/consistency/rpcc/coefficients.cpp.o.d"
+  "/root/repo/src/consistency/rpcc/relay_peer.cpp" "src/CMakeFiles/manet.dir/consistency/rpcc/relay_peer.cpp.o" "gcc" "src/CMakeFiles/manet.dir/consistency/rpcc/relay_peer.cpp.o.d"
+  "/root/repo/src/consistency/rpcc/rpcc_protocol.cpp" "src/CMakeFiles/manet.dir/consistency/rpcc/rpcc_protocol.cpp.o" "gcc" "src/CMakeFiles/manet.dir/consistency/rpcc/rpcc_protocol.cpp.o.d"
+  "/root/repo/src/consistency/rpcc/source_host.cpp" "src/CMakeFiles/manet.dir/consistency/rpcc/source_host.cpp.o" "gcc" "src/CMakeFiles/manet.dir/consistency/rpcc/source_host.cpp.o.d"
+  "/root/repo/src/metrics/collector.cpp" "src/CMakeFiles/manet.dir/metrics/collector.cpp.o" "gcc" "src/CMakeFiles/manet.dir/metrics/collector.cpp.o.d"
+  "/root/repo/src/metrics/query_log.cpp" "src/CMakeFiles/manet.dir/metrics/query_log.cpp.o" "gcc" "src/CMakeFiles/manet.dir/metrics/query_log.cpp.o.d"
+  "/root/repo/src/metrics/trace_writer.cpp" "src/CMakeFiles/manet.dir/metrics/trace_writer.cpp.o" "gcc" "src/CMakeFiles/manet.dir/metrics/trace_writer.cpp.o.d"
+  "/root/repo/src/mobility/group_mobility.cpp" "src/CMakeFiles/manet.dir/mobility/group_mobility.cpp.o" "gcc" "src/CMakeFiles/manet.dir/mobility/group_mobility.cpp.o.d"
+  "/root/repo/src/mobility/random_walk.cpp" "src/CMakeFiles/manet.dir/mobility/random_walk.cpp.o" "gcc" "src/CMakeFiles/manet.dir/mobility/random_walk.cpp.o.d"
+  "/root/repo/src/mobility/random_waypoint.cpp" "src/CMakeFiles/manet.dir/mobility/random_waypoint.cpp.o" "gcc" "src/CMakeFiles/manet.dir/mobility/random_waypoint.cpp.o.d"
+  "/root/repo/src/mobility/waypoint_trace.cpp" "src/CMakeFiles/manet.dir/mobility/waypoint_trace.cpp.o" "gcc" "src/CMakeFiles/manet.dir/mobility/waypoint_trace.cpp.o.d"
+  "/root/repo/src/net/flooding.cpp" "src/CMakeFiles/manet.dir/net/flooding.cpp.o" "gcc" "src/CMakeFiles/manet.dir/net/flooding.cpp.o.d"
+  "/root/repo/src/net/mac.cpp" "src/CMakeFiles/manet.dir/net/mac.cpp.o" "gcc" "src/CMakeFiles/manet.dir/net/mac.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/manet.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/manet.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/node.cpp" "src/CMakeFiles/manet.dir/net/node.cpp.o" "gcc" "src/CMakeFiles/manet.dir/net/node.cpp.o.d"
+  "/root/repo/src/net/radio.cpp" "src/CMakeFiles/manet.dir/net/radio.cpp.o" "gcc" "src/CMakeFiles/manet.dir/net/radio.cpp.o.d"
+  "/root/repo/src/net/traffic_meter.cpp" "src/CMakeFiles/manet.dir/net/traffic_meter.cpp.o" "gcc" "src/CMakeFiles/manet.dir/net/traffic_meter.cpp.o.d"
+  "/root/repo/src/replica/anti_entropy.cpp" "src/CMakeFiles/manet.dir/replica/anti_entropy.cpp.o" "gcc" "src/CMakeFiles/manet.dir/replica/anti_entropy.cpp.o.d"
+  "/root/repo/src/routing/aodv.cpp" "src/CMakeFiles/manet.dir/routing/aodv.cpp.o" "gcc" "src/CMakeFiles/manet.dir/routing/aodv.cpp.o.d"
+  "/root/repo/src/routing/oracle_router.cpp" "src/CMakeFiles/manet.dir/routing/oracle_router.cpp.o" "gcc" "src/CMakeFiles/manet.dir/routing/oracle_router.cpp.o.d"
+  "/root/repo/src/scenario/params.cpp" "src/CMakeFiles/manet.dir/scenario/params.cpp.o" "gcc" "src/CMakeFiles/manet.dir/scenario/params.cpp.o.d"
+  "/root/repo/src/scenario/scenario.cpp" "src/CMakeFiles/manet.dir/scenario/scenario.cpp.o" "gcc" "src/CMakeFiles/manet.dir/scenario/scenario.cpp.o.d"
+  "/root/repo/src/scenario/sweep.cpp" "src/CMakeFiles/manet.dir/scenario/sweep.cpp.o" "gcc" "src/CMakeFiles/manet.dir/scenario/sweep.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/manet.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/manet.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/manet.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/manet.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/sim/timer.cpp" "src/CMakeFiles/manet.dir/sim/timer.cpp.o" "gcc" "src/CMakeFiles/manet.dir/sim/timer.cpp.o.d"
+  "/root/repo/src/util/config.cpp" "src/CMakeFiles/manet.dir/util/config.cpp.o" "gcc" "src/CMakeFiles/manet.dir/util/config.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "src/CMakeFiles/manet.dir/util/histogram.cpp.o" "gcc" "src/CMakeFiles/manet.dir/util/histogram.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/CMakeFiles/manet.dir/util/logging.cpp.o" "gcc" "src/CMakeFiles/manet.dir/util/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/manet.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/manet.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/manet.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/manet.dir/util/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

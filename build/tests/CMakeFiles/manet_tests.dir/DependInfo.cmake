@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/manet_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_config_histogram.cpp" "tests/CMakeFiles/manet_tests.dir/test_config_histogram.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_config_histogram.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/manet_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_flood_discovery.cpp" "tests/CMakeFiles/manet_tests.dir/test_flood_discovery.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_flood_discovery.cpp.o.d"
+  "/root/repo/tests/test_flooding.cpp" "tests/CMakeFiles/manet_tests.dir/test_flooding.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_flooding.cpp.o.d"
+  "/root/repo/tests/test_geom_mobility.cpp" "tests/CMakeFiles/manet_tests.dir/test_geom_mobility.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_geom_mobility.cpp.o.d"
+  "/root/repo/tests/test_hybrid_protocol.cpp" "tests/CMakeFiles/manet_tests.dir/test_hybrid_protocol.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_hybrid_protocol.cpp.o.d"
+  "/root/repo/tests/test_interference.cpp" "tests/CMakeFiles/manet_tests.dir/test_interference.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_interference.cpp.o.d"
+  "/root/repo/tests/test_misc_util.cpp" "tests/CMakeFiles/manet_tests.dir/test_misc_util.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_misc_util.cpp.o.d"
+  "/root/repo/tests/test_network.cpp" "tests/CMakeFiles/manet_tests.dir/test_network.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_network.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/manet_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_protocol_conformance.cpp" "tests/CMakeFiles/manet_tests.dir/test_protocol_conformance.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_protocol_conformance.cpp.o.d"
+  "/root/repo/tests/test_pull_protocol.cpp" "tests/CMakeFiles/manet_tests.dir/test_pull_protocol.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_pull_protocol.cpp.o.d"
+  "/root/repo/tests/test_push_protocol.cpp" "tests/CMakeFiles/manet_tests.dir/test_push_protocol.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_push_protocol.cpp.o.d"
+  "/root/repo/tests/test_query_log.cpp" "tests/CMakeFiles/manet_tests.dir/test_query_log.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_query_log.cpp.o.d"
+  "/root/repo/tests/test_replica.cpp" "tests/CMakeFiles/manet_tests.dir/test_replica.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_replica.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/manet_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_robustness.cpp" "tests/CMakeFiles/manet_tests.dir/test_robustness.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_robustness.cpp.o.d"
+  "/root/repo/tests/test_routing.cpp" "tests/CMakeFiles/manet_tests.dir/test_routing.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_routing.cpp.o.d"
+  "/root/repo/tests/test_rpcc.cpp" "tests/CMakeFiles/manet_tests.dir/test_rpcc.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_rpcc.cpp.o.d"
+  "/root/repo/tests/test_scenario.cpp" "tests/CMakeFiles/manet_tests.dir/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_scenario.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/manet_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/manet_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/manet_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/manet_tests.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/manet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

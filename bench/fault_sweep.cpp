@@ -1,0 +1,122 @@
+// Fault-tolerance degradation curves: how push, pull and RPCC(SC) degrade —
+// and recover — under scripted fault episodes of increasing severity.
+//
+// Three panels, each sweeping one fault axis (see fault/fault_plan.hpp for
+// the grammar; x = 0 runs fault-free as the baseline):
+//   (a) spatial partition duration:    partition@900..900+x
+//   (b) burst-loss severity:           burst_loss:x@900..1500
+//   (c) correlated crash group size:   crash:g0-g{x-1}@900..1200
+// For every point the tables report the degradation metrics (stale answer
+// rate, query latency, relay population) and the recovery metrics measured
+// by the recovery tracker (time to reconvergence and the post-heal
+// stale-serve window).
+//
+// Usage: fault_sweep [--full] [--reps=N] [--quiet] [key=value ...]
+#include <cstdio>
+#include <string>
+
+#include "bench_common.hpp"
+
+using namespace manet;
+using namespace manet::bench;
+
+namespace {
+
+void print_panel(const char* title, const sweep_spec& spec,
+                 const std::vector<sweep_point>& points) {
+  std::printf("%s\n", title);
+  std::printf("stale answers (%%)\n%s\n",
+              render_series(points, spec.x_name, spec.variants,
+                            [](const run_result& r) {
+                              return 100 * r.stale_answer_rate();
+                            },
+                            1)
+                  .c_str());
+  std::printf("avg query latency (s)\n%s\n",
+              render_series(points, spec.x_name, spec.variants,
+                            [](const run_result& r) {
+                              return r.avg_query_latency_s;
+                            },
+                            4)
+                  .c_str());
+  std::printf("avg relay peers\n%s\n",
+              render_series(points, spec.x_name, spec.variants,
+                            [](const run_result& r) { return r.avg_relay_peers; },
+                            1)
+                  .c_str());
+  std::printf("time to reconvergence after heal (s)\n%s\n",
+              render_series(points, spec.x_name, spec.variants,
+                            [](const run_result& r) {
+                              return r.mean_reconvergence_s;
+                            },
+                            1)
+                  .c_str());
+  std::printf("post-heal stale-serve window (s)\n%s\n",
+              render_series(points, spec.x_name, spec.variants,
+                            [](const run_result& r) {
+                              return r.mean_stale_window_s;
+                            },
+                            1)
+                  .c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench_options opt = parse_bench_args(argc, argv);
+  print_preamble("Fault sweep — degradation and recovery under injected faults",
+                 opt);
+
+  {
+    sweep_spec spec;
+    spec.base = opt.base;
+    spec.x_name = "part_s";
+    spec.xs = {0, 60, 120, 240, 480};
+    spec.apply = [](scenario_params& p, double x) {
+      p.fault = x > 0
+                    ? "partition@900.." + std::to_string(900 + static_cast<int>(x))
+                    : "";
+    };
+    spec.variants = fig9_variants();
+    spec.repetitions = opt.repetitions;
+    spec.progress = progress_printer(opt);
+    print_panel("Panel (a): terrain partition, duration swept", spec,
+                run_sweep(spec));
+  }
+
+  {
+    sweep_spec spec;
+    spec.base = opt.base;
+    spec.x_name = "loss_bad_%";  // the x column renders integers
+    spec.xs = {0, 20, 40, 60, 80};
+    spec.apply = [](scenario_params& p, double x) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "burst_loss:%.2f@900..1500", x / 100.0);
+      p.fault = x > 0 ? buf : "";
+    };
+    spec.variants = fig9_variants();
+    spec.repetitions = opt.repetitions;
+    spec.progress = progress_printer(opt);
+    print_panel("Panel (b): Gilbert-Elliott burst loss, bad-state loss swept",
+                spec, run_sweep(spec));
+  }
+
+  {
+    sweep_spec spec;
+    spec.base = opt.base;
+    spec.x_name = "crashed";
+    spec.xs = {0, 5, 10, 15, 20};
+    spec.apply = [](scenario_params& p, double x) {
+      p.fault = x > 0 ? "crash:g0-g" + std::to_string(static_cast<int>(x) - 1) +
+                            "@900..1200"
+                      : "";
+    };
+    spec.variants = fig9_variants();
+    spec.repetitions = opt.repetitions;
+    spec.progress = progress_printer(opt);
+    print_panel("Panel (c): correlated group crash, group size swept", spec,
+                run_sweep(spec));
+  }
+
+  return 0;
+}

@@ -59,6 +59,14 @@ class consistency_protocol {
   /// Mean number of concurrent relay peers (RPCC only; 0 for baselines).
   virtual double avg_relay_peers() const { return 0.0; }
 
+  /// Instantaneous relay-peer count (RPCC only; 0 for baselines). The
+  /// recovery tracker compares it against the pre-fault level.
+  virtual std::size_t current_relays() const { return 0; }
+
+  /// A node came back up (churn reconnect or fault heal). Protocols may
+  /// reset per-node transient state (e.g. poll backoff) here.
+  virtual void on_node_reconnect(node_id) {}
+
   /// Resets protocol-side measurement aggregates at the end of a warm-up
   /// phase (protocol *state* — roles, caches, timers — is untouched).
   virtual void reset_stats() {}

@@ -186,6 +186,22 @@ void rpcc_protocol::cache_on_poll_ack(node_id self, const packet& p) {
   }
 }
 
+void rpcc_protocol::on_node_reconnect(node_id n) {
+  // The backoff encodes "no relay reachable from where I was" — stale once
+  // the node rejoins (possibly elsewhere, possibly after a partition heal).
+  // A poll round interrupted by the outage is abandoned too: its timer may
+  // have fired while down and the askers' queries are long expired.
+  for (auto& [item, st] : peer_state_.at(n)) {
+    (void)item;
+    st.poll_backoff_until = 0;
+    if (st.polling) {
+      st.polling = false;
+      st.poll_timer.cancel();
+      st.pending_queries.clear();
+    }
+  }
+}
+
 void rpcc_protocol::maybe_become_candidate(node_id self, item_id item) {
   // Fig 5: a cache node that hears the INVALIDATION (so it is within TTL
   // hops of the source) and satisfies Eq. 4.2.8 becomes a candidate and

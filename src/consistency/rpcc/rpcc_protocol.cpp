@@ -2,6 +2,7 @@
 // relay-population accounting and the per-window demotion check.
 #include "consistency/rpcc/rpcc_protocol.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 
@@ -57,6 +58,24 @@ std::size_t rpcc_protocol::registered_relays(item_id item) const {
   return source_state_.at(item).relays.size();
 }
 
+bool rpcc_protocol::relay_registered(item_id item, node_id n) const {
+  const auto& relays = source_state_.at(item).relays;
+  auto it = relays.find(n);
+  return it != relays.end() && it->second > now();
+}
+
+std::vector<rpcc_protocol::relay_snapshot> rpcc_protocol::relay_snapshots() const {
+  std::vector<relay_snapshot> out;
+  for (node_id n = 0; n < peer_state_.size(); ++n) {
+    for (const auto& [item, st] : peer_state_[n]) {
+      if (st.role != peer_role::relay) continue;
+      out.push_back(relay_snapshot{n, item, st.ttr_deadline, st.last_inv_at,
+                                   relay_registered(item, n)});
+    }
+  }
+  return out;
+}
+
 void rpcc_protocol::integrate_relay_count() {
   relay_integral_ +=
       static_cast<double>(relay_count_) * (sim().now() - relay_last_change_);
@@ -104,10 +123,22 @@ void rpcc_protocol::reset_stats() {
 void rpcc_protocol::window_check() {
   // Paper Fig 5: a candidate or relay that no longer satisfies Eq. 4.2.8
   // falls back to a plain cache node; relays tell the source with CANCEL.
+  // A relay that has heard nothing source-related for a whole lease period
+  // (roamed out of INVALIDATION range, source dead) also self-demotes: the
+  // source pruned its lease long ago, so keeping the role only serves stale
+  // answers. Down nodes are skipped so the §4.5 reconnect resync (GET_NEW on
+  // the first INVALIDATION after coming back) still applies.
   for (node_id n = 0; n < peer_state_.size(); ++n) {
-    if (coeff_->qualifies(n)) continue;
+    const bool qualifies = coeff_->qualifies(n);
     for (auto& [item, st] : peer_state_[n]) {
       if (st.role == peer_role::relay) {
+        bool demote = !qualifies;
+        if (!demote && node_up(n)) {
+          const sim_time last_contact =
+              std::max({st.ttr_deadline, st.last_inv_at, st.last_apply_at});
+          demote = last_contact + params_.relay_lease <= now();
+        }
+        if (!demote) continue;
         if (node_up(n)) {
           auto payload = std::make_shared<item_msg>();
           payload->item = item;
@@ -115,7 +146,7 @@ void rpcc_protocol::window_check() {
                control_bytes());
         }
         set_role(n, item, peer_role::cache);
-      } else if (st.role == peer_role::candidate) {
+      } else if (st.role == peer_role::candidate && !qualifies) {
         set_role(n, item, peer_role::cache);
       }
     }

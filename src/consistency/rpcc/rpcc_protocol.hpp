@@ -69,6 +69,8 @@ class rpcc_protocol final : public consistency_protocol {
   void on_update(item_id item) override;
   void on_query(node_id n, item_id item, consistency_level level) override;
   double avg_relay_peers() const override;
+  std::size_t current_relays() const override { return relay_count_; }
+  void on_node_reconnect(node_id n) override;
   void reset_stats() override;
   std::string extra_report() const override;
 
@@ -76,6 +78,18 @@ class rpcc_protocol final : public consistency_protocol {
   peer_role role_of(node_id n, item_id item) const;
   std::size_t current_relay_count() const { return relay_count_; }
   std::size_t registered_relays(item_id item) const;
+  /// True iff the source of `item` currently holds a lease for relay `n`.
+  bool relay_registered(item_id item, node_id n) const;
+  /// Point-in-time view of every node that believes it is a relay, for the
+  /// invariant checker's cross-checks against the source's lease table.
+  struct relay_snapshot {
+    node_id node = invalid_node;
+    item_id item = 0;
+    sim_time ttr_deadline = 0;
+    sim_time last_inv_at = -1;
+    bool registered = false;  ///< source holds a live lease for this relay
+  };
+  std::vector<relay_snapshot> relay_snapshots() const;
   coefficient_tracker& coefficients() { return *coeff_; }
   const rpcc_params& params() const { return params_; }
   std::uint64_t promotions() const { return promotions_; }

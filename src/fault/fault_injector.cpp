@@ -1,0 +1,139 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace manet {
+
+fault_injector::fault_injector(simulator& sim, network& net,
+                               const item_registry& registry, fault_plan plan)
+    : sim_(sim), net_(net), registry_(registry), plan_(std::move(plan)) {
+  active_.assign(plan_.events.size(), 0);
+}
+
+fault_injector::~fault_injector() {
+  // Leave the network clean if the injector dies mid-episode (tests build
+  // and discard scenarios freely).
+  net_.air().set_link_filter(nullptr);
+}
+
+void fault_injector::set_episode_observer(episode_observer on_begin,
+                                          episode_observer on_end) {
+  on_begin_ = std::move(on_begin);
+  on_end_ = std::move(on_end);
+}
+
+void fault_injector::start() {
+  if (started_) return;
+  started_ = true;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    const fault_event& e = plan_.events[i];
+    sim_.schedule_at(e.start, [this, i] { begin(i); });
+    sim_.schedule_at(e.end, [this, i] { end(i); });
+  }
+}
+
+bool fault_injector::any_active() const {
+  return std::any_of(active_.begin(), active_.end(), [](char a) { return a != 0; });
+}
+
+void fault_injector::begin(std::size_t idx) {
+  active_[idx] = 1;
+  ++activations_;
+  sim_.logf(log_level::info, "fault begins: %s",
+            plan_.events[idx].describe().c_str());
+  apply_composed_state();
+  if (on_begin_) on_begin_(idx, plan_.events[idx]);
+}
+
+void fault_injector::end(std::size_t idx) {
+  active_[idx] = 0;
+  sim_.logf(log_level::info, "fault heals: %s",
+            plan_.events[idx].describe().c_str());
+  apply_composed_state();
+  if (on_end_) on_end_(idx, plan_.events[idx]);
+}
+
+bool fault_injector::link_allowed(node_id a, node_id b) const {
+  const vec2 pa = net_.position(a);
+  const vec2 pb = net_.position(b);
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    if (!active_[i]) continue;
+    const fault_event& e = plan_.events[i];
+    if (e.kind == fault_kind::partition) {
+      double boundary = e.boundary;
+      if (boundary < 0) {
+        boundary = e.axis == 'x' ? net_.land().width() / 2 : net_.land().height() / 2;
+      }
+      const double ca = e.axis == 'x' ? pa.x : pa.y;
+      const double cb = e.axis == 'x' ? pb.x : pb.y;
+      if ((ca < boundary) != (cb < boundary)) return false;
+    } else if (e.kind == fault_kind::jam) {
+      const double r2 = e.radius * e.radius;
+      if (distance2(pa, e.center) <= r2 || distance2(pb, e.center) <= r2) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void fault_injector::apply_composed_state() {
+  // Node outages: a node is fault-held-down iff some active crash or
+  // kill_source event covers it.
+  std::vector<char> down(net_.size(), 0);
+  bool spatial = false;
+  double range_scale = 1.0;
+  const fault_event* burst = nullptr;
+  for (std::size_t i = 0; i < plan_.events.size(); ++i) {
+    if (!active_[i]) continue;
+    const fault_event& e = plan_.events[i];
+    switch (e.kind) {
+      case fault_kind::crash: {
+        const node_id last =
+            std::min<node_id>(e.last_node, static_cast<node_id>(net_.size() - 1));
+        for (node_id n = e.first_node; n <= last && n < net_.size(); ++n) {
+          down[n] = 1;
+        }
+        break;
+      }
+      case fault_kind::kill_source:
+        if (e.item < registry_.size()) down[registry_.source(e.item)] = 1;
+        break;
+      case fault_kind::partition:
+      case fault_kind::jam:
+        spatial = true;
+        break;
+      case fault_kind::degrade:
+        range_scale *= e.factor;
+        break;
+      case fault_kind::burst_loss:
+        burst = &e;  // overlapping bursts: the latest in plan order wins
+        break;
+    }
+  }
+
+  for (node_id n = 0; n < net_.size(); ++n) {
+    if (net_.at(n).fault_down() != static_cast<bool>(down[n])) {
+      net_.set_node_fault(n, down[n]);
+    }
+  }
+  net_.air().set_range_scale(range_scale);
+  if (spatial) {
+    net_.air().set_link_filter(
+        [this](node_id a, node_id b) { return link_allowed(a, b); });
+  } else {
+    net_.air().set_link_filter(nullptr);
+  }
+  // Only touch the burst machinery on a real change: re-forcing it resets
+  // the per-receiver chains, which must not happen on unrelated fault edges.
+  if (burst != current_burst_) {
+    if (burst != nullptr) {
+      net_.set_burst_loss(burst->loss, burst->mean_bad, burst->mean_good);
+    } else {
+      net_.clear_burst_loss();
+    }
+    current_burst_ = burst;
+  }
+}
+
+}  // namespace manet

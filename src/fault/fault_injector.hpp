@@ -1,0 +1,66 @@
+// Schedules a fault_plan on the simulation clock and applies/reverts each
+// event against the network fabric.
+//
+// Events may overlap, so the injector never toggles state directly from a
+// single event's edge: on every activation edge it recomputes the composed
+// state — the set of fault-held-down nodes, the spatial link filter
+// (partitions + jammers), the range-degradation scale, and the forced burst
+// episode — from the set of currently-active events. Scheduling is purely
+// sim-clock based, so a plan is bit-for-bit deterministic per seed.
+#ifndef MANET_FAULT_FAULT_INJECTOR_HPP
+#define MANET_FAULT_FAULT_INJECTOR_HPP
+
+#include <functional>
+#include <vector>
+
+#include "cache/data_item.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet {
+
+class fault_injector {
+ public:
+  fault_injector(simulator& sim, network& net, const item_registry& registry,
+                 fault_plan plan);
+  ~fault_injector();
+
+  fault_injector(const fault_injector&) = delete;
+  fault_injector& operator=(const fault_injector&) = delete;
+
+  /// Called at each event's activation / healing edge with the event's index
+  /// in the plan (the recovery tracker keys episodes by it).
+  using episode_observer = std::function<void(std::size_t, const fault_event&)>;
+  void set_episode_observer(episode_observer on_begin, episode_observer on_end);
+
+  /// Schedules every event of the plan. Call once, before the run.
+  void start();
+
+  const fault_plan& plan() const { return plan_; }
+  bool any_active() const;
+  std::size_t activations() const { return activations_; }
+
+ private:
+  void begin(std::size_t idx);
+  void end(std::size_t idx);
+  /// Reinstalls node faults, link filter, range scale and burst loss from
+  /// the set of active events.
+  void apply_composed_state();
+  bool link_allowed(node_id a, node_id b) const;
+
+  simulator& sim_;
+  network& net_;
+  const item_registry& registry_;
+  fault_plan plan_;
+  std::vector<char> active_;
+  episode_observer on_begin_;
+  episode_observer on_end_;
+  const fault_event* current_burst_ = nullptr;
+  std::size_t activations_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace manet
+
+#endif  // MANET_FAULT_FAULT_INJECTOR_HPP

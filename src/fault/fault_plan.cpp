@@ -1,0 +1,186 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace manet {
+
+const char* fault_kind_name(fault_kind k) {
+  switch (k) {
+    case fault_kind::partition: return "partition";
+    case fault_kind::crash: return "crash";
+    case fault_kind::burst_loss: return "burst_loss";
+    case fault_kind::jam: return "jam";
+    case fault_kind::degrade: return "degrade";
+    case fault_kind::kill_source: return "kill_source";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void bad(const std::string& token, const std::string& why) {
+  throw std::runtime_error("bad fault event '" + token + "': " + why);
+}
+
+double parse_num(const std::string& token, const std::string& text) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(text, &used);
+    if (used != text.size()) bad(token, "trailing junk in number '" + text + "'");
+    return v;
+  } catch (const std::invalid_argument&) {
+    bad(token, "expected a number, got '" + text + "'");
+  } catch (const std::out_of_range&) {
+    bad(token, "number out of range: '" + text + "'");
+  }
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t from = 0;
+  while (true) {
+    const std::size_t at = s.find(sep, from);
+    if (at == std::string::npos) {
+      out.push_back(s.substr(from));
+      return out;
+    }
+    out.push_back(s.substr(from, at - from));
+    from = at + 1;
+  }
+}
+
+/// Node spec "g4" or "4" -> 4.
+node_id parse_node(const std::string& token, std::string text) {
+  if (!text.empty() && (text[0] == 'g' || text[0] == 'G')) text.erase(0, 1);
+  if (text.empty()) bad(token, "empty node id");
+  const double v = parse_num(token, text);
+  if (v < 0 || v != static_cast<double>(static_cast<node_id>(v))) {
+    bad(token, "invalid node id '" + text + "'");
+  }
+  return static_cast<node_id>(v);
+}
+
+fault_event parse_event(const std::string& token) {
+  const std::size_t at = token.rfind('@');
+  if (at == std::string::npos) bad(token, "missing '@start..end'");
+  const std::string head = token.substr(0, at);
+  const std::string range = token.substr(at + 1);
+
+  const std::size_t dots = range.find("..");
+  if (dots == std::string::npos) bad(token, "time range must be 'start..end'");
+
+  fault_event e;
+  e.start = parse_num(token, range.substr(0, dots));
+  e.end = parse_num(token, range.substr(dots + 2));
+  if (e.start < 0) bad(token, "start must be >= 0");
+  if (e.end <= e.start) bad(token, "end must be after start");
+
+  const std::size_t colon = head.find(':');
+  const std::string name = head.substr(0, colon);
+  std::vector<std::string> args;
+  if (colon != std::string::npos) args = split(head.substr(colon + 1), ',');
+
+  if (name == "partition") {
+    e.kind = fault_kind::partition;
+    if (!args.empty()) {
+      if (args[0] != "x" && args[0] != "y") {
+        bad(token, "partition axis must be 'x' or 'y'");
+      }
+      e.axis = args[0][0];
+      if (args.size() > 1) e.boundary = parse_num(token, args[1]);
+      if (args.size() > 2) bad(token, "too many partition arguments");
+    }
+  } else if (name == "crash") {
+    e.kind = fault_kind::crash;
+    if (args.size() != 1) bad(token, "crash needs a node range, e.g. crash:g0-g4");
+    const auto ends = split(args[0], '-');
+    e.first_node = parse_node(token, ends[0]);
+    e.last_node = ends.size() > 1 ? parse_node(token, ends[1]) : e.first_node;
+    if (ends.size() > 2) bad(token, "node range must be 'gA-gB'");
+    if (e.last_node < e.first_node) bad(token, "node range end before start");
+  } else if (name == "burst_loss") {
+    e.kind = fault_kind::burst_loss;
+    if (args.empty() || args.size() > 3) {
+      bad(token, "burst_loss needs loss[,mean_bad[,mean_good]]");
+    }
+    e.loss = parse_num(token, args[0]);
+    if (e.loss < 0 || e.loss > 1) bad(token, "loss probability must be in [0,1]");
+    if (args.size() > 1) e.mean_bad = parse_num(token, args[1]);
+    if (args.size() > 2) e.mean_good = parse_num(token, args[2]);
+    if (e.mean_bad <= 0 || e.mean_good <= 0) {
+      bad(token, "sojourn means must be positive");
+    }
+  } else if (name == "jam") {
+    e.kind = fault_kind::jam;
+    if (args.size() != 3) bad(token, "jam needs x,y,radius");
+    e.center = vec2{parse_num(token, args[0]), parse_num(token, args[1])};
+    e.radius = parse_num(token, args[2]);
+    if (e.radius <= 0) bad(token, "jam radius must be positive");
+  } else if (name == "degrade") {
+    e.kind = fault_kind::degrade;
+    if (args.size() != 1) bad(token, "degrade needs a range factor");
+    e.factor = parse_num(token, args[0]);
+    if (e.factor <= 0 || e.factor > 1) bad(token, "degrade factor must be in (0,1]");
+  } else if (name == "kill_source") {
+    e.kind = fault_kind::kill_source;
+    if (args.size() > 1) bad(token, "kill_source takes at most one item id");
+    if (!args.empty()) {
+      const double v = parse_num(token, args[0]);
+      if (v < 0) bad(token, "invalid item id");
+      e.item = static_cast<item_id>(v);
+    }
+  } else {
+    bad(token, "unknown fault kind '" + name + "'");
+  }
+  return e;
+}
+
+}  // namespace
+
+std::string fault_event::describe() const {
+  char buf[128];
+  switch (kind) {
+    case fault_kind::partition:
+      if (boundary >= 0) {
+        std::snprintf(buf, sizeof buf, "partition:%c,%.0f@%.0f..%.0f", axis,
+                      boundary, start, end);
+      } else {
+        std::snprintf(buf, sizeof buf, "partition:%c@%.0f..%.0f", axis, start, end);
+      }
+      break;
+    case fault_kind::crash:
+      std::snprintf(buf, sizeof buf, "crash:g%u-g%u@%.0f..%.0f", first_node,
+                    last_node, start, end);
+      break;
+    case fault_kind::burst_loss:
+      std::snprintf(buf, sizeof buf, "burst_loss:%.2f@%.0f..%.0f", loss, start, end);
+      break;
+    case fault_kind::jam:
+      std::snprintf(buf, sizeof buf, "jam:%.0f,%.0f,%.0f@%.0f..%.0f", center.x,
+                    center.y, radius, start, end);
+      break;
+    case fault_kind::degrade:
+      std::snprintf(buf, sizeof buf, "degrade:%.2f@%.0f..%.0f", factor, start, end);
+      break;
+    case fault_kind::kill_source:
+      std::snprintf(buf, sizeof buf, "kill_source:%u@%.0f..%.0f", item, start, end);
+      break;
+    default:
+      std::snprintf(buf, sizeof buf, "?@%.0f..%.0f", start, end);
+      break;
+  }
+  return buf;
+}
+
+fault_plan fault_plan::parse(const std::string& spec) {
+  fault_plan plan;
+  if (spec.empty()) return plan;
+  for (const std::string& token : split(spec, ';')) {
+    if (token.empty()) continue;  // tolerate trailing ';'
+    plan.events.push_back(parse_event(token));
+  }
+  return plan;
+}
+
+}  // namespace manet

@@ -1,0 +1,83 @@
+// Deterministic, scriptable fault plans.
+//
+// A fault plan is a list of timed fault events parsed from a config string:
+//
+//   fault=partition@600..900;crash:g0-g4@1200..1500;burst_loss:0.4@2000..2400
+//
+// Each event is NAME[:ARGS]@START..END (seconds on the simulation clock):
+//
+//   partition[:x|y[,POS]]   spatial partition: links crossing the axis
+//                           boundary (default: terrain middle) are cut
+//   crash:gA-gB             correlated group outage: nodes A..B down
+//   burst_loss:P[,BAD,GOOD] Gilbert-Elliott bursty loss with bad-state loss
+//                           probability P (optional mean sojourn seconds)
+//   jam:X,Y,R               circular jammer: links touching the disc of
+//                           radius R around (X, Y) are cut
+//   degrade:F               radio range scaled by factor F in (0, 1]
+//   kill_source[:ITEM]      the item's source host is forced down
+//
+// Events may overlap; the injector recomputes the composed network state on
+// every activation edge. Everything is scheduled on the simulation clock, so
+// a plan is bit-for-bit reproducible for a fixed seed.
+#ifndef MANET_FAULT_FAULT_PLAN_HPP
+#define MANET_FAULT_FAULT_PLAN_HPP
+
+#include <string>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+enum class fault_kind {
+  partition,    ///< terrain split along an axis
+  crash,        ///< correlated group crash/restart
+  burst_loss,   ///< Gilbert-Elliott bursty link loss
+  jam,          ///< circular jammer around a point
+  degrade,      ///< radio-range degradation
+  kill_source,  ///< targeted source-host outage
+};
+
+const char* fault_kind_name(fault_kind k);
+
+struct fault_event {
+  fault_kind kind = fault_kind::partition;
+  sim_time start = 0;
+  sim_time end = 0;
+
+  // partition: split axis and boundary coordinate (< 0 = terrain middle).
+  char axis = 'x';
+  double boundary = -1;
+  // crash: inclusive node-id range.
+  node_id first_node = invalid_node;
+  node_id last_node = invalid_node;
+  // burst_loss: bad-state loss probability and mean sojourn times.
+  double loss = 0;
+  sim_duration mean_bad = 1.0;
+  sim_duration mean_good = 10.0;
+  // jam: disc center and radius.
+  vec2 center{0, 0};
+  meters radius = 0;
+  // degrade: communication-range scale factor.
+  double factor = 1.0;
+  // kill_source: item whose source host is taken down.
+  item_id item = 0;
+
+  /// Compact label, e.g. "crash:g0-g4@1200..1500" (used in reports).
+  std::string describe() const;
+};
+
+struct fault_plan {
+  std::vector<fault_event> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Parses a plan string (empty string = empty plan). Throws
+  /// std::runtime_error naming the offending token on bad grammar.
+  static fault_plan parse(const std::string& spec);
+};
+
+}  // namespace manet
+
+#endif  // MANET_FAULT_FAULT_PLAN_HPP

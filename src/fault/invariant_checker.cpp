@@ -1,0 +1,194 @@
+#include "fault/invariant_checker.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "consistency/rpcc/rpcc_protocol.hpp"
+
+namespace manet {
+
+invariant_checker::invariant_checker(simulator& sim, network& net,
+                                     const item_registry& registry,
+                                     const std::vector<cache_store>& stores,
+                                     consistency_protocol* protocol,
+                                     query_log* qlog, config cfg)
+    : sim_(sim),
+      net_(net),
+      registry_(registry),
+      stores_(stores),
+      protocol_(protocol),
+      rpcc_(dynamic_cast<const rpcc_protocol*>(protocol)),
+      qlog_(qlog),
+      cfg_(cfg) {
+  last_master_.assign(registry_.size(), 0);
+  for (item_id d = 0; d < registry_.size(); ++d) {
+    last_master_[d] = registry_.version(d);
+  }
+}
+
+void invariant_checker::start() {
+  if (started_) return;
+  started_ = true;
+  if (qlog_ != nullptr) {
+    qlog_->add_answer_observer(
+        [this](const answer_record& ar) { on_answer(ar); });
+  }
+  sim_.schedule_in(cfg_.interval, [this] { sweep(); });
+}
+
+void invariant_checker::record(std::string what) {
+  ++violations_;
+  sim_.logf(log_level::warn, "invariant violated: %s", what.c_str());
+  if (recorded_.size() < cfg_.max_recorded) recorded_.push_back(std::move(what));
+}
+
+void invariant_checker::sweep() {
+  ++sweeps_;
+  check_versions();
+  if (rpcc_ != nullptr) check_rpcc();
+  sim_.schedule_in(cfg_.interval, [this] { sweep(); });
+}
+
+void invariant_checker::check_versions() {
+  char buf[160];
+  for (item_id d = 0; d < registry_.size(); ++d) {
+    const version_t master = registry_.version(d);
+    if (master < last_master_[d]) {
+      std::snprintf(buf, sizeof buf,
+                    "master version of item %zu went backwards: %llu -> %llu",
+                    static_cast<std::size_t>(d),
+                    static_cast<unsigned long long>(last_master_[d]),
+                    static_cast<unsigned long long>(master));
+      record(buf);
+    }
+    last_master_[d] = master;
+  }
+  for (node_id n = 0; n < stores_.size(); ++n) {
+    for (item_id d : stores_[n].items()) {
+      const cached_copy* copy = stores_[n].find(d);
+      if (copy != nullptr && copy->version > registry_.version(d)) {
+        std::snprintf(buf, sizeof buf,
+                      "node %zu caches item %zu at version %llu > master %llu",
+                      static_cast<std::size_t>(n), static_cast<std::size_t>(d),
+                      static_cast<unsigned long long>(copy->version),
+                      static_cast<unsigned long long>(registry_.version(d)));
+        record(buf);
+      }
+    }
+  }
+}
+
+void invariant_checker::check_rpcc() {
+  char buf[200];
+  const rpcc_params& p = rpcc_->params();
+  const sim_time now = sim_.now();
+  const double ttn_scale = p.adaptive_ttn ? p.adaptive_max_factor : 1.0;
+  // Worst honest lag between the source-side lease expiry and the relay's
+  // local self-demotion: re-APPLYs are paced at lease/2 rounded up to the
+  // next INVALIDATION tick and stamped on *send*, so two lost APPLYs cost
+  // 2*(lease/2 + ttn) before the relay even looks silent to itself; its
+  // demotion anchor then extends ttr past the last INVALIDATION heard, and
+  // the coefficient-window check adds its own period. Only past all of that
+  // is a surviving relay a genuine protocol-state leak.
+  const sim_duration lease_bound =
+      p.relay_lease + 2 * p.ttn * ttn_scale +
+      p.ttr * std::max(1.0, ttn_scale) + p.coeff.window + cfg_.interval +
+      cfg_.slack;
+  const sim_duration ttr_bound = p.ttr * std::max(1.0, ttn_scale) + cfg_.slack;
+
+  const auto snapshots = rpcc_->relay_snapshots();
+
+  // Invariant 4: counter vs. believed-relay states.
+  if (rpcc_->current_relay_count() != snapshots.size()) {
+    std::snprintf(buf, sizeof buf,
+                  "relay counter %zu != %zu states in relay role",
+                  rpcc_->current_relay_count(), snapshots.size());
+    record(buf);
+  }
+
+  std::map<std::pair<node_id, item_id>, sim_time> still_tracked;
+  for (const auto& s : snapshots) {
+    const node_id src = registry_.source(s.item);
+    const bool ends_up = net_.at(s.node).up() && net_.at(src).up();
+
+    // Invariant 2: relay unregistered at a live source past the lease.
+    // Only tracked while the source is actually reachable — a partitioned
+    // or wandered-off relay is the legitimate §4.5 disconnection case, and
+    // its clock restarts at reconnection.
+    if (!s.registered && ends_up && net_.hop_distance(s.node, src) >= 0) {
+      const auto key = std::make_pair(s.node, s.item);
+      auto it = unregistered_since_.find(key);
+      const sim_time since = it == unregistered_since_.end() ? now : it->second;
+      if (now - since > lease_bound) {
+        std::snprintf(buf, sizeof buf,
+                      "node %zu relay for item %zu unregistered at live source "
+                      "%zu for %.0fs (lease %.0fs)",
+                      static_cast<std::size_t>(s.node),
+                      static_cast<std::size_t>(s.item),
+                      static_cast<std::size_t>(src), now - since, p.relay_lease);
+        record(buf);
+        still_tracked[key] = now;  // re-arm instead of repeating every sweep
+      } else {
+        still_tracked[key] = since;
+      }
+    }
+
+    // Invariant 3: TTR deadline anchored at the last push contact.
+    if (s.ttr_deadline > now) {
+      sim_time anchor = s.last_inv_at;
+      const cached_copy* copy = stores_[s.node].find(s.item);
+      if (copy != nullptr) anchor = std::max(anchor, copy->version_obtained_at);
+      if (anchor < 0 || s.ttr_deadline > anchor + ttr_bound) {
+        std::snprintf(buf, sizeof buf,
+                      "node %zu relay for item %zu has ttr_deadline %.1f "
+                      "beyond anchor %.1f + %.1f",
+                      static_cast<std::size_t>(s.node),
+                      static_cast<std::size_t>(s.item), s.ttr_deadline, anchor,
+                      ttr_bound);
+        record(buf);
+      }
+    }
+  }
+  unregistered_since_ = std::move(still_tracked);
+}
+
+void invariant_checker::on_answer(const answer_record& ar) {
+  // Invariant 5: validated strong answers must not be staler than the
+  // protocol's worst-case push+pull lag while the source is reachable.
+  if (ar.level != consistency_level::strong || !ar.validated || !ar.stale) {
+    return;
+  }
+  if (rpcc_ == nullptr) return;
+  const rpcc_params& p = rpcc_->params();
+  const double ttn_scale = p.adaptive_ttn ? p.adaptive_max_factor : 1.0;
+  const double ttp_scale = p.adaptive_ttp ? p.adaptive_max_factor : 1.0;
+  const sim_duration bound = p.ttn * ttn_scale + p.ttr * std::max(1.0, ttn_scale) +
+                             p.ttp * ttp_scale + cfg_.slack;
+  if (ar.stale_age <= bound) return;
+  const node_id src = registry_.source(ar.item);
+  if (net_.hop_distance(ar.node, src) < 0) return;  // source unreachable
+  char buf[200];
+  std::snprintf(buf, sizeof buf,
+                "node %zu answered SC query for item %zu validated but %.0fs "
+                "stale (bound %.0fs) with source %zu reachable",
+                static_cast<std::size_t>(ar.node),
+                static_cast<std::size_t>(ar.item), ar.stale_age, bound,
+                static_cast<std::size_t>(src));
+  record(buf);
+}
+
+std::string invariant_checker::report() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "invariants: sweeps=%llu violations=%llu\n",
+                static_cast<unsigned long long>(sweeps_),
+                static_cast<unsigned long long>(violations_));
+  std::string out = buf;
+  for (const std::string& v : recorded_) {
+    out += "  ";
+    out += v;
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace manet

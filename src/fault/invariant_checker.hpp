@@ -1,0 +1,101 @@
+// Runtime invariant checker.
+//
+// Hooks into a scenario (on by default in tests) and audits protocol state
+// against ground truth, both periodically and at every answered query:
+//   1. Master and cached versions are monotonic: the registry version never
+//      decreases and no cached copy is ever newer than the master.
+//   2. No node stays relay-but-unregistered at a live, reachable source past
+//      the relay lease plus the honest re-apply/demotion lag (APPLY pacing
+//      rounds lease/2 up to the next TTN tick and is stamped on send, the
+//      demotion anchor extends TTR past the last INVALIDATION heard, and the
+//      coefficient-window check adds its period): the source has pruned such
+//      a lease, so a correct relay must have self-demoted or re-applied by
+//      then. The clock resets while the node or the source is down or the
+//      source is unreachable — a §4.5 disconnected relay is legitimate.
+//   3. Relay TTR state is consistent with the last INVALIDATION seen: a
+//      ttr_deadline is always anchored at max(last_inv_at, the copy's
+//      version_obtained_at) plus at most ttr (scaled by the adaptive-TTN
+//      ceiling) — never conjured further into the future.
+//   4. The protocol's instantaneous relay counter equals the number of
+//      (node, item) states that believe they are relays.
+//   5. No strong-consistency query is answered validated-but-stale while the
+//      source is reachable and the staleness exceeds the protocol's
+//      steady-state hazard bound ttn + ttr + ttp (each term at its adaptive
+//      ceiling). Validated SC answers come from relay copies inside TTR;
+//      such a copy can only be that stale if the push chain silently broke.
+// Violations are counted, logged at warn level, and kept (capped) for
+// reports and test assertions.
+#ifndef MANET_FAULT_INVARIANT_CHECKER_HPP
+#define MANET_FAULT_INVARIANT_CHECKER_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cache/cache_store.hpp"
+#include "cache/data_item.hpp"
+#include "consistency/protocol.hpp"
+#include "metrics/query_log.hpp"
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet {
+
+class rpcc_protocol;
+
+struct invariant_checker_config {
+  sim_duration interval = 5.0;    ///< periodic sweep cadence
+  sim_duration slack = 1.0;       ///< timing slack on deadline bounds
+  std::size_t max_recorded = 16;  ///< descriptions kept for reports
+};
+
+class invariant_checker {
+ public:
+  using config = invariant_checker_config;
+
+  invariant_checker(simulator& sim, network& net, const item_registry& registry,
+                    const std::vector<cache_store>& stores,
+                    consistency_protocol* protocol, query_log* qlog,
+                    config cfg = config());
+
+  /// Registers the answer observer and schedules the periodic sweep. Call
+  /// once, before the run.
+  void start();
+
+  std::uint64_t violations() const { return violations_; }
+  std::uint64_t sweeps() const { return sweeps_; }
+  const std::vector<std::string>& violation_log() const { return recorded_; }
+  std::string report() const;
+
+ private:
+  void sweep();
+  void check_versions();
+  void check_rpcc();
+  void on_answer(const answer_record& ar);
+  void record(std::string what);
+
+  simulator& sim_;
+  network& net_;
+  const item_registry& registry_;
+  const std::vector<cache_store>& stores_;
+  consistency_protocol* protocol_;
+  const rpcc_protocol* rpcc_;  ///< non-null when protocol_ is RPCC
+  query_log* qlog_;
+  config cfg_;
+
+  std::vector<version_t> last_master_;  ///< monotonicity baseline per item
+  /// (relay node, item) -> when it was first seen unregistered while both
+  /// ends were up; erased on registration or any down period.
+  std::map<std::pair<node_id, item_id>, sim_time> unregistered_since_;
+
+  std::uint64_t violations_ = 0;
+  std::uint64_t sweeps_ = 0;
+  std::vector<std::string> recorded_;
+  bool started_ = false;
+};
+
+}  // namespace manet
+
+#endif  // MANET_FAULT_INVARIANT_CHECKER_HPP

@@ -36,6 +36,25 @@ struct run_result {
   // Workload.
   std::uint64_t updates = 0;
 
+  // Frame drops by cause (fault forensics; node_down includes fault-layer
+  // outages, queue_flushed counts frames discarded when a node went down).
+  std::uint64_t drops_total = 0;
+  std::uint64_t drops_node_down = 0;
+  std::uint64_t drops_out_of_range = 0;
+  std::uint64_t drops_channel_loss = 0;
+  std::uint64_t drops_collision = 0;
+  std::uint64_t drops_no_route = 0;
+  std::uint64_t drops_ttl_expired = 0;
+  std::uint64_t drops_queue_flushed = 0;
+
+  // Fault injection & recovery (0 / empty when no fault plan is active).
+  std::uint64_t fault_episodes = 0;
+  std::uint64_t fault_recovered = 0;     ///< episodes that reconverged in-run
+  double mean_reconvergence_s = 0;       ///< over recovered episodes
+  double mean_relay_repair_s = 0;        ///< over episodes whose overlay healed
+  double mean_stale_window_s = 0;        ///< post-heal stale-serve window
+  std::uint64_t invariant_violations = 0;
+
   // Energy drained from batteries over the run (sum across nodes), and the
   // worst single node. The paper motivates energy saving but reports only
   // message counts; joules make the pull-vs-push asymmetry concrete.

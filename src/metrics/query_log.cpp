@@ -41,13 +41,19 @@ void query_log::answer(query_id q, version_t version, bool validated) {
 
   const version_t current = registry_.version(rec.item);
   assert(version <= current && "served version newer than master copy");
+  sim_duration age = 0;
   if (version < current) {
     ++ls.stale_answers;
-    const sim_duration age = sim_.now() - registry_.stale_since(rec.item, version);
+    age = sim_.now() - registry_.stale_since(rec.item, version);
     ls.stale_age.add(age);
     if (rec.level == consistency_level::delta && age > delta_) {
       ++ls.delta_violations;
     }
+  }
+  if (!observers_.empty()) {
+    const answer_record ar{rec.node,  rec.item,        rec.level, version,
+                           validated, version < current, age};
+    for (const auto& obs : observers_) obs(ar);
   }
 }
 

@@ -11,8 +11,10 @@
 #define MANET_METRICS_QUERY_LOG_HPP
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "cache/data_item.hpp"
 #include "consistency/level.hpp"
@@ -36,10 +38,27 @@ struct level_stats {
   running_stats stale_age;  ///< seconds the served version had been superseded
 };
 
+/// Audited view of a single answered query, handed to answer observers the
+/// moment the answer is recorded (invariant checker, recovery tracker).
+struct answer_record {
+  node_id node = invalid_node;
+  item_id item = 0;
+  consistency_level level = consistency_level::weak;
+  version_t version = 0;
+  bool validated = false;
+  bool stale = false;          ///< served version != master version
+  sim_duration stale_age = 0;  ///< seconds superseded (0 if fresh)
+};
+
 class query_log {
  public:
   /// `delta` is the Δ bound used to audit delta-level queries.
   query_log(simulator& sim, const item_registry& registry, sim_duration delta);
+
+  /// Registers a callback invoked on every answer() with the audited record.
+  void add_answer_observer(std::function<void(const answer_record&)> obs) {
+    observers_.push_back(std::move(obs));
+  }
 
   query_id issue(node_id n, item_id item, consistency_level level);
 
@@ -85,6 +104,7 @@ class query_log {
   std::uint64_t answered_ = 0;
   query_id next_id_ = 1;
   log_histogram latency_hist_;
+  std::vector<std::function<void(const answer_record&)>> observers_;
 };
 
 }  // namespace manet

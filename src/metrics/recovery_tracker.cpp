@@ -1,0 +1,139 @@
+#include "metrics/recovery_tracker.hpp"
+
+#include <cstdio>
+
+namespace manet {
+
+recovery_tracker::recovery_tracker(simulator& sim, probes p,
+                                   sim_duration probe_interval)
+    : sim_(sim), probes_(std::move(p)), probe_interval_(probe_interval) {}
+
+void recovery_tracker::on_fault_begin(std::size_t idx, const fault_event& e) {
+  episode ep;
+  ep.label = e.describe();
+  ep.start = sim_.now();
+  ep.pre_relays = probes_.relays ? probes_.relays() : 0;
+  by_event_[idx] = episodes_.size();
+  episodes_.push_back(std::move(ep));
+}
+
+void recovery_tracker::on_fault_end(std::size_t idx, const fault_event&) {
+  auto it = by_event_.find(idx);
+  if (it == by_event_.end()) return;  // end without begin (zero-length window)
+  episode& ep = episodes_[it->second];
+  ep.heal = sim_.now();
+  if (!probe_scheduled_) {
+    probe_scheduled_ = true;
+    sim_.schedule_in(probe_interval_, [this] { probe(); });
+  }
+}
+
+void recovery_tracker::on_stale_answer(sim_time superseded_at) {
+  // A stale serve is debris of an episode iff the served version was
+  // superseded while that episode's fault was active — the node missed the
+  // update because of the fault. The episode's stale window is the time of
+  // the last such serve after its heal.
+  for (episode& ep : episodes_) {
+    if (superseded_at < ep.start) continue;
+    if (ep.heal >= 0 && superseded_at > ep.heal) continue;
+    ++ep.stale_answers;
+    if (ep.heal >= 0 && sim_.now() > ep.heal) {
+      ep.stale_window_s = sim_.now() - ep.heal;
+    }
+  }
+}
+
+bool recovery_tracker::probing_needed() const {
+  for (const episode& ep : episodes_) {
+    if (ep.heal < 0) continue;  // still faulted: probe once it heals
+    if (ep.reconverge_s < 0 || ep.relay_repair_s < 0) return true;
+  }
+  return false;
+}
+
+void recovery_tracker::probe() {
+  const bool converged = probes_.converged ? probes_.converged() : true;
+  const std::size_t relays = probes_.relays ? probes_.relays() : 0;
+  for (episode& ep : episodes_) {
+    if (ep.heal < 0 || sim_.now() <= ep.heal) continue;
+    if (ep.reconverge_s < 0 && converged) {
+      ep.reconverge_s = sim_.now() - ep.heal;
+    }
+    if (ep.relay_repair_s < 0 && relays >= ep.pre_relays) {
+      ep.relay_repair_s = sim_.now() - ep.heal;
+    }
+  }
+  if (probing_needed()) {
+    sim_.schedule_in(probe_interval_, [this] { probe(); });
+  } else {
+    probe_scheduled_ = false;
+  }
+}
+
+std::size_t recovery_tracker::recovered_count() const {
+  std::size_t n = 0;
+  for (const episode& ep : episodes_) {
+    if (ep.reconverge_s >= 0) ++n;
+  }
+  return n;
+}
+
+double recovery_tracker::mean_reconvergence_s() const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const episode& ep : episodes_) {
+    if (ep.reconverge_s >= 0) {
+      sum += ep.reconverge_s;
+      ++n;
+    }
+  }
+  return n ? sum / n : 0;
+}
+
+double recovery_tracker::mean_relay_repair_s() const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const episode& ep : episodes_) {
+    if (ep.relay_repair_s >= 0) {
+      sum += ep.relay_repair_s;
+      ++n;
+    }
+  }
+  return n ? sum / n : 0;
+}
+
+double recovery_tracker::mean_stale_window_s() const {
+  double sum = 0;
+  std::size_t n = 0;
+  for (const episode& ep : episodes_) {
+    if (ep.heal >= 0) {
+      sum += ep.stale_window_s;
+      ++n;
+    }
+  }
+  return n ? sum / n : 0;
+}
+
+std::string recovery_tracker::report() const {
+  if (episodes_.empty()) return {};
+  std::string out = "fault recovery:\n";
+  char buf[256];
+  for (const episode& ep : episodes_) {
+    std::snprintf(buf, sizeof(buf),
+                  "  %-34s reconverge=%s relay_repair=%s stale_window=%.1fs "
+                  "stale_serves=%llu\n",
+                  ep.label.c_str(),
+                  ep.reconverge_s >= 0
+                      ? (std::to_string(ep.reconverge_s).substr(0, 5) + "s").c_str()
+                      : "never",
+                  ep.relay_repair_s >= 0
+                      ? (std::to_string(ep.relay_repair_s).substr(0, 5) + "s").c_str()
+                      : "never",
+                  ep.stale_window_s,
+                  static_cast<unsigned long long>(ep.stale_answers));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace manet

@@ -1,0 +1,85 @@
+// Per-fault-episode recovery metrics.
+//
+// The fault injector reports each event's activation and healing edge; after
+// a heal the tracker probes the system once a second and measures, per
+// episode:
+//   - time-to-reconvergence: first post-heal instant the scenario's
+//     convergence probe holds (every reachable cache serves the master
+//     version, modulo the protocol's steady-state push lag — see
+//     scenario::caches_converged),
+//   - relay-overlay repair time: first post-heal instant the instantaneous
+//     relay count is back to its pre-fault level (RPCC; trivially 0 for the
+//     baselines),
+//   - the stale-serve window: how long after the heal answers were still
+//     served from versions superseded during the fault window — updates the
+//     serving node missed because of the fault.
+// Episodes that never reconverge before the run ends are reported as
+// unrecovered rather than silently averaged in.
+#ifndef MANET_METRICS_RECOVERY_TRACKER_HPP
+#define MANET_METRICS_RECOVERY_TRACKER_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet {
+
+class recovery_tracker {
+ public:
+  struct probes {
+    std::function<bool()> converged;      ///< all reachable caches consistent
+    std::function<std::size_t()> relays;  ///< instantaneous relay count
+  };
+
+  struct episode {
+    std::string label;
+    sim_time start = 0;
+    sim_time heal = -1;            ///< -1: fault window still open
+    double reconverge_s = -1;      ///< -1: never reconverged within the run
+    double relay_repair_s = -1;    ///< -1: relay level never recovered
+    double stale_window_s = 0;  ///< last debris-stale answer after heal - heal
+    std::uint64_t stale_answers = 0;  ///< serves of versions superseded in-window
+    std::size_t pre_relays = 0;
+  };
+
+  recovery_tracker(simulator& sim, probes p, sim_duration probe_interval = 1.0);
+
+  void on_fault_begin(std::size_t idx, const fault_event& e);
+  void on_fault_end(std::size_t idx, const fault_event& e);
+  /// Feed from a query_log answer observer: a stale answer was served whose
+  /// version had been superseded at `superseded_at`. Attributed to the
+  /// episodes whose fault window covers that instant.
+  void on_stale_answer(sim_time superseded_at);
+
+  const std::vector<episode>& episodes() const { return episodes_; }
+  std::size_t episode_count() const { return episodes_.size(); }
+  std::size_t recovered_count() const;
+
+  /// Mean over episodes that did recover (0 when none).
+  double mean_reconvergence_s() const;
+  double mean_relay_repair_s() const;
+  double mean_stale_window_s() const;
+
+  /// Per-episode table for run reports.
+  std::string report() const;
+
+ private:
+  void probe();
+  bool probing_needed() const;
+
+  simulator& sim_;
+  probes probes_;
+  sim_duration probe_interval_;
+  std::vector<episode> episodes_;
+  std::unordered_map<std::size_t, std::size_t> by_event_;  ///< plan idx -> episode
+  bool probe_scheduled_ = false;
+};
+
+}  // namespace manet
+
+#endif  // MANET_METRICS_RECOVERY_TRACKER_HPP

@@ -22,6 +22,8 @@ node_id network::add_node(std::unique_ptr<mobility_model> mobility) {
       [this, id](const frame& f, sim_duration tx_time) { on_air(id, f, tx_time); });
   nodes_.push_back(
       std::make_unique<node>(id, std::move(mobility), eparams_, std::move(link)));
+  ge_chains_.push_back(ge_chain{});
+  ge_rng_.push_back(sim_.make_rng("net.ge", id));
   return id;
 }
 
@@ -39,6 +41,52 @@ void network::set_node_up(node_id id, bool up) {
   for (std::size_t i = 0; i < flushed; ++i) {
     meter_.record_drop(0, drop_reason::queue_flushed);
   }
+}
+
+void network::set_node_fault(node_id id, bool down) {
+  const std::size_t flushed = at(id).set_fault_down(down);
+  for (std::size_t i = 0; i < flushed; ++i) {
+    meter_.record_drop(0, drop_reason::queue_flushed);
+  }
+}
+
+void network::set_burst_loss(double loss_bad, sim_duration mean_bad,
+                             sim_duration mean_good) {
+  assert(loss_bad >= 0 && loss_bad <= 1 && mean_bad > 0 && mean_good > 0);
+  burst_forced_ = true;
+  burst_loss_bad_ = loss_bad;
+  burst_mean_bad_ = mean_bad;
+  burst_mean_good_ = mean_good;
+  // Fresh episode: restart every chain in the good state so the burst's
+  // shape depends only on its own parameters, not on a stale chain phase.
+  for (ge_chain& c : ge_chains_) c = ge_chain{};
+}
+
+void network::clear_burst_loss() {
+  burst_forced_ = false;
+  for (ge_chain& c : ge_chains_) c = ge_chain{};
+}
+
+double network::loss_probability_at(node_id rx) {
+  const radio_params& rp = radio_.params();
+  const bool gilbert = burst_forced_ || rp.loss_model == "gilbert";
+  if (!gilbert) return rp.loss_probability;
+
+  const double loss_bad = burst_forced_ ? burst_loss_bad_ : rp.ge_loss_bad;
+  const sim_duration mean_bad = burst_forced_ ? burst_mean_bad_ : rp.ge_mean_bad;
+  const sim_duration mean_good = burst_forced_ ? burst_mean_good_ : rp.ge_mean_good;
+
+  ge_chain& c = ge_chains_.at(rx);
+  rng& gen = ge_rng_.at(rx);
+  if (c.next_flip < 0) {
+    c.bad = false;
+    c.next_flip = sim_.now() + gen.exponential(mean_good);
+  }
+  while (c.next_flip <= sim_.now()) {
+    c.bad = !c.bad;
+    c.next_flip += gen.exponential(c.bad ? mean_bad : mean_good);
+  }
+  return c.bad ? loss_bad : rp.loss_probability;
 }
 
 void network::on_air(node_id tx_node, const frame& f, sim_duration tx_time) {
@@ -61,7 +109,7 @@ void network::on_air(node_id tx_node, const frame& f, sim_duration tx_time) {
 
   const sim_duration prop = radio_.params().propagation_delay;
   auto deliver_to = [&](node_id rx) {
-    if (loss_rng_.chance(radio_.params().loss_probability)) {
+    if (loss_rng_.chance(loss_probability_at(rx))) {
       meter_.record_drop(f.pkt.kind, drop_reason::channel_loss);
       return;
     }

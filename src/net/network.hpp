@@ -61,6 +61,17 @@ class network {
   /// Takes node `id` down / up, accounting flushed frames as drops.
   void set_node_up(node_id id, bool up);
 
+  /// Fault-layer outage: holds node `id` down independently of churn (see
+  /// node::set_fault_down). Flushed frames are accounted as drops.
+  void set_node_fault(node_id id, bool down);
+
+  /// Forces a Gilbert-Elliott burst-loss episode with the given bad-state
+  /// loss probability and sojourn means, overriding the configured loss
+  /// model until clear_burst_loss().
+  void set_burst_loss(double loss_bad, sim_duration mean_bad,
+                      sim_duration mean_good);
+  void clear_burst_loss();
+
   /// Hop count (BFS over the current connectivity graph) from a to b;
   /// -1 if unreachable. Used by the oracle router, discovery oracle and
   /// tests; the distributed protocols never call it.
@@ -76,6 +87,17 @@ class network {
     sim_time start = 0;
     sim_time end = 0;
   };
+
+  /// Per-receiver Gilbert-Elliott channel state, advanced lazily at each
+  /// delivery attempt from a per-node RNG stream (deterministic per seed).
+  struct ge_chain {
+    bool bad = false;
+    sim_time next_flip = -1;  ///< -1 = chain not started yet
+  };
+
+  /// Loss probability for a delivery to `rx` right now, under the active
+  /// loss model (i.i.d., configured Gilbert-Elliott, or a forced burst).
+  double loss_probability_at(node_id rx);
 
   void on_air(node_id tx_node, const frame& f, sim_duration tx_time);
   void deliver(node_id rx_node, const frame& f, sim_time air_start,
@@ -93,6 +115,14 @@ class network {
   packet_uid uid_counter_ = 0;
   rng loss_rng_;
   std::vector<airtime> airtimes_;  ///< recent transmissions (collision mode)
+
+  // Gilbert-Elliott machinery (loss_model == "gilbert" or a forced burst).
+  std::vector<ge_chain> ge_chains_;  ///< one per node (receiver side)
+  std::vector<rng> ge_rng_;          ///< per-node chain streams
+  bool burst_forced_ = false;        ///< fault-layer override active
+  double burst_loss_bad_ = 0;
+  sim_duration burst_mean_bad_ = 1.0;
+  sim_duration burst_mean_good_ = 10.0;
 };
 
 }  // namespace manet

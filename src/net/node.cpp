@@ -16,13 +16,20 @@ node::node(node_id id, std::unique_ptr<mobility_model> mobility, energy_params e
   assert(link_ != nullptr);
 }
 
-std::size_t node::set_up(bool up) {
-  if (up == up_) return 0;
+std::size_t node::set_up(bool up) { return apply_state(up, fault_down_); }
+
+std::size_t node::set_fault_down(bool down) { return apply_state(up_, down); }
+
+std::size_t node::apply_state(bool up, bool fault_down) {
+  const bool was_up = this->up();
   up_ = up;
+  fault_down_ = fault_down;
+  const bool is_up = this->up();
+  if (was_up == is_up) return 0;
   ++switches_;
   std::size_t flushed = 0;
-  if (!up_) flushed = link_->flush();
-  for (const auto& obs : observers_) obs(id_, up_);
+  if (!is_up) flushed = link_->flush();
+  for (const auto& obs : observers_) obs(id_, is_up);
   return flushed;
 }
 

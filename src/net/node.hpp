@@ -31,12 +31,22 @@ class node {
 
   node_id id() const { return id_; }
 
-  bool up() const { return up_; }
+  /// Effectively up: powered on by the churn model AND not held down by the
+  /// fault layer.
+  bool up() const { return up_ && !fault_down_; }
 
-  /// Brings the node down/up. State changes increment the switch counter
-  /// (the paper's N_s) and notify observers. Going down flushes the MAC
-  /// queue; the number of flushed frames is returned for drop accounting.
+  /// Brings the node down/up (the churn/voluntary-switch axis). Effective
+  /// state changes increment the switch counter (the paper's N_s) and notify
+  /// observers. Going down flushes the MAC queue; the number of flushed
+  /// frames is returned for drop accounting.
   std::size_t set_up(bool up);
+
+  /// Forces the node down (or releases it) on the orthogonal fault axis:
+  /// a crash/kill fault holds the node down regardless of churn toggles, and
+  /// releasing it restores whatever state churn last set. Same return value
+  /// contract as set_up().
+  std::size_t set_fault_down(bool down);
+  bool fault_down() const { return fault_down_; }
 
   /// Total number of state switches since creation (N_s is computed by
   /// protocols as a per-window difference of this counter).
@@ -66,12 +76,15 @@ class node {
   }
 
  private:
+  std::size_t apply_state(bool up, bool fault_down);
+
   node_id id_;
   std::unique_ptr<mobility_model> mobility_;
   energy_params energy_;
   std::unique_ptr<mac> link_;
 
   bool up_ = true;
+  bool fault_down_ = false;
   std::uint64_t switches_ = 0;
   double energy_joules_;
   std::vector<state_observer> observers_;

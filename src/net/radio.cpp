@@ -16,13 +16,19 @@ sim_duration radio::tx_time(std::size_t bytes) const {
          static_cast<double>(bytes) * 8.0 / params_.bandwidth_bps;
 }
 
+void radio::set_range_scale(double scale) {
+  assert(scale > 0);
+  range_scale_ = scale;
+}
+
 bool radio::reachable(node_id a, node_id b) const {
   if (a == b) return false;
   const node& na = net_.at(a);
   const node& nb = net_.at(b);
   if (!na.up() || !nb.up()) return false;
+  if (filter_ && !filter_(a, b)) return false;
   const sim_time now = net_.sim().now();
-  const double r = params_.range;
+  const double r = effective_range();
   return distance2(na.position_at(now), nb.position_at(now)) <= r * r;
 }
 
@@ -32,11 +38,13 @@ std::vector<node_id> radio::neighbors(node_id u) const {
   if (!nu.up()) return out;
   const sim_time now = net_.sim().now();
   const vec2 pu = nu.position_at(now);
-  const double r2 = params_.range * params_.range;
+  const double r = effective_range();
+  const double r2 = r * r;
   for (node_id v = 0; v < net_.size(); ++v) {
     if (v == u) continue;
     const node& nv = net_.at(v);
     if (!nv.up()) continue;
+    if (filter_ && !filter_(u, v)) continue;
     if (distance2(pu, nv.position_at(now)) <= r2) out.push_back(v);
   }
   return out;

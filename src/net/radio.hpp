@@ -4,6 +4,8 @@
 #ifndef MANET_NET_RADIO_HPP
 #define MANET_NET_RADIO_HPP
 
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "geom/vec2.hpp"
@@ -20,6 +22,16 @@ struct radio_params {
   sim_duration propagation_delay = 5e-6;   ///< flat propagation delay
   sim_duration max_backoff = 2e-3;  ///< random pre-transmission backoff (CSMA stand-in)
   double loss_probability = 0.0;    ///< independent per-receiver frame loss
+  /// Channel loss model: "iid" applies loss_probability independently per
+  /// frame; "gilbert" runs a per-receiver Gilbert-Elliott two-state chain
+  /// (good state loses loss_probability, bad state loses ge_loss_bad; sojourn
+  /// times are exponential) producing the correlated burst loss real MANET
+  /// channels show. The fault layer can also force a burst episode onto an
+  /// "iid" run for a scripted window.
+  std::string loss_model = "iid";
+  double ge_loss_bad = 0.5;          ///< bad-state loss probability
+  sim_duration ge_mean_good = 10.0;  ///< mean good-state sojourn (s)
+  sim_duration ge_mean_bad = 1.0;    ///< mean bad-state sojourn (s)
   /// Interference modeling: when true, a reception fails if any other
   /// transmission within interference range of the receiver overlapped the
   /// frame's airtime (no capture effect). The default "simple" mode relies
@@ -38,15 +50,33 @@ class radio {
   /// Transmission time on the air for a frame of `bytes` bytes.
   sim_duration tx_time(std::size_t bytes) const;
 
-  /// True if `a` can currently deliver a frame to `b` (both up, in range).
+  /// True if `a` can currently deliver a frame to `b` (both up, in range,
+  /// link not cut by the fault layer).
   bool reachable(node_id a, node_id b) const;
 
   /// All up nodes currently within range of `u` (excluding `u`).
   std::vector<node_id> neighbors(node_id u) const;
 
+  // --- fault-layer hooks ---
+
+  /// Scales the effective communication range (range degradation faults).
+  /// 1.0 restores the nominal range.
+  void set_range_scale(double scale);
+  double range_scale() const { return range_scale_; }
+  /// Effective communication range after degradation.
+  meters effective_range() const { return params_.range * range_scale_; }
+
+  /// Link-level veto installed by the fault injector (partitions, jammers):
+  /// when set and it returns false for a pair, the link is cut regardless of
+  /// distance. Pass nullptr to clear.
+  using link_filter = std::function<bool(node_id, node_id)>;
+  void set_link_filter(link_filter f) { filter_ = std::move(f); }
+
  private:
   network& net_;
   radio_params params_;
+  double range_scale_ = 1.0;
+  link_filter filter_;
 };
 
 }  // namespace manet

@@ -44,7 +44,7 @@ void traffic_meter::record_rx(packet_kind kind, std::size_t bytes) {
 }
 
 void traffic_meter::record_drop(packet_kind kind, drop_reason reason) {
-  (void)kind;
+  ++by_kind_[kind].drops;
   ++drops_[reason];
 }
 
@@ -96,15 +96,16 @@ std::uint64_t traffic_meter::routing_tx_frames() const {
 std::string traffic_meter::report() const {
   std::string out;
   char line[256];
-  std::snprintf(line, sizeof line, "%-20s %12s %14s %12s %12s\n", "kind", "tx_frames",
-                "tx_bytes", "rx_frames", "originated");
+  std::snprintf(line, sizeof line, "%-20s %12s %14s %12s %12s %10s\n", "kind",
+                "tx_frames", "tx_bytes", "rx_frames", "originated", "drops");
   out += line;
   for (const auto& [k, c] : by_kind_) {
-    std::snprintf(line, sizeof line, "%-20s %12llu %14llu %12llu %12llu\n",
+    std::snprintf(line, sizeof line, "%-20s %12llu %14llu %12llu %12llu %10llu\n",
                   kind_name(k).c_str(), static_cast<unsigned long long>(c.tx_frames),
                   static_cast<unsigned long long>(c.tx_bytes),
                   static_cast<unsigned long long>(c.rx_frames),
-                  static_cast<unsigned long long>(c.originated));
+                  static_cast<unsigned long long>(c.originated),
+                  static_cast<unsigned long long>(c.drops));
     out += line;
   }
   std::snprintf(line, sizeof line, "%-20s %12llu %14llu\n", "TOTAL",

@@ -30,6 +30,7 @@ struct kind_counters {
   std::uint64_t tx_bytes = 0;
   std::uint64_t rx_frames = 0;   ///< successful receptions (broadcast counts each receiver)
   std::uint64_t originated = 0;  ///< end-to-end packets created
+  std::uint64_t drops = 0;       ///< frames of this kind lost (any cause)
 };
 
 class traffic_meter {

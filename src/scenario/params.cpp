@@ -60,6 +60,10 @@ scenario_params scenario_params::from_config(const config& cfg) {
   p.router = cfg.get_string("router", p.router);
   p.mac = cfg.get_string("mac", p.mac);
   p.loss_probability = cfg.get_double("loss", p.loss_probability);
+  p.loss_model = cfg.get_string("loss_model", p.loss_model);
+  p.ge_loss_bad = cfg.get_double("ge_loss_bad", p.ge_loss_bad);
+  p.ge_mean_good = cfg.get_double("ge_mean_good", p.ge_mean_good);
+  p.ge_mean_bad = cfg.get_double("ge_mean_bad", p.ge_mean_bad);
   p.mean_down_time = cfg.get_double("mean_down_time", p.mean_down_time);
   p.switch_probability = cfg.get_double("switch_probability", p.switch_probability);
   p.churn = cfg.get_bool("churn", p.churn);
@@ -85,6 +89,9 @@ scenario_params scenario_params::from_config(const config& cfg) {
   p.trace_file = cfg.get_string("trace_file", p.trace_file);
   p.trace_position_interval =
       cfg.get_double("trace_position_interval", p.trace_position_interval);
+  p.fault = cfg.get_string("fault", p.fault);
+  p.invariants = cfg.get_bool("invariants", p.invariants);
+  p.invariant_interval = cfg.get_double("invariant_interval", p.invariant_interval);
   return p;
 }
 
@@ -116,6 +123,10 @@ void scenario_params::to_config(config& cfg) const {
   cfg.set("router", router);
   cfg.set("mac", mac);
   cfg.set("loss", loss_probability);
+  cfg.set("loss_model", loss_model);
+  cfg.set("ge_loss_bad", ge_loss_bad);
+  cfg.set("ge_mean_good", ge_mean_good);
+  cfg.set("ge_mean_bad", ge_mean_bad);
   cfg.set("mean_down_time", mean_down_time);
   cfg.set("switch_probability", switch_probability);
   cfg.set("churn", churn);
@@ -135,6 +146,9 @@ void scenario_params::to_config(config& cfg) const {
   cfg.set("zipf_theta", zipf_theta);
   cfg.set("single_item_mode", single_item_mode);
   if (!trace_file.empty()) cfg.set("trace_file", trace_file);
+  if (!fault.empty()) cfg.set("fault", fault);
+  cfg.set("invariants", invariants);
+  cfg.set("invariant_interval", invariant_interval);
 }
 
 std::string scenario_params::describe() const {
@@ -145,15 +159,17 @@ std::string scenario_params::describe() const {
       "I_Update=%.0fs  I_Query=%.0fs  TTL_BR=%d  TTL_INV=%d\n"
       "TTN=%.0fs  TTR=%.0fs  TTP=%.0fs  I_Switch=%.0fs\n"
       "mu_CAR=%.2f  mu_CS=%.2f  mu_CE=%.2f  omega=%.2f  phi=%.0fs\n"
-      "router=%s  mac=%s  mobility=%s(%.1f-%.1fm/s,pause %.0fs)  loss=%.2f  "
+      "router=%s  mac=%s  mobility=%s(%.1f-%.1fm/s,pause %.0fs)  loss=%.2f(%s)  "
       "churn=%s  placement=%s  mix=%s  warmup=%.0fs  seed=%llu\n",
       n_peers, area_width, area_height, cache_num, comm_range, sim_time, i_update,
       i_query, ttl_br, ttl_inv, ttn, ttr, ttp, i_switch, mu_car, mu_cs, mu_ce,
       omega, coeff_window, router.c_str(), mac.c_str(), mobility.c_str(),
-      min_speed, max_speed, pause, loss_probability, churn ? "on" : "off",
-      placement.c_str(), mix_name(mix).c_str(), warmup,
+      min_speed, max_speed, pause, loss_probability, loss_model.c_str(),
+      churn ? "on" : "off", placement.c_str(), mix_name(mix).c_str(), warmup,
       static_cast<unsigned long long>(seed));
-  return buf;
+  std::string out = buf;
+  if (!fault.empty()) out += "fault=" + fault + "\n";
+  return out;
 }
 
 }  // namespace manet

@@ -49,6 +49,14 @@ struct scenario_params {
   // (overlapping transmissions within interference range collide).
   std::string mac = "simple";
   double loss_probability = 0.0;
+  // Channel loss model: "iid" draws every delivery independently at
+  // loss_probability; "gilbert" runs a per-receiver Gilbert-Elliott chain
+  // (good state loses at loss_probability, bad state at ge_loss_bad, with
+  // exponential sojourns of the given means).
+  std::string loss_model = "iid";
+  double ge_loss_bad = 0.5;
+  sim_duration ge_mean_good = 10.0;
+  sim_duration ge_mean_bad = 1.0;
   sim_duration mean_down_time = 30;  // outage length per switch event
   // I_Switch is modeled as the interval at which a peer *considers*
   // disconnecting; it actually does so with switch_probability. With the
@@ -92,6 +100,15 @@ struct scenario_params {
   // Optional JSONL event trace (see metrics/trace_writer.hpp); empty = off.
   std::string trace_file;
   sim_duration trace_position_interval = 30.0;  ///< position sampling period
+
+  // Fault plan (see fault/fault_plan.hpp for the grammar), e.g.
+  // "partition@600..900;crash:g0-g4@1200..1500;burst_loss:0.4@2000..2400".
+  // Empty = no injected faults.
+  std::string fault;
+  // Runtime invariant checker (fault/invariant_checker.hpp). On by default;
+  // benches may disable it to shave the periodic sweeps.
+  bool invariants = true;
+  sim_duration invariant_interval = 5.0;
 
   /// Builds from "key=value" config entries (unknown keys ignored so config
   /// objects can be shared with bench flags). See params.cpp for key names.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <queue>
 #include <stdexcept>
 #include <unordered_set>
 
@@ -79,6 +80,14 @@ void scenario::build() {
   radio_params rp;
   rp.range = params_.comm_range;
   rp.loss_probability = params_.loss_probability;
+  if (params_.loss_model != "iid" && params_.loss_model != "gilbert") {
+    throw std::runtime_error("unknown loss model '" + params_.loss_model +
+                             "' (expected iid|gilbert)");
+  }
+  rp.loss_model = params_.loss_model;
+  rp.ge_loss_bad = params_.ge_loss_bad;
+  rp.ge_mean_good = params_.ge_mean_good;
+  rp.ge_mean_bad = params_.ge_mean_bad;
   if (params_.mac == "csma") {
     rp.collisions = true;
   } else if (params_.mac != "simple") {
@@ -203,6 +212,43 @@ void scenario::build() {
   ctx.control_bytes = params_.control_bytes;
   protocol_ = make_protocol(protocol_name_, ctx, params_);
 
+  // Reconnect notification: protocols may clear transient per-node state
+  // (e.g. RPCC's poll-failure backoff) when a node comes back up — whether
+  // from churn or from a healed fault.
+  for (int i = 0; i < params_.n_peers; ++i) {
+    net_->at(static_cast<node_id>(i)).add_state_observer([this](node_id n, bool up) {
+      if (up) protocol_->on_node_reconnect(n);
+    });
+  }
+
+  if (!params_.fault.empty()) {
+    injector_ = std::make_unique<fault_injector>(*sim_, *net_, registry_,
+                                                 fault_plan::parse(params_.fault));
+    recovery_tracker::probes probes;
+    probes.converged = [this] { return caches_converged(); };
+    probes.relays = [this] { return protocol_->current_relays(); };
+    recovery_ = std::make_unique<recovery_tracker>(*sim_, std::move(probes));
+    injector_->set_episode_observer(
+        [this](std::size_t i, const fault_event& e) {
+          recovery_->on_fault_begin(i, e);
+        },
+        [this](std::size_t i, const fault_event& e) {
+          recovery_->on_fault_end(i, e);
+        });
+    // The tracker attributes a stale serve to an episode iff the served
+    // version was superseded while that fault was active, so the window
+    // closes once normal refresh cycles have flushed the fault-era versions.
+    qlog_->add_answer_observer([this](const answer_record& ar) {
+      if (ar.stale) recovery_->on_stale_answer(sim_->now() - ar.stale_age);
+    });
+  }
+  if (params_.invariants) {
+    invariant_checker::config icfg;
+    icfg.interval = params_.invariant_interval;
+    checker_ = std::make_unique<invariant_checker>(
+        *sim_, *net_, registry_, stores_, protocol_.get(), qlog_.get(), icfg);
+  }
+
   workload_params wl;
   wl.mean_query_interval = params_.i_query;
   wl.mean_update_interval = params_.i_update;
@@ -320,6 +366,8 @@ void scenario::start_all() {
   }
   protocol_->start();
   workload_->start();
+  if (injector_) injector_->start();
+  if (checker_) checker_->start();
   if (params_.churn) {
     for (int i = 0; i < params_.n_peers; ++i) {
       schedule_churn(static_cast<node_id>(i));
@@ -369,6 +417,22 @@ run_result scenario::summarize() const {
   r.delta_violations = t.delta_violations;
   r.avg_stale_age_s = t.stale_age.mean();
   r.updates = workload_->updates_issued() - workload_baseline_updates_;
+  r.drops_total = m.total_drops();
+  r.drops_node_down = m.drops(drop_reason::node_down);
+  r.drops_out_of_range = m.drops(drop_reason::out_of_range);
+  r.drops_channel_loss = m.drops(drop_reason::channel_loss);
+  r.drops_collision = m.drops(drop_reason::collision);
+  r.drops_no_route = m.drops(drop_reason::no_route);
+  r.drops_ttl_expired = m.drops(drop_reason::ttl_expired);
+  r.drops_queue_flushed = m.drops(drop_reason::queue_flushed);
+  if (recovery_) {
+    r.fault_episodes = recovery_->episode_count();
+    r.fault_recovered = recovery_->recovered_count();
+    r.mean_reconvergence_s = recovery_->mean_reconvergence_s();
+    r.mean_relay_repair_s = recovery_->mean_relay_repair_s();
+    r.mean_stale_window_s = recovery_->mean_stale_window_s();
+  }
+  if (checker_) r.invariant_violations = checker_->violations();
   r.avg_relay_peers = protocol_->avg_relay_peers();
   for (node_id n = 0; n < net_->size(); ++n) {
     const double start = n < energy_baseline_.size()
@@ -379,6 +443,59 @@ run_result scenario::summarize() const {
     r.max_node_energy_spent_j = std::max(r.max_node_energy_spent_j, spent);
   }
   return r;
+}
+
+bool scenario::caches_converged() const {
+  // Under a continuous update workload some copy is always a little behind,
+  // so "converged" cannot mean all-fresh. Instead: no cache reachable from
+  // its item's source still *claims* a fresh copy (unexpired TTP, no
+  // invalid flag) that has been superseded for longer than the protocols'
+  // steady-state hazard bound. Copies the protocol already knows are
+  // suspect — invalid or past their validity window — don't count against
+  // convergence; they heal on the next touch.
+  const sim_duration bound = std::max(params_.ttn, params_.ttp);
+  std::vector<char> seen;
+  std::queue<node_id> frontier;
+  for (item_id d = 0; d < registry_.size(); ++d) {
+    const node_id src = registry_.source(d);
+    if (!net_->at(src).up()) continue;  // unreachable source: out of scope
+    seen.assign(net_->size(), 0);
+    seen[src] = 1;
+    frontier.push(src);
+    while (!frontier.empty()) {
+      const node_id u = frontier.front();
+      frontier.pop();
+      for (node_id v : net_->air().neighbors(u)) {
+        if (seen[v]) continue;
+        seen[v] = 1;
+        frontier.push(v);
+        const cached_copy* copy = stores_[v].find(d);
+        if (copy == nullptr || copy->invalid) continue;
+        if (copy->version >= registry_.version(d)) continue;
+        if (copy->validated_until <= sim_->now()) continue;
+        if (sim_->now() - registry_.stale_since(d, copy->version) > bound) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::string scenario::extra_report() const {
+  std::string out = protocol_->extra_report();
+  if (recovery_) {
+    const std::string rec = recovery_->report();
+    if (!rec.empty()) {
+      if (!out.empty()) out += '\n';
+      out += rec;
+    }
+  }
+  if (checker_) {
+    if (!out.empty() && out.back() != '\n') out += '\n';
+    out += checker_->report();
+  }
+  return out;
 }
 
 }  // namespace manet

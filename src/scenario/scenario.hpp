@@ -13,8 +13,11 @@
 #include "cache/data_item.hpp"
 #include "cache/workload.hpp"
 #include "consistency/protocol.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/invariant_checker.hpp"
 #include "metrics/collector.hpp"
 #include "metrics/query_log.hpp"
+#include "metrics/recovery_tracker.hpp"
 #include "metrics/trace_writer.hpp"
 #include "net/flooding.hpp"
 #include "net/network.hpp"
@@ -66,6 +69,19 @@ class scenario {
   /// The JSONL trace, when params.trace_file is set (nullptr otherwise).
   trace_writer* trace() { return trace_.get(); }
 
+  /// Fault layer (nullptr when params.fault is empty / invariants are off).
+  fault_injector* faults() { return injector_.get(); }
+  invariant_checker* invariants() { return checker_.get(); }
+  recovery_tracker* recovery() { return recovery_.get(); }
+
+  /// Protocol diagnostics plus fault-recovery and invariant summaries.
+  std::string extra_report() const;
+
+  /// Convergence probe used by the recovery tracker: no reachable cache
+  /// claims a fresh copy that is staler than the steady-state hazard bound
+  /// (max(TTN, TTP)). Exposed for tests.
+  bool caches_converged() const;
+
  private:
   void build();
   void place_caches();
@@ -86,6 +102,9 @@ class scenario {
   std::unique_ptr<consistency_protocol> protocol_;
   std::unique_ptr<workload_generator> workload_;
   std::vector<rng> churn_rng_;
+  std::unique_ptr<fault_injector> injector_;
+  std::unique_ptr<invariant_checker> checker_;
+  std::unique_ptr<recovery_tracker> recovery_;
   std::unique_ptr<trace_writer> trace_;
   std::unique_ptr<periodic_timer> trace_position_timer_;
   node_id single_source_ = invalid_node;

@@ -65,6 +65,31 @@ run_result average(const std::vector<run_result>& rs) {
       avg_u64([](const run_result& r) { return r.delta_violations; });
   out.avg_stale_age_s = avg_d([](const run_result& r) { return r.avg_stale_age_s; });
   out.updates = avg_u64([](const run_result& r) { return r.updates; });
+  out.drops_total = avg_u64([](const run_result& r) { return r.drops_total; });
+  out.drops_node_down =
+      avg_u64([](const run_result& r) { return r.drops_node_down; });
+  out.drops_out_of_range =
+      avg_u64([](const run_result& r) { return r.drops_out_of_range; });
+  out.drops_channel_loss =
+      avg_u64([](const run_result& r) { return r.drops_channel_loss; });
+  out.drops_collision =
+      avg_u64([](const run_result& r) { return r.drops_collision; });
+  out.drops_no_route = avg_u64([](const run_result& r) { return r.drops_no_route; });
+  out.drops_ttl_expired =
+      avg_u64([](const run_result& r) { return r.drops_ttl_expired; });
+  out.drops_queue_flushed =
+      avg_u64([](const run_result& r) { return r.drops_queue_flushed; });
+  out.fault_episodes = avg_u64([](const run_result& r) { return r.fault_episodes; });
+  out.fault_recovered =
+      avg_u64([](const run_result& r) { return r.fault_recovered; });
+  out.mean_reconvergence_s =
+      avg_d([](const run_result& r) { return r.mean_reconvergence_s; });
+  out.mean_relay_repair_s =
+      avg_d([](const run_result& r) { return r.mean_relay_repair_s; });
+  out.mean_stale_window_s =
+      avg_d([](const run_result& r) { return r.mean_stale_window_s; });
+  out.invariant_violations =
+      avg_u64([](const run_result& r) { return r.invariant_violations; });
   out.avg_relay_peers = avg_d([](const run_result& r) { return r.avg_relay_peers; });
   out.energy_spent_j = avg_d([](const run_result& r) { return r.energy_spent_j; });
   out.max_node_energy_spent_j =

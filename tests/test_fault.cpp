@@ -1,0 +1,339 @@
+// Fault-injection framework: plan grammar, injector semantics against the
+// network fabric, determinism of faulted runs, recovery metrics and the
+// runtime invariant checker.
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "scenario/scenario.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+
+// --- Grammar ---
+
+TEST(FaultPlan, ParsesIssueExample) {
+  const auto plan = fault_plan::parse(
+      "partition@600..900;crash:g0-g4@1200..1500;burst_loss:0.4@2000..2400;"
+      "jam:500,500,300@900..1100");
+  ASSERT_EQ(plan.events.size(), 4u);
+
+  EXPECT_EQ(plan.events[0].kind, fault_kind::partition);
+  EXPECT_EQ(plan.events[0].start, 600.0);
+  EXPECT_EQ(plan.events[0].end, 900.0);
+  EXPECT_EQ(plan.events[0].axis, 'x');
+  EXPECT_LT(plan.events[0].boundary, 0);  // terrain middle
+
+  EXPECT_EQ(plan.events[1].kind, fault_kind::crash);
+  EXPECT_EQ(plan.events[1].first_node, 0u);
+  EXPECT_EQ(plan.events[1].last_node, 4u);
+
+  EXPECT_EQ(plan.events[2].kind, fault_kind::burst_loss);
+  EXPECT_DOUBLE_EQ(plan.events[2].loss, 0.4);
+
+  EXPECT_EQ(plan.events[3].kind, fault_kind::jam);
+  EXPECT_DOUBLE_EQ(plan.events[3].center.x, 500.0);
+  EXPECT_DOUBLE_EQ(plan.events[3].center.y, 500.0);
+  EXPECT_DOUBLE_EQ(plan.events[3].radius, 300.0);
+}
+
+TEST(FaultPlan, ParsesOptionalArguments) {
+  const auto plan = fault_plan::parse(
+      "partition:y,750@0..10;burst_loss:0.9,2,20@5..15;degrade:0.5@1..2;"
+      "kill_source:3@4..8;crash:7@1..2;");
+  ASSERT_EQ(plan.events.size(), 5u);
+  EXPECT_EQ(plan.events[0].axis, 'y');
+  EXPECT_DOUBLE_EQ(plan.events[0].boundary, 750.0);
+  EXPECT_DOUBLE_EQ(plan.events[1].mean_bad, 2.0);
+  EXPECT_DOUBLE_EQ(plan.events[1].mean_good, 20.0);
+  EXPECT_DOUBLE_EQ(plan.events[2].factor, 0.5);
+  EXPECT_EQ(plan.events[3].item, 3u);
+  EXPECT_EQ(plan.events[4].first_node, 7u);
+  EXPECT_EQ(plan.events[4].last_node, 7u);  // single node, no '-'
+  EXPECT_TRUE(fault_plan::parse("").empty());
+}
+
+TEST(FaultPlan, RejectsBadGrammar) {
+  EXPECT_THROW(fault_plan::parse("partition"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("partition@900..600"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("partition:z@0..1"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("crash@0..1"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("crash:g4-g1@0..1"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("burst_loss:1.5@0..1"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("burst_loss:0.4,0@0..1"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("jam:1,2@0..1"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("degrade:0@0..1"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("degrade:2@0..1"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("warp@0..1"), std::runtime_error);
+  EXPECT_THROW(fault_plan::parse("crash:gX-g2@0..1"), std::runtime_error);
+}
+
+TEST(FaultPlan, DescribeRoundTrips) {
+  const std::string spec =
+      "partition:x,500@600..900;crash:g0-g4@1200..1500;burst_loss:0.40@2000..2400;"
+      "jam:500,500,300@900..1100;degrade:0.50@10..20;kill_source:2@30..40";
+  const auto plan = fault_plan::parse(spec);
+  std::string rebuilt;
+  for (const auto& e : plan.events) {
+    if (!rebuilt.empty()) rebuilt += ';';
+    rebuilt += e.describe();
+  }
+  EXPECT_EQ(rebuilt, spec);
+}
+
+// --- Injector semantics ---
+
+TEST(FaultInjector, PartitionCutsCrossBoundaryLinksThenHeals) {
+  rig r({{400, 100}, {600, 100}});
+  fault_injector inj(r.sim, *r.net, r.registry,
+                     fault_plan::parse("partition:x,500@10..20"));
+  inj.start();
+  r.run_for(5.0);
+  EXPECT_TRUE(r.net->air().reachable(0, 1));
+  r.run_for(10.0);  // t = 15, inside the window
+  EXPECT_FALSE(r.net->air().reachable(0, 1));
+  EXPECT_TRUE(inj.any_active());
+  r.run_for(10.0);  // t = 25, healed
+  EXPECT_TRUE(r.net->air().reachable(0, 1));
+  EXPECT_FALSE(inj.any_active());
+  EXPECT_EQ(inj.activations(), 1u);
+}
+
+TEST(FaultInjector, PartitionKeepsSameSideLinks) {
+  rig r({{100, 100}, {300, 100}, {600, 100}});
+  fault_injector inj(r.sim, *r.net, r.registry,
+                     fault_plan::parse("partition:x,500@5..15"));
+  inj.start();
+  r.run_for(10.0);
+  EXPECT_TRUE(r.net->air().reachable(0, 1));   // both left of the boundary
+  EXPECT_FALSE(r.net->air().reachable(1, 2));  // straddles it
+}
+
+TEST(FaultInjector, CrashWindowHoldsGroupDown) {
+  rig r = rig::line(4);
+  fault_injector inj(r.sim, *r.net, r.registry,
+                     fault_plan::parse("crash:g1-g2@5..15"));
+  inj.start();
+  r.run_for(10.0);
+  EXPECT_TRUE(r.net->at(0).up());
+  EXPECT_FALSE(r.net->at(1).up());
+  EXPECT_FALSE(r.net->at(2).up());
+  EXPECT_TRUE(r.net->at(3).up());
+  r.run_for(10.0);
+  EXPECT_TRUE(r.net->at(1).up());
+  EXPECT_TRUE(r.net->at(2).up());
+}
+
+TEST(FaultInjector, FaultOutageComposesWithChurn) {
+  // A node taken down by churn stays down after the fault heals, and vice
+  // versa: the two axes are independent.
+  rig r = rig::line(2);
+  fault_injector inj(r.sim, *r.net, r.registry,
+                     fault_plan::parse("crash:g0@5..15"));
+  inj.start();
+  r.run_for(10.0);
+  ASSERT_FALSE(r.net->at(0).up());
+  r.net->set_node_up(0, false);  // churn hits while fault-held
+  r.run_for(10.0);               // fault heals at t = 15
+  EXPECT_FALSE(r.net->at(0).up());  // still churn-down
+  r.net->set_node_up(0, true);
+  EXPECT_TRUE(r.net->at(0).up());
+}
+
+TEST(FaultInjector, KillSourceDownsTheItemOwner) {
+  rig r = rig::line(3);
+  r.make_context();  // registers item i with source i
+  fault_injector inj(r.sim, *r.net, r.registry,
+                     fault_plan::parse("kill_source:2@5..15"));
+  inj.start();
+  r.run_for(10.0);
+  EXPECT_TRUE(r.net->at(0).up());
+  EXPECT_FALSE(r.net->at(2).up());
+  r.run_for(10.0);
+  EXPECT_TRUE(r.net->at(2).up());
+}
+
+TEST(FaultInjector, DegradeShrinksEffectiveRange) {
+  rig r({{100, 100}, {300, 100}});  // 200 m apart, range 250 m
+  fault_injector inj(r.sim, *r.net, r.registry,
+                     fault_plan::parse("degrade:0.5@5..15"));
+  inj.start();
+  r.run_for(10.0);
+  EXPECT_DOUBLE_EQ(r.net->air().effective_range(), 125.0);
+  EXPECT_FALSE(r.net->air().reachable(0, 1));
+  r.run_for(10.0);
+  EXPECT_DOUBLE_EQ(r.net->air().effective_range(), 250.0);
+  EXPECT_TRUE(r.net->air().reachable(0, 1));
+}
+
+TEST(FaultInjector, BurstWindowStopsDeliveriesThenHeals) {
+  rig r({{100, 100}, {200, 100}});
+  int got = 0;
+  r.net->set_dispatcher([&](node_id, node_id, const packet&) { ++got; });
+  // Near-total burst: microscopic good sojourns, year-long bad sojourns at
+  // loss 1.0 — after the first chain step everything drops.
+  fault_injector inj(r.sim, *r.net, r.registry,
+                     fault_plan::parse("burst_loss:1,1e6,1e-6@5..15"));
+  inj.start();
+  auto send = [&] {
+    packet p;
+    p.uid = r.net->next_uid();
+    p.kind = 150;
+    p.src = 0;
+    p.dst = 1;
+    p.size_bytes = 10;
+    r.net->send_frame(0, 1, std::move(p));
+  };
+  send();
+  r.run_for(1.0);
+  EXPECT_EQ(got, 1);  // before the window: clean channel
+  r.run_for(5.0);     // t = 6, burst active
+  for (int i = 0; i < 6; ++i) {
+    send();
+    r.run_for(0.5);
+  }
+  EXPECT_LE(got, 2);  // at most the chain-start frame slips through
+  const int during = got;
+  r.run_for(7.0);  // t >= 16, healed
+  for (int i = 0; i < 3; ++i) {
+    send();
+    r.run_for(0.5);
+  }
+  EXPECT_EQ(got, during + 3);
+}
+
+// --- Scenario-level: determinism, recovery metrics, invariants ---
+
+void expect_identical(const run_result& a, const run_result& b) {
+  EXPECT_EQ(a.total_messages, b.total_messages);
+  EXPECT_EQ(a.app_messages, b.app_messages);
+  EXPECT_EQ(a.routing_messages, b.routing_messages);
+  EXPECT_EQ(a.total_bytes, b.total_bytes);
+  EXPECT_EQ(a.queries_issued, b.queries_issued);
+  EXPECT_EQ(a.queries_answered, b.queries_answered);
+  EXPECT_EQ(a.avg_query_latency_s, b.avg_query_latency_s);
+  EXPECT_EQ(a.p95_query_latency_s, b.p95_query_latency_s);
+  EXPECT_EQ(a.stale_answers, b.stale_answers);
+  EXPECT_EQ(a.avg_stale_age_s, b.avg_stale_age_s);
+  EXPECT_EQ(a.updates, b.updates);
+  EXPECT_EQ(a.drops_total, b.drops_total);
+  EXPECT_EQ(a.drops_node_down, b.drops_node_down);
+  EXPECT_EQ(a.drops_channel_loss, b.drops_channel_loss);
+  EXPECT_EQ(a.fault_episodes, b.fault_episodes);
+  EXPECT_EQ(a.fault_recovered, b.fault_recovered);
+  EXPECT_EQ(a.mean_reconvergence_s, b.mean_reconvergence_s);
+  EXPECT_EQ(a.mean_relay_repair_s, b.mean_relay_repair_s);
+  EXPECT_EQ(a.mean_stale_window_s, b.mean_stale_window_s);
+  EXPECT_EQ(a.invariant_violations, b.invariant_violations);
+  EXPECT_EQ(a.avg_relay_peers, b.avg_relay_peers);
+  EXPECT_EQ(a.energy_spent_j, b.energy_spent_j);
+}
+
+scenario_params faulted_params() {
+  scenario_params p;
+  p.n_peers = 20;
+  p.area_width = p.area_height = 1000;
+  p.sim_time = 1200.0;
+  p.seed = 7;
+  p.fault = "partition@600..900";
+  return p;
+}
+
+TEST(FaultScenario, FaultedRunIsDeterministic) {
+  run_result first;
+  {
+    scenario sc(faulted_params(), "rpcc");
+    first = sc.run();
+  }
+  scenario sc(faulted_params(), "rpcc");
+  const run_result second = sc.run();
+  ASSERT_EQ(second.fault_episodes, 1u);
+  expect_identical(first, second);
+}
+
+TEST(FaultScenario, RecoveryTrackerMeasuresPartitionEpisode) {
+  scenario sc(faulted_params(), "rpcc");
+  const run_result r = sc.run();
+  ASSERT_NE(sc.recovery(), nullptr);
+  ASSERT_EQ(sc.recovery()->episode_count(), 1u);
+  const auto& ep = sc.recovery()->episodes().front();
+  EXPECT_EQ(ep.start, 600.0);
+  EXPECT_EQ(ep.heal, 900.0);
+  // The run leaves 300 s after the heal; with TTP = 4 min every stale
+  // claimed-fresh copy expires or refreshes within that, so the episode
+  // must reconverge — and the summary must agree with the tracker.
+  EXPECT_GE(ep.reconverge_s, 0.0);
+  EXPECT_LE(ep.reconverge_s, 300.0);
+  EXPECT_EQ(r.fault_recovered, 1u);
+  EXPECT_EQ(r.mean_reconvergence_s, ep.reconverge_s);
+  // Relay overlay: healed or the episode reports it honestly as pending.
+  if (ep.relay_repair_s >= 0) {
+    EXPECT_EQ(r.mean_relay_repair_s, ep.relay_repair_s);
+  }
+}
+
+TEST(FaultScenario, InvariantsHoldUnderFaultsAndChurn) {
+  scenario_params p = faulted_params();
+  p.fault = "partition@300..450;crash:g0-g4@500..600;burst_loss:0.6@700..800";
+  for (const char* proto : {"push", "pull", "rpcc"}) {
+    scenario sc(p, proto);
+    const run_result r = sc.run();
+    ASSERT_NE(sc.invariants(), nullptr);
+    EXPECT_GT(sc.invariants()->sweeps(), 0u);
+    EXPECT_EQ(r.invariant_violations, 0u)
+        << proto << ": " << sc.invariants()->report();
+    EXPECT_EQ(r.fault_episodes, 3u);
+  }
+}
+
+TEST(FaultScenario, DropCausesSumToTotal) {
+  scenario_params p = faulted_params();
+  p.loss_probability = 0.1;
+  scenario sc(p, "rpcc");
+  const run_result r = sc.run();
+  EXPECT_GT(r.drops_total, 0u);
+  EXPECT_EQ(r.drops_total, r.drops_node_down + r.drops_out_of_range +
+                               r.drops_channel_loss + r.drops_collision +
+                               r.drops_no_route + r.drops_ttl_expired +
+                               r.drops_queue_flushed);
+}
+
+TEST(FaultScenario, GilbertLossModelRunsAndStaysDeterministic) {
+  scenario_params p = faulted_params();
+  p.fault.clear();
+  p.loss_model = "gilbert";
+  p.loss_probability = 0.01;
+  p.ge_loss_bad = 0.8;
+  run_result first;
+  {
+    scenario sc(p, "rpcc");
+    first = sc.run();
+  }
+  scenario sc(p, "rpcc");
+  const run_result second = sc.run();
+  EXPECT_GT(first.drops_channel_loss, 0u);
+  expect_identical(first, second);
+}
+
+TEST(FaultScenario, InvariantCheckerCanBeDisabled) {
+  scenario_params p = faulted_params();
+  p.invariants = false;
+  scenario sc(p, "rpcc");
+  EXPECT_EQ(sc.invariants(), nullptr);
+  sc.run();
+}
+
+TEST(FaultScenario, ExtraReportCarriesRecoveryAndInvariantSections) {
+  scenario sc(faulted_params(), "rpcc");
+  sc.run();
+  const std::string report = sc.extra_report();
+  EXPECT_NE(report.find("fault recovery:"), std::string::npos);
+  EXPECT_NE(report.find("invariants:"), std::string::npos);
+  EXPECT_NE(report.find("partition"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manet

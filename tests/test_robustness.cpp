@@ -127,6 +127,61 @@ TEST(RpccFailure, PollBackoffSuppressesFloodStorms) {
   EXPECT_EQ(r.qlog->answered(), 6u);
 }
 
+TEST(RpccFailure, RelayResyncAfterDownGetNew) {
+  // §4.5: a relay that was disconnected while the source modified its item
+  // must resync via GET_NEW/SEND_NEW on the next INVALIDATION it hears, and
+  // flush polls parked meanwhile with the *new* version.
+  rig r = rig::line(5);
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient();
+  p.ttr = 20.0;
+  p.poll_timeout = 30.0;  // asker waits: the parked path must deliver
+  p.pending_poll_max_wait = 30.0;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  r.run_for(60.0);
+  ASSERT_EQ(proto.role_of(2, 0), peer_role::relay);
+  r.net->set_node_up(2, false);
+  r.run_for(25.0);  // longer than TTR: the relay's window lapses while away
+  r.registry.bump(0, r.sim.now());
+  proto.on_update(0);  // source modifies the item while the relay is down
+  r.run_for(5.0);
+  r.net->set_node_up(2, true);
+  proto.on_node_reconnect(2);  // scenario wires churn-up to this
+  const auto get_new_before = r.net->meter().counters(kind_get_new).originated;
+  proto.on_query(4, 0, consistency_level::strong);
+  r.run_for(40.0);  // covers the next TTN tick: GET_NEW -> SEND_NEW -> flush
+  EXPECT_GT(r.net->meter().counters(kind_get_new).originated, get_new_before);
+  EXPECT_EQ(r.qlog->answered(), 1u);
+  EXPECT_EQ(r.qlog->stats(consistency_level::strong).validated, 1u);
+  EXPECT_EQ(r.qlog->stats(consistency_level::strong).stale_answers, 0u);
+  const cached_copy* c = r.stores[4].find(0);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->version, 1u);  // served the post-resync version
+}
+
+TEST(RpccFailure, PollBackoffClearedOnReconnect) {
+  rig r({{0, 0}, {2000, 0}});  // node 1 isolated: polls can only fail
+  auto ctx = r.make_context(64, 256, 60.0);
+  rpcc_params p = lenient();
+  p.poll_failure_backoff = 120.0;
+  rpcc_protocol proto(ctx, p);
+  proto.start();
+  proto.on_query(1, 0, consistency_level::strong);
+  r.run_for(10.0);
+  const auto polls_first = proto.polls_sent();
+  EXPECT_GT(polls_first, 0u);
+  proto.on_query(1, 0, consistency_level::strong);
+  r.run_for(5.0);
+  ASSERT_EQ(proto.polls_sent(), polls_first);  // backoff holds
+  // A reconnect means the old failure says nothing about the new topology:
+  // the backoff resets and the next SC query probes the network again.
+  proto.on_node_reconnect(1);
+  proto.on_query(1, 0, consistency_level::strong);
+  r.run_for(5.0);
+  EXPECT_GT(proto.polls_sent(), polls_first);
+}
+
 TEST(RpccFailure, SourceChurnPausesInvalidations) {
   rig r = rig::line(3);
   auto ctx = r.make_context(64, 256, 60.0);

@@ -14,7 +14,7 @@
 //   8. The [Lan03] hybrid baseline vs RPCC: what the relay tier itself buys.
 //   9. Interference model: idealized channel vs CSMA-style collisions.
 //
-// Usage: ablation [--full] [key=value ...]
+// Usage: ablation [--full] [--jobs=N] [key=value ...]
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -38,6 +38,17 @@ table_printer make_table() {
       {"config", "msgs", "app", "routing", "avg lat (s)", "stale%", "relays"});
 }
 
+/// Runs the panel's configs (in parallel per --jobs) and prints the table
+/// with rows in submission order, identical to the old serial loop.
+void print_panel(const std::vector<labelled_run>& runs, int jobs) {
+  const std::vector<run_result> results = run_batch(runs, jobs);
+  auto t = make_table();
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    row_for(t, runs[i].label, results[i]);
+  }
+  std::printf("%s\n", t.render().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -47,69 +58,69 @@ int main(int argc, char** argv) {
 
   {
     std::printf("--- Ablation 1: routing substrate (all protocols, SC) ---\n");
-    auto t = make_table();
+    std::vector<labelled_run> runs;
     for (const auto& v : fig9_variants()) {
       for (const char* router : {"aodv", "oracle"}) {
         scenario_params p = opt.base;
         p.router = router;
-        row_for(t, v.label + std::string("/") + router, run_variant(p, v));
+        runs.push_back({v.label + std::string("/") + router, p, v});
       }
     }
-    std::printf("%s\n", t.render().c_str());
+    print_panel(runs, opt.jobs);
   }
 
   {
     std::printf("--- Ablation 2: RPCC UPDATE push timing ---\n");
-    auto t = make_table();
+    std::vector<labelled_run> runs;
     for (bool immediate : {false, true}) {
       scenario_params p = opt.base;
       p.rpcc_immediate_update = immediate;
-      row_for(t, immediate ? "immediate-on-modify" : "batched-at-TTN (paper)",
-              run_variant(p, rpcc_sc));
+      runs.push_back({immediate ? "immediate-on-modify" : "batched-at-TTN (paper)",
+                      p, rpcc_sc});
     }
-    std::printf("%s\n", t.render().c_str());
+    print_panel(runs, opt.jobs);
   }
 
   {
     std::printf("--- Ablation 3: POLL first-ring TTL ---\n");
-    auto t = make_table();
+    std::vector<labelled_run> runs;
     for (int ttl : {1, 2, 3, 4}) {
       scenario_params p = opt.base;
       p.poll_ttl = ttl;
-      row_for(t, "poll_ttl=" + std::to_string(ttl), run_variant(p, rpcc_sc));
+      runs.push_back({"poll_ttl=" + std::to_string(ttl), p, rpcc_sc});
     }
-    std::printf("%s\n", t.render().c_str());
+    print_panel(runs, opt.jobs);
   }
 
   {
     std::printf("--- Ablation 4: relay election strictness (mu_CS) ---\n");
-    auto t = make_table();
+    std::vector<labelled_run> runs;
     for (double mu : {0.3, 0.5, 0.6, 0.7, 0.9}) {
       scenario_params p = opt.base;
       p.mu_cs = mu;
       char label[32];
       std::snprintf(label, sizeof label, "mu_CS=%.1f", mu);
-      row_for(t, label, run_variant(p, rpcc_sc));
+      runs.push_back({label, p, rpcc_sc});
     }
-    std::printf("%s\n", t.render().c_str());
+    print_panel(runs, opt.jobs);
   }
 
   {
     std::printf("--- Ablation 5: relay freshness window (TTR vs TTN) ---\n");
-    auto t = make_table();
+    std::vector<labelled_run> runs;
     for (double ttr : {60.0, 90.0, 120.0, 150.0}) {
       scenario_params p = opt.base;
       p.ttr = ttr;
       char label[48];
       std::snprintf(label, sizeof label, "ttr=%.0fs (ttn=%.0fs)", ttr, p.ttn);
-      row_for(t, label, run_variant(p, rpcc_sc));
+      runs.push_back({label, p, rpcc_sc});
     }
-    std::printf("%s\n", t.render().c_str());
+    print_panel(runs, opt.jobs);
   }
 
   {
     std::printf("--- Ablation 6: adaptive push/pull frequency (future work #1) ---\n");
-    auto t = make_table();
+    std::vector<labelled_run> runs;
     for (int mode = 0; mode < 3; ++mode) {
       for (double iu : {30.0, 480.0}) {
         scenario_params p = opt.base;
@@ -121,44 +132,44 @@ int main(int argc, char** argv) {
                                        : "adaptive-both";
         char label[48];
         std::snprintf(label, sizeof label, "%s i_update=%.0fs", name, iu);
-        row_for(t, label, run_variant(p, rpcc_sc));
+        runs.push_back({label, p, rpcc_sc});
       }
     }
-    std::printf("%s\n", t.render().c_str());
+    print_panel(runs, opt.jobs);
   }
 
   {
     std::printf("--- Ablation 7: bounded relay tables (future work #2) ---\n");
-    auto t = make_table();
+    std::vector<labelled_run> runs;
     for (long long cap : {0LL, 1LL, 2LL, 4LL, 8LL}) {
       scenario_params p = opt.base;
       p.rpcc_max_relays = static_cast<std::size_t>(cap);
-      row_for(t, cap == 0 ? "cap=unlimited" : "cap=" + std::to_string(cap),
-              run_variant(p, rpcc_sc));
+      runs.push_back({cap == 0 ? "cap=unlimited" : "cap=" + std::to_string(cap),
+                      p, rpcc_sc});
     }
-    std::printf("%s\n", t.render().c_str());
+    print_panel(runs, opt.jobs);
   }
 
   {
     std::printf("--- Ablation 9: interference model (collisions) ---\n");
-    auto t = make_table();
+    std::vector<labelled_run> runs;
     for (const auto& v : fig9_variants()) {
       for (const char* mac : {"simple", "csma"}) {
         scenario_params p = opt.base;
         p.mac = mac;
-        row_for(t, v.label + std::string("/") + mac, run_variant(p, v));
+        runs.push_back({v.label + std::string("/") + mac, p, v});
       }
     }
-    std::printf("%s\n", t.render().c_str());
+    print_panel(runs, opt.jobs);
   }
 
   {
     std::printf("--- Ablation 8: [Lan03] hybrid baseline vs RPCC ---\n");
-    auto t = make_table();
-    row_for(t, "push_pull [Lan03]",
-            run_variant(opt.base, {"push_pull", "push_pull", level_mix::strong_only()}));
-    row_for(t, "rpcc-SC", run_variant(opt.base, rpcc_sc));
-    std::printf("%s\n", t.render().c_str());
+    std::vector<labelled_run> runs;
+    runs.push_back({"push_pull [Lan03]", opt.base,
+                    {"push_pull", "push_pull", level_mix::strong_only()}});
+    runs.push_back({"rpcc-SC", opt.base, rpcc_sc});
+    print_panel(runs, opt.jobs);
   }
 
   return 0;

@@ -16,29 +16,38 @@ namespace manet::bench {
 struct bench_options {
   scenario_params base;
   int repetitions = 1;
+  /// Worker threads for independent runs (sweep_spec::jobs / run_batch):
+  /// 0 = hardware_concurrency (default), 1 = serial. Results are identical
+  /// for any value; only wall-clock changes.
+  int jobs = 0;
   bool quiet = false;
   std::vector<std::string> rest;  ///< non key=value args (e.g. --panel)
 };
 
-/// Parses key=value overrides plus:
+/// Parses key=value overrides (including neighbor_index=grid|naive) plus:
 ///   --full       paper-scale simulation time (5 h)
-///   --reps=N     repetitions per point (seeds base..base+N-1)
+///   --reps=N     repetitions per point (per-run seeds via sweep_run_seed)
+///   --jobs=N     worker threads (0 = all hardware threads, 1 = serial)
 ///   --quiet      suppress per-run progress lines
 /// Bench default sim_time is 30 simulated minutes so the whole suite runs in
 /// minutes; --full restores Table 1's T_Sim.
 inline bench_options parse_bench_args(int argc, char** argv) {
   config cfg;
   bench_options opt;
-  auto rest = cfg.parse_args(argc - 1, argv + 1);
   bool full = false;
-  for (const auto& arg : rest) {
+  // Flags are matched before config assignments: `--jobs=4` contains '='
+  // and would otherwise be swallowed as a config key named "--jobs".
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
     if (arg == "--full") {
       full = true;
     } else if (arg.rfind("--reps=", 0) == 0) {
       opt.repetitions = std::stoi(arg.substr(7));
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opt.jobs = std::stoi(arg.substr(7));
     } else if (arg == "--quiet") {
       opt.quiet = true;
-    } else {
+    } else if (arg.rfind("--", 0) == 0 || !cfg.parse_assignment(arg)) {
       opt.rest.push_back(arg);
     }
   }
@@ -57,8 +66,9 @@ inline bench_options parse_bench_args(int argc, char** argv) {
 inline void print_preamble(const char* title, const bench_options& opt) {
   std::printf("=== %s ===\n", title);
   std::printf("%s", opt.base.describe().c_str());
-  std::printf("repetitions=%d  (use --full for the paper's 5h T_Sim)\n\n",
-              opt.repetitions);
+  std::printf(
+      "repetitions=%d  jobs=%d%s  (use --full for the paper's 5h T_Sim)\n\n",
+      opt.repetitions, opt.jobs, opt.jobs == 0 ? " (all hardware threads)" : "");
 }
 
 inline std::function<void(const std::string&, double, int)> progress_printer(

@@ -79,6 +79,7 @@ int main(int argc, char** argv) {
     };
     spec.variants = fig9_variants();
     spec.repetitions = opt.repetitions;
+    spec.jobs = opt.jobs;
     spec.progress = progress_printer(opt);
     print_panel("Panel (a): terrain partition, duration swept", spec,
                 run_sweep(spec));
@@ -96,6 +97,7 @@ int main(int argc, char** argv) {
     };
     spec.variants = fig9_variants();
     spec.repetitions = opt.repetitions;
+    spec.jobs = opt.jobs;
     spec.progress = progress_printer(opt);
     print_panel("Panel (b): Gilbert-Elliott burst loss, bad-state loss swept",
                 spec, run_sweep(spec));
@@ -113,6 +115,7 @@ int main(int argc, char** argv) {
     };
     spec.variants = fig9_variants();
     spec.repetitions = opt.repetitions;
+    spec.jobs = opt.jobs;
     spec.progress = progress_printer(opt);
     print_panel("Panel (c): correlated group crash, group size swept", spec,
                 run_sweep(spec));

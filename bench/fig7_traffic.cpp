@@ -19,6 +19,7 @@ void run_panel(char panel, const bench_options& opt) {
   spec.base = opt.base;
   spec.variants = paper_variants();
   spec.repetitions = opt.repetitions;
+  spec.jobs = opt.jobs;
   spec.progress = progress_printer(opt);
 
   const char* what = nullptr;

@@ -27,11 +27,14 @@ int main(int argc, char** argv) {
   run_result pull_ref;
   for (const auto& v : fig9_variants()) {
     if (v.protocol == "rpcc") continue;
-    run_result sum{};
+    std::vector<labelled_run> runs;
     for (int rep = 0; rep < opt.repetitions; ++rep) {
       scenario_params p = opt.base;
-      p.seed = opt.base.seed + static_cast<std::uint64_t>(rep);
-      const run_result r = run_variant(p, v);
+      p.seed = sweep_run_seed(opt.base.seed, 0, v.protocol == "push" ? 0 : 1, rep);
+      runs.push_back(labelled_run{v.label, p, v});
+    }
+    run_result sum{};
+    for (const run_result& r : run_batch(runs, opt.jobs)) {
       sum.total_messages += r.total_messages;
       sum.app_messages += r.app_messages;
       sum.avg_query_latency_s += r.avg_query_latency_s;
@@ -59,6 +62,7 @@ int main(int argc, char** argv) {
   spec.apply = [](scenario_params& p, double x) { p.ttl_inv = static_cast<int>(x); };
   spec.variants = {{"rpcc-SC", "rpcc", level_mix::strong_only()}};
   spec.repetitions = opt.repetitions;
+  spec.jobs = opt.jobs;
   spec.progress = progress_printer(opt);
   const auto points = run_sweep(spec);
 

@@ -1,0 +1,144 @@
+// Neighbors-query scaling microbench: naive O(n) scan vs the uniform-grid
+// spatial index, at n in {100, 500, 2000} mobile nodes.
+//
+// The terrain is scaled with sqrt(n) to hold the paper's node density
+// constant (50 nodes on 1500x1500 m), which is how large-node-count MANET
+// sweeps are actually run — growing the population without melting the
+// network into one giant collision domain. Each round advances simulated
+// time (forcing a grid rebuild) and then queries neighbors() for every
+// node, the access pattern of a broadcast fan-out or a BFS sweep.
+//
+// Both modes run on their own network built from the same seed, so node
+// trajectories — and therefore the returned neighbor sets — are identical.
+//
+// Usage: micro_neighbors [--rounds=N] [--out=FILE]
+// Emits a JSON report (stdout, plus FILE when --out is given) so future PRs
+// can track the perf trajectory; see results/BENCH_neighbors.json.
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mobility/random_waypoint.hpp"
+#include "net/network.hpp"
+#include "net/spatial_index.hpp"
+#include "sim/simulator.hpp"
+
+using namespace manet;
+
+namespace {
+
+struct mode_stats {
+  double seconds = 0;
+  std::uint64_t queries = 0;
+  std::uint64_t neighbors_found = 0;  ///< checksum; must match across modes
+  std::uint64_t rebuilds = 0;
+  double mqps() const { return queries / seconds / 1e6; }
+};
+
+struct bench_world {
+  simulator sim;
+  terrain land;
+  network net;
+  bench_world(int n, meters side, std::uint64_t seed)
+      : sim(seed), land(side, side), net(sim, land, [] {
+          radio_params rp;
+          rp.range = 250;
+          return rp;
+        }()) {
+    random_waypoint_params wp;
+    wp.min_speed_mps = 0.5;
+    wp.max_speed_mps = 2.0;
+    wp.pause = 30;
+    for (int i = 0; i < n; ++i) {
+      net.add_node(std::make_unique<random_waypoint>(
+          land, wp, sim.make_rng("mob", static_cast<std::uint64_t>(i))));
+    }
+  }
+};
+
+mode_stats run_mode(int n, meters side, const char* mode, int rounds) {
+  bench_world w(n, side, /*seed=*/1);
+  w.net.air().set_neighbor_index(mode);
+  // Warm up one round so lazy mobility state and allocations settle.
+  w.sim.run_until(1.0);
+  for (node_id u = 0; u < w.net.size(); ++u) w.net.air().neighbors(u);
+
+  mode_stats st;
+  const auto start = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    w.sim.run_until(w.sim.now() + 1.0);  // move everyone; invalidates the grid
+    for (node_id u = 0; u < w.net.size(); ++u) {
+      st.neighbors_found += w.net.air().neighbors(u).size();
+      ++st.queries;
+    }
+  }
+  st.seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count();
+  st.rebuilds = w.net.air().index().rebuilds();
+  return st;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rounds = 30;
+  std::string out_file;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--rounds=", 9) == 0) rounds = std::atoi(argv[i] + 9);
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_file = argv[i] + 6;
+  }
+
+  const std::vector<int> sizes = {100, 500, 2000};
+  std::string json = "{\n  \"bench\": \"micro_neighbors\",\n";
+  json += "  \"workload\": \"per round: advance mobility 1s, query neighbors() "
+          "for every node; constant paper density (50 nodes per 1500x1500 m)\",\n";
+  json += "  \"rounds\": " + std::to_string(rounds) + ",\n  \"results\": [\n";
+
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    const int n = sizes[s];
+    // Constant density: area grows linearly with n.
+    const meters side = 1500.0 * std::sqrt(n / 50.0);
+    std::fprintf(stderr, "n=%-5d side=%.0fm ... ", n, side);
+    const mode_stats naive = run_mode(n, side, "naive", rounds);
+    const mode_stats grid = run_mode(n, side, "grid", rounds);
+    if (naive.neighbors_found != grid.neighbors_found) {
+      std::fprintf(stderr, "FATAL: checksum mismatch (naive %llu vs grid %llu)\n",
+                   static_cast<unsigned long long>(naive.neighbors_found),
+                   static_cast<unsigned long long>(grid.neighbors_found));
+      return 1;
+    }
+    const double speedup = grid.mqps() / naive.mqps();
+    std::fprintf(stderr, "naive %.3f Mq/s, grid %.3f Mq/s, speedup %.1fx\n",
+                 naive.mqps(), grid.mqps(), speedup);
+    char buf[512];
+    std::snprintf(buf, sizeof buf,
+                  "    {\"n\": %d, \"terrain_m\": %.0f, \"queries\": %llu, "
+                  "\"naive_mqps\": %.4f, \"grid_mqps\": %.4f, "
+                  "\"speedup\": %.2f, \"grid_rebuilds\": %llu, "
+                  "\"neighbors_checksum\": %llu}%s\n",
+                  n, side, static_cast<unsigned long long>(grid.queries),
+                  naive.mqps(), grid.mqps(), speedup,
+                  static_cast<unsigned long long>(grid.rebuilds),
+                  static_cast<unsigned long long>(grid.neighbors_found),
+                  s + 1 < sizes.size() ? "," : "");
+    json += buf;
+  }
+  json += "  ]\n}\n";
+
+  std::fputs(json.c_str(), stdout);
+  if (!out_file.empty()) {
+    if (std::FILE* f = std::fopen(out_file.c_str(), "w")) {
+      std::fputs(json.c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", out_file.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,14 +1,31 @@
 #include "net/radio.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <stdexcept>
 
 #include "net/network.hpp"
+#include "net/spatial_index.hpp"
 
 namespace manet {
 
-radio::radio(network& net, radio_params params) : net_(net), params_(params) {
+radio::radio(network& net, radio_params params)
+    : net_(net), params_(std::move(params)) {
   assert(params_.range > 0);
   assert(params_.bandwidth_bps > 0);
+  index_ = std::make_unique<spatial_index>(net_);
+  set_neighbor_index(params_.neighbor_index);
+}
+
+radio::~radio() = default;
+
+void radio::set_neighbor_index(const std::string& mode) {
+  if (mode != "grid" && mode != "naive") {
+    throw std::runtime_error("unknown neighbor index '" + mode +
+                             "' (expected grid|naive)");
+  }
+  params_.neighbor_index = mode;
+  use_grid_ = mode == "grid";
 }
 
 sim_duration radio::tx_time(std::size_t bytes) const {
@@ -37,16 +54,39 @@ std::vector<node_id> radio::neighbors(node_id u) const {
   const node& nu = net_.at(u);
   if (!nu.up()) return out;
   const sim_time now = net_.sim().now();
-  const vec2 pu = nu.position_at(now);
   const double r = effective_range();
   const double r2 = r * r;
-  for (node_id v = 0; v < net_.size(); ++v) {
+
+  if (!use_grid_) {
+    const vec2 pu = nu.position_at(now);
+    for (node_id v = 0; v < net_.size(); ++v) {
+      if (v == u) continue;
+      const node& nv = net_.at(v);
+      if (!nv.up()) continue;
+      if (filter_ && !filter_(u, v)) continue;
+      if (distance2(pu, nv.position_at(now)) <= r2) out.push_back(v);
+    }
+    return out;
+  }
+
+  // Grid path: the index snapshots positions per timestamp; up/down state
+  // and the fault-layer link filter can flip between two queries at the
+  // same instant, so they are re-checked per candidate like the naive scan.
+  index_->refresh(now, r);
+  const vec2 pu = index_->cached_position(u);
+  scratch_.clear();
+  index_->candidates(pu, r, scratch_);
+  for (node_id v : scratch_) {
     if (v == u) continue;
     const node& nv = net_.at(v);
     if (!nv.up()) continue;
     if (filter_ && !filter_(u, v)) continue;
-    if (distance2(pu, nv.position_at(now)) <= r2) out.push_back(v);
+    if (distance2(pu, index_->cached_position(v)) <= r2) out.push_back(v);
   }
+  // Cells are visited in row-major order; sort so the result is the same
+  // ascending-id list the naive scan produces (downstream delivery order —
+  // and thus every RNG draw — depends on it).
+  std::sort(out.begin(), out.end());
   return out;
 }
 

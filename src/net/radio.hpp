@@ -5,6 +5,7 @@
 #define MANET_NET_RADIO_HPP
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,7 @@
 namespace manet {
 
 class network;  // forward; radio queries node positions through the network
+class spatial_index;
 
 struct radio_params {
   meters range = 250.0;          ///< unit-disk communication range
@@ -39,13 +41,27 @@ struct radio_params {
   bool collisions = false;
   /// Interference radius; 0 means "same as communication range".
   meters interference_range = 0;
+  /// Neighbor resolution strategy: "grid" answers neighbors() from a
+  /// uniform-grid spatial index (cell side = effective range, rebuilt
+  /// lazily per timestamp); "naive" scans all n nodes per query. The two
+  /// return identical results — naive is kept as the correctness oracle.
+  std::string neighbor_index = "grid";
 };
 
 class radio {
  public:
   radio(network& net, radio_params params);
+  ~radio();
 
   const radio_params& params() const { return params_; }
+
+  /// Switches neighbor resolution between "grid" and "naive" at runtime
+  /// (equivalence tests and benches flip modes on one network so both see
+  /// the exact same node trajectories). Throws on unknown modes.
+  void set_neighbor_index(const std::string& mode);
+  bool grid_index_active() const { return use_grid_; }
+  /// The grid index (always constructed; only consulted in grid mode).
+  const spatial_index& index() const { return *index_; }
 
   /// Transmission time on the air for a frame of `bytes` bytes.
   sim_duration tx_time(std::size_t bytes) const;
@@ -77,6 +93,11 @@ class radio {
   radio_params params_;
   double range_scale_ = 1.0;
   link_filter filter_;
+  bool use_grid_ = true;
+  // Owned grid index and a candidate scratch buffer; both are query-path
+  // caches mutated from the const neighbors() accessor.
+  std::unique_ptr<spatial_index> index_;
+  mutable std::vector<node_id> scratch_;
 };
 
 }  // namespace manet

@@ -1,0 +1,121 @@
+#include "net/spatial_index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "net/network.hpp"
+
+namespace manet {
+
+spatial_index::spatial_index(const network& net) : net_(net) {}
+
+void spatial_index::refresh(sim_time now, meters cell_size) {
+  assert(cell_size > 0);
+  if (valid_ && built_time_ == now && requested_cell_ == cell_size &&
+      pos_.size() == net_.size()) {
+    return;
+  }
+  rebuild(now, cell_size);
+}
+
+void spatial_index::rebuild(sim_time now, meters cell_size) {
+  const std::size_t n = net_.size();
+  pos_.resize(n);
+  for (node_id i = 0; i < n; ++i) pos_[i] = net_.at(i).position_at(now);
+
+  // Grid extents follow the node bounding box, not the terrain: mobility
+  // models keep nodes on the terrain, but hand-built test topologies may
+  // place them anywhere, and the index must stay exact regardless.
+  vec2 lo{0, 0};
+  vec2 hi{0, 0};
+  if (n > 0) {
+    lo = hi = pos_[0];
+    for (std::size_t i = 1; i < n; ++i) {
+      lo.x = std::min(lo.x, pos_[i].x);
+      lo.y = std::min(lo.y, pos_[i].y);
+      hi.x = std::max(hi.x, pos_[i].x);
+      hi.y = std::max(hi.y, pos_[i].y);
+    }
+  }
+  origin_ = lo;
+  auto dim = [&](double span) {
+    return static_cast<std::size_t>(std::min(span / cell_size, 1e6)) + 1;
+  };
+  nx_ = dim(hi.x - lo.x);
+  ny_ = dim(hi.y - lo.y);
+  // Bound the cell count for degenerate spreads (a few nodes very far
+  // apart): coarser cells stay correct, they just admit more candidates.
+  const std::size_t max_cells = 4 * std::max<std::size_t>(n, 16);
+  while (nx_ * ny_ > max_cells) {
+    if (nx_ >= ny_) {
+      nx_ = (nx_ + 1) / 2;
+    } else {
+      ny_ = (ny_ + 1) / 2;
+    }
+  }
+  cell_w_ = std::max(cell_size, (hi.x - lo.x) / static_cast<double>(nx_));
+  cell_h_ = std::max(cell_size, (hi.y - lo.y) / static_cast<double>(ny_));
+
+  cell_start_.assign(nx_ * ny_ + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) ++cell_start_[cell_of(pos_[i]) + 1];
+  for (std::size_t c = 1; c < cell_start_.size(); ++c) {
+    cell_start_[c] += cell_start_[c - 1];
+  }
+  ids_.resize(n);
+  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
+  for (node_id i = 0; i < n; ++i) ids_[cursor[cell_of(pos_[i])]++] = i;
+
+  valid_ = true;
+  built_time_ = now;
+  requested_cell_ = cell_size;
+  ++rebuilds_;
+}
+
+std::size_t spatial_index::cell_of(vec2 p) const {
+  const double fx = (p.x - origin_.x) / cell_w_;
+  const double fy = (p.y - origin_.y) / cell_h_;
+  const std::size_t ix =
+      fx <= 0 ? 0 : std::min(nx_ - 1, static_cast<std::size_t>(fx));
+  const std::size_t iy =
+      fy <= 0 ? 0 : std::min(ny_ - 1, static_cast<std::size_t>(fy));
+  return iy * nx_ + ix;
+}
+
+void spatial_index::candidates(vec2 center, meters radius,
+                               std::vector<node_id>& out) const {
+  assert(valid_);
+  // Cells overlapping [center - radius, center + radius] in each axis. The
+  // index mapping below is the same monotone floor used at insertion, so a
+  // node within `radius` of `center` always lands inside the scanned block
+  // (division by a positive cell extent and subtraction are monotone in
+  // IEEE arithmetic).
+  // The 1e-9-cell pad absorbs the at-most-ulp-sized rounding of center ±
+  // radius, so a node exactly at distance `radius` on a cell boundary can
+  // never fall just outside the block.
+  auto cell_index = [](double delta, double cell, std::size_t limit) {
+    const double f = std::floor(delta / cell);
+    if (f <= 0) return std::size_t{0};
+    return std::min(limit - 1, static_cast<std::size_t>(f));
+  };
+  const double pad_x = cell_w_ * 1e-9;
+  const double pad_y = cell_h_ * 1e-9;
+  const std::size_t ix0 =
+      cell_index(center.x - radius - pad_x - origin_.x, cell_w_, nx_);
+  const std::size_t ix1 =
+      cell_index(center.x + radius + pad_x - origin_.x, cell_w_, nx_);
+  const std::size_t iy0 =
+      cell_index(center.y - radius - pad_y - origin_.y, cell_h_, ny_);
+  const std::size_t iy1 =
+      cell_index(center.y + radius + pad_y - origin_.y, cell_h_, ny_);
+  for (std::size_t iy = iy0; iy <= iy1; ++iy) {
+    for (std::size_t ix = ix0; ix <= ix1; ++ix) {
+      const std::size_t c = iy * nx_ + ix;
+      for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+        out.push_back(ids_[k]);
+      }
+    }
+  }
+}
+
+}  // namespace manet

@@ -1,0 +1,85 @@
+// Uniform-grid bucket index over node positions.
+//
+// Neighbor resolution is the hottest query in the simulator: every broadcast,
+// every BFS step of the connectivity oracle and every relay-election sweep
+// asks "who is within range of u right now". The naive answer scans all n
+// nodes per query; this index buckets nodes into square cells of side
+// >= the query radius, so a query touches only the (at most) 3x3 block of
+// cells overlapping the range disk.
+//
+// Rebuild policy (correctness vs continuous mobility): positions are
+// continuous functions of simulation time, so a grid built at time t is
+// stale for any t' != t. Instead of tracking mobility updates (there are
+// none — models are lazy), the index is rebuilt on demand whenever the
+// (time, cell size, node count) triple it was built for no longer matches
+// the query. Event-driven simulations issue bursts of neighbor queries at a
+// single timestamp (a broadcast fan-out, a whole BFS), so one O(n) rebuild
+// amortizes across many O(1)-ish queries. Up/down state and fault-layer
+// link filters are deliberately NOT baked into the grid: they can flip
+// between two queries at the same timestamp, so the radio re-checks them
+// per candidate, exactly as the naive scan does.
+#ifndef MANET_NET_SPATIAL_INDEX_HPP
+#define MANET_NET_SPATIAL_INDEX_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/vec2.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+class network;  // owner of the nodes whose positions are indexed
+
+class spatial_index {
+ public:
+  explicit spatial_index(const network& net);
+
+  /// Ensures the grid describes all nodes at time `now` with cells of side
+  /// >= `cell_size`; rebuilds if anything drifted. Requires cell_size > 0
+  /// and `now` non-decreasing across calls (mobility models advance lazily).
+  void refresh(sim_time now, meters cell_size);
+
+  /// Appends every node whose grid cell overlaps the disk (center, radius)
+  /// to `out` — a superset of the true in-range set; the caller applies the
+  /// exact distance / up / filter checks. Candidates within one cell come in
+  /// ascending id order, but cells are visited in row-major order, so the
+  /// concatenation is not globally sorted. Requires a prior refresh() with
+  /// cell_size >= radius at the current time.
+  void candidates(vec2 center, meters radius, std::vector<node_id>& out) const;
+
+  /// Position of node `id` cached at the last refresh() timestamp.
+  vec2 cached_position(node_id id) const { return pos_[id]; }
+
+  /// Rebuilds performed so far (observability for tests and benches).
+  std::uint64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  void rebuild(sim_time now, meters cell_size);
+
+  std::size_t cell_of(vec2 p) const;
+
+  const network& net_;
+
+  // Grid built state; valid_ is false until the first refresh().
+  bool valid_ = false;
+  sim_time built_time_ = 0;
+  meters requested_cell_ = 0;  ///< cell_size the grid was refreshed for
+  vec2 origin_;                ///< min corner of the node bounding box
+  meters cell_w_ = 1;          ///< effective cell extent (>= requested_cell_)
+  meters cell_h_ = 1;
+  std::size_t nx_ = 1;
+  std::size_t ny_ = 1;
+
+  // CSR bucket storage: ids_[cell_start_[c] .. cell_start_[c+1]) are the
+  // nodes in cell c, in ascending id order.
+  std::vector<std::uint32_t> cell_start_;
+  std::vector<node_id> ids_;
+  std::vector<vec2> pos_;  ///< per-node position snapshot at built_time_
+
+  std::uint64_t rebuilds_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_NET_SPATIAL_INDEX_HPP

@@ -58,6 +58,7 @@ scenario_params scenario_params::from_config(const config& cfg) {
   p.mobility = cfg.get_string("mobility", p.mobility);
   p.group_size = static_cast<int>(cfg.get_int("group_size", p.group_size));
   p.router = cfg.get_string("router", p.router);
+  p.neighbor_index = cfg.get_string("neighbor_index", p.neighbor_index);
   p.mac = cfg.get_string("mac", p.mac);
   p.loss_probability = cfg.get_double("loss", p.loss_probability);
   p.loss_model = cfg.get_string("loss_model", p.loss_model);
@@ -121,6 +122,7 @@ void scenario_params::to_config(config& cfg) const {
   cfg.set("mobility", mobility);
   cfg.set("group_size", static_cast<long long>(group_size));
   cfg.set("router", router);
+  cfg.set("neighbor_index", neighbor_index);
   cfg.set("mac", mac);
   cfg.set("loss", loss_probability);
   cfg.set("loss_model", loss_model);
@@ -159,11 +161,13 @@ std::string scenario_params::describe() const {
       "I_Update=%.0fs  I_Query=%.0fs  TTL_BR=%d  TTL_INV=%d\n"
       "TTN=%.0fs  TTR=%.0fs  TTP=%.0fs  I_Switch=%.0fs\n"
       "mu_CAR=%.2f  mu_CS=%.2f  mu_CE=%.2f  omega=%.2f  phi=%.0fs\n"
-      "router=%s  mac=%s  mobility=%s(%.1f-%.1fm/s,pause %.0fs)  loss=%.2f(%s)  "
+      "router=%s  mac=%s  neighbor_index=%s  "
+      "mobility=%s(%.1f-%.1fm/s,pause %.0fs)  loss=%.2f(%s)  "
       "churn=%s  placement=%s  mix=%s  warmup=%.0fs  seed=%llu\n",
       n_peers, area_width, area_height, cache_num, comm_range, sim_time, i_update,
       i_query, ttl_br, ttl_inv, ttn, ttr, ttp, i_switch, mu_car, mu_cs, mu_ce,
-      omega, coeff_window, router.c_str(), mac.c_str(), mobility.c_str(),
+      omega, coeff_window, router.c_str(), mac.c_str(), neighbor_index.c_str(),
+      mobility.c_str(),
       min_speed, max_speed, pause, loss_probability, loss_model.c_str(),
       churn ? "on" : "off", placement.c_str(), mix_name(mix).c_str(), warmup,
       static_cast<unsigned long long>(seed));

@@ -45,6 +45,10 @@ struct scenario_params {
   std::string mobility = "waypoint";  // waypoint | walk | static | group
   int group_size = 8;                 // nodes per squad for mobility=group
   std::string router = "aodv";        // aodv | oracle
+  // Neighbor resolution inside the radio model: "grid" uses the uniform-grid
+  // spatial index (default), "naive" the O(n) per-query scan kept as the
+  // correctness oracle. Results are identical either way.
+  std::string neighbor_index = "grid";
   // Interference model: "simple" (random backoff only, default) or "csma"
   // (overlapping transmissions within interference range collide).
   std::string mac = "simple";

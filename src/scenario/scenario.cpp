@@ -79,6 +79,7 @@ void scenario::build() {
 
   radio_params rp;
   rp.range = params_.comm_range;
+  rp.neighbor_index = params_.neighbor_index;  // validated by the radio ctor
   rp.loss_probability = params_.loss_probability;
   if (params_.loss_model != "iid" && params_.loss_model != "gilbert") {
     throw std::runtime_error("unknown loss model '" + params_.loss_model +

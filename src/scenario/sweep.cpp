@@ -1,6 +1,10 @@
 #include "scenario/sweep.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <exception>
+#include <mutex>
+#include <thread>
 
 #include "scenario/scenario.hpp"
 
@@ -32,6 +36,61 @@ run_result run_variant(scenario_params base, const protocol_variant& v) {
 }
 
 namespace {
+
+/// Resolves the jobs knob: 0 = all hardware threads, otherwise the value.
+int resolve_jobs(int jobs) {
+  if (jobs > 0) return jobs;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+/// Runs fn(0..count-1) on up to `jobs` threads. fn must be safe to call
+/// concurrently for distinct indices. The first exception thrown by any
+/// worker is rethrown on the calling thread after all workers join.
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  const int n_threads = std::min<std::size_t>(
+      static_cast<std::size_t>(resolve_jobs(jobs)), count);
+  if (n_threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+  auto worker = [&] {
+    for (std::size_t i = next.fetch_add(1); i < count; i = next.fetch_add(1)) {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(n_threads));
+  for (int t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace
+
+std::uint64_t sweep_run_seed(std::uint64_t base_seed, std::size_t x_index,
+                             std::size_t variant_index, int rep) {
+  auto mix = [](std::uint64_t z) {
+    z += 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  std::uint64_t h = mix(base_seed);
+  h = mix(h ^ static_cast<std::uint64_t>(x_index));
+  h = mix(h ^ static_cast<std::uint64_t>(variant_index));
+  h = mix(h ^ static_cast<std::uint64_t>(static_cast<std::uint32_t>(rep)));
+  return h;
+}
 
 run_result average(const std::vector<run_result>& rs) {
   assert(!rs.empty());
@@ -97,21 +156,64 @@ run_result average(const std::vector<run_result>& rs) {
   return out;
 }
 
-}  // namespace
+std::vector<run_result> run_batch(const std::vector<labelled_run>& runs,
+                                  int jobs) {
+  std::vector<run_result> out(runs.size());
+  parallel_for(runs.size(), jobs, [&](std::size_t i) {
+    out[i] = run_variant(runs[i].params, runs[i].variant);
+  });
+  return out;
+}
 
 std::vector<sweep_point> run_sweep(const sweep_spec& spec) {
-  std::vector<sweep_point> out;
-  for (double x : spec.xs) {
-    for (const auto& v : spec.variants) {
-      std::vector<run_result> reps;
-      for (int rep = 0; rep < std::max(1, spec.repetitions); ++rep) {
-        scenario_params p = spec.base;
-        spec.apply(p, x);
-        p.seed = spec.base.seed + static_cast<std::uint64_t>(rep);
-        reps.push_back(run_variant(p, v));
-        if (spec.progress) spec.progress(v.label, x, rep);
+  const int reps = std::max(1, spec.repetitions);
+
+  // Flatten the (x, variant, rep) grid into independent jobs. Each run owns
+  // its own simulator, network and RNG streams; the per-run seed is a pure
+  // function of the grid coordinates, so any execution order produces the
+  // same results and the submission-order merge below is byte-identical to
+  // the old serial loop.
+  struct sweep_job {
+    std::size_t xi = 0;
+    std::size_t vi = 0;
+    int rep = 0;
+  };
+  std::vector<sweep_job> jobs;
+  jobs.reserve(spec.xs.size() * spec.variants.size() *
+               static_cast<std::size_t>(reps));
+  for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
+    for (std::size_t vi = 0; vi < spec.variants.size(); ++vi) {
+      for (int rep = 0; rep < reps; ++rep) {
+        jobs.push_back(sweep_job{xi, vi, rep});
       }
-      out.push_back(sweep_point{x, v.label, average(reps)});
+    }
+  }
+
+  std::vector<run_result> results(jobs.size());
+  std::mutex progress_mu;
+  parallel_for(jobs.size(), spec.jobs, [&](std::size_t j) {
+    const sweep_job& jb = jobs[j];
+    scenario_params p = spec.base;
+    spec.apply(p, spec.xs[jb.xi]);
+    p.seed = sweep_run_seed(spec.base.seed, jb.xi, jb.vi, jb.rep);
+    results[j] = run_variant(p, spec.variants[jb.vi]);
+    if (spec.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      spec.progress(spec.variants[jb.vi].label, spec.xs[jb.xi], jb.rep);
+    }
+  });
+
+  std::vector<sweep_point> out;
+  out.reserve(spec.xs.size() * spec.variants.size());
+  std::size_t j = 0;
+  for (std::size_t xi = 0; xi < spec.xs.size(); ++xi) {
+    for (std::size_t vi = 0; vi < spec.variants.size(); ++vi) {
+      const std::vector<run_result> point(
+          results.begin() + static_cast<std::ptrdiff_t>(j),
+          results.begin() + static_cast<std::ptrdiff_t>(j + reps));
+      j += static_cast<std::size_t>(reps);
+      out.push_back(
+          sweep_point{spec.xs[xi], spec.variants[vi].label, average(point)});
     }
   }
   return out;

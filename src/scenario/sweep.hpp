@@ -44,10 +44,42 @@ struct sweep_spec {
   /// Applies the x value to a copy of base (e.g. set i_update).
   std::function<void(scenario_params&, double)> apply;
   std::vector<protocol_variant> variants;
-  int repetitions = 1;  ///< runs per point, seeds base.seed .. base.seed+reps-1
-  /// Progress callback per completed run (may be null).
+  int repetitions = 1;  ///< runs per point; per-run seeds via sweep_run_seed()
+  /// Worker threads for the independent (x, variant, rep) runs: 1 = serial,
+  /// 0 = hardware_concurrency, n = exactly n threads. Every run owns its own
+  /// simulator and RNG streams and results are merged in submission order,
+  /// so the output is identical for any jobs value.
+  int jobs = 1;
+  /// Progress callback per completed run (may be null). With jobs > 1 it is
+  /// serialized under a mutex but completion order is nondeterministic.
   std::function<void(const std::string& variant, double x, int rep)> progress;
 };
+
+/// Per-run seed, derived by hashing (base_seed, x index, variant index, rep)
+/// with a splitmix64 chain. The previous base+rep scheme collided across the
+/// whole grid: every (x, variant) pair replayed the same seeds, so
+/// repetitions added no independent information along those axes.
+std::uint64_t sweep_run_seed(std::uint64_t base_seed, std::size_t x_index,
+                             std::size_t variant_index, int rep);
+
+/// Field-wise mean of run results across repetitions. A single repetition
+/// passes through untouched (including non-averaged fields like the protocol
+/// name); counter fields round half-up to the nearest integer. Exposed for
+/// the sweep test suite.
+run_result average(const std::vector<run_result>& rs);
+
+/// One labelled run for benches that hand-build their run lists (the
+/// ablation panels). Results come back in input order.
+struct labelled_run {
+  std::string label;
+  scenario_params params;
+  protocol_variant variant;
+};
+
+/// Runs every entry (in parallel when jobs != 1, see sweep_spec::jobs) and
+/// returns the results in input order.
+std::vector<run_result> run_batch(const std::vector<labelled_run>& runs,
+                                  int jobs);
 
 /// Runs the whole sweep. Numeric fields of run_result are averaged across
 /// repetitions.

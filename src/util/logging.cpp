@@ -1,15 +1,19 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 
 namespace manet {
 
 namespace {
-log_level g_level = log_level::warn;
+// Atomic: parallel sweep workers consult the threshold concurrently.
+std::atomic<log_level> g_level{log_level::warn};
 }
 
-void set_log_level(log_level level) { g_level = level; }
-log_level get_log_level() { return g_level; }
+void set_log_level(log_level level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+log_level get_log_level() { return g_level.load(std::memory_order_relaxed); }
 
 const char* log_level_name(log_level level) {
   switch (level) {
@@ -35,7 +39,8 @@ bool parse_log_level(const std::string& name, log_level& out) {
 }
 
 void logf(log_level level, const char* fmt, ...) {
-  if (level < g_level || g_level == log_level::off) return;
+  const log_level threshold = get_log_level();
+  if (level < threshold || threshold == log_level::off) return;
   std::fprintf(stderr, "[%s] ", log_level_name(level));
   va_list args;
   va_start(args, fmt);

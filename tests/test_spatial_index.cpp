@@ -1,0 +1,216 @@
+// Equivalence suite for the spatial-grid neighbor index: under every
+// placement, mobility step, churn pattern, range scale and fault filter,
+// radio::neighbors in "grid" mode must return the exact sorted id list the
+// naive O(n) scan returns. The naive scan is the oracle — these tests are
+// what lets the rest of the repo trust the grid on the hot path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "mobility/random_walk.hpp"
+#include "mobility/random_waypoint.hpp"
+#include "net/network.hpp"
+#include "net/spatial_index.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace manet {
+namespace {
+
+/// Queries u's neighbors in both modes on the same network at the same
+/// instant and expects identical (sorted) id vectors.
+void expect_modes_agree(network& net, node_id u) {
+  radio& air = net.air();
+  air.set_neighbor_index("grid");
+  const std::vector<node_id> grid = air.neighbors(u);
+  air.set_neighbor_index("naive");
+  const std::vector<node_id> naive = air.neighbors(u);
+  air.set_neighbor_index("grid");
+  EXPECT_EQ(grid, naive) << "node " << u << " at t=" << net.sim().now();
+  // The naive scan emits ascending ids by construction; the grid result
+  // must be sorted the same way (delivery order depends on it).
+  EXPECT_TRUE(std::is_sorted(grid.begin(), grid.end()));
+}
+
+void expect_all_agree(network& net) {
+  for (node_id u = 0; u < net.size(); ++u) expect_modes_agree(net, u);
+}
+
+struct world {
+  simulator sim;
+  terrain land;
+  network net;
+  world(meters w, meters h, meters range, std::uint64_t seed = 7)
+      : sim(seed), land(w, h), net(sim, land, [&] {
+          radio_params rp;
+          rp.range = range;
+          return rp;
+        }()) {}
+};
+
+TEST(SpatialIndex, RandomPlacementsMatchNaive) {
+  world w(1500, 1500, 250);
+  rng gen(123);
+  for (int i = 0; i < 200; ++i) {
+    w.net.add_node(std::make_unique<static_mobility>(
+        vec2{gen.uniform(0, 1500), gen.uniform(0, 1500)}));
+  }
+  expect_all_agree(w.net);
+}
+
+TEST(SpatialIndex, ExactRangeBoundaryIsInclusive) {
+  // Node 1 sits exactly at distance r (in range: <= r), node 2 one step
+  // beyond. Exact doubles, so equivalence here is exact, not approximate.
+  world w(1500, 1500, 250);
+  w.net.add_node(std::make_unique<static_mobility>(vec2{0, 0}));
+  w.net.add_node(std::make_unique<static_mobility>(vec2{250, 0}));
+  w.net.add_node(std::make_unique<static_mobility>(vec2{250.0000001, 0}));
+  w.net.air().set_neighbor_index("grid");
+  EXPECT_EQ(w.net.air().neighbors(0), (std::vector<node_id>{1}));
+  expect_all_agree(w.net);
+}
+
+TEST(SpatialIndex, CellEdgesAndTerrainCorners) {
+  // Nodes on exact cell-boundary multiples of the 250 m cell size, plus all
+  // four terrain corners and a dead-center node.
+  world w(1500, 1500, 250);
+  const std::vector<vec2> spots = {
+      {0, 0},     {250, 0},    {500, 0},     {250, 250},   {500, 500},
+      {750, 750}, {0, 1500},   {1500, 0},    {1500, 1500}, {750, 500},
+      {749.999999, 500},       {750.000001, 499.999999},   {1250, 1250},
+  };
+  for (const vec2& p : spots) {
+    w.net.add_node(std::make_unique<static_mobility>(p));
+  }
+  expect_all_agree(w.net);
+}
+
+TEST(SpatialIndex, AgreesAcrossMobilitySteps) {
+  world w(1000, 1000, 200, 11);
+  random_waypoint_params wp;
+  wp.min_speed_mps = 1.0;
+  wp.max_speed_mps = 5.0;
+  wp.pause = 2.0;
+  for (int i = 0; i < 60; ++i) {
+    w.net.add_node(std::make_unique<random_waypoint>(
+        w.land, wp, w.sim.make_rng("mob", static_cast<std::uint64_t>(i))));
+  }
+  for (int step = 0; step < 25; ++step) {
+    w.sim.run_until(w.sim.now() + 7.5);
+    expect_all_agree(w.net);
+  }
+}
+
+TEST(SpatialIndex, AgreesUnderChurn) {
+  world w(800, 800, 150, 3);
+  random_walk_params rw;
+  rw.min_speed_mps = 0.5;
+  rw.max_speed_mps = 2.0;
+  for (int i = 0; i < 40; ++i) {
+    w.net.add_node(std::make_unique<random_walk>(
+        w.land, rw, w.sim.make_rng("mob", static_cast<std::uint64_t>(i))));
+  }
+  rng churn(99);
+  for (int step = 0; step < 20; ++step) {
+    w.sim.run_until(w.sim.now() + 5.0);
+    for (node_id n = 0; n < w.net.size(); ++n) {
+      if (churn.chance(0.3)) w.net.set_node_up(n, !w.net.at(n).up());
+    }
+    expect_all_agree(w.net);
+  }
+}
+
+TEST(SpatialIndex, AgreesAcrossRangeScales) {
+  world w(1500, 1500, 250, 17);
+  rng gen(5);
+  for (int i = 0; i < 120; ++i) {
+    w.net.add_node(std::make_unique<static_mobility>(
+        vec2{gen.uniform(0, 1500), gen.uniform(0, 1500)}));
+  }
+  for (double scale : {0.1, 0.4, 1.0, 2.5, 6.0}) {
+    w.net.air().set_range_scale(scale);
+    expect_all_agree(w.net);
+  }
+}
+
+TEST(SpatialIndex, AgreesWithLinkFilter) {
+  world w(1000, 1000, 300, 23);
+  rng gen(29);
+  for (int i = 0; i < 80; ++i) {
+    w.net.add_node(std::make_unique<static_mobility>(
+        vec2{gen.uniform(0, 1000), gen.uniform(0, 1000)}));
+  }
+  // Partition-style veto, as the fault injector installs it.
+  w.net.air().set_link_filter(
+      [](node_id a, node_id b) { return (a + b) % 3 != 0; });
+  expect_all_agree(w.net);
+  w.net.air().set_link_filter(nullptr);
+  expect_all_agree(w.net);
+}
+
+TEST(SpatialIndex, DownNodeExcludedWithoutRebuild) {
+  // Up/down state may flip between two queries at the same timestamp; the
+  // grid must not bake it in. Take a neighbor down after the grid was built
+  // and expect it to vanish from the result with no time advance.
+  world w(1500, 1500, 250);
+  w.net.add_node(std::make_unique<static_mobility>(vec2{0, 0}));
+  w.net.add_node(std::make_unique<static_mobility>(vec2{100, 0}));
+  w.net.add_node(std::make_unique<static_mobility>(vec2{200, 0}));
+  radio& air = w.net.air();
+  air.set_neighbor_index("grid");
+  EXPECT_EQ(air.neighbors(0), (std::vector<node_id>{1, 2}));
+  const std::uint64_t rebuilds = air.index().rebuilds();
+  w.net.set_node_up(1, false);
+  EXPECT_EQ(air.neighbors(0), (std::vector<node_id>{2}));
+  EXPECT_EQ(air.index().rebuilds(), rebuilds);
+  expect_all_agree(w.net);
+}
+
+TEST(SpatialIndex, RebuildsOnlyWhenStale) {
+  world w(1500, 1500, 250);
+  rng gen(31);
+  for (int i = 0; i < 30; ++i) {
+    w.net.add_node(std::make_unique<static_mobility>(
+        vec2{gen.uniform(0, 1500), gen.uniform(0, 1500)}));
+  }
+  radio& air = w.net.air();
+  // A burst of queries at one timestamp shares a single rebuild.
+  for (node_id u = 0; u < w.net.size(); ++u) air.neighbors(u);
+  EXPECT_EQ(air.index().rebuilds(), 1u);
+  // Advancing the clock invalidates the snapshot.
+  w.sim.run_until(1.0);
+  air.neighbors(0);
+  EXPECT_EQ(air.index().rebuilds(), 2u);
+  air.neighbors(1);
+  EXPECT_EQ(air.index().rebuilds(), 2u);
+  // Changing the effective range changes the cell size.
+  air.set_range_scale(0.5);
+  air.neighbors(0);
+  EXPECT_EQ(air.index().rebuilds(), 3u);
+  // Adding a node invalidates too.
+  w.net.add_node(std::make_unique<static_mobility>(vec2{10, 10}));
+  air.neighbors(0);
+  EXPECT_EQ(air.index().rebuilds(), 4u);
+}
+
+TEST(SpatialIndex, OffTerrainPlacementsStayExact) {
+  // Hand-built rigs may place nodes outside the terrain rectangle; the grid
+  // follows the node bounding box, so equivalence must still hold.
+  world w(100, 100, 250);
+  w.net.add_node(std::make_unique<static_mobility>(vec2{-400, -400}));
+  w.net.add_node(std::make_unique<static_mobility>(vec2{-150, -400}));
+  w.net.add_node(std::make_unique<static_mobility>(vec2{2000, 3000}));
+  w.net.add_node(std::make_unique<static_mobility>(vec2{2000, 3250}));
+  w.net.add_node(std::make_unique<static_mobility>(vec2{50, 50}));
+  expect_all_agree(w.net);
+}
+
+TEST(SpatialIndex, UnknownModeThrows) {
+  world w(100, 100, 50);
+  EXPECT_THROW(w.net.air().set_neighbor_index("octree"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace manet

@@ -11,6 +11,8 @@
 
 #include "consistency/rpcc/rpcc_protocol.hpp"
 
+#include "util/ordered.hpp"
+
 namespace manet {
 
 void rpcc_protocol::cache_on_query(node_id n, item_id item, consistency_level level,
@@ -191,8 +193,8 @@ void rpcc_protocol::on_node_reconnect(node_id n) {
   // the node rejoins (possibly elsewhere, possibly after a partition heal).
   // A poll round interrupted by the outage is abandoned too: its timer may
   // have fired while down and the askers' queries are long expired.
-  for (auto& [item, st] : peer_state_.at(n)) {
-    (void)item;
+  for (const item_id item : sorted_keys(peer_state_.at(n))) {
+    peer_item_state& st = peer_state_.at(n).at(item);
     st.poll_backoff_until = 0;
     if (st.polling) {
       st.polling = false;

@@ -2,6 +2,8 @@
 // relay-population accounting and the per-window demotion check.
 #include "consistency/rpcc/rpcc_protocol.hpp"
 
+#include "util/ordered.hpp"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
@@ -66,8 +68,11 @@ bool rpcc_protocol::relay_registered(item_id item, node_id n) const {
 
 std::vector<rpcc_protocol::relay_snapshot> rpcc_protocol::relay_snapshots() const {
   std::vector<relay_snapshot> out;
+  // Snapshots in (node, item) order: the invariant checker and tests compare
+  // these across runs, so hash-table order must not show through.
   for (node_id n = 0; n < peer_state_.size(); ++n) {
-    for (const auto& [item, st] : peer_state_[n]) {
+    for (const item_id item : sorted_keys(peer_state_[n])) {
+      const peer_item_state& st = peer_state_[n].at(item);
       if (st.role != peer_role::relay) continue;
       out.push_back(relay_snapshot{n, item, st.ttr_deadline, st.last_inv_at,
                                    relay_registered(item, n)});
@@ -130,7 +135,10 @@ void rpcc_protocol::window_check() {
   // the first INVALIDATION after coming back) still applies.
   for (node_id n = 0; n < peer_state_.size(); ++n) {
     const bool qualifies = coeff_->qualifies(n);
-    for (auto& [item, st] : peer_state_[n]) {
+    // Demotions send CANCELs; walk items in key order so the CANCEL packet
+    // schedule (and thus MAC timing) is reproducible.
+    for (const item_id item : sorted_keys(peer_state_[n])) {
+      peer_item_state& st = peer_state_[n].at(item);
       if (st.role == peer_role::relay) {
         bool demote = !qualifies;
         if (!demote && node_up(n)) {

@@ -13,6 +13,8 @@
 
 #include "consistency/rpcc/rpcc_protocol.hpp"
 
+#include "util/ordered.hpp"
+
 namespace manet {
 
 void rpcc_protocol::source_start(item_id item) {
@@ -75,8 +77,9 @@ void rpcc_protocol::push_update_to_relays(item_id item) {
   const node_id src = registry().source(item);
   if (!node_up(src)) return;
   source_item_state& st = source_state_.at(item);
-  for (const auto& [relay, lease] : st.relays) {
-    (void)lease;
+  // Send in relay-id order: the send order sets MAC queueing and therefore
+  // delivery times, so hash-table order here would leak into every metric.
+  for (const node_id relay : sorted_keys(st.relays)) {
     auto payload = std::make_shared<item_version_msg>();
     payload->item = item;
     payload->version = registry().version(item);
@@ -132,12 +135,11 @@ void rpcc_protocol::source_answer_poll(node_id self, item_id item, node_id asker
 
 void rpcc_protocol::prune_relay_leases(item_id item) {
   auto& relays = source_state_.at(item).relays;
-  for (auto it = relays.begin(); it != relays.end();) {
-    if (it->second < sim().now()) {
-      it = relays.erase(it);
-    } else {
-      ++it;
-    }
+  // Erase order is unobservable, but walking in key order keeps the table's
+  // traversal deterministic everywhere for free.
+  for (const node_id relay : sorted_keys(relays)) {
+    auto it = relays.find(relay);
+    if (it->second < sim().now()) relays.erase(it);
   }
 }
 

@@ -62,6 +62,7 @@ void query_log::reset_stats() {
   latency_hist_.reset();
   answered_ = 0;
   issued_ = pending_.size();
+  // NOLINTNEXTLINE-DET(DET001: per-level integer counter increments commute, so iteration order cannot be observed)
   for (const auto& [q, rec] : pending_) {
     (void)q;
     ++by_level_[level_index(rec.level)].issued;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "replica/version_vector.hpp"
+#include "util/ordered.hpp"
 #include "util/units.hpp"
 
 namespace manet {
@@ -64,12 +65,10 @@ class replica_store {
   std::uint64_t conflicts() const { return conflicts_; }
   std::uint64_t local_writes() const { return local_writes_; }
 
-  std::vector<object_id> objects() const {
-    std::vector<object_id> out;
-    out.reserve(objects_.size());
-    for (const auto& [o, _] : objects_) out.push_back(o);
-    return out;
-  }
+  /// Held object ids in ascending order. Sorted because callers build gossip
+  /// digests and delta payloads from this list, and the resulting packet
+  /// sizes and send order must not depend on hash-table layout.
+  std::vector<object_id> objects() const { return sorted_keys(objects_); }
 
  private:
   node_id self_;

@@ -1,0 +1,36 @@
+#pragma once
+// Ordered extraction from unordered containers.
+//
+// Iterating an unordered_{map,set} directly makes behavior depend on the
+// hash-table bucket layout, which in turn depends on insertion history and
+// (for pointer keys) addresses — the exact nondeterminism tools/detlint rule
+// DET001 bans. Whenever hash-map contents feed anything observable (packet
+// sends, metrics, snapshots), extract the keys with sorted_keys() and walk
+// them in key order instead.
+
+#include <algorithm>
+#include <vector>
+
+namespace manet {
+
+/// Keys of an associative container, sorted ascending. The single sanctioned
+/// place an unordered container is iterated wholesale: order is erased by the
+/// sort before anything observable happens.
+template <typename Map>
+std::vector<typename Map::key_type> sorted_keys(const Map& m) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(m.size());
+  for (const auto& kv : m) keys.push_back(kv.first);  // NOLINT-DET(DET001: bucket order erased by the sort below)
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+/// Elements of an unordered set, sorted ascending.
+template <typename Set>
+std::vector<typename Set::key_type> sorted_values(const Set& s) {
+  std::vector<typename Set::key_type> values(s.begin(), s.end());  // NOLINT-DET(DET001: bucket order erased by the sort below)
+  std::sort(values.begin(), values.end());
+  return values;
+}
+
+}  // namespace manet

@@ -1,0 +1,130 @@
+// Regression tests for hash-map iteration order leaking into RPCC's packet
+// schedule.
+//
+// The relay lease table is an unordered_map<node_id, sim_time>. Before the
+// ordered-extraction fix, push_update_to_relays() walked it in container
+// order, so the order UPDATE packets were handed to the MAC — and therefore
+// every delivery timestamp downstream — depended on the hash-table layout
+// (in libstdc++, newly-occupied buckets chain at the list head, so two
+// relays in distinct buckets iterate in *reverse registration* order) rather
+// than on anything the protocol defines. The first test pins that scenario:
+// node 3 registers before node 14, so the unfixed loop emits UPDATEs as
+// [14, 3]; the fixed code must emit them in ascending relay id.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "consistency/rpcc/rpcc_protocol.hpp"
+#include "test_util.hpp"
+
+namespace manet {
+namespace {
+
+using manet::testing::rig;
+using peer_role = rpcc_protocol::peer_role;
+
+rpcc_params lenient_params() {
+  rpcc_params p;
+  p.ttn = 15.0;
+  p.ttr = 20.0;
+  p.ttp = 60.0;
+  p.invalidation_ttl = 2;
+  p.poll_ttl = 2;
+  p.poll_ttl_max = 8;
+  p.poll_timeout = 0.5;
+  p.coeff.window = 10.0;
+  p.coeff.mu_car = 1.1;  // everyone qualifies
+  p.coeff.mu_cs = 0.0;
+  p.coeff.mu_ce = 0.0;
+  return p;
+}
+
+/// Star around node 0 where the only in-range neighbors are nodes 3 and 14 —
+/// ids chosen so that bucket order (14 before 3) differs from key order.
+/// Everyone else sits on a far-away line, out of range of the star and of
+/// each other.
+std::vector<vec2> star_positions() {
+  std::vector<vec2> pos(15, vec2{0, 0});
+  pos[0] = vec2{1000, 1000};
+  pos[3] = vec2{1100, 1000};
+  pos[14] = vec2{900, 1000};
+  for (node_id n : {1, 2, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}) {
+    pos[n] = vec2{100.0 + 300.0 * static_cast<double>(n), 4500.0};
+  }
+  return pos;
+}
+
+TEST(RpccDeterminism, UpdatesReachRelaysInAscendingIdOrder) {
+  rig r(star_positions());
+  // Record the final-hop arrival order of item-0 UPDATEs, then forward
+  // exactly the way the rig's own dispatcher does.
+  std::vector<node_id> update_arrivals;
+  r.net->set_dispatcher([&](node_id self, node_id from, const packet& p) {
+    if (p.kind == kind_update && p.dst == self) {
+      const auto* msg = payload_cast<item_version_msg>(p);
+      if (msg != nullptr && msg->item == 0) update_arrivals.push_back(self);
+    }
+    if (is_routing_kind(p.kind)) {
+      r.route->on_frame(self, from, p);
+      return;
+    }
+    if (p.dst == broadcast_node) {
+      r.route->learn_route(self, p.src, from, p.hops + 1);
+      r.floods->on_frame(self, from, p);
+      return;
+    }
+    r.route->on_frame(self, from, p);
+  });
+
+  rpcc_params params = lenient_params();
+  protocol_context ctx = r.make_context(64, 256, params.ttp);
+  rpcc_protocol proto(ctx, params);
+  // Force a known registration order: node 14 sleeps through the first
+  // INVALIDATIONs, so node 3 enters the lease table first and 14 second —
+  // the order whose unordered_map traversal is reversed.
+  r.net->set_node_up(14, false);
+  proto.start();
+
+  r.run_for(30.0);
+  ASSERT_EQ(proto.role_of(3, 0), peer_role::relay);
+  ASSERT_EQ(proto.registered_relays(0), 1u);
+
+  r.net->set_node_up(14, true);
+  r.run_for(45.0);
+  ASSERT_EQ(proto.role_of(14, 0), peer_role::relay);
+  ASSERT_EQ(proto.registered_relays(0), 2u);
+
+  // Dirty the item; the next TTN tick pushes an UPDATE to each relay.
+  update_arrivals.clear();
+  r.registry.bump(0, r.sim.now());
+  proto.on_update(0);
+  r.run_for(20.0);
+
+  // The send loop visits the lease table in sorted key order, so node 3's
+  // UPDATE is queued (and delivered) before node 14's. Bucket order would
+  // deliver [14, 3] here.
+  ASSERT_EQ(update_arrivals.size(), 2u);
+  EXPECT_EQ(update_arrivals[0], 3u);
+  EXPECT_EQ(update_arrivals[1], 14u);
+}
+
+TEST(RpccDeterminism, RelaySnapshotsAreSortedByNodeThenItem) {
+  rig r(star_positions());
+  rpcc_params params = lenient_params();
+  protocol_context ctx = r.make_context(64, 256, params.ttp);
+  rpcc_protocol proto(ctx, params);
+  proto.start();
+  r.run_for(60.0);
+
+  const auto snaps = proto.relay_snapshots();
+  ASSERT_GE(snaps.size(), 2u);
+  for (std::size_t i = 1; i < snaps.size(); ++i) {
+    const bool ordered =
+        snaps[i - 1].node < snaps[i].node ||
+        (snaps[i - 1].node == snaps[i].node && snaps[i - 1].item < snaps[i].item);
+    EXPECT_TRUE(ordered) << "snapshot " << i << " out of (node, item) order";
+  }
+}
+
+}  // namespace
+}  // namespace manet

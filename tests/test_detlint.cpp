@@ -1,0 +1,132 @@
+// detlint self-tests: the fixture files under tools/detlint/fixtures carry
+// one specimen per rule at pinned line numbers; the scanner must fire
+// exactly those rule IDs at exactly those lines, honor suppressions, and
+// report the production src/ tree clean.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "detlint.hpp"
+
+#ifndef DETLINT_FIXTURE_DIR
+#error "DETLINT_FIXTURE_DIR must point at tools/detlint/fixtures"
+#endif
+#ifndef MANET_SRC_DIR
+#error "MANET_SRC_DIR must point at the repository's src/ tree"
+#endif
+
+namespace {
+
+using detlint::finding;
+
+std::multiset<std::pair<int, std::string>> line_rules(
+    const std::vector<finding>& fs, const std::string& file_suffix) {
+  std::multiset<std::pair<int, std::string>> out;
+  for (const finding& f : fs) {
+    if (f.file.size() >= file_suffix.size() &&
+        f.file.compare(f.file.size() - file_suffix.size(), file_suffix.size(),
+                       file_suffix) == 0) {
+      out.insert({f.line, f.rule});
+    }
+  }
+  return out;
+}
+
+std::vector<finding> scan_fixtures() {
+  detlint::options opts;
+  opts.roots = {DETLINT_FIXTURE_DIR};
+  return detlint::scan(opts);
+}
+
+TEST(Detlint, ViolationsFixtureFiresExactRulesAndLines) {
+  const auto got = line_rules(scan_fixtures(), "violations.cpp");
+  const std::multiset<std::pair<int, std::string>> want = {
+      {16, "DET001"},  // range-for over unordered_map
+      {19, "DET001"},  // iterator loop over unordered_set
+      {26, "DET002"},  // rand()
+      {27, "DET002"},  // std::random_device
+      {28, "DET002"},  // system_clock
+      {33, "DET003"},  // pointer-keyed std::map
+      {35, "DET004"},  // mutable static
+      {38, "DET005"},  // std::reduce
+      {39, "DET005"},  // atomic<double>
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(Detlint, SuppressionsSilenceCoveredRulesOnly) {
+  const auto got = line_rules(scan_fixtures(), "suppressed.cpp");
+  const std::multiset<std::pair<int, std::string>> want = {
+      {21, "DET000"},  // suppression with empty reason
+      {21, "DET001"},  // ...does not silence the finding
+      {24, "DET000"},  // bare NOLINT-DET marker is malformed
+      {24, "DET001"},
+      {27, "DET001"},  // DET002 suppression does not cover a DET001 finding
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(Detlint, CleanFixtureProducesNoFindings) {
+  EXPECT_TRUE(line_rules(scan_fixtures(), "clean.cpp").empty());
+}
+
+TEST(Detlint, AllowlistExemptsRuleForMatchingPathOnly) {
+  const std::string text = "int f() { return rand(); }\n";
+  const std::vector<std::string> no_names;
+  // No allowlist: DET002 fires.
+  auto fs = detlint::scan_text("src/util/other.cpp", text, no_names, {});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "DET002");
+  EXPECT_EQ(fs[0].line, 1);
+  // Path-suffix allow entry for the sanctioned home: silent.
+  fs = detlint::scan_text("src/util/rng.cpp", text, no_names,
+                          detlint::default_allowlist());
+  EXPECT_TRUE(fs.empty());
+  // The allow entry is rule-scoped: a DET001 in rng.cpp still fires.
+  const std::string iter =
+      "std::unordered_map<int, int> m_;\n"
+      "void g() { for (auto& [k, v] : m_) { (void)k; (void)v; } }\n";
+  fs = detlint::scan_text("src/util/rng.cpp", iter, {"m_"},
+                          detlint::default_allowlist());
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "DET001");
+  EXPECT_EQ(fs[0].line, 2);
+}
+
+TEST(Detlint, CollectsUnorderedNamesThroughAliasesAndNesting) {
+  const std::vector<std::string> texts = {
+      "std::unordered_map<int, int> direct_;\n"
+      "std::vector<std::unordered_map<int, double>> nested_;\n"
+      "using table = std::unordered_map<int, int>;\n"
+      "table aliased_;\n"};
+  const std::vector<std::string> names = detlint::collect_unordered_names(texts);
+  const std::set<std::string> got(names.begin(), names.end());
+  EXPECT_TRUE(got.count("direct_"));
+  EXPECT_TRUE(got.count("nested_"));
+  EXPECT_TRUE(got.count("aliased_"));
+}
+
+TEST(Detlint, FormatIsFileLineRuleMessage) {
+  const finding f{"src/a.cpp", 12, "DET001", "msg"};
+  EXPECT_EQ(detlint::format(f), "src/a.cpp:12: DET001: msg");
+}
+
+TEST(Detlint, ProductionSourceTreeIsClean) {
+  // The enforcement gate, also wired as the `lint` target and a ctest entry:
+  // src/ must carry zero unsuppressed findings under the default allowlist.
+  detlint::options opts;
+  opts.roots = {MANET_SRC_DIR};
+  opts.allow = detlint::default_allowlist();
+  const std::vector<finding> fs = detlint::scan(opts);
+  for (const finding& f : fs) {
+    ADD_FAILURE() << detlint::format(f);
+  }
+  EXPECT_GT(detlint::collect_files(opts.roots).size(), 50u)
+      << "src/ discovery looks broken — too few files scanned";
+}
+
+}  // namespace

@@ -1,0 +1,609 @@
+#include "detlint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace detlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source sanitizing: blank out comments and string/char literals so the rule
+// regexes never fire on prose or on quoted text. Raw lines are kept for
+// suppression-comment parsing.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+/// Replaces comment and literal contents with spaces, preserving columns.
+std::vector<std::string> sanitize(const std::vector<std::string>& raw) {
+  std::vector<std::string> out;
+  out.reserve(raw.size());
+  bool in_block_comment = false;
+  for (const std::string& line : raw) {
+    std::string s = line;
+    std::size_t i = 0;
+    char literal = 0;  // '"' or '\'' when inside one
+    while (i < s.size()) {
+      if (in_block_comment) {
+        if (s[i] == '*' && i + 1 < s.size() && s[i + 1] == '/') {
+          s[i] = ' ';
+          s[i + 1] = ' ';
+          in_block_comment = false;
+          i += 2;
+        } else {
+          s[i++] = ' ';
+        }
+        continue;
+      }
+      if (literal != 0) {
+        if (s[i] == '\\' && i + 1 < s.size()) {
+          s[i] = ' ';
+          s[i + 1] = ' ';
+          i += 2;
+          continue;
+        }
+        if (s[i] == literal) literal = 0;
+        s[i++] = ' ';
+        continue;
+      }
+      if (s[i] == '"' || s[i] == '\'') {
+        literal = s[i];
+        s[i++] = ' ';
+        continue;
+      }
+      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+        for (std::size_t j = i; j < s.size(); ++j) s[j] = ' ';
+        break;
+      }
+      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+        s[i] = ' ';
+        s[i + 1] = ' ';
+        in_block_comment = true;
+        i += 2;
+        continue;
+      }
+      ++i;
+    }
+    // Literals do not continue across lines (raw strings are not used here).
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+// ---------------------------------------------------------------------------
+
+struct suppression {
+  std::set<std::string> rules;  ///< may contain "*"
+  bool has_reason = false;
+  bool malformed = false;
+};
+
+const std::regex kSuppressionRe(R"(NOLINT(NEXTLINE)?-DET)");
+const std::regex kSuppressionFullRe(R"(NOLINT(NEXTLINE)?-DET\(([^)]*)\))");
+
+/// Parses every NOLINT-DET marker on a raw line. Returns (same-line,
+/// next-line) suppressions; a marker without parsable "(rules: reason)"
+/// content yields a malformed entry so DET000 can flag it.
+std::pair<std::vector<suppression>, std::vector<suppression>> parse_suppressions(
+    const std::string& raw_line) {
+  std::vector<suppression> same;
+  std::vector<suppression> next;
+  auto begin = std::sregex_iterator(raw_line.begin(), raw_line.end(),
+                                    kSuppressionFullRe);
+  std::set<std::size_t> parsed_positions;
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::smatch& m = *it;
+    parsed_positions.insert(static_cast<std::size_t>(m.position(0)));
+    suppression sup;
+    const std::string body = m[2].str();
+    const std::size_t colon = body.find(':');
+    std::string rules = colon == std::string::npos ? body : body.substr(0, colon);
+    std::string reason = colon == std::string::npos ? "" : body.substr(colon + 1);
+    std::stringstream ss(rules);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      const auto b = rule.find_first_not_of(" \t");
+      const auto e = rule.find_last_not_of(" \t");
+      if (b != std::string::npos) sup.rules.insert(rule.substr(b, e - b + 1));
+    }
+    sup.has_reason = reason.find_first_not_of(" \t") != std::string::npos;
+    if (sup.rules.empty()) sup.malformed = true;
+    (m[1].matched ? next : same).push_back(std::move(sup));
+  }
+  // Bare markers without (…) are malformed suppressions.
+  auto bare = std::sregex_iterator(raw_line.begin(), raw_line.end(), kSuppressionRe);
+  for (auto it = bare; it != std::sregex_iterator(); ++it) {
+    const std::smatch& m = *it;
+    if (parsed_positions.count(static_cast<std::size_t>(m.position(0)))) continue;
+    suppression sup;
+    sup.malformed = true;
+    (m[1].matched ? next : same).push_back(std::move(sup));
+  }
+  return {same, next};
+}
+
+bool suppresses(const std::vector<suppression>& sups, const std::string& rule) {
+  for (const suppression& s : sups) {
+    if (s.malformed || !s.has_reason) continue;
+    if (s.rules.count("*") != 0 || s.rules.count(rule) != 0) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// All identifiers appearing in `s`.
+std::vector<std::string> identifiers(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    if (is_ident_char(s[i]) && std::isdigit(static_cast<unsigned char>(s[i])) == 0) {
+      std::size_t j = i;
+      while (j < s.size() && is_ident_char(s[j])) ++j;
+      out.push_back(s.substr(i, j - i));
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+/// Index just past the '>' matching the '<' at `open`; npos if unbalanced.
+std::size_t match_angle(const std::string& s, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < s.size(); ++i) {
+    if (s[i] == '<') ++depth;
+    if (s[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+std::string normalize_path(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool allowed(const std::vector<allow_entry>& allow, const std::string& rule,
+             const std::string& path) {
+  const std::string norm = normalize_path(path);
+  for (const allow_entry& a : allow) {
+    if (a.rule == rule && ends_with(norm, a.path_suffix)) return true;
+  }
+  return false;
+}
+
+const std::set<std::string>& cpp_keywords() {
+  static const std::set<std::string> kw = {
+      "auto",     "const",    "constexpr", "static",  "if",      "else",
+      "for",      "while",    "return",    "switch",  "case",    "break",
+      "continue", "class",    "struct",    "enum",    "using",   "namespace",
+      "template", "typename", "public",    "private", "protected",
+      "new",      "delete",   "this",      "sizeof",  "true",    "false",
+      "void",     "int",      "double",    "float",   "char",    "bool",
+      "unsigned", "signed",   "long",      "short",   "std"};
+  return kw;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Pass 1: which identifiers name unordered containers?
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> collect_unordered_names(
+    const std::vector<std::string>& texts) {
+  static const std::regex decl_re(R"(\bunordered_(map|set|multimap|multiset)\s*<)");
+  static const std::regex alias_re(
+      R"(using\s+(\w+)\s*=\s*[^;]*\bunordered_(map|set|multimap|multiset)\b)");
+  std::set<std::string> names;
+  std::set<std::string> aliases;
+  std::vector<std::string> flattened;
+  flattened.reserve(texts.size());
+  for (const std::string& text : texts) {
+    const std::vector<std::string> sane = sanitize(split_lines(text));
+    std::string flat;
+    for (const std::string& l : sane) {
+      flat += l;
+      flat += '\n';
+    }
+    flattened.push_back(std::move(flat));
+  }
+  for (const std::string& flat : flattened) {
+    // Type aliases of unordered containers.
+    for (auto it = std::sregex_iterator(flat.begin(), flat.end(), alias_re);
+         it != std::sregex_iterator(); ++it) {
+      aliases.insert((*it)[1].str());
+    }
+    // Declarations: the first identifier after the container's template
+    // argument list (skipping any enclosing container's closing '>'s) is the
+    // declared name — a member, local, parameter, or function returning one.
+    for (auto it = std::sregex_iterator(flat.begin(), flat.end(), decl_re);
+         it != std::sregex_iterator(); ++it) {
+      const std::size_t open = static_cast<std::size_t>(it->position(0)) +
+                               it->length(0) - 1;
+      std::size_t pos = match_angle(flat, open);
+      if (pos == std::string::npos) continue;
+      while (pos < flat.size() &&
+             (flat[pos] == '>' || flat[pos] == '*' || flat[pos] == '&' ||
+              std::isspace(static_cast<unsigned char>(flat[pos])) != 0)) {
+        ++pos;
+      }
+      std::size_t end = pos;
+      while (end < flat.size() && is_ident_char(flat[end])) ++end;
+      const std::string name = flat.substr(pos, end - pos);
+      if (!name.empty() && cpp_keywords().count(name) == 0) names.insert(name);
+    }
+  }
+  // Declarations via a recorded alias: `poll_table polls_;`
+  for (const std::string& alias : aliases) {
+    const std::regex alias_decl_re("\\b" + alias + R"(\s+(\w+)\s*[;={])");
+    for (const std::string& flat : flattened) {
+      for (auto it = std::sregex_iterator(flat.begin(), flat.end(), alias_decl_re);
+           it != std::sregex_iterator(); ++it) {
+        names.insert((*it)[1].str());
+      }
+    }
+  }
+  return {names.begin(), names.end()};
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: per-file rules
+// ---------------------------------------------------------------------------
+
+std::vector<finding> scan_text(const std::string& path, const std::string& text,
+                               const std::vector<std::string>& unordered_names,
+                               const std::vector<allow_entry>& allow) {
+  const std::vector<std::string> raw = split_lines(text);
+  const std::vector<std::string> code = sanitize(raw);
+  const std::set<std::string> names(unordered_names.begin(), unordered_names.end());
+
+  // Suppressions per line: same-line plus NOLINTNEXTLINE-DET from line-1.
+  std::vector<std::vector<suppression>> active(raw.size());
+  std::vector<finding> out;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    auto [same, next] = parse_suppressions(raw[i]);
+    for (const suppression& s : same) {
+      if (s.malformed) {
+        out.push_back({path, static_cast<int>(i) + 1, "DET000",
+                       "malformed NOLINT-DET suppression: expected "
+                       "NOLINT-DET(RULE[,RULE]: reason)"});
+      } else if (!s.has_reason) {
+        out.push_back({path, static_cast<int>(i) + 1, "DET000",
+                       "NOLINT-DET suppression is missing a reason"});
+      }
+    }
+    for (const suppression& s : next) {
+      if (s.malformed) {
+        out.push_back({path, static_cast<int>(i) + 1, "DET000",
+                       "malformed NOLINTNEXTLINE-DET suppression: expected "
+                       "NOLINTNEXTLINE-DET(RULE[,RULE]: reason)"});
+      } else if (!s.has_reason) {
+        out.push_back({path, static_cast<int>(i) + 1, "DET000",
+                       "NOLINTNEXTLINE-DET suppression is missing a reason"});
+      }
+    }
+    active[i].insert(active[i].end(), same.begin(), same.end());
+    if (!next.empty() && i + 1 < raw.size()) {
+      active[i + 1].insert(active[i + 1].end(), next.begin(), next.end());
+    }
+  }
+
+  auto report = [&](std::size_t line_idx, const std::string& rule,
+                    const std::string& message) {
+    if (allowed(allow, rule, path)) return;
+    if (line_idx < active.size() && suppresses(active[line_idx], rule)) return;
+    out.push_back({path, static_cast<int>(line_idx) + 1, rule, message});
+  };
+
+  // --- DET001: iteration over unordered containers -------------------------
+  static const std::regex for_re(R"(\bfor\s*\()");
+  static const std::regex begin_re(R"(([A-Za-z_]\w*)\s*(?:\.|->)\s*c?begin\s*\()");
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    // Range-for: join the statement across up to 4 lines, find the top-level
+    // ':' inside the for parens, and inspect the range expression.
+    for (auto it = std::sregex_iterator(code[i].begin(), code[i].end(), for_re);
+         it != std::sregex_iterator(); ++it) {
+      std::string stmt = code[i].substr(static_cast<std::size_t>(it->position(0)));
+      std::size_t extra = 0;
+      auto paren_depth = [](const std::string& s) {
+        int d = 0;
+        for (char c : s) {
+          if (c == '(') ++d;
+          if (c == ')') --d;
+        }
+        return d;
+      };
+      while (paren_depth(stmt) > 0 && extra < 4 && i + extra + 1 < code.size()) {
+        ++extra;
+        stmt += ' ';
+        stmt += code[i + extra];
+      }
+      // Locate the ':' at depth 1 (skip '::').
+      int depth = 0;
+      std::size_t colon = std::string::npos;
+      for (std::size_t k = 0; k < stmt.size(); ++k) {
+        if (stmt[k] == '(') ++depth;
+        if (stmt[k] == ')') {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (stmt[k] == ':' && depth == 1) {
+          if ((k + 1 < stmt.size() && stmt[k + 1] == ':') ||
+              (k > 0 && stmt[k - 1] == ':')) {
+            continue;
+          }
+          colon = k;
+          break;
+        }
+      }
+      if (colon == std::string::npos) continue;
+      // Range expression: from the colon to the for-statement's close paren.
+      depth = 1;
+      std::size_t end = stmt.size();
+      for (std::size_t k = colon; k < stmt.size(); ++k) {
+        if (stmt[k] == '(') ++depth;
+        if (stmt[k] == ')') {
+          --depth;
+          if (depth == 0) {
+            end = k;
+            break;
+          }
+        }
+      }
+      std::string range_expr = stmt.substr(colon + 1, end - colon - 1);
+      // Identifiers inside parentheses are call arguments — e.g. the
+      // sanctioned `for (auto k : sorted_keys(m))` extraction — where
+      // ordering is the callee's concern, so only top-level identifiers
+      // count. Member access like `m.at(i)` keeps `m` at the top level.
+      int arg_depth = 0;
+      for (char& c : range_expr) {
+        if (c == '(') {
+          ++arg_depth;
+          c = ' ';
+        } else if (c == ')') {
+          --arg_depth;
+          c = ' ';
+        } else if (arg_depth > 0) {
+          c = ' ';
+        }
+      }
+      for (const std::string& id : identifiers(range_expr)) {
+        if (names.count(id) != 0) {
+          report(i, "DET001",
+                 "range-for over unordered container '" + id +
+                     "': iteration order is unspecified — extract and sort "
+                     "the keys, use std::map, or suppress with NOLINT-DET");
+          break;
+        }
+      }
+    }
+    // Iterator loops: any .begin()/cbegin() on an unordered name.
+    for (auto it = std::sregex_iterator(code[i].begin(), code[i].end(), begin_re);
+         it != std::sregex_iterator(); ++it) {
+      const std::string id = (*it)[1].str();
+      if (names.count(id) != 0) {
+        report(i, "DET001",
+               "iterator over unordered container '" + id +
+                   "': iteration order is unspecified — extract and sort the "
+                   "keys, use std::map, or suppress with NOLINT-DET");
+      }
+    }
+  }
+
+  // --- DET002: ambient nondeterminism sources ------------------------------
+  static const std::vector<std::pair<std::regex, std::string>> det2 = {
+      {std::regex(R"(\brand\s*\()"), "rand()"},
+      {std::regex(R"(\bsrand\s*\()"), "srand()"},
+      {std::regex(R"(\brandom_device\b)"), "std::random_device"},
+      {std::regex(R"(\bsystem_clock\b)"), "std::chrono::system_clock"},
+      {std::regex(R"(\bsteady_clock\b)"), "std::chrono::steady_clock"},
+      {std::regex(R"(\bhigh_resolution_clock\b)"),
+       "std::chrono::high_resolution_clock"},
+      {std::regex(R"(\btime\s*\(\s*(NULL|nullptr|0)?\s*\))"), "time()"},
+      {std::regex(R"(\bclock\s*\(\s*\))"), "clock()"},
+      {std::regex(R"(\bgettimeofday\b)"), "gettimeofday()"},
+      {std::regex(R"(\bgetrandom\b)"), "getrandom()"},
+      {std::regex(R"(\bdefault_random_engine\b)"), "std::default_random_engine"},
+      {std::regex(R"(\bmt19937(_64)?\s+\w+\s*;)"),
+       "default-seeded std::mt19937"},
+      {std::regex(R"(\bmt19937(_64)?\s*(\(\s*\)|\{\s*\}))"),
+       "default-seeded std::mt19937"},
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const auto& [re, what] : det2) {
+      if (std::regex_search(code[i], re)) {
+        report(i, "DET002",
+               what + " is a nondeterministic source — draw from a named "
+                      "util/rng stream instead");
+      }
+    }
+  }
+
+  // --- DET003: pointer keys / address hashing ------------------------------
+  static const std::vector<std::pair<std::regex, std::string>> det3 = {
+      {std::regex(R"(\bunordered_(map|set|multimap|multiset)\s*<\s*[\w:\s]+\*)"),
+       "pointer-keyed unordered container"},
+      {std::regex(R"(\b(multi)?(map|set)\s*<\s*[\w:\s]+\*)"),
+       "pointer-keyed ordered container"},
+      {std::regex(R"(\bhash\s*<\s*[\w:\s]+\*\s*>)"), "std::hash over a pointer"},
+      {std::regex(R"(\bless\s*<\s*[\w:\s]+\*\s*>)"), "std::less over a pointer"},
+      {std::regex(R"(reinterpret_cast\s*<\s*(std\s*::\s*)?u?intptr_t)"),
+       "address-derived integer"},
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const auto& [re, what] : det3) {
+      if (std::regex_search(code[i], re)) {
+        report(i, "DET003",
+               what + ": addresses vary run to run under ASLR, so any "
+                      "ordering or hashing derived from them is "
+                      "nondeterministic — key by a stable id");
+      }
+    }
+  }
+
+  // --- DET004: mutable statics / globals -----------------------------------
+  static const std::regex static_re(R"(^\s*static\s)");
+  static const std::regex global_re(
+      R"(^[A-Za-z_][\w:<>,\s*&]*\s[A-Za-z_]\w*\s*=[^=].*;)");
+  static const std::set<std::string> decl_starters = {
+      "return", "using",  "typedef", "template", "namespace", "struct",
+      "class",  "enum",   "if",      "for",      "while",     "else",
+      "case",   "public", "private", "protected", "friend",   "operator",
+      "delete", "throw",  "goto",    "do",        "extern"};
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    const std::string& l = code[i];
+    const bool is_static = std::regex_search(l, static_re);
+    const bool is_global_candidate =
+        !is_static && std::regex_search(l, global_re) && l[0] != ' ';
+    if (!is_static && !is_global_candidate) continue;
+    if (l.find("static_cast") != std::string::npos ||
+        l.find("static_assert") != std::string::npos) {
+      continue;
+    }
+    if (l.find("constexpr") != std::string::npos ||
+        l.find("const ") != std::string::npos ||
+        l.find("const&") != std::string::npos ||
+        l.find("atomic") != std::string::npos) {
+      continue;
+    }
+    const std::vector<std::string> ids = identifiers(l);
+    if (!ids.empty() && decl_starters.count(ids.front()) != 0) continue;
+    if (is_static && !ids.empty() && ids.front() != "static") continue;
+    // A '(' before any '=' means a function declaration/definition.
+    const std::size_t eq = l.find('=');
+    const std::string head = eq == std::string::npos ? l : l.substr(0, eq);
+    if (head.find('(') != std::string::npos) continue;
+    // Plain `static foo;` without initializer only counts when static.
+    if (!is_static && eq == std::string::npos) continue;
+    if (is_static && eq == std::string::npos &&
+        head.find(';') == std::string::npos) {
+      continue;  // e.g. `static class foo` spanning lines — out of scope
+    }
+    report(i, "DET004",
+           std::string(is_static ? "mutable non-atomic static" : "mutable global") +
+               " variable: hidden cross-run/cross-thread state breaks "
+               "twice-run reproducibility — make it const, atomic, or "
+               "per-instance state");
+  }
+
+  // --- DET005: unordered parallel float reduction --------------------------
+  static const std::vector<std::pair<std::regex, std::string>> det5 = {
+      {std::regex(R"(\bstd\s*::\s*execution\s*::)"),
+       "parallel execution policy"},
+      {std::regex(R"(#\s*pragma\s+omp)"), "OpenMP pragma"},
+      {std::regex(R"(\batomic\s*<\s*(float|double|long\s+double))"),
+       "atomic floating-point accumulator"},
+      {std::regex(R"(\b(std\s*::\s*)?(reduce|transform_reduce)\s*\()"),
+       "std::reduce/transform_reduce"},
+  };
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (const auto& [re, what] : det5) {
+      if (std::regex_search(code[i], re)) {
+        report(i, "DET005",
+               what + ": floating-point addition is not associative, so "
+                      "unordered parallel reduction is run-to-run "
+                      "nondeterministic — merge worker results in submission "
+                      "order (see scenario/sweep.cpp)");
+      }
+    }
+  }
+
+  std::stable_sort(out.begin(), out.end(),
+                   [](const finding& a, const finding& b) { return a.line < b.line; });
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+std::vector<allow_entry> default_allowlist() {
+  return {
+      {"DET002", "src/util/rng.cpp"},
+      {"DET002", "src/util/rng.hpp"},
+      {"DET005", "src/scenario/sweep.cpp"},
+  };
+}
+
+std::vector<std::string> collect_files(const std::vector<std::string>& roots) {
+  namespace fs = std::filesystem;
+  const std::set<std::string> exts = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"};
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        if (exts.count(entry.path().extension().string()) != 0) {
+          files.push_back(entry.path().string());
+        }
+      }
+    } else if (fs::is_regular_file(root)) {
+      files.push_back(root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::vector<finding> scan(const options& opts) {
+  const std::vector<std::string> files = collect_files(opts.roots);
+  std::vector<std::string> texts;
+  texts.reserve(files.size());
+  for (const std::string& f : files) {
+    std::ifstream in(f);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    texts.push_back(ss.str());
+  }
+  const std::vector<std::string> names = collect_unordered_names(texts);
+  std::vector<finding> out;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::vector<finding> fs = scan_text(files[i], texts[i], names, opts.allow);
+    out.insert(out.end(), fs.begin(), fs.end());
+  }
+  return out;
+}
+
+std::string format(const finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " + f.message;
+}
+
+}  // namespace detlint

@@ -1,0 +1,91 @@
+// detlint — determinism lint for the simulator source tree.
+//
+// A deterministic discrete-event simulation is only as reproducible as its
+// least-ordered loop: one iteration over an unordered container that emits
+// packets, one wall-clock read, one pointer-keyed map, and the replay
+// guarantee is gone. detlint is a token/regex scanner (no libclang) that
+// enforces the repo's five determinism rule classes:
+//
+//   DET001  iteration over std::unordered_map / std::unordered_set
+//           (range-for or .begin() iterator loops). Extract-and-sort the
+//           keys, switch to std::map, or suppress with a reason.
+//   DET002  ambient nondeterminism sources: rand()/srand(), time(),
+//           std::random_device, std::chrono::{system,steady,high_resolution}
+//           _clock, clock(), gettimeofday, argless engine seeding. All
+//           randomness must flow through the seeded streams in util/rng.
+//   DET003  pointer-keyed containers and address-based hashing: ASLR makes
+//           any pointer-ordered traversal differ between runs.
+//   DET004  mutable non-atomic static locals / static globals: hidden
+//           cross-run and cross-thread state (counters, caches) that breaks
+//           twice-run-in-process equality.
+//   DET005  unordered parallel floating-point reduction primitives
+//           (std::execution policies, OpenMP pragmas, atomic<float/double>,
+//           std::reduce/transform_reduce): float addition is not
+//           associative, so merge order must be fixed (see scenario/sweep's
+//           submission-order merge).
+//
+// Suppressions (reason is mandatory, DET000 fires on a missing one):
+//   code();  // NOLINT-DET(DET001: counter accumulation is order-free)
+//   // NOLINTNEXTLINE-DET(DET004: guarded by init-once mutex)
+//   code();
+// `*` suppresses every rule on the line: NOLINT-DET(*: generated code).
+//
+// Per-rule path allowlists exempt the sanctioned homes of a primitive
+// (util/rng.cpp for DET002, scenario/sweep.cpp for DET005).
+#ifndef MANET_TOOLS_DETLINT_DETLINT_HPP
+#define MANET_TOOLS_DETLINT_DETLINT_HPP
+
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+struct finding {
+  std::string file;     ///< path as given/discovered
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< "DET001".."DET005", "DET000" for bad suppressions
+  std::string message;  ///< human-readable explanation
+};
+
+struct allow_entry {
+  std::string rule;         ///< rule id the exemption applies to
+  std::string path_suffix;  ///< matches when the normalized path ends with it
+};
+
+struct options {
+  /// Files or directories to scan (*.cpp, *.cc, *.hpp, *.hh, *.h).
+  std::vector<std::string> roots;
+  /// Per-rule path exemptions.
+  std::vector<allow_entry> allow;
+};
+
+/// Exemptions for this repository's layout: the seeded RNG implementation is
+/// the one sanctioned home of raw entropy primitives, and the sweep executor
+/// owns the (submission-ordered) worker merge.
+std::vector<allow_entry> default_allowlist();
+
+/// Expands directories in `roots` to the C++ files beneath them, sorted.
+std::vector<std::string> collect_files(const std::vector<std::string>& roots);
+
+/// Scans one in-memory file. `unordered_names` is the project-wide set of
+/// identifiers declared as (or aliased to / containers of) unordered
+/// containers, as produced by collect_unordered_names.
+std::vector<finding> scan_text(const std::string& path, const std::string& text,
+                               const std::vector<std::string>& unordered_names,
+                               const std::vector<allow_entry>& allow);
+
+/// Pass 1: identifiers declared with an unordered container type anywhere in
+/// `texts` (declaration names, alias names, and names of containers whose
+/// element type is unordered).
+std::vector<std::string> collect_unordered_names(
+    const std::vector<std::string>& texts);
+
+/// Full two-pass scan over everything under `opts.roots`.
+std::vector<finding> scan(const options& opts);
+
+/// "file:line: RULE: message" rendering used by the CLI and the tests.
+std::string format(const finding& f);
+
+}  // namespace detlint
+
+#endif  // MANET_TOOLS_DETLINT_DETLINT_HPP

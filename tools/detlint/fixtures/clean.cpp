@@ -1,0 +1,44 @@
+// detlint fixture: determinism-safe idioms that must produce zero findings.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+std::unordered_map<int, double> weights_;
+std::map<int, double> ordered_;
+
+double sorted_extraction() {
+  // The sanctioned pattern: extract keys, sort, then walk in key order.
+  std::vector<int> keys;
+  keys.reserve(weights_.size());
+  for (auto& [k, v] : ordered_) keys.push_back(k);  // ordered map: fine
+  std::sort(keys.begin(), keys.end());
+  double sum = 0;
+  for (int k : keys) sum += weights_.at(k);  // keyed lookup: fine
+  return sum;
+}
+
+std::vector<int> sorted_keys(const std::unordered_map<int, double>& m);
+
+double helper_extraction() {
+  // Ranging over a call result is fine even when the unordered container is
+  // an argument — ordering is the callee's concern (src/util/ordered.hpp).
+  double sum = 0;
+  for (int k : sorted_keys(weights_)) sum += weights_.at(k);
+  return sum;
+}
+
+bool membership(int k) {
+  // Lookups and membership tests on unordered containers are fine; only
+  // iteration order is hazardous.
+  return weights_.find(k) != weights_.end() && weights_.count(k) != 0;
+}
+
+// Mentioning rand() or system_clock in a comment is fine, as is "rand(" in a
+// string literal:
+const char* kDoc = "never call rand() or poll the system_clock";
+
+static const int kLimit = 64;           // const static: fine
+static constexpr double kScale = 0.5;   // constexpr: fine
+
+int brand_new(int operand) { return operand; }  // 'rand(' inside identifiers: fine

@@ -1,0 +1,31 @@
+// detlint fixture: suppression syntax. Valid suppressions silence their
+// rule; missing reasons and malformed markers surface as DET000.
+#include <unordered_map>
+
+std::unordered_map<int, int> totals_;
+
+int ok_suppressions() {
+  int sum = 0;
+  for (const auto& [k, v] : totals_) {  // NOLINT-DET(DET001: integer sum is order-independent)
+    sum += k + v;
+  }
+  // NOLINTNEXTLINE-DET(DET001: erase-only sweep, no observable order)
+  for (auto it = totals_.begin(); it != totals_.end(); ++it) {
+    sum -= it->second;
+  }
+  return sum;
+}
+
+int bad_suppressions() {
+  int sum = 0;
+  for (const auto& [k, v] : totals_) {  // NOLINT-DET(DET001:)
+    sum += k + v;  // ^ line 21: DET000 missing reason + DET001 still fires
+  }
+  for (const auto& [k, v] : totals_) {  // NOLINT-DET
+    sum += k + v;  // ^ line 24: DET000 malformed + DET001 still fires
+  }
+  for (const auto& [k, v] : totals_) {  // NOLINT-DET(DET002: wrong rule id)
+    sum += k + v;  // ^ line 27: DET001 not covered by a DET002 suppression
+  }
+  return sum;
+}

@@ -1,0 +1,41 @@
+// detlint fixture: one specimen of every rule, at line numbers the unit
+// tests pin exactly. Never compiled — only scanned.
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+struct widget {
+  int weight = 0;
+};
+
+std::unordered_map<int, widget> table_;
+std::unordered_set<long> seen_;
+
+int iterate_unordered() {
+  int sum = 0;
+  for (const auto& [k, v] : table_) {  // line 16: DET001 range-for
+    sum += v.weight + k;
+  }
+  for (auto it = seen_.begin(); it != seen_.end(); ++it) {  // line 19: DET001
+    sum += static_cast<int>(*it);
+  }
+  return sum;
+}
+
+int ambient_entropy() {
+  int x = rand();  // line 26: DET002
+  std::random_device rd;  // line 27: DET002
+  auto t = std::chrono::system_clock::now();  // line 28: DET002
+  (void)t;
+  return x + static_cast<int>(rd());
+}
+
+std::map<widget*, int> by_address_;  // line 33: DET003
+
+static int call_counter_ = 0;  // line 35: DET004
+
+double parallel_sum(const std::vector<double>& xs) {
+  double out = std::reduce(xs.begin(), xs.end());  // line 38: DET005
+  std::atomic<double> acc{0.0};  // line 39: DET005
+  return out + acc.load();
+}

@@ -1,0 +1,55 @@
+// detlint CLI. Exit status 1 when any unsuppressed finding remains, so the
+// `lint` build target and the ctest entry fail loudly.
+//
+//   detlint [--allow=RULE:path-suffix]... [--no-default-allow] [--quiet] PATH...
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "detlint.hpp"
+
+int main(int argc, char** argv) {
+  detlint::options opts;
+  opts.allow = detlint::default_allowlist();
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--no-default-allow") {
+      opts.allow.clear();
+    } else if (arg.rfind("--allow=", 0) == 0) {
+      const std::string spec = arg.substr(std::strlen("--allow="));
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "detlint: bad --allow spec '%s' (want RULE:path)\n",
+                     spec.c_str());
+        return 2;
+      }
+      opts.allow.push_back({spec.substr(0, colon), spec.substr(colon + 1)});
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: detlint [--allow=RULE:path-suffix]... [--no-default-allow] "
+          "[--quiet] PATH...\n"
+          "Scans C++ sources for determinism hazards (DET001..DET005).\n");
+      return 0;
+    } else {
+      opts.roots.push_back(arg);
+    }
+  }
+  if (opts.roots.empty()) {
+    std::fprintf(stderr, "detlint: no paths given (try --help)\n");
+    return 2;
+  }
+
+  const std::vector<detlint::finding> findings = detlint::scan(opts);
+  for (const detlint::finding& f : findings) {
+    std::printf("%s\n", detlint::format(f).c_str());
+  }
+  const std::size_t files = detlint::collect_files(opts.roots).size();
+  if (!quiet) {
+    std::fprintf(stderr, "detlint: %zu file(s) scanned, %zu finding(s)\n", files,
+                 findings.size());
+  }
+  return findings.empty() ? 0 : 1;
+}

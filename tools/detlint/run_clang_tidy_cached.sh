@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# clang-tidy over the source tree with a content-hash cache, so unchanged
+# files are free on repeat runs (CI restores the cache directory between
+# jobs; see .github/workflows/ci.yml).
+#
+#   run_clang_tidy_cached.sh <clang-tidy> <build-dir> <src-dir>...
+#
+# The cache key of a file is the SHA-256 of (clang-tidy version, .clang-tidy
+# config, file contents). A cache hit replays the stored exit status and
+# output; a miss runs clang-tidy and stores both. Any nonzero per-file status
+# fails the whole pass.
+set -u
+
+TIDY="$1"
+BUILD_DIR="$2"
+shift 2
+
+CACHE_DIR="${CLANG_TIDY_CACHE_DIR:-${BUILD_DIR}/clang-tidy-cache}"
+mkdir -p "${CACHE_DIR}"
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+CONFIG_HASH="$( (cat "${ROOT}/.clang-tidy" 2>/dev/null; "${TIDY}" --version) | sha256sum | cut -d' ' -f1)"
+
+status=0
+checked=0
+hits=0
+for src in "$@"; do
+  while IFS= read -r file; do
+    key="$( (echo "${CONFIG_HASH}"; cat "${file}") | sha256sum | cut -d' ' -f1)"
+    out="${CACHE_DIR}/${key}.log"
+    rc_file="${CACHE_DIR}/${key}.rc"
+    if [[ -f "${rc_file}" ]]; then
+      rc="$(cat "${rc_file}")"
+      hits=$((hits + 1))
+    else
+      "${TIDY}" --quiet -p "${BUILD_DIR}" "${file}" >"${out}" 2>/dev/null
+      rc=$?
+      echo "${rc}" >"${rc_file}"
+    fi
+    if [[ "${rc}" != 0 ]]; then
+      echo "clang-tidy: findings in ${file}:"
+      cat "${out}"
+      status=1
+    fi
+    checked=$((checked + 1))
+  done < <(find "${src}" -name '*.cpp' | sort)
+done
+
+echo "clang-tidy: ${checked} file(s), ${hits} cache hit(s), status ${status}"
+exit "${status}"

@@ -4,12 +4,14 @@
 #define MANET_BENCH_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "scenario/params.hpp"
 #include "scenario/sweep.hpp"
 #include "util/config.hpp"
+#include "util/logging.hpp"
 
 namespace manet::bench {
 
@@ -25,10 +27,13 @@ struct bench_options {
 };
 
 /// Parses key=value overrides (including neighbor_index=grid|naive) plus:
-///   --full       paper-scale simulation time (5 h)
-///   --reps=N     repetitions per point (per-run seeds via sweep_run_seed)
-///   --jobs=N     worker threads (0 = all hardware threads, 1 = serial)
-///   --quiet      suppress per-run progress lines
+///   --full         paper-scale simulation time (5 h)
+///   --reps=N       repetitions per point (per-run seeds via sweep_run_seed)
+///   --jobs=N       worker threads (0 = all hardware threads, 1 = serial)
+///   --quiet        suppress per-run progress lines
+///   --trace=PATH   JSONL event trace (multi-run benches suffix per run)
+///   --series=PATH  JSONL time-series windows (suffixed the same way)
+///   --log-level=L  trace|debug|info|warn|error|off
 /// Bench default sim_time is 30 simulated minutes so the whole suite runs in
 /// minutes; --full restores Table 1's T_Sim.
 inline bench_options parse_bench_args(int argc, char** argv) {
@@ -47,6 +52,17 @@ inline bench_options parse_bench_args(int argc, char** argv) {
       opt.jobs = std::stoi(arg.substr(7));
     } else if (arg == "--quiet") {
       opt.quiet = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      cfg.set("trace_file", arg.substr(8));
+    } else if (arg.rfind("--series=", 0) == 0) {
+      cfg.set("series_file", arg.substr(9));
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      log_level level;
+      if (!parse_log_level(arg.substr(12), level)) {
+        throw std::runtime_error("unknown log level '" + arg.substr(12) +
+                                 "' (expected trace|debug|info|warn|error|off)");
+      }
+      set_log_level(level);
     } else if (arg.rfind("--", 0) == 0 || !cfg.parse_assignment(arg)) {
       opt.rest.push_back(arg);
     }

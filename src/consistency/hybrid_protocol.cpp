@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/causal_trace.hpp"
+#include "obs/registry.hpp"
+
 namespace manet {
 
 namespace {
@@ -41,6 +44,24 @@ void hybrid_protocol::flood_report(item_id item) {
 void hybrid_protocol::on_update(item_id item) {
   // Push side is IR-based: the change rides the next periodic report.
   (void)item;
+}
+
+void hybrid_protocol::register_metrics(metric_registry& reg) {
+  reg.counter("hybrid.polls_sent", [this] { return polls_sent_; });
+  reg.counter("hybrid.unvalidated_answers",
+              [this] { return unvalidated_answers_; });
+  reg.gauge("hybrid.pending_polls",
+            [this] { return static_cast<double>(pending_polls()); });
+}
+
+std::size_t hybrid_protocol::pending_polls() const {
+  std::size_t n = 0;
+  // NOLINTNEXTLINE-DET(DET001: a commutative count cannot observe hash order)
+  for (const auto& [k, st] : polls_) {
+    (void)k;
+    if (!st.waiting.empty()) ++n;
+  }
+  return n;
 }
 
 void hybrid_protocol::on_query(node_id n, item_id item, consistency_level level) {
@@ -88,10 +109,15 @@ void hybrid_protocol::begin_poll(node_id n, item_id item, query_id q) {
   st.waiting.push_back(q);
   if (st.waiting.size() > 1) return;
   st.retries = 0;
+  st.trace = trace_current();
   send_poll(n, item);
 }
 
 void hybrid_protocol::send_poll(node_id n, item_id item) {
+  poll_state& st = polls_[key(n, item)];
+  // Retries re-enter the original query's causal chain; the timeout timer
+  // fires in a rootless context.
+  causal_tracer::scope trace_scope(tracer(), st.trace);
   auto payload = std::make_shared<poll_msg>();
   payload->item = item;
   payload->asker = n;
@@ -101,7 +127,6 @@ void hybrid_protocol::send_poll(node_id n, item_id item) {
   send(n, registry().source(item), kind_hyb_poll, std::move(payload),
        control_bytes());
   ++polls_sent_;
-  poll_state& st = polls_[key(n, item)];
   st.timer.cancel();
   st.timer = sim().schedule_in(params_.poll_timeout,
                                [this, n, item] { on_poll_timeout(n, item); });
@@ -155,6 +180,7 @@ void hybrid_protocol::on_flood(node_id self, const packet& p) {
   } else {
     // Adaptive part: just mark stale; content is pulled on demand.
     copy->invalid = true;
+    trace_invalidate(self, msg->item, copy->version);
   }
 }
 
@@ -189,6 +215,7 @@ void hybrid_protocol::on_unicast(node_id self, const packet& p) {
           fresh.version_obtained_at = sim().now();
           fresh.validated_until = sim().now() + params_.validity;
           store(self).put(fresh);
+          trace_apply(self, msg->item, msg->version);
         } else if (msg->version == copy->version) {
           copy->validated_until = sim().now() + params_.validity;
           copy->invalid = false;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/causal_trace.hpp"
+
 namespace manet {
 
 void register_consistency_kinds(traffic_meter& meter) {
@@ -36,6 +38,20 @@ void consistency_protocol::attach_handlers() {
       [this](node_id self, const packet& p) { on_flood(self, p); });
   ctx_.route->set_delivery_handler(
       [this](node_id self, const packet& p) { on_unicast(self, p); });
+}
+
+void consistency_protocol::trace_apply(node_id n, item_id item,
+                                       version_t version) {
+  if (ctx_.tracer != nullptr) ctx_.tracer->on_apply(n, item, version);
+}
+
+void consistency_protocol::trace_invalidate(node_id n, item_id item,
+                                            version_t version) {
+  if (ctx_.tracer != nullptr) ctx_.tracer->on_invalidate(n, item, version);
+}
+
+std::uint64_t consistency_protocol::trace_current() const {
+  return ctx_.tracer != nullptr ? ctx_.tracer->current() : 0;
 }
 
 void consistency_protocol::answer_from_cache(query_id q, node_id n, item_id item,

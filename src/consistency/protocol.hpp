@@ -23,6 +23,9 @@
 
 namespace manet {
 
+class causal_tracer;
+class metric_registry;
+
 struct protocol_context {
   simulator* sim = nullptr;
   network* net = nullptr;
@@ -31,6 +34,7 @@ struct protocol_context {
   item_registry* registry = nullptr;
   std::vector<cache_store>* stores = nullptr;  ///< one per node
   query_log* qlog = nullptr;
+  causal_tracer* tracer = nullptr;  ///< optional observability (obs/)
   std::size_t control_bytes = 32;  ///< modeled size of content-free messages
 };
 
@@ -74,6 +78,14 @@ class consistency_protocol {
   /// Optional protocol-specific diagnostics appended to run reports.
   virtual std::string extra_report() const { return {}; }
 
+  /// Registers protocol counters/gauges under the protocol's namespace
+  /// (e.g. `rpcc.*`). Default: nothing.
+  virtual void register_metrics(metric_registry&) {}
+
+  /// Number of currently outstanding poll/validation exchanges (sampled
+  /// into the time series). 0 for protocols without polling state.
+  virtual std::size_t pending_polls() const { return 0; }
+
  protected:
   /// Receive entry points; attach_handlers() registers them with the
   /// flooding service and router.
@@ -107,6 +119,18 @@ class consistency_protocol {
   /// copy when `n` is the source host). `validated` is the protocol's
   /// freshness claim. Requires the copy to exist.
   void answer_from_cache(query_id q, node_id n, item_id item, bool validated);
+
+  /// Causal-trace emitters (obs/causal_trace.hpp); no-ops without a tracer.
+  /// Call trace_apply when a node installs or upgrades a cached copy,
+  /// trace_invalidate when it marks one invalid.
+  void trace_apply(node_id n, item_id item, version_t version);
+  void trace_invalidate(node_id n, item_id item, version_t version);
+
+  /// Ambient trace id of the event being handled (0 without a tracer or
+  /// outside any scope). Protocols save it to resume a causal chain across
+  /// their own timers (e.g. poll retries) via causal_tracer::scope.
+  std::uint64_t trace_current() const;
+  causal_tracer* tracer() const { return ctx_.tracer; }
 
  private:
   protocol_context ctx_;

@@ -2,6 +2,9 @@
 
 #include <cassert>
 
+#include "obs/causal_trace.hpp"
+#include "obs/registry.hpp"
+
 namespace manet {
 
 namespace {
@@ -13,6 +16,14 @@ pull_protocol::pull_protocol(protocol_context ctx, pull_params params)
     : consistency_protocol(ctx), params_(params) {}
 
 void pull_protocol::start() { attach_handlers(); }
+
+void pull_protocol::register_metrics(metric_registry& reg) {
+  reg.counter("pull.polls_sent", [this] { return polls_sent_; });
+  reg.counter("pull.unvalidated_answers",
+              [this] { return unvalidated_answers_; });
+  reg.gauge("pull.pending_polls",
+            [this] { return static_cast<double>(polls_.size()); });
+}
 
 void pull_protocol::on_update(item_id item) {
   // Purely reactive protocol: the new version is visible in the registry;
@@ -64,10 +75,15 @@ void pull_protocol::begin_poll(node_id n, item_id item, query_id q) {
   st.waiting.push_back(q);
   if (st.waiting.size() > 1) return;  // poll already in flight
   st.retries = 0;
+  st.trace = trace_current();
   send_poll(n, item);
 }
 
 void pull_protocol::send_poll(node_id n, item_id item) {
+  poll_state& st = polls_[key(n, item)];
+  // Retries re-enter the original query's causal chain; the timeout timer
+  // fires in a rootless context.
+  causal_tracer::scope trace_scope(tracer(), st.trace);
   auto payload = std::make_shared<poll_msg>();
   payload->item = item;
   payload->asker = n;
@@ -76,7 +92,6 @@ void pull_protocol::send_poll(node_id n, item_id item) {
   floods().flood(n, kind_pull_poll, std::move(payload), control_bytes(),
                  params_.poll_ttl);
   ++polls_sent_;
-  poll_state& st = polls_[key(n, item)];
   st.timer.cancel();
   st.timer = sim().schedule_in(params_.poll_timeout,
                                [this, n, item] { on_poll_timeout(n, item); });
@@ -149,6 +164,7 @@ void pull_protocol::on_unicast(node_id self, const packet& p) {
       fresh.version_obtained_at = sim().now();
       fresh.validated_until = sim().now() + params_.validity;
       store(self).put(fresh);
+      trace_apply(self, msg->item, msg->version);
     } else {
       copy->validated_until = sim().now() + params_.validity;
     }

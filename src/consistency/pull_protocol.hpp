@@ -37,6 +37,8 @@ class pull_protocol final : public consistency_protocol {
 
   std::uint64_t polls_sent() const { return polls_sent_; }
   std::uint64_t unvalidated_answers() const { return unvalidated_answers_; }
+  void register_metrics(metric_registry& reg) override;
+  std::size_t pending_polls() const override { return polls_.size(); }
 
  protected:
   void on_flood(node_id self, const packet& p) override;
@@ -47,6 +49,7 @@ class pull_protocol final : public consistency_protocol {
     std::vector<query_id> waiting;
     int retries = 0;
     event_handle timer;
+    std::uint64_t trace = 0;  ///< causal chain of the query that opened the round
   };
 
   static std::uint64_t key(node_id n, item_id d) {

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "obs/registry.hpp"
+
 namespace manet {
 
 push_protocol::push_protocol(protocol_context ctx, push_params params)
@@ -33,6 +35,14 @@ void push_protocol::flood_report(item_id item) {
   floods().flood(src, kind_push_inv, std::move(payload), control_bytes(),
                  params_.inv_ttl);
   ++reports_;
+}
+
+void push_protocol::register_metrics(metric_registry& reg) {
+  reg.counter("push.reports_flooded", [this] { return reports_; });
+  reg.counter("push.unvalidated_answers",
+              [this] { return unvalidated_answers_; });
+  reg.gauge("push.waiting_queries",
+            [this] { return static_cast<double>(waits_.size()); });
 }
 
 void push_protocol::on_update(item_id item) {
@@ -126,6 +136,7 @@ void push_protocol::on_flood(node_id self, const packet& p) {
     serve_waiting(self, msg->item, /*validated=*/true);
   } else {
     copy->invalid = true;
+    trace_invalidate(self, msg->item, copy->version);
     // Refresh the content; waiting queries are served when PUSH_SEND lands.
     request_refresh(self, msg->item);
   }
@@ -147,12 +158,15 @@ void push_protocol::on_unicast(node_id self, const packet& p) {
     assert(msg != nullptr);
     cached_copy* copy = store(self).find(msg->item);
     if (copy == nullptr || msg->version >= copy->version) {
+      const bool changed = copy == nullptr || msg->version > copy->version ||
+                           copy->invalid;
       cached_copy fresh;
       fresh.item = msg->item;
       fresh.version = msg->version;
       fresh.version_obtained_at = sim().now();
       fresh.validated_until = sim().now() + params_.validity;
       store(self).put(fresh);
+      if (changed) trace_apply(self, msg->item, msg->version);
     }
     serve_waiting(self, msg->item, /*validated=*/true);
   }

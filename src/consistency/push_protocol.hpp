@@ -37,6 +37,8 @@ class push_protocol final : public consistency_protocol {
 
   std::uint64_t reports_flooded() const { return reports_; }
   std::uint64_t unvalidated_answers() const { return unvalidated_answers_; }
+  void register_metrics(metric_registry& reg) override;
+  std::size_t pending_polls() const override { return waits_.size(); }
 
  protected:
   void on_flood(node_id self, const packet& p) override;

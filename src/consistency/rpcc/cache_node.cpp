@@ -11,6 +11,7 @@
 
 #include "consistency/rpcc/rpcc_protocol.hpp"
 
+#include "obs/causal_trace.hpp"
 #include "util/ordered.hpp"
 
 namespace manet {
@@ -76,11 +77,15 @@ void rpcc_protocol::start_poll(node_id n, item_id item, query_id q) {
   st.polling = true;
   st.poll_retries = 0;
   st.poll_ttl = params_.poll_ttl;
+  // The poll round belongs to the causal chain of the query that opened it;
+  // retries re-enter the chain from this saved id (timer context is rootless).
+  st.poll_trace = trace_current();
   send_poll(n, item);
 }
 
 void rpcc_protocol::send_poll(node_id n, item_id item) {
   peer_item_state& st = state(n, item);
+  causal_tracer::scope trace_scope(tracer(), st.poll_trace);
   auto payload = std::make_shared<poll_msg>();
   payload->item = item;
   payload->asker = n;
@@ -171,6 +176,7 @@ void rpcc_protocol::cache_on_poll_ack(node_id self, const packet& p) {
       fresh.version_obtained_at = sim().now();
       fresh.validated_until = sim().now() + ttp;
       store(self).put(fresh);
+      trace_apply(self, msg->item, msg->version);
     } else if (msg->version == copy->version) {
       copy->validated_until = sim().now() + ttp;
     }
@@ -260,10 +266,12 @@ void rpcc_protocol::cache_on_update(node_id self, item_id item, version_t versio
       // content but repeat the cancellation.
       cached_copy* copy = store(self).find(item);
       if (copy != nullptr && version >= copy->version) {
+        const bool changed = version > copy->version || copy->invalid;
         copy->version = version;
         copy->version_obtained_at = sim().now();
         copy->validated_until = sim().now() + params_.ttp;
         copy->invalid = false;
+        if (changed) trace_apply(self, item, version);
       }
       if (node_up(self)) {
         auto payload = std::make_shared<item_msg>();

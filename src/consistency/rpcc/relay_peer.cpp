@@ -11,6 +11,8 @@
 
 #include "consistency/rpcc/rpcc_protocol.hpp"
 
+#include "obs/causal_trace.hpp"
+
 namespace manet {
 
 void rpcc_protocol::relay_on_invalidation(node_id self, item_id item,
@@ -86,11 +88,14 @@ void rpcc_protocol::apply_fresh_copy(node_id self, item_id item, version_t versi
     fresh.version_obtained_at = sim().now();
     fresh.validated_until = sim().now() + params_.ttp;
     store(self).put(fresh);
+    trace_apply(self, item, version);
   } else if (version >= copy->version) {
+    const bool changed = version > copy->version || copy->invalid;
     copy->version = version;
     copy->version_obtained_at = sim().now();
     copy->validated_until = sim().now() + params_.ttp;
     copy->invalid = false;
+    if (changed) trace_apply(self, item, version);
   }
   state(self, item).ttr_deadline = sim().now() + params_.ttr;
 }
@@ -119,8 +124,9 @@ void rpcc_protocol::relay_answer_poll(node_id self, item_id item, node_id asker,
   // confirms our copy (Fig 6c line 16). The asker's own retry machinery
   // covers the case where no refresh ever comes.
   peer_item_state& mut = state(self, item);
-  mut.pending_polls.push_back(
-      pending_poll{asker, asker_version, sim().now() + params_.pending_poll_max_wait});
+  mut.pending_polls.push_back(pending_poll{
+      asker, asker_version, sim().now() + params_.pending_poll_max_wait,
+      trace_current()});
 }
 
 void rpcc_protocol::relay_flush_pending_polls(node_id self, item_id item) {
@@ -130,6 +136,9 @@ void rpcc_protocol::relay_flush_pending_polls(node_id self, item_id item) {
   st.pending_polls.clear();
   for (const pending_poll& p : polls) {
     if (p.expires < sim().now()) continue;
+    // The deferred ACK belongs to the parked POLL's causal chain, not to
+    // the refresh event that released it.
+    causal_tracer::scope trace_scope(tracer(), p.trace);
     relay_answer_poll(self, item, p.asker, p.asker_version);
   }
 }

@@ -2,6 +2,7 @@
 // relay-population accounting and the per-window demotion check.
 #include "consistency/rpcc/rpcc_protocol.hpp"
 
+#include "obs/registry.hpp"
 #include "util/ordered.hpp"
 
 #include <algorithm>
@@ -123,6 +124,30 @@ void rpcc_protocol::reset_stats() {
   demotions_ = 0;
   polls_sent_ = 0;
   unvalidated_answers_ = 0;
+}
+
+void rpcc_protocol::register_metrics(metric_registry& reg) {
+  reg.counter("rpcc.promotions", [this] { return promotions_; });
+  reg.counter("rpcc.demotions", [this] { return demotions_; });
+  reg.counter("rpcc.polls_sent", [this] { return polls_sent_; });
+  reg.counter("rpcc.unvalidated_answers",
+              [this] { return unvalidated_answers_; });
+  reg.gauge("rpcc.relay_count",
+            [this] { return static_cast<double>(relay_count_); });
+  reg.gauge("rpcc.avg_relay_peers", [this] { return avg_relay_peers(); });
+  reg.gauge("rpcc.mean_current_ttn", [this] { return mean_current_ttn(); });
+}
+
+std::size_t rpcc_protocol::pending_polls() const {
+  std::size_t n = 0;
+  // NOLINTNEXTLINE-DET(DET001: a commutative count cannot observe hash order)
+  for (const auto& m : peer_state_) {
+    for (const auto& [item, st] : m) {
+      (void)item;
+      if (st.polling) ++n;
+    }
+  }
+  return n;
 }
 
 void rpcc_protocol::window_check() {

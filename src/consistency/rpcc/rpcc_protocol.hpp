@@ -73,6 +73,8 @@ class rpcc_protocol final : public consistency_protocol {
   void on_node_reconnect(node_id n) override;
   void reset_stats() override;
   std::string extra_report() const override;
+  void register_metrics(metric_registry& reg) override;
+  std::size_t pending_polls() const override;
 
   // Introspection for tests and benchmarks.
   peer_role role_of(node_id n, item_id item) const;
@@ -112,6 +114,7 @@ class rpcc_protocol final : public consistency_protocol {
     node_id asker = invalid_node;
     version_t asker_version = 0;
     sim_time expires = 0;
+    std::uint64_t trace = 0;  ///< causal trace of the parked POLL
   };
 
   /// Per (node, item) protocol state for every non-source participant.
@@ -130,6 +133,7 @@ class rpcc_protocol final : public consistency_protocol {
     bool polling = false;
     int poll_retries = 0;
     int poll_ttl = 0;
+    std::uint64_t poll_trace = 0;  ///< causal trace of the active poll round
     sim_time poll_backoff_until = 0;
     sim_duration current_ttp = 0;  ///< adaptive-TTP window (0 = use params)
     event_handle poll_timer;

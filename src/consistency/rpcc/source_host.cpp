@@ -13,6 +13,7 @@
 
 #include "consistency/rpcc/rpcc_protocol.hpp"
 
+#include "obs/causal_trace.hpp"
 #include "util/ordered.hpp"
 
 namespace manet {
@@ -31,6 +32,10 @@ void rpcc_protocol::source_tick(item_id item) {
   const node_id src = registry().source(item);
   if (!node_up(src)) return;  // missed interval; next tick resumes
   source_item_state& st = source_state_.at(item);
+  // One causal root per tick: the UPDATE pushes, the INVALIDATION flood and
+  // everything they provoke downstream reconstruct as a single tree.
+  causal_tracer* tr = tracer();
+  causal_tracer::scope trace_scope(tr, tr != nullptr ? tr->mint() : 0);
   prune_relay_leases(item);
 
   // Fig 6b lines (1)-(5): push the new content to relay peers first.

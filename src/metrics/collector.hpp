@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/units.hpp"
@@ -63,6 +64,11 @@ struct run_result {
 
   // RPCC-specific (0 for baselines).
   double avg_relay_peers = 0;  ///< mean concurrent relay peers (all items)
+
+  // Full metric-registry snapshot (obs/registry.hpp), name-sorted. Kept out
+  // of the determinism digest: the named fields above stay the stable
+  // contract, this is the open-ended diagnostic surface.
+  std::vector<std::pair<std::string, double>> metrics;
 
   /// Messages per second of simulated time.
   double messages_per_second() const {

@@ -21,6 +21,7 @@ query_id query_log::issue(node_id n, item_id item, consistency_level level) {
   pending_[q] = pending_query{n, item, level, sim_.now()};
   ++issued_;
   ++by_level_[level_index(level)].issued;
+  if (issue_observer_) issue_observer_(q);
   return q;
 }
 
@@ -51,8 +52,9 @@ void query_log::answer(query_id q, version_t version, bool validated) {
     }
   }
   if (!observers_.empty()) {
-    const answer_record ar{rec.node,  rec.item,        rec.level, version,
-                           validated, version < current, age};
+    const answer_record ar{q,         rec.node,          rec.item, rec.level,
+                           version,   validated,         version < current,
+                           age};
     for (const auto& obs : observers_) obs(ar);
   }
 }

@@ -41,6 +41,7 @@ struct level_stats {
 /// Audited view of a single answered query, handed to answer observers the
 /// moment the answer is recorded (invariant checker, recovery tracker).
 struct answer_record {
+  query_id query = invalid_query;
   node_id node = invalid_node;
   item_id item = 0;
   consistency_level level = consistency_level::weak;
@@ -58,6 +59,13 @@ class query_log {
   /// Registers a callback invoked on every answer() with the audited record.
   void add_answer_observer(std::function<void(const answer_record&)> obs) {
     observers_.push_back(std::move(obs));
+  }
+
+  /// Callback invoked on every issue() with the fresh query id, while the
+  /// caller's context (e.g. the causal trace scope of the originating
+  /// query) is still live. At most one; replaces the previous.
+  void set_issue_observer(std::function<void(query_id)> obs) {
+    issue_observer_ = std::move(obs);
   }
 
   query_id issue(node_id n, item_id item, consistency_level level);
@@ -105,6 +113,7 @@ class query_log {
   query_id next_id_ = 1;
   log_histogram latency_hist_;
   std::vector<std::function<void(const answer_record&)>> observers_;
+  std::function<void(query_id)> issue_observer_;
 };
 
 }  // namespace manet

@@ -1,6 +1,9 @@
 #include "metrics/trace_writer.hpp"
 
+#include <cinttypes>
 #include <stdexcept>
+
+#include "util/logging.hpp"
 
 namespace manet {
 
@@ -12,50 +15,113 @@ trace_writer::trace_writer(const std::string& path) {
 }
 
 trace_writer::~trace_writer() {
-  if (out_ != nullptr) std::fclose(out_);
+  if (out_ != nullptr) {
+    flush();
+    std::fclose(out_);
+  }
+}
+
+void trace_writer::note_failure() {
+  ++dropped_;
+  if (dropped_ == 1) {
+    logf(log_level::warn,
+         "trace_writer: write failed (disk full or closed stream); "
+         "counting dropped events");
+  }
+  std::clearerr(out_);
+}
+
+void trace_writer::note_write(int rc) {
+  if (rc < 0 || std::ferror(out_) != 0) {
+    note_failure();
+  } else {
+    ++events_;
+  }
 }
 
 void trace_writer::flush() {
-  if (out_ != nullptr) std::fflush(out_);
+  if (out_ == nullptr) return;
+  if (std::fflush(out_) != 0 || std::ferror(out_) != 0) note_failure();
 }
 
 void trace_writer::record_rx(sim_time t, node_id self, node_id from,
                              const packet& p, const traffic_meter& meter) {
-  std::fprintf(out_,
-               "{\"t\":%.6f,\"ev\":\"rx\",\"node\":%u,\"from\":%u,\"kind\":\"%s\","
-               "\"src\":%u,\"hops\":%d,\"bytes\":%zu}\n",
-               t, self, from, meter.kind_name(p.kind).c_str(), p.src, p.hops,
-               p.size_bytes);
-  ++events_;
+  note_write(std::fprintf(
+      out_,
+      "{\"t\":%.6f,\"ev\":\"rx\",\"node\":%u,\"from\":%u,\"kind\":\"%s\","
+      "\"src\":%u,\"dst\":%u,\"hops\":%d,\"bytes\":%zu,\"uid\":%" PRIu64
+      ",\"trace\":%" PRIu64 "}\n",
+      t, self, from, meter.kind_name(p.kind).c_str(), p.src, p.dst, p.hops,
+      p.size_bytes, p.uid, p.trace_id));
+}
+
+void trace_writer::record_send(sim_time t, node_id self, const packet& p,
+                               const traffic_meter& meter) {
+  note_write(std::fprintf(
+      out_,
+      "{\"t\":%.6f,\"ev\":\"send\",\"node\":%u,\"kind\":\"%s\",\"dst\":%u,"
+      "\"ttl\":%d,\"bytes\":%zu,\"uid\":%" PRIu64 ",\"trace\":%" PRIu64 "}\n",
+      t, self, meter.kind_name(p.kind).c_str(), p.dst, p.ttl, p.size_bytes,
+      p.uid, p.trace_id));
 }
 
 void trace_writer::record_state(sim_time t, node_id node, bool up) {
-  std::fprintf(out_, "{\"t\":%.6f,\"ev\":\"%s\",\"node\":%u}\n", t,
-               up ? "up" : "down", node);
-  ++events_;
+  note_write(std::fprintf(out_, "{\"t\":%.6f,\"ev\":\"%s\",\"node\":%u}\n", t,
+                          up ? "up" : "down", node));
 }
 
 void trace_writer::record_query(sim_time t, node_id node, item_id item,
-                                consistency_level level) {
-  std::fprintf(out_,
-               "{\"t\":%.6f,\"ev\":\"query\",\"node\":%u,\"item\":%u,\"level\":"
-               "\"%s\"}\n",
-               t, node, item, consistency_level_name(level));
-  ++events_;
+                                consistency_level level, std::uint64_t trace) {
+  note_write(std::fprintf(
+      out_,
+      "{\"t\":%.6f,\"ev\":\"query\",\"node\":%u,\"item\":%u,\"level\":"
+      "\"%s\",\"trace\":%" PRIu64 "}\n",
+      t, node, item, consistency_level_name(level), trace));
 }
 
-void trace_writer::record_update(sim_time t, item_id item, version_t version) {
-  std::fprintf(out_,
-               "{\"t\":%.6f,\"ev\":\"update\",\"item\":%u,\"version\":%llu}\n", t,
-               item, static_cast<unsigned long long>(version));
-  ++events_;
+void trace_writer::record_update(sim_time t, item_id item, version_t version,
+                                 std::uint64_t trace) {
+  note_write(std::fprintf(
+      out_,
+      "{\"t\":%.6f,\"ev\":\"update\",\"item\":%u,\"version\":%llu,"
+      "\"trace\":%" PRIu64 "}\n",
+      t, item, static_cast<unsigned long long>(version), trace));
 }
 
-void trace_writer::record_position(sim_time t, node_id node, double x, double y) {
-  std::fprintf(out_,
-               "{\"t\":%.6f,\"ev\":\"pos\",\"node\":%u,\"x\":%.1f,\"y\":%.1f}\n", t,
-               node, x, y);
-  ++events_;
+void trace_writer::record_apply(sim_time t, node_id node, item_id item,
+                                version_t version, std::uint64_t trace) {
+  note_write(std::fprintf(
+      out_,
+      "{\"t\":%.6f,\"ev\":\"apply\",\"node\":%u,\"item\":%u,\"version\":%llu,"
+      "\"trace\":%" PRIu64 "}\n",
+      t, node, item, static_cast<unsigned long long>(version), trace));
+}
+
+void trace_writer::record_invalidate(sim_time t, node_id node, item_id item,
+                                     version_t version, std::uint64_t trace) {
+  note_write(std::fprintf(
+      out_,
+      "{\"t\":%.6f,\"ev\":\"inval\",\"node\":%u,\"item\":%u,\"version\":%llu,"
+      "\"trace\":%" PRIu64 "}\n",
+      t, node, item, static_cast<unsigned long long>(version), trace));
+}
+
+void trace_writer::record_answer(sim_time t, node_id node, item_id item,
+                                 version_t version, bool validated, bool stale,
+                                 std::uint64_t trace) {
+  note_write(std::fprintf(
+      out_,
+      "{\"t\":%.6f,\"ev\":\"answer\",\"node\":%u,\"item\":%u,\"version\":%llu,"
+      "\"validated\":%s,\"stale\":%s,\"trace\":%" PRIu64 "}\n",
+      t, node, item, static_cast<unsigned long long>(version),
+      validated ? "true" : "false", stale ? "true" : "false", trace));
+}
+
+void trace_writer::record_position(sim_time t, node_id node, double x,
+                                   double y) {
+  note_write(std::fprintf(
+      out_, "{\"t\":%.6f,\"ev\":\"pos\",\"node\":%u,\"x\":%.1f,\"y\":%.1f}\n",
+      t, node, x, y));
 }
 
 }  // namespace manet

@@ -1,12 +1,21 @@
 // JSONL event tracing for debugging and visualization.
 //
-// When a scenario is given a trace path, every frame reception, node
-// state switch, query and update is appended as one JSON object per line:
-//   {"t":12.345,"ev":"rx","node":3,"from":2,"kind":"POLL","src":7,"hops":2}
+// When a scenario is given a trace path, every frame send/reception, node
+// state switch, query, update, cache apply/invalidate and audited answer is
+// appended as one JSON object per line:
+//   {"t":12.345,"ev":"rx","node":3,"from":2,"kind":"POLL","src":7,"dst":3,
+//    "hops":2,"bytes":40,"uid":118,"trace":9}
 //   {"t":60.000,"ev":"down","node":5}
-//   {"t":61.200,"ev":"query","node":4,"item":9,"level":"SC"}
-// The format is line-delimited so traces stream into jq / pandas without a
-// closing bracket; writing is buffered by the underlying FILE.
+//   {"t":61.200,"ev":"query","node":4,"item":9,"level":"SC","trace":12}
+// The format is line-delimited so traces stream into jq / pandas / tracestat
+// without a closing bracket; writing is buffered by the underlying FILE.
+//
+// Every consistency-relevant record carries the causal `trace` id minted by
+// causal_tracer at the originating update/query/poll (0 = untraced), which
+// is what lets tools/tracestat rebuild propagation trees offline.
+//
+// Write failures (disk full, closed FILE) are never silent: failed lines
+// are counted in events_dropped() and the first failure logs at warn level.
 #ifndef MANET_METRICS_TRACE_WRITER_HPP
 #define MANET_METRICS_TRACE_WRITER_HPP
 
@@ -32,19 +41,40 @@ class trace_writer {
 
   void record_rx(sim_time t, node_id self, node_id from, const packet& p,
                  const traffic_meter& meter);
+  void record_send(sim_time t, node_id self, const packet& p,
+                   const traffic_meter& meter);
   void record_state(sim_time t, node_id node, bool up);
-  void record_query(sim_time t, node_id node, item_id item, consistency_level level);
-  void record_update(sim_time t, item_id item, version_t version);
+  void record_query(sim_time t, node_id node, item_id item,
+                    consistency_level level, std::uint64_t trace = 0);
+  void record_update(sim_time t, item_id item, version_t version,
+                     std::uint64_t trace = 0);
+  void record_apply(sim_time t, node_id node, item_id item, version_t version,
+                    std::uint64_t trace);
+  void record_invalidate(sim_time t, node_id node, item_id item,
+                         version_t version, std::uint64_t trace);
+  void record_answer(sim_time t, node_id node, item_id item, version_t version,
+                     bool validated, bool stale, std::uint64_t trace);
   void record_position(sim_time t, node_id node, double x, double y);
 
   std::uint64_t events_written() const { return events_; }
 
-  /// Flushes buffered lines to disk (destructor also flushes).
+  /// Lines lost to write errors (disk full, closed stream). The first
+  /// failure additionally logs at warn level.
+  std::uint64_t events_dropped() const { return dropped_; }
+
+  /// Flushes buffered lines to disk (destructor also flushes). A failed
+  /// flush counts one drop: buffered lines may be lost wholesale and we
+  /// cannot tell how many, so the counter records "at least one".
   void flush();
 
  private:
+  /// Accounts one fprintf result as written or dropped.
+  void note_write(int rc);
+  void note_failure();
+
   std::FILE* out_ = nullptr;
   std::uint64_t events_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace manet

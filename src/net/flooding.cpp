@@ -28,6 +28,7 @@ packet_uid flooding_service::flood(node_id origin, packet_kind kind,
   p.payload = std::move(payload);
   const packet_uid uid = p.uid;
   net_.meter().record_originated(kind);
+  net_.trace_origin(p);
   // Mark as seen at the origin so an echo from a neighbor is not re-flooded.
   seen_before(origin, uid);
   net_.send_frame(origin, broadcast_node, std::move(p));

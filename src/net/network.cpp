@@ -4,6 +4,9 @@
 #include <cassert>
 #include <queue>
 
+#include "obs/causal_trace.hpp"
+#include "obs/prof.hpp"
+
 namespace manet {
 
 network::network(simulator& sim, terrain land, radio_params rparams,
@@ -25,6 +28,12 @@ node_id network::add_node(std::unique_ptr<mobility_model> mobility) {
   ge_chains_.push_back(ge_chain{});
   ge_rng_.push_back(sim_.make_rng("net.ge", id));
   return id;
+}
+
+void network::trace_origin(packet& p) {
+  if (tracer_ == nullptr) return;
+  p.trace_id = tracer_->origin_trace();
+  tracer_->on_send(p);
 }
 
 void network::send_frame(node_id from, node_id rx, packet pkt) {
@@ -121,7 +130,12 @@ void network::on_air(node_id tx_node, const frame& f, sim_duration tx_time) {
   };
 
   if (f.rx == broadcast_node) {
-    for (node_id nb : radio_.neighbors(tx_node)) deliver_to(nb);
+    std::vector<node_id> nbs;
+    {
+      prof_scope ps(prof_, profiler::section::neighbor_query);
+      nbs = radio_.neighbors(tx_node);
+    }
+    for (node_id nb : nbs) deliver_to(nb);
   } else {
     if (!radio_.reachable(tx_node, f.rx)) {
       meter_.record_drop(f.pkt.kind, at(f.rx).up() ? drop_reason::out_of_range

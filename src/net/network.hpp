@@ -22,6 +22,9 @@
 
 namespace manet {
 
+class causal_tracer;
+class profiler;
+
 class network {
  public:
   network(simulator& sim, terrain land, radio_params rparams,
@@ -49,6 +52,18 @@ class network {
 
   /// Fresh end-to-end packet identifier.
   packet_uid next_uid() { return ++uid_counter_; }
+
+  /// Observability (obs/): both optional and inert for simulation logic.
+  void set_tracer(causal_tracer* t) { tracer_ = t; }
+  causal_tracer* tracer() const { return tracer_; }
+  void set_profiler(profiler* p) { prof_ = p; }
+
+  /// Stamps a packet being *originated* (not relayed) with its causal trace
+  /// id — the ambient scope's id when the origination is a reaction to a
+  /// handled event, a fresh root otherwise — and emits a "send" span.
+  /// Every origination site (flooding_service::flood, router sends) calls
+  /// this exactly once; no-op without a tracer.
+  void trace_origin(packet& p);
 
   /// Receiver-side dispatcher: (self, previous hop, packet).
   using dispatcher = std::function<void(node_id self, node_id from, const packet&)>;
@@ -112,6 +127,8 @@ class network {
   traffic_meter meter_;
   std::vector<std::unique_ptr<node>> nodes_;
   dispatcher dispatch_;
+  causal_tracer* tracer_ = nullptr;
+  profiler* prof_ = nullptr;
   packet_uid uid_counter_ = 0;
   rng loss_rng_;
   std::vector<airtime> airtimes_;  ///< recent transmissions (collision mode)

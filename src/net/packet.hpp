@@ -42,6 +42,10 @@ struct packet {
   int ttl = 0;                 ///< remaining hop budget
   int hops = 0;                ///< hops traveled so far
   std::size_t size_bytes = 0;  ///< modeled wire size incl. headers
+  /// Causal trace id (obs/causal_trace.hpp): minted at the originating
+  /// update/query/poll and inherited by every derived or relayed packet.
+  /// Pure observability metadata — protocol and routing logic never read it.
+  std::uint64_t trace_id = 0;
   std::shared_ptr<const message_payload> payload;
 };
 

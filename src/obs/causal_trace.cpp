@@ -1,0 +1,39 @@
+#include "obs/causal_trace.hpp"
+
+#include "metrics/trace_writer.hpp"
+
+namespace manet {
+
+void causal_tracer::on_send(const packet& p) {
+  if (sink_ == nullptr) return;
+  sink_->record_send(sim_.now(), p.src, p, meter_);
+}
+
+void causal_tracer::on_apply(node_id node, item_id item, version_t version) {
+  if (sink_ == nullptr) return;
+  sink_->record_apply(sim_.now(), node, item, version, current_);
+}
+
+void causal_tracer::on_invalidate(node_id node, item_id item,
+                                  version_t version) {
+  if (sink_ == nullptr) return;
+  sink_->record_invalidate(sim_.now(), node, item, version, current_);
+}
+
+void causal_tracer::note_query(query_id q) {
+  if (sink_ == nullptr) return;
+  query_traces_[q] = current_;
+}
+
+void causal_tracer::on_answer(const answer_record& ar) {
+  if (sink_ == nullptr) return;
+  std::uint64_t trace = 0;
+  if (auto it = query_traces_.find(ar.query); it != query_traces_.end()) {
+    trace = it->second;
+    query_traces_.erase(it);
+  }
+  sink_->record_answer(sim_.now(), ar.node, ar.item, ar.version, ar.validated,
+                       ar.stale, trace);
+}
+
+}  // namespace manet

@@ -1,0 +1,97 @@
+// Causal tracing for consistency traffic.
+//
+// Every consistency-relevant action carries a `trace_id` minted at its
+// causal root — a workload update, a workload query, or a timer-driven
+// protocol origination (TTN tick, poll retry). The id rides in
+// packet::trace_id through flooding and unicast relays, and handlers run
+// inside a `scope` carrying the received packet's id, so any packet a
+// handler derives (RREP from RREQ, POLL_ACK from POLL, GET_NEW from
+// INVALIDATION) inherits the root automatically. Span records (send / rx /
+// apply / inval / answer) emitted into the trace_writer let
+// tools/tracestat rebuild whole propagation trees offline and compute
+// per-update time-to-consistency and per-query latency breakdowns.
+//
+// Determinism contract: trace ids are observability metadata — simulation
+// logic never reads them, minting is a plain counter (no RNG, no clock),
+// and emission is gated on an attached sink. A scenario with tracing on
+// and off is event-for-event identical (pinned digest test enforces this).
+#ifndef MANET_OBS_CAUSAL_TRACE_HPP
+#define MANET_OBS_CAUSAL_TRACE_HPP
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "metrics/query_log.hpp"
+#include "net/packet.hpp"
+#include "net/traffic_meter.hpp"
+#include "sim/simulator.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+class trace_writer;
+
+class causal_tracer {
+ public:
+  causal_tracer(simulator& sim, const traffic_meter& meter)
+      : sim_(sim), meter_(meter) {}
+
+  /// Attaches the span sink. With no sink, stamping still happens (ids are
+  /// inert metadata) but nothing is emitted or buffered.
+  void set_sink(trace_writer* sink) { sink_ = sink; }
+  trace_writer* sink() const { return sink_; }
+
+  /// Ambient trace id of the action being processed (0 = no open scope).
+  std::uint64_t current() const { return current_; }
+
+  /// Mints a fresh root id. Plain counter — deterministic by construction.
+  std::uint64_t mint() { return ++last_id_; }
+
+  /// Id for a packet being originated now: the ambient scope's id if one is
+  /// open (derived packet), else a fresh root (timer-driven origination).
+  std::uint64_t origin_trace() { return current_ != 0 ? current_ : mint(); }
+
+  /// Span emitters; no-ops without a sink.
+  void on_send(const packet& p);
+  void on_apply(node_id node, item_id item, version_t version);
+  void on_invalidate(node_id node, item_id item, version_t version);
+
+  /// Associates a just-issued query with the ambient trace so its eventual
+  /// answer (possibly many events later) is emitted under the query's root.
+  void note_query(query_id q);
+  void on_answer(const answer_record& ar);
+
+  /// RAII ambient-trace scope; null tracer makes it a no-op. Nests: the
+  /// previous ambient id is restored on exit.
+  class scope {
+   public:
+    scope(causal_tracer* t, std::uint64_t id) : t_(t) {
+      if (t_ != nullptr) {
+        prev_ = t_->current_;
+        t_->current_ = id;
+      }
+    }
+    ~scope() {
+      if (t_ != nullptr) t_->current_ = prev_;
+    }
+
+    scope(const scope&) = delete;
+    scope& operator=(const scope&) = delete;
+
+   private:
+    causal_tracer* t_;
+    std::uint64_t prev_ = 0;
+  };
+
+ private:
+  simulator& sim_;
+  const traffic_meter& meter_;
+  trace_writer* sink_ = nullptr;
+  std::uint64_t last_id_ = 0;
+  std::uint64_t current_ = 0;
+  std::unordered_map<query_id, std::uint64_t> query_traces_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_OBS_CAUSAL_TRACE_HPP

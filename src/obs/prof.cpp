@@ -1,0 +1,49 @@
+// The only file in the simulation tree allowed to read a wall clock
+// (detlint DET002 allowlist). Keep every ambient-time access here.
+#include "obs/prof.hpp"
+
+#include <chrono>
+#include <cstdio>
+
+namespace manet {
+
+std::uint64_t prof_now_ns() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+}
+
+const char* profiler::section_name(section s) {
+  switch (s) {
+    case section::event_dispatch:
+      return "event_dispatch";
+    case section::neighbor_query:
+      return "neighbor_query";
+    case section::protocol_handler:
+      return "protocol_handler";
+    case section::n_sections:
+      break;
+  }
+  return "?";
+}
+
+std::string profiler::report() const {
+  std::string out = "host profile (wall clock; not part of sim results):\n";
+  char buf[160];
+  for (std::size_t i = 0; i < section_count; ++i) {
+    const bucket& b = buckets_[i];
+    const double total_ms = static_cast<double>(b.total_ns) / 1e6;
+    const double mean_us =
+        b.calls ? static_cast<double>(b.total_ns) / static_cast<double>(b.calls) / 1e3
+                : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  "  %-17s calls=%-10llu total=%9.2fms mean=%8.2fus max=%8.2fus\n",
+                  section_name(static_cast<section>(i)),
+                  static_cast<unsigned long long>(b.calls), total_ms, mean_us,
+                  static_cast<double>(b.max_ns) / 1e3);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace manet

@@ -1,0 +1,86 @@
+// Host-side profiling hooks: wall-clock timers around the hot paths of the
+// simulator (event dispatch), the radio model (neighbor queries) and the
+// consistency-protocol handlers.
+//
+// Wall-clock time is ambient nondeterminism, so it is strictly segregated
+// from simulation results: profile numbers never feed back into the model,
+// are reported separately from run summaries, and the only translation
+// unit that reads a clock is obs/prof.cpp (the sole home-tree entry on
+// detlint's DET002 allowlist besides util/rng). This header deliberately
+// does not include <chrono>.
+#ifndef MANET_OBS_PROF_HPP
+#define MANET_OBS_PROF_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace manet {
+
+/// Monotonic wall-clock nanoseconds. Defined only in obs/prof.cpp.
+std::uint64_t prof_now_ns();
+
+/// Accumulates call counts and wall-clock nanoseconds per instrumented
+/// section. Hooks hold a nullable profiler*; a null pointer costs one
+/// branch, so profiling is compiled in but ~free when disabled.
+class profiler {
+ public:
+  enum class section : int {
+    event_dispatch = 0,  ///< simulator::step action execution
+    neighbor_query,      ///< radio neighbor resolution per transmission
+    protocol_handler,    ///< consistency-protocol frame handling
+    n_sections,
+  };
+  static constexpr std::size_t section_count =
+      static_cast<std::size_t>(section::n_sections);
+
+  void add(section s, std::uint64_t ns) {
+    auto& b = buckets_[static_cast<std::size_t>(s)];
+    ++b.calls;
+    b.total_ns += ns;
+    if (ns > b.max_ns) b.max_ns = ns;
+  }
+
+  std::uint64_t calls(section s) const {
+    return buckets_[static_cast<std::size_t>(s)].calls;
+  }
+  std::uint64_t total_ns(section s) const {
+    return buckets_[static_cast<std::size_t>(s)].total_ns;
+  }
+
+  static const char* section_name(section s);
+
+  /// Per-section table: calls, total ms, mean µs, max µs. Wall-clock
+  /// numbers — print next to run summaries, never inside them.
+  std::string report() const;
+
+ private:
+  struct bucket {
+    std::uint64_t calls = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  bucket buckets_[section_count] = {};
+};
+
+/// RAII section timer; null profiler makes it a no-op.
+class prof_scope {
+ public:
+  prof_scope(profiler* p, profiler::section s) : p_(p), s_(s) {
+    if (p_ != nullptr) start_ = prof_now_ns();
+  }
+  ~prof_scope() {
+    if (p_ != nullptr) p_->add(s_, prof_now_ns() - start_);
+  }
+
+  prof_scope(const prof_scope&) = delete;
+  prof_scope& operator=(const prof_scope&) = delete;
+
+ private:
+  profiler* p_;
+  profiler::section s_;
+  std::uint64_t start_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_OBS_PROF_HPP

@@ -1,0 +1,86 @@
+#include "obs/registry.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/histogram.hpp"
+
+namespace manet {
+
+void metric_registry::add(const std::string& name, entry e) {
+  if (name.empty()) throw std::runtime_error("metric name must not be empty");
+  auto [it, inserted] = entries_.emplace(name, std::move(e));
+  (void)it;
+  if (!inserted)
+    throw std::runtime_error("metric registered twice: " + name);
+}
+
+std::uint64_t* metric_registry::counter(const std::string& name) {
+  entry e;
+  e.owned = std::make_unique<std::uint64_t>(0);
+  std::uint64_t* cell = e.owned.get();
+  e.read = [cell] { return static_cast<double>(*cell); };
+  add(name, std::move(e));
+  return cell;
+}
+
+void metric_registry::counter(const std::string& name,
+                              std::function<std::uint64_t()> read) {
+  entry e;
+  e.read = [fn = std::move(read)] { return static_cast<double>(fn()); };
+  add(name, std::move(e));
+}
+
+void metric_registry::gauge(const std::string& name,
+                            std::function<double()> read) {
+  entry e;
+  e.read = std::move(read);
+  add(name, std::move(e));
+}
+
+void metric_registry::histogram(const std::string& name,
+                                const log_histogram* h) {
+  entry e;
+  e.hist = h;
+  add(name, std::move(e));
+}
+
+std::vector<std::pair<std::string, double>> metric_registry::snapshot() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) {
+    if (e.hist != nullptr) {
+      out.emplace_back(name + ".count", static_cast<double>(e.hist->total()));
+      out.emplace_back(name + ".p50", e.hist->quantile(0.50));
+      out.emplace_back(name + ".p95", e.hist->quantile(0.95));
+    } else {
+      out.emplace_back(name, e.read());
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, double>> metric_registry::snapshot_prefix(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, double>> out;
+  for (auto& kv : snapshot())
+    if (kv.first.compare(0, prefix.size(), prefix) == 0)
+      out.push_back(std::move(kv));
+  return out;
+}
+
+std::string metric_registry::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  char buf[64];
+  for (const auto& [name, value] : snapshot()) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+    out += "\n  \"" + name + "\": " + buf;
+  }
+  out += first ? "}" : "\n}";
+  return out;
+}
+
+}  // namespace manet

@@ -1,0 +1,71 @@
+// Metric registry: a flat, deterministic namespace of named counters,
+// gauges and histograms (`net.*`, `route.*`, `rpcc.*`, `cache.*`, ...).
+//
+// Subsystems register once at wiring time; reads happen only when a
+// snapshot is taken (end of run, sampler window), so the hot path pays
+// nothing. Two registration styles:
+//   - owned counters: `std::uint64_t* c = reg.counter("rpcc.polls_sent");`
+//     the subsystem bumps `*c` directly (one add, no lookup);
+//   - callback gauges/counters: `reg.gauge("net.queue_depth", fn)` reads an
+//     existing member on demand — no double bookkeeping.
+// Storage is std::map so snapshots iterate in sorted-name order and JSON
+// export is byte-stable across runs and platforms.
+#ifndef MANET_OBS_REGISTRY_HPP
+#define MANET_OBS_REGISTRY_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace manet {
+
+class log_histogram;
+
+class metric_registry {
+ public:
+  /// Registry-owned cumulative counter; bump through the returned pointer.
+  /// Stable for the registry's lifetime (counters are heap-allocated).
+  std::uint64_t* counter(const std::string& name);
+
+  /// Counter backed by a caller-maintained cumulative value.
+  void counter(const std::string& name, std::function<std::uint64_t()> read);
+
+  /// Instantaneous value (may go up and down).
+  void gauge(const std::string& name, std::function<double()> read);
+
+  /// Histogram snapshot: exported as <name>.count/.p50/.p95. The histogram
+  /// must outlive the registry.
+  void histogram(const std::string& name, const log_histogram* h);
+
+  /// All metrics as (name, value), sorted by name. Histograms expand to
+  /// their derived samples.
+  std::vector<std::pair<std::string, double>> snapshot() const;
+
+  /// Subset of snapshot() whose names start with `prefix`.
+  std::vector<std::pair<std::string, double>> snapshot_prefix(
+      const std::string& prefix) const;
+
+  /// One-line-per-metric JSON object, keys in sorted order.
+  std::string to_json() const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  struct entry {
+    std::function<double()> read;                 // scalar metric
+    std::unique_ptr<std::uint64_t> owned;         // backing for owned counters
+    const log_histogram* hist = nullptr;          // or histogram source
+  };
+
+  void add(const std::string& name, entry e);
+
+  std::map<std::string, entry> entries_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_OBS_REGISTRY_HPP

@@ -1,0 +1,129 @@
+#include "obs/sampler.hpp"
+
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+
+namespace manet {
+
+time_series_sampler::time_series_sampler(simulator& sim, sim_duration interval,
+                                         std::size_t capacity)
+    : sim_(sim), interval_(interval), capacity_(capacity) {
+  if (interval_ <= 0) {
+    throw std::runtime_error("time_series_sampler: interval must be > 0");
+  }
+  if (capacity_ == 0) {
+    throw std::runtime_error("time_series_sampler: capacity must be > 0");
+  }
+}
+
+void time_series_sampler::add_gauge(const std::string& name,
+                                    std::function<double()> read) {
+  assert(!started_ && "register series before start()");
+  names_.push_back(name);
+  series s;
+  s.kind = series_kind::gauge;
+  s.read_gauge = std::move(read);
+  series_.push_back(std::move(s));
+}
+
+void time_series_sampler::add_delta(const std::string& name,
+                                    std::function<std::uint64_t()> read) {
+  assert(!started_ && "register series before start()");
+  names_.push_back(name);
+  series s;
+  s.kind = series_kind::delta;
+  s.read_num = std::move(read);
+  series_.push_back(std::move(s));
+}
+
+void time_series_sampler::add_ratio(const std::string& name,
+                                    std::function<std::uint64_t()> num,
+                                    std::function<std::uint64_t()> den) {
+  assert(!started_ && "register series before start()");
+  names_.push_back(name);
+  series s;
+  s.kind = series_kind::ratio;
+  s.read_num = std::move(num);
+  s.read_den = std::move(den);
+  series_.push_back(std::move(s));
+}
+
+void time_series_sampler::start() {
+  if (started_) return;
+  started_ = true;
+  window_start_ = sim_.now();
+  for (series& s : series_) {
+    if (s.kind != series_kind::gauge) s.prev_num = s.read_num();
+    if (s.kind == series_kind::ratio) s.prev_den = s.read_den();
+  }
+  timer_ = std::make_unique<periodic_timer>(
+      sim_, interval_, [this] { close_window(sim_.now()); });
+  timer_->start();
+}
+
+void time_series_sampler::finish() {
+  if (!started_) return;
+  if (timer_) {
+    timer_->stop();
+    timer_.reset();
+  }
+  // Partial tail window; skipped when sim end landed exactly on a boundary.
+  if (sim_.now() > window_start_) close_window(sim_.now());
+}
+
+void time_series_sampler::close_window(sim_time t1) {
+  window w;
+  w.t0 = window_start_;
+  w.t1 = t1;
+  w.values.reserve(series_.size());
+  for (series& s : series_) {
+    switch (s.kind) {
+      case series_kind::gauge:
+        w.values.push_back(s.read_gauge());
+        break;
+      case series_kind::delta: {
+        const std::uint64_t cur = s.read_num();
+        w.values.push_back(static_cast<double>(cur - s.prev_num));
+        s.prev_num = cur;
+        break;
+      }
+      case series_kind::ratio: {
+        const std::uint64_t num = s.read_num();
+        const std::uint64_t den = s.read_den();
+        const std::uint64_t dn = num - s.prev_num;
+        const std::uint64_t dd = den - s.prev_den;
+        s.prev_num = num;
+        s.prev_den = den;
+        w.values.push_back(dd != 0 ? static_cast<double>(dn) /
+                                         static_cast<double>(dd)
+                                   : 0.0);
+        break;
+      }
+    }
+  }
+  window_start_ = t1;
+  if (windows_.size() == capacity_) {
+    windows_.pop_front();
+    ++dropped_;
+  }
+  windows_.push_back(std::move(w));
+}
+
+bool time_series_sampler::write_jsonl(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const window& w : windows_) {
+    if (std::fprintf(f, "{\"t0\":%.6f,\"t1\":%.6f", w.t0, w.t1) < 0) ok = false;
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+      if (std::fprintf(f, ",\"%s\":%.10g", names_[i].c_str(), w.values[i]) < 0)
+        ok = false;
+    }
+    if (std::fprintf(f, "}\n") < 0) ok = false;
+  }
+  if (std::fclose(f) != 0) ok = false;
+  return ok;
+}
+
+}  // namespace manet

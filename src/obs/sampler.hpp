@@ -1,0 +1,96 @@
+// Periodic time-series sampler: a `periodic_timer` (like the position
+// tracer) that closes a window every `interval` sim-seconds and records one
+// value per registered series into a bounded ring buffer, exported as JSONL
+// (one window per line):
+//   {"t0":0.0,"t1":10.0,"relay_peers":3,"hit_ratio":0.82,...}
+//
+// Three series styles cover the scenario's needs:
+//   - gauge: instantaneous read at window close (relay-peer count,
+//     pending polls, event-queue depth);
+//   - delta: per-window increase of a cumulative counter;
+//   - ratio: delta(numerator)/delta(denominator), 0 when the denominator
+//     did not move (cache hit ratio, stale-serve rate per window).
+//
+// Reads happen only at window boundaries, so the hot path pays nothing,
+// and reading never mutates simulation state — the pinned determinism
+// digest is identical with and without a sampler attached.
+#ifndef MANET_OBS_SAMPLER_HPP
+#define MANET_OBS_SAMPLER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "util/units.hpp"
+
+namespace manet {
+
+class time_series_sampler {
+ public:
+  struct window {
+    sim_time t0 = 0;
+    sim_time t1 = 0;
+    std::vector<double> values;  ///< one per series, registration order
+  };
+
+  time_series_sampler(simulator& sim, sim_duration interval,
+                      std::size_t capacity = 4096);
+
+  /// Register series before start(). Registration order fixes the value
+  /// order in window::values and the JSONL key order.
+  void add_gauge(const std::string& name, std::function<double()> read);
+  void add_delta(const std::string& name, std::function<std::uint64_t()> read);
+  void add_ratio(const std::string& name, std::function<std::uint64_t()> num,
+                 std::function<std::uint64_t()> den);
+
+  /// Snapshots baselines at the current sim time and starts the window
+  /// timer; the first window closes one interval later.
+  void start();
+
+  /// Closes the partial window [last boundary, now) at sim end — without
+  /// this, a run whose duration is not a multiple of the interval would
+  /// silently lose its tail. Idempotent; zero-length windows are skipped.
+  void finish();
+
+  const std::vector<std::string>& names() const { return names_; }
+  const std::deque<window>& windows() const { return windows_; }
+
+  /// Oldest windows evicted once the ring buffer filled.
+  std::uint64_t windows_dropped() const { return dropped_; }
+
+  /// One JSON object per window; returns false on open/write failure.
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  enum class series_kind { gauge, delta, ratio };
+  struct series {
+    series_kind kind;
+    std::function<double()> read_gauge;
+    std::function<std::uint64_t()> read_num;
+    std::function<std::uint64_t()> read_den;
+    std::uint64_t prev_num = 0;
+    std::uint64_t prev_den = 0;
+  };
+
+  void close_window(sim_time t1);
+
+  simulator& sim_;
+  sim_duration interval_;
+  std::size_t capacity_;
+  std::vector<std::string> names_;
+  std::vector<series> series_;
+  std::deque<window> windows_;
+  std::uint64_t dropped_ = 0;
+  sim_time window_start_ = 0;
+  bool started_ = false;
+  std::unique_ptr<periodic_timer> timer_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_OBS_SAMPLER_HPP

@@ -86,6 +86,7 @@ void aodv_router::send(node_id from, node_id to, packet_kind kind,
   p.size_bytes = size_bytes;
   p.payload = std::move(payload);
   net_.meter().record_originated(kind);
+  net_.trace_origin(p);
   if (from == to) {
     deliver_to_app(from, p);
     return;
@@ -155,6 +156,7 @@ void aodv_router::handle_forward_failure(node_id self, const packet& p) {
   err.size_bytes = params_.rerr_bytes;
   err.payload = std::move(payload);
   net_.meter().record_originated(kind_rerr);
+  net_.trace_origin(err);
   net_.send_frame(self, back->next_hop, std::move(err));
 }
 
@@ -185,6 +187,7 @@ void aodv_router::send_rreq(node_id self, node_id dst) {
   p.size_bytes = params_.rreq_bytes;
   p.payload = std::move(payload);
   net_.meter().record_originated(kind_rreq);
+  net_.trace_origin(p);
   state(self).rreq_seen.seen_before(net_.sim().now(), p.uid);
   net_.send_frame(self, broadcast_node, std::move(p));
 
@@ -221,6 +224,7 @@ void aodv_router::on_rreq(node_id self, node_id from, const packet& p) {
     rep.size_bytes = params_.rrep_bytes;
     rep.payload = std::move(payload);
     net_.meter().record_originated(kind_rrep);
+    net_.trace_origin(rep);
     const route_entry* back = lookup_route(self, p.src);
     assert(back != nullptr);  // just installed
     net_.send_frame(self, back->next_hop, std::move(rep));

@@ -18,6 +18,7 @@ void oracle_router::send(node_id from, node_id to, packet_kind kind,
   p.size_bytes = size_bytes;
   p.payload = std::move(payload);
   net_.meter().record_originated(kind);
+  net_.trace_origin(p);
   if (from == to) {
     // Local delivery without touching the air.
     deliver_to_app(from, p);

@@ -90,6 +90,9 @@ scenario_params scenario_params::from_config(const config& cfg) {
   p.trace_file = cfg.get_string("trace_file", p.trace_file);
   p.trace_position_interval =
       cfg.get_double("trace_position_interval", p.trace_position_interval);
+  p.series_file = cfg.get_string("series_file", p.series_file);
+  p.series_interval = cfg.get_double("series_interval", p.series_interval);
+  p.profile = cfg.get_bool("profile", p.profile);
   p.fault = cfg.get_string("fault", p.fault);
   p.invariants = cfg.get_bool("invariants", p.invariants);
   p.invariant_interval = cfg.get_double("invariant_interval", p.invariant_interval);
@@ -148,6 +151,9 @@ void scenario_params::to_config(config& cfg) const {
   cfg.set("zipf_theta", zipf_theta);
   cfg.set("single_item_mode", single_item_mode);
   if (!trace_file.empty()) cfg.set("trace_file", trace_file);
+  if (!series_file.empty()) cfg.set("series_file", series_file);
+  cfg.set("series_interval", series_interval);
+  if (profile) cfg.set("profile", profile);
   if (!fault.empty()) cfg.set("fault", fault);
   cfg.set("invariants", invariants);
   cfg.set("invariant_interval", invariant_interval);

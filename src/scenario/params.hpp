@@ -105,6 +105,13 @@ struct scenario_params {
   std::string trace_file;
   sim_duration trace_position_interval = 30.0;  ///< position sampling period
 
+  // Optional JSONL time-series file (see obs/sampler.hpp); empty = off.
+  std::string series_file;
+  sim_duration series_interval = 10.0;  ///< sampling window length
+  // Host-side wall-clock profiling of event dispatch / neighbor queries /
+  // protocol handlers (obs/prof.hpp). Never affects sim results.
+  bool profile = false;
+
   // Fault plan (see fault/fault_plan.hpp for the grammar), e.g.
   // "partition@600..900;crash:g0-g4@1200..1500;burst_loss:0.4@2000..2400".
   // Empty = no injected faults.

@@ -16,6 +16,7 @@
 #include "routing/aodv.hpp"
 #include "routing/oracle_router.hpp"
 #include "sim/timer.hpp"
+#include "util/logging.hpp"
 
 namespace manet {
 
@@ -96,6 +97,17 @@ void scenario::build() {
   }
   net_ = std::make_unique<network>(
       *sim_, terrain(params_.area_width, params_.area_height), rp, energy_params{});
+
+  // The causal tracer always exists: trace-id stamping is a plain counter
+  // that protocol logic never reads, so traced and untraced runs execute the
+  // exact same event sequence. Span emission is gated on the sink below.
+  tracer_ = std::make_unique<causal_tracer>(*sim_, net_->meter());
+  net_->set_tracer(tracer_.get());
+  if (params_.profile) {
+    prof_ = std::make_unique<profiler>();
+    sim_->set_profiler(prof_.get());
+    net_->set_profiler(prof_.get());
+  }
 
   const terrain land(params_.area_width, params_.area_height);
   std::vector<std::shared_ptr<group_reference>> groups;
@@ -178,6 +190,7 @@ void scenario::build() {
 
   if (!params_.trace_file.empty()) {
     trace_ = std::make_unique<trace_writer>(params_.trace_file);
+    tracer_->set_sink(trace_.get());
     for (int i = 0; i < params_.n_peers; ++i) {
       net_->at(static_cast<node_id>(i))
           .add_state_observer([this](node_id n, bool up) {
@@ -187,11 +200,15 @@ void scenario::build() {
   }
 
   net_->set_dispatcher([this](node_id self, node_id from, const packet& p) {
+    // Any packet originated while handling this frame inherits its causal
+    // chain (flood relays, RREPs, poll answers, refresh fetches, ...).
+    causal_tracer::scope trace_scope(tracer_.get(), p.trace_id);
     if (trace_) trace_->record_rx(sim_->now(), self, from, p, net_->meter());
     if (is_routing_kind(p.kind)) {
       router_->on_frame(self, from, p);
       return;
     }
+    prof_scope ps(prof_.get(), profiler::section::protocol_handler);
     if (p.dst == broadcast_node) {
       // Every heard flood frame doubles as a route advertisement for its
       // origin (DSR-style overhearing).
@@ -210,8 +227,64 @@ void scenario::build() {
   ctx.registry = &registry_;
   ctx.stores = &stores_;
   ctx.qlog = qlog_.get();
+  ctx.tracer = tracer_.get();
   ctx.control_bytes = params_.control_bytes;
   protocol_ = make_protocol(protocol_name_, ctx, params_);
+
+  // Flight-recorder metric registry: substrate namespaces here, the
+  // protocol's own (rpcc.* / push.* / pull.* / hybrid.*) below.
+  metrics_.counter("net.tx_frames",
+                   [this] { return net_->meter().total_tx_frames(); });
+  metrics_.counter("net.app_tx_frames",
+                   [this] { return net_->meter().app_tx_frames(); });
+  metrics_.counter("net.tx_bytes",
+                   [this] { return net_->meter().total_tx_bytes(); });
+  metrics_.counter("net.drops", [this] { return net_->meter().total_drops(); });
+  metrics_.counter("route.tx_frames",
+                   [this] { return net_->meter().routing_tx_frames(); });
+  if (auto* aodv = dynamic_cast<aodv_router*>(router_.get())) {
+    metrics_.counter("route.discoveries",
+                     [aodv] { return aodv->discoveries_started(); });
+  }
+  metrics_.counter("cache.evictions", [this] {
+    std::uint64_t n = 0;
+    for (const cache_store& s : stores_) n += s.evictions();
+    return n;
+  });
+  metrics_.gauge("cache.copies", [this] {
+    std::size_t n = 0;
+    for (const cache_store& s : stores_) n += s.size();
+    return static_cast<double>(n);
+  });
+  metrics_.counter("query.issued", [this] { return qlog_->issued(); });
+  metrics_.counter("query.answered", [this] { return qlog_->answered(); });
+  protocol_->register_metrics(metrics_);
+
+  // Query -> answer causality: the issue observer fires inside the query's
+  // root scope; answers resolve the saved chain by query id.
+  qlog_->set_issue_observer([this](query_id q) { tracer_->note_query(q); });
+  qlog_->add_answer_observer(
+      [this](const answer_record& ar) { tracer_->on_answer(ar); });
+
+  if (!params_.series_file.empty()) {
+    sampler_ = std::make_unique<time_series_sampler>(*sim_,
+                                                     params_.series_interval);
+    sampler_->add_gauge("relay_peers", [this] {
+      return static_cast<double>(protocol_->current_relays());
+    });
+    sampler_->add_ratio(
+        "hit_ratio", [this] { return qlog_->answered(); },
+        [this] { return qlog_->issued(); });
+    sampler_->add_ratio(
+        "stale_rate", [this] { return qlog_->totals().stale_answers; },
+        [this] { return qlog_->answered(); });
+    sampler_->add_gauge("pending_polls", [this] {
+      return static_cast<double>(protocol_->pending_polls());
+    });
+    sampler_->add_gauge("queue_depth", [this] {
+      return static_cast<double>(sim_->queue().raw_size());
+    });
+  }
 
   // Reconnect notification: protocols may clear transient per-node state
   // (e.g. RPCC's poll-failure backoff) when a node comes back up — whether
@@ -274,7 +347,12 @@ void scenario::build() {
       },
       /*on_query=*/
       [this](node_id n, item_id item, consistency_level level) {
-        if (trace_) trace_->record_query(sim_->now(), n, item, level);
+        // Fresh causal root: discovery, polls and the eventual answer all
+        // trace back to this query.
+        causal_tracer::scope trace_scope(tracer_.get(), tracer_->mint());
+        if (trace_) {
+          trace_->record_query(sim_->now(), n, item, level, tracer_->current());
+        }
         protocol_->on_query(n, item, level);
       },
       /*on_update=*/
@@ -282,7 +360,12 @@ void scenario::build() {
         const item_id d = item_of_source_.at(source);
         if (d == invalid_item) return;
         const version_t v = registry_.bump(d, sim_->now());
-        if (trace_) trace_->record_update(sim_->now(), d, v);
+        // Fresh causal root for the update's propagation tree (immediate
+        // pushes; IR-style protocols root their periodic ticks separately).
+        causal_tracer::scope trace_scope(tracer_.get(), tracer_->mint());
+        if (trace_) {
+          trace_->record_update(sim_->now(), d, v, tracer_->current());
+        }
         protocol_->on_update(d);
       },
       /*node_up=*/[this](node_id n) { return net_->at(n).up(); });
@@ -365,6 +448,17 @@ void scenario::start_all() {
         });
     trace_position_timer_->start(0.0);
   }
+  if (trace_) {
+    // Baseline "apply" spans for pre-placed version-0 copies so the offline
+    // analyzer knows every copy's starting version (rootless, trace 0).
+    for (std::size_t i = 0; i < stores_.size(); ++i) {
+      for (const item_id d : stores_[i].items()) {
+        tracer_->on_apply(static_cast<node_id>(i), d,
+                          stores_[i].find(d)->version);
+      }
+    }
+  }
+  if (sampler_ && params_.warmup <= 0) sampler_->start();
   protocol_->start();
   workload_->start();
   if (injector_) injector_->start();
@@ -395,8 +489,18 @@ run_result scenario::run() {
     for (node_id n = 0; n < net_->size(); ++n) {
       energy_baseline_.push_back(net_->at(n).energy_joules());
     }
+    // Series sampling covers the measurement era only: starting after the
+    // reset keeps the per-window counter deltas monotone.
+    if (sampler_) sampler_->start();
   }
   run_until(params_.warmup + params_.sim_time);
+  if (sampler_) {
+    sampler_->finish();
+    if (!sampler_->write_jsonl(params_.series_file)) {
+      logf(log_level::warn, "scenario: failed to write series file %s",
+           params_.series_file.c_str());
+    }
+  }
   return summarize();
 }
 
@@ -435,6 +539,7 @@ run_result scenario::summarize() const {
   }
   if (checker_) r.invariant_violations = checker_->violations();
   r.avg_relay_peers = protocol_->avg_relay_peers();
+  r.metrics = metrics_.snapshot();
   for (node_id n = 0; n < net_->size(); ++n) {
     const double start = n < energy_baseline_.size()
                              ? energy_baseline_[n]
@@ -495,6 +600,10 @@ std::string scenario::extra_report() const {
   if (checker_) {
     if (!out.empty() && out.back() != '\n') out += '\n';
     out += checker_->report();
+  }
+  if (prof_) {
+    if (!out.empty() && out.back() != '\n') out += '\n';
+    out += prof_->report();
   }
   return out;
 }

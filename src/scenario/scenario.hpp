@@ -21,6 +21,10 @@
 #include "metrics/trace_writer.hpp"
 #include "net/flooding.hpp"
 #include "net/network.hpp"
+#include "obs/causal_trace.hpp"
+#include "obs/prof.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
 #include "routing/routing.hpp"
 #include "scenario/params.hpp"
 #include "sim/simulator.hpp"
@@ -69,6 +73,20 @@ class scenario {
   /// The JSONL trace, when params.trace_file is set (nullptr otherwise).
   trace_writer* trace() { return trace_.get(); }
 
+  /// Causal tracer. Always constructed — trace-id stamping is unconditional
+  /// (a plain counter) so traced and untraced runs are byte-identical; span
+  /// emission only happens while a sink is attached.
+  causal_tracer& tracer() { return *tracer_; }
+
+  /// Named metric registry (net.*, route.*, cache.*, <protocol>.*).
+  metric_registry& metrics() { return metrics_; }
+
+  /// Time-series sampler, when params.series_file is set (nullptr otherwise).
+  time_series_sampler* sampler() { return sampler_.get(); }
+
+  /// Host-side wall-clock profiler, when params.profile is set.
+  profiler* profile() { return prof_.get(); }
+
   /// Fault layer (nullptr when params.fault is empty / invariants are off).
   fault_injector* faults() { return injector_.get(); }
   invariant_checker* invariants() { return checker_.get(); }
@@ -107,6 +125,10 @@ class scenario {
   std::unique_ptr<recovery_tracker> recovery_;
   std::unique_ptr<trace_writer> trace_;
   std::unique_ptr<periodic_timer> trace_position_timer_;
+  std::unique_ptr<causal_tracer> tracer_;
+  metric_registry metrics_;
+  std::unique_ptr<time_series_sampler> sampler_;
+  std::unique_ptr<profiler> prof_;
   node_id single_source_ = invalid_node;
   bool started_ = false;
   std::uint64_t workload_baseline_queries_ = 0;

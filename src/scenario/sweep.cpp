@@ -92,6 +92,23 @@ std::uint64_t sweep_run_seed(std::uint64_t base_seed, std::size_t x_index,
   return h;
 }
 
+std::string sweep_output_path(const std::string& path, const std::string& tag) {
+  if (path.empty()) return path;
+  std::string clean = tag;
+  for (char& c : clean) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) c = '-';
+  }
+  const std::size_t slash = path.find_last_of('/');
+  const std::size_t dot = path.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path + "-" + clean;
+  }
+  return path.substr(0, dot) + "-" + clean + path.substr(dot);
+}
+
 run_result average(const std::vector<run_result>& rs) {
   assert(!rs.empty());
   run_result out = rs.front();
@@ -160,7 +177,17 @@ std::vector<run_result> run_batch(const std::vector<labelled_run>& runs,
                                   int jobs) {
   std::vector<run_result> out(runs.size());
   parallel_for(runs.size(), jobs, [&](std::size_t i) {
-    out[i] = run_variant(runs[i].params, runs[i].variant);
+    scenario_params p = runs[i].params;
+    if (runs.size() > 1) {
+      std::string tag = runs[i].label;
+      if (tag.empty()) {
+        tag = "run";
+        tag += std::to_string(i);
+      }
+      p.trace_file = sweep_output_path(p.trace_file, tag);
+      p.series_file = sweep_output_path(p.series_file, tag);
+    }
+    out[i] = run_variant(p, runs[i].variant);
   });
   return out;
 }
@@ -196,6 +223,16 @@ std::vector<sweep_point> run_sweep(const sweep_spec& spec) {
     scenario_params p = spec.base;
     spec.apply(p, spec.xs[jb.xi]);
     p.seed = sweep_run_seed(spec.base.seed, jb.xi, jb.vi, jb.rep);
+    if (jobs.size() > 1) {
+      std::string tag = "x";
+      tag += std::to_string(jb.xi);
+      tag += '-';
+      tag += spec.variants[jb.vi].label;
+      tag += "-r";
+      tag += std::to_string(jb.rep);
+      p.trace_file = sweep_output_path(p.trace_file, tag);
+      p.series_file = sweep_output_path(p.series_file, tag);
+    }
     results[j] = run_variant(p, spec.variants[jb.vi]);
     if (spec.progress) {
       std::lock_guard<std::mutex> lock(progress_mu);

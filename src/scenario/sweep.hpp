@@ -81,6 +81,12 @@ struct labelled_run {
 std::vector<run_result> run_batch(const std::vector<labelled_run>& runs,
                                   int jobs);
 
+/// Inserts "-tag" before the filename extension ("out/t.jsonl" + "x0-r1" ->
+/// "out/t-x0-r1.jsonl"; no extension: plain append). Non-alphanumeric tag
+/// characters become '-'. Used by run_sweep/run_batch so concurrent runs
+/// sharing one --trace/--series path do not clobber each other's output.
+std::string sweep_output_path(const std::string& path, const std::string& tag);
+
 /// Runs the whole sweep. Numeric fields of run_result are averaged across
 /// repetitions.
 std::vector<sweep_point> run_sweep(const sweep_spec& spec);

@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "obs/prof.hpp"
+
 namespace manet {
 
 simulator::simulator(std::uint64_t master_seed) : master_seed_(master_seed) {}
@@ -29,7 +31,10 @@ bool simulator::step() {
   ++executed_;
   // Move the action out so self-cancellation inside the callback is safe.
   auto action = std::move(rec->action);
-  action();
+  {
+    prof_scope ps(prof_, profiler::section::event_dispatch);
+    action();
+  }
   return true;
 }
 

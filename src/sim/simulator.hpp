@@ -17,6 +17,8 @@
 
 namespace manet {
 
+class profiler;
+
 class simulator {
  public:
   explicit simulator(std::uint64_t master_seed = 1);
@@ -54,6 +56,10 @@ class simulator {
 
   event_queue& queue() { return queue_; }
 
+  /// Optional host profiler (obs/prof.hpp): wall-clock timing around event
+  /// dispatch. Never observable by simulation logic.
+  void set_profiler(profiler* p) { prof_ = p; }
+
   /// printf-style log with a "t=<time>" prefix.
   void logf(log_level level, const char* fmt, ...) const
 #if defined(__GNUC__)
@@ -66,6 +72,7 @@ class simulator {
   event_queue queue_;
   sim_time now_ = 0;
   std::uint64_t executed_ = 0;
+  profiler* prof_ = nullptr;
 };
 
 }  // namespace manet

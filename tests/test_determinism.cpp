@@ -5,6 +5,7 @@
 // nondeterminism loudly in CI, on Release and TSan builds alike).
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
 
@@ -110,6 +111,25 @@ TEST(Determinism, GoldenDigestPinned) {
   EXPECT_EQ(got, kGoldenRpccDigest)
       << "rpcc digest 0x" << std::hex << got << " != pinned golden 0x"
       << kGoldenRpccDigest;
+}
+
+// The flight recorder must be a pure observer: attaching the trace sink and
+// the time-series sampler to the very same scenario must still reproduce
+// the pinned golden digest. Trace-id stamping happens unconditionally, so
+// any leak of tracing state into simulation behavior shows up here as a
+// digest change.
+TEST(Determinism, TelemetryDoesNotPerturbDigest) {
+  scenario_params p = small_fig7_params();
+  p.trace_file = ::testing::TempDir() + "/manet_det_trace.jsonl";
+  p.series_file = ::testing::TempDir() + "/manet_det_series.jsonl";
+  p.series_interval = 10.0;
+  const protocol_variant v{"rpcc", "rpcc", level_mix::strong_only()};
+  const std::uint64_t traced = digest(run_variant(p, v));
+  EXPECT_EQ(traced, kGoldenRpccDigest)
+      << "telemetry perturbed the run: traced digest 0x" << std::hex << traced
+      << " != pinned golden 0x" << kGoldenRpccDigest;
+  std::remove(p.trace_file.c_str());
+  std::remove(p.series_file.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,360 @@
+// Observability layer: metric registry, time-series sampler, profiler,
+// scenario wiring, sweep output suffixing, and the recovery-tracker
+// never-recovered edge case.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "metrics/recovery_tracker.hpp"
+#include "obs/prof.hpp"
+#include "obs/registry.hpp"
+#include "obs/sampler.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet {
+namespace {
+
+// --- metric registry -------------------------------------------------------
+
+TEST(MetricRegistry, OwnedAndCallbackMetricsSnapshotSorted) {
+  metric_registry reg;
+  std::uint64_t* polls = reg.counter("rpcc.polls_sent");
+  *polls = 7;
+  reg.counter("net.tx_frames", [] { return std::uint64_t{42}; });
+  reg.gauge("cache.copies", [] { return 3.5; });
+  EXPECT_EQ(reg.size(), 3u);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  // std::map storage: sorted by name regardless of registration order.
+  EXPECT_EQ(snap[0].first, "cache.copies");
+  EXPECT_EQ(snap[0].second, 3.5);
+  EXPECT_EQ(snap[1].first, "net.tx_frames");
+  EXPECT_EQ(snap[1].second, 42.0);
+  EXPECT_EQ(snap[2].first, "rpcc.polls_sent");
+  EXPECT_EQ(snap[2].second, 7.0);
+}
+
+TEST(MetricRegistry, SnapshotPrefixSelectsNamespace) {
+  metric_registry reg;
+  reg.counter("net.tx_frames", [] { return std::uint64_t{1}; });
+  reg.counter("net.drops", [] { return std::uint64_t{2}; });
+  reg.counter("route.tx_frames", [] { return std::uint64_t{3}; });
+  const auto net = reg.snapshot_prefix("net.");
+  ASSERT_EQ(net.size(), 2u);
+  EXPECT_EQ(net[0].first, "net.drops");
+  EXPECT_EQ(net[1].first, "net.tx_frames");
+  EXPECT_TRUE(reg.snapshot_prefix("cache.").empty());
+}
+
+TEST(MetricRegistry, DoubleRegistrationThrows) {
+  metric_registry reg;
+  reg.counter("rpcc.polls_sent");
+  EXPECT_THROW(reg.counter("rpcc.polls_sent"), std::runtime_error);
+  EXPECT_THROW(reg.gauge("rpcc.polls_sent", [] { return 0.0; }),
+               std::runtime_error);
+  EXPECT_THROW(reg.counter(""), std::runtime_error);
+}
+
+TEST(MetricRegistry, ToJsonIsSortedAndStable) {
+  metric_registry reg;
+  reg.gauge("b.two", [] { return 2.0; });
+  reg.gauge("a.one", [] { return 1.0; });
+  const std::string json = reg.to_json();
+  const auto a = json.find("\"a.one\"");
+  const auto b = json.find("\"b.two\"");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(b, std::string::npos);
+  EXPECT_LT(a, b);
+  EXPECT_EQ(json.front(), '{');
+}
+
+// --- time-series sampler ---------------------------------------------------
+
+TEST(Sampler, WindowAlignmentIncludesPartialTail) {
+  simulator sim(1);
+  time_series_sampler sampler(sim, 10.0);
+  std::uint64_t bumps = 0;
+  std::uint64_t twice = 0;
+  sampler.add_gauge("clock", [&] { return sim.now(); });
+  sampler.add_delta("bumps", [&] { return bumps; });
+  sampler.add_ratio("half", [&] { return bumps; }, [&] { return twice; });
+  // 24 counter bumps at t = 0.5, 1.5, ..., 23.5 — off the window
+  // boundaries, so each window's delta is unambiguous.
+  for (int i = 0; i < 24; ++i) {
+    sim.schedule_at(0.5 + i, [&] {
+      bumps += 1;
+      twice += 2;
+    });
+  }
+  sampler.start();
+  sim.run_until(25.0);
+  sampler.finish();  // closes the partial window [20, 25)
+
+  const auto& ws = sampler.windows();
+  ASSERT_EQ(ws.size(), 3u);
+  EXPECT_DOUBLE_EQ(ws[0].t0, 0.0);
+  EXPECT_DOUBLE_EQ(ws[0].t1, 10.0);
+  EXPECT_DOUBLE_EQ(ws[1].t1, 20.0);
+  EXPECT_DOUBLE_EQ(ws[2].t0, 20.0);
+  EXPECT_DOUBLE_EQ(ws[2].t1, 25.0);
+
+  ASSERT_EQ(sampler.names().size(), 3u);
+  EXPECT_EQ(sampler.names()[0], "clock");
+  // Gauge reads at window close; deltas are per-window increases.
+  EXPECT_DOUBLE_EQ(ws[0].values[0], 10.0);
+  EXPECT_DOUBLE_EQ(ws[2].values[0], 25.0);
+  EXPECT_DOUBLE_EQ(ws[0].values[1], 10.0);
+  EXPECT_DOUBLE_EQ(ws[1].values[1], 10.0);
+  EXPECT_DOUBLE_EQ(ws[2].values[1], 4.0);
+  // Ratio = delta(num)/delta(den) per window.
+  EXPECT_DOUBLE_EQ(ws[0].values[2], 0.5);
+  EXPECT_DOUBLE_EQ(ws[2].values[2], 0.5);
+
+  // finish() is idempotent: a second call must not add a zero-length window.
+  sampler.finish();
+  EXPECT_EQ(sampler.windows().size(), 3u);
+  EXPECT_EQ(sampler.windows_dropped(), 0u);
+}
+
+TEST(Sampler, RatioIsZeroWhenDenominatorDidNotMove) {
+  simulator sim(1);
+  time_series_sampler sampler(sim, 5.0);
+  std::uint64_t num = 3;
+  const std::uint64_t den = 9;
+  sampler.add_ratio("r", [&] { return num; }, [&] { return den; });
+  sampler.start();
+  sim.run_until(5.0);
+  ASSERT_EQ(sampler.windows().size(), 1u);
+  EXPECT_DOUBLE_EQ(sampler.windows()[0].values[0], 0.0);
+}
+
+TEST(Sampler, RingBufferEvictsOldestAndCounts) {
+  simulator sim(1);
+  time_series_sampler sampler(sim, 1.0, /*capacity=*/2);
+  sampler.add_gauge("clock", [&] { return sim.now(); });
+  sampler.start();
+  sim.run_until(5.0);
+  EXPECT_EQ(sampler.windows().size(), 2u);
+  EXPECT_EQ(sampler.windows_dropped(), 3u);
+  // Survivors are the newest windows.
+  EXPECT_DOUBLE_EQ(sampler.windows().back().t1, 5.0);
+}
+
+TEST(Sampler, WriteJsonlRoundTrips) {
+  const std::string path = ::testing::TempDir() + "/manet_series_unit.jsonl";
+  simulator sim(1);
+  time_series_sampler sampler(sim, 10.0);
+  sampler.add_gauge("queue_depth", [] { return 4.0; });
+  sampler.start();
+  sim.run_until(20.0);
+  ASSERT_TRUE(sampler.write_jsonl(path));
+  std::ifstream in(path);
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"t0\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"queue_depth\":"), std::string::npos);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(sampler.write_jsonl("/nonexistent_dir/series.jsonl"));
+}
+
+TEST(Sampler, RejectsNonPositiveInterval) {
+  simulator sim(1);
+  EXPECT_THROW(time_series_sampler(sim, 0.0), std::runtime_error);
+}
+
+// --- profiler --------------------------------------------------------------
+
+TEST(Profiler, AccumulatesPerSection) {
+  profiler prof;
+  prof.add(profiler::section::event_dispatch, 100);
+  prof.add(profiler::section::event_dispatch, 300);
+  prof.add(profiler::section::neighbor_query, 50);
+  EXPECT_EQ(prof.calls(profiler::section::event_dispatch), 2u);
+  EXPECT_EQ(prof.total_ns(profiler::section::event_dispatch), 400u);
+  EXPECT_EQ(prof.calls(profiler::section::protocol_handler), 0u);
+  const std::string report = prof.report();
+  EXPECT_NE(report.find("event_dispatch"), std::string::npos);
+  EXPECT_NE(report.find("neighbor_query"), std::string::npos);
+}
+
+TEST(Profiler, ScopeTimesAndNullIsNoop) {
+  profiler prof;
+  { prof_scope s(&prof, profiler::section::protocol_handler); }
+  EXPECT_EQ(prof.calls(profiler::section::protocol_handler), 1u);
+  // Null profiler: the scope must be a safe no-op.
+  { prof_scope s(nullptr, profiler::section::protocol_handler); }
+}
+
+TEST(Profiler, ClockIsMonotonic) {
+  const std::uint64_t a = prof_now_ns();
+  const std::uint64_t b = prof_now_ns();
+  EXPECT_LE(a, b);
+}
+
+// --- scenario wiring -------------------------------------------------------
+
+TEST(ObsScenario, RunResultCarriesMetricSnapshot) {
+  scenario_params p;
+  p.n_peers = 10;
+  p.sim_time = 60.0;
+  p.seed = 5;
+  scenario sc(p, "pull");
+  const run_result r = sc.run();
+  ASSERT_FALSE(r.metrics.empty());
+  auto value_of = [&](const std::string& name) -> const double* {
+    for (const auto& [n, v] : r.metrics) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(value_of("net.tx_frames"), nullptr);
+  ASSERT_NE(value_of("query.issued"), nullptr);
+  ASSERT_NE(value_of("pull.polls_sent"), nullptr);
+  EXPECT_GT(*value_of("net.tx_frames"), 0.0);
+  EXPECT_EQ(*value_of("net.tx_frames"),
+            static_cast<double>(r.total_messages));
+  // Sorted-name order is part of the snapshot contract.
+  for (std::size_t i = 1; i < r.metrics.size(); ++i) {
+    EXPECT_LT(r.metrics[i - 1].first, r.metrics[i].first);
+  }
+}
+
+TEST(ObsScenario, ProtocolNamespacesFollowProtocol) {
+  scenario_params p;
+  p.n_peers = 8;
+  p.sim_time = 40.0;
+  p.seed = 5;
+  // The "push_pull" hybrid registers under the hybrid.* namespace.
+  const std::pair<const char*, const char*> protos[] = {
+      {"rpcc", "rpcc."}, {"push", "push."}, {"push_pull", "hybrid."}};
+  for (const auto& [proto, ns] : protos) {
+    scenario sc(p, proto);
+    const run_result r = sc.run();
+    const std::string prefix = ns;
+    bool found = false;
+    for (const auto& [n, v] : r.metrics) {
+      if (n.rfind(prefix, 0) == 0) found = true;
+    }
+    EXPECT_TRUE(found) << "no " << prefix << "* metric registered";
+  }
+}
+
+TEST(ObsScenario, SeriesFileWrittenWithRegisteredColumns) {
+  const std::string path = ::testing::TempDir() + "/manet_series_scn.jsonl";
+  scenario_params p;
+  p.n_peers = 10;
+  p.sim_time = 60.0;
+  p.seed = 5;
+  p.series_file = path;
+  p.series_interval = 10.0;
+  scenario sc(p, "rpcc");
+  sc.run();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) lines.push_back(line);
+  // 60 s at 10 s per window: six windows, the last closed by finish().
+  ASSERT_EQ(lines.size(), 6u);
+  for (const char* col :
+       {"relay_peers", "hit_ratio", "stale_rate", "pending_polls",
+        "queue_depth"}) {
+    EXPECT_NE(lines[0].find(col), std::string::npos) << col;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsScenario, ProfileFlagProducesReport) {
+  scenario_params p;
+  p.n_peers = 8;
+  p.sim_time = 30.0;
+  p.seed = 5;
+  p.profile = true;
+  scenario sc(p, "pull");
+  sc.run();
+  ASSERT_NE(sc.profile(), nullptr);
+  EXPECT_GT(sc.profile()->calls(profiler::section::event_dispatch), 0u);
+  EXPECT_NE(sc.extra_report().find("event_dispatch"), std::string::npos);
+}
+
+// --- sweep output suffixing ------------------------------------------------
+
+TEST(SweepOutputPath, InsertsTagBeforeExtension) {
+  EXPECT_EQ(sweep_output_path("trace.jsonl", "x0-pull-r1"),
+            "trace-x0-pull-r1.jsonl");
+  EXPECT_EQ(sweep_output_path("out/series.jsonl", "run3"),
+            "out/series-run3.jsonl");
+}
+
+TEST(SweepOutputPath, HandlesMissingExtensionAndDottedDirs) {
+  EXPECT_EQ(sweep_output_path("trace", "t"), "trace-t");
+  // The dot belongs to a directory, not an extension.
+  EXPECT_EQ(sweep_output_path("runs.d/trace", "t"), "runs.d/trace-t");
+  EXPECT_EQ(sweep_output_path("", "t"), "");
+}
+
+TEST(SweepOutputPath, SanitizesTag) {
+  EXPECT_EQ(sweep_output_path("t.jsonl", "x 0/pull:r#1"),
+            "t-x-0-pull-r-1.jsonl");
+}
+
+// --- recovery tracker: never-recovered episodes ----------------------------
+
+TEST(RecoveryTracker, NeverRecoveredEpisodeStaysOutOfMeans) {
+  simulator sim(1);
+  recovery_tracker::probes probes;
+  probes.converged = [] { return false; };  // never reconverges
+  probes.relays = [] { return std::size_t{3}; };
+  recovery_tracker rt(sim, probes, 1.0);
+
+  fault_event e;
+  e.kind = fault_kind::crash;
+  rt.on_fault_begin(0, e);
+  sim.schedule_at(5.0, [&] { rt.on_fault_end(0, e); });
+  sim.run_until(50.0);
+
+  ASSERT_EQ(rt.episode_count(), 1u);
+  EXPECT_LT(rt.episodes()[0].reconverge_s, 0.0);  // open at sim end
+  EXPECT_EQ(rt.recovered_count(), 0u);
+  // The open episode must not pollute the mean: no recovered episodes
+  // means 0, not a garbage average over the -1 sentinel.
+  EXPECT_DOUBLE_EQ(rt.mean_reconvergence_s(), 0.0);
+  // Relay repair did succeed (relays never dipped), independently of
+  // convergence.
+  EXPECT_GT(rt.mean_relay_repair_s(), 0.0);
+}
+
+TEST(RecoveryTracker, RecoveredEpisodeMeasuredFromHeal) {
+  simulator sim(1);
+  recovery_tracker::probes probes;
+  probes.converged = [&] { return sim.now() > 10.0; };
+  probes.relays = [] { return std::size_t{3}; };
+  recovery_tracker rt(sim, probes, 1.0);
+
+  fault_event e;
+  e.kind = fault_kind::partition;
+  rt.on_fault_begin(0, e);
+  sim.schedule_at(5.0, [&] { rt.on_fault_end(0, e); });
+  sim.run_until(50.0);
+
+  ASSERT_EQ(rt.recovered_count(), 1u);
+  // Heal at t=5, probes at 6,7,...; first converged probe at t=11.
+  EXPECT_DOUBLE_EQ(rt.mean_reconvergence_s(), 6.0);
+  const std::string report = rt.report();
+  EXPECT_NE(report.find("reconverge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace manet

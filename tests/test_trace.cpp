@@ -64,6 +64,31 @@ TEST(TraceWriter, ThrowsOnUnwritablePath) {
   EXPECT_THROW(trace_writer("/nonexistent_dir/trace.jsonl"), std::runtime_error);
 }
 
+// Write failures must be counted, not silent: /dev/full accepts the open
+// but fails every flush, so after pushing more than one stdio buffer of
+// records the writer must report drops.
+TEST(TraceWriter, CountsDroppedEventsOnFullDevice) {
+  {
+    std::FILE* probe = std::fopen("/dev/full", "w");
+    if (probe == nullptr) GTEST_SKIP() << "/dev/full not available";
+    std::fclose(probe);
+  }
+  trace_writer tw("/dev/full");
+  traffic_meter meter;
+  meter.register_kind(150, "TEST_KIND");
+  packet p;
+  p.kind = 150;
+  p.size_bytes = 64;
+  // ~100 bytes per line; 4096 lines comfortably exceed any stdio buffer,
+  // forcing at least one failed flush mid-stream.
+  for (int i = 0; i < 4096; ++i) {
+    tw.record_rx(static_cast<sim_time>(i), 1, 2, p, meter);
+  }
+  tw.flush();
+  EXPECT_GT(tw.events_dropped(), 0u);
+  EXPECT_LT(tw.events_written(), 4096u);
+}
+
 TEST(TraceScenario, CapturesAllEventClasses) {
   const std::string path = ::testing::TempDir() + "/manet_trace_scenario.jsonl";
   {

@@ -1,0 +1,289 @@
+// Offline trace analyzer: JSONL parsing, propagation-tree TTC on a
+// hand-built trace, causal-invariant checking, and an end-to-end pass over
+// a real traced scenario.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "metrics/trace_writer.hpp"
+#include "scenario/scenario.hpp"
+#include "tracestat.hpp"
+
+namespace manet {
+namespace {
+
+using tracestat::analysis;
+using tracestat::analyze;
+using tracestat::check;
+using tracestat::parse_line;
+using tracestat::quantile;
+using tracestat::trace_event;
+using tracestat::trace_file;
+
+std::string write_temp(const std::string& name,
+                       const std::vector<std::string>& lines) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  for (const auto& l : lines) out << l << "\n";
+  return path;
+}
+
+// --- parser ----------------------------------------------------------------
+
+TEST(TracestatParse, NumbersStringsAndBools) {
+  trace_event ev;
+  ASSERT_TRUE(parse_line(
+      R"({"t":12.5,"ev":"answer","node":3,"item":9,"version":2,)"
+      R"("validated":true,"stale":false,"trace":42})",
+      ev));
+  EXPECT_DOUBLE_EQ(ev.t, 12.5);
+  EXPECT_EQ(ev.ev, "answer");
+  EXPECT_EQ(ev.uget("node"), 3u);
+  EXPECT_DOUBLE_EQ(ev.get("validated"), 1.0);
+  EXPECT_DOUBLE_EQ(ev.get("stale"), 0.0);
+  EXPECT_EQ(ev.uget("trace"), 42u);
+  EXPECT_EQ(ev.sget("ev"), "answer");
+  EXPECT_FALSE(ev.has("missing"));
+  EXPECT_DOUBLE_EQ(ev.get("missing", -1.0), -1.0);
+}
+
+TEST(TracestatParse, RejectsMalformedInput) {
+  trace_event ev;
+  EXPECT_FALSE(parse_line("", ev));
+  EXPECT_FALSE(parse_line("not json", ev));
+  EXPECT_FALSE(parse_line(R"({"t":1.0})", ev));          // no ev field
+  EXPECT_FALSE(parse_line(R"({"ev":"rx","t":)", ev));    // truncated
+  EXPECT_FALSE(parse_line(R"({"ev":"rx","t":abc})", ev));
+  EXPECT_FALSE(parse_line(R"({"ev":"rx)", ev));          // unterminated string
+}
+
+TEST(TracestatParse, LoadCountsMalformedLines) {
+  const std::string path = write_temp(
+      "tracestat_malformed.jsonl",
+      {R"({"t":1.0,"ev":"update","item":1,"version":2,"trace":5})",
+       "garbage line", R"({"t":2.0,"ev":"apply","node":0,"item":1,)"
+                       R"("version":2,"trace":5})"});
+  const trace_file tf = tracestat::load(path);
+  EXPECT_EQ(tf.events.size(), 2u);
+  EXPECT_EQ(tf.malformed_lines, 1u);
+  std::remove(path.c_str());
+  EXPECT_THROW(tracestat::load("/nonexistent_dir/t.jsonl"),
+               std::runtime_error);
+}
+
+TEST(TracestatQuantile, LinearInterpolation) {
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(quantile({7.0}, 0.5), 7.0);
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile({4.0, 1.0, 3.0, 2.0}, 1.0), 4.0);
+}
+
+// --- hand-built 3-node propagation tree ------------------------------------
+
+// Three nodes hold item 5 at version 1 (baseline applies). An update to
+// version 2 at t=10 reaches node 0 after 1 s, node 1 after 3 s, node 2
+// after 6 s: TTC is exactly 6 s and the propagation is complete. A second
+// update to version 3 at t=50 is only applied by node 0 (incomplete). One
+// traced query at t=20 is answered 1 s later after one discovery, one poll
+// and one transfer frame.
+std::vector<std::string> hand_built_trace() {
+  return {
+      R"({"t":0.000000,"ev":"apply","node":0,"item":5,"version":1,"trace":0})",
+      R"({"t":0.000000,"ev":"apply","node":1,"item":5,"version":1,"trace":0})",
+      R"({"t":0.000000,"ev":"apply","node":2,"item":5,"version":1,"trace":0})",
+      R"({"t":10.000000,"ev":"update","item":5,"version":2,"trace":42})",
+      R"({"t":11.000000,"ev":"apply","node":0,"item":5,"version":2,"trace":42})",
+      R"({"t":13.000000,"ev":"apply","node":1,"item":5,"version":2,"trace":42})",
+      R"({"t":16.000000,"ev":"apply","node":2,"item":5,"version":2,"trace":42})",
+      R"({"t":20.000000,"ev":"query","node":1,"item":5,"level":"SC","trace":77})",
+      R"({"t":20.200000,"ev":"send","node":1,"kind":"RREQ","dst":4294967295,)"
+      R"("ttl":5,"bytes":24,"uid":1,"trace":77})",
+      R"({"t":20.400000,"ev":"send","node":1,"kind":"POLL","dst":0,)"
+      R"("ttl":8,"bytes":32,"uid":2,"trace":77})",
+      R"({"t":20.600000,"ev":"send","node":0,"kind":"PULL_DATA","dst":1,)"
+      R"("ttl":8,"bytes":512,"uid":3,"trace":77})",
+      R"({"t":21.000000,"ev":"answer","node":1,"item":5,"version":2,)"
+      R"("validated":true,"stale":false,"trace":77})",
+      R"({"t":50.000000,"ev":"update","item":5,"version":3,"trace":43})",
+      R"({"t":52.000000,"ev":"apply","node":0,"item":5,"version":3,"trace":43})",
+  };
+}
+
+TEST(TracestatAnalyze, HandBuiltTreeTtcIsExact) {
+  const std::string path =
+      write_temp("tracestat_tree.jsonl", hand_built_trace());
+  const trace_file tf = tracestat::load(path);
+  ASSERT_EQ(tf.malformed_lines, 0u);
+  const analysis a = analyze(tf);
+
+  ASSERT_EQ(a.updates.size(), 2u);
+  const auto& u2 = a.updates[0];
+  EXPECT_EQ(u2.item, 5u);
+  EXPECT_EQ(u2.version, 2u);
+  EXPECT_EQ(u2.trace, 42u);
+  EXPECT_EQ(u2.holders, 3u);
+  EXPECT_EQ(u2.caught_up, 3u);
+  EXPECT_DOUBLE_EQ(u2.ttc_s, 6.0);  // slowest holder: node 2 at t=16
+  EXPECT_TRUE(u2.complete);
+
+  const auto& u3 = a.updates[1];
+  EXPECT_EQ(u3.holders, 3u);
+  EXPECT_EQ(u3.caught_up, 1u);
+  EXPECT_DOUBLE_EQ(u3.ttc_s, 2.0);
+  EXPECT_FALSE(u3.complete);
+
+  const auto ttc = a.ttc_sample();
+  ASSERT_EQ(ttc.size(), 2u);
+  EXPECT_DOUBLE_EQ(quantile(ttc, 1.0), 6.0);
+
+  ASSERT_EQ(a.queries.size(), 1u);
+  const auto& q = a.queries[0];
+  EXPECT_EQ(q.trace, 77u);
+  EXPECT_TRUE(q.answered);
+  EXPECT_FALSE(q.stale);
+  EXPECT_DOUBLE_EQ(q.latency_s, 1.0);
+  EXPECT_EQ(q.discovery_frames, 1u);
+  EXPECT_EQ(q.poll_frames, 1u);
+  EXPECT_EQ(q.transfer_frames, 1u);
+
+  // The hand-built trace is causally clean.
+  EXPECT_TRUE(check(tf).empty());
+
+  const std::string trees = tracestat::render_trees(tf, 10);
+  EXPECT_NE(trees.find("trace 42"), std::string::npos);
+  EXPECT_NE(trees.find("trace 77"), std::string::npos);
+  const std::string summary = tracestat::render_summary(a);
+  EXPECT_NE(summary.find("time-to-consistency"), std::string::npos);
+  EXPECT_NE(summary.find("2 total"), std::string::npos);
+  EXPECT_NE(summary.find("1 incomplete"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- causal-invariant checker ----------------------------------------------
+
+trace_file from_lines(const std::vector<std::string>& lines) {
+  trace_file tf;
+  for (const auto& l : lines) {
+    trace_event ev;
+    if (parse_line(l, ev)) tf.events.push_back(ev);
+  }
+  return tf;
+}
+
+TEST(TracestatCheck, DetectsBackwardsTimestamp) {
+  const auto v = check(from_lines(
+      {R"({"t":5.0,"ev":"update","item":1,"version":1,"trace":1})",
+       R"({"t":1.0,"ev":"update","item":1,"version":2,"trace":2})"}));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("backwards"), std::string::npos);
+}
+
+TEST(TracestatCheck, DetectsOrphanRx) {
+  const auto v = check(from_lines(
+      {R"({"t":1.0,"ev":"rx","node":1,"from":0,"kind":"POLL","src":0,)"
+       R"("dst":1,"hops":1,"bytes":8,"uid":99,"trace":1})"}));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("no prior send"), std::string::npos);
+}
+
+TEST(TracestatCheck, DetectsRelayWithoutParent) {
+  // Node 2 claims to have heard uid 7 from node 1, but node 1 never
+  // received the frame itself.
+  const auto v = check(from_lines(
+      {R"({"t":1.0,"ev":"send","node":0,"kind":"IR","dst":4294967295,)"
+       R"("ttl":5,"bytes":16,"uid":7,"trace":1})",
+       R"({"t":2.0,"ev":"rx","node":2,"from":1,"kind":"IR","src":0,)"
+       R"("dst":4294967295,"hops":2,"bytes":16,"uid":7,"trace":1})"}));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("no parent"), std::string::npos);
+}
+
+TEST(TracestatCheck, AcceptsRelayWithParent) {
+  const auto v = check(from_lines(
+      {R"({"t":1.0,"ev":"send","node":0,"kind":"IR","dst":4294967295,)"
+       R"("ttl":5,"bytes":16,"uid":7,"trace":1})",
+       R"({"t":1.5,"ev":"rx","node":1,"from":0,"kind":"IR","src":0,)"
+       R"("dst":4294967295,"hops":1,"bytes":16,"uid":7,"trace":1})",
+       R"({"t":2.0,"ev":"rx","node":2,"from":1,"kind":"IR","src":0,)"
+       R"("dst":4294967295,"hops":2,"bytes":16,"uid":7,"trace":1})"}));
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(TracestatCheck, DetectsAnswerWithoutQuery) {
+  const auto v = check(from_lines(
+      {R"({"t":3.0,"ev":"answer","node":1,"item":5,"version":2,)"
+       R"("validated":true,"stale":false,"trace":9})"}));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("no earlier query"), std::string::npos);
+}
+
+TEST(TracestatCheck, DetectsVersionRegression) {
+  const auto v = check(from_lines(
+      {R"({"t":1.0,"ev":"apply","node":0,"item":1,"version":5,"trace":1})",
+       R"({"t":2.0,"ev":"apply","node":0,"item":1,"version":3,"trace":2})"}));
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_NE(v[0].find("version regressed"), std::string::npos);
+}
+
+TEST(TracestatCheck, CapsViolationCount) {
+  std::vector<std::string> lines;
+  for (int i = 0; i < 30; ++i) {
+    lines.push_back(R"({"t":1.0,"ev":"rx","node":1,"from":0,"kind":"IR",)"
+                    R"("src":0,"dst":1,"hops":1,"bytes":8,"uid":)" +
+                    std::to_string(100 + i) + R"(,"trace":1})");
+  }
+  EXPECT_EQ(check(from_lines(lines), 5).size(), 5u);
+}
+
+// --- series rendering ------------------------------------------------------
+
+TEST(TracestatSeries, RendersSamplerJsonl) {
+  const std::string path = write_temp(
+      "tracestat_series.jsonl",
+      {R"({"t0":0.0,"t1":10.0,"hit_ratio":0.5,"queue_depth":12})",
+       R"({"t0":10.0,"t1":20.0,"hit_ratio":0.75,"queue_depth":8})"});
+  const std::string table = tracestat::render_series(path);
+  EXPECT_NE(table.find("hit_ratio"), std::string::npos);
+  EXPECT_NE(table.find("queue_depth"), std::string::npos);
+  EXPECT_NE(table.find("0.75"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- end to end: a real traced run is causally clean -----------------------
+
+TEST(TracestatEndToEnd, TracedScenarioPassesCheckAndAnalyzes) {
+  const std::string path = ::testing::TempDir() + "/tracestat_e2e.jsonl";
+  {
+    scenario_params p;
+    p.n_peers = 12;
+    p.area_width = p.area_height = 800;
+    p.sim_time = 150.0;
+    p.seed = 23;
+    p.trace_file = path;
+    scenario sc(p, "rpcc");
+    sc.run();
+    ASSERT_NE(sc.trace(), nullptr);
+    sc.trace()->flush();
+  }
+  const trace_file tf = tracestat::load(path);
+  EXPECT_EQ(tf.malformed_lines, 0u);
+  EXPECT_GT(tf.events.size(), 100u);
+
+  const auto violations = check(tf);
+  EXPECT_TRUE(violations.empty())
+      << violations.size() << " causal violations, first: " << violations[0];
+
+  const analysis a = analyze(tf);
+  EXPECT_GT(a.event_counts.at("rx"), 0u);
+  EXPECT_GT(a.queries.size(), 0u);
+  EXPECT_FALSE(a.latency_sample().empty());
+  EXPECT_FALSE(tracestat::render_summary(a).empty());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace manet

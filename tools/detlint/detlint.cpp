@@ -558,6 +558,10 @@ std::vector<allow_entry> default_allowlist() {
   return {
       {"DET002", "src/util/rng.cpp"},
       {"DET002", "src/util/rng.hpp"},
+      // Host-side wall-clock profiling: the only sim-tree file allowed to
+      // read a clock. Results are reported out-of-band, never fed back into
+      // the simulation (see obs/prof.hpp).
+      {"DET002", "src/obs/prof.cpp"},
       {"DET005", "src/scenario/sweep.cpp"},
   };
 }

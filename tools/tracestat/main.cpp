@@ -1,0 +1,86 @@
+// tracestat CLI. Usage:
+//   tracestat [--check] [--trees=N] [--series=PATH] TRACE.jsonl
+//
+// Default mode prints the offline analysis: event counts, per-update
+// time-to-consistency percentiles and the per-query latency/phase
+// breakdown. --check additionally re-validates the causal invariants
+// (monotone timestamps, every relayed frame has a parent, answers follow
+// their queries, versions never regress) and exits nonzero on violation.
+// --series renders a sampler JSONL file as per-window curves; it works with
+// or without a trace argument.
+#include <cstdio>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "tracestat.hpp"
+
+int main(int argc, char** argv) {
+  bool do_check = false;
+  std::size_t trees = 0;
+  std::string series_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--check") {
+      do_check = true;
+    } else if (arg.rfind("--trees=", 0) == 0) {
+      trees = static_cast<std::size_t>(std::stoul(arg.substr(8)));
+    } else if (arg.rfind("--series=", 0) == 0) {
+      series_path = arg.substr(9);
+    } else if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      std::printf(
+          "usage: tracestat [--check] [--trees=N] [--series=PATH] "
+          "[TRACE.jsonl]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty() && series_path.empty()) {
+    std::fprintf(stderr, "tracestat: no trace or series file given\n");
+    return 2;
+  }
+
+  try {
+    int rc = 0;
+    for (const std::string& path : paths) {
+      const manet::tracestat::trace_file tf = manet::tracestat::load(path);
+      std::printf("== %s: %zu events", path.c_str(), tf.events.size());
+      if (tf.malformed_lines > 0) {
+        std::printf(" (%llu malformed lines)",
+                    static_cast<unsigned long long>(tf.malformed_lines));
+      }
+      std::printf(" ==\n");
+      const manet::tracestat::analysis a = manet::tracestat::analyze(tf);
+      std::printf("%s", manet::tracestat::render_summary(a).c_str());
+      if (trees > 0) {
+        std::printf("%s", manet::tracestat::render_trees(tf, trees).c_str());
+      }
+      if (do_check) {
+        const std::vector<std::string> violations =
+            manet::tracestat::check(tf);
+        if (violations.empty() && tf.malformed_lines == 0) {
+          std::printf("check: OK\n");
+        } else {
+          for (const std::string& v : violations) {
+            std::fprintf(stderr, "check: %s\n", v.c_str());
+          }
+          if (tf.malformed_lines > 0) {
+            std::fprintf(stderr, "check: %llu malformed lines\n",
+                         static_cast<unsigned long long>(tf.malformed_lines));
+          }
+          rc = 1;
+        }
+      }
+    }
+    if (!series_path.empty()) {
+      std::printf("%s",
+                  manet::tracestat::render_series(series_path).c_str());
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tracestat: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,461 @@
+#include "tracestat.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace manet::tracestat {
+
+namespace {
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+bool parse_string(const std::string& s, std::size_t& i, std::string& out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out.clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\' && i + 1 < s.size()) ++i;  // keep escaped char verbatim
+    out.push_back(s[i]);
+    ++i;
+  }
+  if (i >= s.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
+}  // namespace
+
+namespace {
+
+/// Parses one flat JSON object without requiring any particular field —
+/// shared by the trace parser (which demands "ev") and the series renderer
+/// (whose sampler windows carry only t0/t1 and the series columns).
+bool parse_flat(const std::string& line, trace_event& out) {
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') return false;
+  ++i;
+  out = trace_event{};
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') return true;  // empty object
+  while (true) {
+    skip_ws(line, i);
+    std::string key;
+    if (!parse_string(line, i, key)) return false;
+    skip_ws(line, i);
+    if (i >= line.size() || line[i] != ':') return false;
+    ++i;
+    skip_ws(line, i);
+    if (i >= line.size()) return false;
+    if (line[i] == '"') {
+      std::string value;
+      if (!parse_string(line, i, value)) return false;
+      out.str[key] = value;
+    } else if (line.compare(i, 4, "true") == 0) {
+      out.num[key] = 1;
+      i += 4;
+    } else if (line.compare(i, 5, "false") == 0) {
+      out.num[key] = 0;
+      i += 5;
+    } else {
+      const std::size_t start = i;
+      while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
+      try {
+        out.num[key] = std::stod(line.substr(start, i - start));
+      } catch (const std::exception&) {
+        return false;
+      }
+    }
+    skip_ws(line, i);
+    if (i >= line.size()) return false;
+    if (line[i] == '}') break;
+    if (line[i] != ',') return false;
+    ++i;
+  }
+  out.t = out.get("t");
+  out.ev = out.sget("ev");
+  return true;
+}
+
+}  // namespace
+
+bool parse_line(const std::string& line, trace_event& out) {
+  return parse_flat(line, out) && !out.ev.empty();
+}
+
+trace_file load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("tracestat: cannot open '" + path + "'");
+  trace_file tf;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    trace_event ev;
+    if (parse_line(line, ev)) {
+      tf.events.push_back(std::move(ev));
+    } else {
+      ++tf.malformed_lines;
+    }
+  }
+  return tf;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+std::vector<double> analysis::ttc_sample() const {
+  std::vector<double> out;
+  for (const update_ttc& u : updates) {
+    if (u.caught_up > 0) out.push_back(u.ttc_s);
+  }
+  return out;
+}
+
+std::vector<double> analysis::latency_sample() const {
+  std::vector<double> out;
+  for (const query_latency& q : queries) {
+    if (q.answered) out.push_back(q.latency_s);
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t node_item_key(std::uint64_t node, std::uint64_t item) {
+  return (node << 32) | item;
+}
+
+/// Phase classes for the query breakdown.
+enum class frame_class { discovery, poll, transfer };
+
+frame_class classify_kind(const std::string& kind) {
+  if (kind == "RREQ" || kind == "RREP" || kind == "RERR") {
+    return frame_class::discovery;
+  }
+  if (kind.find("POLL") != std::string::npos &&
+      kind.find("ACK") == std::string::npos) {
+    return frame_class::poll;
+  }
+  return frame_class::transfer;
+}
+
+}  // namespace
+
+analysis analyze(const trace_file& tf) {
+  analysis a;
+
+  // Per-(node,item) apply history in file order: (t, version).
+  std::unordered_map<std::uint64_t, std::vector<std::pair<double, std::uint64_t>>>
+      applies;
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> nodes_of_item;
+  // Open queries by trace id (index into a.queries).
+  std::unordered_map<std::uint64_t, std::size_t> open_query;
+
+  for (const trace_event& ev : tf.events) {
+    ++a.event_counts[ev.ev];
+    if (ev.ev == "apply") {
+      const std::uint64_t node = ev.uget("node");
+      const std::uint64_t item = ev.uget("item");
+      auto& hist = applies[node_item_key(node, item)];
+      if (hist.empty()) nodes_of_item[item].push_back(node);
+      hist.emplace_back(ev.t, ev.uget("version"));
+    } else if (ev.ev == "update") {
+      update_ttc u;
+      u.item = static_cast<std::uint32_t>(ev.uget("item"));
+      u.version = ev.uget("version");
+      u.t = ev.t;
+      u.trace = ev.uget("trace");
+      a.updates.push_back(u);
+    } else if (ev.ev == "query") {
+      const std::uint64_t trace = ev.uget("trace");
+      if (trace != 0) {
+        query_latency q;
+        q.trace = trace;
+        q.t_query = ev.t;
+        open_query[trace] = a.queries.size();
+        a.queries.push_back(q);
+      }
+    } else if (ev.ev == "answer") {
+      const std::uint64_t trace = ev.uget("trace");
+      auto it = open_query.find(trace);
+      if (it != open_query.end()) {
+        query_latency& q = a.queries[it->second];
+        q.answered = true;
+        q.latency_s = ev.t - q.t_query;
+        q.stale = ev.get("stale") != 0;
+        open_query.erase(it);
+      }
+    } else if (ev.ev == "send") {
+      const std::uint64_t trace = ev.uget("trace");
+      auto it = open_query.find(trace);
+      if (it != open_query.end()) {
+        query_latency& q = a.queries[it->second];
+        switch (classify_kind(ev.sget("kind"))) {
+          case frame_class::discovery: ++q.discovery_frames; break;
+          case frame_class::poll: ++q.poll_frames; break;
+          case frame_class::transfer: ++q.transfer_frames; break;
+        }
+      }
+    }
+  }
+
+  // TTC: a holder is a node whose last apply before the update carries an
+  // older version (evictions are not traced, so "still holding" is an
+  // approximation — a holder that silently evicted shows up as incomplete).
+  for (update_ttc& u : a.updates) {
+    auto nit = nodes_of_item.find(u.item);
+    if (nit == nodes_of_item.end()) continue;
+    for (const std::uint64_t node : nit->second) {
+      const auto& hist = applies[node_item_key(node, u.item)];
+      std::uint64_t held = 0;
+      bool holds = false;
+      for (const auto& [t, v] : hist) {
+        if (t > u.t) break;
+        held = v;
+        holds = true;
+      }
+      if (!holds || held >= u.version) continue;
+      ++u.holders;
+      for (const auto& [t, v] : hist) {
+        if (t >= u.t && v >= u.version) {
+          ++u.caught_up;
+          u.ttc_s = std::max(u.ttc_s, t - u.t);
+          break;
+        }
+      }
+    }
+    u.complete = u.holders > 0 && u.caught_up == u.holders;
+  }
+  return a;
+}
+
+std::vector<std::string> check(const trace_file& tf,
+                               std::size_t max_violations) {
+  std::vector<std::string> out;
+  auto fail = [&](const std::string& msg) {
+    if (out.size() < max_violations) out.push_back(msg);
+  };
+
+  double last_t = 0;
+  // uid -> origination time; uid -> nodes that have received the frame.
+  std::unordered_map<std::uint64_t, double> sent_at;
+  std::unordered_map<std::uint64_t, std::unordered_set<std::uint64_t>> heard_by;
+  std::unordered_set<std::uint64_t> seen_query_traces;
+  std::unordered_map<std::uint64_t, std::uint64_t> version_of;
+
+  for (std::size_t i = 0; i < tf.events.size(); ++i) {
+    const trace_event& ev = tf.events[i];
+    char where[48];
+    std::snprintf(where, sizeof where, "event %zu (t=%.6f)", i, ev.t);
+    if (ev.t + 1e-9 < last_t) {
+      fail(std::string(where) + ": timestamp went backwards");
+    }
+    last_t = std::max(last_t, ev.t);
+
+    if (ev.ev == "send") {
+      sent_at[ev.uget("uid")] = ev.t;
+    } else if (ev.ev == "rx") {
+      const std::uint64_t uid = ev.uget("uid");
+      const auto sit = sent_at.find(uid);
+      if (sit == sent_at.end()) {
+        fail(std::string(where) + ": rx of uid " + std::to_string(uid) +
+             " with no prior send (orphan frame)");
+      } else if (ev.t + 1e-9 < sit->second) {
+        fail(std::string(where) + ": rx of uid " + std::to_string(uid) +
+             " before its send (span ends before it starts)");
+      }
+      const std::uint64_t from = ev.uget("from");
+      const std::uint64_t src = ev.uget("src");
+      if (from != src && heard_by[uid].count(from) == 0) {
+        fail(std::string(where) + ": uid " + std::to_string(uid) +
+             " relayed by node " + std::to_string(from) +
+             " which never received it (no parent)");
+      }
+      heard_by[uid].insert(ev.uget("node"));
+    } else if (ev.ev == "query") {
+      const std::uint64_t trace = ev.uget("trace");
+      if (trace != 0) seen_query_traces.insert(trace);
+    } else if (ev.ev == "answer") {
+      const std::uint64_t trace = ev.uget("trace");
+      if (trace != 0 && seen_query_traces.count(trace) == 0) {
+        fail(std::string(where) + ": answer with trace " +
+             std::to_string(trace) + " but no earlier query");
+      }
+    } else if (ev.ev == "apply") {
+      const std::uint64_t key =
+          node_item_key(ev.uget("node"), ev.uget("item"));
+      const std::uint64_t v = ev.uget("version");
+      auto vit = version_of.find(key);
+      if (vit != version_of.end() && v < vit->second) {
+        fail(std::string(where) + ": node " +
+             std::to_string(ev.uget("node")) + " item " +
+             std::to_string(ev.uget("item")) + " applied version " +
+             std::to_string(v) + " after " + std::to_string(vit->second) +
+             " (version regressed)");
+      }
+      version_of[key] = v;
+    }
+  }
+  return out;
+}
+
+std::string render_trees(const trace_file& tf, std::size_t max_trees) {
+  // Group events by trace id, in file order, keyed to first appearance.
+  std::unordered_map<std::uint64_t, std::vector<const trace_event*>> by_trace;
+  std::vector<std::uint64_t> order;
+  for (const trace_event& ev : tf.events) {
+    const auto it = ev.num.find("trace");
+    if (it == ev.num.end()) continue;
+    const auto trace = static_cast<std::uint64_t>(it->second);
+    if (trace == 0) continue;
+    auto& bucket = by_trace[trace];
+    if (bucket.empty()) order.push_back(trace);
+    bucket.push_back(&ev);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::uint64_t a, std::uint64_t b) {
+                     return by_trace[a].size() > by_trace[b].size();
+                   });
+  if (order.size() > max_trees) order.resize(max_trees);
+
+  std::ostringstream os;
+  char buf[256];
+  for (const std::uint64_t trace : order) {
+    const auto& evs = by_trace[trace];
+    std::snprintf(buf, sizeof buf, "trace %llu (%zu events)\n",
+                  static_cast<unsigned long long>(trace), evs.size());
+    os << buf;
+    for (const trace_event* ev : evs) {
+      int depth = 1;
+      if (ev->ev == "rx") depth = 1 + static_cast<int>(ev->get("hops")) + 1;
+      else if (ev->ev == "apply" || ev->ev == "inval" || ev->ev == "answer")
+        depth = 2;
+      for (int d = 0; d < depth; ++d) os << "  ";
+      std::snprintf(buf, sizeof buf, "%-6s t=%.6f", ev->ev.c_str(), ev->t);
+      os << buf;
+      if (ev->has("node")) os << " node=" << ev->uget("node");
+      if (!ev->sget("kind").empty()) os << " kind=" << ev->sget("kind");
+      if (ev->has("item")) os << " item=" << ev->uget("item");
+      if (ev->has("version")) os << " v=" << ev->uget("version");
+      if (ev->has("uid")) os << " uid=" << ev->uget("uid");
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string render_series(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("tracestat: cannot open '" + path + "'");
+  // Sampler windows have no "ev" field, so bypass the trace-schema check.
+  std::vector<trace_event> windows;
+  std::string line;
+  while (std::getline(in, line)) {
+    trace_event w;
+    if (!line.empty() && parse_flat(line, w)) windows.push_back(std::move(w));
+  }
+  std::ostringstream os;
+  std::vector<std::string> cols;
+  for (const trace_event& w : windows) {
+    if (cols.empty()) {
+      for (const auto& [k, v] : w.num) {
+        (void)v;
+        if (k != "t0" && k != "t1") cols.push_back(k);
+      }
+      os << "t0        t1      ";
+      for (const auto& c : cols) {
+        char h[64];
+        std::snprintf(h, sizeof h, "  %14s", c.c_str());
+        os << h;
+      }
+      os << "\n";
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%-9.1f %-9.1f", w.get("t0"), w.get("t1"));
+    os << buf;
+    for (const auto& c : cols) {
+      std::snprintf(buf, sizeof buf, "  %14.6g", w.get(c));
+      os << buf;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string render_summary(const analysis& a) {
+  std::ostringstream os;
+  char buf[256];
+  os << "event counts:\n";
+  for (const auto& [ev, n] : a.event_counts) {
+    std::snprintf(buf, sizeof buf, "  %-8s %llu\n", ev.c_str(),
+                  static_cast<unsigned long long>(n));
+    os << buf;
+  }
+
+  const std::vector<double> ttc = a.ttc_sample();
+  std::size_t incomplete = 0, with_holders = 0;
+  for (const update_ttc& u : a.updates) {
+    if (u.holders > 0) {
+      ++with_holders;
+      if (!u.complete) ++incomplete;
+    }
+  }
+  std::snprintf(buf, sizeof buf,
+                "updates: %zu total, %zu with holders, %zu incomplete at "
+                "trace end\n",
+                a.updates.size(), with_holders, incomplete);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "time-to-consistency (s): n=%zu p50=%.3f p90=%.3f p99=%.3f "
+                "max=%.3f\n",
+                ttc.size(), quantile(ttc, 0.50), quantile(ttc, 0.90),
+                quantile(ttc, 0.99), quantile(ttc, 1.0));
+  os << buf;
+
+  const std::vector<double> lat = a.latency_sample();
+  std::uint64_t disc = 0, poll = 0, xfer = 0;
+  std::size_t answered = 0, stale = 0;
+  for (const query_latency& q : a.queries) {
+    if (!q.answered) continue;
+    ++answered;
+    if (q.stale) ++stale;
+    disc += q.discovery_frames;
+    poll += q.poll_frames;
+    xfer += q.transfer_frames;
+  }
+  std::snprintf(buf, sizeof buf,
+                "queries: %zu traced, %zu answered, %zu stale\n",
+                a.queries.size(), answered, stale);
+  os << buf;
+  std::snprintf(buf, sizeof buf,
+                "query latency (s): n=%zu p50=%.3f p95=%.3f max=%.3f\n",
+                lat.size(), quantile(lat, 0.50), quantile(lat, 0.95),
+                quantile(lat, 1.0));
+  os << buf;
+  const double k = answered > 0 ? static_cast<double>(answered) : 1.0;
+  std::snprintf(buf, sizeof buf,
+                "per-answered-query frames: discovery=%.2f poll=%.2f "
+                "transfer=%.2f\n",
+                static_cast<double>(disc) / k, static_cast<double>(poll) / k,
+                static_cast<double>(xfer) / k);
+  os << buf;
+  return os.str();
+}
+
+}  // namespace manet::tracestat

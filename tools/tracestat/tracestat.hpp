@@ -1,0 +1,120 @@
+// tracestat: offline analyzer for the flight-recorder JSONL traces written
+// by metrics/trace_writer (and the time-series files written by
+// obs/sampler). Reconstructs causal propagation trees from the per-event
+// `trace` ids, computes per-update time-to-consistency (TTC) and per-query
+// latency/phase breakdowns, and re-validates causal invariants offline
+// (--check): timestamps never go backwards, every received frame has a
+// matching origination and a relayer that heard it first, every traced
+// answer follows its query, per-copy versions never regress.
+//
+// Built as a small static library so the test suite can drive the parser
+// and the analyses directly; tools/tracestat/main.cpp wraps it in a CLI.
+#ifndef MANET_TOOLS_TRACESTAT_HPP
+#define MANET_TOOLS_TRACESTAT_HPP
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace manet::tracestat {
+
+/// One flat JSONL record: numbers (and booleans, as 0/1) in `num`, strings
+/// in `str`. The schemas in trace_writer.cpp are all one level deep.
+struct trace_event {
+  double t = 0;
+  std::string ev;
+  std::map<std::string, double> num;
+  std::map<std::string, std::string> str;
+
+  bool has(const std::string& key) const { return num.count(key) != 0; }
+  double get(const std::string& key, double dflt = 0) const {
+    auto it = num.find(key);
+    return it == num.end() ? dflt : it->second;
+  }
+  std::uint64_t uget(const std::string& key) const {
+    return static_cast<std::uint64_t>(get(key));
+  }
+  std::string sget(const std::string& key) const {
+    auto it = str.find(key);
+    return it == str.end() ? std::string() : it->second;
+  }
+};
+
+/// Parses one JSONL line. Returns false (and leaves `out` unspecified) on
+/// malformed input; blank lines also return false.
+bool parse_line(const std::string& line, trace_event& out);
+
+/// Loads a whole trace file in file order. Throws std::runtime_error when
+/// the file cannot be opened; malformed lines are counted, not fatal.
+struct trace_file {
+  std::vector<trace_event> events;
+  std::uint64_t malformed_lines = 0;
+};
+trace_file load(const std::string& path);
+
+/// Simple order statistics over an unsorted sample (empty -> 0).
+double quantile(std::vector<double> xs, double q);
+
+/// Per-update propagation outcome.
+struct update_ttc {
+  std::uint32_t item = 0;
+  std::uint64_t version = 0;
+  double t = 0;                 ///< update timestamp
+  std::uint64_t trace = 0;
+  std::size_t holders = 0;      ///< nodes holding an older copy at update time
+  std::size_t caught_up = 0;    ///< holders that applied >= version later
+  double ttc_s = 0;             ///< max apply latency over caught-up holders
+  bool complete = false;        ///< every holder caught up before trace end
+};
+
+/// Per-query latency with a causal phase breakdown. Phases classify the
+/// one-hop transmissions carrying the query's trace id between query and
+/// answer: route discovery (RREQ/RREP/RERR), poll traffic (kinds containing
+/// "POLL" without "ACK"), and content transfer (everything else).
+struct query_latency {
+  std::uint64_t trace = 0;
+  double t_query = 0;
+  double latency_s = 0;
+  bool answered = false;
+  bool stale = false;
+  std::uint64_t discovery_frames = 0;
+  std::uint64_t poll_frames = 0;
+  std::uint64_t transfer_frames = 0;
+};
+
+struct analysis {
+  std::map<std::string, std::uint64_t> event_counts;
+  std::vector<update_ttc> updates;
+  std::vector<query_latency> queries;
+
+  /// TTC sample (seconds) over updates with at least one caught-up holder.
+  std::vector<double> ttc_sample() const;
+  /// Latency sample (seconds) over answered queries.
+  std::vector<double> latency_sample() const;
+};
+
+/// Runs the full offline analysis over events in file order.
+analysis analyze(const trace_file& tf);
+
+/// Causal-invariant violations (empty = clean). Capped at `max_violations`
+/// messages so a corrupt trace cannot flood the caller.
+std::vector<std::string> check(const trace_file& tf,
+                               std::size_t max_violations = 20);
+
+/// Renders up to `max_trees` propagation trees (largest first) as indented
+/// text: the root update/query, then each event carrying the trace id.
+std::string render_trees(const trace_file& tf, std::size_t max_trees);
+
+/// Renders a time-series file (obs/sampler JSONL) as a fixed-width table of
+/// per-window values — the stale-rate / hit-ratio curves.
+std::string render_series(const std::string& path);
+
+/// Human-readable summary of an analysis (event counts, TTC percentiles,
+/// query latency phases).
+std::string render_summary(const analysis& a);
+
+}  // namespace manet::tracestat
+
+#endif  // MANET_TOOLS_TRACESTAT_HPP

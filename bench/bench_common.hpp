@@ -4,6 +4,7 @@
 #define MANET_BENCH_BENCH_COMMON_HPP
 
 #include <cstdio>
+#include <filesystem>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -78,6 +79,49 @@ inline bench_options parse_bench_args(int argc, char** argv) {
   }
   return opt;
 }
+
+/// Argv rewriter for the google-benchmark binaries (micro_kernel): expands
+/// the shorthand `--json[=PATH]` into google-benchmark's
+/// `--benchmark_out=PATH --benchmark_out_format=json` pair (default PATH:
+/// results/BENCH_kernel.json, parent directory created on demand) and passes
+/// everything else through untouched. Lives here rather than in the bench
+/// itself so the flag is discoverable next to the figure-bench flags; this
+/// header deliberately does not include benchmark.h — the figure benches
+/// that share it do not link google-benchmark.
+class gbench_args {
+ public:
+  gbench_args(int argc, char** argv, std::string default_json_path) {
+    args_.reserve(static_cast<std::size_t>(argc) + 1);
+    for (int i = 0; i < argc; ++i) {
+      const std::string arg = argv[i];
+      std::string json_path;
+      if (arg == "--json") {
+        json_path = default_json_path;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_path = arg.substr(7);
+      } else {
+        args_.push_back(arg);
+        continue;
+      }
+      const auto parent = std::filesystem::path(json_path).parent_path();
+      if (!parent.empty()) std::filesystem::create_directories(parent);
+      args_.push_back("--benchmark_out=" + json_path);
+      args_.push_back("--benchmark_out_format=json");
+    }
+    ptrs_.reserve(args_.size());
+    for (auto& s : args_) ptrs_.push_back(s.data());
+    argc_ = static_cast<int>(ptrs_.size());
+  }
+
+  /// Mutable argc/argv in the shape benchmark::Initialize expects.
+  int* argc() { return &argc_; }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  int argc_ = 0;
+  std::vector<std::string> args_;
+  std::vector<char*> ptrs_;
+};
 
 inline void print_preamble(const char* title, const bench_options& opt) {
   std::printf("=== %s ===\n", title);

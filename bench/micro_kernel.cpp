@@ -1,12 +1,20 @@
 // google-benchmark microbenchmarks for the simulation kernel and network
 // substrate hot paths.
+//
+// Run with --json[=PATH] to also emit google-benchmark JSON (default
+// results/BENCH_kernel.json); see bench_common.hpp's gbench_args.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
+#include "bench_common.hpp"
 #include "net/flooding.hpp"
 #include "net/network.hpp"
+#include "net/packet.hpp"
 #include "routing/aodv.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "util/inline_function.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -29,20 +37,103 @@ void BM_RngExponential(benchmark::State& state) {
 }
 BENCHMARK(BM_RngExponential);
 
+/// Capture shape of a typical kernel closure — an owner pointer plus a few
+/// ids and a deadline (40 bytes). Deliberately larger than std::function's
+/// two-word SBO so the benchmark exercises the allocation the kernel pays
+/// per scheduled event, and well within event_action's inline buffer.
+struct event_ctx {
+  void* owner;
+  std::uint64_t item;
+  std::uint64_t version;
+  std::uint32_t src;
+  std::uint32_t dst;
+  double deadline;
+};
+
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   const auto batch = static_cast<std::size_t>(state.range(0));
   event_queue q;
   rng g(2);
+  std::uint64_t sink = 0;
   for (auto _ : state) {
     for (std::size_t i = 0; i < batch; ++i) {
-      q.schedule(g.uniform(0, 1000), [] {});
+      const event_ctx c{&q,
+                        i,
+                        i ^ 7,
+                        static_cast<std::uint32_t>(i),
+                        static_cast<std::uint32_t>(i + 1),
+                        0.0};
+      q.schedule(g.uniform(0, 1000), [c, &sink] { sink += c.item + c.src; });
     }
-    while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+    while (!q.empty()) q.pop().action();
   }
+  benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_ScheduleCancel(benchmark::State& state) {
+  // Timer-churn shape: relay lease renewals and poll timeouts schedule an
+  // event and cancel it before it fires. Exercises slot recycling plus the
+  // lazy-dead-entry compaction path.
+  event_queue q;
+  for (auto _ : state) {
+    auto h = q.schedule(1000.0, [] {});
+    h.cancel();
+  }
+  benchmark::DoNotOptimize(q.raw_size());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ScheduleCancel);
+
+void BM_InlineFunctionVsStdFunction(benchmark::State& state) {
+  // Construct + invoke + destroy a callable whose 32-byte capture exceeds
+  // std::function's typical two-word SBO. Arg 0 = std::function (heap
+  // allocation per construction), Arg 1 = inline_function (none).
+  struct capture {
+    std::uint64_t a = 1, b = 2, c = 3, d = 4;
+  };
+  const capture c;
+  std::uint64_t sink = 0;
+  if (state.range(0) == 0) {
+    for (auto _ : state) {
+      std::function<std::uint64_t()> f = [c] { return c.a + c.b + c.c + c.d; };
+      sink += f();
+      benchmark::DoNotOptimize(sink);
+    }
+  } else {
+    for (auto _ : state) {
+      inline_function<std::uint64_t()> f = [c] {
+        return c.a + c.b + c.c + c.d;
+      };
+      sink += f();
+      benchmark::DoNotOptimize(sink);
+    }
+  }
+}
+BENCHMARK(BM_InlineFunctionVsStdFunction)->Arg(0)->Arg(1);
+
+struct bench_payload_a final : typed_payload<bench_payload_a> {
+  std::uint64_t value = 0;
+};
+struct bench_payload_b final : typed_payload<bench_payload_b> {
+  std::uint64_t value = 0;
+};
+
+void BM_PayloadCast(benchmark::State& state) {
+  // The receive-dispatch fast path: one id compare + static_cast per
+  // payload_cast. Measures a hit and a miss per iteration, the two shapes
+  // every protocol handler's kind switch produces.
+  packet p;
+  p.payload = std::make_shared<bench_payload_a>();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(payload_cast<bench_payload_a>(p));  // hit
+    benchmark::DoNotOptimize(payload_cast<bench_payload_b>(p));  // miss
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+BENCHMARK(BM_PayloadCast);
 
 void BM_SimulatorEventThroughput(benchmark::State& state) {
   for (auto _ : state) {
@@ -121,4 +212,15 @@ BENCHMARK(BM_BfsShortestPath);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Expand --json[=PATH] into google-benchmark's out/out_format pair before
+  // benchmark::Initialize consumes the argument vector.
+  manet::bench::gbench_args args(argc, argv, "results/BENCH_kernel.json");
+  benchmark::Initialize(args.argc(), args.argv());
+  if (benchmark::ReportUnrecognizedArguments(*args.argc(), args.argv())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

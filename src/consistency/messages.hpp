@@ -47,14 +47,14 @@ void register_consistency_kinds(traffic_meter& meter);
 
 /// Message about an item, no version (GET_NEW, APPLY, APPLY_ACK, CANCEL,
 /// fetch request).
-struct item_msg final : message_payload {
+struct item_msg final : typed_payload<item_msg> {
   item_id item = invalid_item;
 };
 
 /// Message carrying the sender's known version of an item (INVALIDATION,
 /// UPDATE, SEND_NEW, POLL_ACKs, push/pull replies, fetch reply). For
 /// content-carrying kinds the packet's size_bytes includes the content.
-struct item_version_msg final : message_payload {
+struct item_version_msg final : typed_payload<item_version_msg> {
   item_id item = invalid_item;
   version_t version = 0;
   /// INVALIDATION only, adaptive-TTN mode: the source's current
@@ -65,7 +65,7 @@ struct item_version_msg final : message_payload {
 
 /// POLL / PULL_POLL: the asker announces the version it holds so the
 /// responder can decide between ACK_A (fresh) and ACK_B (content).
-struct poll_msg final : message_payload {
+struct poll_msg final : typed_payload<poll_msg> {
   item_id item = invalid_item;
   version_t asker_version = 0;
   node_id asker = invalid_node;

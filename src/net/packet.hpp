@@ -7,8 +7,11 @@
 #ifndef MANET_NET_PACKET_HPP
 #define MANET_NET_PACKET_HPP
 
+#include <atomic>
+#include <cassert>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 
 #include "util/units.hpp"
 
@@ -28,10 +31,51 @@ constexpr packet_kind first_app_kind = 100;
 
 inline bool is_routing_kind(packet_kind k) { return k < first_app_kind; }
 
+/// Process-wide key identifying a concrete payload type; lets payload_cast
+/// be an integer compare + static_cast instead of an RTTI dynamic_cast on
+/// every received message.
+using payload_type_id = std::uint32_t;
+
+namespace detail {
+
+/// Hands out distinct ids, one per payload type, on first use. The counter
+/// is atomic because parallel sweep workers may first-touch a payload type
+/// concurrently; assignment order is therefore unspecified, which is fine —
+/// ids are only ever compared for equality, never ordered, hashed over, or
+/// exported, so they cannot leak into simulation behavior or the digest.
+inline payload_type_id allocate_payload_type_id() {
+  static std::atomic<payload_type_id> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+/// The id for payload type T (stable for the process lifetime).
+template <typename T>
+payload_type_id payload_type_id_of() {
+  static const payload_type_id id = detail::allocate_payload_type_id();
+  return id;
+}
+
 /// Base class for message payloads. Concrete payload types live next to the
-/// protocol that defines them (consistency/messages.hpp, routing/aodv.cpp).
+/// protocol that defines them (consistency/messages.hpp, routing/aodv.cpp)
+/// and derive through typed_payload<T>, which stamps the type id used by
+/// payload_cast's fast path.
 struct message_payload {
   virtual ~message_payload() = default;
+
+  /// Kind key for payload_cast: set once at construction by typed_payload.
+  const payload_type_id payload_type;
+
+ protected:
+  explicit message_payload(payload_type_id type) : payload_type(type) {}
+};
+
+/// CRTP base every concrete payload derives from:
+///   struct poll_msg final : typed_payload<poll_msg> { ... };
+template <typename T>
+struct typed_payload : message_payload {
+  typed_payload() : message_payload(payload_type_id_of<T>()) {}
 };
 
 struct packet {
@@ -58,10 +102,20 @@ struct frame {
 
 /// Convenience downcast for received payloads. Returns nullptr when the
 /// payload is absent or of a different type (a protocol bug the caller
-/// should surface, not mask).
+/// should surface, not mask). Hot path: one id compare + static_cast — no
+/// RTTI. Debug builds cross-check the id match against dynamic_cast.
 template <typename T>
 const T* payload_cast(const packet& p) {
-  return dynamic_cast<const T*>(p.payload.get());
+  static_assert(std::is_base_of_v<message_payload, T>,
+                "payload_cast target must derive from message_payload");
+  const message_payload* base = p.payload.get();
+  if (base == nullptr || base->payload_type != payload_type_id_of<T>()) {
+    return nullptr;
+  }
+  const T* out = static_cast<const T*>(base);
+  assert(out == dynamic_cast<const T*>(base) &&
+         "payload_type id matched a different dynamic type");
+  return out;
 }
 
 }  // namespace manet

@@ -7,11 +7,11 @@ namespace manet {
 
 namespace {
 
-struct digest_payload final : message_payload {
+struct digest_payload final : typed_payload<digest_payload> {
   std::vector<std::pair<object_id, version_vector>> entries;
 };
 
-struct delta_payload final : message_payload {
+struct delta_payload final : typed_payload<delta_payload> {
   std::vector<replica_object> objects;
   std::vector<object_id> want;  ///< piggybacked pull request
 };

@@ -7,19 +7,19 @@ namespace manet {
 namespace {
 
 /// RREQ: flooded; pkt.src = origin, payload names the sought target.
-struct rreq_payload final : message_payload {
+struct rreq_payload final : typed_payload<rreq_payload> {
   node_id target = invalid_node;
 };
 
 /// RREP: unicast hop-by-hop from target back to origin along reverse routes;
 /// pkt.src = target, pkt.dst = origin.
-struct rrep_payload final : message_payload {
+struct rrep_payload final : typed_payload<rrep_payload> {
   node_id target = invalid_node;
 };
 
 /// RERR: unicast toward the origin of a failed packet; receivers drop their
 /// route to `unreachable`.
-struct rerr_payload final : message_payload {
+struct rerr_payload final : typed_payload<rerr_payload> {
   node_id unreachable = invalid_node;
 };
 

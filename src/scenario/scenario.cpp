@@ -258,6 +258,13 @@ void scenario::build() {
   });
   metrics_.counter("query.issued", [this] { return qlog_->issued(); });
   metrics_.counter("query.answered", [this] { return qlog_->answered(); });
+  // Kernel health: compaction count plus the heap's raw (live + cancelled)
+  // size, so a cancelled-entry backlog regression is visible in snapshots.
+  metrics_.counter("sim.queue_compactions",
+                   [this] { return sim_->queue().compactions(); });
+  metrics_.gauge("sim.queue_raw_size", [this] {
+    return static_cast<double>(sim_->queue().raw_size());
+  });
   protocol_->register_metrics(metrics_);
 
   // Query -> answer causality: the issue observer fires inside the query's

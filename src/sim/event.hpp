@@ -1,11 +1,17 @@
 // Events and cancellable event handles for the discrete-event kernel.
+//
+// Scheduled events live in a slab pool owned by the event_queue; a handle
+// addresses its slot by {index, generation} instead of holding a
+// reference-counted record, so scheduling and cancelling are allocation-free
+// and a stale handle (fired, cancelled, or cleared event) can never touch a
+// recycled slot: freeing a slot bumps its generation, which invalidates
+// every handle minted for the previous occupant.
 #ifndef MANET_SIM_EVENT_HPP
 #define MANET_SIM_EVENT_HPP
 
 #include <cstdint>
-#include <functional>
-#include <memory>
 
+#include "util/inline_function.hpp"
 #include "util/units.hpp"
 
 namespace manet {
@@ -15,41 +21,46 @@ namespace manet {
 /// execution order fully deterministic (FIFO among equal-time events).
 using event_seq = std::uint64_t;
 
-namespace detail {
+/// Callable stored inside a pooled event slot. The inline capacity is sized
+/// for the largest hot capture in the tree — network::deliver's per-hop
+/// frame-delivery closure ([this, rx, frame, air window] ≈ 104 bytes) — so
+/// the entire steady-state event stream schedules without touching the
+/// heap. Oversized captures still work; they just fall back to a heap
+/// allocation exactly like std::function always did.
+using event_action = inline_function<void(), 112>;
 
-/// Shared state between the queue and outstanding handles. The queue never
-/// removes cancelled entries eagerly; they are skipped on pop.
-struct event_record {
-  sim_time when = 0;
-  event_seq seq = 0;
-  std::function<void()> action;
-  bool cancelled = false;
-};
-
-}  // namespace detail
+class event_queue;
 
 /// Handle to a scheduled event. Default-constructed handles are inert.
 /// Cancelling an already-fired or already-cancelled event is a no-op, which
-/// makes timer bookkeeping in protocol code straightforward.
+/// makes timer bookkeeping in protocol code straightforward. A handle must
+/// not outlive the event_queue that issued it (it may freely outlive the
+/// event itself, including across event_queue::clear()).
 class event_handle {
  public:
   event_handle() = default;
-  explicit event_handle(std::shared_ptr<detail::event_record> rec)
-      : rec_(std::move(rec)) {}
 
   /// True if the event is still scheduled to fire.
-  bool pending() const { return rec_ && !rec_->cancelled && rec_->action != nullptr; }
+  bool pending() const;  // defined in event_queue.cpp
 
-  /// Prevents the event from firing. Safe to call at any time.
-  void cancel() {
-    if (rec_) rec_->cancelled = true;
-  }
+  /// Prevents the event from firing. Safe to call at any time; a no-op on
+  /// inert handles and on events that already fired or were cancelled.
+  void cancel();  // defined in event_queue.cpp
 
-  /// Scheduled fire time (meaningless for inert handles).
-  sim_time when() const { return rec_ ? rec_->when : time_never; }
+  /// Scheduled fire time (stored in the handle, so it stays valid after the
+  /// event fires); time_never for inert handles.
+  sim_time when() const { return queue_ != nullptr ? when_ : time_never; }
 
  private:
-  std::shared_ptr<detail::event_record> rec_;
+  friend class event_queue;
+  event_handle(event_queue* queue, sim_time when, std::uint32_t slot,
+               std::uint32_t generation)
+      : queue_(queue), when_(when), slot_(slot), generation_(generation) {}
+
+  event_queue* queue_ = nullptr;
+  sim_time when_ = 0;
+  std::uint32_t slot_ = 0;
+  std::uint32_t generation_ = 0;
 };
 
 }  // namespace manet

@@ -2,57 +2,229 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace manet {
 
-bool event_queue::later(const entry& a, const entry& b) {
-  // std::push_heap builds a max-heap; we want the *earliest* event on top,
-  // so "less" means "fires later".
-  if (a.rec->when != b.rec->when) return a.rec->when > b.rec->when;
-  return a.rec->seq > b.rec->seq;
+std::uint64_t event_queue::time_bits(sim_time when) {
+  // +0.0 folds a (contract-violating but harmless) -0.0 into +0.0 so the
+  // bit-pattern order below matches numeric order for every legal time.
+  const sim_time normalized = when + 0.0;
+  std::uint64_t bits;
+  std::memcpy(&bits, &normalized, sizeof bits);
+  return bits;
 }
 
-event_handle event_queue::schedule(sim_time when, std::function<void()> action) {
-  assert(when >= last_popped_ && "scheduling into the past");
-  assert(action != nullptr);
-  auto rec = std::make_shared<detail::event_record>();
-  rec->when = when;
-  rec->seq = next_seq_++;
-  rec->action = std::move(action);
-  heap_.push_back(entry{rec});
-  std::push_heap(heap_.begin(), heap_.end(), later);
-  return event_handle{rec};
+sim_time event_queue::bits_time(std::uint64_t bits) {
+  sim_time when;
+  std::memcpy(&when, &bits, sizeof when);
+  return when;
 }
 
-void event_queue::drop_dead_prefix() const {
-  while (!heap_.empty() && heap_.front().rec->cancelled) {
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    heap_.pop_back();
+// --- 4-ary min-heap ---------------------------------------------------------
+//
+// Hand-rolled instead of std::push_heap/pop_heap: the std heap is binary,
+// and at scenario-scale depths pop cost is dominated by cache misses along
+// the sift-down path. Arity 4 halves that depth, and each node's four
+// 24-byte children span at most two cache lines, so a sift-down level costs
+// roughly one miss instead of two. Heap shape is irrelevant to determinism:
+// `earlier` is a total order (seq breaks time ties uniquely), so the pop
+// sequence is the same for any valid heap.
+
+void event_queue::heap_push(const entry& e) const {
+  heap_.push_back(e);
+  std::size_t i = heap_.size() - 1;
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / heap_arity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void event_queue::heap_pop_front() const {
+  const entry e = heap_.back();
+  heap_.pop_back();
+  const std::size_t n = heap_.size();
+  if (n == 0) return;
+  // Bottom-up delete-min: sink the root hole along the min-child path all
+  // the way to a leaf (no compare against `e` per level — it came from the
+  // bottom and almost always belongs there), then bubble `e` up from the
+  // leaf, which usually moves it zero or one levels.
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first = i * heap_arity + 1;
+    if (first >= n) break;
+    const std::size_t last = std::min(first + heap_arity, n);
+    std::size_t best = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / heap_arity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void event_queue::heap_rebuild() const {
+  const std::size_t n = heap_.size();
+  if (n < 2) return;
+  // Floyd heap construction: sift down every internal node, deepest first.
+  for (std::size_t i = (n - 2) / heap_arity + 1; i-- > 0;) {
+    const entry e = heap_[i];
+    std::size_t j = i;
+    for (;;) {
+      const std::size_t first = j * heap_arity + 1;
+      if (first >= n) break;
+      const std::size_t last = std::min(first + heap_arity, n);
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (earlier(heap_[c], heap_[best])) best = c;
+      }
+      if (!earlier(heap_[best], e)) break;
+      heap_[j] = heap_[best];
+      j = best;
+    }
+    heap_[j] = e;
   }
 }
 
-bool event_queue::empty() const {
-  drop_dead_prefix();
-  return heap_.empty();
+// --- slot pool --------------------------------------------------------------
+
+std::uint32_t event_queue::acquire_slot() {
+  if (free_head_ != npos) {
+    const std::uint32_t index = free_head_;
+    free_head_ = meta_[index].next_free;
+    return index;
+  }
+  assert(meta_.size() < npos && "event pool exhausted the 32-bit slot space");
+  meta_.emplace_back();
+  actions_.emplace_back();
+  return static_cast<std::uint32_t>(meta_.size() - 1);
+}
+
+void event_queue::release_slot(std::uint32_t index) {
+  slot_meta& s = meta_[index];
+  // Destroy the capture eagerly: scheduled closures commonly pin payload
+  // shared_ptrs, and holding them until slot reuse would look like a leak.
+  actions_[index] = nullptr;
+  s.seq = invalid_seq;  // stale heap entries now fail the seq match
+  s.live = false;
+  ++s.generation;
+  s.next_free = free_head_;
+  free_head_ = index;
+}
+
+event_handle event_queue::schedule(sim_time when, event_action action) {
+  assert(when >= last_popped_ && "scheduling into the past");
+  assert(action && "scheduling an empty action");
+  const std::uint32_t index = acquire_slot();
+  slot_meta& s = meta_[index];
+  actions_[index] = std::move(action);
+  s.seq = next_seq_++;
+  s.live = true;
+  heap_push(entry{time_bits(when), s.seq, index});
+  ++live_;
+  return event_handle{this, when, index, s.generation};
+}
+
+void event_queue::drop_dead_prefix() const {
+  while (!heap_.empty() && entry_dead(heap_.front())) {
+    heap_pop_front();
+    --dead_in_heap_;
+  }
 }
 
 sim_time event_queue::next_time() const {
   drop_dead_prefix();
-  return heap_.empty() ? time_never : heap_.front().rec->when;
+  return heap_.empty() ? time_never : bits_time(heap_.front().when_bits);
 }
 
-std::shared_ptr<detail::event_record> event_queue::pop() {
+event_queue::fired_event event_queue::pop() {
   drop_dead_prefix();
   assert(!heap_.empty());
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  auto rec = std::move(heap_.back().rec);
-  heap_.pop_back();
-  last_popped_ = rec->when;
-  return rec;
+  const entry e = heap_.front();
+  // At scenario-scale pools the action array outgrows L2, so pull the slot's
+  // cache lines in now; the sift-down below supplies ~50ns of independent
+  // work to hide the miss behind.
+  const unsigned char* slot_mem =
+      reinterpret_cast<const unsigned char*>(&actions_[e.slot]);
+  __builtin_prefetch(slot_mem);
+  __builtin_prefetch(slot_mem + 64);
+  heap_pop_front();
+  fired_event fired;
+  fired.when = bits_time(e.when_bits);
+  fired.action = std::move(actions_[e.slot]);
+  last_popped_ = fired.when;
+  --live_;
+  // Recycle before the caller runs the action, so rescheduling from inside
+  // the firing event can reuse the slot and self-cancel is a stale no-op.
+  release_slot(e.slot);
+  return fired;
+}
+
+void event_queue::maybe_compact() {
+  if (dead_in_heap_ < compact_min_dead || dead_in_heap_ * 2 < heap_.size()) {
+    return;
+  }
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                             [this](const entry& e) { return entry_dead(e); }),
+              heap_.end());
+  heap_rebuild();
+  dead_in_heap_ = 0;
+  ++compactions_;
 }
 
 void event_queue::clear() {
+  // Free every slot (bumping generations so outstanding handles go stale)
+  // and rebuild the free list; pool capacity is kept for reuse.
+  free_head_ = npos;
+  for (std::uint32_t i = static_cast<std::uint32_t>(meta_.size()); i-- > 0;) {
+    slot_meta& s = meta_[i];
+    if (s.live) {
+      actions_[i] = nullptr;
+      s.live = false;
+      ++s.generation;
+    }
+    s.seq = invalid_seq;
+    s.next_free = free_head_;
+    free_head_ = i;
+  }
   heap_.clear();
+  dead_in_heap_ = 0;
+  live_ = 0;
+}
+
+bool event_queue::handle_pending(std::uint32_t index,
+                                 std::uint32_t generation) const {
+  if (index >= meta_.size()) return false;
+  const slot_meta& s = meta_[index];
+  return s.live && s.generation == generation;
+}
+
+void event_queue::handle_cancel(std::uint32_t index, std::uint32_t generation) {
+  if (index >= meta_.size()) return;
+  slot_meta& s = meta_[index];
+  if (!s.live || s.generation != generation) return;  // fired/cancelled/stale
+  release_slot(index);
+  --live_;
+  ++dead_in_heap_;
+  maybe_compact();
+}
+
+bool event_handle::pending() const {
+  return queue_ != nullptr && queue_->handle_pending(slot_, generation_);
+}
+
+void event_handle::cancel() {
+  if (queue_ != nullptr) queue_->handle_cancel(slot_, generation_);
 }
 
 }  // namespace manet

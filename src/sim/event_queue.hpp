@@ -1,11 +1,23 @@
-// Binary-heap priority queue of simulation events, ordered by
-// (time, sequence). Cancelled events are skipped lazily on pop.
+// 4-ary-heap priority queue of simulation events, ordered by
+// (time, sequence), over a slab/free-list pool of event records.
+//
+// The heap stores plain POD entries {when, seq, slot}; the closures live in
+// pooled slots addressed by index and recycled through a free list, so
+// steady-state schedule/pop performs zero heap allocations (see
+// util/inline_function.hpp for the capture storage). A 4-ary layout halves
+// the sift-down depth of a binary heap and keeps all four children of a node
+// within two cache lines, which dominates pop cost at scenario-scale queue
+// depths. Cancelled events are skipped lazily on pop; when cancelled entries
+// dominate the heap, a compaction pass rebuilds it without them, bounding
+// raw_size() under schedule+cancel churn (relay lease renewals, poll
+// timeouts). Neither the heap arity nor compaction can perturb execution
+// order: (when, seq) is a total order, so any valid heap arrangement pops in
+// the same sequence.
 #ifndef MANET_SIM_EVENT_QUEUE_HPP
 #define MANET_SIM_EVENT_QUEUE_HPP
 
 #include <cstddef>
-#include <functional>
-#include <memory>
+#include <cstdint>
 #include <vector>
 
 #include "sim/event.hpp"
@@ -17,40 +29,127 @@ class event_queue {
  public:
   /// Schedules `action` at absolute time `when`. Requires when >= the last
   /// popped time (no scheduling into the past).
-  event_handle schedule(sim_time when, std::function<void()> action);
+  event_handle schedule(sim_time when, event_action action);
 
-  /// True if no live (non-cancelled) events remain.
-  bool empty() const;
+  /// True if no live (non-cancelled) events remain. O(1): tracked by a
+  /// live-event counter, no heap or pool access.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live (non-cancelled) pending events.
+  std::size_t live_events() const { return live_; }
 
   /// Time of the earliest live event; time_never when empty.
   sim_time next_time() const;
 
-  /// Pops and returns the earliest live event record. Requires !empty().
-  std::shared_ptr<detail::event_record> pop();
+  /// An event popped for execution: its fire time and its action, moved out
+  /// of the pool (the slot is already recycled, so the action may freely
+  /// reschedule and even reuse its own slot).
+  struct fired_event {
+    sim_time when = 0;
+    event_action action;
+  };
 
-  /// Number of entries currently stored, including cancelled ones awaiting
-  /// lazy removal (useful for capacity diagnostics in tests).
+  /// Pops and returns the earliest live event. Requires !empty().
+  fired_event pop();
+
+  /// Number of heap entries currently stored, including cancelled ones
+  /// awaiting lazy removal or compaction (capacity diagnostics in tests and
+  /// the sim.queue_raw_size gauge).
   std::size_t raw_size() const { return heap_.size(); }
 
   /// Total events ever scheduled.
   event_seq scheduled_count() const { return next_seq_; }
 
-  /// Drops all pending events.
+  /// Times the cancelled-entry backlog was compacted out of the heap.
+  std::uint64_t compactions() const { return compactions_; }
+
+  /// Slots currently allocated in the pool (high-water mark of concurrently
+  /// scheduled events; slots are recycled, never returned to the OS).
+  std::size_t pool_slots() const { return meta_.size(); }
+
+  /// Drops all pending events. Outstanding handles become stale no-ops.
   void clear();
 
  private:
-  struct entry {
-    std::shared_ptr<detail::event_record> rec;
-  };
-  static bool later(const entry& a, const entry& b);
+  friend class event_handle;
 
+  /// POD heap entry. `seq` both breaks time ties and detects stale entries:
+  /// a slot freed by cancel() keeps its old seq until reuse, so an entry is
+  /// live iff its slot is live with a matching seq. The fire time is stored
+  /// as raw IEEE-754 bits: sim_time is never negative (scheduling into the
+  /// past is forbidden and the clock starts at 0), and non-negative doubles
+  /// order identically to their bit patterns, so the heap comparator is two
+  /// integer compares — one cmp/sbb chain — instead of a double compare
+  /// plus a branchy tie-break.
+  struct entry {
+    std::uint64_t when_bits;
+    event_seq seq;
+    std::uint32_t slot;
+  };
+
+  /// Pooled event-record metadata. Freeing bumps `generation`, invalidating
+  /// every handle minted for the previous occupant. Kept separate from the
+  /// fat action storage (structure-of-arrays) so the dead-entry checks that
+  /// run on every pop touch a small, cache-resident array instead of
+  /// dragging 128-byte action slots through the cache.
+  struct slot_meta {
+    event_seq seq = 0;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = npos;
+    bool live = false;
+  };
+
+  static constexpr std::uint32_t npos = 0xffffffffu;
+  /// Compaction triggers once at least this many cancelled entries linger
+  /// AND they outnumber live ones — small backlogs are cheaper to skip
+  /// lazily than to rebuild the heap for.
+  static constexpr std::size_t compact_min_dead = 64;
+
+  /// Children of heap node i occupy [4i+1, 4i+4].
+  static constexpr std::size_t heap_arity = 4;
+
+  static std::uint64_t time_bits(sim_time when);
+  static sim_time bits_time(std::uint64_t bits);
+
+  static bool earlier(const entry& a, const entry& b) {
+    if (a.when_bits != b.when_bits) return a.when_bits < b.when_bits;
+    return a.seq < b.seq;
+  }
+
+  void heap_push(const entry& e) const;
+  void heap_pop_front() const;
+  void heap_rebuild() const;
+
+  /// Seq value no scheduled event can carry (next_seq_ cannot reach 2^64);
+  /// stamped into a slot on release so entry_dead is a single compare.
+  static constexpr event_seq invalid_seq = ~event_seq{0};
+
+  bool entry_dead(const entry& e) const {
+    // release_slot stamps invalid_seq and reuse assigns a fresh seq, so a
+    // stale entry's seq mismatches its slot either way.
+    return meta_[e.slot].seq != e.seq;
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t index);
+  void maybe_compact();
   void drop_dead_prefix() const;
+
+  // Handle plumbing (see event_handle in sim/event.hpp).
+  bool handle_pending(std::uint32_t index, std::uint32_t generation) const;
+  void handle_cancel(std::uint32_t index, std::uint32_t generation);
 
   // Mutable: dead-entry skipping in const accessors is an implementation
   // detail, not observable state.
   mutable std::vector<entry> heap_;
+  mutable std::size_t dead_in_heap_ = 0;  ///< cancelled entries still in heap_
+  std::vector<slot_meta> meta_;      ///< per-slot bookkeeping (SoA, small)
+  std::vector<event_action> actions_;  ///< per-slot callables (SoA, fat)
+  std::size_t live_ = 0;
+  std::uint32_t free_head_ = npos;
   event_seq next_seq_ = 0;
   sim_time last_popped_ = 0;
+  std::uint64_t compactions_ = 0;
 };
 
 }  // namespace manet

@@ -14,26 +14,26 @@ rng simulator::make_rng(std::string_view stream_name, std::uint64_t index) const
   return rng{derive_seed(master_seed_, stream_name, index)};
 }
 
-event_handle simulator::schedule_in(sim_duration delay, std::function<void()> action) {
+event_handle simulator::schedule_in(sim_duration delay, event_action action) {
   assert(delay >= 0);
   return queue_.schedule(now_ + delay, std::move(action));
 }
 
-event_handle simulator::schedule_at(sim_time when, std::function<void()> action) {
+event_handle simulator::schedule_at(sim_time when, event_action action) {
   assert(when >= now_);
   return queue_.schedule(when, std::move(action));
 }
 
 bool simulator::step() {
   if (queue_.empty()) return false;
-  auto rec = queue_.pop();
-  now_ = rec->when;
+  // pop() moves the action out of the pool and recycles the slot, so
+  // self-cancellation and rescheduling inside the callback are safe.
+  auto fired = queue_.pop();
+  now_ = fired.when;
   ++executed_;
-  // Move the action out so self-cancellation inside the callback is safe.
-  auto action = std::move(rec->action);
   {
     prof_scope ps(prof_, profiler::section::event_dispatch);
-    action();
+    fired.action();
   }
   return true;
 }

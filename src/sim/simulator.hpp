@@ -7,7 +7,6 @@
 #define MANET_SIM_SIMULATOR_HPP
 
 #include <cstdint>
-#include <functional>
 #include <string_view>
 
 #include "sim/event_queue.hpp"
@@ -35,10 +34,11 @@ class simulator {
   rng make_rng(std::string_view stream_name, std::uint64_t index = 0) const;
 
   /// Schedules `action` to run `delay` seconds from now. Requires delay >= 0.
-  event_handle schedule_in(sim_duration delay, std::function<void()> action);
+  /// Captures up to event_action's inline capacity never allocate.
+  event_handle schedule_in(sim_duration delay, event_action action);
 
   /// Schedules `action` at absolute time `when`. Requires when >= now().
-  event_handle schedule_at(sim_time when, std::function<void()> action);
+  event_handle schedule_at(sim_time when, event_action action);
 
   /// Runs until the queue is empty or `until` is reached; the clock is left
   /// at min(until, last event time). Events scheduled exactly at `until`

@@ -5,10 +5,10 @@
 namespace manet {
 
 periodic_timer::periodic_timer(simulator& sim, sim_duration interval,
-                               std::function<void()> on_fire)
+                               inline_function<void()> on_fire)
     : sim_(sim), interval_(interval), on_fire_(std::move(on_fire)) {
   assert(interval_ > 0);
-  assert(on_fire_ != nullptr);
+  assert(on_fire_);
 }
 
 periodic_timer::~periodic_timer() { stop(); }

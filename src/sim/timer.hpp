@@ -7,18 +7,18 @@
 #ifndef MANET_SIM_TIMER_HPP
 #define MANET_SIM_TIMER_HPP
 
-#include <functional>
-
 #include "sim/simulator.hpp"
+#include "util/inline_function.hpp"
 #include "util/units.hpp"
 
 namespace manet {
 
 /// Fires `on_fire` every `interval` seconds until stopped. The first firing
-/// is one interval after start (plus optional phase offset).
+/// is one interval after start (plus optional phase offset). The callback
+/// is stored in an inline_function, so re-arming never allocates.
 class periodic_timer {
  public:
-  periodic_timer(simulator& sim, sim_duration interval, std::function<void()> on_fire);
+  periodic_timer(simulator& sim, sim_duration interval, inline_function<void()> on_fire);
   ~periodic_timer();
 
   periodic_timer(const periodic_timer&) = delete;
@@ -42,7 +42,7 @@ class periodic_timer {
 
   simulator& sim_;
   sim_duration interval_;
-  std::function<void()> on_fire_;
+  inline_function<void()> on_fire_;
   event_handle pending_;
   bool running_ = false;
 };

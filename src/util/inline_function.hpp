@@ -1,0 +1,183 @@
+// Small-buffer-optimized move-only callable for the event kernel hot path.
+//
+// std::function heap-allocates for captures beyond ~2 words and pays a
+// virtual/indirect dispatch per call. The discrete-event kernel schedules
+// millions of small closures (a `this` pointer plus a couple of ids), so
+// inline_function stores the callable inside the object up to `Capacity`
+// bytes — zero allocations on the schedule path — and falls back to the
+// heap only for oversized or potentially-throwing-move captures.
+//
+// Differences from std::function, chosen for the kernel:
+//   - move-only: closures are scheduled once and fired once; copyability
+//     would force every capture to be copy-constructible and cost refcount
+//     or deep-copy machinery the kernel never needs;
+//   - noexcept relocation: inline storage is used only for nothrow-move
+//     captures, so pool slots and vectors holding inline_functions can
+//     relocate without a throw path (heap-stored targets relocate by
+//     pointer, which is trivially noexcept);
+//   - no RTTI, no target() introspection: invoke, relocate, destroy are the
+//     whole interface, dispatched through one static ops table per target
+//     type.
+#ifndef MANET_UTIL_INLINE_FUNCTION_HPP
+#define MANET_UTIL_INLINE_FUNCTION_HPP
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace manet {
+
+template <typename Sig, std::size_t Capacity = 48>
+class inline_function;  // undefined; see the R(Args...) specialization
+
+template <typename R, typename... Args, std::size_t Capacity>
+class inline_function<R(Args...), Capacity> {
+  static_assert(Capacity >= sizeof(void*),
+                "inline storage must at least hold the heap-fallback pointer");
+
+ public:
+  /// Bytes of inline storage; larger (or throwing-move) targets go to the
+  /// heap. 48 covers the kernel's common captures with room to spare.
+  static constexpr std::size_t inline_capacity = Capacity;
+
+  inline_function() = default;
+  inline_function(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  /// Wraps any callable invocable as R(Args...). Intentionally implicit so
+  /// lambdas flow into schedule()/timer APIs exactly as they did with
+  /// std::function.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, inline_function> &&
+                !std::is_same_v<std::decay_t<F>, std::nullptr_t> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  inline_function(F&& f) {  // NOLINT(google-explicit-constructor)
+    emplace(std::forward<F>(f));
+  }
+
+  inline_function(inline_function&& other) noexcept { move_from(other); }
+
+  inline_function& operator=(inline_function&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  inline_function& operator=(std::nullptr_t) {
+    reset();
+    return *this;
+  }
+
+  inline_function(const inline_function&) = delete;
+  inline_function& operator=(const inline_function&) = delete;
+
+  ~inline_function() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    assert(ops_ != nullptr && "invoking an empty inline_function");
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// True when the current target lives in the inline buffer (test hook).
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_stored; }
+
+ private:
+  struct ops_table {
+    R (*invoke)(void* storage, Args&&... args);
+    /// Move-construct into dst + destroy src; nullptr = memcpy `size` bytes
+    /// (trivially relocatable target), which spares the indirect call on the
+    /// kernel's hottest move path (pop() handing the action to the caller).
+    void (*relocate)(void* dst, void* src) noexcept;
+    /// nullptr = trivially destructible, nothing to do.
+    void (*destroy)(void* storage) noexcept;
+    std::uint32_t size;  ///< bytes to memcpy when relocate is nullptr
+    bool inline_stored;
+  };
+
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  template <typename F>
+  struct inline_ops {
+    static constexpr bool trivial_relocate = std::is_trivially_copyable_v<F>;
+    static constexpr bool trivial_destroy = std::is_trivially_destructible_v<F>;
+    static R invoke(void* s, Args&&... args) {
+      return (*static_cast<F*>(s))(std::forward<Args>(args)...);
+    }
+    static void relocate(void* dst, void* src) noexcept {
+      ::new (dst) F(std::move(*static_cast<F*>(src)));
+      static_cast<F*>(src)->~F();
+    }
+    static void destroy(void* s) noexcept { static_cast<F*>(s)->~F(); }
+    static constexpr ops_table table{&invoke,
+                                     trivial_relocate ? nullptr : &relocate,
+                                     trivial_destroy ? nullptr : &destroy,
+                                     static_cast<std::uint32_t>(sizeof(F)),
+                                     true};
+  };
+
+  template <typename F>
+  struct heap_ops {
+    static F* target(void* s) {
+      F* p = nullptr;
+      std::memcpy(&p, s, sizeof p);
+      return p;
+    }
+    static R invoke(void* s, Args&&... args) {
+      return (*target(s))(std::forward<Args>(args)...);
+    }
+    static void destroy(void* s) noexcept { delete target(s); }
+    // Relocation moves only the owning pointer: trivially a memcpy.
+    static constexpr ops_table table{
+        &invoke, nullptr, &destroy,
+        static_cast<std::uint32_t>(sizeof(F*)), false};
+  };
+
+  template <typename FRef>
+  void emplace(FRef&& f) {
+    using F = std::decay_t<FRef>;
+    if constexpr (fits_inline<F>) {
+      ::new (static_cast<void*>(storage_)) F(std::forward<FRef>(f));
+      ops_ = &inline_ops<F>::table;
+    } else {
+      F* p = new F(std::forward<FRef>(f));
+      std::memcpy(storage_, &p, sizeof p);
+      ops_ = &heap_ops<F>::table;
+    }
+  }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  void move_from(inline_function& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      if (ops_->relocate != nullptr) {
+        ops_->relocate(storage_, other.storage_);
+      } else {
+        std::memcpy(storage_, other.storage_, ops_->size);
+      }
+      other.ops_ = nullptr;
+    }
+  }
+
+  const ops_table* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+}  // namespace manet
+
+#endif  // MANET_UTIL_INLINE_FUNCTION_HPP

@@ -54,6 +54,9 @@ TEST(Detlint, ViolationsFixtureFiresExactRulesAndLines) {
       {35, "DET004"},  // mutable static
       {38, "DET005"},  // std::reduce
       {39, "DET005"},  // atomic<double>
+      {45, "DET006"},  // raw pointer to a pooled kernel record
+      {46, "DET003"},  // pointer-keyed map over pooled records...
+      {46, "DET006"},  // ...is also address-identity over recycled slots
   };
   EXPECT_EQ(got, want);
 }

@@ -10,7 +10,7 @@ namespace {
 
 using manet::testing::rig;
 
-struct tag_payload final : message_payload {
+struct tag_payload final : typed_payload<tag_payload> {
   int tag = 0;
 };
 

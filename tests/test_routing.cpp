@@ -10,7 +10,7 @@ namespace {
 
 using manet::testing::rig;
 
-struct probe_payload final : message_payload {
+struct probe_payload final : typed_payload<probe_payload> {
   int value = 0;
 };
 

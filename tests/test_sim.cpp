@@ -17,8 +17,8 @@ TEST(EventQueue, PopsInTimeOrder) {
   q.schedule(1.0, [&] { order.push_back(1); });
   q.schedule(2.0, [&] { order.push_back(2); });
   while (!q.empty()) {
-    auto rec = q.pop();
-    rec->action();
+    auto fired = q.pop();
+    fired.action();
   }
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
@@ -29,7 +29,7 @@ TEST(EventQueue, EqualTimesAreFifo) {
   for (int i = 0; i < 10; ++i) {
     q.schedule(5.0, [&order, i] { order.push_back(i); });
   }
-  while (!q.empty()) q.pop()->action();
+  while (!q.empty()) q.pop().action();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
@@ -51,7 +51,7 @@ TEST(EventQueue, CancelMiddleEventOnly) {
   auto h = q.schedule(2.0, [&] { order.push_back(2); });
   q.schedule(3.0, [&] { order.push_back(3); });
   h.cancel();
-  while (!q.empty()) q.pop()->action();
+  while (!q.empty()) q.pop().action();
   EXPECT_EQ(order, (std::vector<int>{1, 3}));
 }
 

@@ -545,6 +545,28 @@ std::vector<finding> scan_text(const std::string& path, const std::string& text,
     }
   }
 
+  // --- DET006: raw pointers to pooled kernel event records -----------------
+  // The event kernel stores event records in a recycled slab pool
+  // (sim/event_queue's slot_meta + action slots), so a raw pointer to a
+  // pooled record is neither a stable identity (the slot is reused after
+  // release) nor deterministic (its address varies run to run under ASLR).
+  // Event identity must travel as the {slot index, generation} pair carried
+  // by event_handle. Legacy record spellings are matched so the rule keeps
+  // firing if the type is renamed back.
+  static const std::regex det6(
+      R"(\b(slot_meta|event_slot|event_record|event_action)\s*\*)");
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(code[i], m, det6)) {
+      report(i, "DET006",
+             "raw pointer to pooled kernel record '" + m[1].str() +
+                 "': pool slots are recycled and their addresses vary under "
+                 "ASLR, so pointer identity/ordering over them is "
+                 "nondeterministic — hold an event_handle {slot, generation} "
+                 "instead");
+    }
+  }
+
   std::stable_sort(out.begin(), out.end(),
                    [](const finding& a, const finding& b) { return a.line < b.line; });
   return out;

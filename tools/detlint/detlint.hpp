@@ -4,7 +4,7 @@
 // least-ordered loop: one iteration over an unordered container that emits
 // packets, one wall-clock read, one pointer-keyed map, and the replay
 // guarantee is gone. detlint is a token/regex scanner (no libclang) that
-// enforces the repo's five determinism rule classes:
+// enforces the repo's six determinism rule classes:
 //
 //   DET001  iteration over std::unordered_map / std::unordered_set
 //           (range-for or .begin() iterator loops). Extract-and-sort the
@@ -23,6 +23,11 @@
 //           std::reduce/transform_reduce): float addition is not
 //           associative, so merge order must be fixed (see scenario/sweep's
 //           submission-order merge).
+//   DET006  raw pointers to pooled kernel event records (slot_meta /
+//           event_action and legacy event_slot / event_record spellings):
+//           the event kernel recycles slab slots, so a record's address is
+//           neither a stable identity nor ASLR-deterministic — event
+//           identity must travel as event_handle's {slot, generation}.
 //
 // Suppressions (reason is mandatory, DET000 fires on a missing one):
 //   code();  // NOLINT-DET(DET001: counter accumulation is order-free)
@@ -43,7 +48,7 @@ namespace detlint {
 struct finding {
   std::string file;     ///< path as given/discovered
   int line = 0;         ///< 1-based
-  std::string rule;     ///< "DET001".."DET005", "DET000" for bad suppressions
+  std::string rule;     ///< "DET001".."DET006", "DET000" for bad suppressions
   std::string message;  ///< human-readable explanation
 };
 

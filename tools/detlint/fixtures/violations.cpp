@@ -39,3 +39,8 @@ double parallel_sum(const std::vector<double>& xs) {
   std::atomic<double> acc{0.0};  // line 39: DET005
   return out + acc.load();
 }
+
+struct slot_meta;  // stand-in for the kernel's pooled event record type
+
+slot_meta* dangling_slot_;  // line 45: DET006 raw pointer to pooled record
+std::map<slot_meta*, int> slot_rank_;  // line 46: DET003 + DET006

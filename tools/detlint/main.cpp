@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       std::printf(
           "usage: detlint [--allow=RULE:path-suffix]... [--no-default-allow] "
           "[--quiet] PATH...\n"
-          "Scans C++ sources for determinism hazards (DET001..DET005).\n");
+          "Scans C++ sources for determinism hazards (DET001..DET006).\n");
       return 0;
     } else {
       opts.roots.push_back(arg);

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "bench_common.hpp"
+#include "fault/invariant_checker.hpp"
 
 using namespace manet;
 using namespace manet::bench;
@@ -62,7 +63,7 @@ void print_panel(const char* title, const sweep_spec& spec,
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   bench_options opt = parse_bench_args(argc, argv);
   print_preamble("Fault sweep — degradation and recovery under injected faults",
                  opt);
@@ -122,4 +123,11 @@ int main(int argc, char** argv) {
   }
 
   return 0;
+} catch (const invariant_violation_error& e) {
+  // With invariants=1 invariant_strict=1 on the command line the sweep is a
+  // consistency check, not a measurement: fail loudly on the first violation
+  // instead of printing tables computed from a broken run.
+  std::fprintf(stderr, "fault_sweep: strict invariant violation: %s\n",
+               e.what());
+  return 1;
 }

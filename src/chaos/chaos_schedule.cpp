@@ -1,0 +1,198 @@
+#include "chaos/chaos_schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/rng.hpp"
+
+namespace manet {
+
+namespace {
+
+// Quantize to the precision the fault grammar / config files print at, so
+// generate -> render -> parse is the identity. q0: whole units (seconds,
+// meters); q2: two decimals (probabilities, factors).
+double q0(double x) { return std::round(x); }
+double q2(double x) { return std::round(x * 100.0) / 100.0; }
+
+sim_duration default_quiet_tail(const scenario_params& p) {
+  return p.ttn + p.ttr + p.ttp + 60.0;
+}
+
+fault_event make_episode(rng& gen, const scenario_params& base,
+                         const chaos_profile& prof, sim_time t0, sim_time t1) {
+  fault_event e;
+  const double dur =
+      q0(gen.uniform(prof.min_episode_s,
+                     std::min(prof.max_episode_s, t1 - t0)));
+  e.start = q0(gen.uniform(t0, t1 - dur));
+  e.end = e.start + dur;
+
+  enum { kPartition, kCrash, kBurst, kJam, kDegrade, kKillSource };
+  std::vector<int> kinds = {kPartition, kCrash, kBurst, kJam, kDegrade};
+  if (prof.allow_kill_source) kinds.push_back(kKillSource);
+  const std::size_t items =
+      base.single_item_mode ? 1 : static_cast<std::size_t>(base.n_peers);
+
+  switch (kinds[gen.uniform_int(kinds.size())]) {
+    case kPartition: {
+      e.kind = fault_kind::partition;
+      e.axis = gen.chance(0.5) ? 'x' : 'y';
+      const double dim = e.axis == 'x' ? base.area_width : base.area_height;
+      e.boundary = q0(gen.uniform(0.25, 0.75) * dim);
+      break;
+    }
+    case kCrash: {
+      e.kind = fault_kind::crash;
+      const auto n = static_cast<std::uint64_t>(base.n_peers);
+      const std::uint64_t size = 1 + gen.uniform_int(std::max<std::uint64_t>(
+                                         1, n / 5));
+      e.first_node = static_cast<node_id>(gen.uniform_int(n - size + 1));
+      e.last_node = static_cast<node_id>(e.first_node + size - 1);
+      break;
+    }
+    case kBurst: {
+      e.kind = fault_kind::burst_loss;
+      e.loss = q2(gen.uniform(0.3, 0.9));
+      e.mean_bad = q2(gen.uniform(0.5, 4.0));
+      e.mean_good = q2(gen.uniform(2.0, 20.0));
+      break;
+    }
+    case kJam: {
+      e.kind = fault_kind::jam;
+      e.center = {q0(gen.uniform(0, base.area_width)),
+                  q0(gen.uniform(0, base.area_height))};
+      e.radius =
+          q0(gen.uniform(0.15, 0.4) * std::min(base.area_width, base.area_height));
+      break;
+    }
+    case kDegrade: {
+      e.kind = fault_kind::degrade;
+      e.factor = q2(gen.uniform(0.3, 0.8));
+      break;
+    }
+    case kKillSource:
+    default: {
+      e.kind = fault_kind::kill_source;
+      e.item = static_cast<item_id>(gen.uniform_int(items));
+      break;
+    }
+  }
+  return e;
+}
+
+}  // namespace
+
+std::string render_fault_event(const fault_event& e) {
+  char buf[128];
+  const auto window = [&](const char* head) {
+    std::string out = head;
+    char tail[48];
+    std::snprintf(tail, sizeof tail, "@%.0f..%.0f", e.start, e.end);
+    out += tail;
+    return out;
+  };
+  switch (e.kind) {
+    case fault_kind::partition:
+      if (e.boundary < 0) {
+        std::snprintf(buf, sizeof buf, "partition:%c", e.axis);
+      } else {
+        std::snprintf(buf, sizeof buf, "partition:%c,%.0f", e.axis, e.boundary);
+      }
+      return window(buf);
+    case fault_kind::crash:
+      std::snprintf(buf, sizeof buf, "crash:g%llu-g%llu",
+                    static_cast<unsigned long long>(e.first_node),
+                    static_cast<unsigned long long>(e.last_node));
+      return window(buf);
+    case fault_kind::burst_loss:
+      std::snprintf(buf, sizeof buf, "burst_loss:%.2f,%.2f,%.2f", e.loss,
+                    e.mean_bad, e.mean_good);
+      return window(buf);
+    case fault_kind::jam:
+      std::snprintf(buf, sizeof buf, "jam:%.0f,%.0f,%.0f", e.center.x,
+                    e.center.y, e.radius);
+      return window(buf);
+    case fault_kind::degrade:
+      std::snprintf(buf, sizeof buf, "degrade:%.2f", e.factor);
+      return window(buf);
+    case fault_kind::kill_source:
+      std::snprintf(buf, sizeof buf, "kill_source:%llu",
+                    static_cast<unsigned long long>(e.item));
+      return window(buf);
+  }
+  return window("partition");
+}
+
+std::string render_fault_spec(const std::vector<fault_event>& events) {
+  std::string out;
+  for (const fault_event& e : events) {
+    if (!out.empty()) out += ';';
+    out += render_fault_event(e);
+  }
+  return out;
+}
+
+void refresh_fault_spec(chaos_schedule& sched) {
+  sched.params.fault = render_fault_spec(sched.events);
+}
+
+chaos_schedule generate_chaos(const scenario_params& base,
+                              std::uint64_t chaos_seed,
+                              const chaos_profile& profile) {
+  chaos_schedule sched;
+  sched.chaos_seed = chaos_seed;
+  sched.params = base;
+
+  const sim_duration tail = profile.quiet_tail_s > 0
+                                ? profile.quiet_tail_s
+                                : default_quiet_tail(base);
+  const sim_time t0 = base.warmup + 30.0;
+  const sim_time t1 = base.warmup + base.sim_time - tail;
+
+  rng plan(derive_seed(chaos_seed, "chaos.plan", 0));
+  const int lo = std::max(0, profile.min_episodes);
+  const int hi = std::max(lo, profile.max_episodes);
+  int n_episodes =
+      lo + static_cast<int>(plan.uniform_int(static_cast<std::uint64_t>(hi - lo) + 1));
+  // A run too short for the quiet tail gets workload/channel perturbations
+  // only: the convergence oracle needs the post-heal settling room.
+  if (t1 - t0 < profile.min_episode_s) n_episodes = 0;
+
+  for (int i = 0; i < n_episodes; ++i) {
+    rng ep(derive_seed(chaos_seed, "chaos.episode", static_cast<std::uint64_t>(i)));
+    sched.events.push_back(make_episode(ep, base, profile, t0, t1));
+  }
+  std::sort(sched.events.begin(), sched.events.end(),
+            [](const fault_event& a, const fault_event& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.end != b.end) return a.end < b.end;
+              return render_fault_event(a) < render_fault_event(b);
+            });
+
+  if (profile.perturb_workload) {
+    rng wl(derive_seed(chaos_seed, "chaos.workload", 0));
+    sched.params.i_query =
+        std::max(1.0, q2(base.i_query * wl.uniform(0.5, 2.0)));
+    sched.params.i_update =
+        std::max(1.0, q2(base.i_update * wl.uniform(0.5, 2.0)));
+  }
+  if (profile.perturb_channel) {
+    rng ch(derive_seed(chaos_seed, "chaos.channel", 0));
+    sched.params.loss_probability = q2(ch.uniform(0.0, 0.1));
+  }
+  if (profile.perturb_mobility) {
+    rng mo(derive_seed(chaos_seed, "chaos.mobility", 0));
+    const double f = mo.uniform(0.75, 2.0);
+    sched.params.min_speed = std::max(0.1, q2(base.min_speed * f));
+    sched.params.max_speed =
+        std::max(sched.params.min_speed + 0.1, q2(base.max_speed * f));
+    sched.params.pause = std::max(1.0, q0(base.pause * mo.uniform(0.5, 1.5)));
+  }
+
+  refresh_fault_spec(sched);
+  return sched;
+}
+
+}  // namespace manet

@@ -1,0 +1,76 @@
+// Seeded chaos-schedule generation (FoundationDB-style simulation testing).
+//
+// A chaos schedule composes a randomized fault plan (partition-then-heal
+// cuts, correlated crashes, Gilbert-Elliott loss bursts, jammers, radio
+// degradation, source-host outages) with randomized workload / channel /
+// mobility perturbations. Every choice is drawn from named RNG streams
+// derived from the chaos seed alone, so the complete hostile run is fully
+// determined by (base scenario, chaos_seed) — independent of the scenario's
+// own seed, of thread count, and of generation order.
+//
+// All generated values are quantized to their printed precision (whole
+// seconds / meters, two decimals for probabilities and factors) so a
+// schedule survives the config/fault-grammar round-trip bit-exactly: the
+// repro file a fuzz failure emits replays the identical run.
+#ifndef MANET_CHAOS_CHAOS_SCHEDULE_HPP
+#define MANET_CHAOS_CHAOS_SCHEDULE_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "scenario/params.hpp"
+
+namespace manet {
+
+/// Tunables for the schedule generator. Defaults give a hostile but
+/// survivable run: 1–4 fault episodes of 30–180 s inside the measurement
+/// window, plus workload/channel/mobility jitter.
+struct chaos_profile {
+  int min_episodes = 1;
+  int max_episodes = 4;
+  sim_duration min_episode_s = 30.0;
+  sim_duration max_episode_s = 180.0;
+  /// Quiet tail reserved between the last heal and the end of the run so
+  /// the eventual-convergence oracle has room to settle. 0 = derive from
+  /// the scenario's protocol windows (ttn + ttr + ttp + 60 s).
+  sim_duration quiet_tail_s = 0.0;
+  bool perturb_workload = true;  ///< jitter I_Query / I_Update
+  bool perturb_channel = true;   ///< baseline i.i.d. channel loss
+  bool perturb_mobility = true;  ///< jitter node speed and pause
+  bool allow_kill_source = true;
+};
+
+/// A generated hostile run: the structured fault episodes (the minimizer
+/// edits these), and the complete scenario parameters with the rendered
+/// fault plan and the perturbations applied.
+struct chaos_schedule {
+  std::uint64_t chaos_seed = 0;
+  std::vector<fault_event> events;
+  scenario_params params;
+};
+
+/// Full-fidelity fault-event formatter. Unlike fault_event::describe()
+/// (a lossy report label), this always emits every argument the parser
+/// accepts — burst_loss keeps its sojourn means — so that
+/// parse(render(e)) == e for quantized events.
+std::string render_fault_event(const fault_event& e);
+
+/// Renders a semicolon-joined plan string for fault_plan::parse.
+std::string render_fault_spec(const std::vector<fault_event>& events);
+
+/// Generates the hostile schedule for (base, chaos_seed). Deterministic:
+/// named streams "chaos.plan", "chaos.episode"/i, "chaos.workload",
+/// "chaos.channel", "chaos.mobility" are derived from chaos_seed only.
+chaos_schedule generate_chaos(const scenario_params& base,
+                              std::uint64_t chaos_seed,
+                              const chaos_profile& profile = chaos_profile());
+
+/// Re-applies edited episodes to the schedule's params (render + assign).
+/// The minimizer calls this after dropping or shortening events.
+void refresh_fault_spec(chaos_schedule& sched);
+
+}  // namespace manet
+
+#endif  // MANET_CHAOS_CHAOS_SCHEDULE_HPP

@@ -1,0 +1,190 @@
+#include "chaos/fuzzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "util/config.hpp"
+
+namespace manet {
+
+namespace {
+
+/// Canonicalize params through the config round-trip: the run then uses
+/// exactly the values a replayed repro file will parse, so the digest
+/// recorded at fuzz time matches the digest at replay time by construction.
+scenario_params canonical(const scenario_params& p) {
+  config cfg;
+  p.to_config(cfg);
+  return scenario_params::from_config(cfg);
+}
+
+bool still_fails(const chaos_schedule& sched, const std::string& protocol) {
+  return !run_chaos(sched, protocol).report.ok();
+}
+
+}  // namespace
+
+chaos_outcome run_chaos(const chaos_schedule& sched,
+                        const std::string& protocol) {
+  chaos_outcome out;
+  scenario sc(canonical(sched.params), protocol);
+  out.result = sc.run();
+  out.report = evaluate_end_oracles(sc);
+  out.digest = run_result_digest(out.result);
+  return out;
+}
+
+chaos_schedule minimize_failure(const chaos_schedule& sched,
+                                const scenario_params& base,
+                                const std::string& protocol) {
+  chaos_schedule best = sched;
+
+  // Phase 1: drop fault episodes one at a time to a fixpoint.
+  bool changed = true;
+  while (changed && !best.events.empty()) {
+    changed = false;
+    for (std::size_t i = 0; i < best.events.size(); ++i) {
+      chaos_schedule trial = best;
+      trial.events.erase(trial.events.begin() + static_cast<long>(i));
+      refresh_fault_spec(trial);
+      if (still_fails(trial, protocol)) {
+        best = std::move(trial);
+        changed = true;
+        break;  // restart: indices shifted
+      }
+    }
+  }
+
+  // Phase 2: halve episode durations (down to 4 s, whole seconds so the
+  // fault grammar round-trips) while the failure persists.
+  for (std::size_t i = 0; i < best.events.size(); ++i) {
+    for (;;) {
+      const sim_duration dur = best.events[i].end - best.events[i].start;
+      const sim_duration half = std::round(dur / 2.0);
+      if (half < 4.0 || half >= dur) break;
+      chaos_schedule trial = best;
+      trial.events[i].end = trial.events[i].start + half;
+      refresh_fault_spec(trial);
+      if (!still_fails(trial, protocol)) break;
+      best = std::move(trial);
+    }
+  }
+
+  // Phase 3: restore perturbation groups to the base scenario — a failure
+  // that survives with the nominal workload/channel/mobility is easier to
+  // reason about than one that needs all three perturbed.
+  const auto try_restore = [&](auto&& apply) {
+    chaos_schedule trial = best;
+    apply(trial.params);
+    if (still_fails(trial, protocol)) best = std::move(trial);
+  };
+  try_restore([&](scenario_params& p) {
+    p.i_query = base.i_query;
+    p.i_update = base.i_update;
+  });
+  try_restore([&](scenario_params& p) {
+    p.loss_probability = base.loss_probability;
+  });
+  try_restore([&](scenario_params& p) {
+    p.min_speed = base.min_speed;
+    p.max_speed = base.max_speed;
+    p.pause = base.pause;
+  });
+  return best;
+}
+
+fuzz_result run_fuzz(const fuzz_options& opt) {
+  fuzz_result res;
+  if (opt.seeds <= 0) return res;
+  res.runs = opt.seeds;
+  res.digests.assign(static_cast<std::size_t>(opt.seeds), 0);
+
+  // Strict invariants would throw out of the first failing seed and abort
+  // the whole sweep; the fuzzer wants every seed judged, so it always
+  // sweeps non-strict and lets the oracles fold the violation counts in.
+  scenario_params base = opt.base;
+  base.invariant_strict = false;
+
+  // Parallel sweep: every slot owns its seed's schedule and outcome, indexed
+  // by seed offset, so results are independent of worker count and
+  // completion order.
+  std::vector<oracle_report> reports(static_cast<std::size_t>(opt.seeds));
+  parallel_for(static_cast<std::size_t>(opt.seeds), opt.jobs,
+               [&](std::size_t i) {
+                 const std::uint64_t seed = opt.first_seed + i;
+                 const chaos_schedule sched =
+                     generate_chaos(base, seed, opt.profile);
+                 chaos_outcome out = run_chaos(sched, opt.protocol);
+                 res.digests[i] = out.digest;
+                 reports[i] = std::move(out.report);
+               });
+
+  // Serial minimization pass over the failures, in seed order.
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (reports[i].ok()) continue;
+    const std::uint64_t seed = opt.first_seed + i;
+    chaos_schedule sched = generate_chaos(base, seed, opt.profile);
+    fuzz_failure f;
+    f.chaos_seed = seed;
+    f.schedule = opt.minimize ? minimize_failure(sched, base, opt.protocol)
+                              : std::move(sched);
+    chaos_outcome out = run_chaos(f.schedule, opt.protocol);
+    f.report = std::move(out.report);
+    f.digest = out.digest;
+    res.failures.push_back(std::move(f));
+  }
+  return res;
+}
+
+std::string write_repro(const fuzz_failure& f, const std::string& protocol,
+                        const std::string& dir) {
+  std::filesystem::create_directories(dir);
+  config cfg;
+  canonical(f.schedule.params).to_config(cfg);
+  cfg.set("protocol", protocol);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu",
+                static_cast<unsigned long long>(f.chaos_seed));
+  cfg.set("chaos_seed", std::string(buf));
+  std::snprintf(buf, sizeof buf, "0x%llx",
+                static_cast<unsigned long long>(f.digest));
+  cfg.set("digest", std::string(buf));
+  if (!f.report.violations.empty()) {
+    cfg.set("oracle", f.report.violations.front().oracle);
+  }
+
+  const std::string path =
+      dir + "/repro-" + std::to_string(f.chaos_seed) + ".conf";
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write repro file " + path);
+  out << "# chaos fuzzer repro: replay with chaosfuzz --replay=<this file>\n"
+      << cfg.dump();
+  return path;
+}
+
+replay_result replay_repro(const std::string& path) {
+  config cfg;
+  cfg.load_file(path);
+  const std::string protocol = cfg.get_string("protocol", "rpcc");
+  const std::string digest_hex = cfg.get_string("digest", "0x0");
+  replay_result res;
+  res.expected_digest = std::strtoull(digest_hex.c_str(), nullptr, 16);
+
+  chaos_schedule sched;
+  sched.params = scenario_params::from_config(cfg);
+  chaos_outcome out = run_chaos(sched, protocol);
+  res.digest = out.digest;
+  res.digest_matched = res.digest == res.expected_digest;
+  res.failure_reproduced = !out.report.ok();
+  res.report = std::move(out.report);
+  return res;
+}
+
+}  // namespace manet

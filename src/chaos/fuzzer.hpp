@@ -1,0 +1,93 @@
+// Deterministic chaos fuzzer: seed sweeps, failure minimization, repro files.
+//
+// The runner executes (base scenario, chaos_seed) hostile runs across the
+// sweep's worker pool — results are stored by seed offset, so the outcome is
+// identical at any --jobs value — and judges each with the end-of-run
+// oracles (chaos/oracles.hpp) plus the runtime invariant checker. A failing
+// seed is minimized by greedy delta-debugging over the structured fault
+// schedule (drop episodes to a fixpoint, then halve durations, then restore
+// perturbation groups to the base scenario), and the minimized run is
+// written as a replayable repro file: a plain key=value config whose
+// scenario round-trips bit-exactly (all chaos values are quantized to their
+// printed precision) plus the expected run digest. replay_repro() re-runs
+// the file and verifies both the oracle failure and the digest.
+#ifndef MANET_CHAOS_FUZZER_HPP
+#define MANET_CHAOS_FUZZER_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_schedule.hpp"
+#include "chaos/oracles.hpp"
+#include "metrics/collector.hpp"
+
+namespace manet {
+
+struct fuzz_options {
+  scenario_params base;          ///< perturbed per seed by generate_chaos
+  std::string protocol = "rpcc"; ///< push | pull | push_pull | rpcc
+  chaos_profile profile;
+  std::uint64_t first_seed = 0;  ///< chaos seeds first_seed .. first_seed+seeds-1
+  int seeds = 50;
+  int jobs = 1;                  ///< sweep-style worker pool (0 = hardware)
+  bool minimize = true;
+};
+
+/// One judged chaos run.
+struct chaos_outcome {
+  run_result result;
+  oracle_report report;
+  std::uint64_t digest = 0;  ///< run_result_digest of the run
+};
+
+/// A failing seed, after minimization (when enabled).
+struct fuzz_failure {
+  std::uint64_t chaos_seed = 0;
+  chaos_schedule schedule;  ///< minimized schedule that still fails
+  oracle_report report;     ///< oracle report of the minimized run
+  std::uint64_t digest = 0; ///< digest of the minimized run (for the repro)
+};
+
+struct fuzz_result {
+  int runs = 0;
+  std::vector<std::uint64_t> digests;  ///< per-seed digests, in seed order
+  std::vector<fuzz_failure> failures;  ///< in seed order
+  bool ok() const { return failures.empty(); }
+};
+
+/// Runs one hostile schedule to completion and judges it. The schedule's
+/// params are canonicalized through a config round-trip first, so the run
+/// is bit-identical to replaying the written repro file.
+chaos_outcome run_chaos(const chaos_schedule& sched,
+                        const std::string& protocol);
+
+/// Full seed sweep; failures are minimized serially after the parallel
+/// sweep so the worker count cannot influence minimization order.
+fuzz_result run_fuzz(const fuzz_options& opt);
+
+/// Greedy delta-debugging of one failing schedule. Returns the smallest
+/// still-failing schedule found (at worst the input).
+chaos_schedule minimize_failure(const chaos_schedule& sched,
+                                const scenario_params& base,
+                                const std::string& protocol);
+
+/// Writes a replayable repro config for a failure; returns the file path
+/// (`<dir>/repro-<seed>.conf`). The directory is created if needed.
+std::string write_repro(const fuzz_failure& f, const std::string& protocol,
+                        const std::string& dir);
+
+struct replay_result {
+  bool failure_reproduced = false;  ///< some oracle still fails
+  bool digest_matched = false;      ///< digest equals the recorded one
+  std::uint64_t digest = 0;
+  std::uint64_t expected_digest = 0;
+  oracle_report report;
+};
+
+/// Re-runs a repro file and verifies the failure and the recorded digest.
+replay_result replay_repro(const std::string& path);
+
+}  // namespace manet
+
+#endif  // MANET_CHAOS_FUZZER_HPP

@@ -1,0 +1,122 @@
+#include "chaos/oracles.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "fault/fault_plan.hpp"
+
+namespace manet {
+
+std::string oracle_report::describe() const {
+  if (violations.empty()) return "oracles: all passed\n";
+  std::string out = "oracles: " + std::to_string(violations.size()) +
+                    " violation(s)\n";
+  for (const oracle_violation& v : violations) {
+    out += "  [" + v.oracle + "] " + v.what + '\n';
+  }
+  return out;
+}
+
+namespace {
+
+/// O1: post-heal eventual convergence. BFS from each live source over the
+/// current radio topology; any reachable cache still claiming (validated,
+/// not invalid) a superseded copy whose staleness — clocked from the later
+/// of supersession and the last fault heal — exceeds the settling bound
+/// breaks the oracle.
+void check_convergence(scenario& sc, const oracle_config& cfg,
+                       oracle_report& rep) {
+  const scenario_params& p = sc.params();
+  const double ttn_scale = p.rpcc_adaptive_ttn ? 4.0 : 1.0;
+  const double ttp_scale = p.rpcc_adaptive_ttp ? 4.0 : 1.0;
+  const sim_duration bound = p.ttn * ttn_scale +
+                             p.ttr * std::max(1.0, ttn_scale) +
+                             p.ttp * ttp_scale + cfg.convergence_slack;
+
+  sim_time last_heal = 0;
+  if (!p.fault.empty()) {
+    for (const fault_event& e : fault_plan::parse(p.fault).events) {
+      last_heal = std::max(last_heal, e.end);
+    }
+  }
+
+  item_registry& reg = sc.registry();
+  network& net = sc.net();
+  const sim_time now = sc.sim().now();
+  char buf[200];
+  std::vector<char> seen;
+  std::queue<node_id> frontier;
+  for (item_id d = 0; d < reg.size(); ++d) {
+    const node_id src = reg.source(d);
+    if (!net.at(src).up()) continue;  // source never healed: out of scope
+    seen.assign(net.size(), 0);
+    seen[src] = 1;
+    frontier.push(src);
+    while (!frontier.empty()) {
+      const node_id u = frontier.front();
+      frontier.pop();
+      for (node_id v : net.air().neighbors(u)) {
+        if (seen[v]) continue;
+        seen[v] = 1;
+        frontier.push(v);
+        const cached_copy* copy = sc.stores()[v].find(d);
+        if (copy == nullptr || copy->invalid) continue;
+        if (copy->version >= reg.version(d)) continue;
+        if (copy->validated_until <= now) continue;
+        const sim_time since =
+            std::max(reg.stale_since(d, copy->version), last_heal);
+        if (now - since <= bound) continue;
+        std::snprintf(buf, sizeof buf,
+                      "node %zu still claims item %zu fresh at version %llu "
+                      "(master %llu), stale %.0fs past the last heal "
+                      "(bound %.0fs)",
+                      static_cast<std::size_t>(v), static_cast<std::size_t>(d),
+                      static_cast<unsigned long long>(copy->version),
+                      static_cast<unsigned long long>(reg.version(d)),
+                      now - since, bound);
+        rep.violations.push_back({"convergence", buf});
+      }
+    }
+  }
+}
+
+/// O2: fold in the runtime invariant checker (invariants 1–7, including the
+/// Δ-staleness audit, version monotonicity across reconnect and relay-lease
+/// mutual exclusion) so non-strict fuzz runs still fail on them.
+void check_invariants(scenario& sc, oracle_report& rep) {
+  const invariant_checker* chk = sc.invariants();
+  if (chk == nullptr || chk->violations() == 0) return;
+  std::string what =
+      std::to_string(chk->violations()) + " runtime invariant violation(s)";
+  for (const std::string& v : chk->violation_log()) what += "; " + v;
+  rep.violations.push_back({"invariants", std::move(what)});
+}
+
+/// O3: queue quiescence. At end of run the live-event population must be
+/// bounded by the steady-state machinery; growth beyond the budget means a
+/// retry storm or a timer leak survived the run.
+void check_quiescence(scenario& sc, const oracle_config& cfg,
+                      oracle_report& rep) {
+  const std::size_t live = sc.sim().queue().live_events();
+  const std::size_t budget =
+      cfg.quiescence_base +
+      cfg.quiescence_per_entity *
+          (static_cast<std::size_t>(sc.params().n_peers) + sc.registry().size());
+  if (live <= budget) return;
+  rep.violations.push_back(
+      {"quiescence", std::to_string(live) + " live events at end of run > budget " +
+                         std::to_string(budget)});
+}
+
+}  // namespace
+
+oracle_report evaluate_end_oracles(scenario& sc, const oracle_config& cfg) {
+  oracle_report rep;
+  check_convergence(sc, cfg, rep);
+  check_invariants(sc, rep);
+  check_quiescence(sc, cfg, rep);
+  return rep;
+}
+
+}  // namespace manet

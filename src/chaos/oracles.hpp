@@ -1,0 +1,55 @@
+// End-of-run oracles for chaos runs.
+//
+// The runtime invariant checker (fault/invariant_checker.hpp) audits live
+// state *during* a run; the oracles here judge the run's *outcome* once the
+// event queue has drained past sim_time:
+//   O1 eventual convergence — after the last fault heals, every cache that
+//      is reachable from its item's source must stop claiming fresh copies
+//      older than the protocol's post-heal settling bound (ttn + ttr + ttp
+//      + slack, each window at its adaptive ceiling). Tighter than the
+//      recovery tracker's live probe and aware of the fault plan: staleness
+//      clocks only start at the later of supersession and the last heal.
+//   O2 runtime invariants — the invariant checker's count is folded in, so
+//      a non-strict fuzz run still fails on Δ-staleness, monotonicity,
+//      lease mutual-exclusion or relay-state violations (invariants 1–7).
+//   O3 quiescence — the event queue holds no more live events than the
+//      steady-state machinery accounts for (periodic timers, sweeps,
+//      sampler ticks). Unbounded growth means a retry storm or timer leak.
+// Evaluate right after scenario::run(); the report lists every violated
+// oracle with a human-readable reason.
+#ifndef MANET_CHAOS_ORACLES_HPP
+#define MANET_CHAOS_ORACLES_HPP
+
+#include <string>
+#include <vector>
+
+#include "scenario/scenario.hpp"
+
+namespace manet {
+
+struct oracle_config {
+  /// Extra settling time granted on top of ttn + ttr + ttp for O1.
+  sim_duration convergence_slack = 30.0;
+  /// O3 budget: base + per_entity * (n_peers + items) live events.
+  std::size_t quiescence_base = 256;
+  std::size_t quiescence_per_entity = 32;
+};
+
+struct oracle_violation {
+  std::string oracle;  ///< "convergence" | "invariants" | "quiescence"
+  std::string what;
+};
+
+struct oracle_report {
+  std::vector<oracle_violation> violations;
+  bool ok() const { return violations.empty(); }
+  std::string describe() const;
+};
+
+/// Runs every end-of-run oracle against a finished scenario.
+oracle_report evaluate_end_oracles(scenario& sc,
+                                   const oracle_config& cfg = oracle_config());
+
+}  // namespace manet
+
+#endif  // MANET_CHAOS_ORACLES_HPP

@@ -1,9 +1,11 @@
 #include "consistency/hybrid_protocol.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/causal_trace.hpp"
 #include "obs/registry.hpp"
+#include "util/rng.hpp"
 
 namespace manet {
 
@@ -128,8 +130,39 @@ void hybrid_protocol::send_poll(node_id n, item_id item) {
        control_bytes());
   ++polls_sent_;
   st.timer.cancel();
-  st.timer = sim().schedule_in(params_.poll_timeout,
+  st.timer = sim().schedule_in(poll_wait(st.retries),
                                [this, n, item] { on_poll_timeout(n, item); });
+}
+
+sim_duration hybrid_protocol::poll_wait(int retries) {
+  if (!params_.hardened) return params_.poll_timeout;
+  const double factor = static_cast<double>(1ULL << std::min(retries, 16));
+  rng jitter = sim().make_rng("hybrid.retry_jitter", jitter_seq_++);
+  const double wait =
+      params_.poll_timeout * factor * (0.75 + 0.5 * jitter.uniform());
+  return std::min(wait, params_.retry_backoff_cap);
+}
+
+void hybrid_protocol::on_node_reconnect(node_id n) {
+  // Mirror of the RPCC reconnect reset: failure backoffs and in-flight poll
+  // rounds predate the outage and describe a reachability that no longer
+  // holds. Without this, a rejoined node keeps serving unvalidated answers
+  // until the stale backoff lapses.
+  std::vector<std::uint64_t> keys;
+  // NOLINTNEXTLINE-DET(DET001: keys are sorted before any stateful action)
+  for (const auto& [k, st] : polls_) {
+    (void)st;
+    if ((k >> 32) == n) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  for (const std::uint64_t k : keys) {
+    auto it = polls_.find(k);
+    if (it == polls_.end()) continue;
+    it->second.backoff_until = 0;
+    it->second.retries = 0;
+    it->second.timer.cancel();
+    it->second.waiting.clear();
+  }
 }
 
 void hybrid_protocol::on_poll_timeout(node_id n, item_id item) {

@@ -36,6 +36,11 @@ struct hybrid_params {
   sim_duration poll_timeout = 1.5;
   int max_retries = 2;
   sim_duration failure_backoff = 30.0;
+  /// Chaos-hardening mode: poll retries back off exponentially with
+  /// deterministic jitter from the "hybrid.retry_jitter" stream, capped at
+  /// retry_backoff_cap. Off by default so pinned goldens are untouched.
+  bool hardened = false;
+  sim_duration retry_backoff_cap = 30.0;
 };
 
 class hybrid_protocol final : public consistency_protocol {
@@ -46,6 +51,7 @@ class hybrid_protocol final : public consistency_protocol {
   void start() override;
   void on_update(item_id item) override;
   void on_query(node_id n, item_id item, consistency_level level) override;
+  void on_node_reconnect(node_id n) override;
 
   std::uint64_t polls_sent() const { return polls_sent_; }
   std::uint64_t unvalidated_answers() const { return unvalidated_answers_; }
@@ -74,12 +80,14 @@ class hybrid_protocol final : public consistency_protocol {
   void send_poll(node_id n, item_id item);
   void on_poll_timeout(node_id n, item_id item);
   void finish_poll(node_id n, item_id item, bool validated);
+  sim_duration poll_wait(int retries);
 
   hybrid_params params_;
   std::vector<std::unique_ptr<periodic_timer>> report_timers_;
   std::unordered_map<std::uint64_t, poll_state> polls_;
   std::uint64_t polls_sent_ = 0;
   std::uint64_t unvalidated_answers_ = 0;
+  std::uint64_t jitter_seq_ = 0;  ///< "hybrid.retry_jitter" stream cursor
 };
 
 }  // namespace manet

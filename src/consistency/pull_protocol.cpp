@@ -1,9 +1,11 @@
 #include "consistency/pull_protocol.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "obs/causal_trace.hpp"
 #include "obs/registry.hpp"
+#include "util/rng.hpp"
 
 namespace manet {
 
@@ -93,8 +95,45 @@ void pull_protocol::send_poll(node_id n, item_id item) {
                  params_.poll_ttl);
   ++polls_sent_;
   st.timer.cancel();
-  st.timer = sim().schedule_in(params_.poll_timeout,
+  st.timer = sim().schedule_in(poll_wait(st.retries),
                                [this, n, item] { on_poll_timeout(n, item); });
+}
+
+sim_duration pull_protocol::poll_wait(int retries) {
+  if (!params_.hardened) return params_.poll_timeout;
+  const double factor = static_cast<double>(1ULL << std::min(retries, 16));
+  rng jitter = sim().make_rng("pull.retry_jitter", jitter_seq_++);
+  const double wait =
+      params_.poll_timeout * factor * (0.75 + 0.5 * jitter.uniform());
+  return std::min(wait, params_.retry_backoff_cap);
+}
+
+void pull_protocol::on_node_reconnect(node_id n) {
+  // Mirror of the RPCC reconnect reset: the failure backoff encoded "the
+  // source was unreachable from where I was" and a poll round interrupted by
+  // the outage is stale. Clear both so a rejoined node re-polls immediately
+  // instead of serving unvalidated answers until the old backoff lapses.
+  std::vector<std::uint64_t> keys;
+  // NOLINTNEXTLINE-DET(DET001: keys are sorted before any stateful action)
+  for (const auto& [k, until] : poll_backoff_until_) {
+    (void)until;
+    if ((k >> 32) == n) keys.push_back(k);
+  }
+  // NOLINTNEXTLINE-DET(DET001: keys are sorted before any stateful action)
+  for (const auto& [k, st] : polls_) {
+    (void)st;
+    if ((k >> 32) == n) keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (const std::uint64_t k : keys) {
+    poll_backoff_until_.erase(k);
+    auto it = polls_.find(k);
+    if (it != polls_.end()) {
+      it->second.timer.cancel();
+      polls_.erase(it);
+    }
+  }
 }
 
 void pull_protocol::on_poll_timeout(node_id n, item_id item) {

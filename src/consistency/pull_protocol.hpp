@@ -24,6 +24,11 @@ struct pull_params {
   /// After a completely failed poll round (partition), skip re-polling this
   /// item for this long and answer locally; 0 disables the backoff.
   sim_duration failure_backoff = 30.0;
+  /// Chaos-hardening mode: poll retries back off exponentially with
+  /// deterministic jitter from the "pull.retry_jitter" stream, capped at
+  /// retry_backoff_cap. Off by default so pinned goldens are untouched.
+  bool hardened = false;
+  sim_duration retry_backoff_cap = 30.0;
 };
 
 class pull_protocol final : public consistency_protocol {
@@ -34,6 +39,7 @@ class pull_protocol final : public consistency_protocol {
   void start() override;
   void on_update(item_id item) override;
   void on_query(node_id n, item_id item, consistency_level level) override;
+  void on_node_reconnect(node_id n) override;
 
   std::uint64_t polls_sent() const { return polls_sent_; }
   std::uint64_t unvalidated_answers() const { return unvalidated_answers_; }
@@ -60,12 +66,14 @@ class pull_protocol final : public consistency_protocol {
   void send_poll(node_id n, item_id item);
   void on_poll_timeout(node_id n, item_id item);
   void finish_poll(node_id n, item_id item, bool validated);
+  sim_duration poll_wait(int retries);
 
   pull_params params_;
   std::unordered_map<std::uint64_t, poll_state> polls_;
   std::unordered_map<std::uint64_t, sim_time> poll_backoff_until_;
   std::uint64_t polls_sent_ = 0;
   std::uint64_t unvalidated_answers_ = 0;
+  std::uint64_t jitter_seq_ = 0;  ///< "pull.retry_jitter" stream cursor
 };
 
 }  // namespace manet

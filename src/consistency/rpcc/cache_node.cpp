@@ -13,6 +13,7 @@
 
 #include "obs/causal_trace.hpp"
 #include "util/ordered.hpp"
+#include "util/rng.hpp"
 
 namespace manet {
 
@@ -76,6 +77,7 @@ void rpcc_protocol::start_poll(node_id n, item_id item, query_id q) {
   if (st.polling) return;
   st.polling = true;
   st.poll_retries = 0;
+  st.direct_poll = false;
   st.poll_ttl = params_.poll_ttl;
   // The poll round belongs to the causal chain of the query that opened it;
   // retries re-enter the chain from this saved id (timer context is rootless).
@@ -95,8 +97,16 @@ void rpcc_protocol::send_poll(node_id n, item_id item) {
   floods().flood(n, kind_poll, std::move(payload), control_bytes(), st.poll_ttl);
   ++polls_sent_;
   st.poll_timer.cancel();
-  st.poll_timer = sim().schedule_in(params_.poll_timeout,
+  st.poll_timer = sim().schedule_in(poll_wait(st.poll_retries),
                                     [this, n, item] { on_poll_timeout(n, item); });
+}
+
+sim_duration rpcc_protocol::poll_wait_base(sim_duration base, int retries) {
+  if (!params_.hardened) return base;
+  const double factor = static_cast<double>(1ULL << std::min(retries, 16));
+  rng jitter = sim().make_rng("rpcc.retry_jitter", jitter_seq_++);
+  const double wait = base * factor * (0.75 + 0.5 * jitter.uniform());
+  return std::min(wait, params_.retry_backoff_cap);
 }
 
 void rpcc_protocol::on_poll_timeout(node_id n, item_id item) {
@@ -108,19 +118,40 @@ void rpcc_protocol::on_poll_timeout(node_id n, item_id item) {
     st.pending_queries.clear();
     return;
   }
-  if (st.poll_retries < params_.poll_max_retries) {
+  if (!st.direct_poll && st.poll_retries < params_.poll_max_retries) {
     ++st.poll_retries;
     // Expanding-ring search for a relay peer farther away.
     st.poll_ttl = std::min(st.poll_ttl * 2, params_.poll_ttl_max);
     send_poll(n, item);
     return;
   }
-  // No relay reachable: serve from the local copy, unvalidated, and back
-  // off before flooding again.
+  if (params_.hardened && !st.direct_poll) {
+    // Graceful degradation: no relay answered any flood ring. Before giving
+    // up, ask the source host directly — a unicast rides whatever multi-hop
+    // route still exists even when no relay survived near the asker.
+    st.direct_poll = true;
+    causal_tracer::scope trace_scope(tracer(), st.poll_trace);
+    auto payload = std::make_shared<poll_msg>();
+    payload->item = item;
+    payload->asker = n;
+    const cached_copy* copy = store(n).find(item);
+    payload->asker_version =
+        copy != nullptr ? copy->version : static_cast<version_t>(-1);
+    send(n, registry().source(item), kind_poll, std::move(payload),
+         control_bytes());
+    ++polls_sent_;
+    st.poll_timer.cancel();
+    st.poll_timer = sim().schedule_in(poll_wait(st.poll_retries + 1),
+                                      [this, n, item] { on_poll_timeout(n, item); });
+    return;
+  }
+  // No relay (nor, hardened, the source) reachable: serve from the local
+  // copy, unvalidated, and back off before flooding again.
   if (params_.poll_failure_backoff > 0) {
     st.poll_backoff_until = sim().now() + params_.poll_failure_backoff;
   }
   st.polling = false;
+  st.direct_poll = false;
   finish_queries(n, item, /*validated=*/false);
 }
 
@@ -175,7 +206,7 @@ void rpcc_protocol::cache_on_poll_ack(node_id self, const packet& p) {
       fresh.version = msg->version;
       fresh.version_obtained_at = sim().now();
       fresh.validated_until = sim().now() + ttp;
-      store(self).put(fresh);
+      install_copy(self, fresh);
       trace_apply(self, msg->item, msg->version);
     } else if (msg->version == copy->version) {
       copy->validated_until = sim().now() + ttp;
@@ -188,6 +219,7 @@ void rpcc_protocol::cache_on_poll_ack(node_id self, const packet& p) {
   }
 
   st.poll_backoff_until = 0;
+  st.direct_poll = false;
   if (st.polling) {
     st.polling = false;
     finish_queries(self, msg->item, /*validated=*/true);
@@ -207,6 +239,13 @@ void rpcc_protocol::on_node_reconnect(node_id n) {
       st.poll_timer.cancel();
       st.pending_queries.clear();
     }
+    // Hardened handshake watchdogs armed before the outage are stale: the
+    // peer they were waiting on has long given up on us.
+    st.direct_poll = false;
+    st.apply_retries = 0;
+    st.apply_timer.cancel();
+    st.get_new_retries = 0;
+    st.get_new_timer.cancel();
   }
 }
 
@@ -221,15 +260,50 @@ void rpcc_protocol::maybe_become_candidate(node_id self, item_id item) {
 
 void rpcc_protocol::send_apply(node_id self, item_id item) {
   if (!node_up(self)) return;
-  state(self, item).last_apply_at = sim().now();
+  peer_item_state& st = state(self, item);
+  st.last_apply_at = sim().now();
+  st.apply_retries = 0;
   auto payload = std::make_shared<item_msg>();
   payload->item = item;
   send(self, registry().source(item), kind_apply, std::move(payload),
        control_bytes());
+  if (params_.hardened) {
+    st.apply_timer.cancel();
+    st.apply_timer = sim().schedule_in(
+        poll_wait_base(params_.apply_timeout, 0),
+        [this, self, item] { on_apply_timeout(self, item); });
+  }
+}
+
+void rpcc_protocol::on_apply_timeout(node_id self, item_id item) {
+  // Hardened-mode APPLY watchdog. A relay renewing its lease keeps serving
+  // regardless (TTR and the window check govern demotion); only a candidate
+  // stuck waiting for a lost APPLY_ACK needs rescue, by bounded resends and
+  // then reverting to a plain cache node so queries stop assuming promotion.
+  peer_item_state& st = state(self, item);
+  if (!node_up(self)) return;
+  if (st.role == peer_role::cache) return;  // demoted since; ACK is moot
+  if (st.apply_retries < params_.apply_max_retries) {
+    ++st.apply_retries;
+    st.last_apply_at = sim().now();
+    auto payload = std::make_shared<item_msg>();
+    payload->item = item;
+    send(self, registry().source(item), kind_apply, payload, control_bytes());
+    st.apply_timer = sim().schedule_in(
+        poll_wait_base(params_.apply_timeout, st.apply_retries),
+        [this, self, item] { on_apply_timeout(self, item); });
+    return;
+  }
+  if (st.role == peer_role::candidate) {
+    set_role(self, item, peer_role::cache);
+    send_cancel(self, item);  // in case the source registered us after all
+  }
 }
 
 void rpcc_protocol::cache_on_apply_ack(node_id self, item_id item) {
   peer_item_state& st = state(self, item);
+  st.apply_timer.cancel();
+  st.apply_retries = 0;
   if (st.role != peer_role::candidate) return;  // stale ACK after demotion
   set_role(self, item, peer_role::relay);
   // Freshness carried over from the INVALIDATION that triggered the APPLY:
@@ -240,10 +314,25 @@ void rpcc_protocol::cache_on_apply_ack(node_id self, item_id item) {
       copy->version == st.last_inv_version) {
     state(self, item).ttr_deadline = st.last_inv_at + params_.ttr;
   } else {
+    send_get_new(self, item);
+  }
+}
+
+void rpcc_protocol::send_cancel(node_id self, item_id item) {
+  if (!node_up(self)) return;
+  const node_id src = registry().source(item);
+  auto one_cancel = [this, self, src, item] {
+    if (!node_up(self)) return;
     auto payload = std::make_shared<item_msg>();
     payload->item = item;
-    send(self, registry().source(item), kind_get_new, std::move(payload),
-         control_bytes());
+    send(self, src, kind_cancel, std::move(payload), control_bytes());
+  };
+  one_cancel();
+  if (!params_.hardened) return;
+  // CANCEL has no ACK, so retransmit blindly: a lost CANCEL leaves a phantom
+  // lease at the source that only dies at lease expiry.
+  for (int i = 1; i <= params_.cancel_retransmits; ++i) {
+    sim().schedule_in(2.0 * i, one_cancel);
   }
 }
 
@@ -273,12 +362,7 @@ void rpcc_protocol::cache_on_update(node_id self, item_id item, version_t versio
         copy->invalid = false;
         if (changed) trace_apply(self, item, version);
       }
-      if (node_up(self)) {
-        auto payload = std::make_shared<item_msg>();
-        payload->item = item;
-        send(self, registry().source(item), kind_cancel, std::move(payload),
-             control_bytes());
-      }
+      send_cancel(self, item);
       return;
     }
   }

@@ -29,14 +29,13 @@ void rpcc_protocol::relay_on_invalidation(node_id self, item_id item,
 
   switch (st.role) {
     case peer_role::relay: {
-      if (copy->version < version) {
+      if (copy->version < version && !params_.bug_skip_resync) {
         // Missed UPDATEs (disconnection, §4.5): resynchronize.
-        auto payload = std::make_shared<item_msg>();
-        payload->item = item;
-        send(self, registry().source(item), kind_get_new, std::move(payload),
-             control_bytes());
+        send_get_new(self, item);
         // Pending polls are flushed when SEND_NEW arrives.
       } else {
+        // (bug_skip_resync: the injected fuzzer-bait bug lands here with a
+        // stale copy and renews TTR anyway — serving it as validated.)
         // Adaptive-TTN sources advertise their current interval; scale TTR
         // so the relay stays answerable across a stretched push cadence.
         sim_duration ttr = params_.ttr;
@@ -67,6 +66,36 @@ void rpcc_protocol::relay_on_invalidation(node_id self, item_id item,
   }
 }
 
+void rpcc_protocol::send_get_new(node_id self, item_id item) {
+  if (!node_up(self)) return;
+  auto payload = std::make_shared<item_msg>();
+  payload->item = item;
+  send(self, registry().source(item), kind_get_new, std::move(payload),
+       control_bytes());
+  if (!params_.hardened) return;
+  peer_item_state& st = state(self, item);
+  st.get_new_timer.cancel();
+  st.get_new_timer = sim().schedule_in(
+      poll_wait_base(params_.get_new_timeout, st.get_new_retries),
+      [this, self, item] { on_get_new_timeout(self, item); });
+}
+
+void rpcc_protocol::on_get_new_timeout(node_id self, item_id item) {
+  // Hardened-mode GET_NEW watchdog: a relay that knows its copy is behind
+  // must not keep the role forever on a lost SEND_NEW. Bounded resends,
+  // then demote — a stale self-aware relay is worse than no relay.
+  peer_item_state& st = state(self, item);
+  if (!node_up(self) || st.role != peer_role::relay) return;
+  if (st.get_new_retries < params_.get_new_max_retries) {
+    ++st.get_new_retries;
+    send_get_new(self, item);
+    return;
+  }
+  st.get_new_retries = 0;
+  set_role(self, item, peer_role::cache);
+  send_cancel(self, item);
+}
+
 void rpcc_protocol::relay_on_send_new(node_id self, item_id item, version_t version) {
   peer_item_state& st = state(self, item);
   if (st.role != peer_role::relay) {
@@ -87,7 +116,7 @@ void rpcc_protocol::apply_fresh_copy(node_id self, item_id item, version_t versi
     fresh.version = version;
     fresh.version_obtained_at = sim().now();
     fresh.validated_until = sim().now() + params_.ttp;
-    store(self).put(fresh);
+    install_copy(self, fresh);
     trace_apply(self, item, version);
   } else if (version >= copy->version) {
     const bool changed = version > copy->version || copy->invalid;
@@ -96,8 +125,23 @@ void rpcc_protocol::apply_fresh_copy(node_id self, item_id item, version_t versi
     copy->validated_until = sim().now() + params_.ttp;
     copy->invalid = false;
     if (changed) trace_apply(self, item, version);
+  } else {
+    // A SEND_NEW that lost the race against a direct UPDATE carries an
+    // older version than the copy already held. The copy stays; the TTR
+    // evidence is the newer copy's own arrival, not this stale reply —
+    // extending from now() would conjure freshness beyond the invariant-3
+    // anchor.
+    peer_item_state& st = state(self, item);
+    st.ttr_deadline =
+        std::max(st.ttr_deadline, copy->version_obtained_at + params_.ttr);
+    st.get_new_retries = 0;
+    st.get_new_timer.cancel();
+    return;
   }
-  state(self, item).ttr_deadline = sim().now() + params_.ttr;
+  peer_item_state& st = state(self, item);
+  st.ttr_deadline = sim().now() + params_.ttr;
+  st.get_new_retries = 0;
+  st.get_new_timer.cancel();  // the awaited SEND_NEW (or equivalent) arrived
 }
 
 void rpcc_protocol::relay_answer_poll(node_id self, item_id item, node_id asker,

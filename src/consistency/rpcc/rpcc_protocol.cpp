@@ -82,6 +82,27 @@ std::vector<rpcc_protocol::relay_snapshot> rpcc_protocol::relay_snapshots() cons
   return out;
 }
 
+std::vector<std::pair<node_id, sim_time>> rpcc_protocol::item_leases(
+    item_id item) const {
+  std::vector<std::pair<node_id, sim_time>> out;
+  const auto& relays = source_state_.at(item).relays;
+  for (const node_id n : sorted_keys(relays)) {
+    out.emplace_back(n, relays.at(n));
+  }
+  return out;
+}
+
+void rpcc_protocol::install_copy(node_id self, const cached_copy& fresh) {
+  const auto evicted = store(self).put(fresh);
+  if (!evicted) return;
+  const peer_item_state* st = find_state(self, *evicted);
+  if (st == nullptr || st->role == peer_role::cache) return;
+  // The LRU replacement orphaned a relay/candidate role for the evicted
+  // item: demote and release the source-side lease.
+  set_role(self, *evicted, peer_role::cache);
+  send_cancel(self, *evicted);
+}
+
 void rpcc_protocol::integrate_relay_count() {
   relay_integral_ +=
       static_cast<double>(relay_count_) * (sim().now() - relay_last_change_);
@@ -172,12 +193,7 @@ void rpcc_protocol::window_check() {
           demote = last_contact + params_.relay_lease <= now();
         }
         if (!demote) continue;
-        if (node_up(n)) {
-          auto payload = std::make_shared<item_msg>();
-          payload->item = item;
-          send(n, registry().source(item), kind_cancel, std::move(payload),
-               control_bytes());
-        }
+        send_cancel(n, item);
         set_role(n, item, peer_role::cache);
       } else if (st.role == peer_role::candidate && !qualifies) {
         set_role(n, item, peer_role::cache);
@@ -253,6 +269,18 @@ void rpcc_protocol::on_unicast(node_id self, const packet& p) {
     case kind_poll_ack_b:
       cache_on_poll_ack(self, p);
       return;
+    case kind_poll: {
+      // Hardened-mode direct poll: a cache node whose flood rings all went
+      // unanswered unicasts its POLL straight at the source host.
+      const auto* msg = payload_cast<poll_msg>(p);
+      assert(msg != nullptr);
+      if (registry().source(msg->item) == self) {
+        source_answer_poll(self, msg->item, msg->asker, msg->asker_version);
+      } else {
+        relay_answer_poll(self, msg->item, msg->asker, msg->asker_version);
+      }
+      return;
+    }
     default:
       return;
   }

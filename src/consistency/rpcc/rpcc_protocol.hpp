@@ -56,6 +56,29 @@ struct rpcc_params {
   /// item; the source ignores APPLY messages beyond it. 0 = unlimited.
   std::size_t max_relays_per_item = 0;
   coefficient_params coeff;
+
+  /// Chaos-hardening mode (off by default so the pinned determinism goldens
+  /// are untouched). When on:
+  ///  - POLL retries back off exponentially with deterministic jitter drawn
+  ///    from the named "rpcc.retry_jitter" stream;
+  ///  - a poll round that exhausts its flood retries degrades gracefully to
+  ///    one direct unicast POLL at the source host before giving up;
+  ///  - GET_NEW and APPLY get bounded retry timers (a lost handshake leg no
+  ///    longer strands a relay in a stale or half-registered state);
+  ///  - CANCEL is retransmitted blindly cancel_retransmits extra times.
+  bool hardened = false;
+  sim_duration apply_timeout = 4.0;    ///< APPLY -> APPLY_ACK wait
+  int apply_max_retries = 2;
+  sim_duration get_new_timeout = 4.0;  ///< GET_NEW -> SEND_NEW wait
+  int get_new_max_retries = 2;
+  int cancel_retransmits = 1;          ///< extra blind CANCEL copies
+  sim_duration retry_backoff_cap = 30.0;  ///< ceiling on backed-off timeouts
+
+  /// Deliberately injectable consistency bug for fuzzer self-tests: the
+  /// relay skips the resync (GET_NEW) when an INVALIDATION reveals a version
+  /// gap and renews TTR as if it were current — it then serves the stale
+  /// copy as validated until demotion. Never enable outside tests.
+  bool bug_skip_resync = false;
 };
 
 class rpcc_protocol final : public consistency_protocol {
@@ -92,6 +115,11 @@ class rpcc_protocol final : public consistency_protocol {
     bool registered = false;  ///< source holds a live lease for this relay
   };
   std::vector<relay_snapshot> relay_snapshots() const;
+  /// The source-side lease table for `item` as (holder, lease expiry),
+  /// sorted by holder. Includes expired-but-unpruned entries; callers
+  /// compare the expiry against now. For the invariant checker's
+  /// lease/role mutual-exclusion audit.
+  std::vector<std::pair<node_id, sim_time>> item_leases(item_id item) const;
   coefficient_tracker& coefficients() { return *coeff_; }
   const rpcc_params& params() const { return params_; }
   std::uint64_t promotions() const { return promotions_; }
@@ -137,6 +165,12 @@ class rpcc_protocol final : public consistency_protocol {
     sim_time poll_backoff_until = 0;
     sim_duration current_ttp = 0;  ///< adaptive-TTP window (0 = use params)
     event_handle poll_timer;
+    // Hardened-mode state (all inert unless params.hardened).
+    bool direct_poll = false;  ///< fell back to unicast-polling the source
+    int apply_retries = 0;
+    event_handle apply_timer;   ///< APPLY -> APPLY_ACK handshake watchdog
+    int get_new_retries = 0;
+    event_handle get_new_timer;  ///< GET_NEW -> SEND_NEW watchdog
   };
 
   struct source_item_state {
@@ -166,6 +200,8 @@ class rpcc_protocol final : public consistency_protocol {
                          version_t asker_version);
   void relay_flush_pending_polls(node_id self, item_id item);
   void apply_fresh_copy(node_id self, item_id item, version_t version);
+  void send_get_new(node_id self, item_id item);
+  void on_get_new_timeout(node_id self, item_id item);
 
   // --- cache node side (cache_node.cpp, Fig 6d) ---
   void cache_on_query(node_id n, item_id item, consistency_level level, query_id q);
@@ -178,8 +214,22 @@ class rpcc_protocol final : public consistency_protocol {
   void maybe_become_candidate(node_id self, item_id item);
   void finish_queries(node_id n, item_id item, bool validated);
   void send_apply(node_id self, item_id item);
+  void on_apply_timeout(node_id self, item_id item);
+  void send_cancel(node_id self, item_id item);
+  /// Hardened-mode timeout: base * 2^retries with deterministic jitter in
+  /// [0.75, 1.25), capped at retry_backoff_cap. Plain base when not hardened.
+  sim_duration poll_wait_base(sim_duration base, int retries);
+  sim_duration poll_wait(int retries) {
+    return poll_wait_base(params_.poll_timeout, retries);
+  }
 
   // --- shared glue (rpcc_protocol.cpp) ---
+  /// Puts a copy into the node's LRU store. If the insert evicts another
+  /// item for which this node holds a relay/candidate role, the role is
+  /// demoted and the lease CANCELed: without a copy the relay cannot serve
+  /// polls, and a lingering TTR deadline would be freshness without
+  /// evidence (invariant 3).
+  void install_copy(node_id self, const cached_copy& fresh);
   void set_role(node_id n, item_id item, peer_role r);
   void window_check();
   peer_item_state& state(node_id n, item_id item);
@@ -200,6 +250,7 @@ class rpcc_protocol final : public consistency_protocol {
   std::uint64_t demotions_ = 0;
   std::uint64_t polls_sent_ = 0;
   std::uint64_t unvalidated_answers_ = 0;
+  std::uint64_t jitter_seq_ = 0;  ///< "rpcc.retry_jitter" stream cursor
 };
 
 }  // namespace manet

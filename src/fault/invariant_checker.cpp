@@ -39,7 +39,8 @@ void invariant_checker::start() {
 void invariant_checker::record(std::string what) {
   ++violations_;
   sim_.logf(log_level::warn, "invariant violated: %s", what.c_str());
-  if (recorded_.size() < cfg_.max_recorded) recorded_.push_back(std::move(what));
+  if (recorded_.size() < cfg_.max_recorded) recorded_.push_back(what);
+  if (cfg_.strict) throw invariant_violation_error(what);
 }
 
 void invariant_checker::sweep() {
@@ -63,10 +64,12 @@ void invariant_checker::check_versions() {
     }
     last_master_[d] = master;
   }
+  std::map<std::pair<node_id, item_id>, version_t> copies_now;
   for (node_id n = 0; n < stores_.size(); ++n) {
     for (item_id d : stores_[n].items()) {
       const cached_copy* copy = stores_[n].find(d);
-      if (copy != nullptr && copy->version > registry_.version(d)) {
+      if (copy == nullptr) continue;
+      if (copy->version > registry_.version(d)) {
         std::snprintf(buf, sizeof buf,
                       "node %zu caches item %zu at version %llu > master %llu",
                       static_cast<std::size_t>(n), static_cast<std::size_t>(d),
@@ -74,8 +77,22 @@ void invariant_checker::check_versions() {
                       static_cast<unsigned long long>(registry_.version(d)));
         record(buf);
       }
+      // Invariant 6: a resident copy never moves backwards — reconnect,
+      // refresh and relay-promotion paths all install with >= guards.
+      const auto key = std::make_pair(n, d);
+      const auto prev = last_copy_.find(key);
+      if (prev != last_copy_.end() && copy->version < prev->second) {
+        std::snprintf(buf, sizeof buf,
+                      "node %zu copy of item %zu went backwards: %llu -> %llu",
+                      static_cast<std::size_t>(n), static_cast<std::size_t>(d),
+                      static_cast<unsigned long long>(prev->second),
+                      static_cast<unsigned long long>(copy->version));
+        record(buf);
+      }
+      copies_now[key] = copy->version;
     }
   }
+  last_copy_ = std::move(copies_now);
 }
 
 void invariant_checker::check_rpcc() {
@@ -150,28 +167,77 @@ void invariant_checker::check_rpcc() {
     }
   }
   unregistered_since_ = std::move(still_tracked);
+
+  // Invariant 7: the source's lease table is mutually consistent with the
+  // holders' roles. The cap is absolute (the source enforces it on APPLY);
+  // a live lease whose holder believes it is a plain cache node must die
+  // within one lease term, because demotion CANCELs and only relays or
+  // candidates send the APPLY renewals that extend a lease.
+  std::map<std::pair<node_id, item_id>, sim_time> phantom_now;
+  const sim_duration phantom_bound = p.relay_lease + cfg_.interval + cfg_.slack;
+  for (item_id d = 0; d < registry_.size(); ++d) {
+    const auto leases = rpcc_->item_leases(d);
+    std::size_t live = 0;
+    for (const auto& [holder, expiry] : leases) {
+      if (expiry <= now) continue;
+      ++live;
+      if (rpcc_->role_of(holder, d) != rpcc_protocol::peer_role::cache) {
+        continue;
+      }
+      const node_id src = registry_.source(d);
+      if (!net_.at(holder).up() || !net_.at(src).up()) continue;
+      if (net_.hop_distance(holder, src) < 0) continue;
+      const auto key = std::make_pair(holder, d);
+      const auto it = phantom_since_.find(key);
+      const sim_time since = it == phantom_since_.end() ? now : it->second;
+      if (now - since > phantom_bound) {
+        std::snprintf(buf, sizeof buf,
+                      "source %zu holds a live lease for node %zu on item %zu "
+                      "but the holder is a plain cache (phantom for %.0fs)",
+                      static_cast<std::size_t>(src),
+                      static_cast<std::size_t>(holder),
+                      static_cast<std::size_t>(d), now - since);
+        record(buf);
+        phantom_now[key] = now;  // re-arm instead of repeating every sweep
+      } else {
+        phantom_now[key] = since;
+      }
+    }
+    if (p.max_relays_per_item > 0 && live > p.max_relays_per_item) {
+      std::snprintf(buf, sizeof buf,
+                    "item %zu has %zu live relay leases > cap %zu",
+                    static_cast<std::size_t>(d), live, p.max_relays_per_item);
+      record(buf);
+    }
+  }
+  phantom_since_ = std::move(phantom_now);
 }
 
 void invariant_checker::on_answer(const answer_record& ar) {
   // Invariant 5: validated strong answers must not be staler than the
   // protocol's worst-case push+pull lag while the source is reachable.
-  if (ar.level != consistency_level::strong || !ar.validated || !ar.stale) {
-    return;
-  }
+  // Delta answers get the same audit with the Δ window added on top: a
+  // validated delta-level answer still comes from the relay chain, so the
+  // hazard bound plus the tolerated Δ is the honest worst case.
+  const bool strong = ar.level == consistency_level::strong;
+  const bool delta =
+      ar.level == consistency_level::delta && cfg_.delta_bound >= 0;
+  if ((!strong && !delta) || !ar.validated || !ar.stale) return;
   if (rpcc_ == nullptr) return;
   const rpcc_params& p = rpcc_->params();
   const double ttn_scale = p.adaptive_ttn ? p.adaptive_max_factor : 1.0;
   const double ttp_scale = p.adaptive_ttp ? p.adaptive_max_factor : 1.0;
-  const sim_duration bound = p.ttn * ttn_scale + p.ttr * std::max(1.0, ttn_scale) +
-                             p.ttp * ttp_scale + cfg_.slack;
+  sim_duration bound = p.ttn * ttn_scale + p.ttr * std::max(1.0, ttn_scale) +
+                       p.ttp * ttp_scale + cfg_.slack;
+  if (delta) bound += cfg_.delta_bound;
   if (ar.stale_age <= bound) return;
   const node_id src = registry_.source(ar.item);
   if (net_.hop_distance(ar.node, src) < 0) return;  // source unreachable
   char buf[200];
   std::snprintf(buf, sizeof buf,
-                "node %zu answered SC query for item %zu validated but %.0fs "
+                "node %zu answered %s query for item %zu validated but %.0fs "
                 "stale (bound %.0fs) with source %zu reachable",
-                static_cast<std::size_t>(ar.node),
+                static_cast<std::size_t>(ar.node), strong ? "SC" : "DC",
                 static_cast<std::size_t>(ar.item), ar.stale_age, bound,
                 static_cast<std::size_t>(src));
   record(buf);

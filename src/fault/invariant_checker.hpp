@@ -23,13 +23,27 @@
 //      steady-state hazard bound ttn + ttr + ttp (each term at its adaptive
 //      ceiling). Validated SC answers come from relay copies inside TTR;
 //      such a copy can only be that stale if the push chain silently broke.
+//      Delta-level queries get the same audit with the Δ window added on
+//      top of the hazard bound.
+//   6. Cached copies are version-monotonic: while a copy stays resident
+//      (including across node down/up cycles — every install path is
+//      guarded >=), its version never decreases. Eviction resets tracking.
+//   7. Relay leases are mutually consistent with roles: the source never
+//      holds more live leases than max_relays_per_item allows, and a live
+//      lease whose holder believes it is a plain cache node (a "phantom"
+//      lease) must die within one lease term — demotion CANCELs and the
+//      absence of APPLY renewals guarantee it; persistence past
+//      relay_lease means something renewed a lease the holder disowned.
 // Violations are counted, logged at warn level, and kept (capped) for
-// reports and test assertions.
+// reports and test assertions. In strict mode the first violation also
+// throws invariant_violation_error, aborting the run — tier-1 tests and
+// the chaos fuzzer's replay mode run strict so a regression fails loudly.
 #ifndef MANET_FAULT_INVARIANT_CHECKER_HPP
 #define MANET_FAULT_INVARIANT_CHECKER_HPP
 
 #include <cstdint>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -49,6 +63,19 @@ struct invariant_checker_config {
   sim_duration interval = 5.0;    ///< periodic sweep cadence
   sim_duration slack = 1.0;       ///< timing slack on deadline bounds
   std::size_t max_recorded = 16;  ///< descriptions kept for reports
+  /// Fail-stop mode: every violation still logs and counts, then throws
+  /// invariant_violation_error out of the run loop.
+  bool strict = false;
+  /// Δ window for auditing delta-level answers (invariant 5); < 0 disables
+  /// the extra delta audit. Scenarios pass the same Δ the query log uses.
+  sim_duration delta_bound = -1;
+};
+
+/// Thrown by strict-mode checkers on the first violation; carries the
+/// violation description.
+class invariant_violation_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
 };
 
 class invariant_checker {
@@ -89,6 +116,12 @@ class invariant_checker {
   /// (relay node, item) -> when it was first seen unregistered while both
   /// ends were up; erased on registration or any down period.
   std::map<std::pair<node_id, item_id>, sim_time> unregistered_since_;
+  /// (node, item) -> last observed cached version; erased on eviction
+  /// (invariant 6: resident copies never move backwards).
+  std::map<std::pair<node_id, item_id>, version_t> last_copy_;
+  /// (node, item) -> when a live source lease was first seen while the
+  /// holder's role says plain cache (invariant 7 phantom-lease clock).
+  std::map<std::pair<node_id, item_id>, sim_time> phantom_since_;
 
   std::uint64_t violations_ = 0;
   std::uint64_t sweeps_ = 0;

@@ -3,8 +3,70 @@
 #include <algorithm>
 #include <cassert>
 #include <cstdio>
+#include <cstring>
 
 namespace manet {
+
+namespace {
+
+std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a(h, &v, sizeof v);
+}
+
+std::uint64_t mix_double(std::uint64_t h, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  return mix_u64(h, bits);
+}
+
+}  // namespace
+
+std::uint64_t run_result_digest(const run_result& r) {
+  // Field order is part of the pinned-golden contract: append new fields at
+  // the end and re-pin; never reorder.
+  std::uint64_t h = 14695981039346656037ULL;
+  h = fnv1a(h, r.protocol.data(), r.protocol.size());
+  h = mix_double(h, r.sim_time);
+  h = mix_u64(h, r.total_messages);
+  h = mix_u64(h, r.app_messages);
+  h = mix_u64(h, r.routing_messages);
+  h = mix_u64(h, r.total_bytes);
+  h = mix_u64(h, r.queries_issued);
+  h = mix_u64(h, r.queries_answered);
+  h = mix_double(h, r.avg_query_latency_s);
+  h = mix_double(h, r.p95_query_latency_s);
+  h = mix_u64(h, r.stale_answers);
+  h = mix_u64(h, r.delta_violations);
+  h = mix_double(h, r.avg_stale_age_s);
+  h = mix_u64(h, r.updates);
+  h = mix_u64(h, r.drops_total);
+  h = mix_u64(h, r.drops_node_down);
+  h = mix_u64(h, r.drops_out_of_range);
+  h = mix_u64(h, r.drops_channel_loss);
+  h = mix_u64(h, r.drops_collision);
+  h = mix_u64(h, r.drops_no_route);
+  h = mix_u64(h, r.drops_ttl_expired);
+  h = mix_u64(h, r.drops_queue_flushed);
+  h = mix_u64(h, r.fault_episodes);
+  h = mix_u64(h, r.fault_recovered);
+  h = mix_double(h, r.mean_reconvergence_s);
+  h = mix_double(h, r.mean_relay_repair_s);
+  h = mix_double(h, r.mean_stale_window_s);
+  h = mix_u64(h, r.invariant_violations);
+  h = mix_double(h, r.energy_spent_j);
+  h = mix_double(h, r.max_node_energy_spent_j);
+  h = mix_double(h, r.avg_relay_peers);
+  return h;
+}
 
 table_printer::table_printer(std::vector<std::string> headers)
     : headers_(std::move(headers)) {}

@@ -81,6 +81,13 @@ struct run_result {
   }
 };
 
+/// Order- and field-complete FNV-1a digest of a run_result's named fields
+/// (the stable determinism contract; the open-ended `metrics` snapshot is
+/// excluded). Doubles are hashed by exact bit pattern: the contract is
+/// bit-equality, not epsilon-closeness. Used by the pinned-golden
+/// determinism tests and the chaos fuzzer's replay verification.
+std::uint64_t run_result_digest(const run_result& r);
+
 /// Minimal fixed-width table printer used by benches and examples.
 class table_printer {
  public:

@@ -96,6 +96,9 @@ scenario_params scenario_params::from_config(const config& cfg) {
   p.fault = cfg.get_string("fault", p.fault);
   p.invariants = cfg.get_bool("invariants", p.invariants);
   p.invariant_interval = cfg.get_double("invariant_interval", p.invariant_interval);
+  p.invariant_strict = cfg.get_bool("invariant_strict", p.invariant_strict);
+  p.hardened = cfg.get_bool("hardened", p.hardened);
+  p.chaos_bug = cfg.get_string("chaos_bug", p.chaos_bug);
   return p;
 }
 
@@ -157,6 +160,9 @@ void scenario_params::to_config(config& cfg) const {
   if (!fault.empty()) cfg.set("fault", fault);
   cfg.set("invariants", invariants);
   cfg.set("invariant_interval", invariant_interval);
+  cfg.set("invariant_strict", invariant_strict);
+  cfg.set("hardened", hardened);
+  if (!chaos_bug.empty()) cfg.set("chaos_bug", chaos_bug);
 }
 
 std::string scenario_params::describe() const {

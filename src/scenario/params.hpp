@@ -120,6 +120,19 @@ struct scenario_params {
   // benches may disable it to shave the periodic sweeps.
   bool invariants = true;
   sim_duration invariant_interval = 5.0;
+  // Strict invariants: the first violation throws invariant_violation_error
+  // out of the run instead of merely counting. Only consulted when the
+  // checker itself is on.
+  bool invariant_strict = true;
+
+  // Chaos-hardening mode: protocols add bounded retries with deterministic
+  // exponential backoff + jitter, handshake watchdogs, and graceful
+  // degradation to direct source polling. Off by default so pinned
+  // determinism goldens are untouched.
+  bool hardened = false;
+  // Deliberately injected consistency bug for fuzzer self-tests (empty =
+  // none). Known names: "rpcc_skip_resync". Unknown names are rejected.
+  std::string chaos_bug;
 
   /// Builds from "key=value" config entries (unknown keys ignored so config
   /// objects can be shared with bench flags). See params.cpp for key names.

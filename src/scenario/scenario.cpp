@@ -23,6 +23,11 @@ namespace manet {
 std::unique_ptr<consistency_protocol> make_protocol(const std::string& name,
                                                     protocol_context ctx,
                                                     const scenario_params& p) {
+  if (!p.chaos_bug.empty() &&
+      !(name == "rpcc" && p.chaos_bug == "rpcc_skip_resync")) {
+    throw std::runtime_error("unknown chaos_bug '" + p.chaos_bug +
+                             "' for protocol " + name);
+  }
   if (name == "push") {
     push_params pp;
     pp.ttn = p.ttn;
@@ -34,6 +39,7 @@ std::unique_ptr<consistency_protocol> make_protocol(const std::string& name,
     pull_params pp;
     pp.poll_ttl = p.ttl_br;
     pp.validity = p.ttp;
+    pp.hardened = p.hardened;
     return std::make_unique<pull_protocol>(ctx, pp);
   }
   if (name == "push_pull") {
@@ -41,6 +47,7 @@ std::unique_ptr<consistency_protocol> make_protocol(const std::string& name,
     hp.ttn = p.ttn;
     hp.inv_ttl = p.ttl_br;
     hp.validity = p.ttp;
+    hp.hardened = p.hardened;
     return std::make_unique<hybrid_protocol>(ctx, hp);
   }
   if (name == "rpcc") {
@@ -61,6 +68,8 @@ std::unique_ptr<consistency_protocol> make_protocol(const std::string& name,
     rp.coeff.mu_cs = p.mu_cs;
     rp.coeff.mu_ce = p.mu_ce;
     rp.coeff.subnet_cell = p.subnet_cell;
+    rp.hardened = p.hardened;
+    rp.bug_skip_resync = p.chaos_bug == "rpcc_skip_resync";
     return std::make_unique<rpcc_protocol>(ctx, rp);
   }
   throw std::runtime_error("unknown protocol '" + name +
@@ -326,6 +335,9 @@ void scenario::build() {
   if (params_.invariants) {
     invariant_checker::config icfg;
     icfg.interval = params_.invariant_interval;
+    icfg.strict = params_.invariant_strict;
+    // Audit delta answers against the same Δ window the query log scores.
+    icfg.delta_bound = params_.ttp;
     checker_ = std::make_unique<invariant_checker>(
         *sim_, *net_, registry_, stores_, protocol_.get(), qlog_.get(), icfg);
   }

@@ -44,9 +44,8 @@ int resolve_jobs(int jobs) {
   return hw > 0 ? static_cast<int>(hw) : 1;
 }
 
-/// Runs fn(0..count-1) on up to `jobs` threads. fn must be safe to call
-/// concurrently for distinct indices. The first exception thrown by any
-/// worker is rethrown on the calling thread after all workers join.
+}  // namespace
+
 void parallel_for(std::size_t count, int jobs,
                   const std::function<void(std::size_t)>& fn) {
   const int n_threads = std::min<std::size_t>(
@@ -74,8 +73,6 @@ void parallel_for(std::size_t count, int jobs,
   for (auto& th : pool) th.join();
   if (error) std::rethrow_exception(error);
 }
-
-}  // namespace
 
 std::uint64_t sweep_run_seed(std::uint64_t base_seed, std::size_t x_index,
                              std::size_t variant_index, int rep) {

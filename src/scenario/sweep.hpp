@@ -55,6 +55,15 @@ struct sweep_spec {
   std::function<void(const std::string& variant, double x, int rep)> progress;
 };
 
+/// Runs fn(0..count-1) on up to `jobs` worker threads (0 = all hardware
+/// threads). fn must be safe to call concurrently for distinct indices. The
+/// first exception thrown by any worker is rethrown on the calling thread
+/// after all workers join. Callers that store results by index get output
+/// independent of the jobs value. Shared by the sweep runner and the chaos
+/// fuzzer.
+void parallel_for(std::size_t count, int jobs,
+                  const std::function<void(std::size_t)>& fn);
+
 /// Per-run seed, derived by hashing (base_seed, x index, variant index, rep)
 /// with a splitmix64 chain. The previous base+rep scheme collided across the
 /// whole grid: every (x, variant) pair replayed the same seeds, so

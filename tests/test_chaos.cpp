@@ -1,0 +1,253 @@
+// Chaos subsystem: seeded schedule generation, end-of-run oracles, the fuzz
+// runner with delta-debugging minimization and replayable repro files, and
+// the protocol hardening the fuzzer exercises (reconnect backoff reset,
+// strict invariants, the deliberately injected consistency bug).
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_schedule.hpp"
+#include "chaos/fuzzer.hpp"
+#include "chaos/oracles.hpp"
+#include "fault/fault_plan.hpp"
+#include "fault/invariant_checker.hpp"
+#include "scenario/scenario.hpp"
+
+namespace manet {
+namespace {
+
+scenario_params chaos_base() {
+  scenario_params p;
+  p.n_peers = 16;
+  p.area_width = p.area_height = 1000;
+  p.cache_num = 5;
+  p.sim_time = 900.0;
+  p.warmup = 0;
+  p.i_query = 15;
+  p.i_update = 60;
+  p.ttn = 60;
+  p.ttr = 45;
+  p.ttp = 120;
+  p.seed = 42;
+  p.hardened = true;
+  return p;
+}
+
+// --- Schedule generation ---------------------------------------------------
+
+TEST(ChaosSchedule, SameSeedSameSchedule) {
+  const scenario_params base = chaos_base();
+  const chaos_schedule a = generate_chaos(base, 7);
+  const chaos_schedule b = generate_chaos(base, 7);
+  EXPECT_EQ(a.params.fault, b.params.fault);
+  EXPECT_EQ(a.params.i_query, b.params.i_query);
+  EXPECT_EQ(a.params.i_update, b.params.i_update);
+  EXPECT_EQ(a.params.loss_probability, b.params.loss_probability);
+  EXPECT_EQ(a.params.min_speed, b.params.min_speed);
+  EXPECT_EQ(a.params.max_speed, b.params.max_speed);
+  EXPECT_EQ(render_fault_spec(a.events), render_fault_spec(b.events));
+  EXPECT_FALSE(a.events.empty());
+}
+
+TEST(ChaosSchedule, DifferentSeedsExploreDifferentSchedules) {
+  const scenario_params base = chaos_base();
+  std::set<std::string> specs;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    specs.insert(generate_chaos(base, seed).params.fault);
+  }
+  EXPECT_GT(specs.size(), 4u);
+}
+
+TEST(ChaosSchedule, RenderedSpecSurvivesParseRoundTrip) {
+  const scenario_params base = chaos_base();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const chaos_schedule sched = generate_chaos(base, seed);
+    const std::string spec = render_fault_spec(sched.events);
+    EXPECT_EQ(spec, sched.params.fault);
+    const fault_plan plan = fault_plan::parse(spec);
+    // Full fidelity: re-rendering the parsed plan reproduces the string
+    // (this is what lets the minimizer edit events and refresh the spec).
+    EXPECT_EQ(render_fault_spec(plan.events), spec) << "seed " << seed;
+  }
+}
+
+TEST(ChaosSchedule, QuietTailLeavesRoomAfterLastHeal) {
+  const scenario_params base = chaos_base();
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const chaos_schedule sched = generate_chaos(base, seed);
+    for (const fault_event& e : sched.events) {
+      EXPECT_LT(e.end, base.sim_time) << "seed " << seed;
+    }
+  }
+}
+
+// --- Partition-then-heal convergence oracle (all four protocols) -----------
+
+TEST(ChaosOracles, PartitionThenHealConvergesForAllProtocols) {
+  for (const char* proto : {"push", "pull", "push_pull", "rpcc"}) {
+    scenario_params p = chaos_base();
+    p.fault = "partition@300..450";
+    scenario sc(p, proto);
+    sc.run();
+    const oracle_report rep = evaluate_end_oracles(sc);
+    EXPECT_TRUE(rep.ok()) << proto << ":\n" << rep.describe();
+  }
+}
+
+TEST(ChaosOracles, CrashThenHealConvergesHardened) {
+  for (const char* proto : {"pull", "push_pull", "rpcc"}) {
+    scenario_params p = chaos_base();
+    p.fault = "crash:g0-g4@300..420";
+    scenario sc(p, proto);
+    sc.run();
+    const oracle_report rep = evaluate_end_oracles(sc);
+    EXPECT_TRUE(rep.ok()) << proto << ":\n" << rep.describe();
+  }
+}
+
+// --- Reconnect backoff reset (pull / hybrid hardening regression) ----------
+
+// Hardened retry backoff is seeded from named jitter streams and all
+// per-node poll/backoff state is reset when a node reconnects. If any of
+// that state leaked across a down/up cycle nondeterministically, a repeated
+// faulted run would diverge — this pins both runs bit-identical.
+TEST(ChaosHardening, ReconnectBackoffResetIsDeterministic) {
+  for (const char* proto : {"pull", "push_pull"}) {
+    scenario_params p = chaos_base();
+    p.fault = "crash:g0-g7@200..300;crash:g4-g11@400..500";
+    run_result first;
+    {
+      scenario sc(p, proto);
+      first = sc.run();
+    }
+    scenario sc(p, proto);
+    const run_result second = sc.run();
+    EXPECT_EQ(run_result_digest(first), run_result_digest(second)) << proto;
+    EXPECT_GT(first.queries_answered, 0u) << proto;
+    const oracle_report rep = evaluate_end_oracles(sc);
+    EXPECT_TRUE(rep.ok()) << proto << ":\n" << rep.describe();
+  }
+}
+
+TEST(ChaosHardening, HardenedTogglesChangeRunButStayDeterministic) {
+  scenario_params p = chaos_base();
+  p.fault = "partition@300..450";
+  p.hardened = false;
+  run_result soft;
+  {
+    scenario sc(p, "rpcc");
+    soft = sc.run();
+  }
+  p.hardened = true;
+  scenario sc(p, "rpcc");
+  const run_result hard = sc.run();
+  // Hardening must not silently be a no-op: retry pacing differs.
+  EXPECT_NE(run_result_digest(soft), run_result_digest(hard));
+}
+
+// --- Fuzz runner -----------------------------------------------------------
+
+TEST(ChaosFuzz, CleanSweepIsJobsInvariant) {
+  fuzz_options opt;
+  opt.base = chaos_base();
+  opt.base.sim_time = 600.0;
+  opt.protocol = "rpcc";
+  opt.first_seed = 0;
+  opt.seeds = 4;
+  opt.minimize = false;
+
+  opt.jobs = 1;
+  const fuzz_result serial = run_fuzz(opt);
+  opt.jobs = 3;
+  const fuzz_result parallel = run_fuzz(opt);
+
+  ASSERT_EQ(serial.digests.size(), 4u);
+  EXPECT_EQ(serial.digests, parallel.digests);
+  EXPECT_TRUE(serial.ok()) << serial.failures.size() << " failing seed(s), "
+                           << "first report:\n"
+                           << (serial.failures.empty()
+                                   ? std::string()
+                                   : serial.failures[0].report.describe());
+  EXPECT_TRUE(parallel.ok());
+}
+
+// The acceptance demo: a deliberately injected consistency bug (the relay
+// skips the version-gap resync on INVALIDATION) must be caught by an
+// oracle, minimized to a smaller schedule, written as a repro file, and the
+// repro must replay bit-identically.
+TEST(ChaosFuzz, InjectedBugIsCaughtMinimizedAndReplays) {
+  fuzz_options opt;
+  opt.base = chaos_base();
+  opt.base.chaos_bug = "rpcc_skip_resync";
+  opt.base.i_update = 45;
+  opt.protocol = "rpcc";
+  opt.first_seed = 0;
+  opt.seeds = 6;
+  opt.jobs = 0;  // all hardware threads; result is jobs-invariant
+  opt.minimize = true;
+
+  const fuzz_result res = run_fuzz(opt);
+  ASSERT_FALSE(res.ok())
+      << "injected rpcc_skip_resync bug escaped all " << opt.seeds
+      << " chaos seeds";
+  const fuzz_failure& f = res.failures.front();
+  EXPECT_FALSE(f.report.ok());
+  // (The minimizer may legitimately shrink the schedule to zero fault
+  // episodes: with the injected bug, plain loss/mobility already opens the
+  // version gap the skipped resync then never closes.)
+
+  // The minimized schedule still fails, and is written + replayed
+  // bit-identically (digest recorded at fuzz time == digest at replay).
+  const std::string dir = ::testing::TempDir() + "chaos-repros";
+  const std::string path = write_repro(f, opt.protocol, dir);
+  const replay_result rr = replay_repro(path);
+  EXPECT_TRUE(rr.failure_reproduced) << rr.report.describe();
+  EXPECT_TRUE(rr.digest_matched)
+      << "fuzz-time digest " << f.digest << " != replay digest " << rr.digest;
+
+  // Strict mode turns the same run into a loud failure: when the runtime
+  // checker itself saw the violation, rerunning strict throws.
+  bool runtime_caught = false;
+  for (const oracle_violation& v : f.report.violations) {
+    if (v.oracle == "invariants") runtime_caught = true;
+  }
+  if (runtime_caught) {
+    scenario_params strict = f.schedule.params;
+    strict.invariant_strict = true;
+    scenario sc(strict, "rpcc");
+    EXPECT_THROW(sc.run(), invariant_violation_error);
+  }
+}
+
+TEST(ChaosFuzz, MinimizationOnlyShrinksTheSchedule) {
+  fuzz_options opt;
+  opt.base = chaos_base();
+  opt.base.chaos_bug = "rpcc_skip_resync";
+  opt.base.i_update = 45;
+  // Driving schedules by hand below, outside run_fuzz's non-strict sweep:
+  // keep the runtime checker counting instead of throwing.
+  opt.base.invariant_strict = false;
+  const fuzz_result res = [&] {
+    fuzz_options probe = opt;
+    probe.seeds = 6;
+    probe.jobs = 0;
+    probe.minimize = false;
+    return run_fuzz(probe);
+  }();
+  ASSERT_FALSE(res.ok());
+  const std::uint64_t seed = res.failures.front().chaos_seed;
+  const chaos_schedule original = generate_chaos(opt.base, seed);
+  const chaos_schedule minimized =
+      minimize_failure(original, opt.base, "rpcc");
+  EXPECT_LE(minimized.events.size(), original.events.size());
+  for (const fault_event& e : minimized.events) {
+    EXPECT_GE(e.end - e.start, 4.0);
+  }
+  // The minimized schedule still fails its oracle check.
+  EXPECT_FALSE(run_chaos(minimized, "rpcc").report.ok());
+}
+
+}  // namespace
+}  // namespace manet

@@ -73,6 +73,29 @@ TEST(Detlint, SuppressionsSilenceCoveredRulesOnly) {
   EXPECT_EQ(got, want);
 }
 
+TEST(Detlint, ChaosFuzzFixtureFiresDET007AtExactLines) {
+  const auto got = line_rules(scan_fixtures(), "chaos_fuzz_rng.cpp");
+  const std::multiset<std::pair<int, std::string>> want = {
+      {14, "DET007"},  // std::mt19937 with a literal seed
+      {15, "DET007"},  // manet-style rng seeded from a literal
+      // line 16 (derive_seed-named stream) is clean; line 18 is suppressed
+  };
+  EXPECT_EQ(got, want);
+}
+
+TEST(Detlint, DET007IsScopedToChaosAndFuzzPaths) {
+  const std::string text = "std::mt19937 gen(123);\n";
+  const std::vector<std::string> no_names;
+  // Outside chaos/fuzz scope: a literal-seeded std engine is DET007-silent
+  // (DET002 only covers default-seeded engines).
+  EXPECT_TRUE(detlint::scan_text("src/net/foo.cpp", text, no_names, {}).empty());
+  // Same line under a chaos path: DET007 fires.
+  auto fs = detlint::scan_text("src/chaos/foo.cpp", text, no_names, {});
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "DET007");
+  EXPECT_EQ(fs[0].line, 1);
+}
+
 TEST(Detlint, CleanFixtureProducesNoFindings) {
   EXPECT_TRUE(line_rules(scan_fixtures(), "clean.cpp").empty());
 }

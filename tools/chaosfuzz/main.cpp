@@ -1,0 +1,162 @@
+// chaosfuzz — deterministic chaos fuzzing of the consistency protocols.
+//
+//   chaosfuzz [--seeds=N] [--start-seed=N] [--jobs=N] [--protocol=NAME]
+//             [--no-minimize] [--repro-dir=DIR] [--inject-bug=NAME]
+//             [key=value ...]
+//   chaosfuzz --replay=FILE
+//
+// Sweeps chaos seeds over a hardened base scenario, judges each run with
+// the end-of-run oracles, minimizes failures by delta-debugging and writes
+// replayable repro files. Exit status 1 when any seed fails (or a replay
+// does not reproduce), 0 otherwise. Runs are bit-identical for a given
+// (scenario, chaos_seed) at any --jobs value.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "chaos/fuzzer.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: chaosfuzz [--seeds=N] [--start-seed=N] [--jobs=N]\n"
+      "                 [--protocol=push|pull|push_pull|rpcc] [--no-minimize]\n"
+      "                 [--repro-dir=DIR] [--inject-bug=NAME] [key=value ...]\n"
+      "       chaosfuzz --replay=FILE\n");
+}
+
+bool flag_value(const std::string& arg, const char* name, std::string& out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace manet;
+
+  std::string replay_path;
+  std::string repro_dir = "chaos-repros";
+  std::string protocol = "rpcc";
+  std::string inject_bug;
+  std::uint64_t start_seed = 0;
+  int seeds = 50;
+  int jobs = 1;
+  bool minimize = true;
+
+  // --flags first, then plain key=value tokens become scenario overrides
+  // (config::parse_args would otherwise eat "--seeds=200" as a key).
+  config overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      const char* const one[] = {argv[i]};
+      if (overrides.parse_args(1, one).empty()) continue;
+      std::fprintf(stderr, "chaosfuzz: unknown argument '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+    std::string v;
+    if (flag_value(arg, "--seeds", v)) {
+      seeds = std::atoi(v.c_str());
+    } else if (flag_value(arg, "--start-seed", v)) {
+      start_seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag_value(arg, "--jobs", v)) {
+      jobs = std::atoi(v.c_str());
+    } else if (flag_value(arg, "--protocol", v)) {
+      protocol = v;
+    } else if (flag_value(arg, "--repro-dir", v)) {
+      repro_dir = v;
+    } else if (flag_value(arg, "--replay", v)) {
+      replay_path = v;
+    } else if (flag_value(arg, "--inject-bug", v)) {
+      inject_bug = v;
+    } else if (arg == "--no-minimize") {
+      minimize = false;
+    } else if (arg == "--minimize") {
+      minimize = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "chaosfuzz: unknown argument '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    if (!replay_path.empty()) {
+      const replay_result rr = replay_repro(replay_path);
+      std::printf("replay %s: failure %s, digest 0x%llx %s 0x%llx\n",
+                  replay_path.c_str(),
+                  rr.failure_reproduced ? "reproduced" : "NOT reproduced",
+                  static_cast<unsigned long long>(rr.digest),
+                  rr.digest_matched ? "==" : "!=",
+                  static_cast<unsigned long long>(rr.expected_digest));
+      std::fputs(rr.report.describe().c_str(), stdout);
+      return rr.failure_reproduced && rr.digest_matched ? 0 : 1;
+    }
+
+    // Hostile-but-survivable base: small, dense, fast protocol windows so a
+    // 900 s run exercises many invalidation/poll cycles, hardened retries
+    // on, invariant counting on (strict off — the oracles fold the counts
+    // in; a throw would abort the whole sweep instead of failing one seed).
+    fuzz_options opt;
+    opt.base.n_peers = 16;
+    opt.base.cache_num = 5;
+    opt.base.sim_time = 900;
+    opt.base.warmup = 60;
+    opt.base.i_query = 15;
+    opt.base.i_update = 60;
+    opt.base.ttn = 60;
+    opt.base.ttr = 45;
+    opt.base.ttp = 120;
+    opt.base.seed = 42;
+    opt.base.hardened = true;
+    opt.base.invariants = true;
+    opt.base.invariant_strict = false;
+
+    // key=value overrides layer on top of the fuzz defaults.
+    config base_cfg;
+    opt.base.to_config(base_cfg);
+    for (const std::string& k : overrides.keys()) {
+      base_cfg.set(k, overrides.get_string(k, ""));
+    }
+    opt.base = scenario_params::from_config(base_cfg);
+    if (!inject_bug.empty()) opt.base.chaos_bug = inject_bug;
+
+    opt.protocol = protocol;
+    opt.first_seed = start_seed;
+    opt.seeds = seeds;
+    opt.jobs = jobs;
+    opt.minimize = minimize;
+
+    const fuzz_result res = run_fuzz(opt);
+    std::printf("chaosfuzz: protocol=%s seeds=%llu..%llu failures=%zu\n",
+                protocol.c_str(),
+                static_cast<unsigned long long>(start_seed),
+                static_cast<unsigned long long>(start_seed) + res.runs - 1,
+                res.failures.size());
+    for (const fuzz_failure& f : res.failures) {
+      const std::string path = write_repro(f, protocol, repro_dir);
+      std::printf("  seed %llu: %zu oracle violation(s), %zu fault event(s) "
+                  "after minimization -> %s\n",
+                  static_cast<unsigned long long>(f.chaos_seed),
+                  f.report.violations.size(), f.schedule.events.size(),
+                  path.c_str());
+      std::fputs(f.report.describe().c_str(), stdout);
+    }
+    return res.ok() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "chaosfuzz: %s\n", e.what());
+    return 1;
+  }
+}

@@ -567,6 +567,38 @@ std::vector<finding> scan_text(const std::string& path, const std::string& text,
     }
   }
 
+  // --- DET007: chaos/fuzz code must draw from named RNG streams ------------
+  // Fault plans and fuzz sweeps are replayed from (scenario, chaos_seed)
+  // alone, so any generator in chaos/fuzz scope that is not derived from a
+  // named stream (derive_seed / make_rng) silently breaks seed-replay: a
+  // std engine or an ad-hoc literal-seeded manet::rng reproduces until
+  // someone reorders the calls, then every archived repro goes stale.
+  {
+    const std::string norm = normalize_path(path);
+    const bool chaos_scope = norm.find("chaos") != std::string::npos ||
+                             norm.find("fuzz") != std::string::npos;
+    static const std::regex det7_engine(
+        R"(\b(mt19937(_64)?|minstd_rand0?|ranlux(24|48)(_base)?|knuth_b|default_random_engine)\b)");
+    static const std::regex det7_adhoc_rng(R"(\brng\s+\w+\s*[({]\s*\d)");
+    for (std::size_t i = 0; chaos_scope && i < code.size(); ++i) {
+      std::smatch m;
+      if (std::regex_search(code[i], m, det7_engine)) {
+        report(i, "DET007",
+               "std engine '" + m[1].str() +
+                   "' in chaos/fuzz code: chaos runs must be replayable from "
+                   "(scenario, chaos_seed) alone — draw from a named stream "
+                   "via derive_seed()/make_rng() instead");
+      } else if (std::regex_search(code[i], det7_adhoc_rng) &&
+                 code[i].find("derive_seed") == std::string::npos &&
+                 code[i].find("make_rng") == std::string::npos) {
+        report(i, "DET007",
+               "ad-hoc literal-seeded rng in chaos/fuzz code: seed it from a "
+               "named stream via derive_seed()/make_rng() so the run is "
+               "replayable from (scenario, chaos_seed)");
+      }
+    }
+  }
+
   std::stable_sort(out.begin(), out.end(),
                    [](const finding& a, const finding& b) { return a.line < b.line; });
   return out;

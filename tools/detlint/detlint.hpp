@@ -4,7 +4,7 @@
 // least-ordered loop: one iteration over an unordered container that emits
 // packets, one wall-clock read, one pointer-keyed map, and the replay
 // guarantee is gone. detlint is a token/regex scanner (no libclang) that
-// enforces the repo's six determinism rule classes:
+// enforces the repo's seven determinism rule classes:
 //
 //   DET001  iteration over std::unordered_map / std::unordered_set
 //           (range-for or .begin() iterator loops). Extract-and-sort the
@@ -28,6 +28,11 @@
 //           the event kernel recycles slab slots, so a record's address is
 //           neither a stable identity nor ASLR-deterministic — event
 //           identity must travel as event_handle's {slot, generation}.
+//   DET007  ad-hoc RNG construction in chaos/fuzz scope (any path containing
+//           "chaos" or "fuzz"): std engines, or a manet::rng seeded from a
+//           literal instead of derive_seed()/make_rng(). Chaos runs are
+//           replayed from (scenario, chaos_seed) alone, so every generator
+//           there must come from a named stream.
 //
 // Suppressions (reason is mandatory, DET000 fires on a missing one):
 //   code();  // NOLINT-DET(DET001: counter accumulation is order-free)
@@ -48,7 +53,7 @@ namespace detlint {
 struct finding {
   std::string file;     ///< path as given/discovered
   int line = 0;         ///< 1-based
-  std::string rule;     ///< "DET001".."DET006", "DET000" for bad suppressions
+  std::string rule;     ///< "DET001".."DET007", "DET000" for bad suppressions
   std::string message;  ///< human-readable explanation
 };
 

@@ -1,0 +1,22 @@
+// DET007 fixture: RNG discipline in chaos/fuzz scope. This file's path
+// contains "fuzz", so DET007 applies; each specimen's line number is
+// pinned by tests/test_detlint.cpp. Fixtures are scanned, never compiled.
+#include <cstdint>
+#include <random>
+
+std::uint64_t derive_seed(std::uint64_t master, const char* stream);
+struct rng {
+  explicit rng(std::uint64_t seed);
+  double uniform();
+};
+
+int chaos_specimens(std::uint64_t master) {
+  std::mt19937 adhoc_engine(12345);
+  rng adhoc_literal(42);
+  rng named(derive_seed(master, "chaos.plan"));
+  // NOLINTNEXTLINE-DET(DET007: fixture exercises the suppression path)
+  std::mt19937_64 suppressed(7);
+  (void)adhoc_engine;
+  (void)suppressed;
+  return static_cast<int>(adhoc_literal.uniform() + named.uniform());
+}

@@ -1,0 +1,88 @@
+#include "fault/plan_generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace manet {
+
+namespace {
+
+/// Seconds with just enough precision for the plan grammar; trailing zeros
+/// trimmed so generated plans stay readable in reports.
+std::string fmt_time(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", t);
+  std::string s = buf;
+  while (!s.empty() && s.back() == '0') s.pop_back();
+  if (!s.empty() && s.back() == '.') s.pop_back();
+  return s;
+}
+
+void append_event(std::string& plan, const std::string& event) {
+  if (!plan.empty()) plan += ';';
+  plan += event;
+}
+
+}  // namespace
+
+std::string diurnal_churn_plan(const diurnal_churn_options& opt) {
+  if (opt.n_peers <= 0) {
+    throw std::runtime_error("diurnal churn: n_peers must be positive");
+  }
+  if (opt.t_end <= opt.t_begin) {
+    throw std::runtime_error("diurnal churn: t_end must exceed t_begin");
+  }
+  if (opt.period <= 0 || opt.duty <= 0 || opt.duty >= 1) {
+    throw std::runtime_error(
+        "diurnal churn: need period > 0 and duty in (0, 1)");
+  }
+  if (opt.fraction <= 0 || opt.fraction > 1) {
+    throw std::runtime_error("diurnal churn: fraction must be in (0, 1]");
+  }
+  const int block = std::clamp(
+      static_cast<int>(std::lround(opt.fraction * opt.n_peers)), 1,
+      opt.n_peers);
+  std::string plan;
+  int first = 0;
+  for (int cycle = 0;; ++cycle) {
+    const sim_time day = opt.t_begin + static_cast<double>(cycle) * opt.period;
+    const sim_time night = day + (1.0 - opt.duty) * opt.period;
+    if (night >= opt.t_end) break;
+    const sim_time dawn = std::min(day + opt.period, opt.t_end);
+    // Contiguous block (the crash grammar takes one gA-gB range); a block
+    // that would wrap past the last node is clipped at the boundary and the
+    // rotation restarts from node 0 next cycle.
+    const int last = std::min(first + block - 1, opt.n_peers - 1);
+    append_event(plan, "crash:g" + std::to_string(first) + "-g" +
+                           std::to_string(last) + "@" + fmt_time(night) +
+                           ".." + fmt_time(dawn));
+    first = last + 1 >= opt.n_peers ? 0 : last + 1;
+  }
+  return plan;
+}
+
+std::string partition_heal_plan(const partition_heal_options& opt) {
+  if (opt.t_end <= opt.t_begin) {
+    throw std::runtime_error("partition heal: t_end must exceed t_begin");
+  }
+  if (opt.period <= 0 || opt.outage <= 0 || opt.outage >= opt.period) {
+    throw std::runtime_error(
+        "partition heal: need 0 < outage < period");
+  }
+  std::string plan;
+  for (int cycle = 0;; ++cycle) {
+    const sim_time split =
+        opt.t_begin + static_cast<double>(cycle) * opt.period;
+    if (split >= opt.t_end) break;
+    const sim_time heal = std::min(split + opt.outage, opt.t_end);
+    if (heal <= split) break;
+    const char axis = (opt.alternate_axis && cycle % 2 == 1) ? 'y' : 'x';
+    append_event(plan, std::string("partition:") + axis + "@" +
+                           fmt_time(split) + ".." + fmt_time(heal));
+  }
+  return plan;
+}
+
+}  // namespace manet

@@ -1,0 +1,46 @@
+// Parameterized fault-plan generators: turn a handful of workload knobs
+// into a concrete fault-plan string (fault_plan.hpp grammar). The scenario
+// matrix uses these so a grid axis like churn_plan=diurnal expands into a
+// full per-cell schedule derived from that cell's own n_peers and horizon —
+// the generated text round-trips through fault_plan::parse, so everything
+// downstream (injector, recovery metrics, repro files) works unchanged.
+#ifndef MANET_FAULT_PLAN_GENERATORS_HPP
+#define MANET_FAULT_PLAN_GENERATORS_HPP
+
+#include <string>
+
+#include "util/units.hpp"
+
+namespace manet {
+
+/// Diurnal churn: every `period` seconds a "night" window of duty*period
+/// seconds puts a rotating block of round(fraction*n_peers) consecutive
+/// nodes down (crash events). The block shifts by its own size each cycle,
+/// so over a full rotation every node sees roughly the same downtime —
+/// mobile users switching off overnight, the paper's I_Switch churn writ
+/// large and correlated.
+struct diurnal_churn_options {
+  int n_peers = 50;
+  sim_time t_begin = 0;       ///< first cycle starts here
+  sim_time t_end = 0;         ///< no event extends past this
+  sim_duration period = 600;  ///< one simulated "day"
+  double duty = 0.3;          ///< night fraction of the period, in (0, 1)
+  double fraction = 0.25;     ///< fraction of peers down per night, in (0, 1]
+};
+std::string diurnal_churn_plan(const diurnal_churn_options& opt);
+
+/// Partition-then-heal: every `period` seconds the terrain splits along the
+/// middle for `outage` seconds, then heals; the split axis alternates x/y
+/// so both halves of the relay overlay get torn and rebuilt.
+struct partition_heal_options {
+  sim_time t_begin = 0;
+  sim_time t_end = 0;
+  sim_duration period = 600;   ///< cycle length (split + healed remainder)
+  sim_duration outage = 120;   ///< partition duration per cycle, < period
+  bool alternate_axis = true;  ///< x, y, x, ... instead of always x
+};
+std::string partition_heal_plan(const partition_heal_options& opt);
+
+}  // namespace manet
+
+#endif  // MANET_FAULT_PLAN_GENERATORS_HPP

@@ -1,0 +1,96 @@
+#include "mobility/manhattan.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace manet {
+
+namespace {
+
+// Direction deltas for 0=+x 1=+y 2=-x 3=-y.
+constexpr int kDx[4] = {1, 0, -1, 0};
+constexpr int kDy[4] = {0, 1, 0, -1};
+
+}  // namespace
+
+manhattan_mobility::manhattan_mobility(const terrain& land,
+                                       manhattan_params params, rng gen)
+    : land_(land), params_(params), gen_(gen) {
+  assert(params_.street_spacing > 0);
+  assert(params_.min_speed_mps > 0);
+  assert(params_.max_speed_mps >= params_.min_speed_mps);
+  assert(params_.pause >= 0);
+  // Streets sit at multiples of the spacing; the strip beyond the last
+  // street (when the terrain is not an exact multiple) carries no road.
+  nx_ = 1 + static_cast<int>(land_.width() / params_.street_spacing);
+  ny_ = 1 + static_cast<int>(land_.height() / params_.street_spacing);
+  ix_ = static_cast<int>(gen_.uniform_int(static_cast<std::uint64_t>(nx_)));
+  iy_ = static_cast<int>(gen_.uniform_int(static_cast<std::uint64_t>(ny_)));
+  dir_ = static_cast<int>(gen_.uniform_int(4));
+  from_ = to_ = at(ix_, iy_);
+  stuck_ = nx_ == 1 && ny_ == 1;
+  if (stuck_) return;
+  next_leg();
+}
+
+vec2 manhattan_mobility::at(int ix, int iy) const {
+  return {static_cast<double>(ix) * params_.street_spacing,
+          static_cast<double>(iy) * params_.street_spacing};
+}
+
+bool manhattan_mobility::can_go(int ix, int iy, int d) const {
+  const int tx = ix + kDx[d];
+  const int ty = iy + kDy[d];
+  return tx >= 0 && tx < nx_ && ty >= 0 && ty < ny_;
+}
+
+void manhattan_mobility::next_leg() {
+  // Turn decision: straight 1/2, left 1/4, right 1/4. The draw happens
+  // unconditionally so the consumed stream does not depend on the node's
+  // position (identical seeds give identical decision sequences); invalid
+  // picks fall back in the fixed order straight -> left -> right -> U-turn.
+  const double u = gen_.uniform();
+  int wanted = dir_;                        // straight
+  if (u >= 0.75) wanted = (dir_ + 3) % 4;   // right
+  else if (u >= 0.5) wanted = (dir_ + 1) % 4;  // left
+  if (!can_go(ix_, iy_, wanted)) {
+    const int fallback[3] = {dir_, (dir_ + 1) % 4, (dir_ + 3) % 4};
+    wanted = (dir_ + 2) % 4;  // U-turn as the last resort (dead-end corner)
+    for (int d : fallback) {
+      if (can_go(ix_, iy_, d)) {
+        wanted = d;
+        break;
+      }
+    }
+  }
+  dir_ = wanted;
+  from_ = at(ix_, iy_);
+  ix_ += kDx[dir_];
+  iy_ += kDy[dir_];
+  to_ = at(ix_, iy_);
+  speed_ = gen_.uniform(params_.min_speed_mps, params_.max_speed_mps);
+  leg_start_ = pause_until_;
+  leg_end_ = leg_start_ + params_.street_spacing / speed_;
+  pause_until_ = leg_end_ + params_.pause;
+}
+
+void manhattan_mobility::advance_to(sim_time t) {
+  while (t >= pause_until_) next_leg();
+}
+
+vec2 manhattan_mobility::position_at(sim_time t) {
+  if (stuck_) return from_;
+  advance_to(t);
+  if (t <= leg_start_) return from_;
+  if (t >= leg_end_) return to_;
+  const double frac = (t - leg_start_) / (leg_end_ - leg_start_);
+  return lerp(from_, to_, frac);
+}
+
+double manhattan_mobility::speed_at(sim_time t) {
+  if (stuck_) return 0.0;
+  advance_to(t);
+  return (t > leg_start_ && t < leg_end_) ? speed_ : 0.0;
+}
+
+}  // namespace manet

@@ -1,0 +1,61 @@
+// Manhattan-grid mobility: vehicles constrained to a lattice of orthogonal
+// streets with fixed spacing. A node drives from intersection to
+// intersection; at each intersection it continues straight with probability
+// 1/2 or turns left/right with probability 1/4 each (invalid choices fall
+// back deterministically, U-turns only at dead ends). Speed is re-drawn per
+// street segment. Standard VANET urban model (cf. the FStest VANET
+// scenarios); the city grid makes link lifetimes short and anisotropic,
+// which is exactly what random waypoint cannot produce.
+#ifndef MANET_MOBILITY_MANHATTAN_HPP
+#define MANET_MOBILITY_MANHATTAN_HPP
+
+#include "geom/terrain.hpp"
+#include "mobility/mobility_model.hpp"
+#include "util/rng.hpp"
+
+namespace manet {
+
+struct manhattan_params {
+  meters street_spacing = 150.0;  ///< distance between parallel streets
+  double min_speed_mps = 5.0;
+  double max_speed_mps = 15.0;
+  sim_duration pause = 0.0;  ///< dwell at each intersection (traffic light)
+};
+
+class manhattan_mobility final : public mobility_model {
+ public:
+  manhattan_mobility(const terrain& land, manhattan_params params, rng gen);
+
+  vec2 position_at(sim_time t) override;
+  double speed_at(sim_time t) override;
+
+ private:
+  /// Intersection (ix, iy) in grid coordinates -> terrain position.
+  vec2 at(int ix, int iy) const;
+  /// True when the neighbor of (ix, iy) in direction d is on the grid.
+  bool can_go(int ix, int iy, int d) const;
+  void next_leg();
+  void advance_to(sim_time t);
+
+  terrain land_;
+  manhattan_params params_;
+  rng gen_;
+
+  int nx_ = 1;  ///< vertical streets (grid columns)
+  int ny_ = 1;  ///< horizontal streets (grid rows)
+  int ix_ = 0;  ///< current/last intersection
+  int iy_ = 0;
+  int dir_ = 0;  ///< 0=+x 1=+y 2=-x 3=-y
+
+  vec2 from_{};
+  vec2 to_{};
+  sim_time leg_start_ = 0;
+  sim_time leg_end_ = 0;
+  sim_time pause_until_ = 0;
+  double speed_ = 0;
+  bool stuck_ = false;  ///< degenerate 1x1 grid: node never moves
+};
+
+}  // namespace manet
+
+#endif  // MANET_MOBILITY_MANHATTAN_HPP

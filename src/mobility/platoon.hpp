@@ -1,0 +1,44 @@
+// Platoon/convoy mobility: vehicles travel in single file along a shared
+// route. Every member of a platoon replays the *same* random-waypoint lead
+// trajectory (identical RNG seed per platoon), delayed by its rank times
+// the headway, so member k sits exactly where the lead vehicle was
+// k*headway seconds ago — a column that snakes across the terrain without
+// ever leaving it. Unlike group mobility (members jitter inside a disk
+// around the reference), a platoon preserves order and spacing, the
+// vehicular convoy pattern from the VANET literature.
+#ifndef MANET_MOBILITY_PLATOON_HPP
+#define MANET_MOBILITY_PLATOON_HPP
+
+#include "mobility/random_waypoint.hpp"
+
+namespace manet {
+
+struct platoon_params {
+  random_waypoint_params lead;     ///< motion of the lead vehicle
+  sim_duration headway = 2.0;      ///< time gap between successive members
+};
+
+class platoon_member final : public mobility_model {
+ public:
+  /// `rank` is the member's position in the column (0 = lead vehicle).
+  /// Every member of one platoon must be constructed from a *copy* of the
+  /// same rng so the replayed lead trajectories are identical; each member
+  /// owns its own copy because mobility queries advance lazily per node.
+  platoon_member(const terrain& land, platoon_params params, int rank, rng gen)
+      : path_(land, params.lead, gen),
+        delay_(params.headway * static_cast<double>(rank)) {}
+
+  vec2 position_at(sim_time t) override { return path_.position_at(shift(t)); }
+  double speed_at(sim_time t) override { return path_.speed_at(shift(t)); }
+
+ private:
+  /// Members behind the lead hold at the column start until their slot.
+  sim_time shift(sim_time t) const { return t > delay_ ? t - delay_ : 0.0; }
+
+  random_waypoint path_;
+  sim_duration delay_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_MOBILITY_PLATOON_HPP

@@ -1,0 +1,817 @@
+#include "scenario/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "fault/plan_generators.hpp"
+#include "scenario/scenario.hpp"
+#include "scenario/sweep.hpp"
+#include "util/config.hpp"
+
+namespace manet {
+
+// ---------------------------------------------------------------------------
+// Metric resolution
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct metric_field {
+  const char* name;
+  double (*get)(const run_result&);
+};
+
+// The check-able surface of a run: every stable run_result field plus the
+// derived ratios spec authors actually assert on. Shared by resolve_metric
+// and the JSONL report so the two can never drift apart.
+const metric_field kMetricFields[] = {
+    {"answer_ratio",
+     [](const run_result& r) {
+       return r.queries_issued ? static_cast<double>(r.queries_answered) /
+                                     static_cast<double>(r.queries_issued)
+                               : 0.0;
+     }},
+    {"app_messages",
+     [](const run_result& r) { return static_cast<double>(r.app_messages); }},
+    {"avg_query_latency_s",
+     [](const run_result& r) { return r.avg_query_latency_s; }},
+    {"avg_relay_peers", [](const run_result& r) { return r.avg_relay_peers; }},
+    {"avg_stale_age_s", [](const run_result& r) { return r.avg_stale_age_s; }},
+    {"delta_violations",
+     [](const run_result& r) {
+       return static_cast<double>(r.delta_violations);
+     }},
+    {"drops_total",
+     [](const run_result& r) { return static_cast<double>(r.drops_total); }},
+    {"energy_spent_j", [](const run_result& r) { return r.energy_spent_j; }},
+    {"fault_episodes",
+     [](const run_result& r) { return static_cast<double>(r.fault_episodes); }},
+    {"fault_recovered",
+     [](const run_result& r) {
+       return static_cast<double>(r.fault_recovered);
+     }},
+    {"invariant_violations",
+     [](const run_result& r) {
+       return static_cast<double>(r.invariant_violations);
+     }},
+    {"max_node_energy_spent_j",
+     [](const run_result& r) { return r.max_node_energy_spent_j; }},
+    {"mean_reconvergence_s",
+     [](const run_result& r) { return r.mean_reconvergence_s; }},
+    {"mean_relay_repair_s",
+     [](const run_result& r) { return r.mean_relay_repair_s; }},
+    {"mean_stale_window_s",
+     [](const run_result& r) { return r.mean_stale_window_s; }},
+    {"messages_per_query",
+     [](const run_result& r) {
+       return r.queries_issued ? static_cast<double>(r.total_messages) /
+                                     static_cast<double>(r.queries_issued)
+                               : 0.0;
+     }},
+    {"messages_per_second",
+     [](const run_result& r) { return r.messages_per_second(); }},
+    {"p95_query_latency_s",
+     [](const run_result& r) { return r.p95_query_latency_s; }},
+    {"queries_answered",
+     [](const run_result& r) {
+       return static_cast<double>(r.queries_answered);
+     }},
+    {"queries_issued",
+     [](const run_result& r) { return static_cast<double>(r.queries_issued); }},
+    {"routing_messages",
+     [](const run_result& r) {
+       return static_cast<double>(r.routing_messages);
+     }},
+    {"stale_answers",
+     [](const run_result& r) { return static_cast<double>(r.stale_answers); }},
+    {"stale_rate", [](const run_result& r) { return r.stale_answer_rate(); }},
+    {"total_bytes",
+     [](const run_result& r) { return static_cast<double>(r.total_bytes); }},
+    {"total_messages",
+     [](const run_result& r) { return static_cast<double>(r.total_messages); }},
+    {"updates",
+     [](const run_result& r) { return static_cast<double>(r.updates); }},
+};
+
+}  // namespace
+
+bool resolve_metric(const run_result& r, const std::string& name, double& out) {
+  constexpr const char* kRegistryPrefix = "metrics.";
+  if (name.rfind(kRegistryPrefix, 0) == 0) {
+    const std::string key = name.substr(std::string(kRegistryPrefix).size());
+    for (const auto& [k, v] : r.metrics) {
+      if (k == key) {
+        out = v;
+        return true;
+      }
+    }
+    return false;
+  }
+  for (const metric_field& f : kMetricFields) {
+    if (name == f.name) {
+      out = f.get(r);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::string> metric_names() {
+  std::vector<std::string> out;
+  for (const metric_field& f : kMetricFields) out.emplace_back(f.name);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+const char* check_op_name(check_op op) {
+  switch (op) {
+    case check_op::lt: return "<";
+    case check_op::le: return "<=";
+    case check_op::gt: return ">";
+    case check_op::ge: return ">=";
+    case check_op::eq: return "==";
+    case check_op::ne: return "!=";
+  }
+  return "?";
+}
+
+std::string matrix_check::expr() const {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%g", threshold);
+  return metric + " " + check_op_name(op) + " " + buf;
+}
+
+bool matrix_match::matches(const kv_list& coords) const {
+  for (const auto& [axis, value] : constraints) {
+    bool hit = false;
+    for (const auto& [name, v] : coords) {
+      if (name == axis) {
+        hit = v == value;
+        break;
+      }
+    }
+    if (!hit) return false;
+  }
+  return true;
+}
+
+namespace {
+
+[[noreturn]] void spec_error(int line_no, const std::string& what) {
+  throw std::runtime_error("matrix spec line " + std::to_string(line_no) +
+                           ": " + what);
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+/// Strips a trailing comment and surrounding whitespace.
+std::string clean_line(const std::string& raw) {
+  const std::size_t hash = raw.find('#');
+  return trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(trim(s.substr(start)));
+      return out;
+    }
+    out.push_back(trim(s.substr(start, pos - start)));
+    start = pos + 1;
+  }
+}
+
+/// Splits "k = v" (one '='). Returns false when the line has no '='.
+bool parse_kv(const std::string& line, std::string& key, std::string& value) {
+  const std::size_t eq = line.find('=');
+  if (eq == std::string::npos) return false;
+  key = trim(line.substr(0, eq));
+  value = trim(line.substr(eq + 1));
+  return !key.empty();
+}
+
+/// Parses space-separated "axis=value" constraint tokens.
+matrix_match parse_match(const std::string& text, int line_no) {
+  matrix_match m;
+  std::istringstream in(text);
+  std::string token;
+  while (in >> token) {
+    std::string k, v;
+    if (!parse_kv(token, k, v) || v.empty()) {
+      spec_error(line_no, "expected axis=value constraint, got '" + token + "'");
+    }
+    m.constraints.emplace_back(k, v);
+  }
+  return m;
+}
+
+bool parse_op(const std::string& s, check_op& op) {
+  if (s == "<") op = check_op::lt;
+  else if (s == "<=") op = check_op::le;
+  else if (s == ">") op = check_op::gt;
+  else if (s == ">=") op = check_op::ge;
+  else if (s == "==") op = check_op::eq;
+  else if (s == "!=") op = check_op::ne;
+  else return false;
+  return true;
+}
+
+double parse_number(const std::string& s, int line_no) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    if (used != s.size()) throw std::invalid_argument(s);
+    return v;
+  } catch (const std::exception&) {
+    spec_error(line_no, "expected a number, got '" + s + "'");
+  }
+}
+
+void ensure_known_axes(const matrix_match& m,
+                       const std::vector<matrix_axis>& axes,
+                       const char* where, int line_no) {
+  for (const auto& [axis, value] : m.constraints) {
+    const auto it =
+        std::find_if(axes.begin(), axes.end(),
+                     [&](const matrix_axis& a) { return a.name == axis; });
+    if (it == axes.end()) {
+      spec_error(line_no, std::string(where) + " references unknown axis '" +
+                              axis + "' (declare [axis " + axis + "] first)");
+    }
+    if (std::find(it->values.begin(), it->values.end(), value) ==
+        it->values.end()) {
+      spec_error(line_no, std::string(where) + " constraint " + axis + "=" +
+                              value + " names a value the axis does not have");
+    }
+  }
+}
+
+}  // namespace
+
+matrix_spec matrix_spec::parse(const std::string& text) {
+  matrix_spec spec;
+
+  enum class section { none, base, axis, exclude, cell, check };
+  section cur = section::none;
+  // Deferred validation state: exclusions/overrides/checks may appear before
+  // all axes are declared, so constraint checking happens at the end. Stored
+  // as (section, index, line) — the vectors reallocate while parsing, so
+  // pointers into them would dangle.
+  struct match_site {
+    section kind;
+    std::size_t index;
+    int line;
+  };
+  std::vector<match_site> match_sites;
+
+  std::istringstream in(text);
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = clean_line(raw);
+    if (line.empty()) continue;
+
+    if (line.front() == '[') {
+      if (line.back() != ']') spec_error(line_no, "unterminated [section]");
+      const std::string header = trim(line.substr(1, line.size() - 2));
+      const std::size_t sp = header.find_first_of(" \t");
+      const std::string kind = header.substr(0, sp);
+      const std::string rest =
+          sp == std::string::npos ? "" : trim(header.substr(sp + 1));
+      if (kind == "base") {
+        cur = section::base;
+      } else if (kind == "axis") {
+        if (rest.empty()) spec_error(line_no, "[axis] needs a name");
+        for (const matrix_axis& a : spec.axes) {
+          if (a.name == rest) {
+            spec_error(line_no, "duplicate axis '" + rest + "'");
+          }
+        }
+        spec.axes.push_back(matrix_axis{rest, rest, {}});
+        cur = section::axis;
+      } else if (kind == "exclude") {
+        if (rest.empty()) spec_error(line_no, "[exclude] needs a name");
+        spec.exclusions.push_back(matrix_exclusion{rest, {}});
+        cur = section::exclude;
+      } else if (kind == "cell") {
+        spec.overrides.push_back(
+            matrix_override{parse_match(rest, line_no), {}});
+        match_sites.push_back(
+            {section::cell, spec.overrides.size() - 1, line_no});
+        cur = section::cell;
+      } else if (kind == "check") {
+        if (rest.empty()) spec_error(line_no, "[check] needs a name");
+        spec.checks.push_back(matrix_check{rest, {}, "", check_op::le, 0});
+        cur = section::check;
+      } else {
+        spec_error(line_no, "unknown section '" + kind +
+                                "' (expected base|axis|exclude|cell|check)");
+      }
+      continue;
+    }
+
+    if (cur == section::none) {
+      std::string k, v;
+      if (parse_kv(line, k, v) && k == "matrix") {
+        spec.name = v;
+        continue;
+      }
+      spec_error(line_no, "content before the first [section]");
+    }
+
+    std::string key, value;
+    switch (cur) {
+      case section::base: {
+        if (!parse_kv(line, key, value)) {
+          spec_error(line_no, "[base] lines must be key = value");
+        }
+        spec.base.emplace_back(key, value);
+        break;
+      }
+      case section::axis: {
+        matrix_axis& axis = spec.axes.back();
+        if (!parse_kv(line, key, value)) {
+          spec_error(line_no, "[axis] lines must be key=... or values=...");
+        }
+        if (key == "key") {
+          axis.key = value;
+        } else if (key == "values") {
+          for (std::string& v : split(value, ',')) {
+            if (v.empty()) spec_error(line_no, "empty value in values list");
+            axis.values.push_back(std::move(v));
+          }
+        } else {
+          spec_error(line_no, "unknown [axis] attribute '" + key +
+                                  "' (expected key or values)");
+        }
+        break;
+      }
+      case section::exclude: {
+        if (!parse_kv(line, key, value)) {
+          spec_error(line_no, "[exclude] lines must be axis = value");
+        }
+        spec.exclusions.back().match.constraints.emplace_back(key, value);
+        match_sites.push_back(
+            {section::exclude, spec.exclusions.size() - 1, line_no});
+        break;
+      }
+      case section::cell: {
+        if (!parse_kv(line, key, value)) {
+          spec_error(line_no, "[cell] lines must be key = value");
+        }
+        spec.overrides.back().settings.emplace_back(key, value);
+        break;
+      }
+      case section::check: {
+        matrix_check& chk = spec.checks.back();
+        if (parse_kv(line, key, value) && key == "when") {
+          chk.when = parse_match(value, line_no);
+          match_sites.push_back(
+              {section::check, spec.checks.size() - 1, line_no});
+          break;
+        }
+        // Assertion line: METRIC OP NUMBER. Additional assertions open a
+        // sibling check sharing the name and `when` scope.
+        std::istringstream expr(line);
+        std::string metric, op_text, rhs;
+        expr >> metric >> op_text >> rhs;
+        std::string extra;
+        check_op op{};
+        if (metric.empty() || !parse_op(op_text, op) || rhs.empty() ||
+            (expr >> extra)) {
+          spec_error(line_no,
+                     "expected 'metric <=|<|>=|>|==|!= number', got '" +
+                         line + "'");
+        }
+        const double threshold = parse_number(rhs, line_no);
+        if (chk.metric.empty()) {
+          chk.metric = metric;
+          chk.op = op;
+          chk.threshold = threshold;
+        } else {
+          matrix_check extra_check = chk;
+          extra_check.metric = metric;
+          extra_check.op = op;
+          extra_check.threshold = threshold;
+          spec.checks.push_back(std::move(extra_check));
+        }
+        break;
+      }
+      case section::none:
+        break;
+    }
+  }
+
+  for (const matrix_axis& a : spec.axes) {
+    if (a.values.empty()) {
+      throw std::runtime_error("matrix spec: axis '" + a.name +
+                               "' has no values");
+    }
+  }
+  for (const matrix_check& c : spec.checks) {
+    if (c.metric.empty()) {
+      throw std::runtime_error("matrix spec: check '" + c.name +
+                               "' has no assertion line");
+    }
+  }
+  for (const match_site& site : match_sites) {
+    const matrix_match& m =
+        site.kind == section::cell      ? spec.overrides[site.index].match
+        : site.kind == section::exclude ? spec.exclusions[site.index].match
+                                        : spec.checks[site.index].when;
+    ensure_known_axes(m, spec.axes, "constraint", site.line);
+  }
+  return spec;
+}
+
+matrix_spec matrix_spec::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("matrix spec: cannot open '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+// ---------------------------------------------------------------------------
+// Expansion
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Applies the special churn_plan key: generates a fault plan sized to the
+/// cell's own population and horizon.
+void apply_churn_plan(const std::string& plan, const std::string& label,
+                      config& cfg) {
+  if (plan == "none") return;
+  if (cfg.contains("fault") && !cfg.get_string("fault", "").empty()) {
+    throw std::runtime_error(
+        "matrix cell " + label + ": churn_plan=" + plan +
+        " contradicts an explicit fault= setting — pick one source of faults");
+  }
+  const auto n_peers = static_cast<int>(cfg.get_int("n_peers", 50));
+  const double warmup = cfg.get_double("warmup", 0);
+  const double horizon = warmup + cfg.get_double("sim_time", 0);
+  if (plan == "diurnal") {
+    diurnal_churn_options opt;
+    opt.n_peers = n_peers;
+    opt.t_begin = warmup;
+    opt.t_end = horizon;
+    // Six "days" per run keeps several full rotations inside short cells.
+    opt.period = std::max(1.0, (horizon - warmup) / 6.0);
+    cfg.set("fault", diurnal_churn_plan(opt));
+  } else if (plan == "partition_heal") {
+    partition_heal_options opt;
+    opt.t_begin = warmup;
+    opt.t_end = horizon;
+    opt.period = std::max(1.0, (horizon - warmup) / 4.0);
+    opt.outage = opt.period * 0.25;
+    cfg.set("fault", partition_heal_plan(opt));
+  } else {
+    throw std::runtime_error("matrix cell " + label + ": unknown churn_plan '" +
+                             plan +
+                             "' (expected none|diurnal|partition_heal)");
+  }
+}
+
+}  // namespace
+
+std::vector<matrix_cell> expand_matrix(const matrix_spec& spec) {
+  std::vector<matrix_cell> cells;
+  std::vector<std::size_t> idx(spec.axes.size(), 0);
+  const std::size_t n_axes = spec.axes.size();
+
+  while (true) {
+    kv_list coords;
+    for (std::size_t a = 0; a < n_axes; ++a) {
+      coords.emplace_back(spec.axes[a].name, spec.axes[a].values[idx[a]]);
+    }
+
+    bool excluded = false;
+    for (const matrix_exclusion& ex : spec.exclusions) {
+      if (ex.match.matches(coords)) {
+        excluded = true;
+        break;
+      }
+    }
+    if (!excluded) {
+      matrix_cell cell;
+      cell.index = cells.size();
+      cell.coords = coords;
+      for (std::size_t a = 0; a < n_axes; ++a) {
+        if (a) cell.label += ' ';
+        cell.label += coords[a].first + "=" + coords[a].second;
+      }
+      if (cell.label.empty()) cell.label = "cell" + std::to_string(cell.index);
+
+      config cfg;
+      for (const auto& [k, v] : spec.base) cfg.set(k, v);
+      for (std::size_t a = 0; a < n_axes; ++a) {
+        cfg.set(spec.axes[a].key, coords[a].second);
+      }
+      for (const matrix_override& ov : spec.overrides) {
+        if (!ov.match.matches(coords)) continue;
+        for (const auto& [k, v] : ov.settings) cfg.set(k, v);
+      }
+
+      cell.protocol = cfg.get_string("protocol", "rpcc");
+      apply_churn_plan(cfg.get_string("churn_plan", "none"), cell.label, cfg);
+      cell.params = scenario_params::from_config(cfg);
+      try {
+        cell.params.validate();
+      } catch (const std::exception& e) {
+        throw std::runtime_error("matrix cell " + cell.label + ": " +
+                                 e.what());
+      }
+      cells.push_back(std::move(cell));
+    }
+
+    // Odometer increment, last axis fastest. No axes = the single base cell.
+    std::size_t a = n_axes;
+    while (a > 0) {
+      --a;
+      if (++idx[a] < spec.axes[a].values.size()) break;
+      idx[a] = 0;
+      if (a == 0) return cells;
+    }
+    if (n_axes == 0) return cells;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Execution + checks
+// ---------------------------------------------------------------------------
+
+bool matrix_cell_result::passed() const {
+  for (const check_outcome& c : checks) {
+    if (!c.passed) return false;
+  }
+  return true;
+}
+
+std::size_t matrix_report::failed_cells() const {
+  std::size_t n = 0;
+  for (const matrix_cell_result& c : cells) {
+    if (!c.passed()) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+bool apply_op(double value, check_op op, double threshold) {
+  switch (op) {
+    case check_op::lt: return value < threshold;
+    case check_op::le: return value <= threshold;
+    case check_op::gt: return value > threshold;
+    case check_op::ge: return value >= threshold;
+    case check_op::eq: return value == threshold;
+    case check_op::ne: return value != threshold;
+  }
+  return false;
+}
+
+bool is_trace_metric(const std::string& name) {
+  return name.rfind("trace.", 0) == 0;
+}
+
+check_outcome evaluate_check(const matrix_check& chk,
+                             const matrix_cell_result& cell,
+                             const matrix_run_options& opt) {
+  check_outcome out;
+  out.name = chk.name;
+  out.expr = chk.expr();
+  double value = 0;
+  if (is_trace_metric(chk.metric)) {
+    if (!opt.trace_metric || cell.trace_file.empty()) {
+      out.error = "trace metric '" + chk.metric +
+                  "' needs a trace resolver and a trace_dir";
+      return out;
+    }
+    if (!opt.trace_metric(cell.trace_file, chk.metric, value)) {
+      out.error = "unknown trace metric '" + chk.metric + "'";
+      return out;
+    }
+  } else if (!resolve_metric(cell.result, chk.metric, value)) {
+    out.error = "unknown metric '" + chk.metric + "'";
+    return out;
+  }
+  out.evaluated = true;
+  out.value = value;
+  out.passed = apply_op(value, chk.op, chk.threshold);
+  return out;
+}
+
+}  // namespace
+
+matrix_report run_matrix(const matrix_spec& spec,
+                         const matrix_run_options& opt) {
+  std::vector<matrix_cell> cells = expand_matrix(spec);
+
+  // A cell needs a trace iff a trace.* check applies to it.
+  std::vector<char> needs_trace(cells.size(), 0);
+  if (opt.run_checks && !opt.trace_dir.empty()) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      for (const matrix_check& chk : spec.checks) {
+        if (is_trace_metric(chk.metric) && chk.when.matches(cells[i].coords)) {
+          needs_trace[i] = 1;
+          break;
+        }
+      }
+    }
+  }
+
+  matrix_report report;
+  report.name = spec.name;
+  report.cells.resize(cells.size());
+  std::mutex progress_mu;
+  parallel_for(cells.size(), opt.jobs, [&](std::size_t i) {
+    const matrix_cell& cell = cells[i];
+    matrix_cell_result& out = report.cells[i];
+    out.label = cell.label;
+    out.coords = cell.coords;
+    out.protocol = cell.protocol;
+
+    scenario_params p = cell.params;
+    if (needs_trace[i]) {
+      out.trace_file =
+          opt.trace_dir + "/cell-" + std::to_string(cell.index) + ".jsonl";
+      p.trace_file = out.trace_file;
+    } else if (!p.trace_file.empty()) {
+      // Cells sharing a user-supplied trace path must not clobber each other.
+      p.trace_file =
+          sweep_output_path(p.trace_file, "c" + std::to_string(cell.index));
+      out.trace_file = p.trace_file;
+    }
+    if (!p.series_file.empty()) {
+      p.series_file =
+          sweep_output_path(p.series_file, "c" + std::to_string(cell.index));
+    }
+
+    const protocol_variant v{cell.label, cell.protocol, p.mix};
+    out.result = run_variant(p, v);
+    out.digest = run_result_digest(out.result);
+    if (opt.run_checks) {
+      for (const matrix_check& chk : spec.checks) {
+        if (!chk.when.matches(cell.coords)) continue;
+        out.checks.push_back(evaluate_check(chk, out, opt));
+      }
+    }
+    if (opt.progress) {
+      std::lock_guard<std::mutex> lock(progress_mu);
+      opt.progress(out);
+    }
+  });
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+std::string matrix_report::render_table() const {
+  table_printer table({"cell", "proto", "queries", "answered", "stale_rate",
+                       "p95_lat_s", "app_msgs", "checks", "status"});
+  for (const matrix_cell_result& c : cells) {
+    std::size_t ok = 0;
+    for (const check_outcome& chk : c.checks) {
+      if (chk.passed) ++ok;
+    }
+    table.add_row({c.label, c.result.protocol,
+                   table_printer::fmt(c.result.queries_issued),
+                   table_printer::fmt(c.result.queries_answered),
+                   table_printer::fmt(c.result.stale_answer_rate(), 3),
+                   table_printer::fmt(c.result.p95_query_latency_s, 2),
+                   table_printer::fmt(c.result.app_messages),
+                   table_printer::fmt(static_cast<std::uint64_t>(ok)) + "/" +
+                       table_printer::fmt(
+                           static_cast<std::uint64_t>(c.checks.size())),
+                   c.passed() ? "PASS" : "FAIL"});
+  }
+  std::string out = table.render();
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%zu/%zu cells passed\n",
+                cells.size() - failed_cells(), cells.size());
+  out += buf;
+  for (const matrix_cell_result& c : cells) {
+    for (const check_outcome& chk : c.checks) {
+      if (chk.passed) continue;
+      out += "FAIL " + c.label + ": " + chk.name + " (" + chk.expr + ")";
+      if (chk.evaluated) {
+        std::snprintf(buf, sizeof buf, " — value %g", chk.value);
+        out += buf;
+      } else {
+        out += " — " + chk.error;
+      }
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string matrix_report::to_jsonl() const {
+  std::string out;
+  for (const matrix_cell_result& c : cells) {
+    out += "{\"cell\":\"" + json_escape(c.label) + "\"";
+    out += ",\"coords\":{";
+    for (std::size_t i = 0; i < c.coords.size(); ++i) {
+      if (i) out += ',';
+      out += '"';
+      out += json_escape(c.coords[i].first);
+      out += "\":\"";
+      out += json_escape(c.coords[i].second);
+      out += '"';
+    }
+    out += "}";
+    out += ",\"protocol\":\"" + json_escape(c.result.protocol) + "\"";
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "0x%016llx",
+                  static_cast<unsigned long long>(c.digest));
+    out += ",\"digest\":\"";
+    out += buf;
+    out += "\"";
+    out += ",\"passed\":";
+    out += c.passed() ? "true" : "false";
+    out += ",\"metrics\":{";
+    bool first = true;
+    for (const metric_field& f : kMetricFields) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += f.name;
+      out += "\":";
+      out += json_number(f.get(c.result));
+    }
+    out += "}";
+    out += ",\"checks\":[";
+    for (std::size_t i = 0; i < c.checks.size(); ++i) {
+      const check_outcome& chk = c.checks[i];
+      if (i) out += ',';
+      out += "{\"name\":\"" + json_escape(chk.name) + "\",\"expr\":\"" +
+             json_escape(chk.expr) + "\",\"passed\":" +
+             (chk.passed ? "true" : "false");
+      if (chk.evaluated) {
+        out += ",\"value\":" + json_number(chk.value);
+      } else {
+        out += ",\"error\":\"" + json_escape(chk.error) + "\"";
+      }
+      out += "}";
+    }
+    out += "]";
+    if (!c.trace_file.empty()) {
+      out += ",\"trace_file\":\"" + json_escape(c.trace_file) + "\"";
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace manet

@@ -1,0 +1,207 @@
+// Declarative scenario matrices: a text spec describing a grid of workloads
+// (base parameters, axes whose cross product spans the grid, named
+// exclusions, per-cell overrides) plus per-cell acceptance checks —
+// assertions over run_result metrics (and, via a pluggable resolver,
+// tracestat analyses of the cell's flight-recorder trace) that turn every
+// grid cell into a pass/fail test.
+//
+// Spec grammar (line-oriented; '#' starts a comment; sections begin with a
+// bracketed header and run to the next header):
+//
+//   [base]                     # key = value scenario overrides for every cell
+//   n_peers = 24
+//   seed = 7
+//
+//   [axis protocol]            # one axis; header names it
+//   values = push, rpcc        # cross product over all axes spans the grid
+//
+//   [axis pop]                 # axis name and scenario key may differ
+//   key = zipf_theta
+//   values = 0, 0.9
+//
+//   [exclude no-push-zipf]     # named exclusion: drop cells matching ALL
+//   protocol = push            # listed axis constraints
+//   pop = 0.9
+//
+//   [cell protocol=rpcc pop=0.9]   # per-cell override: extra key = value
+//   ttn = 30                       # settings for matching cells
+//
+//   [check answered]           # acceptance checks; `when` scopes the check
+//   when = protocol=rpcc       # to matching cells (omit = every cell)
+//   queries_answered >= 1      # metric OP threshold, one assertion per line
+//   stale_rate <= 0.25
+//
+// Special cell keys (consumed by the expander, not scenario_params):
+//   protocol    = push | pull | push_pull | rpcc    (default rpcc)
+//   churn_plan  = none | diurnal | partition_heal   (generates `fault` from
+//                 the cell's own n_peers/warmup/sim_time via
+//                 fault/plan_generators; contradicts an explicit fault=)
+//
+// Check metrics: any named run_result field (see matrix.cpp's field table),
+// derived ratios (stale_rate, answer_ratio, messages_per_query, ...),
+// "metrics.NAME" from the flight-recorder registry snapshot, and "trace.*"
+// values computed from the cell's JSONL trace by a caller-supplied resolver
+// (the scenariomatrix tool and the tests plug in tools/tracestat; the manet
+// library itself stays free of that dependency).
+//
+// Execution reuses the sweep executor's discipline: cells run on a thread
+// pool (matrix_run_options::jobs), results merge in expansion order, and
+// every cell's run_result digest is bit-identical at any jobs value.
+#ifndef MANET_SCENARIO_MATRIX_HPP
+#define MANET_SCENARIO_MATRIX_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "scenario/params.hpp"
+
+namespace manet {
+
+using kv_list = std::vector<std::pair<std::string, std::string>>;
+
+/// One grid axis: `name` labels cells and match constraints; `key` is the
+/// scenario_params (or special) key the values are written to.
+struct matrix_axis {
+  std::string name;
+  std::string key;
+  std::vector<std::string> values;
+};
+
+/// Conjunction of axis-name = value constraints (empty matches everything).
+struct matrix_match {
+  kv_list constraints;
+  bool matches(const kv_list& coords) const;
+};
+
+struct matrix_exclusion {
+  std::string name;
+  matrix_match match;
+};
+
+struct matrix_override {
+  matrix_match match;
+  kv_list settings;
+};
+
+enum class check_op { lt, le, gt, ge, eq, ne };
+
+const char* check_op_name(check_op op);
+
+struct matrix_check {
+  std::string name;
+  matrix_match when;   ///< empty = applies to every cell
+  std::string metric;  ///< field name, "metrics.NAME" or "trace.NAME"
+  check_op op = check_op::le;
+  double threshold = 0;
+
+  /// "stale_rate <= 0.05" rendering used in reports.
+  std::string expr() const;
+};
+
+struct matrix_spec {
+  std::string name;  ///< optional, from a leading `matrix NAME` line
+  kv_list base;
+  std::vector<matrix_axis> axes;
+  std::vector<matrix_exclusion> exclusions;
+  std::vector<matrix_override> overrides;
+  std::vector<matrix_check> checks;
+
+  /// Parses the grammar above. Throws std::runtime_error with the line
+  /// number and an explanation on malformed input, duplicate axis names, or
+  /// constraints referencing unknown axes.
+  static matrix_spec parse(const std::string& text);
+  /// Loads and parses a spec file. Throws on I/O error.
+  static matrix_spec load(const std::string& path);
+};
+
+/// One expanded grid cell, ready to run.
+struct matrix_cell {
+  std::size_t index = 0;  ///< position in expansion order (post-exclusion)
+  std::string label;      ///< "protocol=rpcc pop=0.9"
+  kv_list coords;         ///< axis name -> value
+  std::string protocol;
+  scenario_params params;  ///< validated
+};
+
+/// Cross-product expansion: base + axis values + matching overrides, special
+/// keys resolved, every cell's params validated. Throws on contradictory
+/// combinations (e.g. churn_plan with an explicit fault=) naming the cell.
+std::vector<matrix_cell> expand_matrix(const matrix_spec& spec);
+
+struct check_outcome {
+  std::string name;
+  std::string expr;
+  double value = 0;
+  bool passed = false;
+  /// False when the metric could not be resolved (unknown name, missing
+  /// trace resolver); such a check counts as failed, loudly, not skipped.
+  bool evaluated = false;
+  std::string error;
+};
+
+struct matrix_cell_result {
+  std::string label;
+  kv_list coords;
+  std::string protocol;
+  run_result result;
+  std::uint64_t digest = 0;  ///< run_result_digest of the cell's run
+  std::string trace_file;    ///< non-empty when the cell captured a trace
+  std::vector<check_outcome> checks;
+
+  bool passed() const;
+};
+
+struct matrix_report {
+  std::string name;
+  std::vector<matrix_cell_result> cells;
+
+  std::size_t failed_cells() const;
+  bool passed() const { return failed_cells() == 0; }
+
+  /// Human-readable fixed-width cell table plus a pass/fail summary.
+  std::string render_table() const;
+  /// Machine-readable report: one JSON object per cell per line.
+  std::string to_jsonl() const;
+};
+
+/// Resolves "trace.NAME" metrics from a cell's JSONL trace file. Returns
+/// false when the metric is unknown. Supplied by callers that link
+/// tools/tracestat (see tracestat::matrix_trace_metric).
+using trace_metric_resolver = std::function<bool(
+    const std::string& trace_path, const std::string& metric, double& out)>;
+
+struct matrix_run_options {
+  /// Worker threads for the independent cells: 1 = serial, 0 = all hardware
+  /// threads. Cell digests are identical for any value.
+  int jobs = 1;
+  bool run_checks = true;
+  /// Directory for per-cell traces, captured only for cells with a "trace.*"
+  /// check. Empty disables trace capture (those checks then fail loudly).
+  std::string trace_dir;
+  trace_metric_resolver trace_metric;
+  /// Progress callback per completed cell; serialized under a mutex, but
+  /// completion order is nondeterministic with jobs > 1.
+  std::function<void(const matrix_cell_result&)> progress;
+};
+
+/// Runs every cell and evaluates its checks. Results come back in expansion
+/// order regardless of jobs.
+matrix_report run_matrix(const matrix_spec& spec,
+                         const matrix_run_options& opt = {});
+
+/// Resolves a non-trace metric name against a finished run: named run_result
+/// fields, derived ratios, "metrics.NAME" snapshot entries. Returns false
+/// for unknown names. Exposed for the report writers and the tests.
+bool resolve_metric(const run_result& r, const std::string& name, double& out);
+
+/// Names usable in checks (excluding metrics.* / trace.*), sorted; the CLI
+/// prints this for spec authors.
+std::vector<std::string> metric_names();
+
+}  // namespace manet
+
+#endif  // MANET_SCENARIO_MATRIX_HPP

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <initializer_list>
 #include <stdexcept>
 
 namespace manet {
@@ -57,6 +58,8 @@ scenario_params scenario_params::from_config(const config& cfg) {
   p.pause = cfg.get_double("pause", p.pause);
   p.mobility = cfg.get_string("mobility", p.mobility);
   p.group_size = static_cast<int>(cfg.get_int("group_size", p.group_size));
+  p.street_spacing = cfg.get_double("street_spacing", p.street_spacing);
+  p.platoon_headway = cfg.get_double("platoon_headway", p.platoon_headway);
   p.router = cfg.get_string("router", p.router);
   p.neighbor_index = cfg.get_string("neighbor_index", p.neighbor_index);
   p.mac = cfg.get_string("mac", p.mac);
@@ -86,6 +89,8 @@ scenario_params scenario_params::from_config(const config& cfg) {
       static_cast<std::size_t>(cfg.get_int("rpcc_max_relays", static_cast<long long>(p.rpcc_max_relays)));
   p.placement = cfg.get_string("placement", p.placement);
   p.zipf_theta = cfg.get_double("zipf_theta", p.zipf_theta);
+  p.num_items = static_cast<int>(cfg.get_int("num_items", p.num_items));
+  p.popularity = cfg.get_string("popularity", p.popularity);
   p.single_item_mode = cfg.get_bool("single_item_mode", p.single_item_mode);
   p.trace_file = cfg.get_string("trace_file", p.trace_file);
   p.trace_position_interval =
@@ -127,6 +132,8 @@ void scenario_params::to_config(config& cfg) const {
   cfg.set("pause", pause);
   cfg.set("mobility", mobility);
   cfg.set("group_size", static_cast<long long>(group_size));
+  cfg.set("street_spacing", street_spacing);
+  cfg.set("platoon_headway", platoon_headway);
   cfg.set("router", router);
   cfg.set("neighbor_index", neighbor_index);
   cfg.set("mac", mac);
@@ -152,6 +159,8 @@ void scenario_params::to_config(config& cfg) const {
   cfg.set("rpcc_max_relays", static_cast<long long>(rpcc_max_relays));
   cfg.set("placement", placement);
   cfg.set("zipf_theta", zipf_theta);
+  cfg.set("num_items", static_cast<long long>(num_items));
+  cfg.set("popularity", popularity);
   cfg.set("single_item_mode", single_item_mode);
   if (!trace_file.empty()) cfg.set("trace_file", trace_file);
   if (!series_file.empty()) cfg.set("series_file", series_file);
@@ -163,6 +172,119 @@ void scenario_params::to_config(config& cfg) const {
   cfg.set("invariant_strict", invariant_strict);
   cfg.set("hardened", hardened);
   if (!chaos_bug.empty()) cfg.set("chaos_bug", chaos_bug);
+}
+
+namespace {
+
+bool one_of(const std::string& v, std::initializer_list<const char*> names) {
+  for (const char* n : names) {
+    if (v == n) return true;
+  }
+  return false;
+}
+
+[[noreturn]] void reject(const std::string& what) {
+  throw std::runtime_error("scenario_params: " + what);
+}
+
+}  // namespace
+
+void scenario_params::validate() const {
+  if (n_peers <= 0) {
+    reject("n_peers=" + std::to_string(n_peers) +
+           " — need at least one peer");
+  }
+  if (area_width <= 0 || area_height <= 0) {
+    reject("zero-area terrain (area_width=" + std::to_string(area_width) +
+           ", area_height=" + std::to_string(area_height) +
+           ") — both sides must be positive meters");
+  }
+  if (comm_range <= 0) {
+    reject("comm_range=" + std::to_string(comm_range) +
+           " — radio range must be positive");
+  }
+  if (cache_num <= 0) {
+    reject("cache_num=" + std::to_string(cache_num) +
+           " — each peer needs cache capacity for at least one item");
+  }
+  if (sim_time <= 0) {
+    reject("sim_time=" + std::to_string(sim_time) +
+           " — the measured run must have positive duration");
+  }
+  if (warmup < 0) reject("warmup must be >= 0");
+  if (!one_of(mobility,
+              {"waypoint", "walk", "static", "group", "manhattan", "platoon"})) {
+    reject("unknown mobility '" + mobility +
+           "' (expected waypoint|walk|static|group|manhattan|platoon)");
+  }
+  if (mobility != "static") {
+    if (min_speed <= 0) {
+      reject("min_speed=" + std::to_string(min_speed) +
+             " — moving mobility models need a positive minimum speed");
+    }
+    if (max_speed < min_speed) {
+      reject("max_speed=" + std::to_string(max_speed) + " < min_speed=" +
+             std::to_string(min_speed) + " — speed range is inverted");
+    }
+  }
+  if (pause < 0) reject("pause must be >= 0");
+  if ((mobility == "group" || mobility == "platoon") && group_size <= 0) {
+    reject("group_size=" + std::to_string(group_size) + " with mobility=" +
+           mobility + " — squads/platoons need at least one member");
+  }
+  if (mobility == "manhattan" && street_spacing <= 0) {
+    reject("street_spacing=" + std::to_string(street_spacing) +
+           " with mobility=manhattan — streets need positive spacing");
+  }
+  if (mobility == "platoon" && platoon_headway < 0) {
+    reject("platoon_headway must be >= 0");
+  }
+  if (!one_of(router, {"aodv", "oracle"})) {
+    reject("unknown router '" + router + "' (expected aodv|oracle)");
+  }
+  if (!one_of(neighbor_index, {"grid", "naive"})) {
+    reject("unknown neighbor_index '" + neighbor_index +
+           "' (expected grid|naive)");
+  }
+  if (!one_of(mac, {"simple", "csma"})) {
+    reject("unknown mac '" + mac + "' (expected simple|csma)");
+  }
+  if (!one_of(loss_model, {"iid", "gilbert"})) {
+    reject("unknown loss_model '" + loss_model + "' (expected iid|gilbert)");
+  }
+  if (loss_probability < 0 || loss_probability > 1) {
+    reject("loss_probability=" + std::to_string(loss_probability) +
+           " — probability must be in [0, 1]");
+  }
+  if (switch_probability < 0 || switch_probability > 1) {
+    reject("switch_probability must be in [0, 1]");
+  }
+  if (!one_of(placement, {"static", "dynamic"})) {
+    reject("unknown placement '" + placement + "' (expected static|dynamic)");
+  }
+  if (!one_of(popularity, {"auto", "cached", "zipf"})) {
+    reject("unknown popularity '" + popularity +
+           "' (expected auto|cached|zipf)");
+  }
+  if (zipf_theta < 0) {
+    reject("zipf_theta=" + std::to_string(zipf_theta) +
+           " — Zipf skew must be >= 0 (0 = uniform)");
+  }
+  if (num_items < 0) {
+    reject("num_items=" + std::to_string(num_items) +
+           " — use 0 for the paper's one-item-per-peer model");
+  }
+  if (num_items > 0 && single_item_mode) {
+    reject("num_items=" + std::to_string(num_items) +
+           " contradicts single_item_mode=true — the Fig 9 setup fixes the "
+           "catalogue to exactly one item; drop one of the two knobs");
+  }
+  if (popularity == "cached" && placement == "dynamic" && num_items == 0 &&
+      !single_item_mode) {
+    reject("popularity=cached with placement=dynamic — caches start empty, "
+           "so no node could ever issue a query; use popularity=zipf or "
+           "static placement");
+  }
 }
 
 std::string scenario_params::describe() const {

@@ -42,8 +42,11 @@ struct scenario_params {
   double min_speed = 0.5;   // m/s
   double max_speed = 2.0;   // m/s
   sim_duration pause = 60;  // waypoint pause
-  std::string mobility = "waypoint";  // waypoint | walk | static | group
-  int group_size = 8;                 // nodes per squad for mobility=group
+  // waypoint | walk | static | group | manhattan | platoon
+  std::string mobility = "waypoint";
+  int group_size = 8;       // nodes per squad for mobility=group|platoon
+  meters street_spacing = 150;        // manhattan: distance between streets
+  sim_duration platoon_headway = 2.0; // platoon: time gap between members
   std::string router = "aodv";        // aodv | oracle
   // Neighbor resolution inside the radio model: "grid" uses the uniform-grid
   // spatial index (default), "naive" the O(n) per-query scan kept as the
@@ -92,11 +95,21 @@ struct scenario_params {
   std::size_t rpcc_max_relays = 0;    // future-work #2: relay table cap (0 = off)
 
   // Placement: "static" pre-warms caches per the paper's assumption;
-  // "dynamic" starts cold — queries draw Zipf(zipf_theta) over the whole
-  // catalogue, misses fetch content through the consistency protocol and
-  // fill the LRU stores.
+  // "dynamic" starts cold — misses fetch content through the consistency
+  // protocol and fill the LRU stores.
   std::string placement = "static";
   double zipf_theta = 0.8;
+
+  // Catalogue size. 0 keeps the paper's m = n model (host i owns item i);
+  // a positive value creates that many items assigned round-robin to the
+  // peers, so hosts own several items (or none, when num_items < n_peers).
+  int num_items = 0;
+
+  // Which item a node queries: "auto" keeps the legacy coupling (static
+  // placement queries uniformly over the node's own cache, dynamic
+  // placement draws Zipf over the catalogue); "cached" / "zipf" force one
+  // of those two behaviors regardless of placement.
+  std::string popularity = "auto";
 
   // Fig 9 setup: one random source host whose item every other peer caches.
   bool single_item_mode = false;
@@ -138,6 +151,14 @@ struct scenario_params {
   /// objects can be shared with bench flags). See params.cpp for key names.
   static scenario_params from_config(const config& cfg);
   void to_config(config& cfg) const;
+
+  /// Rejects contradictory or out-of-range knob combinations (unknown
+  /// mobility/router/mac names, zero-area terrain, num_items together with
+  /// single_item_mode, inverted speed ranges, ...) with an actionable
+  /// std::runtime_error naming the offending knob. scenario::build() calls
+  /// this before constructing anything; the matrix runner calls it at
+  /// expansion time so a bad grid cell fails before any cell runs.
+  void validate() const;
 
   /// Human-readable parameter block (benches print it, mirroring Table 1).
   std::string describe() const;

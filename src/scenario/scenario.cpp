@@ -11,6 +11,8 @@
 #include "consistency/push_protocol.hpp"
 #include "consistency/rpcc/rpcc_protocol.hpp"
 #include "mobility/group_mobility.hpp"
+#include "mobility/manhattan.hpp"
+#include "mobility/platoon.hpp"
 #include "mobility/random_walk.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "routing/aodv.hpp"
@@ -84,7 +86,7 @@ scenario::scenario(scenario_params params, std::string protocol_name)
 scenario::~scenario() = default;
 
 void scenario::build() {
-  assert(params_.n_peers > 0);
+  params_.validate();
   sim_ = std::make_unique<simulator>(params_.seed);
 
   radio_params rp;
@@ -153,6 +155,27 @@ void scenario::build() {
       gp.leader.pause = params_.pause;
       mob = std::make_unique<group_member>(
           groups[static_cast<std::size_t>(i / params_.group_size)], gp, gen);
+    } else if (params_.mobility == "manhattan") {
+      manhattan_params mp;
+      mp.street_spacing = params_.street_spacing;
+      mp.min_speed_mps = params_.min_speed;
+      mp.max_speed_mps = params_.max_speed;
+      // Vehicles don't take waypoint-length breaks; treat the configured
+      // pause as a short dwell at intersections, capped at a light cycle.
+      mp.pause = std::min(params_.pause, 5.0);
+      mob = std::make_unique<manhattan_mobility>(land, mp, gen);
+    } else if (params_.mobility == "platoon") {
+      platoon_params pp;
+      pp.lead.min_speed_mps = params_.min_speed;
+      pp.lead.max_speed_mps = params_.max_speed;
+      pp.lead.pause = params_.pause;
+      pp.headway = params_.platoon_headway;
+      // Every member of platoon g replays the same lead trajectory (one
+      // shared stream per platoon), delayed by its rank in the column.
+      mob = std::make_unique<platoon_member>(
+          land, pp, i % params_.group_size,
+          sim_->make_rng("mobility.platoon",
+                         static_cast<std::uint64_t>(i / params_.group_size)));
     } else if (params_.mobility == "static") {
       mob = std::make_unique<static_mobility>(
           vec2{gen.uniform(0, land.width()), gen.uniform(0, land.height())});
@@ -163,19 +186,33 @@ void scenario::build() {
   }
 
   // Data items: the paper's model has m == n (host i owns item i); in
-  // single-item mode one random host owns the only item (Fig 9 setup).
-  item_of_source_.assign(params_.n_peers, invalid_item);
+  // single-item mode one random host owns the only item (Fig 9 setup); with
+  // num_items set the catalogue is that size, assigned round-robin, so a
+  // host can own several items or none.
+  items_of_source_.assign(static_cast<std::size_t>(params_.n_peers), {});
   if (params_.single_item_mode) {
     rng pick = sim_->make_rng("single_source");
     single_source_ =
         static_cast<node_id>(pick.uniform_int(static_cast<std::uint64_t>(params_.n_peers)));
     const item_id d = registry_.add_item(single_source_, params_.content_bytes);
-    item_of_source_[single_source_] = d;
+    items_of_source_[single_source_].push_back(d);
+  } else if (params_.num_items > 0) {
+    for (int j = 0; j < params_.num_items; ++j) {
+      const auto src = static_cast<node_id>(j % params_.n_peers);
+      const item_id d = registry_.add_item(src, params_.content_bytes);
+      items_of_source_[src].push_back(d);
+    }
+    update_pick_rng_.clear();
+    update_pick_rng_.reserve(static_cast<std::size_t>(params_.n_peers));
+    for (int i = 0; i < params_.n_peers; ++i) {
+      update_pick_rng_.push_back(
+          sim_->make_rng("update_pick", static_cast<std::uint64_t>(i)));
+    }
   } else {
     for (int i = 0; i < params_.n_peers; ++i) {
       const item_id d =
           registry_.add_item(static_cast<node_id>(i), params_.content_bytes);
-      item_of_source_[i] = d;
+      items_of_source_[i].push_back(d);
     }
   }
 
@@ -350,8 +387,14 @@ void scenario::build() {
       *sim_, static_cast<std::size_t>(params_.n_peers), wl,
       /*pick=*/
       [this](node_id n, rng& gen) -> item_id {
-        if (params_.placement == "dynamic") {
-          // Zipf over the catalogue, skipping the node's own item: queries
+        // popularity=auto keeps the legacy coupling: dynamic placement
+        // queries Zipf over the catalogue, static queries the node's own
+        // cache; "zipf"/"cached" force either behavior explicitly.
+        const bool use_zipf = params_.popularity == "zipf" ||
+                              (params_.popularity == "auto" &&
+                               params_.placement == "dynamic");
+        if (use_zipf) {
+          // Zipf over the catalogue, skipping the node's own items: queries
           // drive both discovery-style fetching and LRU replacement.
           for (int attempt = 0; attempt < 8; ++attempt) {
             const auto d = static_cast<item_id>(
@@ -376,8 +419,15 @@ void scenario::build() {
       },
       /*on_update=*/
       [this](node_id source) {
-        const item_id d = item_of_source_.at(source);
-        if (d == invalid_item) return;
+        const auto& owned = items_of_source_.at(source);
+        if (owned.empty()) return;
+        // Hosts owning several items spread their update stream uniformly
+        // across them; the single-item fast path draws no randomness so
+        // legacy m = n runs replay bit-identically.
+        const item_id d =
+            owned.size() == 1
+                ? owned.front()
+                : owned[update_pick_rng_[source].uniform_int(owned.size())];
         const version_t v = registry_.bump(d, sim_->now());
         // Fresh causal root for the update's propagation tree (immediate
         // pushes; IR-style protocols root their periodic ticks separately).
@@ -410,7 +460,7 @@ void scenario::place_caches() {
     for (int i = 0; i < params_.n_peers; ++i) {
       if (static_cast<node_id>(i) == single_source_) continue;
       cached_copy c;
-      c.item = item_of_source_.at(single_source_);
+      c.item = items_of_source_.at(single_source_).front();
       c.version = 0;
       stores_[i].put(c);
     }
@@ -419,8 +469,12 @@ void scenario::place_caches() {
   for (int i = 0; i < params_.n_peers; ++i) {
     rng gen = sim_->make_rng("placement", static_cast<std::uint64_t>(i));
     std::unordered_set<item_id> chosen;
-    const auto want = static_cast<std::size_t>(
-        std::min<long long>(params_.cache_num, params_.n_peers - 1));
+    // A node can cache anything it does not host itself; under the paper's
+    // m = n model that is the legacy n_peers - 1 bound.
+    const std::size_t cacheable =
+        registry_.size() - items_of_source_[static_cast<std::size_t>(i)].size();
+    const auto want = std::min(static_cast<std::size_t>(params_.cache_num),
+                               cacheable);
     while (chosen.size() < want) {
       const auto d = static_cast<item_id>(
           gen.uniform_int(static_cast<std::uint64_t>(registry_.size())));

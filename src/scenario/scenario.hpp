@@ -114,7 +114,13 @@ class scenario {
   std::unique_ptr<flooding_service> floods_;
   std::unique_ptr<router> router_;
   item_registry registry_;
-  std::vector<item_id> item_of_source_;  ///< node -> item it owns (or invalid)
+  /// node -> items it hosts (one each under the paper's m = n model; several
+  /// or none with num_items set; exactly one entry in single-item mode).
+  std::vector<std::vector<item_id>> items_of_source_;
+  /// Per-node streams picking which owned item an update touches; only
+  /// consulted when a node owns more than one item, so legacy scenarios
+  /// consume exactly the same randomness as before.
+  std::vector<rng> update_pick_rng_;
   std::vector<cache_store> stores_;
   std::unique_ptr<query_log> qlog_;
   std::unique_ptr<consistency_protocol> protocol_;

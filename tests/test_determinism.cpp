@@ -64,6 +64,34 @@ TEST(Determinism, GoldenDigestPinned) {
 // the pinned golden digest. Trace-id stamping happens unconditionally, so
 // any leak of tracing state into simulation behavior shows up here as a
 // digest change.
+// Pinned goldens for the two matrix-era mobility models, one cell each from
+// experiments/smoke.matrix's axes (rpcc on the small fig7 scenario). Same
+// re-pin discipline as kGoldenRpccDigest above.
+constexpr std::uint64_t kGoldenManhattanDigest = 0x3b46408efda0da2bULL;
+constexpr std::uint64_t kGoldenPlatoonDigest = 0x76302599014be7b7ULL;
+
+run_result run_mobility_cell(const std::string& mobility) {
+  scenario_params p = small_fig7_params();
+  p.mobility = mobility;
+  if (mobility == "platoon") p.group_size = 4;
+  const protocol_variant v{"rpcc", "rpcc", level_mix::strong_only()};
+  return run_variant(p, v);
+}
+
+TEST(Determinism, GoldenManhattanDigestPinned) {
+  const std::uint64_t got = digest(run_mobility_cell("manhattan"));
+  EXPECT_EQ(got, kGoldenManhattanDigest)
+      << "manhattan digest 0x" << std::hex << got << " != pinned golden 0x"
+      << kGoldenManhattanDigest;
+}
+
+TEST(Determinism, GoldenPlatoonDigestPinned) {
+  const std::uint64_t got = digest(run_mobility_cell("platoon"));
+  EXPECT_EQ(got, kGoldenPlatoonDigest)
+      << "platoon digest 0x" << std::hex << got << " != pinned golden 0x"
+      << kGoldenPlatoonDigest;
+}
+
 TEST(Determinism, TelemetryDoesNotPerturbDigest) {
   scenario_params p = small_fig7_params();
   p.trace_file = ::testing::TempDir() + "/manet_det_trace.jsonl";

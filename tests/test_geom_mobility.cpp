@@ -1,8 +1,13 @@
 // Geometry primitives and mobility models.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
+
 #include "geom/terrain.hpp"
 #include "geom/vec2.hpp"
+#include "mobility/manhattan.hpp"
+#include "mobility/platoon.hpp"
 #include "mobility/random_walk.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "mobility/waypoint_trace.hpp"
@@ -147,6 +152,162 @@ TEST(WaypointTrace, SpeedBetweenWaypoints) {
   waypoint_trace m({{0, {0, 0}}, {10, {100, 0}}});
   EXPECT_DOUBLE_EQ(m.speed_at(5), 10.0);
   EXPECT_DOUBLE_EQ(m.speed_at(50), 0.0);
+}
+
+// --- Manhattan-grid mobility properties ------------------------------------
+
+manhattan_params city_params() {
+  manhattan_params p;
+  p.street_spacing = 150;
+  p.min_speed_mps = 5;
+  p.max_speed_mps = 15;
+  p.pause = 2;
+  return p;
+}
+
+TEST(Manhattan, StaysInsideTerrainAndOnStreets) {
+  terrain land(900, 600);
+  manhattan_mobility m(land, city_params(), rng(11));
+  for (int i = 0; i <= 2000; ++i) {
+    const sim_time t = i * 1.7;
+    const vec2 pos = m.position_at(t);
+    ASSERT_TRUE(land.contains(pos)) << "t=" << t << " (" << pos.x << ","
+                                    << pos.y << ")";
+    // A lattice walker is always on a street: at least one coordinate sits
+    // on a multiple of the spacing (within float tolerance).
+    const double rx = std::fmod(pos.x, 150.0);
+    const double ry = std::fmod(pos.y, 150.0);
+    const double dx = std::min(rx, 150.0 - rx);
+    const double dy = std::min(ry, 150.0 - ry);
+    ASSERT_LT(std::min(dx, dy), 1e-6) << "off-street at t=" << t;
+  }
+}
+
+TEST(Manhattan, RespectsSpeedLimits) {
+  terrain land(1200, 1200);
+  manhattan_mobility m(land, city_params(), rng(12));
+  for (int i = 0; i < 500; ++i) {
+    const double v = m.speed_at(i * 3.1);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 15.0 + 1e-9);
+    if (v > 0) {
+      ASSERT_GE(v, 5.0 - 1e-9);
+    }
+  }
+}
+
+TEST(Manhattan, ActuallyMoves) {
+  terrain land(900, 900);
+  manhattan_mobility m(land, city_params(), rng(13));
+  const vec2 start = m.position_at(0);
+  double max_dist = 0;
+  for (int i = 1; i <= 200; ++i) {
+    max_dist = std::max(max_dist, distance(start, m.position_at(i * 5.0)));
+  }
+  EXPECT_GT(max_dist, 150.0);
+}
+
+TEST(Manhattan, IdenticalSeedsGiveIdenticalTrajectories) {
+  terrain land(900, 600);
+  manhattan_mobility a(land, city_params(), rng(99));
+  manhattan_mobility b(land, city_params(), rng(99));
+  for (int i = 0; i <= 400; ++i) {
+    const sim_time t = i * 2.3;
+    const vec2 pa = a.position_at(t);
+    const vec2 pb = b.position_at(t);
+    ASSERT_EQ(pa.x, pb.x) << "t=" << t;
+    ASSERT_EQ(pa.y, pb.y) << "t=" << t;
+  }
+}
+
+TEST(Manhattan, DegenerateTinyTerrainPinsNode) {
+  // Terrain smaller than one street block: a 1x1 grid has nowhere to go.
+  terrain land(100, 100);
+  manhattan_mobility m(land, city_params(), rng(5));
+  const vec2 p0 = m.position_at(0);
+  for (int i = 1; i < 50; ++i) {
+    const vec2 p = m.position_at(i * 10.0);
+    ASSERT_EQ(p.x, p0.x);
+    ASSERT_EQ(p.y, p0.y);
+    ASSERT_EQ(m.speed_at(i * 10.0), 0.0);
+  }
+}
+
+// --- Platoon/convoy mobility properties ------------------------------------
+
+platoon_params convoy_params() {
+  platoon_params p;
+  p.lead.min_speed_mps = 4;
+  p.lead.max_speed_mps = 10;
+  p.lead.pause = 5;
+  p.headway = 3.0;
+  return p;
+}
+
+TEST(Platoon, MembersReplayLeadWithHeadwayDelay) {
+  terrain land(1000, 1000);
+  const rng shared(77);
+  platoon_member lead(land, convoy_params(), 0, shared);
+  platoon_member third(land, convoy_params(), 2, shared);
+  // Member 2 at time t sits where the lead was at t - 2*headway.
+  for (int i = 0; i <= 100; ++i) {
+    const sim_time t = 6.0 + i * 4.0;
+    const vec2 behind = third.position_at(t);
+    const vec2 ahead = lead.position_at(t - 6.0);
+    ASSERT_EQ(behind.x, ahead.x) << "t=" << t;
+    ASSERT_EQ(behind.y, ahead.y) << "t=" << t;
+  }
+}
+
+TEST(Platoon, StaysInsideTerrain) {
+  terrain land(800, 500);
+  const rng shared(31);
+  for (int rank = 0; rank < 4; ++rank) {
+    platoon_member m(land, convoy_params(), rank, shared);
+    for (int i = 0; i <= 300; ++i) {
+      ASSERT_TRUE(land.contains(m.position_at(i * 3.3)));
+    }
+  }
+}
+
+TEST(Platoon, RespectsLeadSpeedLimits) {
+  terrain land(1000, 1000);
+  platoon_member m(land, convoy_params(), 1, rng(44));
+  for (int i = 0; i < 400; ++i) {
+    const double v = m.speed_at(i * 2.7);
+    ASSERT_GE(v, 0.0);
+    ASSERT_LE(v, 10.0 + 1e-9);
+    if (v > 0) {
+      ASSERT_GE(v, 4.0 - 1e-9);
+    }
+  }
+}
+
+TEST(Platoon, TrailingMembersHoldAtStartUntilTheirSlot) {
+  terrain land(1000, 1000);
+  const rng shared(61);
+  platoon_member lead(land, convoy_params(), 0, shared);
+  platoon_member tail(land, convoy_params(), 3, shared);
+  const vec2 origin = lead.position_at(0);
+  // rank 3 * headway 3 s = 9 s of holding at the column start.
+  for (double t = 0; t < 9.0; t += 1.5) {
+    const vec2 p = tail.position_at(t);
+    ASSERT_EQ(p.x, origin.x);
+    ASSERT_EQ(p.y, origin.y);
+  }
+}
+
+TEST(Platoon, IdenticalSeedsGiveIdenticalTrajectories) {
+  terrain land(900, 900);
+  platoon_member a(land, convoy_params(), 2, rng(123));
+  platoon_member b(land, convoy_params(), 2, rng(123));
+  for (int i = 0; i <= 300; ++i) {
+    const sim_time t = i * 2.1;
+    const vec2 pa = a.position_at(t);
+    const vec2 pb = b.position_at(t);
+    ASSERT_EQ(pa.x, pb.x);
+    ASSERT_EQ(pa.y, pb.y);
+  }
 }
 
 }  // namespace

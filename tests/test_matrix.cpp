@@ -1,0 +1,338 @@
+// Scenario-matrix harness: spec parsing, cross-product expansion with
+// exclusions/overrides, churn-plan generation, jobs-invariant execution,
+// acceptance-check evaluation (including a deliberately failing check and a
+// tracestat-backed trace.* metric), and the report writers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/fault_plan.hpp"
+#include "fault/plan_generators.hpp"
+#include "scenario/matrix.hpp"
+#include "tracestat.hpp"
+
+namespace manet {
+namespace {
+
+// Small base block shared by the runnable specs below.
+const char* kRunnableBase =
+    "[base]\n"
+    "n_peers = 10\n"
+    "cache_num = 3\n"
+    "area_width = 500\n"
+    "area_height = 500\n"
+    "sim_time = 60\n"
+    "i_update = 20\n"
+    "i_query = 5\n"
+    "seed = 11\n"
+    "invariants = false\n";
+
+// --- parsing ---------------------------------------------------------------
+
+TEST(MatrixSpec, ParsesAllSections) {
+  const matrix_spec spec = matrix_spec::parse(
+      "matrix = demo\n"
+      "[base]\n"
+      "n_peers = 8   # trailing comment\n"
+      "\n"
+      "[axis protocol]\n"
+      "values = push, rpcc\n"
+      "[axis pop]\n"
+      "key = zipf_theta\n"
+      "values = 0, 0.9\n"
+      "[exclude no-push-skew]\n"
+      "protocol = push\n"
+      "pop = 0.9\n"
+      "[cell protocol=rpcc]\n"
+      "ttn = 30\n"
+      "[check alive]\n"
+      "when = protocol=rpcc\n"
+      "queries_issued >= 1\n"
+      "stale_rate <= 0.5\n");
+  EXPECT_EQ(spec.name, "demo");
+  ASSERT_EQ(spec.base.size(), 1u);
+  EXPECT_EQ(spec.base[0].first, "n_peers");
+  EXPECT_EQ(spec.base[0].second, "8");
+  ASSERT_EQ(spec.axes.size(), 2u);
+  EXPECT_EQ(spec.axes[1].name, "pop");
+  EXPECT_EQ(spec.axes[1].key, "zipf_theta");
+  ASSERT_EQ(spec.exclusions.size(), 1u);
+  EXPECT_EQ(spec.exclusions[0].name, "no-push-skew");
+  EXPECT_EQ(spec.exclusions[0].match.constraints.size(), 2u);
+  ASSERT_EQ(spec.overrides.size(), 1u);
+  // Two assertion lines under one [check] become two sibling checks sharing
+  // the name and scope.
+  ASSERT_EQ(spec.checks.size(), 2u);
+  EXPECT_EQ(spec.checks[0].name, "alive");
+  EXPECT_EQ(spec.checks[1].name, "alive");
+  EXPECT_EQ(spec.checks[0].expr(), "queries_issued >= 1");
+  EXPECT_EQ(spec.checks[1].expr(), "stale_rate <= 0.5");
+  EXPECT_EQ(spec.checks[1].when.constraints.size(), 1u);
+}
+
+void expect_parse_error(const std::string& text, const std::string& needle) {
+  try {
+    matrix_spec::parse(text);
+    FAIL() << "expected parse error mentioning '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error '" << e.what() << "' does not mention '" << needle << "'";
+  }
+}
+
+TEST(MatrixSpec, RejectsMalformedInputWithLineNumbers) {
+  expect_parse_error("[axis]\nvalues = a\n", "needs a name");
+  expect_parse_error("[axis a]\nvalues = x\n[axis a]\nvalues = y\n",
+                     "duplicate axis");
+  expect_parse_error("[axis a]\n", "no values");
+  expect_parse_error("n_peers = 8\n", "before the first");
+  expect_parse_error("[what x]\n", "unknown section");
+  expect_parse_error("[check c]\nfoo >> 3\n", "expected 'metric");
+  expect_parse_error("[check c]\nfoo <= banana\n", "expected a number");
+  expect_parse_error("[check c]\n", "no assertion");
+  expect_parse_error("[axis a]\nvalues = x\n[exclude e]\nb = x\n",
+                     "unknown axis 'b'");
+  expect_parse_error("[axis a]\nvalues = x\n[cell a=zzz]\nk = v\n",
+                     "value the axis does not have");
+  // The reported line number points at the offending line.
+  expect_parse_error("[base]\nok = 1\n[bogus]\n", "line 3");
+}
+
+// --- expansion -------------------------------------------------------------
+
+TEST(MatrixExpand, CrossProductWithExclusionAndOverride) {
+  const matrix_spec spec = matrix_spec::parse(
+      std::string(kRunnableBase) +
+      "[axis protocol]\nvalues = push, rpcc\n"
+      "[axis mobility]\nvalues = waypoint, manhattan\n"
+      "[exclude skip]\nprotocol = push\nmobility = manhattan\n"
+      "[cell mobility=manhattan]\nstreet_spacing = 100\n");
+  const std::vector<matrix_cell> cells = expand_matrix(spec);
+  ASSERT_EQ(cells.size(), 3u);  // 2x2 minus one exclusion
+  for (const matrix_cell& c : cells) {
+    const bool manhattan = c.params.mobility == "manhattan";
+    if (manhattan) {
+      EXPECT_EQ(c.protocol, "rpcc");  // the push cell was excluded
+      EXPECT_EQ(c.params.street_spacing, 100);
+    } else {
+      EXPECT_EQ(c.params.street_spacing, 150);  // default untouched
+    }
+    EXPECT_EQ(c.params.n_peers, 10);
+    EXPECT_FALSE(c.label.empty());
+  }
+}
+
+TEST(MatrixExpand, ValidatesEveryCellNamingTheOffender) {
+  const matrix_spec spec = matrix_spec::parse(
+      std::string(kRunnableBase) +
+      "[axis mobility]\nvalues = waypoint, manhattan\n"
+      "[cell mobility=manhattan]\nstreet_spacing = 0\n");
+  try {
+    expand_matrix(spec);
+    FAIL() << "expected a validation error for the manhattan cell";
+  } catch (const std::runtime_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("mobility=manhattan"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("street_spacing"), std::string::npos) << msg;
+  }
+}
+
+TEST(MatrixExpand, ChurnPlanGeneratesParseableFaultPlan) {
+  const matrix_spec spec = matrix_spec::parse(
+      std::string(kRunnableBase) +
+      "[axis churn_plan]\nvalues = none, diurnal, partition_heal\n");
+  const std::vector<matrix_cell> cells = expand_matrix(spec);
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_TRUE(cells[0].params.fault.empty());
+  EXPECT_FALSE(cells[1].params.fault.empty());
+  EXPECT_FALSE(cells[2].params.fault.empty());
+  // Both generated plans round-trip through the fault grammar.
+  EXPECT_FALSE(fault_plan::parse(cells[1].params.fault).events.empty());
+  EXPECT_FALSE(fault_plan::parse(cells[2].params.fault).events.empty());
+}
+
+TEST(MatrixExpand, ChurnPlanContradictsExplicitFault) {
+  const matrix_spec spec = matrix_spec::parse(
+      std::string(kRunnableBase) +
+      "[axis churn_plan]\nvalues = diurnal\n"
+      "[cell churn_plan=diurnal]\nfault = partition@10..20\n");
+  EXPECT_THROW(expand_matrix(spec), std::runtime_error);
+}
+
+// --- plan generators -------------------------------------------------------
+
+TEST(PlanGenerators, DiurnalChurnShapesAndParses) {
+  diurnal_churn_options opt;
+  opt.n_peers = 20;
+  opt.t_begin = 0;
+  opt.t_end = 1800;
+  opt.period = 600;
+  opt.duty = 0.3;
+  opt.fraction = 0.25;
+  const std::string plan = diurnal_churn_plan(opt);
+  const fault_plan parsed = fault_plan::parse(plan);
+  EXPECT_EQ(parsed.events.size(), 3u);  // one night per 600 s cycle
+  // Identical options give the identical plan (the generators are pure).
+  EXPECT_EQ(plan, diurnal_churn_plan(opt));
+}
+
+TEST(PlanGenerators, PartitionHealAlternatesAndParses) {
+  partition_heal_options opt;
+  opt.t_begin = 0;
+  opt.t_end = 2400;
+  opt.period = 600;
+  opt.outage = 120;
+  const std::string plan = partition_heal_plan(opt);
+  const fault_plan parsed = fault_plan::parse(plan);
+  EXPECT_EQ(parsed.events.size(), 4u);
+  // Alternating axes show up in the plan text.
+  EXPECT_NE(plan.find(":x"), std::string::npos);
+  EXPECT_NE(plan.find(":y"), std::string::npos);
+}
+
+TEST(PlanGenerators, RejectBadOptions) {
+  diurnal_churn_options d;
+  d.n_peers = 0;
+  EXPECT_THROW(diurnal_churn_plan(d), std::runtime_error);
+  diurnal_churn_options d2;
+  d2.fraction = 1.5;
+  EXPECT_THROW(diurnal_churn_plan(d2), std::runtime_error);
+  partition_heal_options p;
+  p.outage = 700;
+  p.period = 600;
+  EXPECT_THROW(partition_heal_plan(p), std::runtime_error);
+}
+
+// --- metric resolution -----------------------------------------------------
+
+TEST(MatrixMetrics, ResolvesNamedFieldsDerivedRatiosAndRegistry) {
+  run_result r;
+  r.queries_issued = 100;
+  r.queries_answered = 80;
+  r.stale_answers = 8;
+  r.total_messages = 500;
+  r.sim_time = 50;
+  r.metrics.emplace_back("rpcc.relay_count", 7.0);
+  double v = 0;
+  ASSERT_TRUE(resolve_metric(r, "queries_answered", v));
+  EXPECT_EQ(v, 80.0);
+  ASSERT_TRUE(resolve_metric(r, "answer_ratio", v));
+  EXPECT_DOUBLE_EQ(v, 0.8);
+  ASSERT_TRUE(resolve_metric(r, "stale_rate", v));
+  EXPECT_DOUBLE_EQ(v, 0.1);
+  ASSERT_TRUE(resolve_metric(r, "messages_per_query", v));
+  EXPECT_DOUBLE_EQ(v, 5.0);
+  ASSERT_TRUE(resolve_metric(r, "messages_per_second", v));
+  EXPECT_DOUBLE_EQ(v, 10.0);
+  ASSERT_TRUE(resolve_metric(r, "metrics.rpcc.relay_count", v));
+  EXPECT_EQ(v, 7.0);
+  EXPECT_FALSE(resolve_metric(r, "metrics.nope", v));
+  EXPECT_FALSE(resolve_metric(r, "no_such_metric", v));
+  // Every advertised name resolves.
+  for (const std::string& name : metric_names()) {
+    EXPECT_TRUE(resolve_metric(r, name, v)) << name;
+  }
+}
+
+// --- execution -------------------------------------------------------------
+
+matrix_spec runnable_grid() {
+  return matrix_spec::parse(std::string(kRunnableBase) +
+                            "[axis protocol]\nvalues = push, rpcc\n"
+                            "[axis mobility]\nvalues = waypoint, platoon\n"
+                            "[cell mobility=platoon]\ngroup_size = 5\n"
+                            "[check alive]\nqueries_issued >= 1\n");
+}
+
+TEST(MatrixRun, JobsInvariantDigests) {
+  matrix_run_options serial;
+  serial.jobs = 1;
+  matrix_run_options threaded;
+  threaded.jobs = 4;
+  const matrix_report a = run_matrix(runnable_grid(), serial);
+  const matrix_report b = run_matrix(runnable_grid(), threaded);
+  ASSERT_EQ(a.cells.size(), 4u);
+  ASSERT_EQ(b.cells.size(), 4u);
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].label, b.cells[i].label);
+    EXPECT_EQ(a.cells[i].digest, b.cells[i].digest)
+        << a.cells[i].label << ": digest differs between jobs=1 and jobs=4";
+  }
+  EXPECT_TRUE(a.passed());
+}
+
+TEST(MatrixRun, FailingCheckIsCaughtAndReported) {
+  const matrix_spec spec = matrix_spec::parse(
+      std::string(kRunnableBase) +
+      "[axis protocol]\nvalues = rpcc\n"
+      "[check impossible]\nqueries_answered >= 1000000\n"
+      "[check fine]\nqueries_issued >= 1\n");
+  const matrix_report report = run_matrix(spec, {});
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_FALSE(report.passed());
+  EXPECT_EQ(report.failed_cells(), 1u);
+  ASSERT_EQ(report.cells[0].checks.size(), 2u);
+  EXPECT_FALSE(report.cells[0].checks[0].passed);
+  EXPECT_TRUE(report.cells[0].checks[0].evaluated);
+  EXPECT_TRUE(report.cells[0].checks[1].passed);
+  // Both report formats name the failing check.
+  EXPECT_NE(report.render_table().find("impossible"), std::string::npos);
+  EXPECT_NE(report.render_table().find("FAIL"), std::string::npos);
+  EXPECT_NE(report.to_jsonl().find("\"impossible\""), std::string::npos);
+  EXPECT_NE(report.to_jsonl().find("\"passed\":false"), std::string::npos);
+}
+
+TEST(MatrixRun, UnknownMetricFailsLoudlyNotSilently) {
+  const matrix_spec spec = matrix_spec::parse(
+      std::string(kRunnableBase) +
+      "[axis protocol]\nvalues = push\n"
+      "[check typo]\nqueries_answred >= 1\n");
+  const matrix_report report = run_matrix(spec, {});
+  ASSERT_EQ(report.cells.size(), 1u);
+  ASSERT_EQ(report.cells[0].checks.size(), 1u);
+  EXPECT_FALSE(report.cells[0].checks[0].passed);
+  EXPECT_FALSE(report.cells[0].checks[0].evaluated);
+  EXPECT_NE(report.cells[0].checks[0].error.find("queries_answred"),
+            std::string::npos);
+}
+
+TEST(MatrixRun, TraceMetricViaTracestatResolver) {
+  // run_matrix writes into an existing directory (the CLI creates it).
+  const std::string dir = ::testing::TempDir();
+  const matrix_spec spec = matrix_spec::parse(
+      std::string(kRunnableBase) +
+      "[axis protocol]\nvalues = rpcc\n"
+      "[check causal]\ntrace.causal_violations <= 0\n"
+      "[check answered]\nqueries_answered >= 1\n");
+  matrix_run_options opt;
+  opt.trace_dir = dir;
+  opt.trace_metric = tracestat::matrix_trace_metric;
+  const matrix_report report = run_matrix(spec, opt);
+  ASSERT_EQ(report.cells.size(), 1u);
+  EXPECT_TRUE(report.cells[0].passed()) << report.render_table();
+  EXPECT_FALSE(report.cells[0].trace_file.empty());
+  // The trace really exists and holds events.
+  double events = 0;
+  ASSERT_TRUE(tracestat::matrix_trace_metric(report.cells[0].trace_file,
+                                             "trace.events", events));
+  EXPECT_GT(events, 0);
+  std::remove(report.cells[0].trace_file.c_str());
+}
+
+TEST(MatrixRun, TraceCheckWithoutResolverFailsLoudly) {
+  const matrix_spec spec = matrix_spec::parse(
+      std::string(kRunnableBase) +
+      "[axis protocol]\nvalues = push\n"
+      "[check causal]\ntrace.causal_violations <= 0\n");
+  const matrix_report report = run_matrix(spec, {});  // no trace_dir/resolver
+  ASSERT_EQ(report.cells.size(), 1u);
+  ASSERT_EQ(report.cells[0].checks.size(), 1u);
+  EXPECT_FALSE(report.cells[0].checks[0].passed);
+  EXPECT_FALSE(report.cells[0].checks[0].evaluated);
+}
+
+}  // namespace
+}  // namespace manet

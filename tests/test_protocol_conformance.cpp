@@ -1,6 +1,10 @@
 // Protocol conformance: behaviors every consistency protocol must share,
-// parameterized over all four implementations.
+// parameterized over all four implementations x {plain, hardened}. push has
+// no hardened mode (nothing to retry), so its flag is a no-op by design and
+// both variants must behave identically.
 #include <gtest/gtest.h>
+
+#include <tuple>
 
 #include "consistency/hybrid_protocol.hpp"
 #include "consistency/pull_protocol.hpp"
@@ -15,7 +19,8 @@ namespace {
 using manet::testing::rig;
 
 std::unique_ptr<consistency_protocol> make_test_protocol(const std::string& name,
-                                                         protocol_context ctx) {
+                                                         protocol_context ctx,
+                                                         bool hardened = false) {
   if (name == "push") {
     push_params pp;
     pp.ttn = 20.0;
@@ -26,6 +31,7 @@ std::unique_ptr<consistency_protocol> make_test_protocol(const std::string& name
     pull_params pp;
     pp.validity = 60.0;
     pp.poll_timeout = 1.0;
+    pp.hardened = hardened;
     return std::make_unique<pull_protocol>(ctx, pp);
   }
   if (name == "push_pull") {
@@ -33,9 +39,11 @@ std::unique_ptr<consistency_protocol> make_test_protocol(const std::string& name
     hp.ttn = 20.0;
     hp.validity = 60.0;
     hp.poll_timeout = 1.0;
+    hp.hardened = hardened;
     return std::make_unique<hybrid_protocol>(ctx, hp);
   }
   rpcc_params rp;
+  rp.hardened = hardened;
   rp.ttn = 20.0;
   rp.ttr = 25.0;
   rp.ttp = 60.0;
@@ -48,11 +56,13 @@ std::unique_ptr<consistency_protocol> make_test_protocol(const std::string& name
   return std::make_unique<rpcc_protocol>(ctx, rp);
 }
 
-class Conformance : public ::testing::TestWithParam<const char*> {
+class Conformance
+    : public ::testing::TestWithParam<std::tuple<const char*, bool>> {
  protected:
   Conformance() : r(rig::line(4)) {
     ctx = r.make_context(64, 256, 60.0);
-    proto = make_test_protocol(GetParam(), ctx);
+    proto = make_test_protocol(std::get<0>(GetParam()), ctx,
+                               std::get<1>(GetParam()));
     proto->start();
   }
 
@@ -150,11 +160,14 @@ TEST_P(Conformance, SurvivesAskerChurnMidQuery) {
   EXPECT_LE(r.qlog->unanswered(), 1u);
 }
 
-INSTANTIATE_TEST_SUITE_P(AllProtocols, Conformance,
-                         ::testing::Values("push", "pull", "push_pull", "rpcc"),
-                         [](const ::testing::TestParamInfo<const char*>& info) {
-                           return std::string(info.param);
-                         });
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocols, Conformance,
+    ::testing::Combine(::testing::Values("push", "pull", "push_pull", "rpcc"),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<const char*, bool>>& info) {
+      return std::string(std::get<0>(info.param)) +
+             (std::get<1>(info.param) ? "_hardened" : "_plain");
+    });
 
 }  // namespace
 }  // namespace manet

@@ -123,6 +123,71 @@ TEST(Rng, ZipfStaysInRange) {
   for (int i = 0; i < 10000; ++i) EXPECT_LT(g.zipf(3, 0.8), 3u);
 }
 
+TEST(Rng, ZipfEmpiricalMassMatchesTheory) {
+  // Empirical frequencies over a long sample must track the normalized
+  // 1/(k+1)^theta masses within a few percent of the total.
+  const std::uint64_t n = 8;
+  const double theta = 0.8;
+  double harmonic = 0;
+  for (std::uint64_t k = 0; k < n; ++k) {
+    harmonic += 1.0 / std::pow(static_cast<double>(k + 1), theta);
+  }
+  rng g(20250808);
+  const int draws = 200000;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < draws; ++i) ++counts[g.zipf(n, theta)];
+  for (std::uint64_t k = 0; k < n; ++k) {
+    const double expected =
+        1.0 / std::pow(static_cast<double>(k + 1), theta) / harmonic;
+    const double got = static_cast<double>(counts[k]) / draws;
+    EXPECT_NEAR(got, expected, 0.01)
+        << "rank " << k << ": empirical " << got << " vs " << expected;
+  }
+}
+
+TEST(Rng, ZipfRankCountsMonotonicallyDecrease) {
+  rng g(77);
+  std::vector<int> counts(12, 0);
+  for (int i = 0; i < 300000; ++i) ++counts[g.zipf(12, 1.0)];
+  for (std::size_t k = 1; k < counts.size(); ++k) {
+    EXPECT_GT(counts[k - 1], counts[k])
+        << "rank " << k - 1 << " should strictly outdraw rank " << k;
+  }
+}
+
+TEST(Rng, ZipfThetaZeroDegeneratesToUniform) {
+  rng g(5);
+  std::vector<int> counts(5, 0);
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) ++counts[g.zipf(5, 0.0)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / draws, 0.2, 0.01);
+  }
+}
+
+TEST(Rng, ZipfSameSeedSameSequence) {
+  rng a(424242);
+  rng b(424242);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_EQ(a.zipf(100, 0.9), b.zipf(100, 0.9)) << "draw " << i;
+  }
+}
+
+TEST(Rng, ZipfNamedStreamsAreIndependentAndReproducible) {
+  // The scenario layer derives every sampler from (master seed, stream name,
+  // index); equal coordinates must replay, different indices must diverge.
+  rng a(derive_seed(9, "workload.query", 3));
+  rng a2(derive_seed(9, "workload.query", 3));
+  rng b(derive_seed(9, "workload.query", 4));
+  bool diverged = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto va = a.zipf(50, 0.8);
+    ASSERT_EQ(va, a2.zipf(50, 0.8));
+    diverged = diverged || va != b.zipf(50, 0.8);
+  }
+  EXPECT_TRUE(diverged);
+}
+
 TEST(DeriveSeed, DistinctStreamsAndIndices) {
   const auto a = derive_seed(1, "mobility", 0);
   const auto b = derive_seed(1, "mobility", 1);

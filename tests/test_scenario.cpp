@@ -1,6 +1,9 @@
 // Scenario assembly and end-to-end integration invariants.
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <string>
+
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
 
@@ -253,6 +256,137 @@ TEST(Params, DescribeMentionsTable1Names) {
   EXPECT_NE(d.find("N_Peers"), std::string::npos);
   EXPECT_NE(d.find("I_Update"), std::string::npos);
   EXPECT_NE(d.find("TTN"), std::string::npos);
+}
+
+// --- scenario_params::validate() rejection coverage ------------------------
+
+/// Expects validate() to throw and the message to mention `needle` (the
+/// offending knob), so error messages stay actionable.
+void expect_rejected(const scenario_params& p, const std::string& needle) {
+  try {
+    p.validate();
+    FAIL() << "validate() accepted a contradictory config (expected a "
+              "message mentioning '"
+           << needle << "')";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error message '" << e.what() << "' does not mention '" << needle
+        << "'";
+  }
+}
+
+TEST(ParamsValidate, AcceptsDefaultsAndAllMobilityModels) {
+  for (const char* m :
+       {"waypoint", "walk", "static", "group", "manhattan", "platoon"}) {
+    scenario_params p = small_params();
+    p.mobility = m;
+    EXPECT_NO_THROW(p.validate()) << m;
+  }
+}
+
+TEST(ParamsValidate, RejectsNonPositivePopulationAndTerrain) {
+  scenario_params p = small_params();
+  p.n_peers = 0;
+  expect_rejected(p, "n_peers");
+  p = small_params();
+  p.area_width = 0;
+  expect_rejected(p, "area");
+  p = small_params();
+  p.comm_range = 0;
+  expect_rejected(p, "comm_range");
+  p = small_params();
+  p.cache_num = 0;
+  expect_rejected(p, "cache_num");
+  p = small_params();
+  p.sim_time = 0;
+  expect_rejected(p, "sim_time");
+  p = small_params();
+  p.warmup = -1;
+  expect_rejected(p, "warmup");
+}
+
+TEST(ParamsValidate, RejectsUnknownComponentNames) {
+  scenario_params p = small_params();
+  p.mobility = "teleport";
+  expect_rejected(p, "mobility");
+  p = small_params();
+  p.router = "ospf";
+  expect_rejected(p, "router");
+  p = small_params();
+  p.mac = "tdma";
+  expect_rejected(p, "mac");
+  p = small_params();
+  p.neighbor_index = "rtree";
+  expect_rejected(p, "neighbor_index");
+  p = small_params();
+  p.loss_model = "markov9";
+  expect_rejected(p, "loss_model");
+  p = small_params();
+  p.placement = "warm";
+  expect_rejected(p, "placement");
+  p = small_params();
+  p.popularity = "flat";
+  expect_rejected(p, "popularity");
+}
+
+TEST(ParamsValidate, RejectsInvertedSpeedRange) {
+  scenario_params p = small_params();
+  p.min_speed = 3.0;
+  p.max_speed = 1.0;
+  expect_rejected(p, "max_speed");
+}
+
+TEST(ParamsValidate, RejectsBadMobilityKnobs) {
+  scenario_params p = small_params();
+  p.mobility = "manhattan";
+  p.street_spacing = 0;
+  expect_rejected(p, "street_spacing");
+  p = small_params();
+  p.mobility = "platoon";
+  p.group_size = 0;
+  expect_rejected(p, "group_size");
+  p = small_params();
+  p.mobility = "platoon";
+  p.platoon_headway = -1;
+  expect_rejected(p, "platoon_headway");
+  p = small_params();
+  p.pause = -0.5;
+  expect_rejected(p, "pause");
+}
+
+TEST(ParamsValidate, RejectsOutOfRangeProbabilities) {
+  scenario_params p = small_params();
+  p.loss_probability = 1.5;
+  expect_rejected(p, "loss_probability");
+  p = small_params();
+  p.switch_probability = -0.1;
+  expect_rejected(p, "switch_probability");
+}
+
+TEST(ParamsValidate, RejectsContradictoryCatalogueKnobs) {
+  // A multi-item catalogue cannot coexist with Fig 9's single-item mode.
+  scenario_params p = small_params();
+  p.num_items = 10;
+  p.single_item_mode = true;
+  expect_rejected(p, "single_item_mode");
+  p = small_params();
+  p.num_items = -3;
+  expect_rejected(p, "num_items");
+  p = small_params();
+  p.zipf_theta = -0.5;
+  expect_rejected(p, "zipf_theta");
+  // popularity=cached draws from the querier's own cache, which dynamic
+  // placement leaves empty at start under the paper's m = n model.
+  p = small_params();
+  p.popularity = "cached";
+  p.placement = "dynamic";
+  expect_rejected(p, "popularity");
+}
+
+TEST(ParamsValidate, ScenarioBuildRunsValidation) {
+  scenario_params p = small_params();
+  p.mobility = "hovercraft";
+  EXPECT_THROW(scenario(p, "rpcc").run_until(0.1), std::runtime_error);
 }
 
 }  // namespace

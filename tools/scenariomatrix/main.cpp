@@ -1,0 +1,137 @@
+// scenariomatrix: runs a declarative scenario-matrix spec (see
+// scenario/matrix.hpp for the grammar) across the thread-pooled executor,
+// evaluates per-cell acceptance checks, and writes human + machine reports.
+//
+//   scenariomatrix SPEC [--jobs=N] [--report=FILE] [--trace-dir=DIR]
+//                       [--no-checks] [--list] [--metrics] [key=value ...]
+//
+// key=value arguments override the spec's [base] section (axes still win for
+// their own keys). Exit code: 0 = all cells passed, 1 = at least one
+// acceptance check failed, 2 = usage/spec error.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "scenario/matrix.hpp"
+#include "tracestat.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: scenariomatrix SPEC [--jobs=N] [--report=FILE]\n"
+      "                      [--trace-dir=DIR] [--no-checks] [--list]\n"
+      "                      [--metrics] [key=value ...]\n"
+      "  SPEC           matrix spec file (scenario/matrix.hpp documents the\n"
+      "                 grammar; experiments/*.matrix are examples)\n"
+      "  --jobs=N       worker threads (1 = serial, 0 = all cores); cell\n"
+      "                 digests are identical for any value\n"
+      "  --report=FILE  write the machine-readable JSONL cell report here\n"
+      "  --trace-dir=DIR capture per-cell traces for cells with trace.*\n"
+      "                 checks (created if missing)\n"
+      "  --no-checks    run the grid without evaluating acceptance checks\n"
+      "  --list         print the expanded cells and exit without running\n"
+      "  --metrics      print the check-able metric names and exit\n"
+      "  key=value      extra [base] overrides applied to every cell\n");
+  return 2;
+}
+
+bool flag_value(const std::string& arg, const char* name, std::string& out) {
+  const std::string prefix = std::string(name) + "=";
+  if (arg.rfind(prefix, 0) != 0) return false;
+  out = arg.substr(prefix.size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string report_path;
+  manet::matrix_run_options opt;
+  opt.trace_metric = manet::tracestat::matrix_trace_metric;
+  bool list_only = false;
+  std::vector<std::pair<std::string, std::string>> overrides;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    std::string value;
+    if (arg == "--metrics") {
+      for (const std::string& name : manet::metric_names()) {
+        std::printf("%s\n", name.c_str());
+      }
+      std::printf("metrics.NAME (registry snapshot), trace.* (see "
+                  "tools/tracestat/tracestat.hpp)\n");
+      return 0;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--no-checks") {
+      opt.run_checks = false;
+    } else if (flag_value(arg, "--jobs", value)) {
+      opt.jobs = std::atoi(value.c_str());
+    } else if (flag_value(arg, "--report", value)) {
+      report_path = value;
+    } else if (flag_value(arg, "--trace-dir", value)) {
+      opt.trace_dir = value;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "scenariomatrix: unknown flag '%s'\n", arg.c_str());
+      return usage();
+    } else if (arg.find('=') != std::string::npos) {
+      const std::size_t eq = arg.find('=');
+      overrides.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+    } else if (spec_path.empty()) {
+      spec_path = arg;
+    } else {
+      std::fprintf(stderr, "scenariomatrix: extra positional argument '%s'\n",
+                   arg.c_str());
+      return usage();
+    }
+  }
+  if (spec_path.empty()) return usage();
+
+  try {
+    manet::matrix_spec spec = manet::matrix_spec::load(spec_path);
+    for (const auto& [k, v] : overrides) spec.base.emplace_back(k, v);
+
+    if (list_only) {
+      const std::vector<manet::matrix_cell> cells =
+          manet::expand_matrix(spec);
+      for (const manet::matrix_cell& c : cells) {
+        std::printf("%3zu  %s  protocol=%s\n", c.index, c.label.c_str(),
+                    c.protocol.c_str());
+      }
+      std::printf("%zu cells\n", cells.size());
+      return 0;
+    }
+
+    if (!opt.trace_dir.empty()) {
+      std::filesystem::create_directories(opt.trace_dir);
+    }
+    opt.progress = [](const manet::matrix_cell_result& c) {
+      std::fprintf(stderr, "done %s [%s]\n", c.label.c_str(),
+                   c.passed() ? "ok" : "FAIL");
+    };
+
+    const manet::matrix_report report = manet::run_matrix(spec, opt);
+    std::printf("%s", report.render_table().c_str());
+
+    if (!report_path.empty()) {
+      std::ofstream out(report_path);
+      if (!out) {
+        std::fprintf(stderr, "scenariomatrix: cannot write '%s'\n",
+                     report_path.c_str());
+        return 2;
+      }
+      out << report.to_jsonl();
+      std::printf("report: %s\n", report_path.c_str());
+    }
+    return report.passed() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "scenariomatrix: %s\n", e.what());
+    return 2;
+  }
+}

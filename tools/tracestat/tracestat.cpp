@@ -458,4 +458,51 @@ std::string render_summary(const analysis& a) {
   return os.str();
 }
 
+bool matrix_trace_metric(const std::string& trace_path,
+                         const std::string& metric, double& out) {
+  const trace_file tf = load(trace_path);
+  if (metric == "trace.events") {
+    out = static_cast<double>(tf.events.size());
+    return true;
+  }
+  if (metric == "trace.malformed_lines") {
+    out = static_cast<double>(tf.malformed_lines);
+    return true;
+  }
+  if (metric == "trace.causal_violations") {
+    out = static_cast<double>(check(tf).size());
+    return true;
+  }
+  const analysis a = analyze(tf);
+  if (metric == "trace.ttc_p50_s" || metric == "trace.ttc_p95_s" ||
+      metric == "trace.ttc_p99_s") {
+    const double q = metric == "trace.ttc_p50_s"   ? 0.50
+                     : metric == "trace.ttc_p95_s" ? 0.95
+                                                   : 0.99;
+    out = quantile(a.ttc_sample(), q);
+    return true;
+  }
+  if (metric == "trace.latency_p50_s" || metric == "trace.latency_p95_s" ||
+      metric == "trace.latency_p99_s") {
+    const double q = metric == "trace.latency_p50_s"   ? 0.50
+                     : metric == "trace.latency_p95_s" ? 0.95
+                                                       : 0.99;
+    out = quantile(a.latency_sample(), q);
+    return true;
+  }
+  if (metric == "trace.updates_complete") {
+    std::size_t with_holders = 0, complete = 0;
+    for (const update_ttc& u : a.updates) {
+      if (u.holders == 0) continue;
+      ++with_holders;
+      if (u.complete) ++complete;
+    }
+    out = with_holders ? static_cast<double>(complete) /
+                             static_cast<double>(with_holders)
+                       : 1.0;
+    return true;
+  }
+  return false;
+}
+
 }  // namespace manet::tracestat

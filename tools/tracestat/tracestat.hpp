@@ -115,6 +115,21 @@ std::string render_series(const std::string& path);
 /// query latency phases).
 std::string render_summary(const analysis& a);
 
+/// Resolver for the scenario matrix's "trace.*" acceptance-check metrics
+/// (scenario/matrix.hpp's trace_metric_resolver signature). Loads the
+/// cell's JSONL trace and serves:
+///   trace.events               total parsed events
+///   trace.malformed_lines      lines the parser rejected
+///   trace.causal_violations    offline check() finding count
+///   trace.ttc_p50_s|p95|p99    time-to-consistency percentiles (seconds)
+///   trace.latency_p50_s|p95|p99  answered-query latency percentiles
+///   trace.updates_complete     fraction of updates whose holders all
+///                              caught up before trace end (1.0 if none)
+/// Returns false for unknown metric names; throws std::runtime_error when
+/// the trace file cannot be opened.
+bool matrix_trace_metric(const std::string& trace_path,
+                         const std::string& metric, double& out);
+
 }  // namespace manet::tracestat
 
 #endif  // MANET_TOOLS_TRACESTAT_HPP

@@ -1,6 +1,12 @@
 // The paper's three consistency levels (§3) and per-query level mixes.
-#ifndef MANET_CONSISTENCY_LEVEL_HPP
-#define MANET_CONSISTENCY_LEVEL_HPP
+//
+// This vocabulary type lives in cache/ (not consistency/) because queries
+// carry a level from the moment the workload issues them: the cache layer,
+// the metrics writers, and the protocols all speak it, so it belongs below
+// all of them (archlint ARCH001). consistency/ holds the protocol machinery
+// that *implements* the levels.
+#ifndef MANET_CACHE_CONSISTENCY_LEVEL_HPP
+#define MANET_CACHE_CONSISTENCY_LEVEL_HPP
 
 #include <cassert>
 
@@ -48,4 +54,4 @@ struct level_mix {
 
 }  // namespace manet
 
-#endif  // MANET_CONSISTENCY_LEVEL_HPP
+#endif  // MANET_CACHE_CONSISTENCY_LEVEL_HPP

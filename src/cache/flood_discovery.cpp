@@ -1,10 +1,21 @@
 #include "cache/flood_discovery.hpp"
 
 #include <cassert>
-
-#include "consistency/messages.hpp"
+#include <memory>
 
 namespace manet {
+
+namespace {
+
+/// Discovery request/reply payload. Deliberately local to the cache layer:
+/// discovery is a cache-level concern, and borrowing a consistency-layer
+/// message type here would invert the layer contract (archlint ARCH001).
+struct disc_msg final : typed_payload<disc_msg> {
+  item_id item = invalid_item;
+  node_id asker = invalid_node;
+};
+
+}  // namespace
 
 flood_discovery::flood_discovery(network& net, flooding_service& floods,
                                  router& route, const item_registry& registry,
@@ -45,7 +56,7 @@ void flood_discovery::locate(node_id asker, item_id item, locate_callback cb) {
 }
 
 void flood_discovery::send_request(node_id asker, item_id item) {
-  auto payload = std::make_shared<poll_msg>();
+  auto payload = std::make_shared<disc_msg>();
   payload->item = item;
   payload->asker = asker;
   floods_.flood(asker, kind_disc_req, std::move(payload), params_.request_bytes,
@@ -70,11 +81,11 @@ void flood_discovery::on_timeout(node_id asker, item_id item) {
 }
 
 void flood_discovery::on_request(node_id self, const packet& p) {
-  const auto* req = payload_cast<poll_msg>(p);
+  const auto* req = payload_cast<disc_msg>(p);
   assert(req != nullptr);
   if (req->asker == self) return;
   if (!holds(self, req->item)) return;
-  auto reply = std::make_shared<poll_msg>();
+  auto reply = std::make_shared<disc_msg>();
   reply->item = req->item;
   reply->asker = req->asker;
   route_.send(self, req->asker, kind_disc_rep, std::move(reply),
@@ -82,7 +93,7 @@ void flood_discovery::on_request(node_id self, const packet& p) {
 }
 
 void flood_discovery::on_reply(node_id self, const packet& p) {
-  const auto* rep = payload_cast<poll_msg>(p);
+  const auto* rep = payload_cast<disc_msg>(p);
   assert(rep != nullptr);
   finish(self, rep->item, p.src);
 }

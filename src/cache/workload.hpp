@@ -10,7 +10,7 @@
 #include <functional>
 #include <vector>
 
-#include "consistency/level.hpp"
+#include "cache/consistency_level.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 #include "util/units.hpp"

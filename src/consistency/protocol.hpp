@@ -13,7 +13,7 @@
 
 #include "cache/cache_store.hpp"
 #include "cache/data_item.hpp"
-#include "consistency/level.hpp"
+#include "cache/consistency_level.hpp"
 #include "consistency/messages.hpp"
 #include "metrics/query_log.hpp"
 #include "net/flooding.hpp"

@@ -4,8 +4,12 @@
 // queries of t. Models are per-node objects, advanced lazily: the network
 // substrate queries positions only when it needs connectivity, so no events
 // are spent on movement itself.
-#ifndef MANET_MOBILITY_MOBILITY_MODEL_HPP
-#define MANET_MOBILITY_MOBILITY_MODEL_HPP
+//
+// The interface lives in geom/ (not mobility/) because it is pure geometry —
+// position as a function of time — and net/node.hpp must be able to hold one
+// without reaching up into the concrete model layer (archlint ARCH001).
+#ifndef MANET_GEOM_MOBILITY_MODEL_HPP
+#define MANET_GEOM_MOBILITY_MODEL_HPP
 
 #include <memory>
 
@@ -39,4 +43,4 @@ class static_mobility final : public mobility_model {
 
 }  // namespace manet
 
-#endif  // MANET_MOBILITY_MOBILITY_MODEL_HPP
+#endif  // MANET_GEOM_MOBILITY_MODEL_HPP

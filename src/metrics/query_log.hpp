@@ -17,7 +17,7 @@
 #include <vector>
 
 #include "cache/data_item.hpp"
-#include "consistency/level.hpp"
+#include "cache/consistency_level.hpp"
 #include "sim/simulator.hpp"
 #include "util/histogram.hpp"
 #include "util/stats.hpp"
@@ -25,8 +25,7 @@
 
 namespace manet {
 
-using query_id = std::uint64_t;
-constexpr query_id invalid_query = 0;
+// query_id / invalid_query live in util/units.hpp with the other id types.
 
 struct level_stats {
   std::uint64_t issued = 0;

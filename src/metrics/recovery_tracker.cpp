@@ -8,16 +8,16 @@ recovery_tracker::recovery_tracker(simulator& sim, probes p,
                                    sim_duration probe_interval)
     : sim_(sim), probes_(std::move(p)), probe_interval_(probe_interval) {}
 
-void recovery_tracker::on_fault_begin(std::size_t idx, const fault_event& e) {
+void recovery_tracker::on_fault_begin(std::size_t idx, const std::string& label) {
   episode ep;
-  ep.label = e.describe();
+  ep.label = label;
   ep.start = sim_.now();
   ep.pre_relays = probes_.relays ? probes_.relays() : 0;
   by_event_[idx] = episodes_.size();
   episodes_.push_back(std::move(ep));
 }
 
-void recovery_tracker::on_fault_end(std::size_t idx, const fault_event&) {
+void recovery_tracker::on_fault_end(std::size_t idx) {
   auto it = by_event_.find(idx);
   if (it == by_event_.end()) return;  // end without begin (zero-length window)
   episode& ep = episodes_[it->second];

@@ -24,7 +24,6 @@
 #include <unordered_map>
 #include <vector>
 
-#include "fault/fault_plan.hpp"
 #include "sim/simulator.hpp"
 
 namespace manet {
@@ -49,8 +48,13 @@ class recovery_tracker {
 
   recovery_tracker(simulator& sim, probes p, sim_duration probe_interval = 1.0);
 
-  void on_fault_begin(std::size_t idx, const fault_event& e);
-  void on_fault_end(std::size_t idx, const fault_event& e);
+  /// `label` is the human-readable description of the fault event (the
+  /// injector's describe() text). The tracker deliberately takes only the
+  /// label, not the fault_event itself: metrics sits below fault in the
+  /// layer contract, and episode accounting needs nothing but an id, a
+  /// name, and the sim clock.
+  void on_fault_begin(std::size_t idx, const std::string& label);
+  void on_fault_end(std::size_t idx);
   /// Feed from a query_log answer observer: a stale answer was served whose
   /// version had been superseded at `superseded_at`. Attributed to the
   /// episodes whose fault window covers that instant.

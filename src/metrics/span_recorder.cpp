@@ -1,0 +1,28 @@
+#include "metrics/span_recorder.hpp"
+
+#include "metrics/query_log.hpp"
+#include "net/packet.hpp"
+
+namespace manet {
+
+void span_recorder::record_send(const packet& p) {
+  out_.record_send(sim_.now(), p.src, p, meter_);
+}
+
+void span_recorder::record_apply(node_id node, item_id item, version_t version,
+                                 std::uint64_t trace) {
+  out_.record_apply(sim_.now(), node, item, version, trace);
+}
+
+void span_recorder::record_invalidate(node_id node, item_id item,
+                                      version_t version, std::uint64_t trace) {
+  out_.record_invalidate(sim_.now(), node, item, version, trace);
+}
+
+void span_recorder::record_answer(const answer_record& ar,
+                                  std::uint64_t trace) {
+  out_.record_answer(sim_.now(), ar.node, ar.item, ar.version, ar.validated,
+                     ar.stale, trace);
+}
+
+}  // namespace manet

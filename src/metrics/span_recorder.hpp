@@ -1,0 +1,41 @@
+// The metrics-side implementation of the obs span_sink interface.
+//
+// The causal tracer (obs sidecar) emits spans through the abstract
+// span_sink; this adapter binds that interface to the concrete machinery —
+// it stamps the simulation clock, reads the traffic meter, and writes
+// through the trace_writer. Keeping the binding here (metrics, which may
+// depend on sim/ and net/) is what lets the tracer itself depend on nothing
+// but util/ (archlint ARCH001) and hold no mutable simulation state
+// (DET008).
+#ifndef MANET_METRICS_SPAN_RECORDER_HPP
+#define MANET_METRICS_SPAN_RECORDER_HPP
+
+#include "metrics/trace_writer.hpp"
+#include "net/traffic_meter.hpp"
+#include "obs/span_sink.hpp"
+#include "sim/simulator.hpp"
+
+namespace manet {
+
+class span_recorder final : public span_sink {
+ public:
+  span_recorder(const simulator& sim, const traffic_meter& meter,
+                trace_writer& out)
+      : sim_(sim), meter_(meter), out_(out) {}
+
+  void record_send(const packet& p) override;
+  void record_apply(node_id node, item_id item, version_t version,
+                    std::uint64_t trace) override;
+  void record_invalidate(node_id node, item_id item, version_t version,
+                         std::uint64_t trace) override;
+  void record_answer(const answer_record& ar, std::uint64_t trace) override;
+
+ private:
+  const simulator& sim_;
+  const traffic_meter& meter_;
+  trace_writer& out_;
+};
+
+}  // namespace manet
+
+#endif  // MANET_METRICS_SPAN_RECORDER_HPP

@@ -23,7 +23,7 @@
 #include <memory>
 #include <string>
 
-#include "consistency/level.hpp"
+#include "cache/consistency_level.hpp"
 #include "net/packet.hpp"
 #include "net/traffic_meter.hpp"
 #include "util/units.hpp"

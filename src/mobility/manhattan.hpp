@@ -10,7 +10,7 @@
 #define MANET_MOBILITY_MANHATTAN_HPP
 
 #include "geom/terrain.hpp"
-#include "mobility/mobility_model.hpp"
+#include "geom/mobility_model.hpp"
 #include "util/rng.hpp"
 
 namespace manet {

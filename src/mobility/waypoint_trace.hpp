@@ -6,7 +6,7 @@
 
 #include <vector>
 
-#include "mobility/mobility_model.hpp"
+#include "geom/mobility_model.hpp"
 
 namespace manet {
 

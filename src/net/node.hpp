@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "geom/vec2.hpp"
-#include "mobility/mobility_model.hpp"
+#include "geom/mobility_model.hpp"
 #include "net/mac.hpp"
 #include "util/units.hpp"
 

@@ -1,23 +1,21 @@
 #include "obs/causal_trace.hpp"
 
-#include "metrics/trace_writer.hpp"
-
 namespace manet {
 
 void causal_tracer::on_send(const packet& p) {
   if (sink_ == nullptr) return;
-  sink_->record_send(sim_.now(), p.src, p, meter_);
+  sink_->record_send(p);
 }
 
 void causal_tracer::on_apply(node_id node, item_id item, version_t version) {
   if (sink_ == nullptr) return;
-  sink_->record_apply(sim_.now(), node, item, version, current_);
+  sink_->record_apply(node, item, version, current_);
 }
 
 void causal_tracer::on_invalidate(node_id node, item_id item,
                                   version_t version) {
   if (sink_ == nullptr) return;
-  sink_->record_invalidate(sim_.now(), node, item, version, current_);
+  sink_->record_invalidate(node, item, version, current_);
 }
 
 void causal_tracer::note_query(query_id q) {
@@ -25,15 +23,14 @@ void causal_tracer::note_query(query_id q) {
   query_traces_[q] = current_;
 }
 
-void causal_tracer::on_answer(const answer_record& ar) {
+void causal_tracer::on_answer(query_id q, const answer_record& ar) {
   if (sink_ == nullptr) return;
   std::uint64_t trace = 0;
-  if (auto it = query_traces_.find(ar.query); it != query_traces_.end()) {
+  if (auto it = query_traces_.find(q); it != query_traces_.end()) {
     trace = it->second;
     query_traces_.erase(it);
   }
-  sink_->record_answer(sim_.now(), ar.node, ar.item, ar.version, ar.validated,
-                       ar.stale, trace);
+  sink_->record_answer(ar, trace);
 }
 
 }  // namespace manet

@@ -7,7 +7,7 @@
 // inside a `scope` carrying the received packet's id, so any packet a
 // handler derives (RREP from RREQ, POLL_ACK from POLL, GET_NEW from
 // INVALIDATION) inherits the root automatically. Span records (send / rx /
-// apply / inval / answer) emitted into the trace_writer let
+// apply / inval / answer) emitted through the span_sink let
 // tools/tracestat rebuild whole propagation trees offline and compute
 // per-update time-to-consistency and per-query latency breakdowns.
 //
@@ -15,31 +15,30 @@
 // logic never reads them, minting is a plain counter (no RNG, no clock),
 // and emission is gated on an attached sink. A scenario with tracing on
 // and off is event-for-event identical (pinned digest test enforces this).
+//
+// The tracer depends on nothing but util/ and the obs-side span_sink
+// interface: it holds no simulator, no meter, no writer, and cannot mutate
+// simulation state (archlint ARCH001 + DET008 pin this). Timestamping and
+// the concrete trace_writer live behind the sink, in metrics/span_recorder.
 #ifndef MANET_OBS_CAUSAL_TRACE_HPP
 #define MANET_OBS_CAUSAL_TRACE_HPP
 
 #include <cstdint>
 #include <unordered_map>
 
-#include "metrics/query_log.hpp"
-#include "net/packet.hpp"
-#include "net/traffic_meter.hpp"
-#include "sim/simulator.hpp"
+#include "obs/span_sink.hpp"
 #include "util/units.hpp"
 
 namespace manet {
 
-class trace_writer;
-
 class causal_tracer {
  public:
-  causal_tracer(simulator& sim, const traffic_meter& meter)
-      : sim_(sim), meter_(meter) {}
+  causal_tracer() = default;
 
   /// Attaches the span sink. With no sink, stamping still happens (ids are
   /// inert metadata) but nothing is emitted or buffered.
-  void set_sink(trace_writer* sink) { sink_ = sink; }
-  trace_writer* sink() const { return sink_; }
+  void set_sink(span_sink* sink) { sink_ = sink; }
+  span_sink* sink() const { return sink_; }
 
   /// Ambient trace id of the action being processed (0 = no open scope).
   std::uint64_t current() const { return current_; }
@@ -59,7 +58,9 @@ class causal_tracer {
   /// Associates a just-issued query with the ambient trace so its eventual
   /// answer (possibly many events later) is emitted under the query's root.
   void note_query(query_id q);
-  void on_answer(const answer_record& ar);
+  /// `ar` is passed through to the sink opaquely; the tracer itself reads
+  /// only the separately-passed query id.
+  void on_answer(query_id q, const answer_record& ar);
 
   /// RAII ambient-trace scope; null tracer makes it a no-op. Nests: the
   /// previous ambient id is restored on exit.
@@ -84,9 +85,7 @@ class causal_tracer {
   };
 
  private:
-  simulator& sim_;
-  const traffic_meter& meter_;
-  trace_writer* sink_ = nullptr;
+  span_sink* sink_ = nullptr;
   std::uint64_t last_id_ = 0;
   std::uint64_t current_ = 0;
   std::unordered_map<query_id, std::uint64_t> query_traces_;

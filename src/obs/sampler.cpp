@@ -3,14 +3,15 @@
 #include <cassert>
 #include <cstdio>
 #include <stdexcept>
+#include <utility>
 
 namespace manet {
 
-time_series_sampler::time_series_sampler(simulator& sim, sim_duration interval,
+time_series_sampler::time_series_sampler(std::function<sim_time()> clock,
                                          std::size_t capacity)
-    : sim_(sim), interval_(interval), capacity_(capacity) {
-  if (interval_ <= 0) {
-    throw std::runtime_error("time_series_sampler: interval must be > 0");
+    : clock_(std::move(clock)), capacity_(capacity) {
+  if (!clock_) {
+    throw std::runtime_error("time_series_sampler: clock must be non-null");
   }
   if (capacity_ == 0) {
     throw std::runtime_error("time_series_sampler: capacity must be > 0");
@@ -52,24 +53,23 @@ void time_series_sampler::add_ratio(const std::string& name,
 void time_series_sampler::start() {
   if (started_) return;
   started_ = true;
-  window_start_ = sim_.now();
+  window_start_ = clock_();
   for (series& s : series_) {
     if (s.kind != series_kind::gauge) s.prev_num = s.read_num();
     if (s.kind == series_kind::ratio) s.prev_den = s.read_den();
   }
-  timer_ = std::make_unique<periodic_timer>(
-      sim_, interval_, [this] { close_window(sim_.now()); });
-  timer_->start();
+}
+
+void time_series_sampler::tick() {
+  if (!started_) return;
+  close_window(clock_());
 }
 
 void time_series_sampler::finish() {
   if (!started_) return;
-  if (timer_) {
-    timer_->stop();
-    timer_.reset();
-  }
   // Partial tail window; skipped when sim end landed exactly on a boundary.
-  if (sim_.now() > window_start_) close_window(sim_.now());
+  const sim_time now = clock_();
+  if (now > window_start_) close_window(now);
 }
 
 void time_series_sampler::close_window(sim_time t1) {

@@ -1,7 +1,6 @@
-// Periodic time-series sampler: a `periodic_timer` (like the position
-// tracer) that closes a window every `interval` sim-seconds and records one
-// value per registered series into a bounded ring buffer, exported as JSONL
-// (one window per line):
+// Periodic time-series sampler: closes a window every tick() and records
+// one value per registered series into a bounded ring buffer, exported as
+// JSONL (one window per line):
 //   {"t0":0.0,"t1":10.0,"relay_peers":3,"hit_ratio":0.82,...}
 //
 // Three series styles cover the scenario's needs:
@@ -11,8 +10,12 @@
 //   - ratio: delta(numerator)/delta(denominator), 0 when the denominator
 //     did not move (cache hit ratio, stale-serve rate per window).
 //
-// Reads happen only at window boundaries, so the hot path pays nothing,
-// and reading never mutates simulation state — the pinned determinism
+// The sampler is a pure obs component: it reads time through an injected
+// clock and is *driven* from outside — the owner (scenario) runs a
+// periodic_timer and calls tick() at each window boundary. That keeps obs
+// free of sim/ dependencies and structurally unable to schedule or mutate
+// anything (archlint ARCH001 + DET008). Reads happen only at window
+// boundaries, so the hot path pays nothing, and the pinned determinism
 // digest is identical with and without a sampler attached.
 #ifndef MANET_OBS_SAMPLER_HPP
 #define MANET_OBS_SAMPLER_HPP
@@ -20,12 +23,9 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "sim/simulator.hpp"
-#include "sim/timer.hpp"
 #include "util/units.hpp"
 
 namespace manet {
@@ -38,8 +38,10 @@ class time_series_sampler {
     std::vector<double> values;  ///< one per series, registration order
   };
 
-  time_series_sampler(simulator& sim, sim_duration interval,
-                      std::size_t capacity = 4096);
+  /// `clock` supplies the current sim time (injected so obs needs no
+  /// simulator); must be non-null.
+  explicit time_series_sampler(std::function<sim_time()> clock,
+                               std::size_t capacity = 4096);
 
   /// Register series before start(). Registration order fixes the value
   /// order in window::values and the JSONL key order.
@@ -48,9 +50,12 @@ class time_series_sampler {
   void add_ratio(const std::string& name, std::function<std::uint64_t()> num,
                  std::function<std::uint64_t()> den);
 
-  /// Snapshots baselines at the current sim time and starts the window
-  /// timer; the first window closes one interval later.
+  /// Snapshots baselines at the current clock reading. The owner then calls
+  /// tick() once per window interval (scenario drives a periodic_timer).
   void start();
+
+  /// Closes the window [last boundary, now). No-op before start().
+  void tick();
 
   /// Closes the partial window [last boundary, now) at sim end — without
   /// this, a run whose duration is not a multiple of the interval would
@@ -79,8 +84,7 @@ class time_series_sampler {
 
   void close_window(sim_time t1);
 
-  simulator& sim_;
-  sim_duration interval_;
+  std::function<sim_time()> clock_;
   std::size_t capacity_;
   std::vector<std::string> names_;
   std::vector<series> series_;
@@ -88,7 +92,6 @@ class time_series_sampler {
   std::uint64_t dropped_ = 0;
   sim_time window_start_ = 0;
   bool started_ = false;
-  std::unique_ptr<periodic_timer> timer_;
 };
 
 }  // namespace manet

@@ -1,0 +1,47 @@
+// The obs-side span sink interface.
+//
+// The causal tracer (obs/causal_trace.hpp) emits span records — send /
+// apply / invalidate / answer — but obs is a sidecar: it may depend on
+// nothing but util/, and it must not be able to mutate simulation state
+// (archlint ARCH001 + DET008). This interface is the inversion point: obs
+// defines the shape of a span consumer in terms of forward-declared
+// vocabulary (`packet`, `answer_record` — never dereferenced on this side)
+// and id/version primitives, and the metrics layer implements it
+// (metrics/span_recorder.hpp) with the concrete trace_writer, stamping sim
+// timestamps on the way through. The tracer sees only this pure interface.
+#ifndef MANET_OBS_SPAN_SINK_HPP
+#define MANET_OBS_SPAN_SINK_HPP
+
+#include <cstdint>
+
+#include "util/units.hpp"
+
+namespace manet {
+
+struct packet;        // net/packet.hpp — opaque to obs
+struct answer_record; // metrics/query_log.hpp — opaque to obs
+
+class span_sink {
+ public:
+  virtual ~span_sink() = default;
+
+  /// A packet left its origin. The implementation stamps the time and reads
+  /// whatever packet fields it needs; obs itself never looks inside.
+  virtual void record_send(const packet& p) = 0;
+
+  /// A node applied `version` of `item` under ambient trace id `trace`.
+  virtual void record_apply(node_id node, item_id item, version_t version,
+                            std::uint64_t trace) = 0;
+
+  /// A node invalidated its copy of `item` at `version` under `trace`.
+  virtual void record_invalidate(node_id node, item_id item, version_t version,
+                                 std::uint64_t trace) = 0;
+
+  /// A query was answered; `ar` is the audited record (opaque here),
+  /// `trace` the root id saved when the query was issued (0 = untraced).
+  virtual void record_answer(const answer_record& ar, std::uint64_t trace) = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_OBS_SPAN_SINK_HPP

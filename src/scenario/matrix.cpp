@@ -238,8 +238,10 @@ double parse_number(const std::string& s, int line_no) {
     const double v = std::stod(s, &used);
     if (used != s.size()) throw std::invalid_argument(s);
     return v;
-  } catch (const std::exception&) {
+  } catch (const std::invalid_argument&) {
     spec_error(line_no, "expected a number, got '" + s + "'");
+  } catch (const std::out_of_range&) {
+    spec_error(line_no, "number out of range: '" + s + "'");
   }
 }
 

@@ -7,7 +7,7 @@
 #include <cstdint>
 #include <string>
 
-#include "consistency/level.hpp"
+#include "cache/consistency_level.hpp"
 #include "util/config.hpp"
 #include "util/units.hpp"
 

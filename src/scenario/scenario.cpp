@@ -112,7 +112,7 @@ void scenario::build() {
   // The causal tracer always exists: trace-id stamping is a plain counter
   // that protocol logic never reads, so traced and untraced runs execute the
   // exact same event sequence. Span emission is gated on the sink below.
-  tracer_ = std::make_unique<causal_tracer>(*sim_, net_->meter());
+  tracer_ = std::make_unique<causal_tracer>();
   net_->set_tracer(tracer_.get());
   if (params_.profile) {
     prof_ = std::make_unique<profiler>();
@@ -236,7 +236,8 @@ void scenario::build() {
 
   if (!params_.trace_file.empty()) {
     trace_ = std::make_unique<trace_writer>(params_.trace_file);
-    tracer_->set_sink(trace_.get());
+    spans_ = std::make_unique<span_recorder>(*sim_, net_->meter(), *trace_);
+    tracer_->set_sink(spans_.get());
     for (int i = 0; i < params_.n_peers; ++i) {
       net_->at(static_cast<node_id>(i))
           .add_state_observer([this](node_id n, bool up) {
@@ -317,11 +318,18 @@ void scenario::build() {
   // root scope; answers resolve the saved chain by query id.
   qlog_->set_issue_observer([this](query_id q) { tracer_->note_query(q); });
   qlog_->add_answer_observer(
-      [this](const answer_record& ar) { tracer_->on_answer(ar); });
+      [this](const answer_record& ar) { tracer_->on_answer(ar.query, ar); });
 
   if (!params_.series_file.empty()) {
-    sampler_ = std::make_unique<time_series_sampler>(*sim_,
-                                                     params_.series_interval);
+    if (params_.series_interval <= 0) {
+      throw std::runtime_error("scenario: series_interval must be > 0");
+    }
+    sampler_ = std::make_unique<time_series_sampler>(
+        [this] { return sim_->now(); });
+    // The sampler is a pure obs component; the scenario owns the window
+    // timer and drives tick() (see obs/sampler.hpp).
+    sampler_timer_ = std::make_unique<periodic_timer>(
+        *sim_, params_.series_interval, [this] { sampler_->tick(); });
     sampler_->add_gauge("relay_peers", [this] {
       return static_cast<double>(protocol_->current_relays());
     });
@@ -357,10 +365,10 @@ void scenario::build() {
     recovery_ = std::make_unique<recovery_tracker>(*sim_, std::move(probes));
     injector_->set_episode_observer(
         [this](std::size_t i, const fault_event& e) {
-          recovery_->on_fault_begin(i, e);
+          recovery_->on_fault_begin(i, e.describe());
         },
-        [this](std::size_t i, const fault_event& e) {
-          recovery_->on_fault_end(i, e);
+        [this](std::size_t i, const fault_event&) {
+          recovery_->on_fault_end(i);
         });
     // The tracker attributes a stale serve to an episode iff the served
     // version was superseded while that fault was active, so the window
@@ -531,7 +539,10 @@ void scenario::start_all() {
       }
     }
   }
-  if (sampler_ && params_.warmup <= 0) sampler_->start();
+  if (sampler_ && params_.warmup <= 0) {
+    sampler_->start();
+    sampler_timer_->start();
+  }
   protocol_->start();
   workload_->start();
   if (injector_) injector_->start();
@@ -564,10 +575,14 @@ run_result scenario::run() {
     }
     // Series sampling covers the measurement era only: starting after the
     // reset keeps the per-window counter deltas monotone.
-    if (sampler_) sampler_->start();
+    if (sampler_) {
+      sampler_->start();
+      sampler_timer_->start();
+    }
   }
   run_until(params_.warmup + params_.sim_time);
   if (sampler_) {
+    sampler_timer_->stop();
     sampler_->finish();
     if (!sampler_->write_jsonl(params_.series_file)) {
       logf(log_level::warn, "scenario: failed to write series file %s",

@@ -18,6 +18,7 @@
 #include "metrics/collector.hpp"
 #include "metrics/query_log.hpp"
 #include "metrics/recovery_tracker.hpp"
+#include "metrics/span_recorder.hpp"
 #include "metrics/trace_writer.hpp"
 #include "net/flooding.hpp"
 #include "net/network.hpp"
@@ -132,8 +133,10 @@ class scenario {
   std::unique_ptr<trace_writer> trace_;
   std::unique_ptr<periodic_timer> trace_position_timer_;
   std::unique_ptr<causal_tracer> tracer_;
+  std::unique_ptr<span_recorder> spans_;  ///< binds tracer -> trace_writer
   metric_registry metrics_;
   std::unique_ptr<time_series_sampler> sampler_;
+  std::unique_ptr<periodic_timer> sampler_timer_;  ///< drives sampler_->tick()
   std::unique_ptr<profiler> prof_;
   node_id single_source_ = invalid_node;
   bool started_ = false;

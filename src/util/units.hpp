@@ -37,6 +37,13 @@ using version_t = std::uint64_t;
 constexpr node_id invalid_node = static_cast<node_id>(-1);
 constexpr item_id invalid_item = static_cast<item_id>(-1);
 
+/// Identifier of an issued query, minted by metrics/query_log. Lives here
+/// (not in metrics/) because layers below metrics — notably the obs
+/// sidecar's causal tracer — key bookkeeping by it without needing the log
+/// itself.
+using query_id = std::uint64_t;
+constexpr query_id invalid_query = 0;
+
 /// Meters; the terrain is a flat rectangle (paper: 1500 m x 1500 m).
 using meters = double;
 

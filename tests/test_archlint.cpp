@@ -1,0 +1,181 @@
+// archlint self-tests: the layers.conf grammar, layer classification, the
+// fixture tree under tools/archlint/fixtures/tree (one specimen per rule at
+// pinned lines), and the production gate — the real src/ + tools/ trees
+// must scan clean under the real layer contract.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "archlint.hpp"
+#include "common.hpp"
+
+#ifndef ARCHLINT_FIXTURE_DIR
+#error "ARCHLINT_FIXTURE_DIR must point at tools/archlint/fixtures/tree"
+#endif
+#ifndef ARCHLINT_LAYERS_CONF
+#error "ARCHLINT_LAYERS_CONF must point at tools/archlint/layers.conf"
+#endif
+#ifndef MANET_SRC_DIR
+#error "MANET_SRC_DIR must point at the repository's src/ tree"
+#endif
+#ifndef MANET_TOOLS_DIR
+#error "MANET_TOOLS_DIR must point at the repository's tools/ tree"
+#endif
+
+namespace {
+
+using archlint::finding;
+using archlint::layer_contract;
+
+layer_contract real_contract() {
+  std::string err;
+  const layer_contract c = archlint::parse_layer_contract(
+      lint_core::read_file(ARCHLINT_LAYERS_CONF), &err);
+  EXPECT_EQ(err, "");
+  EXPECT_FALSE(c.layers.empty());
+  return c;
+}
+
+std::multiset<std::pair<int, std::string>> line_rules(
+    const std::vector<finding>& fs, const std::string& file_suffix) {
+  std::multiset<std::pair<int, std::string>> out;
+  for (const finding& f : fs) {
+    if (lint_core::ends_with(f.file, file_suffix)) {
+      out.insert({f.line, f.rule});
+    }
+  }
+  return out;
+}
+
+archlint::scan_result scan_fixtures() {
+  archlint::options opts;
+  opts.roots = {ARCHLINT_FIXTURE_DIR};
+  opts.exclude = {};  // the default "/fixtures/" filter would drop the tree
+  opts.contract = real_contract();
+  return archlint::scan(opts);
+}
+
+// --- layers.conf grammar ----------------------------------------------------
+
+TEST(ArchlintContract, ParsesLayersSidecarToplevelAndAllowEdges) {
+  std::string err;
+  const layer_contract c = archlint::parse_layer_contract(
+      "# comment\n"
+      "layer util\n"
+      "layer cache\n"
+      "layer scenario\n"
+      "sidecar obs includes util\n"
+      "toplevel tools\n"
+      "allow cache -> scenario : specimen reason\n",
+      &err);
+  EXPECT_EQ(err, "");
+  const std::vector<std::string> want = {"util", "cache", "scenario"};
+  EXPECT_EQ(c.layers, want);
+  EXPECT_EQ(c.rank.at("scenario"), 2);
+  EXPECT_EQ(c.sidecar, "obs");
+  ASSERT_EQ(c.sidecar_deps.size(), 1u);
+  EXPECT_EQ(c.sidecar_deps[0], "util");
+  EXPECT_EQ(c.toplevel, "tools");
+  ASSERT_EQ(c.allowed_edges.size(), 1u);
+  EXPECT_EQ(c.allowed_edges[0].from, "cache");
+  EXPECT_EQ(c.allowed_edges[0].to, "scenario");
+  EXPECT_EQ(c.allowed_edges[0].reason, "specimen reason");
+}
+
+TEST(ArchlintContract, RejectsBadGrammarWithLineDiagnostics) {
+  std::string err;
+  archlint::parse_layer_contract("layer util\nlayer util\n", &err);
+  EXPECT_NE(err.find("line 2"), std::string::npos);
+  EXPECT_NE(err.find("duplicate"), std::string::npos);
+
+  archlint::parse_layer_contract("sidecar obs\n", &err);
+  EXPECT_NE(err.find("sidecar"), std::string::npos);
+
+  archlint::parse_layer_contract(
+      "layer a\nlayer b\nallow a -> b\n", &err);
+  EXPECT_NE(err.find("reason"), std::string::npos);
+
+  archlint::parse_layer_contract("bogus x\n", &err);
+  EXPECT_NE(err.find("unknown directive"), std::string::npos);
+
+  archlint::parse_layer_contract(
+      "layer util\nallow util -> nope : r\n", &err);
+  EXPECT_NE(err.find("unknown layer"), std::string::npos);
+
+  archlint::parse_layer_contract("sidecar obs includes util\n", &err);
+  EXPECT_NE(err.find("not a layer"), std::string::npos);
+}
+
+TEST(ArchlintContract, LayerOfUsesLastSrcSegmentThenTools) {
+  const layer_contract c = real_contract();
+  EXPECT_EQ(archlint::layer_of(c, "src/cache/cache_store.hpp"), "cache");
+  EXPECT_EQ(archlint::layer_of(c, "/abs/repo/src/obs/prof.cpp"), "obs");
+  // A fixture tree's embedded src/ wins over the tools/ prefix.
+  EXPECT_EQ(
+      archlint::layer_of(c, "tools/archlint/fixtures/tree/src/util/a.hpp"),
+      "util");
+  EXPECT_EQ(archlint::layer_of(c, "tools/detlint/main.cpp"), "tools");
+  EXPECT_EQ(archlint::layer_of(c, "README.md"), "");
+}
+
+// --- fixture tree -----------------------------------------------------------
+
+TEST(ArchlintFixtures, EveryRuleFiresAtItsPinnedLines) {
+  const auto r = scan_fixtures();
+  using want_t = std::multiset<std::pair<int, std::string>>;
+  EXPECT_EQ(line_rules(r.findings, "cache/bad_marker.cpp"),
+            (want_t{{6, "ARCH000"}, {11, "ARCH000"}}));
+  EXPECT_EQ(line_rules(r.findings, "cache/bad_up.hpp"),
+            (want_t{{7, "ARCH001"}}));
+  EXPECT_EQ(line_rules(r.findings, "cache/swallow.cpp"),
+            (want_t{{11, "DET009"}}));
+  EXPECT_EQ(line_rules(r.findings, "obs/mutator.hpp"),
+            (want_t{{8, "ARCH001"}, {13, "DET008"}, {16, "DET008"}}));
+  EXPECT_EQ(line_rules(r.findings, "util/cyc_a.hpp"),
+            (want_t{{6, "ARCH002"}}));
+  EXPECT_EQ(line_rules(r.findings, "util/no_guard.hpp"),
+            (want_t{{1, "ARCH003"}}));
+  EXPECT_EQ(line_rules(r.findings, "util/uplevel.hpp"),
+            (want_t{{7, "ARCH003"}}));
+  EXPECT_EQ(line_rules(r.findings, "util/unresolved.hpp"),
+            (want_t{{8, "ARCH003"}}));
+  // Eleven findings total: nothing fired anywhere else.
+  EXPECT_EQ(r.findings.size(), 11u);
+}
+
+TEST(ArchlintFixtures, CleanAndSuppressedSpecimensStaySilent) {
+  const auto r = scan_fixtures();
+  for (const char* clean : {"cache/suppressed_up.hpp", "obs/clean_probe.hpp",
+                            "scenario/top.hpp", "cache/store.hpp",
+                            "util/base.hpp"}) {
+    EXPECT_TRUE(line_rules(r.findings, clean).empty()) << clean;
+  }
+}
+
+TEST(ArchlintFixtures, DotAndSummaryRenderTheFixtureTree) {
+  const auto r = scan_fixtures();
+  const std::string dot = archlint::to_dot(r);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("obs"), std::string::npos);
+  const std::string summary = archlint::layer_summary(r);
+  EXPECT_NE(summary.find("layer"), std::string::npos);
+  EXPECT_NE(summary.find("cache"), std::string::npos);
+}
+
+// --- production gate --------------------------------------------------------
+
+TEST(ArchlintFixtures, ProductionTreeIsClean) {
+  archlint::options opts;
+  opts.roots = {MANET_SRC_DIR, MANET_TOOLS_DIR};
+  opts.contract = real_contract();  // default exclude drops /fixtures/
+  const auto r = archlint::scan(opts);
+  std::string listing;
+  for (const finding& f : r.findings) listing += archlint::format(f) + "\n";
+  EXPECT_TRUE(r.findings.empty()) << listing;
+}
+
+}  // namespace

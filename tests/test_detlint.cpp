@@ -100,6 +100,13 @@ TEST(Detlint, CleanFixtureProducesNoFindings) {
   EXPECT_TRUE(line_rules(scan_fixtures(), "clean.cpp").empty());
 }
 
+TEST(Detlint, CommentsAndStringsNeverProduceFindings) {
+  // Tokenizer regression gate: every trigger in this fixture sits inside a
+  // comment, string, raw string, or comment continued by backslash-newline.
+  // A line-regex sanitizer fires on several of them; the lexer must not.
+  EXPECT_TRUE(line_rules(scan_fixtures(), "comments_strings.cpp").empty());
+}
+
 TEST(Detlint, AllowlistExemptsRuleForMatchingPathOnly) {
   const std::string text = "int f() { return rand(); }\n";
   const std::vector<std::string> no_names;

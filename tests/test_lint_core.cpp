@@ -1,0 +1,261 @@
+// lint_core self-tests: the token-aware lexer (the foundation under both
+// detlint and archlint), the NOLINT suppression grammar, and the quoted-
+// include graph with its cycle finder. The lexer tests pin the deliberate
+// non-features too (no nested block comments, no trigraphs) so a future
+// "fix" cannot silently change what the linters see.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "include_graph.hpp"
+#include "lexer.hpp"
+#include "suppress.hpp"
+
+namespace {
+
+using lint_core::lex;
+using lint_core::source_view;
+
+// --- lexer ------------------------------------------------------------------
+
+TEST(LintCoreLexer, LineCommentBlankedColumnsPreserved) {
+  const source_view v = lex("int a;  // rand() here\n");
+  ASSERT_EQ(v.code.size(), 1u);
+  EXPECT_EQ(v.code[0].size(), v.raw[0].size());
+  EXPECT_EQ(v.code[0].substr(0, 6), "int a;");
+  EXPECT_EQ(v.code[0].find("rand"), std::string::npos);
+}
+
+TEST(LintCoreLexer, BlockCommentSpansLinesAndDoesNotNest) {
+  // The first */ closes the comment; "after" on line 3 must be code again
+  // even though a second /* opened inside the comment body.
+  const source_view v = lex("a /* open\n/* still inside */ b\nafter;\n");
+  ASSERT_EQ(v.code.size(), 3u);
+  EXPECT_EQ(v.code[0].find("open"), std::string::npos);
+  EXPECT_NE(v.code[1].find('b'), std::string::npos);
+  EXPECT_EQ(v.code[1].find("inside"), std::string::npos);
+  EXPECT_NE(v.code[2].find("after;"), std::string::npos);
+}
+
+TEST(LintCoreLexer, StringContentsAndQuotesBlanked) {
+  const source_view v = lex("const char* s = \"rand()\"; int t;\n");
+  ASSERT_EQ(v.code.size(), 1u);
+  EXPECT_EQ(v.code[0].find("rand"), std::string::npos);
+  EXPECT_EQ(v.code[0].find('"'), std::string::npos);
+  EXPECT_NE(v.code[0].find("int t;"), std::string::npos);
+}
+
+TEST(LintCoreLexer, EscapedQuoteStaysInsideString) {
+  // The \" does not terminate the literal; the trailing identifier does
+  // become code after the real closing quote.
+  const source_view v = lex("x = \"a\\\"rand()\\\"b\"; tail;\n");
+  ASSERT_EQ(v.code.size(), 1u);
+  EXPECT_EQ(v.code[0].find("rand"), std::string::npos);
+  EXPECT_NE(v.code[0].find("tail;"), std::string::npos);
+}
+
+TEST(LintCoreLexer, RawStringSpansLinesWithEmbeddedQuotesAndParens) {
+  const std::string text =
+      "auto s = R\"lint(\n"
+      "  \"quoted\" rand() )not-the-end(\n"
+      ")lint\"; int after;\n";
+  const source_view v = lex(text);
+  ASSERT_EQ(v.code.size(), 3u);
+  EXPECT_EQ(v.code[1].find("rand"), std::string::npos);
+  EXPECT_EQ(v.code[1].find("quoted"), std::string::npos);
+  EXPECT_NE(v.code[2].find("int after;"), std::string::npos);
+}
+
+TEST(LintCoreLexer, EncodingPrefixedRawStringRecognized) {
+  const source_view v = lex("auto s = u8R\"(rand())\"; int k;\n");
+  ASSERT_EQ(v.code.size(), 1u);
+  EXPECT_EQ(v.code[0].find("rand"), std::string::npos);
+  EXPECT_NE(v.code[0].find("int k;"), std::string::npos);
+}
+
+TEST(LintCoreLexer, IdentifierEndingInRIsNotARawPrefix) {
+  // operatoR"..." style: the R is the tail of a longer identifier, so the
+  // quote opens an ordinary string (content blanked, no raw-delimiter scan).
+  const source_view v = lex("FooR\"(rand()\"; int m;\n");
+  ASSERT_EQ(v.code.size(), 1u);
+  EXPECT_NE(v.code[0].find("FooR"), std::string::npos);
+  EXPECT_EQ(v.code[0].find("rand"), std::string::npos);
+  EXPECT_NE(v.code[0].find("int m;"), std::string::npos);
+}
+
+TEST(LintCoreLexer, BackslashContinuesLineComment) {
+  const source_view v = lex("// comment \\\nrand() still comment\nint z;\n");
+  ASSERT_EQ(v.code.size(), 3u);
+  EXPECT_EQ(v.code[1].find("rand"), std::string::npos);
+  EXPECT_NE(v.code[2].find("int z;"), std::string::npos);
+}
+
+TEST(LintCoreLexer, BackslashContinuesStringLiteral) {
+  const source_view v = lex("x = \"first \\\nrand() second\"; int w;\n");
+  ASSERT_EQ(v.code.size(), 2u);
+  EXPECT_EQ(v.code[1].find("rand"), std::string::npos);
+  EXPECT_NE(v.code[1].find("int w;"), std::string::npos);
+}
+
+TEST(LintCoreLexer, DigitSeparatorsAreNotCharLiterals) {
+  // If 1'000'000 opened a char literal, the semicolon and everything after
+  // would be blanked as literal content.
+  const source_view v = lex("long n = 1'000'000; int rest;\n");
+  ASSERT_EQ(v.code.size(), 1u);
+  EXPECT_EQ(v.code[0], v.raw[0]);
+}
+
+TEST(LintCoreLexer, TrigraphsAreNotInterpreted) {
+  // ??/ at the end of a line comment is NOT a backslash (trigraphs were
+  // removed in C++17), so the comment does not continue.
+  // "??" "/" is spliced to keep the test source itself trigraph-warning
+  // free under -Wtrigraphs.
+  const source_view v = lex("// trailing ?" "?/\nint q;\n");
+  ASSERT_EQ(v.code.size(), 2u);
+  EXPECT_NE(v.code[1].find("int q;"), std::string::npos);
+}
+
+TEST(LintCoreLexer, CharLiteralBlankedAndDoesNotSpanLines) {
+  const source_view v = lex("char c = '\"'; int a;\nint b;\n");
+  ASSERT_EQ(v.code.size(), 2u);
+  // The '"' char literal must not open a string that eats "int a;".
+  EXPECT_NE(v.code[0].find("int a;"), std::string::npos);
+  EXPECT_NE(v.code[1].find("int b;"), std::string::npos);
+}
+
+TEST(LintCoreLexer, DepthTracksBracesInCodeOnly) {
+  const source_view v = lex(
+      "void f() {\n"
+      "  if (x) { // brace in comment }\n"
+      "  }\n"
+      "}\n"
+      "int g;\n");
+  const std::vector<int> want = {0, 1, 2, 1, 0};
+  EXPECT_EQ(v.depth, want);
+}
+
+TEST(LintCoreLexer, CodeTextFlattensWithNewlines) {
+  const source_view v = lex("a;\nb;\n");
+  EXPECT_EQ(lint_core::code_text(v), "a;\nb;\n");
+}
+
+// --- suppressions -----------------------------------------------------------
+
+TEST(LintCoreSuppress, ParsesSameLineAndNextLineMarkers) {
+  const auto [same, next] = lint_core::parse_suppressions(
+      "x();  // NOLINT-DET(DET001,DET002: keyed walk)", "DET");
+  ASSERT_EQ(same.size(), 1u);
+  EXPECT_TRUE(next.empty());
+  EXPECT_TRUE(lint_core::suppresses(same, "DET001"));
+  EXPECT_TRUE(lint_core::suppresses(same, "DET002"));
+  EXPECT_FALSE(lint_core::suppresses(same, "DET003"));
+
+  const auto [same2, next2] = lint_core::parse_suppressions(
+      "// NOLINTNEXTLINE-ARCH(ARCH001: sanctioned)", "ARCH");
+  EXPECT_TRUE(same2.empty());
+  ASSERT_EQ(next2.size(), 1u);
+  EXPECT_TRUE(lint_core::suppresses(next2, "ARCH001"));
+}
+
+TEST(LintCoreSuppress, StarSuppressesEveryRuleOfTheTag) {
+  const auto [same, next] =
+      lint_core::parse_suppressions("// NOLINT-DET(*: whole line)", "DET");
+  (void)next;
+  EXPECT_TRUE(lint_core::suppresses(same, "DET001"));
+  EXPECT_TRUE(lint_core::suppresses(same, "DET009"));
+}
+
+TEST(LintCoreSuppress, MalformedAndReasonlessMarkersDoNotSuppress) {
+  const auto [bare, n1] = lint_core::parse_suppressions("// NOLINT-DET", "DET");
+  (void)n1;
+  ASSERT_EQ(bare.size(), 1u);
+  EXPECT_TRUE(bare[0].malformed);
+  EXPECT_FALSE(lint_core::suppresses(bare, "DET001"));
+
+  const auto [reasonless, n2] =
+      lint_core::parse_suppressions("// NOLINT-DET(DET001:)", "DET");
+  (void)n2;
+  ASSERT_EQ(reasonless.size(), 1u);
+  EXPECT_FALSE(reasonless[0].has_reason);
+  EXPECT_FALSE(lint_core::suppresses(reasonless, "DET001"));
+}
+
+TEST(LintCoreSuppress, TagsAreIndependent) {
+  const auto [same, next] = lint_core::parse_suppressions(
+      "// NOLINT-ARCH(ARCH001: layered)", "DET");
+  EXPECT_TRUE(same.empty());
+  EXPECT_TRUE(next.empty());
+}
+
+TEST(LintCoreSuppress, TableRoutesNextlineAndReportsBadMarkers) {
+  const std::vector<std::string> raw = {
+      "// NOLINTNEXTLINE-DET(DET005: window reduce)",
+      "reduce();",
+      "bad();  // NOLINT-DET",
+  };
+  std::vector<std::pair<std::size_t, std::string>> bad;
+  const auto table = lint_core::suppression_table(
+      raw, "DET", [&](std::size_t li, const std::string& msg) {
+        bad.emplace_back(li, msg);
+      });
+  ASSERT_EQ(table.size(), 3u);
+  EXPECT_TRUE(lint_core::suppresses(table[1], "DET005"));
+  EXPECT_FALSE(lint_core::suppresses(table[0], "DET005"));
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0].first, 2u);
+  EXPECT_NE(bad[0].second.find("malformed"), std::string::npos);
+}
+
+// --- include graph ----------------------------------------------------------
+
+lint_core::include_graph tiny_graph(bool cyclic) {
+  const std::vector<std::string> files = {
+      "src/a/x.hpp",
+      "src/b/y.hpp",
+  };
+  std::vector<std::string> texts(2);
+  texts[0] = cyclic ? "#include \"b/y.hpp\"\n" : "int x;\n";
+  texts[1] =
+      "// #include \"commented/out.hpp\"\n"
+      "const char* s = \"#include \\\"stringy.hpp\\\"\";\n"
+      "#include \"a/x.hpp\"\n"
+      "#include \"missing.hpp\"\n";
+  return lint_core::build_include_graph(files, texts);
+}
+
+TEST(LintCoreIncludeGraph, ExtractsRealDirectivesOnly) {
+  const auto g = tiny_graph(false);
+  const auto& edges = g.edges.at("src/b/y.hpp");
+  ASSERT_EQ(edges.size(), 2u);
+  // Commented-out and string-embedded includes never became edges; the
+  // two real directives keep their 1-based lines and quoted spellings.
+  EXPECT_EQ(edges[0].line, 3);
+  EXPECT_EQ(edges[0].target, "a/x.hpp");
+  EXPECT_EQ(edges[0].resolved, "src/a/x.hpp");  // via the src/ ancestor dir
+  EXPECT_EQ(edges[1].line, 4);
+  EXPECT_EQ(edges[1].target, "missing.hpp");
+  EXPECT_TRUE(edges[1].resolved.empty());
+}
+
+TEST(LintCoreIncludeGraph, FindsCycleAndReportsAcyclicAsEmpty) {
+  EXPECT_TRUE(lint_core::find_include_cycle(tiny_graph(false)).empty());
+  const auto cycle = lint_core::find_include_cycle(tiny_graph(true));
+  ASSERT_GE(cycle.size(), 3u);
+  EXPECT_EQ(cycle.front(), cycle.back());
+}
+
+TEST(LintCoreIncludeGraph, DotContainsClustersAndEdges) {
+  const auto g = tiny_graph(false);
+  const std::map<std::string, std::string> layers = {
+      {"src/a/x.hpp", "alpha"},
+      {"src/b/y.hpp", "beta"},
+  };
+  const std::string dot = lint_core::to_dot(g, layers);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("alpha"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace

@@ -18,6 +18,7 @@
 #include "scenario/scenario.hpp"
 #include "scenario/sweep.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
 
 namespace manet {
 namespace {
@@ -81,7 +82,8 @@ TEST(MetricRegistry, ToJsonIsSortedAndStable) {
 
 TEST(Sampler, WindowAlignmentIncludesPartialTail) {
   simulator sim(1);
-  time_series_sampler sampler(sim, 10.0);
+  time_series_sampler sampler([&] { return sim.now(); });
+  periodic_timer ticker(sim, 10.0, [&] { sampler.tick(); });
   std::uint64_t bumps = 0;
   std::uint64_t twice = 0;
   sampler.add_gauge("clock", [&] { return sim.now(); });
@@ -96,7 +98,9 @@ TEST(Sampler, WindowAlignmentIncludesPartialTail) {
     });
   }
   sampler.start();
+  ticker.start();
   sim.run_until(25.0);
+  ticker.stop();
   sampler.finish();  // closes the partial window [20, 25)
 
   const auto& ws = sampler.windows();
@@ -127,11 +131,13 @@ TEST(Sampler, WindowAlignmentIncludesPartialTail) {
 
 TEST(Sampler, RatioIsZeroWhenDenominatorDidNotMove) {
   simulator sim(1);
-  time_series_sampler sampler(sim, 5.0);
+  time_series_sampler sampler([&] { return sim.now(); });
+  periodic_timer ticker(sim, 5.0, [&] { sampler.tick(); });
   std::uint64_t num = 3;
   const std::uint64_t den = 9;
   sampler.add_ratio("r", [&] { return num; }, [&] { return den; });
   sampler.start();
+  ticker.start();
   sim.run_until(5.0);
   ASSERT_EQ(sampler.windows().size(), 1u);
   EXPECT_DOUBLE_EQ(sampler.windows()[0].values[0], 0.0);
@@ -139,9 +145,11 @@ TEST(Sampler, RatioIsZeroWhenDenominatorDidNotMove) {
 
 TEST(Sampler, RingBufferEvictsOldestAndCounts) {
   simulator sim(1);
-  time_series_sampler sampler(sim, 1.0, /*capacity=*/2);
+  time_series_sampler sampler([&] { return sim.now(); }, /*capacity=*/2);
+  periodic_timer ticker(sim, 1.0, [&] { sampler.tick(); });
   sampler.add_gauge("clock", [&] { return sim.now(); });
   sampler.start();
+  ticker.start();
   sim.run_until(5.0);
   EXPECT_EQ(sampler.windows().size(), 2u);
   EXPECT_EQ(sampler.windows_dropped(), 3u);
@@ -152,9 +160,11 @@ TEST(Sampler, RingBufferEvictsOldestAndCounts) {
 TEST(Sampler, WriteJsonlRoundTrips) {
   const std::string path = ::testing::TempDir() + "/manet_series_unit.jsonl";
   simulator sim(1);
-  time_series_sampler sampler(sim, 10.0);
+  time_series_sampler sampler([&] { return sim.now(); });
+  periodic_timer ticker(sim, 10.0, [&] { sampler.tick(); });
   sampler.add_gauge("queue_depth", [] { return 4.0; });
   sampler.start();
+  ticker.start();
   sim.run_until(20.0);
   ASSERT_TRUE(sampler.write_jsonl(path));
   std::ifstream in(path);
@@ -169,9 +179,20 @@ TEST(Sampler, WriteJsonlRoundTrips) {
   EXPECT_FALSE(sampler.write_jsonl("/nonexistent_dir/series.jsonl"));
 }
 
-TEST(Sampler, RejectsNonPositiveInterval) {
+TEST(Sampler, RejectsNullClockAndZeroCapacity) {
   simulator sim(1);
-  EXPECT_THROW(time_series_sampler(sim, 0.0), std::runtime_error);
+  EXPECT_THROW(time_series_sampler(std::function<sim_time()>{}),
+               std::runtime_error);
+  EXPECT_THROW(time_series_sampler([&] { return sim.now(); }, 0),
+               std::runtime_error);
+}
+
+TEST(Sampler, TickBeforeStartIsIgnored) {
+  simulator sim(1);
+  time_series_sampler sampler([&] { return sim.now(); });
+  sampler.add_gauge("g", [] { return 1.0; });
+  sampler.tick();  // not started: must not record a window
+  EXPECT_TRUE(sampler.windows().empty());
 }
 
 // --- profiler --------------------------------------------------------------
@@ -319,10 +340,8 @@ TEST(RecoveryTracker, NeverRecoveredEpisodeStaysOutOfMeans) {
   probes.relays = [] { return std::size_t{3}; };
   recovery_tracker rt(sim, probes, 1.0);
 
-  fault_event e;
-  e.kind = fault_kind::crash;
-  rt.on_fault_begin(0, e);
-  sim.schedule_at(5.0, [&] { rt.on_fault_end(0, e); });
+  rt.on_fault_begin(0, "crash n3");
+  sim.schedule_at(5.0, [&] { rt.on_fault_end(0); });
   sim.run_until(50.0);
 
   ASSERT_EQ(rt.episode_count(), 1u);
@@ -343,10 +362,8 @@ TEST(RecoveryTracker, RecoveredEpisodeMeasuredFromHeal) {
   probes.relays = [] { return std::size_t{3}; };
   recovery_tracker rt(sim, probes, 1.0);
 
-  fault_event e;
-  e.kind = fault_kind::partition;
-  rt.on_fault_begin(0, e);
-  sim.schedule_at(5.0, [&] { rt.on_fault_end(0, e); });
+  rt.on_fault_begin(0, "partition a|b");
+  sim.schedule_at(5.0, [&] { rt.on_fault_end(0); });
   sim.run_until(50.0);
 
   ASSERT_EQ(rt.recovered_count(), 1u);

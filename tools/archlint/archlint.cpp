@@ -1,0 +1,508 @@
+#include "archlint.hpp"
+
+#include <algorithm>
+#include <regex>
+#include <set>
+#include <sstream>
+
+#include "lexer.hpp"     // lint_core: token-aware source view
+#include "suppress.hpp"  // lint_core: NOLINT machinery
+
+namespace archlint {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+bool is_header(const std::string& path) {
+  return lint_core::ends_with(path, ".hpp") ||
+         lint_core::ends_with(path, ".hh") || lint_core::ends_with(path, ".h");
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// layers.conf
+// ---------------------------------------------------------------------------
+
+layer_contract parse_layer_contract(const std::string& text,
+                                    std::string* error) {
+  layer_contract c;
+  if (error != nullptr) error->clear();
+  auto fail = [&](int line, const std::string& what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(line) + ": " + what;
+    }
+    return layer_contract{};
+  };
+  std::istringstream in(text);
+  std::string raw_line;
+  int lineno = 0;
+  while (std::getline(in, raw_line)) {
+    ++lineno;
+    const std::size_t hash = raw_line.find('#');
+    std::string line = trim(hash == std::string::npos ? raw_line
+                                                      : raw_line.substr(0, hash));
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string kw;
+    ls >> kw;
+    if (kw == "layer") {
+      std::string name;
+      ls >> name;
+      if (name.empty()) return fail(lineno, "layer needs a name");
+      if (c.rank.count(name) != 0) {
+        return fail(lineno, "duplicate layer '" + name + "'");
+      }
+      c.rank[name] = static_cast<int>(c.layers.size());
+      c.layers.push_back(name);
+    } else if (kw == "sidecar") {
+      // sidecar NAME includes DEP[,DEP...]
+      std::string name;
+      std::string includes_kw;
+      ls >> name >> includes_kw;
+      if (name.empty() || includes_kw != "includes") {
+        return fail(lineno, "expected: sidecar NAME includes DEP[,DEP...]");
+      }
+      c.sidecar = name;
+      std::string deps;
+      std::getline(ls, deps);
+      std::istringstream ds(deps);
+      std::string dep;
+      while (std::getline(ds, dep, ',')) {
+        dep = trim(dep);
+        if (!dep.empty()) c.sidecar_deps.push_back(dep);
+      }
+      if (c.sidecar_deps.empty()) {
+        return fail(lineno, "sidecar needs at least one dependency");
+      }
+    } else if (kw == "toplevel") {
+      ls >> c.toplevel;
+      if (c.toplevel.empty()) return fail(lineno, "toplevel needs a name");
+    } else if (kw == "allow") {
+      // allow FROM -> TO : reason
+      std::string from;
+      std::string arrow;
+      std::string to;
+      ls >> from >> arrow >> to;
+      if (from.empty() || arrow != "->" || to.empty()) {
+        return fail(lineno, "expected: allow FROM -> TO : reason");
+      }
+      std::string rest;
+      std::getline(ls, rest);
+      rest = trim(rest);
+      if (rest.empty() || rest[0] != ':' || trim(rest.substr(1)).empty()) {
+        return fail(lineno, "allow edge needs a ': reason'");
+      }
+      c.allowed_edges.push_back({from, to, trim(rest.substr(1))});
+    } else {
+      return fail(lineno, "unknown directive '" + kw + "'");
+    }
+  }
+  // Cross-check references against declared layers.
+  for (const allowed_layer_edge& e : c.allowed_edges) {
+    for (const std::string& name : {e.from, e.to}) {
+      if (c.rank.count(name) == 0 && name != c.sidecar && name != c.toplevel) {
+        return fail(0, "allow edge references unknown layer '" + name + "'");
+      }
+    }
+  }
+  for (const std::string& dep : c.sidecar_deps) {
+    if (c.rank.count(dep) == 0) {
+      return fail(0, "sidecar dependency '" + dep + "' is not a layer");
+    }
+  }
+  return c;
+}
+
+std::string layer_of(const layer_contract& c, const std::string& path) {
+  const std::string norm = lint_core::normalize_path(path);
+  // The segment after the last "src/" (so a fixture tree that embeds its own
+  // src/ classifies by the embedded layout, not by living under tools/).
+  std::size_t pos = norm.rfind("src/");
+  if (pos != std::string::npos && (pos == 0 || norm[pos - 1] == '/')) {
+    const std::size_t start = pos + 4;
+    const std::size_t slash = norm.find('/', start);
+    if (slash != std::string::npos) {
+      const std::string seg = norm.substr(start, slash - start);
+      if (seg == c.sidecar || c.rank.count(seg) != 0) return seg;
+    }
+    return "";
+  }
+  pos = norm.rfind("tools/");
+  if (!c.toplevel.empty() && pos != std::string::npos &&
+      (pos == 0 || norm[pos - 1] == '/')) {
+    return c.toplevel;
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// Per-file rules
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// ARCH003 guard check: #pragma once, or an #ifndef/#define pair, among the
+/// first code lines of the header.
+bool has_include_guard(const std::vector<std::string>& code) {
+  static const std::regex pragma_re(R"(^\s*#\s*pragma\s+once\b)");
+  static const std::regex ifndef_re(R"(^\s*#\s*ifndef\s+\w+)");
+  static const std::regex define_re(R"(^\s*#\s*define\s+\w+)");
+  bool saw_ifndef = false;
+  for (const std::string& l : code) {
+    if (std::regex_search(l, pragma_re)) return true;
+    if (!saw_ifndef && std::regex_search(l, ifndef_re)) {
+      saw_ifndef = true;
+      continue;
+    }
+    if (saw_ifndef && std::regex_search(l, define_re)) return true;
+    // Any other non-blank, non-comment code before the guard means the
+    // header is unguarded in the way that matters: double inclusion
+    // re-evaluates that code.
+    if (l.find_first_not_of(" \t") != std::string::npos && !saw_ifndef) {
+      return false;
+    }
+  }
+  return false;
+}
+
+/// DET009: the handler text between a catch's '{' and its matching '}'.
+/// Returns false when no block could be extracted (e.g. function-try-block
+/// syntax we do not model).
+bool extract_catch_block(const std::vector<std::string>& code,
+                         std::size_t line, std::size_t col,
+                         std::string* block) {
+  // Walk from the 'catch' keyword: first balance the clause parens, then
+  // balance the block braces.
+  int paren = 0;
+  int brace = 0;
+  bool in_parens = false;
+  bool in_block = false;
+  block->clear();
+  for (std::size_t i = line; i < code.size() && i < line + 400; ++i) {
+    const std::string& l = code[i];
+    for (std::size_t j = (i == line ? col : 0); j < l.size(); ++j) {
+      const char ch = l[j];
+      if (!in_block) {
+        if (ch == '(') {
+          ++paren;
+          in_parens = true;
+        } else if (ch == ')') {
+          --paren;
+        } else if (ch == '{' && in_parens && paren == 0) {
+          in_block = true;
+          brace = 1;
+        } else if (ch == ';' && in_parens && paren == 0) {
+          return false;  // no block followed the clause
+        }
+        continue;
+      }
+      if (ch == '{') ++brace;
+      if (ch == '}') {
+        --brace;
+        if (brace == 0) return true;
+      }
+      block->push_back(ch);
+    }
+    block->push_back('\n');
+  }
+  return false;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Scan
+// ---------------------------------------------------------------------------
+
+scan_result scan(const options& opts) {
+  scan_result r;
+  const std::vector<std::string> files =
+      lint_core::collect_files(opts.roots, opts.exclude);
+  std::vector<std::string> texts;
+  texts.reserve(files.size());
+  for (const std::string& f : files) {
+    texts.push_back(lint_core::read_file(f));
+  }
+  r.graph = lint_core::build_include_graph(files, texts);
+  for (const std::string& f : r.graph.files) {
+    r.file_layer[f] = layer_of(opts.contract, f);
+  }
+
+  auto sanctioned = [&](const std::string& from, const std::string& to) {
+    for (const allowed_layer_edge& e : opts.contract.allowed_edges) {
+      if (e.from == from && e.to == to) return true;
+    }
+    return false;
+  };
+
+  for (std::size_t fi = 0; fi < files.size(); ++fi) {
+    const std::string path = lint_core::normalize_path(files[fi]);
+    const lint_core::source_view view = lint_core::lex(texts[fi]);
+    const std::string layer = r.file_layer[path];
+    const layer_contract& c = opts.contract;
+
+    // ARCH suppressions (ARCH000 on malformed); DET suppressions parsed
+    // silently — reporting their typos (DET000) is detlint's job.
+    const auto arch_sup = lint_core::suppression_table(
+        view.raw, "ARCH", [&](std::size_t li, const std::string& message) {
+          r.findings.push_back(
+              {path, static_cast<int>(li) + 1, "ARCH000", message});
+        });
+    const auto det_sup = lint_core::suppression_table(
+        view.raw, "DET", [](std::size_t, const std::string&) {});
+
+    auto report = [&](std::size_t li, const std::string& rule,
+                      const std::string& message) {
+      if (lint_core::allowed(opts.allow, rule, path)) return;
+      const auto& table = rule.rfind("DET", 0) == 0 ? det_sup : arch_sup;
+      if (li < table.size() && lint_core::suppresses(table[li], rule)) return;
+      r.findings.push_back({path, static_cast<int>(li) + 1, rule, message});
+    };
+
+    // --- ARCH001: the layer contract over this file's include edges -------
+    const auto eit = r.graph.edges.find(path);
+    if (eit != r.graph.edges.end() && !layer.empty()) {
+      for (const lint_core::include_edge& e : eit->second) {
+        if (e.resolved.empty()) continue;
+        const std::string to = r.file_layer[e.resolved];
+        if (to.empty() || to == layer) continue;
+        std::string why;
+        if (to == c.toplevel) {
+          why = "layer '" + layer + "' must not reach into the '" +
+                c.toplevel + "' toplevel";
+        } else if (layer == c.toplevel) {
+          continue;  // tools may include anything
+        } else if (to == c.sidecar) {
+          continue;  // the sidecar is includable by anyone
+        } else if (layer == c.sidecar) {
+          if (std::find(c.sidecar_deps.begin(), c.sidecar_deps.end(), to) !=
+              c.sidecar_deps.end()) {
+            continue;
+          }
+          why = "sidecar '" + c.sidecar + "' may include only {";
+          for (std::size_t k = 0; k < c.sidecar_deps.size(); ++k) {
+            why += (k != 0U ? ", " : "") + c.sidecar_deps[k];
+          }
+          why += "}";
+        } else {
+          const auto fr = c.rank.find(layer);
+          const auto tr = c.rank.find(to);
+          if (fr == c.rank.end() || tr == c.rank.end()) continue;
+          if (tr->second <= fr->second) continue;  // downward or lateral: fine
+          if (sanctioned(layer, to)) continue;
+          why = "layer '" + layer + "' (rank " + std::to_string(fr->second) +
+                ") must not include layer '" + to + "' (rank " +
+                std::to_string(tr->second) + ")";
+        }
+        report(static_cast<std::size_t>(e.line) - 1, "ARCH001",
+               "forbidden cross-layer include of \"" + e.target + "\": " +
+                   why + " — move the shared type down a layer, invert the "
+                   "dependency, or add a reasoned allow edge to layers.conf");
+      }
+    }
+
+    // --- ARCH003: public-header self-containment ---------------------------
+    if (is_header(path) && !layer.empty() && layer != c.toplevel) {
+      if (!has_include_guard(view.code)) {
+        report(0, "ARCH003",
+               "public header has no include guard (#ifndef/#define or "
+               "#pragma once) — double inclusion is an ODR hazard");
+      }
+      if (eit != r.graph.edges.end()) {
+        for (const lint_core::include_edge& e : eit->second) {
+          if (e.target.rfind("../", 0) == 0 ||
+              e.target.find("/../") != std::string::npos) {
+            report(static_cast<std::size_t>(e.line) - 1, "ARCH003",
+                   "uplevel include \"" + e.target +
+                       "\" escapes the header's directory — spell the "
+                       "src/-rooted path so the header is relocatable");
+          } else if (e.resolved.empty()) {
+            report(static_cast<std::size_t>(e.line) - 1, "ARCH003",
+                   "quoted include \"" + e.target +
+                       "\" resolves to no scanned file — the header is not "
+                       "self-contained from the source tree alone");
+          }
+        }
+      }
+    }
+
+    // --- DET008: digest purity of the observability sidecar ----------------
+    if (!c.sidecar.empty() && layer == c.sidecar) {
+      // A mutable reference/pointer to simulation state in obs code is the
+      // hole through which observation perturbs the run. const&, values,
+      // and injected callables are all fine.
+      static const std::regex det8(
+          R"(\b(simulator|network|node|event_queue|event_handle|periodic_timer|cache_store|replica_store|invalidation_protocol|poll_each_read|push_invalidate|pull_ttl|traffic_meter|query_log|trace_writer|fault_injector)\s*[&*])");
+      for (std::size_t i = 0; i < view.code.size(); ++i) {
+        for (auto it = std::sregex_iterator(view.code[i].begin(),
+                                            view.code[i].end(), det8);
+             it != std::sregex_iterator(); ++it) {
+          // const anywhere before the type on the line covers the
+          // `const simulator&` / `simulator const&` spellings.
+          const std::string before =
+              view.code[i].substr(0, static_cast<std::size_t>(it->position(0)));
+          const std::string at_and_after =
+              view.code[i].substr(static_cast<std::size_t>(it->position(0)));
+          if (before.find("const") != std::string::npos ||
+              at_and_after.find("const") != std::string::npos) {
+            continue;
+          }
+          report(i, "DET008",
+                 "obs code holds a mutable " +
+                     std::string((*it)[0].str().back() == '*' ? "pointer"
+                                                              : "reference") +
+                     " to sim type '" + (*it)[1].str() +
+                     "': observation must not be able to mutate protocol or "
+                     "kernel state (golden digests pin obs as side-effect "
+                     "free) — take const&, copy the value, or invert the "
+                     "dependency through a sink interface");
+        }
+      }
+    }
+
+    // --- DET009: exception swallowing in strict mode -----------------------
+    {
+      static const std::regex catch_re(R"(\bcatch\s*\()");
+      static const std::regex broad_re(
+          R"(^\s*(\.\.\.|(const\s+)?std\s*::\s*(exception|runtime_error)\s*&?\s*\w*)\s*$)");
+      for (std::size_t i = 0; i < view.code.size(); ++i) {
+        std::smatch m;
+        std::string line = view.code[i];
+        if (!std::regex_search(line, m, catch_re)) continue;
+        const std::size_t col = static_cast<std::size_t>(m.position(0));
+        // Clause text: between the catch's parens (may span lines).
+        std::string clause;
+        {
+          int depth = 0;
+          bool done = false;
+          for (std::size_t li = i; li < view.code.size() && li < i + 4 && !done;
+               ++li) {
+            const std::string& l = view.code[li];
+            for (std::size_t j = (li == i ? col : 0); j < l.size(); ++j) {
+              if (l[j] == '(') {
+                ++depth;
+                continue;
+              }
+              if (l[j] == ')') {
+                --depth;
+                if (depth == 0) {
+                  done = true;
+                  break;
+                }
+                continue;
+              }
+              if (depth > 0) clause.push_back(l[j]);
+            }
+          }
+        }
+        if (!std::regex_match(clause, broad_re)) continue;
+        std::string block;
+        if (!extract_catch_block(view.code, i, col, &block)) continue;
+        if (block.find("throw") != std::string::npos ||
+            block.find("rethrow_exception") != std::string::npos ||
+            block.find("current_exception") != std::string::npos ||
+            block.find("invariant_violation_error") != std::string::npos) {
+          continue;
+        }
+        report(i, "DET009",
+               "broad catch (" + trim(clause) +
+                   ") swallows every exception including "
+                   "invariant_violation_error, so a strict-mode invariant "
+                   "breach dies silently here — rethrow, filter the "
+                   "invariant error back out, or suppress with a reason");
+      }
+    }
+  }
+
+  // --- ARCH002: include cycles (one representative per scan) ---------------
+  const std::vector<std::string> cycle = lint_core::find_include_cycle(r.graph);
+  if (!cycle.empty()) {
+    std::string chain;
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+      chain += (i != 0U ? " -> " : "") + cycle[i];
+    }
+    // Anchor the finding at the first edge of the cycle.
+    int line = 1;
+    const auto it = r.graph.edges.find(cycle.front());
+    if (it != r.graph.edges.end() && cycle.size() > 1) {
+      for (const lint_core::include_edge& e : it->second) {
+        if (e.resolved == cycle[1]) {
+          line = e.line;
+          break;
+        }
+      }
+    }
+    r.findings.push_back(
+        {cycle.front(), line, "ARCH002",
+         "include cycle: " + chain +
+             " — break it with a forward declaration or by moving the "
+             "shared type down a layer"});
+  }
+
+  std::stable_sort(r.findings.begin(), r.findings.end(),
+                   [](const finding& a, const finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+std::string layer_summary(const scan_result& r) {
+  // Cross-layer fan-out (distinct target layers) and fan-in (distinct
+  // source layers) plus raw edge counts, per layer, sorted by name.
+  struct stats {
+    std::set<std::string> out_layers;
+    std::set<std::string> in_layers;
+    int out_edges = 0;
+    int in_edges = 0;
+    int files = 0;
+  };
+  std::map<std::string, stats> per;
+  for (const auto& [file, layer] : r.file_layer) {
+    if (!layer.empty()) ++per[layer].files;
+  }
+  for (const auto& [from, edges] : r.graph.edges) {
+    const auto fit = r.file_layer.find(from);
+    if (fit == r.file_layer.end() || fit->second.empty()) continue;
+    for (const lint_core::include_edge& e : edges) {
+      if (e.resolved.empty()) continue;
+      const auto tit = r.file_layer.find(e.resolved);
+      if (tit == r.file_layer.end() || tit->second.empty()) continue;
+      if (tit->second == fit->second) continue;
+      per[fit->second].out_layers.insert(tit->second);
+      per[fit->second].out_edges += 1;
+      per[tit->second].in_layers.insert(fit->second);
+      per[tit->second].in_edges += 1;
+    }
+  }
+  std::ostringstream out;
+  out << "layer        files  fan-out  fan-in  out-edges  in-edges\n";
+  for (const auto& [layer, s] : per) {
+    out << layer;
+    for (std::size_t i = layer.size(); i < 13; ++i) out << ' ';
+    out << s.files << "      " << s.out_layers.size() << "        "
+        << s.in_layers.size() << "       " << s.out_edges << "          "
+        << s.in_edges << "\n";
+  }
+  return out.str();
+}
+
+std::string to_dot(const scan_result& r) {
+  return lint_core::to_dot(r.graph, r.file_layer);
+}
+
+std::string format(const finding& f) { return lint_core::format(f); }
+
+}  // namespace archlint

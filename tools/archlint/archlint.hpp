@@ -1,0 +1,133 @@
+// archlint — architecture lint for the simulator source tree.
+//
+// Where detlint polices determinism one statement at a time, archlint
+// polices the shape of the codebase: which layer may include which, whether
+// the include graph is acyclic, and whether the observability sidecar stays
+// a read-only probe. It shares tools/lint_core with detlint (the token-aware
+// lexer, the NOLINT suppression machinery, and the quoted-include graph), so
+// a commented-out include or an include spelled inside a string literal can
+// never create a phantom edge.
+//
+// The layer contract is declarative, in tools/archlint/layers.conf:
+//
+//   layer util            # lowest rank first; a file in layer L may include
+//   layer geom            # only layers of rank <= rank(L)
+//   ...
+//   sidecar obs includes util    # includable by anyone; includes only util
+//   toplevel tools               # above all layers; nothing includes it
+//   allow chaos -> scenario : reason   # sanctioned upward edge
+//
+// Rules:
+//
+//   ARCH000  malformed or reasonless ARCH suppression marker (mirrors
+//            detlint's DET000 so a typo can never silently disable a rule).
+//   ARCH001  forbidden cross-layer include: an edge from layer A to layer B
+//            with rank(B) > rank(A), the obs sidecar including anything but
+//            its declared deps, or any src/ layer including tools/. Allow
+//            edges in layers.conf and NOLINT-ARCH(ARCH001: reason) exempt.
+//   ARCH002  include cycle anywhere in the scanned graph. One finding per
+//            scan, naming a representative cycle f0 -> ... -> f0.
+//   ARCH003  non-self-contained public header: missing include guard (or
+//            #pragma once), an uplevel "../" quoted include, or a quoted
+//            include that resolves to no scanned file.
+//   DET008   digest purity: code under src/obs/ taking a mutable reference
+//            or pointer to a simulation-state type (simulator, network,
+//            node, event_queue, caches, protocol, meters, writers).
+//            Observation must never mutate protocol or kernel state — the
+//            golden digests pin that it cannot perturb a run.
+//   DET009   a catch (...) / catch (std::exception&) / catch
+//            (std::runtime_error&) handler whose block neither rethrows nor
+//            inspects invariant_violation_error: in strict (invariant-
+//            checking) builds such a handler swallows the very signal the
+//            run is supposed to die on. Rethrow, filter, or suppress with a
+//            reason.
+//
+// DET008/DET009 are numbered in the DET space because they are determinism
+// rules — they live here only because they need the include-graph / scope
+// machinery. They are suppressed with NOLINT-DET like every other DET rule;
+// malformed NOLINT-DET markers stay detlint's job (DET000) so the same typo
+// is not reported twice.
+#ifndef MANET_TOOLS_ARCHLINT_ARCHLINT_HPP
+#define MANET_TOOLS_ARCHLINT_ARCHLINT_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"         // lint_core: finding, allow_entry
+#include "include_graph.hpp"  // lint_core: include_graph
+
+namespace archlint {
+
+using finding = lint_core::finding;
+using allow_entry = lint_core::allow_entry;
+
+/// One sanctioned upward edge from layers.conf: `allow FROM -> TO : reason`.
+struct allowed_layer_edge {
+  std::string from;
+  std::string to;
+  std::string reason;
+};
+
+/// The parsed layer contract.
+struct layer_contract {
+  /// Layer names in rank order, lowest (most fundamental) first.
+  std::vector<std::string> layers;
+  /// name -> rank (index into `layers`).
+  std::map<std::string, int> rank;
+  /// Sidecar layer ("" if none): includable by anyone, includes only
+  /// `sidecar_deps` (and itself).
+  std::string sidecar;
+  std::vector<std::string> sidecar_deps;
+  /// Toplevel pseudo-layer ("" if none): may include anything; nothing may
+  /// include it.
+  std::string toplevel;
+  std::vector<allowed_layer_edge> allowed_edges;
+};
+
+/// Parses layers.conf text. On a grammar error returns an empty contract and
+/// sets `*error` to a "line N: what" diagnostic (empty on success).
+layer_contract parse_layer_contract(const std::string& text,
+                                    std::string* error);
+
+/// The layer owning `path`: the path segment after the *last* "src/" (so
+/// fixture trees under tools/ still classify), the toplevel name when the
+/// path runs through "tools/", or "" when unclassified.
+std::string layer_of(const layer_contract& c, const std::string& path);
+
+struct options {
+  /// Files or directories to scan.
+  std::vector<std::string> roots;
+  /// Path substrings to drop (deliberately-violating fixtures).
+  std::vector<std::string> exclude = {"/fixtures/"};
+  layer_contract contract;
+  /// Per-rule path exemptions (none by default — layers.conf allow edges
+  /// and NOLINT markers are the sanctioned mechanisms).
+  std::vector<allow_entry> allow;
+};
+
+struct scan_result {
+  std::vector<finding> findings;  ///< sorted by (file, line, rule)
+  lint_core::include_graph graph;
+  /// file -> layer name ("" = unclassified), for DOT clustering and the
+  /// fan-in/fan-out summary.
+  std::map<std::string, std::string> file_layer;
+};
+
+/// Full scan: include graph + ARCH001/ARCH002 over it, ARCH003/DET008/
+/// DET009 per file, ARCH000 for malformed ARCH suppression markers.
+scan_result scan(const options& opts);
+
+/// Per-layer fan-in/fan-out table over cross-layer edges, plus totals —
+/// the CI artifact next to the DOT export.
+std::string layer_summary(const scan_result& r);
+
+/// Graphviz DOT of the scanned include graph, clustered by layer.
+std::string to_dot(const scan_result& r);
+
+/// "file:line: RULE: message" rendering used by the CLI and the tests.
+std::string format(const finding& f);
+
+}  // namespace archlint
+
+#endif  // MANET_TOOLS_ARCHLINT_ARCHLINT_HPP

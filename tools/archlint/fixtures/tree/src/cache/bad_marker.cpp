@@ -1,0 +1,12 @@
+// archlint fixture: ARCH000 — malformed suppression markers. A typo in a
+// marker must be reported, never silently ignored.
+
+static int value() {
+  // The bare marker below is line 6; the test pins ARCH000 there.
+  return 1;  // NOLINT-ARCH
+}
+
+static int reasonless() {
+  // Parenthesized but with an empty reason — also malformed, line 11.
+  return 2;  // NOLINT-ARCH(ARCH001:)
+}

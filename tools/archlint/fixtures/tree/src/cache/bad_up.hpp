@@ -1,0 +1,15 @@
+// archlint fixture: ARCH001 — a cache-layer header reaching up into the
+// scenario layer. The include below is line 7; the test pins it.
+#ifndef ARCHLINT_FIXTURE_CACHE_BAD_UP_HPP
+#define ARCHLINT_FIXTURE_CACHE_BAD_UP_HPP
+
+// NEXT LINE IS PINNED AT 7 — keep the preamble exactly this long.
+#include "scenario/top.hpp"
+
+namespace fixture {
+struct bad_up {
+  top t;
+};
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_CACHE_BAD_UP_HPP

@@ -1,0 +1,10 @@
+// archlint fixture: clean mid-rank header — the sidecar fixture includes it
+// to demonstrate the sidecar-deps violation.
+#ifndef ARCHLINT_FIXTURE_CACHE_STORE_HPP
+#define ARCHLINT_FIXTURE_CACHE_STORE_HPP
+
+namespace fixture {
+struct store {};
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_CACHE_STORE_HPP

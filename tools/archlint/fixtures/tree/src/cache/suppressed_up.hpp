@@ -1,0 +1,13 @@
+// archlint fixture: a well-formed, reasoned ARCH suppression silences the
+// upward include on the very next line — and ONLY that line.
+#ifndef ARCHLINT_FIXTURE_CACHE_SUPPRESSED_UP_HPP
+#define ARCHLINT_FIXTURE_CACHE_SUPPRESSED_UP_HPP
+
+// NOLINTNEXTLINE-ARCH(ARCH001: fixture — sanctioned upward edge specimen)
+#include "scenario/top.hpp"
+
+namespace fixture {
+struct suppressed_up {};
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_CACHE_SUPPRESSED_UP_HPP

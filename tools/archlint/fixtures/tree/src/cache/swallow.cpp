@@ -1,0 +1,43 @@
+// archlint fixture: DET009 — broad catch handlers that swallow the strict-
+// mode invariant signal, plus the three sanctioned escapes (rethrow,
+// filter, reasoned suppression).
+
+void risky();
+
+// Swallower: the catch below is line 11; the test pins DET009 there.
+static void swallow() {
+  try {
+    risky();
+  } catch (const std::exception&) {
+    // deliberately ignored — this is the bug the rule exists for
+  }
+}
+
+// Rethrow: clean.
+static void rethrow() {
+  try {
+    risky();
+  } catch (...) {
+    throw;
+  }
+}
+
+// Filter: inspecting invariant_violation_error keeps the signal alive.
+static void filter() {
+  try {
+    risky();
+  } catch (const std::exception& e) {
+    if (dynamic_cast<const invariant_violation_error*>(&e) != nullptr) {
+      throw;
+    }
+  }
+}
+
+// Reasoned suppression: clean (and the reason is auditable).
+static void sanctioned() {
+  try {
+    risky();
+    // NOLINTNEXTLINE-DET(DET009: fixture — swallowing is the specimen here)
+  } catch (const std::exception&) {
+  }
+}

@@ -1,0 +1,16 @@
+// archlint fixture: a well-behaved sidecar header — includes only declared
+// deps (util) and touches sim state through const references and values.
+#ifndef ARCHLINT_FIXTURE_OBS_CLEAN_PROBE_HPP
+#define ARCHLINT_FIXTURE_OBS_CLEAN_PROBE_HPP
+
+#include "util/base.hpp"
+
+namespace fixture {
+
+void probe(const simulator& sim);
+void probe_const_east(simulator const& sim);
+void note(const traffic_meter* meter);
+
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_OBS_CLEAN_PROBE_HPP

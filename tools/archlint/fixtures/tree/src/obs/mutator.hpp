@@ -1,0 +1,21 @@
+// archlint fixture: the two ways the observability sidecar can go wrong —
+// including a non-dep layer (ARCH001, line 8) and holding mutable handles
+// to simulation state (DET008, lines 13 and 16).
+#ifndef ARCHLINT_FIXTURE_OBS_MUTATOR_HPP
+#define ARCHLINT_FIXTURE_OBS_MUTATOR_HPP
+
+// NEXT LINE IS PINNED AT 8 — keep the preamble exactly this long.
+#include "cache/store.hpp"
+
+namespace fixture {
+
+// Mutable reference into the kernel: line 13.
+void probe(simulator& sim);
+
+struct holder {
+  traffic_meter* meter;  // mutable pointer: line 16
+};
+
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_OBS_MUTATOR_HPP

@@ -1,0 +1,10 @@
+// archlint fixture: clean top-rank header — exists so lower layers have a
+// concrete upward target to (illegally) include.
+#ifndef ARCHLINT_FIXTURE_SCENARIO_TOP_HPP
+#define ARCHLINT_FIXTURE_SCENARIO_TOP_HPP
+
+namespace fixture {
+struct top {};
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_SCENARIO_TOP_HPP

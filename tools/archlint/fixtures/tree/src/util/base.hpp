@@ -1,0 +1,10 @@
+// archlint fixture: clean bottom-rank header — a sanctioned sidecar
+// dependency target.
+#ifndef ARCHLINT_FIXTURE_UTIL_BASE_HPP
+#define ARCHLINT_FIXTURE_UTIL_BASE_HPP
+
+namespace fixture {
+struct base {};
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_UTIL_BASE_HPP

@@ -1,0 +1,12 @@
+// archlint fixture: ARCH002 — one half of a two-header include cycle.
+// Same layer on both sides, so the only finding is the cycle itself.
+#ifndef ARCHLINT_FIXTURE_UTIL_CYC_A_HPP
+#define ARCHLINT_FIXTURE_UTIL_CYC_A_HPP
+
+#include "util/cyc_b.hpp"
+
+namespace fixture {
+struct cyc_a {};
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_UTIL_CYC_A_HPP

@@ -1,0 +1,11 @@
+// archlint fixture: ARCH002 — the other half of the include cycle.
+#ifndef ARCHLINT_FIXTURE_UTIL_CYC_B_HPP
+#define ARCHLINT_FIXTURE_UTIL_CYC_B_HPP
+
+#include "util/cyc_a.hpp"
+
+namespace fixture {
+struct cyc_b {};
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_UTIL_CYC_B_HPP

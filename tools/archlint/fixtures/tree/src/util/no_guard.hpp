@@ -1,0 +1,6 @@
+// archlint fixture: ARCH003 — a public header with no include guard.
+// The finding anchors at line 1.
+
+namespace fixture {
+struct no_guard {};
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// archlint fixture: ARCH003 — a quoted include that resolves to no scanned
+// file: the header cannot be compiled from the source tree alone. The
+// include below is line 8.
+#ifndef ARCHLINT_FIXTURE_UTIL_UNRESOLVED_HPP
+#define ARCHLINT_FIXTURE_UTIL_UNRESOLVED_HPP
+
+// NEXT LINE IS PINNED AT 8 — keep the preamble exactly this long.
+#include "util/not_here.hpp"
+
+namespace fixture {
+struct unresolved {};
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_UTIL_UNRESOLVED_HPP

@@ -1,0 +1,13 @@
+// archlint fixture: ARCH003 — an uplevel "../" quoted include ties the
+// header to its current directory. The include below is line 7.
+#ifndef ARCHLINT_FIXTURE_UTIL_UPLEVEL_HPP
+#define ARCHLINT_FIXTURE_UTIL_UPLEVEL_HPP
+
+// NEXT LINE IS PINNED AT 7 — keep the preamble exactly this long.
+#include "../util/missing.hpp"
+
+namespace fixture {
+struct uplevel {};
+}  // namespace fixture
+
+#endif  // ARCHLINT_FIXTURE_UTIL_UPLEVEL_HPP

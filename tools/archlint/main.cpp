@@ -1,0 +1,95 @@
+// archlint CLI.
+//
+//   archlint --config tools/archlint/layers.conf [options] ROOT...
+//
+//   --config FILE     layer contract (required)
+//   --dot FILE        write the include graph as Graphviz DOT
+//   --summary FILE    write the per-layer fan-in/fan-out table
+//   --exclude SUBSTR  drop files whose path contains SUBSTR (repeatable;
+//                     default: /fixtures/)
+//
+// Exit status 1 when any finding survives suppression, 2 on usage or
+// config errors. Used by the `lint` target, the archlint ctest entry, and
+// the CI lint job (which uploads the DOT and summary as artifacts).
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "archlint.hpp"
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string dot_path;
+  std::string summary_path;
+  std::vector<std::string> roots;
+  std::vector<std::string> exclude;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "archlint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") {
+      config_path = value("--config");
+    } else if (arg == "--dot") {
+      dot_path = value("--dot");
+    } else if (arg == "--summary") {
+      summary_path = value("--summary");
+    } else if (arg == "--exclude") {
+      exclude.push_back(value("--exclude"));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: archlint --config layers.conf [--dot FILE] "
+                   "[--summary FILE] [--exclude SUBSTR]... ROOT...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "archlint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (config_path.empty() || roots.empty()) {
+    std::cerr << "usage: archlint --config layers.conf [--dot FILE] "
+                 "[--summary FILE] [--exclude SUBSTR]... ROOT...\n";
+    return 2;
+  }
+
+  const std::string config_text = lint_core::read_file(config_path);
+  if (config_text.empty()) {
+    std::cerr << "archlint: cannot read config " << config_path << "\n";
+    return 2;
+  }
+  std::string error;
+  archlint::options opts;
+  opts.contract = archlint::parse_layer_contract(config_text, &error);
+  if (!error.empty()) {
+    std::cerr << "archlint: " << config_path << ": " << error << "\n";
+    return 2;
+  }
+  opts.roots = roots;
+  if (!exclude.empty()) opts.exclude = exclude;
+
+  const archlint::scan_result result = archlint::scan(opts);
+
+  if (!dot_path.empty()) {
+    std::ofstream out(dot_path);
+    out << archlint::to_dot(result);
+  }
+  if (!summary_path.empty()) {
+    std::ofstream out(summary_path);
+    out << archlint::layer_summary(result);
+  }
+
+  for (const archlint::finding& f : result.findings) {
+    std::cout << archlint::format(f) << "\n";
+  }
+  if (!result.findings.empty()) {
+    std::cout << result.findings.size() << " finding(s)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -155,6 +155,9 @@ int main(int argc, char** argv) {
       std::fputs(f.report.describe().c_str(), stdout);
     }
     return res.ok() ? 0 : 1;
+    // Top-level CLI handler: reports on stderr and exits nonzero, so an
+    // invariant violation still fails the run — nothing is swallowed.
+    // NOLINTNEXTLINE-DET(DET009: top-level CLI handler reports and exits nonzero)
   } catch (const std::exception& e) {
     std::fprintf(stderr, "chaosfuzz: %s\n", e.what());
     return 1;

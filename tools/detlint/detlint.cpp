@@ -2,158 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
-#include <filesystem>
-#include <fstream>
 #include <regex>
 #include <set>
-#include <sstream>
+
+#include "lexer.hpp"     // lint_core: token-aware source view
+#include "suppress.hpp"  // lint_core: NOLINT machinery
 
 namespace detlint {
 
 namespace {
-
-// ---------------------------------------------------------------------------
-// Source sanitizing: blank out comments and string/char literals so the rule
-// regexes never fire on prose or on quoted text. Raw lines are kept for
-// suppression-comment parsing.
-// ---------------------------------------------------------------------------
-
-std::vector<std::string> split_lines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string cur;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(cur);
-      cur.clear();
-    } else {
-      cur += c;
-    }
-  }
-  if (!cur.empty()) lines.push_back(cur);
-  return lines;
-}
-
-/// Replaces comment and literal contents with spaces, preserving columns.
-std::vector<std::string> sanitize(const std::vector<std::string>& raw) {
-  std::vector<std::string> out;
-  out.reserve(raw.size());
-  bool in_block_comment = false;
-  for (const std::string& line : raw) {
-    std::string s = line;
-    std::size_t i = 0;
-    char literal = 0;  // '"' or '\'' when inside one
-    while (i < s.size()) {
-      if (in_block_comment) {
-        if (s[i] == '*' && i + 1 < s.size() && s[i + 1] == '/') {
-          s[i] = ' ';
-          s[i + 1] = ' ';
-          in_block_comment = false;
-          i += 2;
-        } else {
-          s[i++] = ' ';
-        }
-        continue;
-      }
-      if (literal != 0) {
-        if (s[i] == '\\' && i + 1 < s.size()) {
-          s[i] = ' ';
-          s[i + 1] = ' ';
-          i += 2;
-          continue;
-        }
-        if (s[i] == literal) literal = 0;
-        s[i++] = ' ';
-        continue;
-      }
-      if (s[i] == '"' || s[i] == '\'') {
-        literal = s[i];
-        s[i++] = ' ';
-        continue;
-      }
-      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '/') {
-        for (std::size_t j = i; j < s.size(); ++j) s[j] = ' ';
-        break;
-      }
-      if (s[i] == '/' && i + 1 < s.size() && s[i + 1] == '*') {
-        s[i] = ' ';
-        s[i + 1] = ' ';
-        in_block_comment = true;
-        i += 2;
-        continue;
-      }
-      ++i;
-    }
-    // Literals do not continue across lines (raw strings are not used here).
-    out.push_back(std::move(s));
-  }
-  return out;
-}
-
-// ---------------------------------------------------------------------------
-// Suppressions
-// ---------------------------------------------------------------------------
-
-struct suppression {
-  std::set<std::string> rules;  ///< may contain "*"
-  bool has_reason = false;
-  bool malformed = false;
-};
-
-const std::regex kSuppressionRe(R"(NOLINT(NEXTLINE)?-DET)");
-const std::regex kSuppressionFullRe(R"(NOLINT(NEXTLINE)?-DET\(([^)]*)\))");
-
-/// Parses every NOLINT-DET marker on a raw line. Returns (same-line,
-/// next-line) suppressions; a marker without parsable "(rules: reason)"
-/// content yields a malformed entry so DET000 can flag it.
-std::pair<std::vector<suppression>, std::vector<suppression>> parse_suppressions(
-    const std::string& raw_line) {
-  std::vector<suppression> same;
-  std::vector<suppression> next;
-  auto begin = std::sregex_iterator(raw_line.begin(), raw_line.end(),
-                                    kSuppressionFullRe);
-  std::set<std::size_t> parsed_positions;
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::smatch& m = *it;
-    parsed_positions.insert(static_cast<std::size_t>(m.position(0)));
-    suppression sup;
-    const std::string body = m[2].str();
-    const std::size_t colon = body.find(':');
-    std::string rules = colon == std::string::npos ? body : body.substr(0, colon);
-    std::string reason = colon == std::string::npos ? "" : body.substr(colon + 1);
-    std::stringstream ss(rules);
-    std::string rule;
-    while (std::getline(ss, rule, ',')) {
-      const auto b = rule.find_first_not_of(" \t");
-      const auto e = rule.find_last_not_of(" \t");
-      if (b != std::string::npos) sup.rules.insert(rule.substr(b, e - b + 1));
-    }
-    sup.has_reason = reason.find_first_not_of(" \t") != std::string::npos;
-    if (sup.rules.empty()) sup.malformed = true;
-    (m[1].matched ? next : same).push_back(std::move(sup));
-  }
-  // Bare markers without (…) are malformed suppressions.
-  auto bare = std::sregex_iterator(raw_line.begin(), raw_line.end(), kSuppressionRe);
-  for (auto it = bare; it != std::sregex_iterator(); ++it) {
-    const std::smatch& m = *it;
-    if (parsed_positions.count(static_cast<std::size_t>(m.position(0)))) continue;
-    suppression sup;
-    sup.malformed = true;
-    (m[1].matched ? next : same).push_back(std::move(sup));
-  }
-  return {same, next};
-}
-
-bool suppresses(const std::vector<suppression>& sups, const std::string& rule) {
-  for (const suppression& s : sups) {
-    if (s.malformed || !s.has_reason) continue;
-    if (s.rules.count("*") != 0 || s.rules.count(rule) != 0) return true;
-  }
-  return false;
-}
-
-// ---------------------------------------------------------------------------
-// Helpers
-// ---------------------------------------------------------------------------
 
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -189,25 +46,6 @@ std::size_t match_angle(const std::string& s, std::size_t open) {
   return std::string::npos;
 }
 
-std::string normalize_path(std::string p) {
-  std::replace(p.begin(), p.end(), '\\', '/');
-  return p;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
-bool allowed(const std::vector<allow_entry>& allow, const std::string& rule,
-             const std::string& path) {
-  const std::string norm = normalize_path(path);
-  for (const allow_entry& a : allow) {
-    if (a.rule == rule && ends_with(norm, a.path_suffix)) return true;
-  }
-  return false;
-}
-
 const std::set<std::string>& cpp_keywords() {
   static const std::set<std::string> kw = {
       "auto",     "const",    "constexpr", "static",  "if",      "else",
@@ -236,13 +74,7 @@ std::vector<std::string> collect_unordered_names(
   std::vector<std::string> flattened;
   flattened.reserve(texts.size());
   for (const std::string& text : texts) {
-    const std::vector<std::string> sane = sanitize(split_lines(text));
-    std::string flat;
-    for (const std::string& l : sane) {
-      flat += l;
-      flat += '\n';
-    }
-    flattened.push_back(std::move(flat));
+    flattened.push_back(lint_core::code_text(lint_core::lex(text)));
   }
   for (const std::string& flat : flattened) {
     // Type aliases of unordered containers.
@@ -290,45 +122,25 @@ std::vector<std::string> collect_unordered_names(
 std::vector<finding> scan_text(const std::string& path, const std::string& text,
                                const std::vector<std::string>& unordered_names,
                                const std::vector<allow_entry>& allow) {
-  const std::vector<std::string> raw = split_lines(text);
-  const std::vector<std::string> code = sanitize(raw);
+  const lint_core::source_view view = lint_core::lex(text);
+  const std::vector<std::string>& raw = view.raw;
+  const std::vector<std::string>& code = view.code;
   const std::set<std::string> names(unordered_names.begin(), unordered_names.end());
 
   // Suppressions per line: same-line plus NOLINTNEXTLINE-DET from line-1.
-  std::vector<std::vector<suppression>> active(raw.size());
   std::vector<finding> out;
-  for (std::size_t i = 0; i < raw.size(); ++i) {
-    auto [same, next] = parse_suppressions(raw[i]);
-    for (const suppression& s : same) {
-      if (s.malformed) {
-        out.push_back({path, static_cast<int>(i) + 1, "DET000",
-                       "malformed NOLINT-DET suppression: expected "
-                       "NOLINT-DET(RULE[,RULE]: reason)"});
-      } else if (!s.has_reason) {
-        out.push_back({path, static_cast<int>(i) + 1, "DET000",
-                       "NOLINT-DET suppression is missing a reason"});
-      }
-    }
-    for (const suppression& s : next) {
-      if (s.malformed) {
-        out.push_back({path, static_cast<int>(i) + 1, "DET000",
-                       "malformed NOLINTNEXTLINE-DET suppression: expected "
-                       "NOLINTNEXTLINE-DET(RULE[,RULE]: reason)"});
-      } else if (!s.has_reason) {
-        out.push_back({path, static_cast<int>(i) + 1, "DET000",
-                       "NOLINTNEXTLINE-DET suppression is missing a reason"});
-      }
-    }
-    active[i].insert(active[i].end(), same.begin(), same.end());
-    if (!next.empty() && i + 1 < raw.size()) {
-      active[i + 1].insert(active[i + 1].end(), next.begin(), next.end());
-    }
-  }
+  const auto active = lint_core::suppression_table(
+      raw, "DET", [&](std::size_t line_idx, const std::string& message) {
+        out.push_back({path, static_cast<int>(line_idx) + 1, "DET000", message});
+      });
 
   auto report = [&](std::size_t line_idx, const std::string& rule,
                     const std::string& message) {
-    if (allowed(allow, rule, path)) return;
-    if (line_idx < active.size() && suppresses(active[line_idx], rule)) return;
+    if (lint_core::allowed(allow, rule, path)) return;
+    if (line_idx < active.size() &&
+        lint_core::suppresses(active[line_idx], rule)) {
+      return;
+    }
     out.push_back({path, static_cast<int>(line_idx) + 1, rule, message});
   };
 
@@ -574,7 +386,7 @@ std::vector<finding> scan_text(const std::string& path, const std::string& text,
   // std engine or an ad-hoc literal-seeded manet::rng reproduces until
   // someone reorders the calls, then every archived repro goes stale.
   {
-    const std::string norm = normalize_path(path);
+    const std::string norm = lint_core::normalize_path(path);
     const bool chaos_scope = norm.find("chaos") != std::string::npos ||
                              norm.find("fuzz") != std::string::npos;
     static const std::regex det7_engine(
@@ -612,33 +424,12 @@ std::vector<allow_entry> default_allowlist() {
   return {
       {"DET002", "src/util/rng.cpp"},
       {"DET002", "src/util/rng.hpp"},
-      // Host-side wall-clock profiling: the only sim-tree file allowed to
-      // read a clock. Results are reported out-of-band, never fed back into
-      // the simulation (see obs/prof.hpp).
-      {"DET002", "src/obs/prof.cpp"},
       {"DET005", "src/scenario/sweep.cpp"},
   };
 }
 
 std::vector<std::string> collect_files(const std::vector<std::string>& roots) {
-  namespace fs = std::filesystem;
-  const std::set<std::string> exts = {".cpp", ".cc", ".cxx", ".hpp", ".hh", ".h"};
-  std::vector<std::string> files;
-  for (const std::string& root : roots) {
-    if (fs::is_directory(root)) {
-      for (const auto& entry : fs::recursive_directory_iterator(root)) {
-        if (!entry.is_regular_file()) continue;
-        if (exts.count(entry.path().extension().string()) != 0) {
-          files.push_back(entry.path().string());
-        }
-      }
-    } else if (fs::is_regular_file(root)) {
-      files.push_back(root);
-    }
-  }
-  std::sort(files.begin(), files.end());
-  files.erase(std::unique(files.begin(), files.end()), files.end());
-  return files;
+  return lint_core::collect_files(roots);
 }
 
 std::vector<finding> scan(const options& opts) {
@@ -646,10 +437,7 @@ std::vector<finding> scan(const options& opts) {
   std::vector<std::string> texts;
   texts.reserve(files.size());
   for (const std::string& f : files) {
-    std::ifstream in(f);
-    std::stringstream ss;
-    ss << in.rdbuf();
-    texts.push_back(ss.str());
+    texts.push_back(lint_core::read_file(f));
   }
   const std::vector<std::string> names = collect_unordered_names(texts);
   std::vector<finding> out;
@@ -660,8 +448,6 @@ std::vector<finding> scan(const options& opts) {
   return out;
 }
 
-std::string format(const finding& f) {
-  return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " + f.message;
-}
+std::string format(const finding& f) { return lint_core::format(f); }
 
 }  // namespace detlint

@@ -3,8 +3,11 @@
 // A deterministic discrete-event simulation is only as reproducible as its
 // least-ordered loop: one iteration over an unordered container that emits
 // packets, one wall-clock read, one pointer-keyed map, and the replay
-// guarantee is gone. detlint is a token/regex scanner (no libclang) that
-// enforces the repo's seven determinism rule classes:
+// guarantee is gone. detlint is a token-aware scanner (no libclang) built
+// on tools/lint_core — comments, string/char literals, raw strings, and
+// line continuations are stripped by a real lexer before any rule regex
+// runs, so prose can never trip a rule. It enforces the repo's seven
+// determinism rule classes:
 //
 //   DET001  iteration over std::unordered_map / std::unordered_set
 //           (range-for or .begin() iterator loops). Extract-and-sort the
@@ -34,6 +37,9 @@
 //           replayed from (scenario, chaos_seed) alone, so every generator
 //           there must come from a named stream.
 //
+// The architecture-level rules (ARCH001-ARCH003, DET008, DET009) live in
+// tools/archlint, on the same lint_core lexer.
+//
 // Suppressions (reason is mandatory, DET000 fires on a missing one):
 //   code();  // NOLINT-DET(DET001: counter accumulation is order-free)
 //   // NOLINTNEXTLINE-DET(DET004: guarded by init-once mutex)
@@ -48,19 +54,12 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"  // lint_core: finding, allow_entry, collect_files
+
 namespace detlint {
 
-struct finding {
-  std::string file;     ///< path as given/discovered
-  int line = 0;         ///< 1-based
-  std::string rule;     ///< "DET001".."DET007", "DET000" for bad suppressions
-  std::string message;  ///< human-readable explanation
-};
-
-struct allow_entry {
-  std::string rule;         ///< rule id the exemption applies to
-  std::string path_suffix;  ///< matches when the normalized path ends with it
-};
+using finding = lint_core::finding;
+using allow_entry = lint_core::allow_entry;
 
 struct options {
   /// Files or directories to scan (*.cpp, *.cc, *.hpp, *.hh, *.h).

@@ -1,0 +1,53 @@
+// detlint fixture: tokenizer regression — every determinism trigger in this
+// file lives inside a comment, a string literal, or a raw string literal, so
+// a token-aware lexer must report ZERO findings. A line-regex "sanitizer"
+// (the pre-lint_core implementation) trips on several of these.
+#include <string>
+#include <vector>
+
+// Line comment mentioning rand() and std::random_device — not code.
+/* Block comment spanning
+   multiple lines with steady_clock and system_clock inside,
+   plus a for (auto& kv : table_.begin()) style phrase. */
+
+/* Block comments do not nest: the sequence below ends at the FIRST `*` `/`,
+   so the trailing text must already be real code again. */
+static const char* kDoc =
+    "usage: seed with srand(42) then call rand() per draw";  // in a string
+
+// A raw string literal whose body would otherwise trip DET001/DET002: the
+// delimiter means embedded quotes and parens never end the literal early.
+static const std::string kRaw = R"lint(
+  std::unordered_map<int, int> m;
+  for (auto& [k, v] : m) { high_resolution_clock::now(); }
+  gettimeofday(&tv, nullptr);
+)lint";
+
+// String with an escaped quote before a trigger: \" rand() \" stays inside.
+static const char* kEscaped = "say \"rand()\" twice: \"srand(1)\"";
+
+// Backslash-newline continues a line comment: rand() on the next \
+   physical line is still commented out, including this random_device.
+
+// A multi-line conventional string via backslash-newline continuation.
+static const char* kContinued = "first half mentions system_clock \
+second half mentions default_random_engine";
+
+// Char literals: '"' must not open a string; later rand() text is comment.
+static const char kQuoteChar = '"';
+static const char kEscapedQuote = '\'';
+
+// Digit separators must not be parsed as char literals — if 1'000'000
+// opened a char literal, the rand() in this comment would leak into code.
+static const long kMillion = 1'000'000;
+
+// Adjacent trigraph-like text: ??/ is NOT a backslash (trigraphs are not
+// interpreted), so this comment ends normally and the next line is code.
+static const std::vector<int> kValues = {1, 2, 3};
+
+int fixture_sum() {
+  int s = static_cast<int>(kMillion % 97) + kQuoteChar + kEscapedQuote;
+  for (int v : kValues) s += v;  // plain vector: ordered, fine
+  return s + static_cast<int>(kDoc[0]) + static_cast<int>(kRaw.size()) +
+         static_cast<int>(kEscaped[0]) + static_cast<int>(kContinued[0]);
+}

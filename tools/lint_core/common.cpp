@@ -1,0 +1,73 @@
+#include "common.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+namespace lint_core {
+
+std::string normalize_path(std::string p) {
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool allowed(const std::vector<allow_entry>& allow, const std::string& rule,
+             const std::string& path) {
+  const std::string norm = normalize_path(path);
+  for (const allow_entry& a : allow) {
+    if (a.rule == rule && ends_with(norm, a.path_suffix)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> collect_files(
+    const std::vector<std::string>& roots,
+    const std::vector<std::string>& exclude_substrings) {
+  namespace fs = std::filesystem;
+  const std::set<std::string> exts = {".cpp", ".cc", ".cxx",
+                                      ".hpp", ".hh", ".h"};
+  std::vector<std::string> files;
+  auto excluded = [&](const std::string& path) {
+    const std::string norm = normalize_path(path);
+    for (const std::string& sub : exclude_substrings) {
+      if (norm.find(sub) != std::string::npos) return true;
+    }
+    return false;
+  };
+  for (const std::string& root : roots) {
+    if (fs::is_directory(root)) {
+      for (const auto& entry : fs::recursive_directory_iterator(root)) {
+        if (!entry.is_regular_file()) continue;
+        if (exts.count(entry.path().extension().string()) == 0) continue;
+        std::string p = entry.path().string();
+        if (!excluded(p)) files.push_back(std::move(p));
+      }
+    } else if (fs::is_regular_file(root)) {
+      if (!excluded(root)) files.push_back(root);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  return files;
+}
+
+std::string format(const finding& f) {
+  return f.file + ":" + std::to_string(f.line) + ": " + f.rule + ": " +
+         f.message;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace lint_core

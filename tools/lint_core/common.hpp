@@ -1,0 +1,49 @@
+// lint_core::common — the finding record, path allowlists, and source-tree
+// discovery shared by detlint and archlint.
+#ifndef MANET_TOOLS_LINT_CORE_COMMON_HPP
+#define MANET_TOOLS_LINT_CORE_COMMON_HPP
+
+#include <string>
+#include <vector>
+
+namespace lint_core {
+
+struct finding {
+  std::string file;     ///< path as given/discovered
+  int line = 0;         ///< 1-based
+  std::string rule;     ///< e.g. "DET001", "ARCH002"
+  std::string message;  ///< human-readable explanation
+};
+
+struct allow_entry {
+  std::string rule;         ///< rule id the exemption applies to
+  std::string path_suffix;  ///< matches when the normalized path ends with it
+};
+
+/// Forward-slash normalization for portable suffix matching.
+std::string normalize_path(std::string p);
+
+bool ends_with(const std::string& s, const std::string& suffix);
+
+/// True when `allow` carries an entry exempting `rule` for `path`.
+bool allowed(const std::vector<allow_entry>& allow, const std::string& rule,
+             const std::string& path);
+
+/// Expands directories in `roots` to the C++ files beneath them
+/// (*.cpp, *.cc, *.cxx, *.hpp, *.hh, *.h), sorted and deduplicated.
+/// Any file whose normalized path contains one of `exclude_substrings`
+/// is dropped (used to keep deliberately-violating lint fixtures out of
+/// production gates).
+std::vector<std::string> collect_files(
+    const std::vector<std::string>& roots,
+    const std::vector<std::string>& exclude_substrings = {});
+
+/// "file:line: RULE: message" rendering used by the CLIs and the tests.
+std::string format(const finding& f);
+
+/// Reads a whole file; empty string when unreadable.
+std::string read_file(const std::string& path);
+
+}  // namespace lint_core
+
+#endif  // MANET_TOOLS_LINT_CORE_COMMON_HPP

@@ -1,0 +1,166 @@
+#include "include_graph.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <regex>
+#include <set>
+
+#include "common.hpp"
+#include "lexer.hpp"
+
+namespace lint_core {
+
+namespace {
+
+std::string dirname(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+/// Lexically normalizes "a/b/../c" to "a/c" without touching the disk.
+std::string lexically_normal(const std::string& path) {
+  namespace fs = std::filesystem;
+  return normalize_path(fs::path(path).lexically_normal().string());
+}
+
+}  // namespace
+
+include_graph build_include_graph(const std::vector<std::string>& files,
+                                  const std::vector<std::string>& texts) {
+  include_graph g;
+  g.files.reserve(files.size());
+  for (const std::string& f : files) g.files.push_back(normalize_path(f));
+  std::sort(g.files.begin(), g.files.end());
+
+  // Fast membership for resolution, plus the candidate include directories:
+  // every directory holding a scanned file AND its ancestors (sorted, so
+  // first-hit resolution is deterministic). Ancestors matter because the
+  // repo's idiom is src/-rooted spellings — "util/units.hpp" resolves via
+  // the src/ root, which itself holds no sources.
+  const std::set<std::string> known(g.files.begin(), g.files.end());
+  std::set<std::string> dir_set;
+  for (const std::string& f : g.files) {
+    for (std::string d = dirname(f); !d.empty(); d = dirname(d)) {
+      if (!dir_set.insert(d).second) break;  // ancestors already present
+    }
+  }
+  const std::vector<std::string> dirs(dir_set.begin(), dir_set.end());
+
+  // The directive is detected on the *code* view (so an include inside a
+  // comment or string literal is dead text), but the target is extracted
+  // from the *raw* line: the lexer blanks string-literal contents, and a
+  // quoted include path is lexically a string literal.
+  static const std::regex directive_re(R"(^\s*#\s*include\b)");
+  static const std::regex include_re(R"(^\s*#\s*include\s*"([^"]+)\")");
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    const std::string norm = normalize_path(files[i]);
+    const source_view v = lex(texts[i]);
+    std::vector<include_edge>& out = g.edges[norm];
+    for (std::size_t li = 0; li < v.code.size(); ++li) {
+      if (!std::regex_search(v.code[li], directive_re)) continue;
+      std::smatch m;
+      if (!std::regex_search(v.raw[li], m, include_re)) continue;
+      include_edge e;
+      e.line = static_cast<int>(li) + 1;
+      e.target = m[1].str();
+      // Includer-relative first, then each scanned directory.
+      const std::string rel =
+          lexically_normal(dirname(norm) + "/" + e.target);
+      if (known.count(rel) != 0) {
+        e.resolved = rel;
+      } else {
+        for (const std::string& d : dirs) {
+          const std::string cand = lexically_normal(d + "/" + e.target);
+          if (known.count(cand) != 0) {
+            e.resolved = cand;
+            break;
+          }
+        }
+      }
+      out.push_back(std::move(e));
+    }
+  }
+  return g;
+}
+
+std::vector<std::string> find_include_cycle(const include_graph& g) {
+  // Iterative DFS with an explicit stack; colors: 0 unvisited, 1 on the
+  // current path, 2 done. The first back edge found (in sorted visit
+  // order) yields the reported cycle.
+  std::map<std::string, int> color;
+  std::vector<std::string> path;
+
+  // Recursive lambda via explicit stack of (node, next-edge-index).
+  for (const std::string& start : g.files) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<std::string, std::size_t>> stack;
+    stack.push_back({start, 0});
+    color[start] = 1;
+    path.push_back(start);
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      const auto it = g.edges.find(node);
+      const std::vector<include_edge>* edges =
+          it == g.edges.end() ? nullptr : &it->second;
+      bool descended = false;
+      while (edges != nullptr && idx < edges->size()) {
+        const std::string& next = (*edges)[idx].resolved;
+        ++idx;
+        if (next.empty()) continue;
+        const int c = color[next];
+        if (c == 1) {
+          // Found a cycle: slice the path from `next` onward and close it.
+          const auto pos = std::find(path.begin(), path.end(), next);
+          std::vector<std::string> cycle(pos, path.end());
+          cycle.push_back(next);
+          return cycle;
+        }
+        if (c == 0) {
+          color[next] = 1;
+          path.push_back(next);
+          stack.push_back({next, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (!descended) {
+        color[node] = 2;
+        path.pop_back();
+        stack.pop_back();
+      }
+    }
+  }
+  return {};
+}
+
+std::string to_dot(const include_graph& g,
+                   const std::map<std::string, std::string>& layer_of) {
+  // Group files per layer cluster; deterministic output (sorted maps).
+  std::map<std::string, std::vector<std::string>> by_layer;
+  for (const std::string& f : g.files) {
+    const auto it = layer_of.find(f);
+    by_layer[it == layer_of.end() ? std::string() : it->second].push_back(f);
+  }
+  std::string out = "digraph includes {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n";
+  int cluster = 0;
+  for (const auto& [layer, files] : by_layer) {
+    if (!layer.empty()) {
+      out += "  subgraph cluster_" + std::to_string(cluster++) + " {\n";
+      out += "    label=\"" + layer + "\";\n";
+    }
+    for (const std::string& f : files) {
+      out += (layer.empty() ? "  \"" : "    \"") + f + "\";\n";
+    }
+    if (!layer.empty()) out += "  }\n";
+  }
+  for (const auto& [from, edges] : g.edges) {
+    for (const include_edge& e : edges) {
+      if (e.resolved.empty()) continue;
+      out += "  \"" + from + "\" -> \"" + e.resolved + "\";\n";
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace lint_core

@@ -1,0 +1,55 @@
+// lint_core::include_graph — quoted-include extraction, resolution, and
+// cycle detection over a scanned source tree.
+//
+// Directives are extracted from the lexed code view, so a commented-out
+// `// #include "x.hpp"` or an include path inside a string literal never
+// becomes an edge. Only quoted includes are modeled: angle includes name
+// system headers outside the layer contract.
+//
+// Resolution mirrors the build's include dirs without needing them spelled
+// out: a target is tried relative to the includer's directory first (the
+// tools' local-header idiom), then against every directory that contains a
+// scanned file, in sorted order (src/-rooted spellings like
+// "net/packet.hpp" resolve through the src/ root this way). Unresolvable
+// targets stay in the edge list with an empty `resolved` so archlint's
+// header-hygiene rule can flag them.
+#ifndef MANET_TOOLS_LINT_CORE_INCLUDE_GRAPH_HPP
+#define MANET_TOOLS_LINT_CORE_INCLUDE_GRAPH_HPP
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lint_core {
+
+struct include_edge {
+  int line = 0;         ///< 1-based line of the #include directive
+  std::string target;   ///< the quoted spelling, verbatim
+  std::string resolved; ///< normalized path of the included file; "" if none
+};
+
+struct include_graph {
+  /// Scanned files (normalized paths), sorted.
+  std::vector<std::string> files;
+  /// Quoted-include edges per scanned file, in line order.
+  std::map<std::string, std::vector<include_edge>> edges;
+};
+
+/// Builds the graph for `files` (as returned by collect_files). `texts[i]`
+/// is the content of `files[i]`.
+include_graph build_include_graph(const std::vector<std::string>& files,
+                                  const std::vector<std::string>& texts);
+
+/// One representative include cycle, as the file sequence
+/// f0 -> f1 -> ... -> f0, or empty when the graph is acyclic. Deterministic:
+/// files and edges are visited in sorted order.
+std::vector<std::string> find_include_cycle(const include_graph& g);
+
+/// Graphviz DOT rendering. `layer_of` maps a file to its cluster label
+/// ("" = unclustered); edges are file-level, nodes grouped per layer.
+std::string to_dot(const include_graph& g,
+                   const std::map<std::string, std::string>& layer_of);
+
+}  // namespace lint_core
+
+#endif  // MANET_TOOLS_LINT_CORE_INCLUDE_GRAPH_HPP

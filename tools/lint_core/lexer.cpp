@@ -1,0 +1,194 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace lint_core {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when the identifier-ish run ending just before `i` (exclusive) is a
+/// valid raw/encoding string prefix: R, u8R, uR, UR, LR. Used to detect the
+/// start of a raw string literal at a '"'.
+bool raw_prefix_before(const std::string& s, std::size_t i, std::size_t* start) {
+  if (i == 0 || s[i - 1] != 'R') return false;
+  std::size_t b = i - 1;  // index of 'R'
+  // Optional encoding prefix before the R.
+  if (b >= 2 && s[b - 2] == 'u' && s[b - 1] == '8') {
+    b -= 2;
+  } else if (b >= 1 && (s[b - 1] == 'u' || s[b - 1] == 'U' || s[b - 1] == 'L')) {
+    b -= 1;
+  }
+  // The prefix must not be the tail of a longer identifier (operatoR"" etc.).
+  if (b > 0 && is_ident_char(s[b - 1])) return false;
+  *start = b;
+  return true;
+}
+
+}  // namespace
+
+source_view lex(const std::string& text) {
+  // Split into physical lines first; the state machine then walks the lines
+  // in order so state (block comment, raw string, continued literal)
+  // carries across line boundaries.
+  source_view v;
+  {
+    std::string cur;
+    for (char c : text) {
+      if (c == '\n') {
+        v.raw.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    if (!cur.empty()) v.raw.push_back(cur);
+  }
+
+  enum class mode {
+    normal,
+    line_comment,   ///< continues past EOL only via backslash continuation
+    block_comment,  ///< continues until */ (no nesting)
+    string_lit,     ///< "..." — backslash-newline continues it
+    char_lit,       ///< '...'
+    raw_string,     ///< R"delim(...)delim"
+  };
+  mode m = mode::normal;
+  std::string raw_delim;  // for raw_string: the ")delim\"" terminator
+  int depth = 0;
+
+  v.code.reserve(v.raw.size());
+  v.depth.reserve(v.raw.size());
+  for (const std::string& line : v.raw) {
+    v.depth.push_back(depth);
+    std::string s = line;
+    const bool continued =
+        !line.empty() && line.back() == '\\';  // physical continuation
+    std::size_t i = 0;
+    while (i < s.size()) {
+      switch (m) {
+        case mode::line_comment:
+        case mode::block_comment: {
+          if (m == mode::block_comment && s[i] == '*' && i + 1 < s.size() &&
+              s[i + 1] == '/') {
+            s[i] = ' ';
+            s[i + 1] = ' ';
+            i += 2;
+            m = mode::normal;
+          } else {
+            s[i++] = ' ';
+          }
+          break;
+        }
+        case mode::string_lit:
+        case mode::char_lit: {
+          const char quote = m == mode::string_lit ? '"' : '\'';
+          if (s[i] == '\\' && i + 1 < s.size()) {
+            s[i] = ' ';
+            s[i + 1] = ' ';
+            i += 2;
+          } else if (s[i] == '\\' && i + 1 == s.size()) {
+            // Backslash-newline: the literal continues on the next line.
+            s[i++] = ' ';
+          } else {
+            const bool done = s[i] == quote;
+            s[i++] = ' ';
+            if (done) m = mode::normal;
+          }
+          break;
+        }
+        case mode::raw_string: {
+          // Look for the ")delim\"" terminator starting at i.
+          if (s.compare(i, raw_delim.size(), raw_delim) == 0) {
+            for (std::size_t j = 0; j < raw_delim.size(); ++j) s[i + j] = ' ';
+            i += raw_delim.size();
+            m = mode::normal;
+          } else {
+            s[i++] = ' ';
+          }
+          break;
+        }
+        case mode::normal: {
+          const char c = s[i];
+          if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+            for (std::size_t j = i; j < s.size(); ++j) s[j] = ' ';
+            i = s.size();
+            // A backslash at EOL continues the comment onto the next
+            // physical line (the backslash itself was blanked above).
+            m = continued ? mode::line_comment : mode::normal;
+            break;
+          }
+          if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+            s[i] = ' ';
+            s[i + 1] = ' ';
+            i += 2;
+            m = mode::block_comment;
+            break;
+          }
+          if (c == '"') {
+            std::size_t prefix_start = 0;
+            if (raw_prefix_before(s, i, &prefix_start)) {
+              // Raw string: collect the delimiter up to the '('.
+              std::size_t d = i + 1;
+              std::string delim;
+              while (d < s.size() && s[d] != '(' && delim.size() < 16) {
+                delim += s[d++];
+              }
+              if (d < s.size() && s[d] == '(') {
+                raw_delim = ")" + delim + "\"";
+                for (std::size_t j = prefix_start; j <= d; ++j) s[j] = ' ';
+                i = d + 1;
+                m = mode::raw_string;
+                break;
+              }
+              // No '(' on this line: malformed raw string — fall through and
+              // treat it as an ordinary string so we never scan past EOF.
+            }
+            s[i++] = ' ';
+            m = mode::string_lit;
+            break;
+          }
+          if (c == '\'') {
+            // Digit separators (1'000'000) are not character literals: a
+            // quote immediately after a number/identifier char stays code.
+            if (i > 0 && is_ident_char(s[i - 1])) {
+              ++i;
+              break;
+            }
+            s[i++] = ' ';
+            m = mode::char_lit;
+            break;
+          }
+          if (c == '{') ++depth;
+          if (c == '}' && depth > 0) --depth;
+          ++i;
+          break;
+        }
+      }
+    }
+    // End-of-line state transitions.
+    if (m == mode::line_comment && !continued) m = mode::normal;
+    if (m == mode::char_lit) m = mode::normal;  // char literals don't span lines
+    if ((m == mode::string_lit) && !continued) {
+      // Unterminated ordinary string without a continuation backslash:
+      // recover at EOL (the compiler would reject it; we keep scanning).
+      m = mode::normal;
+    }
+    v.code.push_back(std::move(s));
+  }
+  return v;
+}
+
+std::string code_text(const source_view& v) {
+  std::string flat;
+  for (const std::string& l : v.code) {
+    flat += l;
+    flat += '\n';
+  }
+  return flat;
+}
+
+}  // namespace lint_core

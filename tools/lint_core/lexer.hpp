@@ -1,0 +1,57 @@
+// lint_core::lexer — the token-aware source view shared by detlint and
+// archlint.
+//
+// Both linters run line-anchored rules (regexes, include extraction) that
+// must never fire on prose: comment bodies, string/char literal contents,
+// and raw-string payloads are code-shaped text that means nothing to the
+// program. detlint's original scanner blanked those per physical line,
+// which is wrong whenever a literal or comment crosses a line boundary:
+//
+//   - raw strings: R"(a "quoted" rand() payload)" — the per-line scanner
+//     treated the first inner '"' as the literal's end and then "saw" the
+//     rand() call as code;
+//   - line continuations: a // comment (or #define) ending in backslash
+//     continues onto the next physical line, which the per-line scanner
+//     treated as code;
+//   - multi-line ordinary strings ("abc\<newline>def") leaked their tails.
+//
+// lex() scans the whole file once with a real literal/comment state
+// machine and produces a source_view: the raw physical lines (for
+// suppression-comment parsing, which lives in comments on purpose), the
+// code lines (comments and literal contents replaced by spaces, columns
+// and line structure preserved), and the brace depth at the start of each
+// line (for scope-aware rules like DET009's catch-block extraction).
+//
+// Deliberate non-features, pinned by the unit tests:
+//   - block comments do not nest (C++: the first */ closes the comment);
+//   - trigraphs are not interpreted (removed in C++17), so "??/" at end of
+//     line is two question marks and a slash, not a line continuation;
+//   - digraphs (<% %> <: :>) are passed through untouched.
+#ifndef MANET_TOOLS_LINT_CORE_LEXER_HPP
+#define MANET_TOOLS_LINT_CORE_LEXER_HPP
+
+#include <string>
+#include <vector>
+
+namespace lint_core {
+
+struct source_view {
+  /// Physical lines exactly as read (no trailing '\n').
+  std::vector<std::string> raw;
+  /// Same lines with comment bodies and literal contents blanked to
+  /// spaces; columns are preserved so finding positions line up with raw.
+  std::vector<std::string> code;
+  /// Brace depth ({} nesting in code text) at the *start* of each line.
+  std::vector<int> depth;
+};
+
+/// Tokenizes `text` into the three parallel per-line views.
+source_view lex(const std::string& text);
+
+/// Convenience: the blanked code view flattened back into one string with
+/// '\n' separators (pass-1 scans over whole files use this).
+std::string code_text(const source_view& v);
+
+}  // namespace lint_core
+
+#endif  // MANET_TOOLS_LINT_CORE_LEXER_HPP

@@ -1,0 +1,58 @@
+#include "suppress.hpp"
+
+#include <regex>
+#include <sstream>
+
+namespace lint_core {
+
+std::pair<std::vector<suppression>, std::vector<suppression>>
+parse_suppressions(const std::string& raw_line, const std::string& tag) {
+  const std::regex marker_re("NOLINT(NEXTLINE)?-" + tag + "\\b");
+  const std::regex full_re("NOLINT(NEXTLINE)?-" + tag + R"(\(([^)]*)\))");
+  std::vector<suppression> same;
+  std::vector<suppression> next;
+  std::set<std::size_t> parsed_positions;
+  for (auto it = std::sregex_iterator(raw_line.begin(), raw_line.end(), full_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::smatch& m = *it;
+    parsed_positions.insert(static_cast<std::size_t>(m.position(0)));
+    suppression sup;
+    const std::string body = m[2].str();
+    const std::size_t colon = body.find(':');
+    std::string rules = colon == std::string::npos ? body : body.substr(0, colon);
+    std::string reason = colon == std::string::npos ? "" : body.substr(colon + 1);
+    std::stringstream ss(rules);
+    std::string rule;
+    while (std::getline(ss, rule, ',')) {
+      const auto b = rule.find_first_not_of(" \t");
+      const auto e = rule.find_last_not_of(" \t");
+      if (b != std::string::npos) sup.rules.insert(rule.substr(b, e - b + 1));
+    }
+    sup.has_reason = reason.find_first_not_of(" \t") != std::string::npos;
+    if (sup.rules.empty()) sup.malformed = true;
+    (m[1].matched ? next : same).push_back(std::move(sup));
+  }
+  // Bare markers without (…) are malformed suppressions.
+  for (auto it =
+           std::sregex_iterator(raw_line.begin(), raw_line.end(), marker_re);
+       it != std::sregex_iterator(); ++it) {
+    const std::smatch& m = *it;
+    if (parsed_positions.count(static_cast<std::size_t>(m.position(0))) != 0) {
+      continue;
+    }
+    suppression sup;
+    sup.malformed = true;
+    (m[1].matched ? next : same).push_back(std::move(sup));
+  }
+  return {same, next};
+}
+
+bool suppresses(const std::vector<suppression>& sups, const std::string& rule) {
+  for (const suppression& s : sups) {
+    if (s.malformed || !s.has_reason) continue;
+    if (s.rules.count("*") != 0 || s.rules.count(rule) != 0) return true;
+  }
+  return false;
+}
+
+}  // namespace lint_core

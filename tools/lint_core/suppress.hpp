@@ -1,0 +1,74 @@
+// lint_core::suppress — NOLINT-style suppression parsing shared by detlint
+// (tag "DET") and archlint (tag "ARCH").
+//
+// Grammar, per marker, anywhere in a raw source line (usually a comment):
+//   NOLINT-<TAG>(RULE[,RULE...]: reason)       suppresses on the same line
+//   NOLINTNEXTLINE-<TAG>(RULE...: reason)      suppresses on the next line
+// '*' as a rule suppresses every rule of that tag. The reason is mandatory:
+// a marker with an empty reason or without a parsable "(rules: reason)"
+// body is malformed, and the caller reports it as <TAG>000 so a typo can
+// never silently disable a rule.
+#ifndef MANET_TOOLS_LINT_CORE_SUPPRESS_HPP
+#define MANET_TOOLS_LINT_CORE_SUPPRESS_HPP
+
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lint_core {
+
+struct suppression {
+  std::set<std::string> rules;  ///< may contain "*"
+  bool has_reason = false;
+  bool malformed = false;
+};
+
+/// Parses every NOLINT-<tag> marker on a raw line. Returns (same-line,
+/// next-line) suppressions; a marker without parsable "(rules: reason)"
+/// content yields a malformed entry.
+std::pair<std::vector<suppression>, std::vector<suppression>>
+parse_suppressions(const std::string& raw_line, const std::string& tag);
+
+/// True when one of `sups` is well-formed and covers `rule` (or "*").
+bool suppresses(const std::vector<suppression>& sups, const std::string& rule);
+
+/// Per-file suppression table: active[i] holds the suppressions covering
+/// line i (same-line markers plus NEXTLINE markers from line i-1).
+/// Malformed / reasonless markers are reported through `bad`: one call per
+/// offending marker with (line index, message).
+template <typename BadFn>
+std::vector<std::vector<suppression>> suppression_table(
+    const std::vector<std::string>& raw_lines, const std::string& tag,
+    BadFn&& bad) {
+  std::vector<std::vector<suppression>> active(raw_lines.size());
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    auto [same, next] = parse_suppressions(raw_lines[i], tag);
+    for (const suppression& s : same) {
+      if (s.malformed) {
+        bad(i, "malformed NOLINT-" + tag + " suppression: expected NOLINT-" +
+                   tag + "(RULE[,RULE]: reason)");
+      } else if (!s.has_reason) {
+        bad(i, "NOLINT-" + tag + " suppression is missing a reason");
+      }
+    }
+    for (const suppression& s : next) {
+      if (s.malformed) {
+        bad(i, "malformed NOLINTNEXTLINE-" + tag +
+                   " suppression: expected NOLINTNEXTLINE-" + tag +
+                   "(RULE[,RULE]: reason)");
+      } else if (!s.has_reason) {
+        bad(i, "NOLINTNEXTLINE-" + tag + " suppression is missing a reason");
+      }
+    }
+    active[i].insert(active[i].end(), same.begin(), same.end());
+    if (!next.empty() && i + 1 < raw_lines.size()) {
+      active[i + 1].insert(active[i + 1].end(), next.begin(), next.end());
+    }
+  }
+  return active;
+}
+
+}  // namespace lint_core
+
+#endif  // MANET_TOOLS_LINT_CORE_SUPPRESS_HPP

@@ -130,6 +130,9 @@ int main(int argc, char** argv) {
       std::printf("report: %s\n", report_path.c_str());
     }
     return report.passed() ? 0 : 1;
+    // Top-level CLI handler: reports on stderr and exits nonzero, so an
+    // invariant violation still fails the run — nothing is swallowed.
+    // NOLINTNEXTLINE-DET(DET009: top-level CLI handler reports and exits nonzero)
   } catch (const std::exception& e) {
     std::fprintf(stderr, "scenariomatrix: %s\n", e.what());
     return 2;

@@ -79,6 +79,9 @@ int main(int argc, char** argv) {
                   manet::tracestat::render_series(series_path).c_str());
     }
     return rc;
+    // Top-level CLI handler: reports on stderr and exits nonzero, so an
+    // invariant violation still fails the run — nothing is swallowed.
+    // NOLINTNEXTLINE-DET(DET009: top-level CLI handler reports and exits nonzero)
   } catch (const std::exception& e) {
     std::fprintf(stderr, "tracestat: %s\n", e.what());
     return 2;

@@ -71,7 +71,9 @@ bool parse_flat(const std::string& line, trace_event& out) {
       while (i < line.size() && line[i] != ',' && line[i] != '}') ++i;
       try {
         out.num[key] = std::stod(line.substr(start, i - start));
-      } catch (const std::exception&) {
+      } catch (const std::invalid_argument&) {
+        return false;
+      } catch (const std::out_of_range&) {
         return false;
       }
     }

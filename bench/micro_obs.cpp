@@ -1,0 +1,154 @@
+// google-benchmark microbenchmarks for the telemetry hot paths: metric
+// handle bumps, kind-name lookup, and per-event trace-record cost on both
+// trace_writer backends.
+//
+// The counting operator new below additionally proves the ISSUE-9 claim
+// that a handle bump is allocation-free: BM_RegistryHandleBump aborts if
+// any iteration allocates. (The global hooks live here, in their own
+// binary, so they can't collide with the test suite's counting new.)
+//
+// Run with --json[=PATH] to also emit google-benchmark JSON (default
+// results/BENCH_obs_micro.json); see bench_common.hpp's gbench_args.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <new>
+#include <string>
+
+#include "bench_common.hpp"
+#include "metrics/trace_writer.hpp"
+#include "net/packet.hpp"
+#include "net/traffic_meter.hpp"
+#include "obs/registry.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_allocs{0};
+
+void* counted_alloc(std::size_t size) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size > 0 ? size : 1)) return p;
+  throw std::bad_alloc{};
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace manet;
+
+void BM_RegistryHandleBump(benchmark::State& state) {
+  metric_registry reg;
+  const metric_registry::counter_handle h =
+      reg.register_counter("net.dispatched_frames");
+  const std::uint64_t allocs_before = g_allocs.load();
+  for (auto _ : state) {
+    reg.bump(h);
+    benchmark::ClobberMemory();
+  }
+  if (g_allocs.load() != allocs_before) {
+    std::fprintf(stderr,
+                 "BM_RegistryHandleBump: handle bump allocated — the O(1) "
+                 "hot-path contract is broken\n");
+    std::abort();
+  }
+  benchmark::DoNotOptimize(reg.value(h));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryHandleBump);
+
+void BM_RegistryOwnedCounterBump(benchmark::State& state) {
+  metric_registry reg;
+  std::uint64_t* c = reg.counter("rpcc.polls_sent");
+  for (auto _ : state) {
+    ++*c;
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(*c);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RegistryOwnedCounterBump);
+
+void BM_StringMapCounterBump(benchmark::State& state) {
+  // The pre-handle shape for contrast: every bump walks a string-keyed
+  // map — the cost the registry rework removes from the per-frame path.
+  std::map<std::string, std::uint64_t> counters;
+  counters["net.dispatched_frames"] = 0;
+  for (auto _ : state) {
+    ++counters["net.dispatched_frames"];
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(counters["net.dispatched_frames"]);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_StringMapCounterBump);
+
+void BM_MeterKindCname(benchmark::State& state) {
+  traffic_meter meter;
+  meter.register_kind(first_app_kind, "POLL");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.kind_cname(first_app_kind));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MeterKindCname);
+
+void BM_MeterKindNameString(benchmark::State& state) {
+  // The allocating variant kind_cname replaces on the trace hot path.
+  traffic_meter meter;
+  meter.register_kind(first_app_kind, "POLL");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.kind_name(first_app_kind));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_MeterKindNameString);
+
+void BM_TraceRecordSend(benchmark::State& state) {
+  // Per-event cost of one record_send, both backends, sunk into /dev/null
+  // so the numbers measure formatting/buffering, not the filesystem.
+  // Arg 0 = jsonl, 1 = binary.
+  const bool binary = state.range(0) == 1;
+  traffic_meter meter;
+  meter.register_kind(first_app_kind, "POLL");
+  trace_writer tw("/dev/null", binary ? trace_writer::format::binary
+                                      : trace_writer::format::jsonl);
+  packet p;
+  p.kind = first_app_kind;
+  p.src = 1;
+  p.dst = 2;
+  p.ttl = 8;
+  p.size_bytes = 40;
+  p.uid = 7;
+  p.trace_id = 9;
+  double t = 0;
+  for (auto _ : state) {
+    t += 0.001;
+    tw.record_send(t, 1, p, meter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceRecordSend)->Arg(0)->Arg(1);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  manet::bench::gbench_args args(argc, argv, "results/BENCH_obs_micro.json");
+  benchmark::Initialize(args.argc(), args.argv());
+  if (benchmark::ReportUnrecognizedArguments(*args.argc(), args.argv())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

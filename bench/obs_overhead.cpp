@@ -1,0 +1,246 @@
+// Telemetry overhead bench: events/sec with tracing off, JSONL and binary,
+// at several swarm sizes. The acceptance bar for the binary flight recorder
+// is <5% overhead vs trace=off at n=10000 (the JSONL numbers are published
+// alongside for contrast) — cheap enough to leave on at scale.
+//
+// Usage:
+//   obs_overhead [--n=2000,10000] [--rounds=3] [--sim-time=S[,S2,...]]
+//                [--out=results/BENCH_obs.json] [--trace-dir=DIR]
+//                [--max-binary-overhead=F] [key=value ...]
+//
+// Each (n, mode) cell runs `rounds` times and keeps the fastest wall-clock
+// round (minimum = least scheduler noise). Rounds are interleaved across
+// modes (off, jsonl, binary, off, jsonl, ...) so slow drift in host load
+// hits every mode alike instead of biasing whichever cell ran during a
+// busy patch. --sim-time accepts one value per n (last value repeats),
+// since the per-sim-second event cost grows with the swarm — big swarms
+// reach bench-quality event counts in far less sim time. Every mode must
+// reproduce the same run_result digest — telemetry that perturbs the
+// simulation is a bug this bench refuses to benchmark.
+// --max-binary-overhead turns the bench into a CI gate: exit 1 when the
+// binary overhead at any n exceeds F.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "metrics/collector.hpp"
+#include "scenario/scenario.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+std::vector<double> parse_list(const std::string& list) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    out.push_back(std::stod(list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct cell_result {
+  int n = 0;
+  double sim_time = 0;
+  std::string mode;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+  double overhead_vs_off = 0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  std::uint64_t digest = 0;
+};
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+manet::scenario_params base_params(int n, double sim_time,
+                                   const manet::config& overrides) {
+  manet::scenario_params p = manet::scenario_params::from_config(overrides);
+  p.n_peers = n;
+  // Keep the paper's fig-7 node density as the swarm grows.
+  const double side = 1500.0 * std::sqrt(static_cast<double>(n) / 50.0);
+  p.area_width = side;
+  p.area_height = side;
+  p.sim_time = sim_time;
+  p.warmup = 0;
+  // The invariant checker's periodic whole-network sweeps would dominate a
+  // wall-clock bench; what we measure here is telemetry cost.
+  p.invariants = false;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> ns = {2000, 10000};
+  int rounds = 3;
+  std::vector<double> sim_times = {60.0};
+  std::string out_path = "results/BENCH_obs.json";
+  std::string trace_dir = "obs_overhead_traces";
+  double max_binary_overhead = -1;
+  manet::config overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      ns.clear();
+      for (double v : parse_list(arg.substr(4))) {
+        ns.push_back(static_cast<int>(v));
+      }
+    } else if (arg.rfind("--rounds=", 0) == 0) {
+      rounds = std::stoi(arg.substr(9));
+    } else if (arg.rfind("--sim-time=", 0) == 0) {
+      sim_times = parse_list(arg.substr(11));
+      if (sim_times.empty()) sim_times = {60.0};
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--trace-dir=", 0) == 0) {
+      trace_dir = arg.substr(12);
+    } else if (arg.rfind("--max-binary-overhead=", 0) == 0) {
+      max_binary_overhead = std::stod(arg.substr(22));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: obs_overhead [--n=2000,10000] [--rounds=3] "
+          "[--sim-time=S[,S2,...]] [--out=PATH] [--trace-dir=DIR] "
+          "[--max-binary-overhead=F] [key=value ...]\n");
+      return 0;
+    } else {
+      overrides.parse_assignment(arg);
+    }
+  }
+
+  std::filesystem::create_directories(trace_dir);
+  const char* modes[] = {"off", "jsonl", "binary"};
+  std::vector<cell_result> cells;
+  bool digest_mismatch = false;
+
+  constexpr std::size_t n_modes = 3;
+  for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+    const int n = ns[ni];
+    const double sim_time = sim_times[std::min(ni, sim_times.size() - 1)];
+    cell_result cell_of[n_modes];
+    double best_wall[n_modes] = {};
+    for (int round = 0; round < rounds; ++round) {
+      for (std::size_t mi = 0; mi < n_modes; ++mi) {
+        cell_result& cell = cell_of[mi];
+        cell.n = n;
+        cell.sim_time = sim_time;
+        cell.mode = modes[mi];
+        manet::scenario_params p = base_params(n, sim_time, overrides);
+        if (cell.mode != "off") {
+          p.trace_file = trace_dir + "/obs_n" + std::to_string(n) + "." +
+                         cell.mode + (cell.mode == "binary" ? ".bin" : "");
+          p.trace_format = cell.mode;
+        }
+        manet::scenario sc(p, "rpcc");
+        const double t0 = now_s();
+        const manet::run_result r = sc.run();
+        const double wall = now_s() - t0;
+        if (round == 0 || wall < best_wall[mi]) best_wall[mi] = wall;
+        cell.events = sc.sim().executed_events();
+        cell.digest = manet::run_result_digest(r);
+        for (const auto& [name, value] : r.metrics) {
+          if (name == "obs.trace_events") {
+            cell.trace_events = static_cast<std::uint64_t>(value);
+          } else if (name == "obs.trace_dropped") {
+            cell.trace_dropped = static_cast<std::uint64_t>(value);
+          }
+        }
+        if (!p.trace_file.empty()) std::filesystem::remove(p.trace_file);
+      }
+    }
+    const double off_eps =
+        best_wall[0] > 0
+            ? static_cast<double>(cell_of[0].events) / best_wall[0]
+            : 0;
+    for (std::size_t mi = 0; mi < n_modes; ++mi) {
+      cell_result& cell = cell_of[mi];
+      cell.wall_s = best_wall[mi];
+      cell.events_per_sec =
+          cell.wall_s > 0 ? static_cast<double>(cell.events) / cell.wall_s : 0;
+      cell.overhead_vs_off =
+          mi == 0 || off_eps <= 0 ? 0 : off_eps / cell.events_per_sec - 1.0;
+      if (mi != 0 && cell.digest != cell_of[0].digest) {
+        digest_mismatch = true;
+        std::fprintf(stderr,
+                     "obs_overhead: DIGEST MISMATCH n=%d mode=%s "
+                     "(0x%016llx vs off 0x%016llx) — tracing perturbed "
+                     "the simulation\n",
+                     n, cell.mode.c_str(),
+                     static_cast<unsigned long long>(cell.digest),
+                     static_cast<unsigned long long>(cell_of[0].digest));
+      }
+      std::printf(
+          "n=%-6d mode=%-6s events=%-10llu wall=%7.3fs events/s=%12.0f "
+          "overhead=%+6.2f%% trace_events=%llu dropped=%llu\n",
+          n, cell.mode.c_str(), static_cast<unsigned long long>(cell.events),
+          cell.wall_s, cell.events_per_sec, cell.overhead_vs_off * 100,
+          static_cast<unsigned long long>(cell.trace_events),
+          static_cast<unsigned long long>(cell.trace_dropped));
+      std::fflush(stdout);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  const auto parent = std::filesystem::path(out_path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "obs_overhead: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"obs_overhead\",\n  \"protocol\": \"rpcc\",\n"
+               "  \"rounds\": %d,\n  \"cells\": [",
+               rounds);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const cell_result& c = cells[i];
+    std::fprintf(out,
+                 "%s\n    {\"n\": %d, \"sim_time_s\": %g, \"trace\": \"%s\", "
+                 "\"events\": %llu, "
+                 "\"wall_s\": %.4f, \"events_per_sec\": %.1f, "
+                 "\"overhead_vs_off\": %.4f, \"trace_events\": %llu, "
+                 "\"trace_dropped\": %llu, \"digest\": \"0x%016llx\"}",
+                 i == 0 ? "" : ",", c.n, c.sim_time, c.mode.c_str(),
+                 static_cast<unsigned long long>(c.events), c.wall_s,
+                 c.events_per_sec, c.overhead_vs_off,
+                 static_cast<unsigned long long>(c.trace_events),
+                 static_cast<unsigned long long>(c.trace_dropped),
+                 static_cast<unsigned long long>(c.digest));
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (digest_mismatch) return 1;
+  if (max_binary_overhead >= 0) {
+    for (const cell_result& c : cells) {
+      if (c.mode == "binary" && c.overhead_vs_off > max_binary_overhead) {
+        std::fprintf(stderr,
+                     "obs_overhead: binary overhead %.2f%% at n=%d exceeds "
+                     "the %.2f%% gate\n",
+                     c.overhead_vs_off * 100, c.n, max_binary_overhead * 100);
+        return 1;
+      }
+      if (c.mode != "off" && c.trace_dropped != 0) {
+        std::fprintf(stderr, "obs_overhead: %llu dropped trace events at "
+                             "n=%d mode=%s — capture was lossy\n",
+                     static_cast<unsigned long long>(c.trace_dropped), c.n,
+                     c.mode.c_str());
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,201 @@
+#include "metrics/trace_format.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "cache/consistency_level.hpp"
+
+namespace manet {
+
+trace_record make_kind_name_record(std::uint16_t kind,
+                                   const std::string& name) {
+  trace_record rec;
+  rec.ev = static_cast<std::uint8_t>(trace_ev::kind_name);
+  rec.k = kind;
+  const std::size_t n = std::min(name.size(), trace_kind_name_capacity);
+  std::memcpy(reinterpret_cast<char*>(&rec) + offsetof(trace_record, u64a),
+              name.data(), n);
+  return rec;
+}
+
+std::string kind_name_from_record(const trace_record& rec) {
+  const char* span =
+      reinterpret_cast<const char*>(&rec) + offsetof(trace_record, u64a);
+  std::size_t n = 0;
+  while (n < trace_kind_name_capacity + 1 && span[n] != '\0') ++n;
+  return std::string(span, n);
+}
+
+namespace {
+
+/// Formats the kind display name into `buf`: the registered name when the
+/// caller has one, otherwise the same "kind_<id>" fallback
+/// traffic_meter::kind_name() produces for unregistered kinds.
+const char* kind_or_fallback(const char* kind, std::uint16_t id, char* buf,
+                             std::size_t cap) {
+  if (kind != nullptr) return kind;
+  std::snprintf(buf, cap, "kind_%u", static_cast<unsigned>(id));
+  return buf;
+}
+
+}  // namespace
+
+std::size_t render_jsonl(const trace_record& rec, const char* kind, char* buf,
+                         std::size_t cap) {
+  char kbuf[16];
+  int n = 0;
+  switch (static_cast<trace_ev>(rec.ev)) {
+    case trace_ev::kind_name:
+      return 0;  // meta record: no JSONL counterpart
+    case trace_ev::rx:
+      n = std::snprintf(
+          buf, cap,
+          "{\"t\":%.6f,\"ev\":\"rx\",\"node\":%" PRIu32 ",\"from\":%" PRIu32
+          ",\"kind\":\"%s\",\"src\":%" PRIu32 ",\"dst\":%" PRIu32
+          ",\"hops\":%d,\"bytes\":%" PRIu32 ",\"uid\":%" PRIu64
+          ",\"trace\":%" PRIu64 "}",
+          rec.t, rec.a, rec.b, kind_or_fallback(kind, rec.k, kbuf, sizeof kbuf),
+          rec.c, rec.d, static_cast<int>(rec.h), rec.e, rec.u64a, rec.u64b);
+      break;
+    case trace_ev::send:
+      n = std::snprintf(
+          buf, cap,
+          "{\"t\":%.6f,\"ev\":\"send\",\"node\":%" PRIu32
+          ",\"kind\":\"%s\",\"dst\":%" PRIu32 ",\"ttl\":%d,\"bytes\":%" PRIu32
+          ",\"uid\":%" PRIu64 ",\"trace\":%" PRIu64 "}",
+          rec.t, rec.a, kind_or_fallback(kind, rec.k, kbuf, sizeof kbuf), rec.c,
+          static_cast<int>(rec.h), rec.e, rec.u64a, rec.u64b);
+      break;
+    case trace_ev::state:
+      n = std::snprintf(buf, cap,
+                        "{\"t\":%.6f,\"ev\":\"%s\",\"node\":%" PRIu32 "}",
+                        rec.t, (rec.flags & trace_flag_up) != 0 ? "up" : "down",
+                        rec.a);
+      break;
+    case trace_ev::query:
+      n = std::snprintf(
+          buf, cap,
+          "{\"t\":%.6f,\"ev\":\"query\",\"node\":%" PRIu32 ",\"item\":%" PRIu32
+          ",\"level\":\"%s\",\"trace\":%" PRIu64 "}",
+          rec.t, rec.a, rec.b,
+          consistency_level_name(static_cast<consistency_level>(rec.k)),
+          rec.u64b);
+      break;
+    case trace_ev::update:
+      n = std::snprintf(
+          buf, cap,
+          "{\"t\":%.6f,\"ev\":\"update\",\"item\":%" PRIu32
+          ",\"version\":%llu,\"trace\":%" PRIu64 "}",
+          rec.t, rec.b, static_cast<unsigned long long>(rec.u64a), rec.u64b);
+      break;
+    case trace_ev::apply:
+      n = std::snprintf(
+          buf, cap,
+          "{\"t\":%.6f,\"ev\":\"apply\",\"node\":%" PRIu32 ",\"item\":%" PRIu32
+          ",\"version\":%llu,\"trace\":%" PRIu64 "}",
+          rec.t, rec.a, rec.b, static_cast<unsigned long long>(rec.u64a),
+          rec.u64b);
+      break;
+    case trace_ev::inval:
+      n = std::snprintf(
+          buf, cap,
+          "{\"t\":%.6f,\"ev\":\"inval\",\"node\":%" PRIu32 ",\"item\":%" PRIu32
+          ",\"version\":%llu,\"trace\":%" PRIu64 "}",
+          rec.t, rec.a, rec.b, static_cast<unsigned long long>(rec.u64a),
+          rec.u64b);
+      break;
+    case trace_ev::answer:
+      n = std::snprintf(
+          buf, cap,
+          "{\"t\":%.6f,\"ev\":\"answer\",\"node\":%" PRIu32
+          ",\"item\":%" PRIu32
+          ",\"version\":%llu,\"validated\":%s,\"stale\":%s,\"trace\":%" PRIu64
+          "}",
+          rec.t, rec.a, rec.b, static_cast<unsigned long long>(rec.u64a),
+          (rec.flags & trace_flag_validated) != 0 ? "true" : "false",
+          (rec.flags & trace_flag_stale) != 0 ? "true" : "false", rec.u64b);
+      break;
+    case trace_ev::pos:
+      n = std::snprintf(buf, cap,
+                        "{\"t\":%.6f,\"ev\":\"pos\",\"node\":%" PRIu32
+                        ",\"x\":%.1f,\"y\":%.1f}",
+                        rec.t, rec.a, std::bit_cast<double>(rec.u64a),
+                        std::bit_cast<double>(rec.u64b));
+      break;
+  }
+  return n < 0 ? 0 : static_cast<std::size_t>(n);
+}
+
+bool is_binary_trace(const std::string& path) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) return false;
+  char magic[4] = {};
+  const bool ok = std::fread(magic, 1, sizeof magic, in) == sizeof magic &&
+                  std::memcmp(magic, trace_magic, sizeof magic) == 0;
+  std::fclose(in);
+  return ok;
+}
+
+bool read_binary_trace(
+    const std::string& path,
+    const std::function<void(const char* line, std::size_t len)>& emit,
+    binary_trace_stats* stats, std::string* error) {
+  binary_trace_stats local;
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return false;
+  }
+  trace_file_header hdr;
+  bool ok = true;
+  if (std::fread(&hdr, 1, sizeof hdr, in) != sizeof hdr ||
+      std::memcmp(hdr.magic, trace_magic, sizeof trace_magic) != 0) {
+    if (error != nullptr) *error = "'" + path + "' is not a binary trace";
+    ok = false;
+  } else if (hdr.version != trace_format_version ||
+             hdr.record_size != sizeof(trace_record)) {
+    if (error != nullptr) {
+      *error = "'" + path + "' has unsupported format version " +
+               std::to_string(hdr.version) + " (record size " +
+               std::to_string(hdr.record_size) + "); this reader understands " +
+               "version " + std::to_string(trace_format_version);
+    }
+    ok = false;
+  }
+  if (!ok) {
+    std::fclose(in);
+    return false;
+  }
+
+  // Kind-name table, filled from in-band meta records. Dense by kind id.
+  std::vector<std::string> names;
+  char line[trace_render_buffer_size];
+  trace_record rec;
+  while (true) {
+    const std::size_t got = std::fread(&rec, 1, sizeof rec, in);
+    if (got == 0) break;
+    if (got != sizeof rec) {
+      local.truncated_tail = true;
+      break;
+    }
+    if (static_cast<trace_ev>(rec.ev) == trace_ev::kind_name) {
+      ++local.meta_records;
+      if (rec.k >= names.size()) names.resize(std::size_t{rec.k} + 1);
+      names[rec.k] = kind_name_from_record(rec);
+      continue;
+    }
+    const char* kind = rec.k < names.size() && !names[rec.k].empty()
+                           ? names[rec.k].c_str()
+                           : nullptr;
+    const std::size_t len = render_jsonl(rec, kind, line, sizeof line);
+    ++local.records;
+    emit(line, len);
+  }
+  std::fclose(in);
+  if (stats != nullptr) *stats = local;
+  return true;
+}
+
+}  // namespace manet

@@ -1,0 +1,150 @@
+// Binary flight-recorder format (see DESIGN.md §14).
+//
+// The JSONL trace (metrics/trace_writer.hpp) is the ergonomic format —
+// jq/pandas read it directly — but one formatted fprintf per rx/send does
+// not survive 100k-node runs. The binary format stores the same events as
+// fixed-size 56-byte little-endian POD records appended to a user-space
+// buffer and flushed in blocks, cheap enough to leave on at scale.
+//
+// One file = an 8-byte header (magic "MNTR", version, record size) followed
+// by trace_record structs. Dynamic packet-kind names are carried in-band:
+// the writer emits one `kind_name` meta record the first time each kind
+// appears, so the file is self-describing and readers need no side table.
+//
+// Equivalence contract: render_jsonl() reproduces, byte for byte, the line
+// trace_writer's JSONL backend writes for the same event. Both the JSONL
+// writer and every binary reader (tools/trace2json, tools/tracestat) format
+// through this one function, so a binary capture converts to exactly the
+// JSONL capture of the same seed — record for record.
+//
+// Endianness commitment: fields are written in the host representation and
+// the build refuses big-endian targets (static_assert below), so the format
+// is little-endian on disk everywhere it can be produced.
+#ifndef MANET_METRICS_TRACE_FORMAT_HPP
+#define MANET_METRICS_TRACE_FORMAT_HPP
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <type_traits>
+
+namespace manet {
+
+inline constexpr char trace_magic[4] = {'M', 'N', 'T', 'R'};
+inline constexpr std::uint16_t trace_format_version = 1;
+
+static_assert(std::endian::native == std::endian::little,
+              "binary traces are little-endian on disk; add byte swapping "
+              "before enabling big-endian builds");
+
+/// 8 bytes at the start of every binary trace file.
+struct trace_file_header {
+  char magic[4] = {trace_magic[0], trace_magic[1], trace_magic[2],
+                   trace_magic[3]};
+  std::uint16_t version = trace_format_version;
+  std::uint16_t record_size = 0;  ///< sizeof(trace_record) at write time
+};
+static_assert(sizeof(trace_file_header) == 8);
+
+/// Record discriminator (trace_record::ev).
+enum class trace_ev : std::uint8_t {
+  kind_name = 0,  ///< meta: registers kind id `k` -> inline name (no JSONL)
+  rx,
+  send,
+  state,
+  query,
+  update,
+  apply,
+  inval,
+  answer,
+  pos,
+};
+
+/// Fixed-size event record. Field use per event (unused fields stay 0):
+///   rx:     a=node b=from c=src d=dst e=bytes k=kind h=hops u64a=uid u64b=trace
+///   send:   a=node c=dst e=bytes k=kind h=ttl u64a=uid u64b=trace
+///   state:  a=node flags bit2=up
+///   query:  a=node b=item k=level u64b=trace
+///   update: b=item u64a=version u64b=trace
+///   apply:  a=node b=item u64a=version u64b=trace
+///   inval:  a=node b=item u64a=version u64b=trace
+///   answer: a=node b=item u64a=version u64b=trace flags bit0=validated bit1=stale
+///   pos:    a=node u64a=bit_cast(x) u64b=bit_cast(y)   (full doubles: the
+///           %.1f JSONL rounding happens at render time, never on disk)
+///   kind_name: k=kind id, name bytes in the 32-byte span at offset 8
+///           (u64a..d), NUL-padded.
+struct trace_record {
+  double t = 0;            // 0:  sim time, seconds
+  std::uint64_t u64a = 0;  // 8:  uid | version | bit_cast(x) | name[0..8)
+  std::uint64_t u64b = 0;  // 16: trace id | bit_cast(y) | name[8..16)
+  std::uint32_t a = 0;     // 24: node | name[16..20)
+  std::uint32_t b = 0;     // 28: from / item | name[20..24)
+  std::uint32_t c = 0;     // 32: src / dst | name[24..28)
+  std::uint32_t d = 0;     // 36: dst | name[28..32)
+  std::uint32_t e = 0;     // 40: payload bytes
+  std::uint16_t k = 0;     // 44: packet kind | consistency level
+  std::int16_t h = 0;      // 46: hops (rx) / ttl (send)
+  std::uint8_t ev = 0;     // 48: trace_ev
+  std::uint8_t flags = 0;  // 49: bit0 validated, bit1 stale, bit2 up
+  std::uint16_t pad = 0;   // 50: explicit padding, always 0
+  std::uint32_t pad2 = 0;  // 52: explicit padding, always 0
+};
+static_assert(sizeof(trace_record) == 56);
+static_assert(std::is_trivially_copyable_v<trace_record>);
+static_assert(offsetof(trace_record, u64a) == 8);
+static_assert(offsetof(trace_record, e) == 40,
+              "the kind_name inline-name span must be the contiguous 32 "
+              "bytes from u64a through d");
+
+/// Flag bits in trace_record::flags.
+inline constexpr std::uint8_t trace_flag_validated = 1u << 0;
+inline constexpr std::uint8_t trace_flag_stale = 1u << 1;
+inline constexpr std::uint8_t trace_flag_up = 1u << 2;
+
+/// Longest kind name storable in a kind_name record (31 chars + NUL).
+inline constexpr std::size_t trace_kind_name_capacity = 31;
+
+/// Builds a kind_name meta record; names longer than the inline span are
+/// truncated (protocol kind names are all well under it).
+trace_record make_kind_name_record(std::uint16_t kind, const std::string& name);
+
+/// Extracts the NUL-terminated name from a kind_name record.
+std::string kind_name_from_record(const trace_record& rec);
+
+/// Renders `rec` as exactly the JSONL object trace_writer's JSONL backend
+/// writes for the same event — no trailing newline. `kind` is the display
+/// name for rec.k (rx/send only); pass nullptr for unregistered kinds to
+/// get the "kind_<id>" fallback. Returns the line length; `cap` must be at
+/// least trace_render_buffer_size. kind_name meta records render to length
+/// 0 (they have no JSONL counterpart).
+inline constexpr std::size_t trace_render_buffer_size = 256;
+std::size_t render_jsonl(const trace_record& rec, const char* kind, char* buf,
+                         std::size_t cap);
+
+/// True when the file starts with the binary trace magic (false for JSONL
+/// traces, short files, and unopenable paths).
+bool is_binary_trace(const std::string& path);
+
+struct binary_trace_stats {
+  std::uint64_t records = 0;       ///< event records streamed
+  std::uint64_t meta_records = 0;  ///< kind_name records consumed
+  bool truncated_tail = false;     ///< file ended mid-record
+};
+
+/// Streams a binary trace as JSONL lines (exactly the lines the JSONL
+/// backend would have written, no trailing newline), calling `emit` per
+/// event record in file order. Returns false with `error` set when the file
+/// cannot be opened or the header is missing/mismatched; a truncated tail
+/// is reported through `stats`, not as failure, so a crash-interrupted
+/// capture still replays every complete record.
+bool read_binary_trace(
+    const std::string& path,
+    const std::function<void(const char* line, std::size_t len)>& emit,
+    binary_trace_stats* stats, std::string* error);
+
+}  // namespace manet
+
+#endif  // MANET_METRICS_TRACE_FORMAT_HPP

@@ -1,16 +1,31 @@
 #include "metrics/trace_writer.hpp"
 
-#include <cinttypes>
+#include <cstring>
 #include <stdexcept>
 
 #include "util/logging.hpp"
 
 namespace manet {
 
-trace_writer::trace_writer(const std::string& path) {
-  out_ = std::fopen(path.c_str(), "w");
+namespace {
+
+/// Binary block size: records accumulate in user space and hit the OS in
+/// 1 MiB chunks (~18k records), so the hot path is a 56-byte memcpy.
+constexpr std::size_t block_bytes = std::size_t{1} << 20;
+
+}  // namespace
+
+trace_writer::trace_writer(const std::string& path, format fmt)
+    : format_(fmt) {
+  out_ = std::fopen(path.c_str(), fmt == format::binary ? "wb" : "w");
   if (out_ == nullptr) {
     throw std::runtime_error("trace_writer: cannot open '" + path + "'");
+  }
+  if (format_ == format::binary) {
+    trace_file_header hdr;
+    hdr.record_size = sizeof(trace_record);
+    if (std::fwrite(&hdr, 1, sizeof hdr, out_) != sizeof hdr) note_failure();
+    buf_.reserve(block_bytes + sizeof(trace_record));
   }
 }
 
@@ -39,89 +54,219 @@ void trace_writer::note_write(int rc) {
   }
 }
 
+void trace_writer::append_binary(const trace_record& rec) {
+  const std::size_t off = buf_.size();
+  buf_.resize(off + sizeof rec);
+  std::memcpy(buf_.data() + off, &rec, sizeof rec);
+  if (static_cast<trace_ev>(rec.ev) != trace_ev::kind_name) ++pending_events_;
+  if (buf_.size() >= block_bytes) flush_block();
+}
+
+void trace_writer::flush_block() {
+  if (buf_.empty()) return;
+  const std::size_t want = buf_.size();
+  const std::size_t got = std::fwrite(buf_.data(), 1, want, out_);
+  if (got != want || std::ferror(out_) != 0) {
+    // Block-granular loss: we cannot tell which records of a short write
+    // survived stdio buffering, so the whole block counts as dropped.
+    const bool first = dropped_ == 0;
+    dropped_ += pending_events_ > 0 ? pending_events_ : 1;
+    if (first) {
+      logf(log_level::warn,
+           "trace_writer: binary block write failed (disk full or closed "
+           "stream); counting dropped events");
+    }
+    std::clearerr(out_);
+  } else {
+    events_ += pending_events_;
+  }
+  buf_.clear();
+  pending_events_ = 0;
+}
+
+void trace_writer::note_kind(packet_kind kind, const traffic_meter& meter) {
+  if (kind >= kind_seen_.size()) {
+    kind_seen_.resize(std::size_t{kind} + 1, false);
+  }
+  if (kind_seen_[kind]) return;
+  kind_seen_[kind] = true;
+  const char* name = meter.kind_cname(kind);
+  // Unregistered kinds carry no meta record; every reader falls back to the
+  // same "kind_<id>" rendering the JSONL backend uses.
+  if (name == nullptr) return;
+  append_binary(make_kind_name_record(kind, name));
+}
+
 void trace_writer::flush() {
   if (out_ == nullptr) return;
+  if (format_ == format::binary) flush_block();
   if (std::fflush(out_) != 0 || std::ferror(out_) != 0) note_failure();
 }
 
+namespace {
+
+/// Shared-renderer JSONL emission: one buffered fwrite of "<line>\n".
+int write_line(std::FILE* out, const trace_record& rec, const char* kind) {
+  char buf[trace_render_buffer_size];
+  const std::size_t len = render_jsonl(rec, kind, buf, sizeof buf - 1);
+  buf[len] = '\n';
+  return std::fwrite(buf, 1, len + 1, out) == len + 1 ? 0 : -1;
+}
+
+}  // namespace
+
 void trace_writer::record_rx(sim_time t, node_id self, node_id from,
                              const packet& p, const traffic_meter& meter) {
-  note_write(std::fprintf(
-      out_,
-      "{\"t\":%.6f,\"ev\":\"rx\",\"node\":%u,\"from\":%u,\"kind\":\"%s\","
-      "\"src\":%u,\"dst\":%u,\"hops\":%d,\"bytes\":%zu,\"uid\":%" PRIu64
-      ",\"trace\":%" PRIu64 "}\n",
-      t, self, from, meter.kind_name(p.kind).c_str(), p.src, p.dst, p.hops,
-      p.size_bytes, p.uid, p.trace_id));
+  trace_record rec;
+  rec.t = t;
+  rec.ev = static_cast<std::uint8_t>(trace_ev::rx);
+  rec.a = self;
+  rec.b = from;
+  rec.c = p.src;
+  rec.d = p.dst;
+  rec.e = static_cast<std::uint32_t>(p.size_bytes);
+  rec.k = p.kind;
+  rec.h = static_cast<std::int16_t>(p.hops);
+  rec.u64a = p.uid;
+  rec.u64b = p.trace_id;
+  if (format_ == format::binary) {
+    note_kind(p.kind, meter);
+    append_binary(rec);
+    return;
+  }
+  note_write(write_line(out_, rec, meter.kind_cname(p.kind)));
 }
 
 void trace_writer::record_send(sim_time t, node_id self, const packet& p,
                                const traffic_meter& meter) {
-  note_write(std::fprintf(
-      out_,
-      "{\"t\":%.6f,\"ev\":\"send\",\"node\":%u,\"kind\":\"%s\",\"dst\":%u,"
-      "\"ttl\":%d,\"bytes\":%zu,\"uid\":%" PRIu64 ",\"trace\":%" PRIu64 "}\n",
-      t, self, meter.kind_name(p.kind).c_str(), p.dst, p.ttl, p.size_bytes,
-      p.uid, p.trace_id));
+  trace_record rec;
+  rec.t = t;
+  rec.ev = static_cast<std::uint8_t>(trace_ev::send);
+  rec.a = self;
+  rec.c = p.dst;
+  rec.e = static_cast<std::uint32_t>(p.size_bytes);
+  rec.k = p.kind;
+  rec.h = static_cast<std::int16_t>(p.ttl);
+  rec.u64a = p.uid;
+  rec.u64b = p.trace_id;
+  if (format_ == format::binary) {
+    note_kind(p.kind, meter);
+    append_binary(rec);
+    return;
+  }
+  note_write(write_line(out_, rec, meter.kind_cname(p.kind)));
 }
 
 void trace_writer::record_state(sim_time t, node_id node, bool up) {
-  note_write(std::fprintf(out_, "{\"t\":%.6f,\"ev\":\"%s\",\"node\":%u}\n", t,
-                          up ? "up" : "down", node));
+  trace_record rec;
+  rec.t = t;
+  rec.ev = static_cast<std::uint8_t>(trace_ev::state);
+  rec.a = node;
+  if (up) rec.flags |= trace_flag_up;
+  if (format_ == format::binary) {
+    append_binary(rec);
+    return;
+  }
+  note_write(write_line(out_, rec, nullptr));
 }
 
 void trace_writer::record_query(sim_time t, node_id node, item_id item,
                                 consistency_level level, std::uint64_t trace) {
-  note_write(std::fprintf(
-      out_,
-      "{\"t\":%.6f,\"ev\":\"query\",\"node\":%u,\"item\":%u,\"level\":"
-      "\"%s\",\"trace\":%" PRIu64 "}\n",
-      t, node, item, consistency_level_name(level), trace));
+  trace_record rec;
+  rec.t = t;
+  rec.ev = static_cast<std::uint8_t>(trace_ev::query);
+  rec.a = node;
+  rec.b = item;
+  rec.k = static_cast<std::uint16_t>(level);
+  rec.u64b = trace;
+  if (format_ == format::binary) {
+    append_binary(rec);
+    return;
+  }
+  note_write(write_line(out_, rec, nullptr));
 }
 
 void trace_writer::record_update(sim_time t, item_id item, version_t version,
                                  std::uint64_t trace) {
-  note_write(std::fprintf(
-      out_,
-      "{\"t\":%.6f,\"ev\":\"update\",\"item\":%u,\"version\":%llu,"
-      "\"trace\":%" PRIu64 "}\n",
-      t, item, static_cast<unsigned long long>(version), trace));
+  trace_record rec;
+  rec.t = t;
+  rec.ev = static_cast<std::uint8_t>(trace_ev::update);
+  rec.b = item;
+  rec.u64a = version;
+  rec.u64b = trace;
+  if (format_ == format::binary) {
+    append_binary(rec);
+    return;
+  }
+  note_write(write_line(out_, rec, nullptr));
 }
 
 void trace_writer::record_apply(sim_time t, node_id node, item_id item,
                                 version_t version, std::uint64_t trace) {
-  note_write(std::fprintf(
-      out_,
-      "{\"t\":%.6f,\"ev\":\"apply\",\"node\":%u,\"item\":%u,\"version\":%llu,"
-      "\"trace\":%" PRIu64 "}\n",
-      t, node, item, static_cast<unsigned long long>(version), trace));
+  trace_record rec;
+  rec.t = t;
+  rec.ev = static_cast<std::uint8_t>(trace_ev::apply);
+  rec.a = node;
+  rec.b = item;
+  rec.u64a = version;
+  rec.u64b = trace;
+  if (format_ == format::binary) {
+    append_binary(rec);
+    return;
+  }
+  note_write(write_line(out_, rec, nullptr));
 }
 
 void trace_writer::record_invalidate(sim_time t, node_id node, item_id item,
                                      version_t version, std::uint64_t trace) {
-  note_write(std::fprintf(
-      out_,
-      "{\"t\":%.6f,\"ev\":\"inval\",\"node\":%u,\"item\":%u,\"version\":%llu,"
-      "\"trace\":%" PRIu64 "}\n",
-      t, node, item, static_cast<unsigned long long>(version), trace));
+  trace_record rec;
+  rec.t = t;
+  rec.ev = static_cast<std::uint8_t>(trace_ev::inval);
+  rec.a = node;
+  rec.b = item;
+  rec.u64a = version;
+  rec.u64b = trace;
+  if (format_ == format::binary) {
+    append_binary(rec);
+    return;
+  }
+  note_write(write_line(out_, rec, nullptr));
 }
 
 void trace_writer::record_answer(sim_time t, node_id node, item_id item,
                                  version_t version, bool validated, bool stale,
                                  std::uint64_t trace) {
-  note_write(std::fprintf(
-      out_,
-      "{\"t\":%.6f,\"ev\":\"answer\",\"node\":%u,\"item\":%u,\"version\":%llu,"
-      "\"validated\":%s,\"stale\":%s,\"trace\":%" PRIu64 "}\n",
-      t, node, item, static_cast<unsigned long long>(version),
-      validated ? "true" : "false", stale ? "true" : "false", trace));
+  trace_record rec;
+  rec.t = t;
+  rec.ev = static_cast<std::uint8_t>(trace_ev::answer);
+  rec.a = node;
+  rec.b = item;
+  rec.u64a = version;
+  rec.u64b = trace;
+  if (validated) rec.flags |= trace_flag_validated;
+  if (stale) rec.flags |= trace_flag_stale;
+  if (format_ == format::binary) {
+    append_binary(rec);
+    return;
+  }
+  note_write(write_line(out_, rec, nullptr));
 }
 
 void trace_writer::record_position(sim_time t, node_id node, double x,
                                    double y) {
-  note_write(std::fprintf(
-      out_, "{\"t\":%.6f,\"ev\":\"pos\",\"node\":%u,\"x\":%.1f,\"y\":%.1f}\n",
-      t, node, x, y));
+  trace_record rec;
+  rec.t = t;
+  rec.ev = static_cast<std::uint8_t>(trace_ev::pos);
+  rec.a = node;
+  // Full doubles on disk; the %.1f rounding happens only at render time so
+  // binary -> JSONL conversion reproduces the JSONL capture exactly.
+  rec.u64a = std::bit_cast<std::uint64_t>(x);
+  rec.u64b = std::bit_cast<std::uint64_t>(y);
+  if (format_ == format::binary) {
+    append_binary(rec);
+    return;
+  }
+  note_write(write_line(out_, rec, nullptr));
 }
 
 }  // namespace manet

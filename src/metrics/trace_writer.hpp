@@ -1,14 +1,21 @@
-// JSONL event tracing for debugging and visualization.
+// Flight-recorder event tracing for debugging, visualization and offline
+// analysis, with two on-disk backends selected at construction:
 //
-// When a scenario is given a trace path, every frame send/reception, node
-// state switch, query, update, cache apply/invalidate and audited answer is
-// appended as one JSON object per line:
-//   {"t":12.345,"ev":"rx","node":3,"from":2,"kind":"POLL","src":7,"dst":3,
-//    "hops":2,"bytes":40,"uid":118,"trace":9}
-//   {"t":60.000,"ev":"down","node":5}
-//   {"t":61.200,"ev":"query","node":4,"item":9,"level":"SC","trace":12}
-// The format is line-delimited so traces stream into jq / pandas / tracestat
-// without a closing bracket; writing is buffered by the underlying FILE.
+//   - format::jsonl (default): one JSON object per line —
+//       {"t":12.345,"ev":"rx","node":3,"from":2,"kind":"POLL","src":7,
+//        "dst":3,"hops":2,"bytes":40,"uid":118,"trace":9}
+//     streams straight into jq / pandas / tracestat; writing is buffered by
+//     the underlying FILE.
+//   - format::binary: fixed-size 56-byte POD records (metrics/
+//     trace_format.hpp) appended to a large user-space buffer and flushed
+//     in blocks — cheap enough to leave on at 100k-node scale. Convert with
+//     tools/trace2json; tools/tracestat reads both formats natively.
+//
+// Both backends record the identical event stream: every frame
+// send/reception, node state switch, query, update, cache apply/invalidate
+// and audited answer. Rendering a binary capture back to JSONL reproduces
+// the JSONL capture of the same seed byte for byte (shared renderer in
+// trace_format.cpp).
 //
 // Every consistency-relevant record carries the causal `trace` id minted by
 // causal_tracer at the originating update/query/poll (0 = untraced), which
@@ -16,14 +23,18 @@
 //
 // Write failures (disk full, closed FILE) are never silent: failed lines
 // are counted in events_dropped() and the first failure logs at warn level.
+// Binary drops are block-granular — a failed block write counts every
+// record it carried.
 #ifndef MANET_METRICS_TRACE_WRITER_HPP
 #define MANET_METRICS_TRACE_WRITER_HPP
 
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "cache/consistency_level.hpp"
+#include "metrics/trace_format.hpp"
 #include "net/packet.hpp"
 #include "net/traffic_meter.hpp"
 #include "util/units.hpp"
@@ -32,12 +43,17 @@ namespace manet {
 
 class trace_writer {
  public:
+  enum class format { jsonl, binary };
+
   /// Opens (truncates) the trace file. Throws std::runtime_error on failure.
-  explicit trace_writer(const std::string& path);
+  explicit trace_writer(const std::string& path,
+                        format fmt = format::jsonl);
   ~trace_writer();
 
   trace_writer(const trace_writer&) = delete;
   trace_writer& operator=(const trace_writer&) = delete;
+
+  format backend() const { return format_; }
 
   void record_rx(sim_time t, node_id self, node_id from, const packet& p,
                  const traffic_meter& meter);
@@ -56,25 +72,43 @@ class trace_writer {
                      bool validated, bool stale, std::uint64_t trace);
   void record_position(sim_time t, node_id node, double x, double y);
 
+  /// Events durably handed to the OS. The binary backend counts records at
+  /// block-flush time, so this lags by up to one buffer until flush().
   std::uint64_t events_written() const { return events_; }
 
-  /// Lines lost to write errors (disk full, closed stream). The first
-  /// failure additionally logs at warn level.
+  /// Events lost to write errors (disk full, closed stream). The first
+  /// failure additionally logs at warn level. Binary accounting is
+  /// block-granular: a failed block write counts every event in the block.
   std::uint64_t events_dropped() const { return dropped_; }
 
-  /// Flushes buffered lines to disk (destructor also flushes). A failed
-  /// flush counts one drop: buffered lines may be lost wholesale and we
-  /// cannot tell how many, so the counter records "at least one".
+  /// Flushes buffered records/lines to disk (destructor also flushes). A
+  /// failed stdio flush counts one drop: buffered lines may be lost
+  /// wholesale and we cannot tell how many, so the counter records "at
+  /// least one".
   void flush();
 
  private:
-  /// Accounts one fprintf result as written or dropped.
+  /// Accounts one fprintf/fputs result as written or dropped.
   void note_write(int rc);
   void note_failure();
 
+  /// Appends one record to the binary buffer, flushing a full block.
+  void append_binary(const trace_record& rec);
+  /// Writes the buffered binary block and settles per-record accounting.
+  void flush_block();
+  /// Emits the kind_name meta record the first time `kind` appears.
+  void note_kind(packet_kind kind, const traffic_meter& meter);
+
   std::FILE* out_ = nullptr;
+  format format_ = format::jsonl;
   std::uint64_t events_ = 0;
   std::uint64_t dropped_ = 0;
+
+  // Binary backend state: block buffer plus per-block event accounting
+  // (meta records travel in the block but never count as events).
+  std::vector<unsigned char> buf_;
+  std::uint64_t pending_events_ = 0;
+  std::vector<bool> kind_seen_;  ///< indexed by packet kind
 };
 
 }  // namespace manet

@@ -17,79 +17,68 @@ const char* drop_reason_name(drop_reason r) {
   return "?";
 }
 
+namespace {
+
+bool all_zero(const kind_counters& c) {
+  return c.tx_frames == 0 && c.tx_bytes == 0 && c.rx_frames == 0 &&
+         c.originated == 0 && c.drops == 0;
+}
+
+}  // namespace
+
 void traffic_meter::register_kind(packet_kind kind, std::string name) {
+  if (kind >= names_.size()) names_.resize(std::size_t{kind} + 1);
   names_[kind] = std::move(name);
 }
 
 std::string traffic_meter::kind_name(packet_kind kind) const {
-  auto it = names_.find(kind);
-  if (it != names_.end()) return it->second;
+  const char* name = kind_cname(kind);
+  if (name != nullptr) return name;
   return "kind_" + std::to_string(kind);
-}
-
-void traffic_meter::record_originated(packet_kind kind) {
-  ++by_kind_[kind].originated;
-}
-
-void traffic_meter::record_tx(packet_kind kind, std::size_t bytes) {
-  auto& c = by_kind_[kind];
-  ++c.tx_frames;
-  c.tx_bytes += bytes;
-}
-
-void traffic_meter::record_rx(packet_kind kind, std::size_t bytes) {
-  auto& c = by_kind_[kind];
-  ++c.rx_frames;
-  (void)bytes;
-}
-
-void traffic_meter::record_drop(packet_kind kind, drop_reason reason) {
-  ++by_kind_[kind].drops;
-  ++drops_[reason];
 }
 
 const kind_counters& traffic_meter::counters(packet_kind kind) const {
   static const kind_counters zero{};
-  auto it = by_kind_.find(kind);
-  return it == by_kind_.end() ? zero : it->second;
+  return kind < by_kind_.size() ? by_kind_[kind] : zero;
 }
 
 std::uint64_t traffic_meter::total_tx_frames() const {
   std::uint64_t n = 0;
-  for (const auto& [_, c] : by_kind_) n += c.tx_frames;
+  for (const auto& c : by_kind_) n += c.tx_frames;
   return n;
 }
 
 std::uint64_t traffic_meter::total_tx_bytes() const {
   std::uint64_t n = 0;
-  for (const auto& [_, c] : by_kind_) n += c.tx_bytes;
+  for (const auto& c : by_kind_) n += c.tx_bytes;
+  return n;
+}
+
+std::uint64_t traffic_meter::total_rx_frames() const {
+  std::uint64_t n = 0;
+  for (const auto& c : by_kind_) n += c.rx_frames;
   return n;
 }
 
 std::uint64_t traffic_meter::total_drops() const {
   std::uint64_t n = 0;
-  for (const auto& [_, c] : drops_) n += c;
+  for (std::uint64_t d : drops_) n += d;
   return n;
-}
-
-std::uint64_t traffic_meter::drops(drop_reason reason) const {
-  auto it = drops_.find(reason);
-  return it == drops_.end() ? 0 : it->second;
 }
 
 std::uint64_t traffic_meter::app_tx_frames() const {
   std::uint64_t n = 0;
-  for (const auto& [k, c] : by_kind_) {
-    if (k >= first_app_kind) n += c.tx_frames;
+  for (std::size_t k = first_app_kind; k < by_kind_.size(); ++k) {
+    n += by_kind_[k].tx_frames;
   }
   return n;
 }
 
 std::uint64_t traffic_meter::routing_tx_frames() const {
   std::uint64_t n = 0;
-  for (const auto& [k, c] : by_kind_) {
-    if (k < first_app_kind) n += c.tx_frames;
-  }
+  const std::size_t end =
+      by_kind_.size() < first_app_kind ? by_kind_.size() : first_app_kind;
+  for (std::size_t k = 0; k < end; ++k) n += by_kind_[k].tx_frames;
   return n;
 }
 
@@ -99,9 +88,12 @@ std::string traffic_meter::report() const {
   std::snprintf(line, sizeof line, "%-20s %12s %14s %12s %12s %10s\n", "kind",
                 "tx_frames", "tx_bytes", "rx_frames", "originated", "drops");
   out += line;
-  for (const auto& [k, c] : by_kind_) {
+  for (std::size_t k = 0; k < by_kind_.size(); ++k) {
+    const kind_counters& c = by_kind_[k];
+    if (all_zero(c)) continue;
     std::snprintf(line, sizeof line, "%-20s %12llu %14llu %12llu %12llu %10llu\n",
-                  kind_name(k).c_str(), static_cast<unsigned long long>(c.tx_frames),
+                  kind_name(static_cast<packet_kind>(k)).c_str(),
+                  static_cast<unsigned long long>(c.tx_frames),
                   static_cast<unsigned long long>(c.tx_bytes),
                   static_cast<unsigned long long>(c.rx_frames),
                   static_cast<unsigned long long>(c.originated),
@@ -112,17 +104,19 @@ std::string traffic_meter::report() const {
                 static_cast<unsigned long long>(total_tx_frames()),
                 static_cast<unsigned long long>(total_tx_bytes()));
   out += line;
-  for (const auto& [r, n] : drops_) {
-    std::snprintf(line, sizeof line, "  drop[%-13s] %10llu\n", drop_reason_name(r),
-                  static_cast<unsigned long long>(n));
+  for (std::size_t r = 0; r < n_drop_reasons; ++r) {
+    if (drops_[r] == 0) continue;
+    std::snprintf(line, sizeof line, "  drop[%-13s] %10llu\n",
+                  drop_reason_name(static_cast<drop_reason>(r)),
+                  static_cast<unsigned long long>(drops_[r]));
     out += line;
   }
   return out;
 }
 
 void traffic_meter::reset() {
-  by_kind_.clear();
-  drops_.clear();
+  by_kind_.assign(by_kind_.size(), kind_counters{});
+  for (std::uint64_t& d : drops_) d = 0;
 }
 
 }  // namespace manet

@@ -2,12 +2,16 @@
 // "network traffic" — the number of messages transmitted on the air; we
 // count every one-hop frame transmission, plus bytes, receptions and drops,
 // broken down by message kind.
+//
+// Counters live in dense vectors indexed by the 16-bit packet kind (grown on
+// first touch), so the per-frame record_* calls are a bounds check plus an
+// array increment — no tree walk, no allocation on the steady-state path.
 #ifndef MANET_NET_TRAFFIC_METER_HPP
 #define MANET_NET_TRAFFIC_METER_HPP
 
 #include <cstdint>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "net/packet.hpp"
 
@@ -22,6 +26,8 @@ enum class drop_reason {
   ttl_expired,      ///< flood hop budget exhausted
   queue_flushed,    ///< node went down with frames queued
 };
+
+inline constexpr std::size_t n_drop_reasons = 7;
 
 const char* drop_reason_name(drop_reason r);
 
@@ -39,18 +45,40 @@ class traffic_meter {
   void register_kind(packet_kind kind, std::string name);
   std::string kind_name(packet_kind kind) const;
 
-  void record_originated(packet_kind kind);
-  void record_tx(packet_kind kind, std::size_t bytes);
-  void record_rx(packet_kind kind, std::size_t bytes);
-  void record_drop(packet_kind kind, drop_reason reason);
+  /// Registered name as a stable C string, or nullptr for unregistered
+  /// kinds — the allocation-free lookup trace_writer's hot path uses
+  /// (kind_name() builds a "kind_<id>" fallback string instead).
+  const char* kind_cname(packet_kind kind) const {
+    return kind < names_.size() && !names_[kind].empty()
+               ? names_[kind].c_str()
+               : nullptr;
+  }
+
+  void record_originated(packet_kind kind) { ++cell(kind).originated; }
+  void record_tx(packet_kind kind, std::size_t bytes) {
+    auto& c = cell(kind);
+    ++c.tx_frames;
+    c.tx_bytes += bytes;
+  }
+  void record_rx(packet_kind kind, std::size_t bytes) {
+    ++cell(kind).rx_frames;
+    (void)bytes;
+  }
+  void record_drop(packet_kind kind, drop_reason reason) {
+    ++cell(kind).drops;
+    ++drops_[static_cast<std::size_t>(reason)];
+  }
 
   const kind_counters& counters(packet_kind kind) const;
 
   /// Totals across all kinds.
   std::uint64_t total_tx_frames() const;
   std::uint64_t total_tx_bytes() const;
+  std::uint64_t total_rx_frames() const;
   std::uint64_t total_drops() const;
-  std::uint64_t drops(drop_reason reason) const;
+  std::uint64_t drops(drop_reason reason) const {
+    return drops_[static_cast<std::size_t>(reason)];
+  }
 
   /// Totals restricted to application kinds (>= first_app_kind) or to the
   /// routing layer (< first_app_kind), so consistency-protocol traffic can
@@ -58,15 +86,21 @@ class traffic_meter {
   std::uint64_t app_tx_frames() const;
   std::uint64_t routing_tx_frames() const;
 
-  /// Multi-line human-readable table.
+  /// Multi-line human-readable table (kinds with all-zero counters are
+  /// skipped, so registration alone adds no rows).
   std::string report() const;
 
   void reset();
 
  private:
-  std::map<packet_kind, kind_counters> by_kind_;
-  std::map<packet_kind, std::string> names_;
-  std::map<drop_reason, std::uint64_t> drops_;
+  kind_counters& cell(packet_kind kind) {
+    if (kind >= by_kind_.size()) by_kind_.resize(std::size_t{kind} + 1);
+    return by_kind_[kind];
+  }
+
+  std::vector<kind_counters> by_kind_;  ///< dense, indexed by kind
+  std::vector<std::string> names_;      ///< dense, "" = unregistered
+  std::uint64_t drops_[n_drop_reasons] = {};
 };
 
 }  // namespace manet

@@ -30,23 +30,167 @@ const char* profiler::section_name(section s) {
   return "?";
 }
 
+std::size_t profiler::child(std::int32_t parent, section s,
+                            std::uint32_t key) {
+  const std::vector<std::int32_t>& siblings =
+      parent < 0 ? roots_ : nodes_[static_cast<std::size_t>(parent)].children;
+  for (std::int32_t idx : siblings) {
+    const frame& n = nodes_[static_cast<std::size_t>(idx)];
+    if (n.sec == s && n.key == key) return static_cast<std::size_t>(idx);
+  }
+  const auto idx = static_cast<std::int32_t>(nodes_.size());
+  frame n;
+  n.sec = s;
+  n.key = key;
+  n.parent = parent;
+  nodes_.push_back(std::move(n));
+  // Re-fetch the sibling list: push_back may have reallocated nodes_.
+  auto& list =
+      parent < 0 ? roots_ : nodes_[static_cast<std::size_t>(parent)].children;
+  list.push_back(idx);
+  return static_cast<std::size_t>(idx);
+}
+
+std::size_t profiler::enter(section s, std::uint32_t key) {
+  const std::int32_t parent = stack_.empty() ? -1 : stack_.back();
+  const std::size_t idx = child(parent, s, key);
+  stack_.push_back(static_cast<std::int32_t>(idx));
+  return idx;
+}
+
+void profiler::leave(std::size_t idx, std::uint64_t ns) {
+  frame& n = nodes_[idx];
+  ++n.calls;
+  n.total_ns += ns;
+  if (ns > n.max_ns) n.max_ns = ns;
+  if (!stack_.empty()) stack_.pop_back();
+}
+
+void profiler::add(section s, std::uint64_t ns, std::uint32_t key) {
+  frame& n = nodes_[child(-1, s, key)];
+  ++n.calls;
+  n.total_ns += ns;
+  if (ns > n.max_ns) n.max_ns = ns;
+}
+
+std::uint64_t profiler::calls(section s) const {
+  std::uint64_t n = 0;
+  for (const frame& nd : nodes_) {
+    if (nd.sec == s) n += nd.calls;
+  }
+  return n;
+}
+
+std::uint64_t profiler::total_ns(section s) const {
+  std::uint64_t n = 0;
+  for (const frame& nd : nodes_) {
+    if (nd.sec == s) n += nd.total_ns;
+  }
+  return n;
+}
+
+std::uint64_t profiler::self_ns(const frame& n) const {
+  std::uint64_t children_ns = 0;
+  for (std::int32_t c : n.children) {
+    children_ns += nodes_[static_cast<std::size_t>(c)].total_ns;
+  }
+  // Clock jitter can make child sums exceed the parent by nanoseconds;
+  // clamp so self time never goes negative.
+  return n.total_ns > children_ns ? n.total_ns - children_ns : 0;
+}
+
+std::string profiler::node_label(const frame& n) const {
+  if (n.key == no_key) return section_name(n.sec);
+  std::string key_name;
+  if (key_namer_) key_name = key_namer_(n.key);
+  if (key_name.empty()) key_name = "key_" + std::to_string(n.key);
+  return std::string(section_name(n.sec)) + "[" + key_name + "]";
+}
+
 std::string profiler::report() const {
   std::string out = "host profile (wall clock; not part of sim results):\n";
-  char buf[160];
-  for (std::size_t i = 0; i < section_count; ++i) {
-    const bucket& b = buckets_[i];
-    const double total_ms = static_cast<double>(b.total_ns) / 1e6;
+  char buf[192];
+  // Depth-first over the tree, two spaces of indent per level.
+  const std::function<void(std::int32_t, int)> walk = [&](std::int32_t idx,
+                                                          int depth) {
+    const frame& n = nodes_[static_cast<std::size_t>(idx)];
+    const double total_ms = static_cast<double>(n.total_ns) / 1e6;
+    const double self_ms = static_cast<double>(self_ns(n)) / 1e6;
     const double mean_us =
-        b.calls ? static_cast<double>(b.total_ns) / static_cast<double>(b.calls) / 1e3
-                : 0.0;
+        n.calls != 0 ? static_cast<double>(n.total_ns) /
+                           static_cast<double>(n.calls) / 1e3
+                     : 0.0;
+    const std::string label =
+        std::string(static_cast<std::size_t>(depth) * 2, ' ') + node_label(n);
     std::snprintf(buf, sizeof buf,
-                  "  %-17s calls=%-10llu total=%9.2fms mean=%8.2fus max=%8.2fus\n",
-                  section_name(static_cast<section>(i)),
-                  static_cast<unsigned long long>(b.calls), total_ms, mean_us,
-                  static_cast<double>(b.max_ns) / 1e3);
+                  "  %-29s calls=%-10llu total=%9.2fms self=%9.2fms "
+                  "mean=%8.2fus max=%8.2fus\n",
+                  label.c_str(), static_cast<unsigned long long>(n.calls),
+                  total_ms, self_ms, mean_us,
+                  static_cast<double>(n.max_ns) / 1e3);
+    out += buf;
+    for (std::int32_t c : n.children) walk(c, depth + 1);
+  };
+  for (std::int32_t r : roots_) walk(r, 0);
+  // Sections never entered still get a zero row, so the table shape is
+  // stable whether or not a run exercised every hook.
+  for (std::size_t i = 0; i < section_count; ++i) {
+    const auto s = static_cast<section>(i);
+    bool seen = false;
+    for (const frame& n : nodes_) {
+      if (n.sec == s) {
+        seen = true;
+        break;
+      }
+    }
+    if (seen) continue;
+    std::snprintf(buf, sizeof buf,
+                  "  %-29s calls=%-10llu total=%9.2fms self=%9.2fms "
+                  "mean=%8.2fus max=%8.2fus\n",
+                  section_name(s), 0ull, 0.0, 0.0, 0.0, 0.0);
     out += buf;
   }
   return out;
+}
+
+bool profiler::write_chrome_trace(const std::string& path) const {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fputs("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", out);
+  bool first = true;
+  // Cursor-packed synthetic timeline: each node becomes one complete ("X")
+  // event spanning its aggregated total, children laid head-to-tail from
+  // the parent's start so nesting renders as a flamegraph.
+  const std::function<void(std::int32_t, double)> walk = [&](std::int32_t idx,
+                                                             double start_us) {
+    const frame& n = nodes_[static_cast<std::size_t>(idx)];
+    const double dur_us = static_cast<double>(n.total_ns) / 1e3;
+    const double self_us = static_cast<double>(self_ns(n)) / 1e3;
+    if (!first) std::fputc(',', out);
+    first = false;
+    std::fprintf(out,
+                 "\n{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":1,"
+                 "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"calls\":%llu,"
+                 "\"self_us\":%.3f,\"max_us\":%.3f}}",
+                 node_label(n).c_str(), start_us, dur_us,
+                 static_cast<unsigned long long>(n.calls), self_us,
+                 static_cast<double>(n.max_ns) / 1e3);
+    double cursor = start_us;
+    for (std::int32_t c : n.children) {
+      walk(c, cursor);
+      cursor +=
+          static_cast<double>(nodes_[static_cast<std::size_t>(c)].total_ns) /
+          1e3;
+    }
+  };
+  double cursor = 0.0;
+  for (std::int32_t r : roots_) {
+    walk(r, cursor);
+    cursor += static_cast<double>(nodes_[static_cast<std::size_t>(r)].total_ns) / 1e3;
+  }
+  std::fputs("\n]}\n", out);
+  const bool ok = std::ferror(out) == 0;
+  return std::fclose(out) == 0 && ok;
 }
 
 }  // namespace manet

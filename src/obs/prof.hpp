@@ -2,6 +2,14 @@
 // simulator (event dispatch), the radio model (neighbor queries) and the
 // consistency-protocol handlers.
 //
+// Sections form a tree: prof_scope keeps a per-profiler scope stack, so a
+// protocol_handler scope opened inside an event_dispatch scope becomes its
+// child, and an optional 32-bit key (the packet kind, in practice) splits a
+// section into per-kind children — dispatch → protocol_handler → per-kind.
+// report() prints the tree with self/total time; write_chrome_trace()
+// exports it as Chrome-trace/Perfetto JSON (open in ui.perfetto.dev) so a
+// run produces a browsable flamegraph.
+//
 // Wall-clock time is ambient nondeterminism, so it is strictly segregated
 // from simulation results: profile numbers never feed back into the model,
 // are reported separately from run summaries, and the only translation
@@ -12,7 +20,9 @@
 #define MANET_OBS_PROF_HPP
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 namespace manet {
 
@@ -20,8 +30,9 @@ namespace manet {
 std::uint64_t prof_now_ns();
 
 /// Accumulates call counts and wall-clock nanoseconds per instrumented
-/// section. Hooks hold a nullable profiler*; a null pointer costs one
-/// branch, so profiling is compiled in but ~free when disabled.
+/// section, parent-aware (see file comment). Hooks hold a nullable
+/// profiler*; a null pointer costs one branch, so profiling is compiled in
+/// but ~free when disabled. Single-threaded, like the simulator.
 class profiler {
  public:
   enum class section : int {
@@ -33,43 +44,79 @@ class profiler {
   static constexpr std::size_t section_count =
       static_cast<std::size_t>(section::n_sections);
 
-  void add(section s, std::uint64_t ns) {
-    auto& b = buckets_[static_cast<std::size_t>(s)];
-    ++b.calls;
-    b.total_ns += ns;
-    if (ns > b.max_ns) b.max_ns = ns;
-  }
+  /// Key value meaning "unkeyed" — the section itself, not a per-kind split.
+  static constexpr std::uint32_t no_key = 0xffffffffu;
 
-  std::uint64_t calls(section s) const {
-    return buckets_[static_cast<std::size_t>(s)].calls;
-  }
-  std::uint64_t total_ns(section s) const {
-    return buckets_[static_cast<std::size_t>(s)].total_ns;
+  /// Opens a (section, key) frame as a child of the innermost open frame
+  /// (a root when none is open) and returns its node index for leave().
+  /// Called by prof_scope; call leave() in strict LIFO order.
+  std::size_t enter(section s, std::uint32_t key = no_key);
+
+  /// Closes the frame opened by the matching enter(), charging `ns` to it.
+  void leave(std::size_t idx, std::uint64_t ns);
+
+  /// Stackless accumulation into a root-level node — for callers that
+  /// already measured a duration themselves.
+  void add(section s, std::uint64_t ns, std::uint32_t key = no_key);
+
+  /// Aggregates over every tree node of `s`, wherever it sits.
+  std::uint64_t calls(section s) const;
+  std::uint64_t total_ns(section s) const;
+
+  /// Names per-kind keys in report()/chrome export (e.g. the traffic
+  /// meter's kind names). Unset or unresolved keys print as "key_<id>".
+  void set_key_namer(std::function<std::string(std::uint32_t)> fn) {
+    key_namer_ = std::move(fn);
   }
 
   static const char* section_name(section s);
 
-  /// Per-section table: calls, total ms, mean µs, max µs. Wall-clock
-  /// numbers — print next to run summaries, never inside them.
+  /// Indented tree: calls, total ms, self ms, mean µs, max µs per node.
+  /// Wall-clock numbers — print next to run summaries, never inside them.
   std::string report() const;
 
+  /// Writes the section tree as Chrome-trace JSON ("traceEvents" complete
+  /// events, nested by cursor-packing the aggregated durations) loadable in
+  /// ui.perfetto.dev or chrome://tracing. Returns false when the file
+  /// cannot be written.
+  bool write_chrome_trace(const std::string& path) const;
+
  private:
-  struct bucket {
+  struct frame {
+    section sec = section::event_dispatch;
+    std::uint32_t key = no_key;
+    std::int32_t parent = -1;  ///< -1 = root
     std::uint64_t calls = 0;
     std::uint64_t total_ns = 0;
     std::uint64_t max_ns = 0;
+    std::vector<std::int32_t> children;
   };
-  bucket buckets_[section_count] = {};
+
+  /// Finds or creates the child of `parent` (-1 = root) for (s, key).
+  std::size_t child(std::int32_t parent, section s, std::uint32_t key);
+  std::uint64_t self_ns(const frame& n) const;
+  std::string node_label(const frame& n) const;
+
+  std::vector<frame> nodes_;
+  std::vector<std::int32_t> roots_;
+  std::vector<std::int32_t> stack_;  ///< open frames, innermost last
+  std::function<std::string(std::uint32_t)> key_namer_;
 };
 
-/// RAII section timer; null profiler makes it a no-op.
+/// RAII section timer; null profiler makes it a no-op. Pass a key (packet
+/// kind) to split the section into per-kind children.
 class prof_scope {
  public:
-  prof_scope(profiler* p, profiler::section s) : p_(p), s_(s) {
-    if (p_ != nullptr) start_ = prof_now_ns();
+  prof_scope(profiler* p, profiler::section s,
+             std::uint32_t key = profiler::no_key)
+      : p_(p) {
+    if (p_ != nullptr) {
+      idx_ = p_->enter(s, key);
+      start_ = prof_now_ns();
+    }
   }
   ~prof_scope() {
-    if (p_ != nullptr) p_->add(s_, prof_now_ns() - start_);
+    if (p_ != nullptr) p_->leave(idx_, prof_now_ns() - start_);
   }
 
   prof_scope(const prof_scope&) = delete;
@@ -77,7 +124,7 @@ class prof_scope {
 
  private:
   profiler* p_;
-  profiler::section s_;
+  std::size_t idx_ = 0;
   std::uint64_t start_ = 0;
 };
 

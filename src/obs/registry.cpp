@@ -15,6 +15,16 @@ void metric_registry::add(const std::string& name, entry e) {
     throw std::runtime_error("metric registered twice: " + name);
 }
 
+metric_registry::counter_handle metric_registry::register_counter(
+    const std::string& name) {
+  const auto idx = static_cast<std::uint32_t>(counters_.size());
+  counters_.push_back(0);
+  entry e;
+  e.handle_idx = idx;
+  add(name, std::move(e));
+  return counter_handle{idx};
+}
+
 std::uint64_t* metric_registry::counter(const std::string& name) {
   entry e;
   e.owned = std::make_unique<std::uint64_t>(0);
@@ -53,6 +63,8 @@ std::vector<std::pair<std::string, double>> metric_registry::snapshot() const {
       out.emplace_back(name + ".count", static_cast<double>(e.hist->total()));
       out.emplace_back(name + ".p50", e.hist->quantile(0.50));
       out.emplace_back(name + ".p95", e.hist->quantile(0.95));
+    } else if (e.handle_idx != no_handle) {
+      out.emplace_back(name, static_cast<double>(counters_[e.handle_idx]));
     } else {
       out.emplace_back(name, e.read());
     }

@@ -3,13 +3,17 @@
 //
 // Subsystems register once at wiring time; reads happen only when a
 // snapshot is taken (end of run, sampler window), so the hot path pays
-// nothing. Two registration styles:
+// nothing. Three registration styles:
+//   - handle counters: `counter_handle h = reg.register_counter("net.x");`
+//     hot paths call `reg.bump(h)` — one indexed add into a dense array,
+//     no string hashing, no allocation; names live only in the
+//     registration table;
 //   - owned counters: `std::uint64_t* c = reg.counter("rpcc.polls_sent");`
 //     the subsystem bumps `*c` directly (one add, no lookup);
 //   - callback gauges/counters: `reg.gauge("net.queue_depth", fn)` reads an
 //     existing member on demand — no double bookkeeping.
-// Storage is std::map so snapshots iterate in sorted-name order and JSON
-// export is byte-stable across runs and platforms.
+// Name storage is std::map so snapshots iterate in sorted-name order and
+// JSON export is byte-stable across runs and platforms.
 #ifndef MANET_OBS_REGISTRY_HPP
 #define MANET_OBS_REGISTRY_HPP
 
@@ -27,6 +31,23 @@ class log_histogram;
 
 class metric_registry {
  public:
+  /// Opaque id of a dense-storage counter, resolved once at registration.
+  /// Copyable, trivially cheap; valid for the registry's lifetime.
+  struct counter_handle {
+    std::uint32_t idx = 0;
+  };
+
+  /// Dense cumulative counter bumped through bump() — the O(1) hot-path
+  /// style. The name is looked at only here and in snapshots.
+  counter_handle register_counter(const std::string& name);
+
+  /// Hot-path increment: a single indexed add, no hashing, no allocation.
+  void bump(counter_handle h, std::uint64_t delta = 1) {
+    counters_[h.idx] += delta;
+  }
+
+  std::uint64_t value(counter_handle h) const { return counters_[h.idx]; }
+
   /// Registry-owned cumulative counter; bump through the returned pointer.
   /// Stable for the registry's lifetime (counters are heap-allocated).
   std::uint64_t* counter(const std::string& name);
@@ -55,15 +76,19 @@ class metric_registry {
   std::size_t size() const { return entries_.size(); }
 
  private:
+  static constexpr std::uint32_t no_handle = 0xffffffffu;
+
   struct entry {
     std::function<double()> read;                 // scalar metric
     std::unique_ptr<std::uint64_t> owned;         // backing for owned counters
     const log_histogram* hist = nullptr;          // or histogram source
+    std::uint32_t handle_idx = no_handle;         // or dense-counter slot
   };
 
   void add(const std::string& name, entry e);
 
   std::map<std::string, entry> entries_;
+  std::vector<std::uint64_t> counters_;  ///< dense handle-counter cells
 };
 
 }  // namespace manet

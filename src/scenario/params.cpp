@@ -93,11 +93,13 @@ scenario_params scenario_params::from_config(const config& cfg) {
   p.popularity = cfg.get_string("popularity", p.popularity);
   p.single_item_mode = cfg.get_bool("single_item_mode", p.single_item_mode);
   p.trace_file = cfg.get_string("trace_file", p.trace_file);
+  p.trace_format = cfg.get_string("trace_format", p.trace_format);
   p.trace_position_interval =
       cfg.get_double("trace_position_interval", p.trace_position_interval);
   p.series_file = cfg.get_string("series_file", p.series_file);
   p.series_interval = cfg.get_double("series_interval", p.series_interval);
   p.profile = cfg.get_bool("profile", p.profile);
+  p.profile_out = cfg.get_string("profile_out", p.profile_out);
   p.fault = cfg.get_string("fault", p.fault);
   p.invariants = cfg.get_bool("invariants", p.invariants);
   p.invariant_interval = cfg.get_double("invariant_interval", p.invariant_interval);
@@ -163,9 +165,11 @@ void scenario_params::to_config(config& cfg) const {
   cfg.set("popularity", popularity);
   cfg.set("single_item_mode", single_item_mode);
   if (!trace_file.empty()) cfg.set("trace_file", trace_file);
+  cfg.set("trace_format", trace_format);
   if (!series_file.empty()) cfg.set("series_file", series_file);
   cfg.set("series_interval", series_interval);
   if (profile) cfg.set("profile", profile);
+  if (!profile_out.empty()) cfg.set("profile_out", profile_out);
   if (!fault.empty()) cfg.set("fault", fault);
   cfg.set("invariants", invariants);
   cfg.set("invariant_interval", invariant_interval);
@@ -258,6 +262,11 @@ void scenario_params::validate() const {
   }
   if (switch_probability < 0 || switch_probability > 1) {
     reject("switch_probability must be in [0, 1]");
+  }
+  if (!one_of(trace_format, {"jsonl", "binary"})) {
+    reject("unknown trace_format '" + trace_format +
+           "' (expected jsonl|binary; binary captures convert back with "
+           "tools/trace2json)");
   }
   if (!one_of(placement, {"static", "dynamic"})) {
     reject("unknown placement '" + placement + "' (expected static|dynamic)");

@@ -114,8 +114,11 @@ struct scenario_params {
   // Fig 9 setup: one random source host whose item every other peer caches.
   bool single_item_mode = false;
 
-  // Optional JSONL event trace (see metrics/trace_writer.hpp); empty = off.
+  // Optional event trace (see metrics/trace_writer.hpp); empty = off.
   std::string trace_file;
+  // On-disk trace backend: "jsonl" (ergonomic, jq-able) or "binary"
+  // (fixed-record flight recorder, convert with tools/trace2json).
+  std::string trace_format = "jsonl";
   sim_duration trace_position_interval = 30.0;  ///< position sampling period
 
   // Optional JSONL time-series file (see obs/sampler.hpp); empty = off.
@@ -124,6 +127,9 @@ struct scenario_params {
   // Host-side wall-clock profiling of event dispatch / neighbor queries /
   // protocol handlers (obs/prof.hpp). Never affects sim results.
   bool profile = false;
+  // Chrome-trace/Perfetto JSON export of the profile tree, written at the
+  // end of run(); non-empty implies profiling even when profile=false.
+  std::string profile_out;
 
   // Fault plan (see fault/fault_plan.hpp for the grammar), e.g.
   // "partition@600..900;crash:g0-g4@1200..1500;burst_loss:0.4@2000..2400".

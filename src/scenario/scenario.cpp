@@ -114,8 +114,13 @@ void scenario::build() {
   // exact same event sequence. Span emission is gated on the sink below.
   tracer_ = std::make_unique<causal_tracer>();
   net_->set_tracer(tracer_.get());
-  if (params_.profile) {
+  if (params_.profile || !params_.profile_out.empty()) {
     prof_ = std::make_unique<profiler>();
+    // Per-kind protocol_handler children print with the traffic meter's
+    // registered kind names in report() and the Perfetto export.
+    prof_->set_key_namer([this](std::uint32_t key) {
+      return net_->meter().kind_name(static_cast<packet_kind>(key));
+    });
     sim_->set_profiler(prof_.get());
     net_->set_profiler(prof_.get());
   }
@@ -235,7 +240,10 @@ void scenario::build() {
   }
 
   if (!params_.trace_file.empty()) {
-    trace_ = std::make_unique<trace_writer>(params_.trace_file);
+    trace_ = std::make_unique<trace_writer>(
+        params_.trace_file, params_.trace_format == "binary"
+                                ? trace_writer::format::binary
+                                : trace_writer::format::jsonl);
     spans_ = std::make_unique<span_recorder>(*sim_, net_->meter(), *trace_);
     tracer_->set_sink(spans_.get());
     for (int i = 0; i < params_.n_peers; ++i) {
@@ -247,6 +255,8 @@ void scenario::build() {
   }
 
   net_->set_dispatcher([this](node_id self, node_id from, const packet& p) {
+    // O(1) handle bump: no string hashing on the per-frame path.
+    metrics_.bump(dispatched_frames_);
     // Any packet originated while handling this frame inherits its causal
     // chain (flood relays, RREPs, poll answers, refresh fetches, ...).
     causal_tracer::scope trace_scope(tracer_.get(), p.trace_id);
@@ -255,7 +265,7 @@ void scenario::build() {
       router_->on_frame(self, from, p);
       return;
     }
-    prof_scope ps(prof_.get(), profiler::section::protocol_handler);
+    prof_scope ps(prof_.get(), profiler::section::protocol_handler, p.kind);
     if (p.dst == broadcast_node) {
       // Every heard flood frame doubles as a route advertisement for its
       // origin (DSR-style overhearing).
@@ -280,12 +290,15 @@ void scenario::build() {
 
   // Flight-recorder metric registry: substrate namespaces here, the
   // protocol's own (rpcc.* / push.* / pull.* / hybrid.*) below.
+  dispatched_frames_ = metrics_.register_counter("net.dispatched_frames");
   metrics_.counter("net.tx_frames",
                    [this] { return net_->meter().total_tx_frames(); });
   metrics_.counter("net.app_tx_frames",
                    [this] { return net_->meter().app_tx_frames(); });
   metrics_.counter("net.tx_bytes",
                    [this] { return net_->meter().total_tx_bytes(); });
+  metrics_.counter("net.rx_frames",
+                   [this] { return net_->meter().total_rx_frames(); });
   metrics_.counter("net.drops", [this] { return net_->meter().total_drops(); });
   metrics_.counter("route.tx_frames",
                    [this] { return net_->meter().routing_tx_frames(); });
@@ -311,6 +324,16 @@ void scenario::build() {
                    [this] { return sim_->queue().compactions(); });
   metrics_.gauge("sim.queue_raw_size", [this] {
     return static_cast<double>(sim_->queue().raw_size());
+  });
+  // Flight-recorder health: how many events the trace captured and — the
+  // zero-loss contract scenario-matrix [check] rules assert — how many were
+  // lost to write errors. Registered even when tracing is off so the
+  // metrics namespace (and matrix checks) are mode-independent.
+  metrics_.counter("obs.trace_events", [this] {
+    return trace_ ? trace_->events_written() : 0;
+  });
+  metrics_.counter("obs.trace_dropped", [this] {
+    return trace_ ? trace_->events_dropped() : 0;
   });
   protocol_->register_metrics(metrics_);
 
@@ -345,6 +368,14 @@ void scenario::build() {
     sampler_->add_gauge("queue_depth", [this] {
       return static_cast<double>(sim_->queue().raw_size());
     });
+    // Event-kernel health series: raw heap size (live + cancelled) and
+    // per-window compaction count make a cancelled-entry backlog visible
+    // over time, not just in the end-of-run snapshot.
+    sampler_->add_gauge("queue_raw_size", [this] {
+      return static_cast<double>(sim_->queue().raw_size());
+    });
+    sampler_->add_delta("queue_compactions",
+                        [this] { return sim_->queue().compactions(); });
   }
 
   // Reconnect notification: protocols may clear transient per-node state
@@ -588,6 +619,14 @@ run_result scenario::run() {
       logf(log_level::warn, "scenario: failed to write series file %s",
            params_.series_file.c_str());
     }
+  }
+  // Settle binary-trace block accounting before the metrics snapshot reads
+  // obs.trace_events / obs.trace_dropped.
+  if (trace_) trace_->flush();
+  if (prof_ && !params_.profile_out.empty() &&
+      !prof_->write_chrome_trace(params_.profile_out)) {
+    logf(log_level::warn, "scenario: failed to write profile %s",
+         params_.profile_out.c_str());
   }
   return summarize();
 }

@@ -71,7 +71,8 @@ class scenario {
   /// The single source host in single_item_mode (invalid_node otherwise).
   node_id single_source() const { return single_source_; }
 
-  /// The JSONL trace, when params.trace_file is set (nullptr otherwise).
+  /// The event trace (params.trace_format backend), when params.trace_file
+  /// is set (nullptr otherwise).
   trace_writer* trace() { return trace_.get(); }
 
   /// Causal tracer. Always constructed — trace-id stamping is unconditional
@@ -85,7 +86,8 @@ class scenario {
   /// Time-series sampler, when params.series_file is set (nullptr otherwise).
   time_series_sampler* sampler() { return sampler_.get(); }
 
-  /// Host-side wall-clock profiler, when params.profile is set.
+  /// Host-side wall-clock profiler, when params.profile or
+  /// params.profile_out is set.
   profiler* profile() { return prof_.get(); }
 
   /// Fault layer (nullptr when params.fault is empty / invariants are off).
@@ -135,6 +137,8 @@ class scenario {
   std::unique_ptr<causal_tracer> tracer_;
   std::unique_ptr<span_recorder> spans_;  ///< binds tracer -> trace_writer
   metric_registry metrics_;
+  /// Dense handle for the per-frame dispatch counter (O(1) hot-path bump).
+  metric_registry::counter_handle dispatched_frames_{};
   std::unique_ptr<time_series_sampler> sampler_;
   std::unique_ptr<periodic_timer> sampler_timer_;  ///< drives sampler_->tick()
   std::unique_ptr<profiler> prof_;

@@ -2,9 +2,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <stdexcept>
+#include <vector>
 
 #include "metrics/collector.hpp"
 #include "util/config.hpp"
@@ -131,6 +134,50 @@ TEST(LogHistogram, QuantileApproximation) {
   const double p99 = h.quantile(0.99);
   EXPECT_GT(p99, 80.0);
   EXPECT_LE(p99, 110.0);
+}
+
+// Property: for any in-range sample set, the interpolated quantile must
+// land within one bucket's relative error of the exact (sorted) quantile —
+// both live in the same log bucket, whose bounds are a factor of
+// (hi/lo)^(1/buckets) apart. Exercised over several distribution shapes.
+TEST(LogHistogram, QuantileWithinOneBucketOfExact) {
+  const double lo = 0.001, hi = 1000.0;
+  const std::size_t buckets = 60;
+  const double bucket_ratio = std::pow(hi / lo, 1.0 / buckets);
+  std::mt19937 rng(12345);
+  for (int dist = 0; dist < 3; ++dist) {
+    log_histogram h(lo, hi, buckets);
+    std::vector<double> samples;
+    for (int i = 0; i < 5000; ++i) {
+      double x = 0;
+      switch (dist) {
+        case 0:
+          x = std::uniform_real_distribution<>(0.01, 500.0)(rng);
+          break;
+        case 1:
+          x = std::exponential_distribution<>(0.2)(rng) + 0.01;
+          break;
+        default:
+          x = std::lognormal_distribution<>(1.0, 1.5)(rng);
+          break;
+      }
+      // Keep every sample strictly in range so the exact quantile is
+      // comparable (under/overflow buckets have no interpolation support).
+      x = std::min(std::max(x, lo * 1.01), hi * 0.99);
+      h.add(x);
+      samples.push_back(x);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double q : {0.5, 0.9, 0.99}) {
+      const double exact =
+          samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+      const double est = h.quantile(q);
+      EXPECT_GE(est, exact / bucket_ratio)
+          << "dist=" << dist << " q=" << q << " exact=" << exact;
+      EXPECT_LE(est, exact * bucket_ratio)
+          << "dist=" << dist << " q=" << q << " exact=" << exact;
+    }
+  }
 }
 
 TEST(LogHistogram, RenderMentionsCounts) {

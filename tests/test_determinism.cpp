@@ -106,5 +106,21 @@ TEST(Determinism, TelemetryDoesNotPerturbDigest) {
   std::remove(p.series_file.c_str());
 }
 
+// The binary trace backend and the hierarchical profiler must be equally
+// pure observers — same golden digest with the full observability stack on.
+TEST(Determinism, BinaryTraceAndProfilerDoNotPerturbDigest) {
+  scenario_params p = small_fig7_params();
+  p.trace_file = ::testing::TempDir() + "/manet_det_trace.bin";
+  p.trace_format = "binary";
+  p.profile_out = ::testing::TempDir() + "/manet_det_prof.json";
+  const protocol_variant v{"rpcc", "rpcc", level_mix::strong_only()};
+  const std::uint64_t traced = digest(run_variant(p, v));
+  EXPECT_EQ(traced, kGoldenRpccDigest)
+      << "binary tracing/profiling perturbed the run: digest 0x" << std::hex
+      << traced << " != pinned golden 0x" << kGoldenRpccDigest;
+  std::remove(p.trace_file.c_str());
+  std::remove(p.profile_out.c_str());
+}
+
 }  // namespace
 }  // namespace manet

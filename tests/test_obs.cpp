@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -76,6 +77,60 @@ TEST(MetricRegistry, ToJsonIsSortedAndStable) {
   ASSERT_NE(b, std::string::npos);
   EXPECT_LT(a, b);
   EXPECT_EQ(json.front(), '{');
+}
+
+// --- metric handles --------------------------------------------------------
+
+TEST(MetricRegistry, HandleCountersBumpAndSnapshotSorted) {
+  metric_registry reg;
+  const metric_registry::counter_handle frames =
+      reg.register_counter("net.dispatched_frames");
+  const metric_registry::counter_handle drops =
+      reg.register_counter("obs.trace_dropped");
+  reg.gauge("cache.copies", [] { return 3.5; });
+  reg.bump(frames);
+  reg.bump(frames, 41);
+  reg.bump(drops, 2);
+  EXPECT_EQ(reg.value(frames), 42u);
+  EXPECT_EQ(reg.value(drops), 2u);
+
+  // Handle counters obey the same sorted-snapshot contract as the rest.
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].first, "cache.copies");
+  EXPECT_EQ(snap[1].first, "net.dispatched_frames");
+  EXPECT_EQ(snap[1].second, 42.0);
+  EXPECT_EQ(snap[2].first, "obs.trace_dropped");
+  EXPECT_EQ(snap[2].second, 2.0);
+}
+
+TEST(MetricRegistry, HandleRegistrationCollidesWithOtherStyles) {
+  metric_registry reg;
+  reg.register_counter("net.dispatched_frames");
+  EXPECT_THROW(reg.register_counter("net.dispatched_frames"),
+               std::runtime_error);
+  EXPECT_THROW(reg.counter("net.dispatched_frames"), std::runtime_error);
+  reg.counter("net.tx_frames");
+  EXPECT_THROW(reg.register_counter("net.tx_frames"), std::runtime_error);
+}
+
+TEST(MetricRegistry, HandlesStayValidAcrossManyRegistrations) {
+  // Handles are dense indices, not pointers: growth of the backing store
+  // must never invalidate an earlier handle.
+  metric_registry reg;
+  const metric_registry::counter_handle first = reg.register_counter("m.000");
+  reg.bump(first);
+  std::vector<metric_registry::counter_handle> handles;
+  for (int i = 1; i < 200; ++i) {
+    char name[16];
+    std::snprintf(name, sizeof name, "m.%03d", i);
+    handles.push_back(reg.register_counter(name));
+  }
+  reg.bump(first, 9);
+  reg.bump(handles.back(), 5);
+  EXPECT_EQ(reg.value(first), 10u);
+  EXPECT_EQ(reg.value(handles.back()), 5u);
+  EXPECT_EQ(reg.snapshot().front().second, 10.0);
 }
 
 // --- time-series sampler ---------------------------------------------------
@@ -224,6 +279,73 @@ TEST(Profiler, ClockIsMonotonic) {
   EXPECT_LE(a, b);
 }
 
+TEST(Profiler, NestedScopesBuildTreeAndAggregateAcrossKeys) {
+  profiler prof;
+  // Two dispatches; inside each, keyed handler frames — the shape the
+  // scenario produces (dispatch → protocol_handler[kind]).
+  for (int pass = 0; pass < 2; ++pass) {
+    const std::size_t d = prof.enter(profiler::section::event_dispatch);
+    const std::size_t h1 = prof.enter(profiler::section::protocol_handler,
+                                      /*key=*/100);
+    prof.leave(h1, 300);
+    const std::size_t h2 = prof.enter(profiler::section::protocol_handler,
+                                      /*key=*/101);
+    prof.leave(h2, 200);
+    prof.leave(d, 1000);
+  }
+  // Flat per-section aggregates sum over every tree frame of that section.
+  EXPECT_EQ(prof.calls(profiler::section::event_dispatch), 2u);
+  EXPECT_EQ(prof.calls(profiler::section::protocol_handler), 4u);
+  EXPECT_EQ(prof.total_ns(profiler::section::protocol_handler), 1000u);
+
+  prof.set_key_namer([](std::uint32_t key) {
+    return key == 100 ? std::string("POLL") : std::string();
+  });
+  const std::string report = prof.report();
+  // Children render indented under their parent, keyed frames carry the
+  // namer's label (or the key_<id> fallback for unnamed keys).
+  EXPECT_NE(report.find("protocol_handler[POLL]"), std::string::npos);
+  EXPECT_NE(report.find("protocol_handler[key_101]"), std::string::npos);
+  EXPECT_LT(report.find("event_dispatch"),
+            report.find("protocol_handler[POLL]"));
+}
+
+TEST(Profiler, StacklessAddStaysAtRootAndMaxTracked) {
+  profiler prof;
+  const std::size_t d = prof.enter(profiler::section::event_dispatch);
+  prof.add(profiler::section::neighbor_query, 500);  // root, not under d
+  prof.leave(d, 100);
+  prof.add(profiler::section::neighbor_query, 900);
+  EXPECT_EQ(prof.calls(profiler::section::neighbor_query), 2u);
+  EXPECT_EQ(prof.total_ns(profiler::section::neighbor_query), 1400u);
+  const std::string report = prof.report();
+  // neighbor_query at root → not indented under event_dispatch.
+  EXPECT_NE(report.find("\n  neighbor_query"), std::string::npos);
+}
+
+TEST(Profiler, WritesChromeTraceWithNestedEvents) {
+  const std::string path = ::testing::TempDir() + "/manet_prof.json";
+  profiler prof;
+  const std::size_t d = prof.enter(profiler::section::event_dispatch);
+  const std::size_t h = prof.enter(profiler::section::protocol_handler, 100);
+  prof.leave(h, 400);
+  prof.leave(d, 1000);
+  prof.set_key_namer([](std::uint32_t) { return std::string("POLL"); });
+  ASSERT_TRUE(prof.write_chrome_trace(path));
+  std::ifstream in(path);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"event_dispatch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"protocol_handler[POLL]\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"calls\":1"), std::string::npos);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(prof.write_chrome_trace("/nonexistent_dir/prof.json"));
+}
+
 // --- scenario wiring -------------------------------------------------------
 
 TEST(ObsScenario, RunResultCarriesMetricSnapshot) {
@@ -291,10 +413,71 @@ TEST(ObsScenario, SeriesFileWrittenWithRegisteredColumns) {
   ASSERT_EQ(lines.size(), 6u);
   for (const char* col :
        {"relay_peers", "hit_ratio", "stale_rate", "pending_polls",
-        "queue_depth"}) {
+        "queue_depth", "queue_raw_size", "queue_compactions"}) {
     EXPECT_NE(lines[0].find(col), std::string::npos) << col;
   }
   std::remove(path.c_str());
+}
+
+TEST(ObsScenario, TraceCountersExposedAsMetrics) {
+  const std::string path = ::testing::TempDir() + "/manet_obs_metrics.bin";
+  scenario_params p;
+  p.n_peers = 10;
+  p.sim_time = 60.0;
+  p.seed = 5;
+  auto value_of = [](const run_result& r,
+                     const std::string& name) -> const double* {
+    for (const auto& [n, v] : r.metrics) {
+      if (n == name) return &v;
+    }
+    return nullptr;
+  };
+  {
+    // Tracing off: the counters still exist (matrix [check] expressions on
+    // obs.trace_dropped must resolve on every cell) and read zero.
+    scenario sc(p, "rpcc");
+    const run_result r = sc.run();
+    const double* events = value_of(r, "obs.trace_events");
+    const double* dropped = value_of(r, "obs.trace_dropped");
+    ASSERT_NE(events, nullptr);
+    ASSERT_NE(dropped, nullptr);
+    EXPECT_EQ(*events, 0.0);
+    EXPECT_EQ(*dropped, 0.0);
+  }
+  {
+    p.trace_file = path;
+    p.trace_format = "binary";
+    scenario sc(p, "rpcc");
+    const run_result r = sc.run();
+    const double* events = value_of(r, "obs.trace_events");
+    const double* dropped = value_of(r, "obs.trace_dropped");
+    ASSERT_NE(events, nullptr);
+    ASSERT_NE(dropped, nullptr);
+    EXPECT_GT(*events, 0.0);
+    EXPECT_EQ(*dropped, 0.0);
+    EXPECT_EQ(*events, static_cast<double>(sc.trace()->events_written()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ObsScenario, DispatchedFramesMetricCountsDeliveries) {
+  scenario_params p;
+  p.n_peers = 10;
+  p.sim_time = 60.0;
+  p.seed = 5;
+  scenario sc(p, "rpcc");
+  const run_result r = sc.run();
+  const double* dispatched = nullptr;
+  const double* rx = nullptr;
+  for (const auto& [n, v] : r.metrics) {
+    if (n == "net.dispatched_frames") dispatched = &v;
+    if (n == "net.rx_frames") rx = &v;
+  }
+  ASSERT_NE(dispatched, nullptr);
+  ASSERT_NE(rx, nullptr);
+  EXPECT_GT(*dispatched, 0.0);
+  // Every dispatched frame was metered as received by some node.
+  EXPECT_EQ(*dispatched, *rx);
 }
 
 TEST(ObsScenario, ProfileFlagProducesReport) {
@@ -308,6 +491,28 @@ TEST(ObsScenario, ProfileFlagProducesReport) {
   ASSERT_NE(sc.profile(), nullptr);
   EXPECT_GT(sc.profile()->calls(profiler::section::event_dispatch), 0u);
   EXPECT_NE(sc.extra_report().find("event_dispatch"), std::string::npos);
+}
+
+TEST(ObsScenario, ProfileOutWritesKeyedChromeTrace) {
+  const std::string path = ::testing::TempDir() + "/manet_profile_out.json";
+  scenario_params p;
+  p.n_peers = 10;
+  p.sim_time = 60.0;
+  p.seed = 5;
+  p.profile_out = path;  // enables the profiler even without profile=true
+  scenario sc(p, "rpcc");
+  sc.run();
+  ASSERT_NE(sc.profile(), nullptr);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("event_dispatch"), std::string::npos);
+  // Handler frames are keyed by packet kind and named through the traffic
+  // meter, so the export shows protocol packet names, not raw ids.
+  EXPECT_NE(json.find("protocol_handler[POLL]"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 // --- sweep output suffixing ------------------------------------------------

@@ -253,6 +253,71 @@ TEST(TracestatSeries, RendersSamplerJsonl) {
   std::remove(path.c_str());
 }
 
+TEST(TracestatSeries, RendersEventKernelColumnsFromScenario) {
+  const std::string path = ::testing::TempDir() + "/tracestat_kernel.jsonl";
+  scenario_params p;
+  p.n_peers = 10;
+  p.sim_time = 60.0;
+  p.seed = 5;
+  p.series_file = path;
+  p.series_interval = 10.0;
+  scenario sc(p, "rpcc");
+  sc.run();
+  const std::string table = tracestat::render_series(path);
+  EXPECT_NE(table.find("queue_raw_size"), std::string::npos);
+  EXPECT_NE(table.find("queue_compactions"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- binary trace loading ---------------------------------------------------
+
+// tracestat must analyze a binary capture exactly as it analyzes the JSONL
+// capture of the same seed: identical event counts, TTC and latency
+// percentiles, and an equally clean causal check.
+TEST(TracestatBinary, LoadsBinaryWithIdenticalAnalysis) {
+  const std::string jsonl_path = ::testing::TempDir() + "/tracestat_eq.jsonl";
+  const std::string bin_path = ::testing::TempDir() + "/tracestat_eq.bin";
+  scenario_params p;
+  p.n_peers = 12;
+  p.area_width = p.area_height = 800;
+  p.sim_time = 150.0;
+  p.seed = 23;
+  {
+    p.trace_file = jsonl_path;
+    p.trace_format = "jsonl";
+    scenario sc(p, "rpcc");
+    sc.run();
+  }
+  {
+    p.trace_file = bin_path;
+    p.trace_format = "binary";
+    scenario sc(p, "rpcc");
+    sc.run();
+  }
+  const trace_file tj = tracestat::load(jsonl_path);
+  const trace_file tb = tracestat::load(bin_path);
+  EXPECT_EQ(tb.malformed_lines, 0u);
+  ASSERT_EQ(tb.events.size(), tj.events.size());
+  EXPECT_TRUE(check(tb).empty());
+
+  const analysis aj = analyze(tj);
+  const analysis ab = analyze(tb);
+  EXPECT_EQ(ab.event_counts, aj.event_counts);
+  ASSERT_EQ(ab.updates.size(), aj.updates.size());
+  ASSERT_EQ(ab.queries.size(), aj.queries.size());
+  const auto ttc_j = aj.ttc_sample();
+  const auto ttc_b = ab.ttc_sample();
+  ASSERT_EQ(ttc_b.size(), ttc_j.size());
+  for (double q : {0.5, 0.9, 0.99}) {
+    EXPECT_DOUBLE_EQ(quantile(ttc_b, q), quantile(ttc_j, q)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(quantile(ab.latency_sample(), q),
+                     quantile(aj.latency_sample(), q))
+        << "q=" << q;
+  }
+  std::remove(jsonl_path.c_str());
+  std::remove(bin_path.c_str());
+}
+
 // --- end to end: a real traced run is causally clean -----------------------
 
 TEST(TracestatEndToEnd, TracedScenarioPassesCheckAndAnalyzes) {

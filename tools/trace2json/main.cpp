@@ -1,0 +1,96 @@
+// trace2json: converts a binary flight-recorder capture (metrics/
+// trace_format.hpp) back to the JSONL trace format. Usage:
+//   trace2json TRACE.bin [OUT.jsonl]
+//
+// With no output path, lines stream to stdout so jq/pandas pipelines work
+// directly: `trace2json run.bin | jq 'select(.ev=="rx")'`.
+//
+// The output is byte-for-byte the JSONL capture the same run would have
+// produced with trace_format=jsonl (both paths share the renderer in
+// metrics/trace_format.cpp), so converted captures drop into every existing
+// JSONL workflow, tracestat included. A truncated tail (crash-interrupted
+// capture) converts every complete record and warns on stderr.
+#include <cstdio>
+#include <exception>
+#include <string>
+
+#include "metrics/trace_format.hpp"
+
+int main(int argc, char** argv) {
+  std::string in_path;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h" || arg.rfind("--", 0) == 0) {
+      std::printf("usage: trace2json TRACE.bin [OUT.jsonl]\n");
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    } else if (in_path.empty()) {
+      in_path = arg;
+    } else if (out_path.empty()) {
+      out_path = arg;
+    } else {
+      std::fprintf(stderr, "trace2json: unexpected argument '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+  if (in_path.empty()) {
+    std::fprintf(stderr, "trace2json: no input trace given\n");
+    return 2;
+  }
+
+  try {
+    std::FILE* out = stdout;
+    if (!out_path.empty()) {
+      out = std::fopen(out_path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "trace2json: cannot open '%s'\n",
+                     out_path.c_str());
+        return 2;
+      }
+    }
+    manet::binary_trace_stats stats;
+    std::string error;
+    bool write_failed = false;
+    const bool ok = manet::read_binary_trace(
+        in_path,
+        [out, &write_failed](const char* line, std::size_t len) {
+          if (len == 0) return;  // unknown record type: skip, keep converting
+          if (std::fwrite(line, 1, len, out) != len ||
+              std::fputc('\n', out) == EOF) {
+            write_failed = true;
+          }
+        },
+        &stats, &error);
+    if (out != stdout) {
+      if (std::fclose(out) != 0) write_failed = true;
+    } else if (std::fflush(out) != 0) {
+      write_failed = true;
+    }
+    if (!ok) {
+      std::fprintf(stderr, "trace2json: %s\n", error.c_str());
+      return 2;
+    }
+    if (write_failed) {
+      std::fprintf(stderr, "trace2json: short write on output\n");
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "trace2json: %llu events (%llu kind-name meta records)\n",
+                 static_cast<unsigned long long>(stats.records),
+                 static_cast<unsigned long long>(stats.meta_records));
+    if (stats.truncated_tail) {
+      std::fprintf(stderr,
+                   "trace2json: warning: truncated tail — the capture ended "
+                   "mid-record; complete records were converted\n");
+      return 1;
+    }
+    return 0;
+    // Top-level CLI handler: reports on stderr and exits nonzero, so a
+    // conversion failure still fails the pipeline — nothing is swallowed.
+    // NOLINTNEXTLINE-DET(DET009: top-level CLI handler reports and exits nonzero)
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "trace2json: %s\n", e.what());
+    return 2;
+  }
+}

@@ -10,6 +10,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "metrics/trace_format.hpp"
+
 namespace manet::tracestat {
 
 namespace {
@@ -95,9 +97,31 @@ bool parse_line(const std::string& line, trace_event& out) {
 }
 
 trace_file load(const std::string& path) {
+  trace_file tf;
+  if (is_binary_trace(path)) {
+    // Binary flight-recorder capture: stream each record through the shared
+    // JSONL renderer and the same line parser, so every downstream analysis
+    // (TTC percentiles, propagation trees) sees byte-identical input to a
+    // JSONL capture of the same seed.
+    binary_trace_stats stats;
+    std::string error;
+    const bool ok = read_binary_trace(
+        path,
+        [&tf](const char* line, std::size_t len) {
+          trace_event ev;
+          if (len > 0 && parse_line(std::string(line, len), ev)) {
+            tf.events.push_back(std::move(ev));
+          } else {
+            ++tf.malformed_lines;
+          }
+        },
+        &stats, &error);
+    if (!ok) throw std::runtime_error("tracestat: " + error);
+    if (stats.truncated_tail) ++tf.malformed_lines;
+    return tf;
+  }
   std::ifstream in(path);
   if (!in) throw std::runtime_error("tracestat: cannot open '" + path + "'");
-  trace_file tf;
   std::string line;
   while (std::getline(in, line)) {
     if (line.empty()) continue;

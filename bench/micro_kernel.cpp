@@ -125,8 +125,9 @@ void BM_PayloadCast(benchmark::State& state) {
   // The receive-dispatch fast path: one id compare + static_cast per
   // payload_cast. Measures a hit and a miss per iteration, the two shapes
   // every protocol handler's kind switch produces.
+  packet_pool pool;
   packet p;
-  p.payload = std::make_shared<bench_payload_a>();
+  p.payload = pool.make<bench_payload_a>();
   for (auto _ : state) {
     benchmark::DoNotOptimize(payload_cast<bench_payload_a>(p));  // hit
     benchmark::DoNotOptimize(payload_cast<bench_payload_b>(p));  // miss

@@ -1,10 +1,17 @@
 // google-benchmark microbenchmarks for protocol hot paths: full small
-// scenario runs per protocol (events/second of simulated workload) and the
-// mobility model.
+// scenario runs per protocol (events/second of simulated workload), the
+// mobility model, and the per-packet kind-dispatch structure used by
+// flooding/routing (flat array indexed by kind vs the hash map it replaced).
 #include <benchmark/benchmark.h>
 
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
 #include "mobility/random_waypoint.hpp"
+#include "net/packet.hpp"
 #include "scenario/scenario.hpp"
+#include "util/rng.hpp"
 
 namespace {
 
@@ -52,6 +59,65 @@ void BM_ScenarioRpccHybrid(benchmark::State& state) {
   run_protocol(state, "rpcc", level_mix::hybrid());
 }
 BENCHMARK(BM_ScenarioRpccHybrid)->Unit(benchmark::kMillisecond);
+
+// --- kind dispatch: flat array vs unordered_map -----------------------------
+// flooding/routing look up a handler on every received packet. packet_kind
+// is a small dense uint16 (routing kinds 1–3, app kinds from 100), so the
+// production structure is a vector indexed by kind; this pair of benches
+// documents what that buys over the std::unordered_map it replaced.
+
+using dispatch_fn = std::function<std::uint64_t(packet_kind)>;
+
+// A realistic registered-kind set: 3 routing kinds + 8 app kinds.
+const std::vector<packet_kind> dispatch_kinds = {1,   2,   3,   100, 101, 102,
+                                                 103, 104, 105, 106, 107};
+
+std::vector<packet_kind> dispatch_sequence() {
+  std::vector<packet_kind> seq(4096);
+  rng r(42);
+  for (packet_kind& k : seq) {
+    k = dispatch_kinds[r.uniform_int(dispatch_kinds.size())];
+  }
+  return seq;
+}
+
+void BM_KindDispatchFlatArray(benchmark::State& state) {
+  std::vector<dispatch_fn> table;
+  for (packet_kind k : dispatch_kinds) {
+    if (table.size() <= k) table.resize(k + 1);
+    table[k] = [](packet_kind kind) { return std::uint64_t{1} + kind; };
+  }
+  const std::vector<packet_kind> seq = dispatch_sequence();
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (packet_kind k : seq) {
+      if (k < table.size() && table[k]) acc += table[k](k);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seq.size()));
+}
+BENCHMARK(BM_KindDispatchFlatArray);
+
+void BM_KindDispatchHashMap(benchmark::State& state) {
+  std::unordered_map<packet_kind, dispatch_fn> table;
+  for (packet_kind k : dispatch_kinds) {
+    table[k] = [](packet_kind kind) { return std::uint64_t{1} + kind; };
+  }
+  const std::vector<packet_kind> seq = dispatch_sequence();
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    for (packet_kind k : seq) {
+      const auto it = table.find(k);
+      if (it != table.end()) acc += it->second(k);
+    }
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(seq.size()));
+}
+BENCHMARK(BM_KindDispatchHashMap);
 
 void BM_RandomWaypointAdvance(benchmark::State& state) {
   terrain land(1500, 1500);

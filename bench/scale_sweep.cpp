@@ -1,0 +1,317 @@
+// Swarm-scaling bench: events/sec, peak RSS, and messages-per-node at
+// n ∈ {2k, 10k, 50k, 100k} under constant node density, for rpcc plain and
+// chaos-hardened. This is the acceptance harness for the n≥100k work
+// (packet pool, SoA node records, incremental grid, flood batching): memory
+// must stay linear in n and throughput must not fall off a cliff.
+//
+// Usage:
+//   scale_sweep [--n=2000,10000,50000,100000] [--sim-time=S[,S2,...]]
+//               [--variants=plain,hardened] [--out=results/BENCH_scale.json]
+//               [--max-rss-ratio=F] [key=value ...]
+//
+// Each cell runs in a forked child so peak RSS is attributed per cell: the
+// child reads a getrusage baseline right after fork, builds and runs the
+// scenario, and reports (events, wall, peak-RSS delta, frame counters,
+// digest) over a pipe. --sim-time takes one value per n (last repeats) —
+// big swarms reach bench-quality event counts in far less sim time.
+// --max-rss-ratio turns the bench into a CI gate: exit 1 when any cell's
+// peak RSS *per node* exceeds F times the smallest-n cell of the same
+// variant (memory growing super-linearly in n).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "obs/host_mem.hpp"
+#include "scenario/scenario.hpp"
+#include "util/config.hpp"
+
+namespace {
+
+std::vector<double> parse_list(const std::string& list) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos < list.size()) {
+    const std::size_t comma = list.find(',', pos);
+    out.push_back(std::stod(list.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct cell_result {
+  int n = 0;
+  double sim_time = 0;
+  std::string variant;
+  std::uint64_t events = 0;
+  double wall_s = 0;
+  double events_per_sec = 0;
+  std::uint64_t peak_rss = 0;        // bytes, child delta over post-fork base
+  double rss_per_node = 0;           // bytes / n
+  double rss_ratio_vs_smallest = 0;  // rss_per_node / same-variant smallest n
+  double tx_per_node = 0;
+  double rx_per_node = 0;
+  std::uint64_t pool_high_water = 0;
+  std::uint64_t digest = 0;
+  bool ok = false;
+};
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+manet::scenario_params cell_params(int n, double sim_time, bool hardened,
+                                   const manet::config& overrides) {
+  manet::scenario_params p = manet::scenario_params::from_config(overrides);
+  p.n_peers = n;
+  // Keep the paper's fig-7 node density as the swarm grows.
+  const double side = 1500.0 * std::sqrt(static_cast<double>(n) / 50.0);
+  p.area_width = side;
+  p.area_height = side;
+  p.sim_time = sim_time;
+  p.warmup = 0;
+  p.hardened = hardened;
+  // The invariant checker's periodic whole-network sweeps are O(n) each and
+  // would dominate the wall clock; this bench measures the simulation core.
+  p.invariants = false;
+  return p;
+}
+
+// Runs one cell in-process and writes the measurement record to `fd`.
+// Called only in the forked child; must not return to the caller's stack
+// frames with the scenario still alive, hence the _exit.
+[[noreturn]] void run_cell_child(int fd, int n, double sim_time, bool hardened,
+                                 const manet::config& overrides) {
+  const std::size_t rss_base = manet::peak_rss_bytes();
+  manet::scenario_params p = cell_params(n, sim_time, hardened, overrides);
+  manet::scenario sc(p, "rpcc");
+  const double t0 = now_s();
+  const manet::run_result r = sc.run();
+  const double wall = now_s() - t0;
+  const std::size_t rss_now = manet::peak_rss_bytes();
+  const std::size_t rss = rss_now > rss_base ? rss_now - rss_base : 0;
+  double tx = 0, rx = 0, pool_high = 0;
+  for (const auto& [name, value] : r.metrics) {
+    if (name == "net.tx_frames") tx = value;
+    else if (name == "net.rx_frames") rx = value;
+    else if (name == "net.payload_pool.high_water") pool_high = value;
+  }
+  char line[256];
+  const int len = std::snprintf(
+      line, sizeof line, "%llu %.6f %llu %.0f %.0f %.0f %llu\n",
+      static_cast<unsigned long long>(sc.sim().executed_events()), wall,
+      static_cast<unsigned long long>(rss), tx, rx, pool_high,
+      static_cast<unsigned long long>(manet::run_result_digest(r)));
+  ssize_t off = 0;
+  while (off < len) {
+    const ssize_t w = write(fd, line + off, static_cast<std::size_t>(len - off));
+    if (w <= 0) _exit(3);
+    off += w;
+  }
+  close(fd);
+  _exit(0);
+}
+
+bool run_cell(cell_result& cell, const manet::config& overrides) {
+  int fds[2];
+  if (pipe(fds) != 0) return false;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    run_cell_child(fds[1], cell.n, cell.sim_time, cell.variant == "hardened",
+                   overrides);
+  }
+  close(fds[1]);
+  char buf[256];
+  std::size_t got = 0;
+  for (;;) {
+    const ssize_t r = read(fds[0], buf + got, sizeof buf - 1 - got);
+    if (r <= 0) break;
+    got += static_cast<std::size_t>(r);
+    if (got >= sizeof buf - 1) break;
+  }
+  close(fds[0]);
+  buf[got] = '\0';
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    std::fprintf(stderr, "scale_sweep: n=%d %s child failed (status %d)\n",
+                 cell.n, cell.variant.c_str(), status);
+    return false;
+  }
+  unsigned long long events = 0, rss = 0, digest = 0;
+  double wall = 0, tx = 0, rx = 0, pool_high = 0;
+  if (std::sscanf(buf, "%llu %lf %llu %lf %lf %lf %llu", &events, &wall, &rss,
+                  &tx, &rx, &pool_high, &digest) != 7) {
+    std::fprintf(stderr, "scale_sweep: bad child record \"%s\"\n", buf);
+    return false;
+  }
+  cell.events = events;
+  cell.wall_s = wall;
+  cell.events_per_sec = wall > 0 ? static_cast<double>(events) / wall : 0;
+  cell.peak_rss = rss;
+  cell.rss_per_node = static_cast<double>(rss) / cell.n;
+  cell.tx_per_node = tx / cell.n;
+  cell.rx_per_node = rx / cell.n;
+  cell.pool_high_water = static_cast<std::uint64_t>(pool_high);
+  cell.digest = digest;
+  cell.ok = true;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<int> ns = {2000, 10000, 50000, 100000};
+  std::vector<double> sim_times = {60.0, 30.0, 10.0, 5.0};
+  std::vector<std::string> variants = {"plain", "hardened"};
+  std::string out_path = "results/BENCH_scale.json";
+  double max_rss_ratio = -1;
+  manet::config overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--n=", 0) == 0) {
+      ns.clear();
+      for (double v : parse_list(arg.substr(4))) {
+        ns.push_back(static_cast<int>(v));
+      }
+    } else if (arg.rfind("--sim-time=", 0) == 0) {
+      sim_times = parse_list(arg.substr(11));
+      if (sim_times.empty()) sim_times = {60.0};
+    } else if (arg.rfind("--variants=", 0) == 0) {
+      variants.clear();
+      std::string rest = arg.substr(11);
+      std::size_t pos = 0;
+      while (pos < rest.size()) {
+        const std::size_t comma = rest.find(',', pos);
+        variants.push_back(rest.substr(
+            pos, comma == std::string::npos ? std::string::npos : comma - pos));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--max-rss-ratio=", 0) == 0) {
+      max_rss_ratio = std::stod(arg.substr(16));
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: scale_sweep [--n=2000,10000,50000,100000] "
+          "[--sim-time=S[,S2,...]] [--variants=plain,hardened] "
+          "[--out=PATH] [--max-rss-ratio=F] [key=value ...]\n");
+      return 0;
+    } else {
+      overrides.parse_assignment(arg);
+    }
+  }
+  for (const std::string& v : variants) {
+    if (v != "plain" && v != "hardened") {
+      std::fprintf(stderr, "scale_sweep: unknown variant \"%s\"\n", v.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<cell_result> cells;
+  bool failed = false;
+  for (const std::string& variant : variants) {
+    for (std::size_t ni = 0; ni < ns.size(); ++ni) {
+      cell_result cell;
+      cell.n = ns[ni];
+      cell.sim_time = sim_times[std::min(ni, sim_times.size() - 1)];
+      cell.variant = variant;
+      if (!run_cell(cell, overrides)) {
+        failed = true;
+        cells.push_back(std::move(cell));
+        continue;
+      }
+      std::printf(
+          "n=%-7d %-8s events=%-11llu wall=%8.2fs events/s=%11.0f "
+          "rss=%7.1fMB (%6.0f B/node) tx/node=%6.1f pool_high=%llu\n",
+          cell.n, cell.variant.c_str(),
+          static_cast<unsigned long long>(cell.events), cell.wall_s,
+          cell.events_per_sec, static_cast<double>(cell.peak_rss) / 1048576.0,
+          cell.rss_per_node, cell.tx_per_node,
+          static_cast<unsigned long long>(cell.pool_high_water));
+      std::fflush(stdout);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  // Per-node RSS ratio vs the smallest-n cell of the same variant: the
+  // linearity gate. Ratio ~1 means memory is linear in n.
+  bool rss_gate_failed = false;
+  for (const std::string& variant : variants) {
+    const cell_result* base = nullptr;
+    for (const cell_result& c : cells) {
+      if (c.ok && c.variant == variant && (base == nullptr || c.n < base->n)) {
+        base = &c;
+      }
+    }
+    if (base == nullptr || base->rss_per_node <= 0) continue;
+    for (cell_result& c : cells) {
+      if (!c.ok || c.variant != variant) continue;
+      c.rss_ratio_vs_smallest = c.rss_per_node / base->rss_per_node;
+      if (max_rss_ratio >= 0 && c.n != base->n &&
+          c.rss_ratio_vs_smallest > max_rss_ratio) {
+        rss_gate_failed = true;
+        std::fprintf(stderr,
+                     "scale_sweep: peak RSS per node at n=%d (%s) is %.2fx "
+                     "the n=%d cell — exceeds the %.2fx linear-memory gate\n",
+                     c.n, c.variant.c_str(), c.rss_ratio_vs_smallest, base->n,
+                     max_rss_ratio);
+      }
+    }
+  }
+
+  const auto parent = std::filesystem::path(out_path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent);
+  std::FILE* out = std::fopen(out_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "scale_sweep: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::fprintf(out,
+               "{\n  \"bench\": \"scale_sweep\",\n  \"protocol\": \"rpcc\",\n"
+               "  \"density_ref\": \"50 nodes per 1500x1500 m\",\n"
+               "  \"cells\": [");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const cell_result& c = cells[i];
+    std::fprintf(
+        out,
+        "%s\n    {\"n\": %d, \"variant\": \"%s\", \"sim_time_s\": %g, "
+        "\"ok\": %s, \"events\": %llu, \"wall_s\": %.4f, "
+        "\"events_per_sec\": %.1f, \"peak_rss_bytes\": %llu, "
+        "\"rss_per_node_bytes\": %.1f, \"rss_ratio_vs_smallest_n\": %.4f, "
+        "\"tx_frames_per_node\": %.2f, \"rx_frames_per_node\": %.2f, "
+        "\"payload_pool_high_water\": %llu, \"digest\": \"0x%016llx\"}",
+        i == 0 ? "" : ",", c.n, c.variant.c_str(), c.sim_time,
+        c.ok ? "true" : "false", static_cast<unsigned long long>(c.events),
+        c.wall_s, c.events_per_sec,
+        static_cast<unsigned long long>(c.peak_rss), c.rss_per_node,
+        c.rss_ratio_vs_smallest, c.tx_per_node, c.rx_per_node,
+        static_cast<unsigned long long>(c.pool_high_water),
+        static_cast<unsigned long long>(c.digest));
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (failed) return 1;
+  if (rss_gate_failed) return 1;
+  return 0;
+}

@@ -56,7 +56,7 @@ void flood_discovery::locate(node_id asker, item_id item, locate_callback cb) {
 }
 
 void flood_discovery::send_request(node_id asker, item_id item) {
-  auto payload = std::make_shared<disc_msg>();
+  auto payload = net_.payloads().make<disc_msg>();
   payload->item = item;
   payload->asker = asker;
   floods_.flood(asker, kind_disc_req, std::move(payload), params_.request_bytes,
@@ -85,7 +85,7 @@ void flood_discovery::on_request(node_id self, const packet& p) {
   assert(req != nullptr);
   if (req->asker == self) return;
   if (!holds(self, req->item)) return;
-  auto reply = std::make_shared<disc_msg>();
+  auto reply = net_.payloads().make<disc_msg>();
   reply->item = req->item;
   reply->asker = req->asker;
   route_.send(self, req->asker, kind_disc_rep, std::move(reply),

@@ -36,7 +36,7 @@ void hybrid_protocol::start() {
 void hybrid_protocol::flood_report(item_id item) {
   const node_id src = registry().source(item);
   if (!node_up(src)) return;
-  auto payload = std::make_shared<item_version_msg>();
+  auto payload = make_payload<item_version_msg>();
   payload->item = item;
   payload->version = registry().version(item);
   floods().flood(src, kind_hyb_inv, std::move(payload), control_bytes(),
@@ -120,7 +120,7 @@ void hybrid_protocol::send_poll(node_id n, item_id item) {
   // Retries re-enter the original query's causal chain; the timeout timer
   // fires in a rootless context.
   causal_tracer::scope trace_scope(tracer(), st.trace);
-  auto payload = std::make_shared<poll_msg>();
+  auto payload = make_payload<poll_msg>();
   payload->item = item;
   payload->asker = n;
   const cached_copy* copy = store(n).find(item);
@@ -224,7 +224,7 @@ void hybrid_protocol::on_unicast(node_id self, const packet& p) {
       assert(poll != nullptr);
       if (registry().source(poll->item) != self) return;
       const version_t current = registry().version(poll->item);
-      auto reply = std::make_shared<item_version_msg>();
+      auto reply = make_payload<item_version_msg>();
       reply->item = poll->item;
       reply->version = current;
       if (poll->asker_version == current) {

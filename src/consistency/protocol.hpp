@@ -110,9 +110,16 @@ class consistency_protocol {
   }
 
   /// Unicast helper through the router.
-  void send(node_id from, node_id to, packet_kind kind,
-            std::shared_ptr<const message_payload> payload, std::size_t bytes) {
+  void send(node_id from, node_id to, packet_kind kind, payload_ptr payload,
+            std::size_t bytes) {
     ctx_.route->send(from, to, kind, std::move(payload), bytes);
+  }
+
+  /// Pooled payload construction (the network's packet_pool):
+  ///   auto msg = make_payload<poll_msg>(); msg->item = it; ...
+  template <typename T, typename... Args>
+  pooled_payload<T> make_payload(Args&&... args) {
+    return ctx_.net->payloads().make<T>(std::forward<Args>(args)...);
   }
 
   /// Answers `q` from the copy of `item` cached at `n` (or from the master

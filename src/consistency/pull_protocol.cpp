@@ -86,7 +86,7 @@ void pull_protocol::send_poll(node_id n, item_id item) {
   // Retries re-enter the original query's causal chain; the timeout timer
   // fires in a rootless context.
   causal_tracer::scope trace_scope(tracer(), st.trace);
-  auto payload = std::make_shared<poll_msg>();
+  auto payload = make_payload<poll_msg>();
   payload->item = item;
   payload->asker = n;
   const cached_copy* copy = store(n).find(item);
@@ -179,7 +179,7 @@ void pull_protocol::on_flood(node_id self, const packet& p) {
   assert(poll != nullptr);
   if (registry().source(poll->item) != self) return;  // only the source replies
   const version_t current = registry().version(poll->item);
-  auto reply = std::make_shared<item_version_msg>();
+  auto reply = make_payload<item_version_msg>();
   reply->item = poll->item;
   reply->version = current;
   if (poll->asker_version == current) {

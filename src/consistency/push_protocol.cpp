@@ -29,7 +29,7 @@ void push_protocol::start() {
 void push_protocol::flood_report(item_id item) {
   const node_id src = registry().source(item);
   if (!node_up(src)) return;
-  auto payload = std::make_shared<item_version_msg>();
+  auto payload = make_payload<item_version_msg>();
   payload->item = item;
   payload->version = registry().version(item);
   floods().flood(src, kind_push_inv, std::move(payload), control_bytes(),
@@ -118,7 +118,7 @@ void push_protocol::on_deadline(node_id n, item_id item) {
 
 void push_protocol::request_refresh(node_id n, item_id item) {
   if (!node_up(n)) return;
-  auto payload = std::make_shared<item_msg>();
+  auto payload = make_payload<item_msg>();
   payload->item = item;
   send(n, registry().source(item), kind_push_get, std::move(payload),
        control_bytes());
@@ -147,7 +147,7 @@ void push_protocol::on_unicast(node_id self, const packet& p) {
     const auto* msg = payload_cast<item_msg>(p);
     assert(msg != nullptr);
     if (registry().source(msg->item) != self) return;
-    auto reply = std::make_shared<item_version_msg>();
+    auto reply = make_payload<item_version_msg>();
     reply->item = msg->item;
     reply->version = registry().version(msg->item);
     send(self, p.src, kind_push_send, std::move(reply), content_bytes(msg->item));

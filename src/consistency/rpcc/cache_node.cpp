@@ -88,7 +88,7 @@ void rpcc_protocol::start_poll(node_id n, item_id item, query_id q) {
 void rpcc_protocol::send_poll(node_id n, item_id item) {
   peer_item_state& st = state(n, item);
   causal_tracer::scope trace_scope(tracer(), st.poll_trace);
-  auto payload = std::make_shared<poll_msg>();
+  auto payload = make_payload<poll_msg>();
   payload->item = item;
   payload->asker = n;
   const cached_copy* copy = store(n).find(item);
@@ -131,7 +131,7 @@ void rpcc_protocol::on_poll_timeout(node_id n, item_id item) {
     // route still exists even when no relay survived near the asker.
     st.direct_poll = true;
     causal_tracer::scope trace_scope(tracer(), st.poll_trace);
-    auto payload = std::make_shared<poll_msg>();
+    auto payload = make_payload<poll_msg>();
     payload->item = item;
     payload->asker = n;
     const cached_copy* copy = store(n).find(item);
@@ -263,7 +263,7 @@ void rpcc_protocol::send_apply(node_id self, item_id item) {
   peer_item_state& st = state(self, item);
   st.last_apply_at = sim().now();
   st.apply_retries = 0;
-  auto payload = std::make_shared<item_msg>();
+  auto payload = make_payload<item_msg>();
   payload->item = item;
   send(self, registry().source(item), kind_apply, std::move(payload),
        control_bytes());
@@ -286,7 +286,7 @@ void rpcc_protocol::on_apply_timeout(node_id self, item_id item) {
   if (st.apply_retries < params_.apply_max_retries) {
     ++st.apply_retries;
     st.last_apply_at = sim().now();
-    auto payload = std::make_shared<item_msg>();
+    auto payload = make_payload<item_msg>();
     payload->item = item;
     send(self, registry().source(item), kind_apply, payload, control_bytes());
     st.apply_timer = sim().schedule_in(
@@ -323,7 +323,7 @@ void rpcc_protocol::send_cancel(node_id self, item_id item) {
   const node_id src = registry().source(item);
   auto one_cancel = [this, self, src, item] {
     if (!node_up(self)) return;
-    auto payload = std::make_shared<item_msg>();
+    auto payload = make_payload<item_msg>();
     payload->item = item;
     send(self, src, kind_cancel, std::move(payload), control_bytes());
   };

@@ -68,7 +68,7 @@ void rpcc_protocol::relay_on_invalidation(node_id self, item_id item,
 
 void rpcc_protocol::send_get_new(node_id self, item_id item) {
   if (!node_up(self)) return;
-  auto payload = std::make_shared<item_msg>();
+  auto payload = make_payload<item_msg>();
   payload->item = item;
   send(self, registry().source(item), kind_get_new, std::move(payload),
        control_bytes());
@@ -154,7 +154,7 @@ void rpcc_protocol::relay_answer_poll(node_id self, item_id item, node_id asker,
   coeff_->count_access(self);
 
   if (st->ttr_deadline > sim().now()) {
-    auto reply = std::make_shared<item_version_msg>();
+    auto reply = make_payload<item_version_msg>();
     reply->item = item;
     reply->version = copy->version;
     if (asker_version == copy->version) {

@@ -45,7 +45,7 @@ void rpcc_protocol::source_tick(item_id item) {
   }
 
   // Fig 6b line (6): broadcast INVALIDATION.
-  auto payload = std::make_shared<item_version_msg>();
+  auto payload = make_payload<item_version_msg>();
   payload->item = item;
   payload->version = registry().version(item);
   if (params_.adaptive_ttn) payload->interval_hint = st.current_ttn;
@@ -85,7 +85,7 @@ void rpcc_protocol::push_update_to_relays(item_id item) {
   // Send in relay-id order: the send order sets MAC queueing and therefore
   // delivery times, so hash-table order here would leak into every metric.
   for (const node_id relay : sorted_keys(st.relays)) {
-    auto payload = std::make_shared<item_version_msg>();
+    auto payload = make_payload<item_version_msg>();
     payload->item = item;
     payload->version = registry().version(item);
     send(src, relay, kind_update, std::move(payload), content_bytes(item));
@@ -102,7 +102,7 @@ void rpcc_protocol::source_on_apply(node_id self, item_id item, node_id candidat
     if (st.relays.size() >= params_.max_relays_per_item) return;
   }
   st.relays[candidate] = sim().now() + params_.relay_lease;
-  auto payload = std::make_shared<item_msg>();
+  auto payload = make_payload<item_msg>();
   payload->item = item;
   send(self, candidate, kind_apply_ack, std::move(payload), control_bytes());
 }
@@ -113,7 +113,7 @@ void rpcc_protocol::source_on_get_new(node_id self, item_id item, node_id relay)
   // A GET_NEW proves the relay is alive and still serving the item; a relay
   // whose table entry lapsed during a disconnection is re-admitted (§4.5).
   st.relays[relay] = sim().now() + params_.relay_lease;
-  auto payload = std::make_shared<item_version_msg>();
+  auto payload = make_payload<item_version_msg>();
   payload->item = item;
   payload->version = registry().version(item);
   send(self, relay, kind_send_new, std::move(payload), content_bytes(item));
@@ -128,7 +128,7 @@ void rpcc_protocol::source_answer_poll(node_id self, item_id item, node_id asker
   if (asker == self || !node_up(self)) return;
   coeff_->count_access(self);
   const version_t current = registry().version(item);
-  auto reply = std::make_shared<item_version_msg>();
+  auto reply = make_payload<item_version_msg>();
   reply->item = item;
   reply->version = current;
   if (asker_version == current) {

@@ -11,6 +11,7 @@
 #ifndef MANET_GEOM_MOBILITY_MODEL_HPP
 #define MANET_GEOM_MOBILITY_MODEL_HPP
 
+#include <limits>
 #include <memory>
 
 #include "geom/vec2.hpp"
@@ -28,6 +29,17 @@ class mobility_model {
 
   /// Current speed in m/s at time t (after advancing to t); informational.
   virtual double speed_at(sim_time t) = 0;
+
+  /// A bound on the node's speed over its whole lifetime:
+  /// |position_at(t2) - position_at(t1)| <= max_speed_mps() * (t2 - t1).
+  /// The spatial index leans on this to answer queries from a slightly
+  /// stale position snapshot (inflating the search radius by the possible
+  /// drift) — the bound must be sound, not tight. Models that cannot bound
+  /// their speed return +inf, which forces the index to refresh per
+  /// timestamp instead.
+  virtual double max_speed_mps() const {
+    return std::numeric_limits<double>::infinity();
+  }
 };
 
 /// Node that never moves.
@@ -36,6 +48,7 @@ class static_mobility final : public mobility_model {
   explicit static_mobility(vec2 pos) : pos_(pos) {}
   vec2 position_at(sim_time) override { return pos_; }
   double speed_at(sim_time) override { return 0.0; }
+  double max_speed_mps() const override { return 0.0; }
 
  private:
   vec2 pos_;

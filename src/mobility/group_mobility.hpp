@@ -42,6 +42,15 @@ class group_member final : public mobility_model {
 
   vec2 position_at(sim_time t) override;
   double speed_at(sim_time t) override;
+  // Reference speed plus the offset drift: the offset interpolates between
+  // two points of a radius-max_offset disk over one epoch, so its own speed
+  // never exceeds the disk diameter per epoch.
+  double max_speed_mps() const override {
+    if (params_.offset_epoch <= 0)
+      return std::numeric_limits<double>::infinity();
+    return params_.leader.max_speed_mps +
+           2.0 * params_.max_offset / params_.offset_epoch;
+  }
 
  private:
   vec2 random_offset();

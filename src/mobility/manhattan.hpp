@@ -28,6 +28,7 @@ class manhattan_mobility final : public mobility_model {
 
   vec2 position_at(sim_time t) override;
   double speed_at(sim_time t) override;
+  double max_speed_mps() const override { return params_.max_speed_mps; }
 
  private:
   /// Intersection (ix, iy) in grid coordinates -> terrain position.

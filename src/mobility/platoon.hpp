@@ -30,6 +30,8 @@ class platoon_member final : public mobility_model {
 
   vec2 position_at(sim_time t) override { return path_.position_at(shift(t)); }
   double speed_at(sim_time t) override { return path_.speed_at(shift(t)); }
+  // shift(t) is 1-Lipschitz, so the replayed path's bound carries over.
+  double max_speed_mps() const override { return path_.max_speed_mps(); }
 
  private:
   /// Members behind the lead hold at the column start until their slot.

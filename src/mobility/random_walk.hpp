@@ -23,6 +23,7 @@ class random_walk final : public mobility_model {
 
   vec2 position_at(sim_time t) override;
   double speed_at(sim_time t) override;
+  double max_speed_mps() const override { return params_.max_speed_mps; }
 
  private:
   void advance_to(sim_time t);

@@ -22,6 +22,7 @@ class random_waypoint final : public mobility_model {
 
   vec2 position_at(sim_time t) override;
   double speed_at(sim_time t) override;
+  double max_speed_mps() const override { return params_.max_speed_mps; }
 
  private:
   // One leg of movement: stand at `from` until depart_at, then travel to

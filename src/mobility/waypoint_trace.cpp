@@ -9,6 +9,9 @@ waypoint_trace::waypoint_trace(std::vector<waypoint> points)
   assert(!points_.empty());
   for (std::size_t i = 1; i < points_.size(); ++i) {
     assert(points_[i].at > points_[i - 1].at && "waypoint times must increase");
+    const double seg = distance(points_[i - 1].pos, points_[i].pos) /
+                       (points_[i].at - points_[i - 1].at);
+    if (seg > max_speed_) max_speed_ = seg;
   }
 }
 

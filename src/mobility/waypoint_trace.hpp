@@ -22,9 +22,11 @@ class waypoint_trace final : public mobility_model {
 
   vec2 position_at(sim_time t) override;
   double speed_at(sim_time t) override;
+  double max_speed_mps() const override { return max_speed_; }
 
  private:
   std::vector<waypoint> points_;
+  double max_speed_ = 0;  ///< max segment speed, computed once in the ctor
 };
 
 }  // namespace manet

@@ -13,7 +13,7 @@ bool flooding_service::seen_before(node_id self, packet_uid uid) {
 }
 
 packet_uid flooding_service::flood(node_id origin, packet_kind kind,
-                                   std::shared_ptr<const message_payload> payload,
+                                   payload_ptr payload,
                                    std::size_t size_bytes, int ttl) {
   if (ttl < 1) return 0;
   if (!net_.at(origin).up()) return 0;
@@ -38,8 +38,8 @@ packet_uid flooding_service::flood(node_id origin, packet_kind kind,
 void flooding_service::on_frame(node_id self, node_id from, const packet& p) {
   (void)from;
   if (seen_before(self, p.uid)) return;
-  if (auto it = kind_handlers_.find(p.kind); it != kind_handlers_.end()) {
-    it->second(self, p);
+  if (p.kind < kind_handlers_.size() && kind_handlers_[p.kind]) {
+    kind_handlers_[p.kind](self, p);
   } else if (handler_) {
     handler_(self, p);
   }

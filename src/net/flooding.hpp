@@ -10,7 +10,6 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "net/dedup_cache.hpp"
@@ -33,14 +32,14 @@ class flooding_service {
   /// over the default handler. Lets auxiliary services (e.g. discovery)
   /// coexist with a consistency protocol on the same flood fabric.
   void set_kind_handler(packet_kind kind, handler h) {
+    if (kind_handlers_.size() <= kind) kind_handlers_.resize(kind + 1);
     kind_handlers_[kind] = std::move(h);
   }
 
   /// Originates a flood. `ttl` is the hop budget: ttl=1 reaches only direct
   /// neighbors. Returns the flood's packet uid. No-op returning 0 if the
   /// origin is down or ttl < 1.
-  packet_uid flood(node_id origin, packet_kind kind,
-                   std::shared_ptr<const message_payload> payload,
+  packet_uid flood(node_id origin, packet_kind kind, payload_ptr payload,
                    std::size_t size_bytes, int ttl);
 
   /// Frame entry point; the network dispatcher routes broadcast-destination
@@ -52,7 +51,11 @@ class flooding_service {
 
   network& net_;
   handler handler_;
-  std::unordered_map<packet_kind, handler> kind_handlers_;
+  /// Kind-specific handlers in a flat array indexed by kind: packet_kind is
+  /// a small dense enum (routing kinds 1–3, app kinds from 100), so direct
+  /// indexing beats hashing on the per-reception dispatch path
+  /// (bench/micro_protocol.cpp).
+  std::vector<handler> kind_handlers_;
   std::vector<dedup_cache> dedup_;
 };
 

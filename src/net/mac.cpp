@@ -4,6 +4,16 @@
 
 namespace manet {
 
+void frame_queue::grow() {
+  const std::size_t cap = buf_.empty() ? 4 : buf_.size() * 2;
+  std::vector<frame> next(cap);
+  for (std::size_t i = 0; i < count_; ++i) {
+    next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+  }
+  buf_ = std::move(next);
+  head_ = 0;
+}
+
 mac::mac(simulator& sim, rng gen, double bandwidth_bps, sim_duration per_hop_overhead,
          sim_duration max_backoff, air_callback on_air)
     : sim_(sim),
@@ -32,8 +42,7 @@ std::size_t mac::flush() {
 void mac::start_next() {
   if (queue_.empty()) return;
   busy_ = true;
-  frame f = std::move(queue_.front());
-  queue_.pop_front();
+  frame f = queue_.pop_front();
 
   const sim_duration backoff = max_backoff_ > 0 ? gen_.uniform(0, max_backoff_) : 0;
   const sim_duration tx =

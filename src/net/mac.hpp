@@ -5,14 +5,54 @@
 #ifndef MANET_NET_MAC_HPP
 #define MANET_NET_MAC_HPP
 
-#include <deque>
+#include <cstddef>
 #include <functional>
+#include <vector>
 
 #include "net/packet.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace manet {
+
+/// FIFO of frames that allocates nothing while empty. libstdc++'s
+/// std::deque allocates its chunk map plus a 512-byte chunk even when
+/// default-constructed — at 100k nodes that is tens of megabytes of
+/// always-idle transmit queues — so the MAC uses a small power-of-two ring
+/// that first allocates on first enqueue.
+class frame_queue {
+ public:
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return count_; }
+
+  void push_back(frame f) {
+    if (count_ == buf_.size()) grow();
+    buf_[(head_ + count_) & (buf_.size() - 1)] = std::move(f);
+    ++count_;
+  }
+
+  /// Requires !empty().
+  frame pop_front() {
+    frame f = std::move(buf_[head_]);
+    buf_[head_] = frame{};  // release the payload reference now, not at reuse
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --count_;
+    return f;
+  }
+
+  void clear() {
+    if (!buf_.empty()) buf_.assign(buf_.size(), frame{});
+    head_ = 0;
+    count_ = 0;
+  }
+
+ private:
+  void grow();
+
+  std::vector<frame> buf_;  ///< power-of-two capacity (or empty)
+  std::size_t head_ = 0;
+  std::size_t count_ = 0;
+};
 
 class mac {
  public:
@@ -44,7 +84,7 @@ class mac {
   sim_duration max_backoff_;
   air_callback on_air_;
 
-  std::deque<frame> queue_;
+  frame_queue queue_;
   bool busy_ = false;
   event_handle in_flight_;
 };

@@ -17,14 +17,22 @@ network::network(simulator& sim, terrain land, radio_params rparams,
       eparams_(eparams),
       loss_rng_(sim.make_rng("net.loss")) {}
 
+network::~network() {
+  // Pending delivery events hold payload_ptr (and wave slot) references into
+  // this network; the simulator outlives us, so drop them now.
+  sim_.queue().clear();
+}
+
 node_id network::add_node(std::unique_ptr<mobility_model> mobility) {
   const auto id = static_cast<node_id>(nodes_.size());
+  max_node_speed_ = std::max(max_node_speed_, mobility->max_speed_mps());
   auto link = std::make_unique<mac>(
       sim_, sim_.make_rng("net.mac", id), radio_.params().bandwidth_bps,
       radio_.params().per_hop_overhead, radio_.params().max_backoff,
       [this, id](const frame& f, sim_duration tx_time) { on_air(id, f, tx_time); });
-  nodes_.push_back(
-      std::make_unique<node>(id, std::move(mobility), eparams_, std::move(link)));
+  soa_.add(eparams_.initial_joules);
+  nodes_.push_back(std::make_unique<node>(id, soa_, eparams_,
+                                          std::move(mobility), std::move(link)));
   ge_chains_.push_back(ge_chain{});
   ge_rng_.push_back(sim_.make_rng("net.ge", id));
   return id;
@@ -135,7 +143,35 @@ void network::on_air(node_id tx_node, const frame& f, sim_duration tx_time) {
       prof_scope ps(prof_, profiler::section::neighbor_query);
       nbs = radio_.neighbors(tx_node);
     }
-    for (node_id nb : nbs) deliver_to(nb);
+    if (!flood_batching_) {
+      for (node_id nb : nbs) deliver_to(nb);
+      return;
+    }
+    // Region-wave batching: draw loss and charge rx energy per neighbor
+    // right here (ascending-neighbor order — the exact RNG/meter sequence
+    // the per-receiver path produces), then schedule ONE event that walks
+    // the survivors in that same order. Ordering is provably identical:
+    // the per-receiver events would have been scheduled back to back, so
+    // their sequence numbers are consecutive and no other same-instant
+    // event can interleave the batch.
+    const std::uint32_t slot = acquire_wave();
+    wave_batch& w = waves_[slot];
+    w.f = f;
+    w.air_start = air_start;
+    w.air_end = air_end;
+    for (node_id rx : nbs) {
+      if (loss_rng_.chance(loss_probability_at(rx))) {
+        meter_.record_drop(f.pkt.kind, drop_reason::channel_loss);
+        continue;
+      }
+      at(rx).drain(eparams_.rx_power_watts * tx_time);
+      w.rxs.push_back(rx);
+    }
+    if (w.rxs.empty()) {
+      release_wave(slot);
+      return;
+    }
+    sim_.schedule_in(tx_time + prop, [this, slot] { deliver_wave(slot); });
   } else {
     if (!radio_.reachable(tx_node, f.rx)) {
       meter_.record_drop(f.pkt.kind, at(f.rx).up() ? drop_reason::out_of_range
@@ -144,6 +180,40 @@ void network::on_air(node_id tx_node, const frame& f, sim_duration tx_time) {
     }
     deliver_to(f.rx);
   }
+}
+
+std::uint32_t network::acquire_wave() {
+  if (wave_free_ == 0xffffffffu) {
+    waves_.emplace_back();
+    waves_.back().in_use = true;
+    return static_cast<std::uint32_t>(waves_.size() - 1);
+  }
+  const std::uint32_t s = wave_free_;
+  wave_free_ = waves_[s].next_free;
+  waves_[s].in_use = true;
+  return s;
+}
+
+void network::release_wave(std::uint32_t slot) {
+  wave_batch& w = waves_[slot];
+  w.f = frame{};  // drop the payload reference
+  w.rxs.clear();  // keep the capacity for the next wave
+  w.in_use = false;
+  w.next_free = wave_free_;
+  wave_free_ = slot;
+}
+
+void network::deliver_wave(std::uint32_t slot) {
+  // Move the batch out before delivering: dispatched protocol code may
+  // originate new broadcasts, which acquire wave slots and can grow waves_.
+  frame f = std::move(waves_[slot].f);
+  std::vector<node_id> rxs = std::move(waves_[slot].rxs);
+  const sim_time air_start = waves_[slot].air_start;
+  const sim_time air_end = waves_[slot].air_end;
+  for (node_id rx : rxs) deliver(rx, f, air_start, air_end);
+  rxs.clear();
+  waves_[slot].rxs = std::move(rxs);  // hand the capacity back
+  release_wave(slot);
 }
 
 bool network::interfered(node_id rx_node, node_id tx_node, sim_time air_start,
@@ -163,12 +233,11 @@ bool network::interfered(node_id rx_node, node_id tx_node, sim_time air_start,
 
 void network::deliver(node_id rx_node, const frame& f, sim_time air_start,
                       sim_time air_end) {
-  node& receiver = at(rx_node);
-  if (!receiver.up()) {
+  if (!node_up(rx_node)) {
     meter_.record_drop(f.pkt.kind, drop_reason::node_down);
     return;
   }
-  if (!at(f.tx).up()) {
+  if (!node_up(f.tx)) {
     // The sender died mid-transmission: the frame was truncated.
     meter_.record_drop(f.pkt.kind, drop_reason::node_down);
     return;
@@ -189,7 +258,7 @@ int network::hop_distance(node_id a, node_id b) const {
 
 std::vector<node_id> network::shortest_path(node_id a, node_id b) const {
   if (a == b) return {a};
-  if (!at(a).up() || !at(b).up()) return {};
+  if (!node_up(a) || !node_up(b)) return {};
   std::vector<node_id> prev(nodes_.size(), invalid_node);
   std::vector<char> seen(nodes_.size(), 0);
   std::queue<node_id> frontier;

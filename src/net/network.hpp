@@ -16,6 +16,7 @@
 #include "geom/terrain.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "net/packet_pool.hpp"
 #include "net/radio.hpp"
 #include "net/traffic_meter.hpp"
 #include "sim/simulator.hpp"
@@ -33,6 +34,13 @@ class network {
   network(const network&) = delete;
   network& operator=(const network&) = delete;
 
+  /// Clears the simulator's pending event queue: scheduled delivery events
+  /// capture payload_ptr handles into this network's packet pool, so they
+  /// must die before the pool does. The simulator itself outlives the
+  /// network everywhere (scenario members, test fixtures), which is why the
+  /// network — not the simulator — owns this teardown step.
+  ~network();
+
   /// Adds a node with the given mobility model; ids are assigned densely
   /// starting at 0. Returns the new node's id.
   node_id add_node(std::unique_ptr<mobility_model> mobility);
@@ -40,6 +48,30 @@ class network {
   std::size_t size() const { return nodes_.size(); }
   node& at(node_id id) { return *nodes_.at(id); }
   const node& at(node_id id) const { return *nodes_.at(id); }
+
+  /// Hot-path up check: one dense byte load from the SoA block (equivalent
+  /// to at(id).up(), minus the pointer chase through the node object).
+  bool node_up(node_id id) const { return soa_.effective_up(id); }
+
+  /// The SoA block holding per-node hot state (metrics/observability).
+  const node_soa& soa() const { return soa_; }
+
+  /// Payload slab shared by every message originated on this network.
+  packet_pool& payloads() { return payloads_; }
+  const packet_pool& payloads() const { return payloads_; }
+
+  /// Conservative bound on any node's speed (max over mobility models'
+  /// max_speed_mps); +inf when some model cannot bound it. The spatial
+  /// index uses it to keep stale position snapshots safely usable.
+  double max_node_speed() const { return max_node_speed_; }
+
+  /// Region-wave flood batching (default on): one scheduled event delivers a
+  /// broadcast frame to all surviving receivers, instead of one event per
+  /// receiver. Per-receiver delivery order, loss draws and energy accounting
+  /// are identical either way (see on_air); the switch exists for A/B
+  /// benchmarking and bisection.
+  void set_flood_batching(bool on) { flood_batching_ = on; }
+  bool flood_batching() const { return flood_batching_; }
 
   simulator& sim() { return sim_; }
   const terrain& land() const { return land_; }
@@ -114,6 +146,26 @@ class network {
   /// loss model (i.i.d., configured Gilbert-Elliott, or a forced burst).
   double loss_probability_at(node_id rx);
 
+  /// One batched broadcast delivery: the frame plus the receivers that
+  /// survived the loss draw, delivered in ascending-neighbor order by a
+  /// single scheduled event. Records are pooled (index + free list) so the
+  /// steady state schedules floods with zero allocation: the rx vector's
+  /// capacity is retained across reuses and the event lambda captures only
+  /// {this, slot}, which keeps it well inside the event pool's inline
+  /// capture budget.
+  struct wave_batch {
+    frame f;
+    sim_time air_start = 0;
+    sim_time air_end = 0;
+    std::vector<node_id> rxs;
+    std::uint32_t next_free = 0xffffffffu;
+    bool in_use = false;
+  };
+
+  std::uint32_t acquire_wave();
+  void release_wave(std::uint32_t slot);
+  void deliver_wave(std::uint32_t slot);
+
   void on_air(node_id tx_node, const frame& f, sim_duration tx_time);
   void deliver(node_id rx_node, const frame& f, sim_time air_start,
                sim_time air_end);
@@ -125,7 +177,16 @@ class network {
   radio radio_;
   energy_params eparams_;
   traffic_meter meter_;
+  // The payload pool must be declared before anything that can hold a
+  // payload_ptr (nodes' MAC queues, wave batches): members destruct in
+  // reverse order, so handles release into a still-live pool.
+  packet_pool payloads_;
+  node_soa soa_;
   std::vector<std::unique_ptr<node>> nodes_;
+  std::vector<wave_batch> waves_;
+  std::uint32_t wave_free_ = 0xffffffffu;
+  bool flood_batching_ = true;
+  double max_node_speed_ = 0;
   dispatcher dispatch_;
   causal_tracer* tracer_ = nullptr;
   profiler* prof_ = nullptr;

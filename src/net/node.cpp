@@ -5,28 +5,34 @@
 
 namespace manet {
 
-node::node(node_id id, std::unique_ptr<mobility_model> mobility, energy_params energy,
-           std::unique_ptr<mac> link)
+node::node(node_id id, node_soa& soa, const energy_params& energy,
+           std::unique_ptr<mobility_model> mobility, std::unique_ptr<mac> link)
     : id_(id),
-      mobility_(std::move(mobility)),
+      soa_(soa),
       energy_(energy),
-      link_(std::move(link)),
-      energy_joules_(energy.initial_joules) {
+      mobility_(std::move(mobility)),
+      link_(std::move(link)) {
   assert(mobility_ != nullptr);
   assert(link_ != nullptr);
+  assert(soa_.size() > id_ && "node_soa::add must precede node construction");
 }
 
-std::size_t node::set_up(bool up) { return apply_state(up, fault_down_); }
+std::size_t node::set_up(bool up) {
+  return apply_state(up, soa_.fault_down_[id_] != 0);
+}
 
-std::size_t node::set_fault_down(bool down) { return apply_state(up_, down); }
+std::size_t node::set_fault_down(bool down) {
+  return apply_state(soa_.up_[id_] != 0, down);
+}
 
 std::size_t node::apply_state(bool up, bool fault_down) {
   const bool was_up = this->up();
-  up_ = up;
-  fault_down_ = fault_down;
-  const bool is_up = this->up();
+  soa_.up_[id_] = up ? 1 : 0;
+  soa_.fault_down_[id_] = fault_down ? 1 : 0;
+  const bool is_up = up && !fault_down;
+  soa_.effective_up_[id_] = is_up ? 1 : 0;
   if (was_up == is_up) return 0;
-  ++switches_;
+  ++soa_.switches_[id_];
   std::size_t flushed = 0;
   if (!is_up) flushed = link_->flush();
   for (const auto& obs : observers_) obs(id_, is_up);
@@ -35,11 +41,11 @@ std::size_t node::apply_state(bool up, bool fault_down) {
 
 double node::energy_fraction() const {
   if (energy_.initial_joules <= 0) return 0.0;
-  return std::clamp(energy_joules_ / energy_.initial_joules, 0.0, 1.0);
+  return std::clamp(soa_.energy_[id_] / energy_.initial_joules, 0.0, 1.0);
 }
 
 void node::drain(double joules) {
-  energy_joules_ = std::max(0.0, energy_joules_ - joules);
+  soa_.energy_[id_] = std::max(0.0, soa_.energy_[id_] - joules);
 }
 
 }  // namespace manet

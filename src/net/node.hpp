@@ -3,9 +3,17 @@
 // The node is deliberately protocol-agnostic. Protocol layers observe state
 // changes through callbacks and read position/energy through accessors; the
 // network fabric owns frame delivery.
+//
+// Hot per-node state (up/down flags, switch counters, battery levels) lives
+// in a structure-of-arrays block owned by the network (node_soa), not in the
+// node objects: frame delivery and neighbor filtering read those fields for
+// thousands of nodes per event, and parallel arrays keep them dense instead
+// of strewn across one heap object per node. The node keeps its accessors —
+// callers never see the layout.
 #ifndef MANET_NET_NODE_HPP
 #define MANET_NET_NODE_HPP
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -24,16 +32,53 @@ struct energy_params {
   double idle_drain_watts = 0.0;   ///< optional idle drain (off by default)
 };
 
+/// Structure-of-arrays hot node state, one entry per node, owned by the
+/// network. `effective_up` is the single field the delivery path reads
+/// (up AND not fault-down), kept materialized so the hot check is one dense
+/// byte load.
+class node_soa {
+ public:
+  /// Appends one node's records (initially up, full battery); returns its
+  /// index, which always equals the node id.
+  std::uint32_t add(double initial_joules) {
+    up_.push_back(1);
+    fault_down_.push_back(0);
+    effective_up_.push_back(1);
+    switches_.push_back(0);
+    energy_.push_back(initial_joules);
+    return static_cast<std::uint32_t>(up_.size() - 1);
+  }
+
+  bool effective_up(node_id id) const { return effective_up_[id] != 0; }
+  std::size_t size() const { return up_.size(); }
+  std::size_t memory_bytes() const {
+    return up_.capacity() + fault_down_.capacity() + effective_up_.capacity() +
+           switches_.capacity() * sizeof(std::uint64_t) +
+           energy_.capacity() * sizeof(double);
+  }
+
+ private:
+  friend class node;
+
+  std::vector<std::uint8_t> effective_up_;  ///< up && !fault_down (hot)
+  std::vector<std::uint8_t> up_;            ///< churn axis
+  std::vector<std::uint8_t> fault_down_;    ///< fault axis
+  std::vector<std::uint64_t> switches_;     ///< the paper's N_s counter
+  std::vector<double> energy_;              ///< remaining joules
+};
+
 class node {
  public:
-  node(node_id id, std::unique_ptr<mobility_model> mobility, energy_params energy,
-       std::unique_ptr<mac> link);
+  /// `soa` and `energy` are owned by the network and must outlive the node;
+  /// the node's SoA records (created via node_soa::add) are at index `id`.
+  node(node_id id, node_soa& soa, const energy_params& energy,
+       std::unique_ptr<mobility_model> mobility, std::unique_ptr<mac> link);
 
   node_id id() const { return id_; }
 
   /// Effectively up: powered on by the churn model AND not held down by the
   /// fault layer.
-  bool up() const { return up_ && !fault_down_; }
+  bool up() const { return soa_.effective_up(id_); }
 
   /// Brings the node down/up (the churn/voluntary-switch axis). Effective
   /// state changes increment the switch counter (the paper's N_s) and notify
@@ -46,11 +91,11 @@ class node {
   /// releasing it restores whatever state churn last set. Same return value
   /// contract as set_up().
   std::size_t set_fault_down(bool down);
-  bool fault_down() const { return fault_down_; }
+  bool fault_down() const { return soa_.fault_down_[id_] != 0; }
 
   /// Total number of state switches since creation (N_s is computed by
   /// protocols as a per-window difference of this counter).
-  std::uint64_t switch_count() const { return switches_; }
+  std::uint64_t switch_count() const { return soa_.switches_[id_]; }
 
   vec2 position_at(sim_time t) const { return mobility_->position_at(t); }
 
@@ -58,7 +103,7 @@ class node {
 
   mac& link() { return *link_; }
 
-  double energy_joules() const { return energy_joules_; }
+  double energy_joules() const { return soa_.energy_[id_]; }
   double energy_max() const { return energy_.initial_joules; }
   /// Remaining energy as a fraction of E_MAX, clamped to [0, 1].
   double energy_fraction() const;
@@ -79,14 +124,10 @@ class node {
   std::size_t apply_state(bool up, bool fault_down);
 
   node_id id_;
+  node_soa& soa_;
+  const energy_params& energy_;  ///< shared network-wide config
   std::unique_ptr<mobility_model> mobility_;
-  energy_params energy_;
   std::unique_ptr<mac> link_;
-
-  bool up_ = true;
-  bool fault_down_ = false;
-  std::uint64_t switches_ = 0;
-  double energy_joules_;
   std::vector<state_observer> observers_;
 };
 

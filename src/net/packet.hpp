@@ -1,18 +1,19 @@
 // Packets (end-to-end units) and frames (one-hop transmissions).
 //
 // Payloads are polymorphic, reference-counted objects so a broadcast frame
-// fans out to many receivers without copying. `size_bytes` models the
-// serialized size of the message on the air and drives both transmission
-// delay and traffic accounting — the simulation never actually serializes.
+// fans out to many receivers without copying; they live in the network's
+// packet_pool (net/packet_pool.hpp) and travel as 16-byte payload_ptr
+// handles. `size_bytes` models the serialized size of the message on the
+// air and drives both transmission delay and traffic accounting — the
+// simulation never actually serializes.
 #ifndef MANET_NET_PACKET_HPP
 #define MANET_NET_PACKET_HPP
 
-#include <atomic>
 #include <cassert>
 #include <cstdint>
-#include <memory>
 #include <type_traits>
 
+#include "net/packet_pool.hpp"
 #include "util/units.hpp"
 
 namespace manet {
@@ -31,53 +32,6 @@ constexpr packet_kind first_app_kind = 100;
 
 inline bool is_routing_kind(packet_kind k) { return k < first_app_kind; }
 
-/// Process-wide key identifying a concrete payload type; lets payload_cast
-/// be an integer compare + static_cast instead of an RTTI dynamic_cast on
-/// every received message.
-using payload_type_id = std::uint32_t;
-
-namespace detail {
-
-/// Hands out distinct ids, one per payload type, on first use. The counter
-/// is atomic because parallel sweep workers may first-touch a payload type
-/// concurrently; assignment order is therefore unspecified, which is fine —
-/// ids are only ever compared for equality, never ordered, hashed over, or
-/// exported, so they cannot leak into simulation behavior or the digest.
-inline payload_type_id allocate_payload_type_id() {
-  static std::atomic<payload_type_id> next{1};
-  return next.fetch_add(1, std::memory_order_relaxed);
-}
-
-}  // namespace detail
-
-/// The id for payload type T (stable for the process lifetime).
-template <typename T>
-payload_type_id payload_type_id_of() {
-  static const payload_type_id id = detail::allocate_payload_type_id();
-  return id;
-}
-
-/// Base class for message payloads. Concrete payload types live next to the
-/// protocol that defines them (consistency/messages.hpp, routing/aodv.cpp)
-/// and derive through typed_payload<T>, which stamps the type id used by
-/// payload_cast's fast path.
-struct message_payload {
-  virtual ~message_payload() = default;
-
-  /// Kind key for payload_cast: set once at construction by typed_payload.
-  const payload_type_id payload_type;
-
- protected:
-  explicit message_payload(payload_type_id type) : payload_type(type) {}
-};
-
-/// CRTP base every concrete payload derives from:
-///   struct poll_msg final : typed_payload<poll_msg> { ... };
-template <typename T>
-struct typed_payload : message_payload {
-  typed_payload() : message_payload(payload_type_id_of<T>()) {}
-};
-
 struct packet {
   packet_uid uid = 0;
   packet_kind kind = 0;
@@ -90,7 +44,7 @@ struct packet {
   /// update/query/poll and inherited by every derived or relayed packet.
   /// Pure observability metadata — protocol and routing logic never read it.
   std::uint64_t trace_id = 0;
-  std::shared_ptr<const message_payload> payload;
+  payload_ptr payload;
 };
 
 /// One-hop transmission of a packet.

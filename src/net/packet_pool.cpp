@@ -1,0 +1,30 @@
+#include "net/packet_pool.hpp"
+
+namespace manet {
+
+packet_pool::~packet_pool() {
+  // Ordinary shutdown releases every handle before the pool dies (network
+  // clears the event queue and drains MAC queues first). Be forgiving about
+  // stragglers anyway: destroy whatever is still live so payload objects —
+  // some own heap state (vectors in anti-entropy digests) — never leak.
+  for (std::uint32_t s = 0; s < slot_count_; ++s) {
+    payload_slot& sl = slot_at(s);
+    if (sl.obj != nullptr) destroy_slot(sl);
+  }
+}
+
+std::uint32_t packet_pool::grow() {
+  chunks_.push_back(std::make_unique<chunk>());
+  const auto base = static_cast<std::uint32_t>((chunks_.size() - 1)
+                                               << chunk_shift);
+  slot_count_ = base + static_cast<std::uint32_t>(chunk_slots);
+  // Thread the fresh chunk onto the free list back to front so slots hand
+  // out in ascending index order (stable, cache-friendly reuse).
+  for (std::uint32_t i = static_cast<std::uint32_t>(chunk_slots); i-- > 1;) {
+    slot_at(base + i).next_free = free_head_;
+    free_head_ = base + i;
+  }
+  return base;
+}
+
+}  // namespace manet

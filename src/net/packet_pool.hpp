@@ -1,0 +1,390 @@
+// Pooled, refcounted message payloads — the packet layer's twin of the event
+// kernel slab (sim/event_queue.hpp).
+//
+// Every in-flight message used to carry a `std::shared_ptr<const
+// message_payload>`: one heap allocation plus an atomic control block per
+// originated packet, over a hundred million of them in a large run. The pool
+// replaces that with a recycled slab of fixed-size slots. A payload is
+// constructed in place in a slot, handed around as a `payload_ptr` — a
+// {pool, slot index, generation} triple with a *non-atomic* refcount in the
+// slot (each simulation is confined to one thread; parallel sweeps give
+// every scenario its own network and therefore its own pool) — and the slot
+// returns to an intrusive LIFO free list when the last reference dies.
+// Generations make recycled slots detectable: a stale handle can never
+// resurrect a slot that has moved on (payload_weak::expired, mirroring
+// event_handle).
+//
+// Slots are addressed by index, never by raw pointer (detlint DET006): slab
+// chunks are address-stable, but a slot outlives any single payload's
+// residence in it, so pointer identity over slots is meaningless. Payload
+// objects larger than `payload_capacity` fall back to an individual heap
+// allocation owned by the slot (the slot still carries the refcount and
+// generation), mirroring the event kernel's oversized-capture fallback.
+#ifndef MANET_NET_PACKET_POOL_HPP
+#define MANET_NET_PACKET_POOL_HPP
+
+#include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace manet {
+
+/// Process-wide key identifying a concrete payload type; lets payload_cast
+/// be an integer compare + static_cast instead of an RTTI dynamic_cast on
+/// every received message.
+using payload_type_id = std::uint32_t;
+
+namespace detail {
+
+/// Hands out distinct ids, one per payload type, on first use. The counter
+/// is atomic because parallel sweep workers may first-touch a payload type
+/// concurrently; assignment order is therefore unspecified, which is fine —
+/// ids are only ever compared for equality, never ordered, hashed over, or
+/// exported, so they cannot leak into simulation behavior or the digest.
+inline payload_type_id allocate_payload_type_id() {
+  static std::atomic<payload_type_id> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
+/// The id for payload type T (stable for the process lifetime).
+template <typename T>
+payload_type_id payload_type_id_of() {
+  static const payload_type_id id = detail::allocate_payload_type_id();
+  return id;
+}
+
+/// Base class for message payloads. Concrete payload types live next to the
+/// protocol that defines them (consistency/messages.hpp, routing/aodv.cpp)
+/// and derive through typed_payload<T>, which stamps the type id used by
+/// payload_cast's fast path.
+struct message_payload {
+  virtual ~message_payload() = default;
+
+  /// Kind key for payload_cast: set once at construction by typed_payload.
+  const payload_type_id payload_type;
+
+ protected:
+  explicit message_payload(payload_type_id type) : payload_type(type) {}
+};
+
+/// CRTP base every concrete payload derives from:
+///   struct poll_msg final : typed_payload<poll_msg> { ... };
+template <typename T>
+struct typed_payload : message_payload {
+  typed_payload() : message_payload(payload_type_id_of<T>()) {}
+};
+
+class packet_pool;
+template <typename T>
+class pooled_payload;
+
+/// Sentinel slot index ("no slot").
+constexpr std::uint32_t payload_npos = 0xffffffffu;
+
+/// Owning, refcounted handle to a pooled payload. 16 bytes, copyable and
+/// movable; copies bump the slot's (non-atomic) refcount. An empty handle
+/// (`pool_ == nullptr`) models "no payload" exactly like a null shared_ptr
+/// did.
+class payload_ptr {
+ public:
+  constexpr payload_ptr() noexcept = default;
+  constexpr payload_ptr(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  payload_ptr(const payload_ptr& o) noexcept;
+  payload_ptr(payload_ptr&& o) noexcept
+      : pool_(o.pool_), slot_(o.slot_), generation_(o.generation_) {
+    o.pool_ = nullptr;
+    o.slot_ = payload_npos;
+  }
+  payload_ptr& operator=(const payload_ptr& o) noexcept;
+  payload_ptr& operator=(payload_ptr&& o) noexcept;
+  ~payload_ptr() { reset(); }
+
+  /// Drops this reference; the slot is recycled when the last one dies.
+  void reset() noexcept;
+
+  const message_payload* get() const noexcept;
+  const message_payload& operator*() const noexcept { return *get(); }
+  const message_payload* operator->() const noexcept { return get(); }
+  explicit operator bool() const noexcept { return pool_ != nullptr; }
+  friend bool operator==(const payload_ptr& p, std::nullptr_t) noexcept {
+    return p.pool_ == nullptr;
+  }
+  friend bool operator!=(const payload_ptr& p, std::nullptr_t) noexcept {
+    return p.pool_ != nullptr;
+  }
+
+  /// Slot identity (tests, diagnostics). payload_npos when empty.
+  std::uint32_t slot() const noexcept { return slot_; }
+  std::uint32_t generation() const noexcept { return generation_; }
+
+ protected:
+  payload_ptr(packet_pool* pool, std::uint32_t slot,
+              std::uint32_t generation) noexcept
+      : pool_(pool), slot_(slot), generation_(generation) {}
+
+ private:
+  friend class packet_pool;
+  friend class payload_weak;
+
+  packet_pool* pool_ = nullptr;
+  std::uint32_t slot_ = payload_npos;
+  std::uint32_t generation_ = 0;
+};
+
+/// Recycling slab allocator for message payloads. One per network; frames,
+/// pending routing queues and scheduled delivery events all hold payload_ptr
+/// handles into it, so the pool must outlive them (network declares it
+/// before the nodes and clears the simulator's event queue in its
+/// destructor).
+class packet_pool {
+ public:
+  /// Bytes of in-slot object storage; payload types larger than this are
+  /// heap-allocated per instance (counted in heap_fallbacks()). Sized so a
+  /// slot is exactly 128 bytes and every current payload type fits inline.
+  static constexpr std::size_t payload_capacity = 104;
+
+  packet_pool() = default;
+  packet_pool(const packet_pool&) = delete;
+  packet_pool& operator=(const packet_pool&) = delete;
+  ~packet_pool();
+
+  /// Constructs a T in a fresh slot with refcount 1. The returned handle
+  /// exposes mutable typed access (fill the fields, then hand it off as a
+  /// payload_ptr).
+  template <typename T, typename... Args>
+  pooled_payload<T> make(Args&&... args);
+
+  // --- observability (metrics, tests) ---------------------------------
+  /// Payloads currently alive.
+  std::size_t live() const { return live_; }
+  /// Slots ever created — the pool's high-water mark (the slab never
+  /// shrinks, so this equals the peak concurrent payload count rounded up
+  /// to a chunk).
+  std::size_t pool_slots() const { return slot_count_; }
+  /// Payloads constructed over the pool's lifetime.
+  std::uint64_t total_made() const { return total_made_; }
+  /// Constructions that exceeded payload_capacity and went to the heap.
+  std::uint64_t heap_fallbacks() const { return heap_fallbacks_; }
+  /// Approximate slab footprint in bytes.
+  std::size_t memory_bytes() const { return chunks_.size() * sizeof(chunk); }
+  /// Current generation of a slot (stale-handle tests).
+  std::uint32_t generation_of(std::uint32_t slot) const {
+    return slot_at(slot).generation;
+  }
+  /// True while the slot holds a live payload.
+  bool slot_live(std::uint32_t slot) const {
+    return slot < slot_count_ && slot_at(slot).obj != nullptr;
+  }
+
+ private:
+  friend class payload_ptr;
+  friend class payload_weak;
+
+  static constexpr std::size_t chunk_shift = 8;
+  static constexpr std::size_t chunk_slots = std::size_t{1} << chunk_shift;
+
+  /// One pooled payload record. Everything refers to it by {slot index,
+  /// generation}; the base-class pointer below is the slot's own bookkeeping
+  /// of where its object lives (in `storage`, or on the heap for oversized
+  /// types), not an identity anyone else may hold.
+  struct payload_slot {
+    alignas(alignof(std::max_align_t)) unsigned char storage[payload_capacity];
+    const message_payload* obj = nullptr;  ///< null while the slot is free
+    std::uint32_t refcount = 0;
+    std::uint32_t generation = 0;  ///< bumped on every release
+    std::uint32_t next_free = payload_npos;
+    bool heap = false;  ///< object individually heap-allocated
+  };
+  static_assert(sizeof(payload_slot) == 128, "keep slots cache-line sized");
+
+  /// Slab chunk: slots never move once created (handlers hold raw
+  /// `const T*` payload views across nested sends), so the slab grows in
+  /// address-stable chunks instead of reallocating one big vector.
+  struct chunk {
+    payload_slot slots[chunk_slots];
+  };
+
+  payload_slot& slot_at(std::uint32_t s) {
+    assert(s < slot_count_);
+    return chunks_[s >> chunk_shift]->slots[s & (chunk_slots - 1)];
+  }
+  const payload_slot& slot_at(std::uint32_t s) const {
+    assert(s < slot_count_);
+    return chunks_[s >> chunk_shift]->slots[s & (chunk_slots - 1)];
+  }
+
+  const message_payload* object(std::uint32_t s) const {
+    return slot_at(s).obj;
+  }
+
+  std::uint32_t acquire_slot();
+  std::uint32_t grow();  // cold path: allocates a chunk (packet_pool.cpp)
+
+  void retain_slot(std::uint32_t s, std::uint32_t generation) {
+    payload_slot& sl = slot_at(s);
+    assert(sl.generation == generation && sl.refcount > 0 &&
+           "retain through a stale payload handle");
+    (void)generation;
+    ++sl.refcount;
+  }
+
+  void release_slot(std::uint32_t s, std::uint32_t generation) {
+    payload_slot& sl = slot_at(s);
+    assert(sl.generation == generation && sl.refcount > 0 &&
+           "release through a stale payload handle");
+    (void)generation;
+    if (--sl.refcount > 0) return;
+    destroy_slot(sl);
+    sl.next_free = free_head_;
+    free_head_ = s;
+    --live_;
+  }
+
+  void destroy_slot(payload_slot& sl) {
+    if (sl.heap) {
+      delete sl.obj;
+      sl.heap = false;
+    } else {
+      sl.obj->~message_payload();
+    }
+    sl.obj = nullptr;
+    ++sl.generation;
+  }
+
+  std::vector<std::unique_ptr<chunk>> chunks_;
+  std::uint32_t free_head_ = payload_npos;
+  std::uint32_t slot_count_ = 0;
+  std::size_t live_ = 0;
+  std::uint64_t total_made_ = 0;
+  std::uint64_t heap_fallbacks_ = 0;
+};
+
+/// Typed construction handle returned by packet_pool::make<T>: an owning
+/// payload_ptr plus mutable typed access, so call sites keep their
+/// "construct, fill fields, send" shape. Passing it where a payload_ptr is
+/// expected slices away the mutable view, freezing the payload.
+template <typename T>
+class pooled_payload : public payload_ptr {
+ public:
+  T* operator->() const noexcept { return mut_; }
+  T& operator*() const noexcept { return *mut_; }
+
+ private:
+  friend class packet_pool;
+  pooled_payload(packet_pool* pool, std::uint32_t slot,
+                 std::uint32_t generation, T* obj) noexcept
+      : payload_ptr(pool, slot, generation), mut_(obj) {}
+
+  T* mut_;
+};
+
+template <typename T, typename... Args>
+pooled_payload<T> packet_pool::make(Args&&... args) {
+  static_assert(std::is_base_of_v<message_payload, T>,
+                "pooled payloads must derive from message_payload");
+  const std::uint32_t s = acquire_slot();
+  payload_slot& sl = slot_at(s);
+  T* obj = nullptr;
+  if constexpr (sizeof(T) <= payload_capacity &&
+                alignof(T) <= alignof(std::max_align_t)) {
+    obj = new (static_cast<void*>(sl.storage)) T(std::forward<Args>(args)...);
+  } else {
+    obj = new T(std::forward<Args>(args)...);
+    sl.heap = true;
+    ++heap_fallbacks_;
+  }
+  sl.obj = obj;
+  sl.refcount = 1;
+  ++live_;
+  ++total_made_;
+  return pooled_payload<T>(this, s, sl.generation, obj);
+}
+
+inline std::uint32_t packet_pool::acquire_slot() {
+  if (free_head_ == payload_npos) return grow();
+  const std::uint32_t s = free_head_;
+  free_head_ = slot_at(s).next_free;
+  return s;
+}
+
+inline payload_ptr::payload_ptr(const payload_ptr& o) noexcept
+    : pool_(o.pool_), slot_(o.slot_), generation_(o.generation_) {
+  if (pool_ != nullptr) pool_->retain_slot(slot_, generation_);
+}
+
+inline payload_ptr& payload_ptr::operator=(const payload_ptr& o) noexcept {
+  if (this == &o) return *this;
+  if (o.pool_ != nullptr) o.pool_->retain_slot(o.slot_, o.generation_);
+  reset();
+  pool_ = o.pool_;
+  slot_ = o.slot_;
+  generation_ = o.generation_;
+  return *this;
+}
+
+inline payload_ptr& payload_ptr::operator=(payload_ptr&& o) noexcept {
+  if (this == &o) return *this;
+  reset();
+  pool_ = o.pool_;
+  slot_ = o.slot_;
+  generation_ = o.generation_;
+  o.pool_ = nullptr;
+  o.slot_ = payload_npos;
+  return *this;
+}
+
+inline void payload_ptr::reset() noexcept {
+  if (pool_ == nullptr) return;
+  pool_->release_slot(slot_, generation_);
+  pool_ = nullptr;
+  slot_ = payload_npos;
+}
+
+inline const message_payload* payload_ptr::get() const noexcept {
+  if (pool_ == nullptr) return nullptr;
+  assert(pool_->generation_of(slot_) == generation_ &&
+         "payload handle outlived its slot");
+  return pool_->object(slot_);
+}
+
+/// Non-owning observation handle (the payload twin of event_handle): knows
+/// which {slot, generation} it watched and reports expiry once the last
+/// owning reference died, even after the slot is recycled for a new payload.
+class payload_weak {
+ public:
+  payload_weak() = default;
+  explicit payload_weak(const payload_ptr& p)
+      : pool_(p.pool_), slot_(p.slot_), generation_(p.generation_) {}
+
+  /// True when empty or when the watched payload has been released (the
+  /// slot's generation moved on, or the slot is currently free).
+  bool expired() const {
+    return pool_ == nullptr || !pool_->slot_live(slot_) ||
+           pool_->generation_of(slot_) != generation_;
+  }
+
+  /// Promotes to an owning handle; empty when expired.
+  payload_ptr lock() const {
+    if (expired()) return {};
+    pool_->retain_slot(slot_, generation_);
+    return payload_ptr(pool_, slot_, generation_);
+  }
+
+ private:
+  packet_pool* pool_ = nullptr;
+  std::uint32_t slot_ = payload_npos;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace manet
+
+#endif  // MANET_NET_PACKET_POOL_HPP

@@ -15,6 +15,7 @@ radio::radio(network& net, radio_params params)
   assert(params_.bandwidth_bps > 0);
   index_ = std::make_unique<spatial_index>(net_);
   set_neighbor_index(params_.neighbor_index);
+  set_grid_maintenance(params_.grid_maintenance);
 }
 
 radio::~radio() = default;
@@ -26,6 +27,17 @@ void radio::set_neighbor_index(const std::string& mode) {
   }
   params_.neighbor_index = mode;
   use_grid_ = mode == "grid";
+}
+
+void radio::set_grid_maintenance(const std::string& mode) {
+  if (mode != "incremental" && mode != "epoch") {
+    throw std::runtime_error("unknown grid maintenance '" + mode +
+                             "' (expected incremental|epoch)");
+  }
+  params_.grid_maintenance = mode;
+  index_->set_maintenance(mode == "epoch"
+                              ? spatial_index::maintenance::epoch
+                              : spatial_index::maintenance::incremental);
 }
 
 sim_duration radio::tx_time(std::size_t bytes) const {
@@ -40,13 +52,12 @@ void radio::set_range_scale(double scale) {
 
 bool radio::reachable(node_id a, node_id b) const {
   if (a == b) return false;
-  const node& na = net_.at(a);
-  const node& nb = net_.at(b);
-  if (!na.up() || !nb.up()) return false;
+  if (!net_.node_up(a) || !net_.node_up(b)) return false;
   if (filter_ && !filter_(a, b)) return false;
   const sim_time now = net_.sim().now();
   const double r = effective_range();
-  return distance2(na.position_at(now), nb.position_at(now)) <= r * r;
+  return distance2(net_.at(a).position_at(now), net_.at(b).position_at(now)) <=
+         r * r;
 }
 
 std::vector<node_id> radio::neighbors(node_id u) const {
@@ -69,19 +80,22 @@ std::vector<node_id> radio::neighbors(node_id u) const {
     return out;
   }
 
-  // Grid path: the index snapshots positions per timestamp; up/down state
-  // and the fault-layer link filter can flip between two queries at the
-  // same instant, so they are re-checked per candidate like the naive scan.
+  // Grid path: candidates come from the (possibly slack-inflated, see
+  // spatial_index) position snapshot, but the exact distance check uses
+  // true current positions — the same arithmetic as the naive scan, which
+  // is what makes all index modes return bit-identical neighbor lists.
+  // Up/down state and the fault-layer link filter can flip between two
+  // queries at the same instant, so they too are re-checked per candidate.
   index_->refresh(now, r);
-  const vec2 pu = index_->cached_position(u);
+  const vec2 pu = nu.position_at(now);
   scratch_.clear();
   index_->candidates(pu, r, scratch_);
   for (node_id v : scratch_) {
     if (v == u) continue;
-    const node& nv = net_.at(v);
+    node& nv = net_.at(v);
     if (!nv.up()) continue;
     if (filter_ && !filter_(u, v)) continue;
-    if (distance2(pu, index_->cached_position(v)) <= r2) out.push_back(v);
+    if (distance2(pu, nv.position_at(now)) <= r2) out.push_back(v);
   }
   // Cells are visited in row-major order; sort so the result is the same
   // ascending-id list the naive scan produces (downstream delivery order —

@@ -42,10 +42,15 @@ struct radio_params {
   /// Interference radius; 0 means "same as communication range".
   meters interference_range = 0;
   /// Neighbor resolution strategy: "grid" answers neighbors() from a
-  /// uniform-grid spatial index (cell side = effective range, rebuilt
-  /// lazily per timestamp); "naive" scans all n nodes per query. The two
-  /// return identical results — naive is kept as the correctness oracle.
+  /// uniform-grid spatial index (cell side = effective range); "naive"
+  /// scans all n nodes per query. The two return identical results —
+  /// naive is kept as the correctness oracle.
   std::string neighbor_index = "grid";
+  /// Grid upkeep policy: "incremental" serves queries from a slack-inflated
+  /// stale snapshot with cheap cell-delta passes; "epoch" rebuilds the grid
+  /// whenever the query timestamp moves (see spatial_index). Identical
+  /// neighbor lists either way.
+  std::string grid_maintenance = "incremental";
 };
 
 class radio {
@@ -60,6 +65,9 @@ class radio {
   /// the exact same node trajectories). Throws on unknown modes.
   void set_neighbor_index(const std::string& mode);
   bool grid_index_active() const { return use_grid_; }
+  /// Switches the grid's maintenance policy between "incremental" and
+  /// "epoch" at runtime. Throws on unknown modes.
+  void set_grid_maintenance(const std::string& mode);
   /// The grid index (always constructed; only consulted in grid mode).
   const spatial_index& index() const { return *index_; }
 

@@ -10,13 +10,35 @@ namespace manet {
 
 spatial_index::spatial_index(const network& net) : net_(net) {}
 
+void spatial_index::set_maintenance(maintenance m) {
+  if (mode_ == m) return;
+  mode_ = m;
+  valid_ = false;  // next refresh() rebuilds under the new policy
+}
+
 void spatial_index::refresh(sim_time now, meters cell_size) {
   assert(cell_size > 0);
-  if (valid_ && built_time_ == now && requested_cell_ == cell_size &&
-      pos_.size() == net_.size()) {
+  if (!valid_ || requested_cell_ != cell_size || pos_.size() != net_.size()) {
+    rebuild(now, cell_size);
     return;
   }
-  rebuild(now, cell_size);
+  assert(now >= built_time_ && "queries must be non-decreasing in time");
+  if (mode_ == maintenance::epoch) {
+    if (built_time_ != now) rebuild(now, cell_size);
+    return;
+  }
+  if (now > built_time_) {
+    // Half a cell of slack keeps the candidate block at most one cell wider
+    // per axis than an exact query's; beyond that, re-snapshot. An infinite
+    // speed bound (drift = +inf) always exceeds the budget, degrading to one
+    // delta pass per distinct timestamp.
+    const double drift = net_.max_node_speed() * (now - built_time_);
+    if (drift <= 0.5 * requested_cell_) {
+      slack_ = drift;
+    } else {
+      delta_update(now);
+    }
+  }
 }
 
 void spatial_index::rebuild(sim_time now, meters cell_size) {
@@ -57,19 +79,68 @@ void spatial_index::rebuild(sim_time now, meters cell_size) {
   cell_w_ = std::max(cell_size, (hi.x - lo.x) / static_cast<double>(nx_));
   cell_h_ = std::max(cell_size, (hi.y - lo.y) / static_cast<double>(ny_));
 
-  cell_start_.assign(nx_ * ny_ + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) ++cell_start_[cell_of(pos_[i]) + 1];
-  for (std::size_t c = 1; c < cell_start_.size(); ++c) {
-    cell_start_[c] += cell_start_[c - 1];
+  bucket_storage_ = mode_ == maintenance::incremental;
+  if (bucket_storage_) {
+    buckets_.assign(nx_ * ny_, {});
+    node_cell_.resize(n);
+    for (node_id i = 0; i < n; ++i) {
+      const auto c = static_cast<std::uint32_t>(cell_of(pos_[i]));
+      node_cell_[i] = c;
+      buckets_[c].push_back(i);  // ascending i keeps buckets sorted
+    }
+    cell_start_.clear();
+    ids_.clear();
+  } else {
+    cell_start_.assign(nx_ * ny_ + 1, 0);
+    for (std::size_t i = 0; i < n; ++i) ++cell_start_[cell_of(pos_[i]) + 1];
+    for (std::size_t c = 1; c < cell_start_.size(); ++c) {
+      cell_start_[c] += cell_start_[c - 1];
+    }
+    ids_.resize(n);
+    std::vector<std::uint32_t> cursor(cell_start_.begin(),
+                                      cell_start_.end() - 1);
+    for (node_id i = 0; i < n; ++i) ids_[cursor[cell_of(pos_[i])]++] = i;
+    buckets_.clear();
+    node_cell_.clear();
   }
-  ids_.resize(n);
-  std::vector<std::uint32_t> cursor(cell_start_.begin(), cell_start_.end() - 1);
-  for (node_id i = 0; i < n; ++i) ids_[cursor[cell_of(pos_[i])]++] = i;
 
   valid_ = true;
   built_time_ = now;
   requested_cell_ = cell_size;
+  slack_ = 0;
   ++rebuilds_;
+}
+
+void spatial_index::delta_update(sim_time now) {
+  assert(bucket_storage_);
+  const std::size_t n = net_.size();
+  const double span_x = cell_w_ * static_cast<double>(nx_);
+  const double span_y = cell_h_ * static_cast<double>(ny_);
+  std::size_t outside = 0;
+  for (node_id i = 0; i < n; ++i) {
+    const vec2 p = net_.at(i).position_at(now);
+    pos_[i] = p;
+    if (p.x < origin_.x || p.y < origin_.y || p.x > origin_.x + span_x ||
+        p.y > origin_.y + span_y) {
+      ++outside;
+    }
+    const auto c = static_cast<std::uint32_t>(cell_of(p));
+    if (c != node_cell_[i]) {
+      auto& from = buckets_[node_cell_[i]];
+      from.erase(std::lower_bound(from.begin(), from.end(), i));
+      auto& to = buckets_[c];
+      to.insert(std::lower_bound(to.begin(), to.end(), i), i);
+      node_cell_[i] = c;
+      ++cell_moves_;
+    }
+  }
+  built_time_ = now;
+  slack_ = 0;
+  ++delta_passes_;
+  // Edge cells absorb everything beyond the fitted bounding box (cell_of
+  // clamps), which is correct but degenerates toward a linear scan if the
+  // swarm migrates. Refit once a quarter of the nodes have left the box.
+  if (outside * 4 > n) rebuild(now, requested_cell_);
 }
 
 std::size_t spatial_index::cell_of(vec2 p) const {
@@ -85,14 +156,18 @@ std::size_t spatial_index::cell_of(vec2 p) const {
 void spatial_index::candidates(vec2 center, meters radius,
                                std::vector<node_id>& out) const {
   assert(valid_);
-  // Cells overlapping [center - radius, center + radius] in each axis. The
-  // index mapping below is the same monotone floor used at insertion, so a
-  // node within `radius` of `center` always lands inside the scanned block
-  // (division by a positive cell extent and subtraction are monotone in
-  // IEEE arithmetic).
-  // The 1e-9-cell pad absorbs the at-most-ulp-sized rounding of center ±
-  // radius, so a node exactly at distance `radius` on a cell boundary can
-  // never fall just outside the block.
+  // The snapshot is up to slack_ meters stale: a node truly within `radius`
+  // of `center` now was photographed within radius + slack_ of it, so the
+  // inflated disk's cell block is a superset of the true in-range set.
+  const double r = radius + slack_;
+  // Cells overlapping [center - r, center + r] in each axis. The index
+  // mapping below is the same monotone floor used at insertion, so a node
+  // within `r` of `center` always lands inside the scanned block (division
+  // by a positive cell extent and subtraction are monotone in IEEE
+  // arithmetic).
+  // The 1e-9-cell pad absorbs the at-most-ulp-sized rounding of center ± r,
+  // so a node exactly at distance `r` on a cell boundary can never fall
+  // just outside the block.
   auto cell_index = [](double delta, double cell, std::size_t limit) {
     const double f = std::floor(delta / cell);
     if (f <= 0) return std::size_t{0};
@@ -100,22 +175,32 @@ void spatial_index::candidates(vec2 center, meters radius,
   };
   const double pad_x = cell_w_ * 1e-9;
   const double pad_y = cell_h_ * 1e-9;
-  const std::size_t ix0 =
-      cell_index(center.x - radius - pad_x - origin_.x, cell_w_, nx_);
-  const std::size_t ix1 =
-      cell_index(center.x + radius + pad_x - origin_.x, cell_w_, nx_);
-  const std::size_t iy0 =
-      cell_index(center.y - radius - pad_y - origin_.y, cell_h_, ny_);
-  const std::size_t iy1 =
-      cell_index(center.y + radius + pad_y - origin_.y, cell_h_, ny_);
+  const std::size_t ix0 = cell_index(center.x - r - pad_x - origin_.x, cell_w_, nx_);
+  const std::size_t ix1 = cell_index(center.x + r + pad_x - origin_.x, cell_w_, nx_);
+  const std::size_t iy0 = cell_index(center.y - r - pad_y - origin_.y, cell_h_, ny_);
+  const std::size_t iy1 = cell_index(center.y + r + pad_y - origin_.y, cell_h_, ny_);
   for (std::size_t iy = iy0; iy <= iy1; ++iy) {
     for (std::size_t ix = ix0; ix <= ix1; ++ix) {
       const std::size_t c = iy * nx_ + ix;
-      for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
-        out.push_back(ids_[k]);
+      if (bucket_storage_) {
+        for (const node_id v : buckets_[c]) out.push_back(v);
+      } else {
+        for (std::uint32_t k = cell_start_[c]; k < cell_start_[c + 1]; ++k) {
+          out.push_back(ids_[k]);
+        }
       }
     }
   }
+}
+
+std::size_t spatial_index::memory_bytes() const {
+  std::size_t b = cell_start_.capacity() * sizeof(std::uint32_t) +
+                  ids_.capacity() * sizeof(node_id) +
+                  pos_.capacity() * sizeof(vec2) +
+                  node_cell_.capacity() * sizeof(std::uint32_t) +
+                  buckets_.capacity() * sizeof(std::vector<node_id>);
+  for (const auto& bk : buckets_) b += bk.capacity() * sizeof(node_id);
+  return b;
 }
 
 }  // namespace manet

@@ -7,17 +7,34 @@
 // >= the query radius, so a query touches only the (at most) 3x3 block of
 // cells overlapping the range disk.
 //
-// Rebuild policy (correctness vs continuous mobility): positions are
-// continuous functions of simulation time, so a grid built at time t is
-// stale for any t' != t. Instead of tracking mobility updates (there are
-// none — models are lazy), the index is rebuilt on demand whenever the
-// (time, cell size, node count) triple it was built for no longer matches
-// the query. Event-driven simulations issue bursts of neighbor queries at a
-// single timestamp (a broadcast fan-out, a whole BFS), so one O(n) rebuild
-// amortizes across many O(1)-ish queries. Up/down state and fault-layer
-// link filters are deliberately NOT baked into the grid: they can flip
-// between two queries at the same timestamp, so the radio re-checks them
-// per candidate, exactly as the naive scan does.
+// Two maintenance policies (correctness vs continuous mobility):
+//
+//  * epoch — positions are continuous functions of simulation time, so a
+//    grid built at time t is stale for any t' != t. The grid is rebuilt on
+//    demand whenever the (time, cell size, node count) triple it was built
+//    for no longer matches the query. Event-driven simulations issue bursts
+//    of neighbor queries at a single timestamp (a broadcast fan-out, a whole
+//    BFS), so one O(n) rebuild amortizes across many O(1)-ish queries.
+//
+//  * incremental (default) — the grid keeps serving queries from a slightly
+//    stale position snapshot. Every mobility model exposes a sound speed
+//    bound (mobility_model::max_speed_mps), so a node photographed at time
+//    t0 has drifted at most max_speed * (now - t0) by query time; inflating
+//    the query radius by that slack makes the stale candidate set a
+//    provable superset of the true in-range set. When the slack would
+//    exceed half a cell, one O(n) delta pass re-snapshots positions and
+//    moves only the nodes that crossed a cell boundary — the grid geometry
+//    stays fixed, so at n=100k the steady state does cheap bucket moves
+//    instead of full CSR rebuilds at every distinct timestamp. Models that
+//    cannot bound their speed (+inf) degrade to one delta pass per
+//    timestamp, which is still never worse than the epoch policy's rebuild.
+//
+// Either way the candidate set is a superset: the radio applies the exact
+// distance check against *true* current positions (identical in both modes,
+// which is what keeps the simulation digest byte-identical across policies).
+// Up/down state and fault-layer link filters are deliberately NOT baked into
+// the grid: they can flip between two queries at the same timestamp, so the
+// radio re-checks them per candidate, exactly as the naive scan does.
 #ifndef MANET_NET_SPATIAL_INDEX_HPP
 #define MANET_NET_SPATIAL_INDEX_HPP
 
@@ -33,51 +50,88 @@ class network;  // owner of the nodes whose positions are indexed
 
 class spatial_index {
  public:
+  enum class maintenance {
+    epoch,       ///< full rebuild whenever the query timestamp moves
+    incremental  ///< slack-inflated queries + cell-delta passes (default)
+  };
+
   explicit spatial_index(const network& net);
 
-  /// Ensures the grid describes all nodes at time `now` with cells of side
-  /// >= `cell_size`; rebuilds if anything drifted. Requires cell_size > 0
-  /// and `now` non-decreasing across calls (mobility models advance lazily).
+  /// Switches the maintenance policy; the next refresh() starts from a full
+  /// rebuild under the new policy.
+  void set_maintenance(maintenance m);
+  maintenance policy() const { return mode_; }
+
+  /// Ensures the grid can answer queries for all nodes at time `now` with
+  /// cells of side >= `cell_size`; rebuilds or delta-updates as the policy
+  /// dictates. Requires cell_size > 0 and `now` non-decreasing across calls
+  /// (mobility models advance lazily).
   void refresh(sim_time now, meters cell_size);
 
-  /// Appends every node whose grid cell overlaps the disk (center, radius)
-  /// to `out` — a superset of the true in-range set; the caller applies the
-  /// exact distance / up / filter checks. Candidates within one cell come in
+  /// Appends every node whose grid cell overlaps the disk (center,
+  /// radius + current slack) to `out` — a superset of the true in-range
+  /// set; the caller applies the exact distance / up / filter checks
+  /// against true current positions. Candidates within one cell come in
   /// ascending id order, but cells are visited in row-major order, so the
   /// concatenation is not globally sorted. Requires a prior refresh() with
   /// cell_size >= radius at the current time.
   void candidates(vec2 center, meters radius, std::vector<node_id>& out) const;
 
-  /// Position of node `id` cached at the last refresh() timestamp.
+  /// Position of node `id` as of the last snapshot (exact under the epoch
+  /// policy, up to slack() meters stale under incremental).
   vec2 cached_position(node_id id) const { return pos_[id]; }
 
-  /// Rebuilds performed so far (observability for tests and benches).
-  std::uint64_t rebuilds() const { return rebuilds_; }
+  /// Current query-radius inflation in meters (0 under the epoch policy).
+  meters slack() const { return slack_; }
+
+  // --- observability (tests, benches, metric gauges) ---
+  std::uint64_t rebuilds() const { return rebuilds_; }          ///< full rebuilds
+  std::uint64_t delta_passes() const { return delta_passes_; }  ///< incremental passes
+  std::uint64_t cell_moves() const { return cell_moves_; }      ///< bucket moves
+  std::size_t cell_count() const { return valid_ ? nx_ * ny_ : 0; }
+  std::size_t memory_bytes() const;
 
  private:
   void rebuild(sim_time now, meters cell_size);
+  /// One incremental pass: re-snapshot every position, move cell-crossers
+  /// between buckets. Falls back to a full rebuild when too many nodes have
+  /// drifted outside the bounding box the geometry was fit to (the edge
+  /// cells stay *correct* — cell_of clamps — they just get crowded).
+  void delta_update(sim_time now);
 
   std::size_t cell_of(vec2 p) const;
 
   const network& net_;
+  maintenance mode_ = maintenance::incremental;
 
   // Grid built state; valid_ is false until the first refresh().
   bool valid_ = false;
-  sim_time built_time_ = 0;
-  meters requested_cell_ = 0;  ///< cell_size the grid was refreshed for
-  vec2 origin_;                ///< min corner of the node bounding box
-  meters cell_w_ = 1;          ///< effective cell extent (>= requested_cell_)
+  bool bucket_storage_ = false;  ///< true when buckets_/node_cell_ are live
+  sim_time built_time_ = 0;      ///< timestamp of the position snapshot
+  meters requested_cell_ = 0;    ///< cell_size the grid was refreshed for
+  meters slack_ = 0;             ///< drift bound since built_time_
+  vec2 origin_;                  ///< min corner of the node bounding box
+  meters cell_w_ = 1;            ///< effective cell extent (>= requested_cell_)
   meters cell_h_ = 1;
   std::size_t nx_ = 1;
   std::size_t ny_ = 1;
 
-  // CSR bucket storage: ids_[cell_start_[c] .. cell_start_[c+1]) are the
-  // nodes in cell c, in ascending id order.
+  // CSR bucket storage (epoch policy): ids_[cell_start_[c] ..
+  // cell_start_[c+1]) are the nodes in cell c, in ascending id order.
   std::vector<std::uint32_t> cell_start_;
   std::vector<node_id> ids_;
+
+  // Per-cell bucket storage (incremental policy): buckets_[c] holds the
+  // nodes in cell c in ascending id order; node_cell_ is the inverse map,
+  // which is what makes a cell-crossing move O(bucket) instead of O(n).
+  std::vector<std::vector<node_id>> buckets_;
+  std::vector<std::uint32_t> node_cell_;
+
   std::vector<vec2> pos_;  ///< per-node position snapshot at built_time_
 
   std::uint64_t rebuilds_ = 0;
+  std::uint64_t delta_passes_ = 0;
+  std::uint64_t cell_moves_ = 0;
 };
 
 }  // namespace manet

@@ -1,0 +1,23 @@
+#include "obs/host_mem.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace manet {
+
+std::size_t peak_rss_bytes() {
+#if defined(__APPLE__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+  return static_cast<std::size_t>(u.ru_maxrss);  // already bytes on macOS
+#elif defined(__unix__)
+  rusage u{};
+  if (getrusage(RUSAGE_SELF, &u) != 0) return 0;
+  return static_cast<std::size_t>(u.ru_maxrss) * 1024;  // kilobytes on Linux
+#else
+  return 0;
+#endif
+}
+
+}  // namespace manet

@@ -1,0 +1,23 @@
+// Host-process memory introspection (observability only).
+//
+// Reads the OS's account of this process's peak resident set size. Purely a
+// host-side probe: nothing in the simulation may branch on it (DET008), it
+// exists so benches and the metrics registry can report the real memory
+// footprint of a run — the number the n=100k scaling gate is about.
+#ifndef MANET_OBS_HOST_MEM_HPP
+#define MANET_OBS_HOST_MEM_HPP
+
+#include <cstddef>
+
+namespace manet {
+
+/// Peak resident set size of the calling process in bytes, from
+/// getrusage(RUSAGE_SELF). Returns 0 on platforms without the call.
+/// Monotone over the process lifetime: to attribute memory to a phase,
+/// subtract a baseline read taken before the phase (or fork per phase, as
+/// bench/scale_sweep does).
+std::size_t peak_rss_bytes();
+
+}  // namespace manet
+
+#endif  // MANET_OBS_HOST_MEM_HPP

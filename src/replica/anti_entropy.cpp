@@ -51,7 +51,7 @@ void anti_entropy::gossip_once(node_id n) {
   const node_id peer = neighbors[rngs_.at(n).uniform_int(neighbors.size())];
   ++rounds_;
 
-  auto payload = std::make_shared<digest_payload>();
+  auto payload = net_.payloads().make<digest_payload>();
   for (object_id o : stores_[n].objects()) {
     const replica_object* obj = stores_[n].find(o);
     payload->entries.emplace_back(o, obj->clock);
@@ -65,7 +65,7 @@ void anti_entropy::send_delta(node_id from, node_id to,
                               const std::vector<object_id>& objects,
                               const std::vector<object_id>& want) {
   if (objects.empty() && want.empty()) return;
-  auto payload = std::make_shared<delta_payload>();
+  auto payload = net_.payloads().make<delta_payload>();
   for (object_id o : objects) {
     const replica_object* obj = stores_[from].find(o);
     if (obj != nullptr) payload->objects.push_back(*obj);

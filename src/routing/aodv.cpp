@@ -33,8 +33,23 @@ aodv_router::aodv_router(network& net, aodv_params params)
 }
 
 aodv_router::node_state& aodv_router::state(node_id id) {
-  if (states_.size() < net_.size()) states_.resize(net_.size());
-  return states_.at(id);
+  if (states_.size() < net_.size()) {
+    states_.resize(net_.size());
+    if (!params_.lazy_state) {
+      for (auto& s : states_) {
+        if (s == nullptr) {
+          s = std::make_unique<node_state>();
+          ++materialized_;
+        }
+      }
+    }
+  }
+  auto& s = states_.at(id);
+  if (s == nullptr) {
+    s = std::make_unique<node_state>();
+    ++materialized_;
+  }
+  return *s;
 }
 
 void aodv_router::install_route(node_id self, node_id dst, node_id next_hop,
@@ -68,14 +83,14 @@ const aodv_router::route_entry* aodv_router::lookup_route(node_id self, node_id 
 
 bool aodv_router::has_route(node_id self, node_id dst) const {
   // const_cast-free reimplementation of lookup without erasure.
-  if (states_.size() <= self) return false;
-  auto it = states_[self].routes.find(dst);
-  return it != states_[self].routes.end() && it->second.expires >= net_.sim().now();
+  if (states_.size() <= self || states_[self] == nullptr) return false;
+  const node_state& st = *states_[self];
+  auto it = st.routes.find(dst);
+  return it != st.routes.end() && it->second.expires >= net_.sim().now();
 }
 
 void aodv_router::send(node_id from, node_id to, packet_kind kind,
-                       std::shared_ptr<const message_payload> payload,
-                       std::size_t size_bytes) {
+                       payload_ptr payload, std::size_t size_bytes) {
   assert(kind >= first_app_kind && "app unicast must use app kinds");
   packet p;
   p.uid = net_.next_uid();
@@ -145,7 +160,7 @@ void aodv_router::handle_forward_failure(node_id self, const packet& p) {
   // Tell the origin its route through us is dead so it rediscovers promptly.
   const route_entry* back = lookup_route(self, p.src);
   if (back == nullptr || !net_.air().reachable(self, back->next_hop)) return;
-  auto payload = std::make_shared<rerr_payload>();
+  auto payload = net_.payloads().make<rerr_payload>();
   payload->unreachable = p.dst;
   packet err;
   err.uid = net_.next_uid();
@@ -176,7 +191,7 @@ void aodv_router::send_rreq(node_id self, node_id dst) {
   for (int i = 0; i < retries && ring_ttl < params_.rreq_ttl_max; ++i) ring_ttl *= 2;
   if (ring_ttl > params_.rreq_ttl_max) ring_ttl = params_.rreq_ttl_max;
 
-  auto payload = std::make_shared<rreq_payload>();
+  auto payload = net_.payloads().make<rreq_payload>();
   payload->target = dst;
   packet p;
   p.uid = net_.next_uid();
@@ -213,7 +228,7 @@ void aodv_router::on_rreq(node_id self, node_id from, const packet& p) {
   // Learn/refresh the reverse route toward the origin.
   install_route(self, p.src, from, p.hops + 1);
   if (req->target == self) {
-    auto payload = std::make_shared<rrep_payload>();
+    auto payload = net_.payloads().make<rrep_payload>();
     payload->target = self;
     packet rep;
     rep.uid = net_.next_uid();

@@ -14,6 +14,7 @@
 #ifndef MANET_ROUTING_AODV_HPP
 #define MANET_ROUTING_AODV_HPP
 
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -34,14 +35,18 @@ struct aodv_params {
   std::size_t rreq_bytes = 24;
   std::size_t rrep_bytes = 24;
   std::size_t rerr_bytes = 20;
+  /// Lazily materialize per-node route state on first touch (scenario knob
+  /// route_state=lazy|eager). Idle nodes then carry no route tables at all —
+  /// at n=100k with TTL-scoped floods, most nodes never route anything.
+  /// Behavior is identical either way: state is only ever looked up by key.
+  bool lazy_state = true;
 };
 
 class aodv_router final : public router {
  public:
   aodv_router(network& net, aodv_params params = {});
 
-  void send(node_id from, node_id to, packet_kind kind,
-            std::shared_ptr<const message_payload> payload,
+  void send(node_id from, node_id to, packet_kind kind, payload_ptr payload,
             std::size_t size_bytes) override;
 
   void on_frame(node_id self, node_id from, const packet& p) override;
@@ -55,6 +60,9 @@ class aodv_router final : public router {
 
   /// Number of discoveries started (diagnostics/benchmarks).
   std::uint64_t discoveries_started() const { return discoveries_; }
+
+  /// Nodes whose route state has been materialized (lazy-mode diagnostics).
+  std::size_t materialized_states() const { return materialized_; }
 
  private:
   struct route_entry {
@@ -92,7 +100,11 @@ class aodv_router final : public router {
 
   network& net_;
   aodv_params params_;
-  std::vector<node_state> states_;
+  /// Per-node state, materialized on first touch in lazy mode (an untouched
+  /// entry stays a null pointer: 8 bytes instead of two hash maps and a
+  /// dedup cache per idle node).
+  std::vector<std::unique_ptr<node_state>> states_;
+  std::size_t materialized_ = 0;
   std::uint64_t discoveries_ = 0;
 };
 

@@ -7,8 +7,7 @@ namespace manet {
 oracle_router::oracle_router(network& net) : net_(net) {}
 
 void oracle_router::send(node_id from, node_id to, packet_kind kind,
-                         std::shared_ptr<const message_payload> payload,
-                         std::size_t size_bytes) {
+                         payload_ptr payload, std::size_t size_bytes) {
   packet p;
   p.uid = net_.next_uid();
   p.kind = kind;

@@ -14,8 +14,7 @@ class oracle_router final : public router {
  public:
   explicit oracle_router(network& net);
 
-  void send(node_id from, node_id to, packet_kind kind,
-            std::shared_ptr<const message_payload> payload,
+  void send(node_id from, node_id to, packet_kind kind, payload_ptr payload,
             std::size_t size_bytes) override;
 
   void on_frame(node_id self, node_id from, const packet& p) override;

@@ -13,7 +13,7 @@
 
 #include <functional>
 #include <memory>
-#include <unordered_map>
+#include <vector>
 
 #include "net/packet.hpp"
 
@@ -36,6 +36,7 @@ class router {
 
   /// Kind-specific delivery handler; takes precedence over the default.
   void set_kind_handler(packet_kind kind, delivery_handler h) {
+    if (deliver_by_kind_.size() <= kind) deliver_by_kind_.resize(kind + 1);
     deliver_by_kind_[kind] = std::move(h);
   }
 
@@ -43,8 +44,7 @@ class router {
   /// may be dropped on route failure (metered as drops); callers that need
   /// reliability retry at the protocol layer, as real MANET protocols do.
   virtual void send(node_id from, node_id to, packet_kind kind,
-                    std::shared_ptr<const message_payload> payload,
-                    std::size_t size_bytes) = 0;
+                    payload_ptr payload, std::size_t size_bytes) = 0;
 
   /// Frame entry point for unicast data and routing control frames.
   virtual void on_frame(node_id self, node_id from, const packet& p) = 0;
@@ -52,8 +52,8 @@ class router {
  protected:
   /// Implementations call this when a packet reaches its destination.
   void deliver_to_app(node_id self, const packet& p) {
-    if (auto it = deliver_by_kind_.find(p.kind); it != deliver_by_kind_.end()) {
-      it->second(self, p);
+    if (p.kind < deliver_by_kind_.size() && deliver_by_kind_[p.kind]) {
+      deliver_by_kind_[p.kind](self, p);
     } else if (deliver_default_) {
       deliver_default_(self, p);
     }
@@ -61,7 +61,9 @@ class router {
 
  private:
   delivery_handler deliver_default_;
-  std::unordered_map<packet_kind, delivery_handler> deliver_by_kind_;
+  /// Flat per-kind dispatch (kinds are small and dense; see
+  /// flooding_service::kind_handlers_).
+  std::vector<delivery_handler> deliver_by_kind_;
 
  public:
   /// Route learning from overheard flood traffic (DSR-style): a flood frame

@@ -62,6 +62,9 @@ scenario_params scenario_params::from_config(const config& cfg) {
   p.platoon_headway = cfg.get_double("platoon_headway", p.platoon_headway);
   p.router = cfg.get_string("router", p.router);
   p.neighbor_index = cfg.get_string("neighbor_index", p.neighbor_index);
+  p.grid_maintenance = cfg.get_string("grid_maintenance", p.grid_maintenance);
+  p.flood_batching = cfg.get_bool("flood_batching", p.flood_batching);
+  p.route_state = cfg.get_string("route_state", p.route_state);
   p.mac = cfg.get_string("mac", p.mac);
   p.loss_probability = cfg.get_double("loss", p.loss_probability);
   p.loss_model = cfg.get_string("loss_model", p.loss_model);
@@ -138,6 +141,9 @@ void scenario_params::to_config(config& cfg) const {
   cfg.set("platoon_headway", platoon_headway);
   cfg.set("router", router);
   cfg.set("neighbor_index", neighbor_index);
+  cfg.set("grid_maintenance", grid_maintenance);
+  cfg.set("flood_batching", flood_batching);
+  cfg.set("route_state", route_state);
   cfg.set("mac", mac);
   cfg.set("loss", loss_probability);
   cfg.set("loss_model", loss_model);
@@ -250,6 +256,13 @@ void scenario_params::validate() const {
     reject("unknown neighbor_index '" + neighbor_index +
            "' (expected grid|naive)");
   }
+  if (!one_of(grid_maintenance, {"incremental", "epoch"})) {
+    reject("unknown grid_maintenance '" + grid_maintenance +
+           "' (expected incremental|epoch)");
+  }
+  if (!one_of(route_state, {"lazy", "eager"})) {
+    reject("unknown route_state '" + route_state + "' (expected lazy|eager)");
+  }
   if (!one_of(mac, {"simple", "csma"})) {
     reject("unknown mac '" + mac + "' (expected simple|csma)");
   }
@@ -304,13 +317,14 @@ std::string scenario_params::describe() const {
       "I_Update=%.0fs  I_Query=%.0fs  TTL_BR=%d  TTL_INV=%d\n"
       "TTN=%.0fs  TTR=%.0fs  TTP=%.0fs  I_Switch=%.0fs\n"
       "mu_CAR=%.2f  mu_CS=%.2f  mu_CE=%.2f  omega=%.2f  phi=%.0fs\n"
-      "router=%s  mac=%s  neighbor_index=%s  "
+      "router=%s(%s)  mac=%s  neighbor_index=%s(%s)  flood_batching=%s  "
       "mobility=%s(%.1f-%.1fm/s,pause %.0fs)  loss=%.2f(%s)  "
       "churn=%s  placement=%s  mix=%s  warmup=%.0fs  seed=%llu\n",
       n_peers, area_width, area_height, cache_num, comm_range, sim_time, i_update,
       i_query, ttl_br, ttl_inv, ttn, ttr, ttp, i_switch, mu_car, mu_cs, mu_ce,
-      omega, coeff_window, router.c_str(), mac.c_str(), neighbor_index.c_str(),
-      mobility.c_str(),
+      omega, coeff_window, router.c_str(), route_state.c_str(), mac.c_str(),
+      neighbor_index.c_str(), grid_maintenance.c_str(),
+      flood_batching ? "on" : "off", mobility.c_str(),
       min_speed, max_speed, pause, loss_probability, loss_model.c_str(),
       churn ? "on" : "off", placement.c_str(), mix_name(mix).c_str(), warmup,
       static_cast<unsigned long long>(seed));

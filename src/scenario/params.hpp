@@ -52,6 +52,20 @@ struct scenario_params {
   // spatial index (default), "naive" the O(n) per-query scan kept as the
   // correctness oracle. Results are identical either way.
   std::string neighbor_index = "grid";
+  // Grid upkeep policy (only meaningful with neighbor_index=grid):
+  // "incremental" serves queries from a slack-inflated position snapshot
+  // with cheap cell-delta passes, "epoch" rebuilds per timestamp. Neighbor
+  // lists — and therefore all results — are identical either way.
+  std::string grid_maintenance = "incremental";
+  // Broadcast delivery batching: one scheduled region-wave event per
+  // transmission instead of one event per receiver (see network::on_air).
+  // Delivery order, RNG draws and digests are identical; the switch exists
+  // for A/B benchmarking.
+  bool flood_batching = true;
+  // AODV per-node route/pending state: "lazy" materializes a node's tables
+  // on first touch (nodes that never route pay nothing — the n=100k regime),
+  // "eager" allocates all upfront. Behavior-identical.
+  std::string route_state = "lazy";
   // Interference model: "simple" (random backoff only, default) or "csma"
   // (overlapping transmissions within interference range collide).
   std::string mac = "simple";

@@ -15,6 +15,8 @@
 #include "mobility/platoon.hpp"
 #include "mobility/random_walk.hpp"
 #include "mobility/random_waypoint.hpp"
+#include "net/spatial_index.hpp"
+#include "obs/host_mem.hpp"
 #include "routing/aodv.hpp"
 #include "routing/oracle_router.hpp"
 #include "sim/timer.hpp"
@@ -92,6 +94,7 @@ void scenario::build() {
   radio_params rp;
   rp.range = params_.comm_range;
   rp.neighbor_index = params_.neighbor_index;  // validated by the radio ctor
+  rp.grid_maintenance = params_.grid_maintenance;
   rp.loss_probability = params_.loss_probability;
   if (params_.loss_model != "iid" && params_.loss_model != "gilbert") {
     throw std::runtime_error("unknown loss model '" + params_.loss_model +
@@ -108,6 +111,7 @@ void scenario::build() {
   }
   net_ = std::make_unique<network>(
       *sim_, terrain(params_.area_width, params_.area_height), rp, energy_params{});
+  net_->set_flood_batching(params_.flood_batching);
 
   // The causal tracer always exists: trace-id stamping is a plain counter
   // that protocol logic never reads, so traced and untraced runs execute the
@@ -232,7 +236,9 @@ void scenario::build() {
   qlog_ = std::make_unique<query_log>(*sim_, registry_, params_.ttp);
   floods_ = std::make_unique<flooding_service>(*net_);
   if (params_.router == "aodv") {
-    router_ = std::make_unique<aodv_router>(*net_);
+    aodv_params ap;
+    ap.lazy_state = params_.route_state == "lazy";
+    router_ = std::make_unique<aodv_router>(*net_, ap);
   } else if (params_.router == "oracle") {
     router_ = std::make_unique<oracle_router>(*net_);
   } else {
@@ -305,6 +311,11 @@ void scenario::build() {
   if (auto* aodv = dynamic_cast<aodv_router*>(router_.get())) {
     metrics_.counter("route.discoveries",
                      [aodv] { return aodv->discoveries_started(); });
+    // How many per-node route tables actually exist — under route_state=lazy
+    // this is the count of nodes that ever touched the routing layer.
+    metrics_.gauge("route.materialized_states", [aodv] {
+      return static_cast<double>(aodv->materialized_states());
+    });
   }
   metrics_.counter("cache.evictions", [this] {
     std::uint64_t n = 0;
@@ -325,6 +336,39 @@ void scenario::build() {
   metrics_.gauge("sim.queue_raw_size", [this] {
     return static_cast<double>(sim_->queue().raw_size());
   });
+  // Memory-footprint family: host peak RSS plus the pool high-water marks
+  // that explain it. Host-side metrics, digest-excluded like everything in
+  // the registry — the linear-memory gate in bench/scale_sweep reads these.
+  metrics_.gauge("sim.peak_rss_bytes",
+                 [] { return static_cast<double>(peak_rss_bytes()); });
+  metrics_.gauge("net.payload_pool.live", [this] {
+    return static_cast<double>(net_->payloads().live());
+  });
+  metrics_.gauge("net.payload_pool.high_water", [this] {
+    return static_cast<double>(net_->payloads().pool_slots());
+  });
+  metrics_.counter("net.payload_pool.total_made",
+                   [this] { return net_->payloads().total_made(); });
+  metrics_.counter("net.payload_pool.heap_fallbacks",
+                   [this] { return net_->payloads().heap_fallbacks(); });
+  metrics_.gauge("net.payload_pool.memory_bytes", [this] {
+    return static_cast<double>(net_->payloads().memory_bytes());
+  });
+  metrics_.gauge("net.soa_bytes", [this] {
+    return static_cast<double>(net_->soa().memory_bytes());
+  });
+  metrics_.gauge("grid.cells", [this] {
+    return static_cast<double>(net_->air().index().cell_count());
+  });
+  metrics_.gauge("grid.memory_bytes", [this] {
+    return static_cast<double>(net_->air().index().memory_bytes());
+  });
+  metrics_.counter("grid.rebuilds",
+                   [this] { return net_->air().index().rebuilds(); });
+  metrics_.counter("grid.delta_passes",
+                   [this] { return net_->air().index().delta_passes(); });
+  metrics_.counter("grid.cell_moves",
+                   [this] { return net_->air().index().cell_moves(); });
   // Flight-recorder health: how many events the trace captured and — the
   // zero-loss contract scenario-matrix [check] rules assert — how many were
   // lost to write errors. Registered even when tracing is off so the
@@ -376,6 +420,14 @@ void scenario::build() {
     });
     sampler_->add_delta("queue_compactions",
                         [this] { return sim_->queue().compactions(); });
+    // Memory series: host peak RSS (monotone) and the payload pool's live
+    // handle count, so a payload leak shows up as a ramp in --series.
+    sampler_->add_gauge("peak_rss_bytes", [] {
+      return static_cast<double>(peak_rss_bytes());
+    });
+    sampler_->add_gauge("payload_pool_live", [this] {
+      return static_cast<double>(net_->payloads().live());
+    });
   }
 
   // Reconnect notification: protocols may clear transient per-node state

@@ -57,6 +57,7 @@ TEST(Detlint, ViolationsFixtureFiresExactRulesAndLines) {
       {45, "DET006"},  // raw pointer to a pooled kernel record
       {46, "DET003"},  // pointer-keyed map over pooled records...
       {46, "DET006"},  // ...is also address-identity over recycled slots
+      {50, "DET006"},  // raw pointer to a pooled payload record
   };
   EXPECT_EQ(got, want);
 }

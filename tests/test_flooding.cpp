@@ -19,7 +19,7 @@ TEST(Flooding, TtlLimitsReach) {
     rig r = rig::line(8);
     std::map<node_id, int> heard;
     r.floods->set_handler([&](node_id self, const packet&) { ++heard[self]; });
-    r.floods->flood(0, 150, std::make_shared<tag_payload>(), 64, ttl);
+    r.floods->flood(0, 150, r.net->payloads().make<tag_payload>(), 64, ttl);
     r.run_for(5.0);
     // Exactly the nodes within ttl hops hear it (line topology).
     EXPECT_EQ(heard.size(), static_cast<std::size_t>(std::min(ttl, 7)))
@@ -114,7 +114,7 @@ TEST(Flooding, TwoFloodsDistinctUids) {
 
 TEST(Flooding, PayloadSharedAcrossReceivers) {
   rig r = rig::line(4);
-  auto payload = std::make_shared<tag_payload>();
+  auto payload = r.net->payloads().make<tag_payload>();
   payload->tag = 77;
   int checked = 0;
   r.floods->set_handler([&](node_id, const packet& p) {

@@ -88,9 +88,10 @@ TEST(TrafficMeter, ReportListsKindsAndDrops) {
 }
 
 TEST(PayloadCast, NullAndWrongTypeReturnNullptr) {
+  packet_pool pool;
   packet p;
   EXPECT_EQ(payload_cast<item_msg>(p), nullptr);
-  p.payload = std::make_shared<item_version_msg>();
+  p.payload = pool.make<item_version_msg>();
   EXPECT_EQ(payload_cast<item_msg>(p), nullptr);
   EXPECT_NE(payload_cast<item_version_msg>(p), nullptr);
 }

@@ -14,10 +14,10 @@ struct probe_payload final : typed_payload<probe_payload> {
   int value = 0;
 };
 
-std::shared_ptr<probe_payload> probe(int v) {
-  auto p = std::make_shared<probe_payload>();
+payload_ptr probe(rig& r, int v) {
+  auto p = r.net->payloads().make<probe_payload>();
   p->value = v;
-  return p;
+  return std::move(p);
 }
 
 class RoutingTest : public ::testing::TestWithParam<bool> {
@@ -36,7 +36,7 @@ TEST_P(RoutingTest, DeliversAcrossMultipleHops) {
     EXPECT_EQ(pl->value, 9);
     ++got;
   });
-  r.route->send(0, 4, 150, probe(9), 128);
+  r.route->send(0, 4, 150, probe(r, 9), 128);
   r.run_for(10.0);
   EXPECT_EQ(got, 1);
 }
@@ -48,7 +48,7 @@ TEST_P(RoutingTest, SelfSendDeliversLocally) {
     EXPECT_EQ(self, 1u);
     ++got;
   });
-  r.route->send(1, 1, 150, probe(1), 64);
+  r.route->send(1, 1, 150, probe(r, 1), 64);
   r.run_for(1.0);
   EXPECT_EQ(got, 1);
   EXPECT_EQ(r.net->meter().total_tx_frames(), 0u);  // never touched the air
@@ -58,7 +58,7 @@ TEST_P(RoutingTest, PartitionedDestinationDrops) {
   rig r({{0, 0}, {200, 0}, {2000, 0}});
   int got = 0;
   r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
-  r.route->send(0, 2, 150, probe(1), 64);
+  r.route->send(0, 2, 150, probe(r, 1), 64);
   r.run_for(30.0);
   EXPECT_EQ(got, 0);
   EXPECT_GE(r.net->meter().drops(drop_reason::no_route), 1u);
@@ -69,7 +69,7 @@ TEST_P(RoutingTest, ManySendsAllDelivered) {
   int got = 0;
   r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
   for (int i = 0; i < 20; ++i) {
-    r.route->send(0, 5, 150, probe(i), 64);
+    r.route->send(0, 5, 150, probe(r, i), 64);
   }
   r.run_for(30.0);
   EXPECT_EQ(got, 20);
@@ -85,7 +85,7 @@ TEST(Aodv, DiscoveryInstallsRoutes) {
   auto* aodv = dynamic_cast<aodv_router*>(r.route.get());
   ASSERT_NE(aodv, nullptr);
   EXPECT_FALSE(aodv->has_route(0, 3));
-  r.route->send(0, 3, 150, probe(1), 64);
+  r.route->send(0, 3, 150, probe(r, 1), 64);
   r.run_for(10.0);
   EXPECT_TRUE(aodv->has_route(0, 3));
   // Intermediate nodes learned both directions.
@@ -99,10 +99,10 @@ TEST(Aodv, SecondSendUsesCachedRoute) {
   auto* aodv = dynamic_cast<aodv_router*>(r.route.get());
   int got = 0;
   r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
-  r.route->send(0, 3, 150, probe(1), 64);
+  r.route->send(0, 3, 150, probe(r, 1), 64);
   r.run_for(10.0);
   const auto rreq_before = r.net->meter().counters(kind_rreq).tx_frames;
-  r.route->send(0, 3, 150, probe(2), 64);
+  r.route->send(0, 3, 150, probe(r, 2), 64);
   r.run_for(10.0);
   EXPECT_EQ(got, 2);
   EXPECT_EQ(r.net->meter().counters(kind_rreq).tx_frames, rreq_before);
@@ -112,7 +112,7 @@ TEST(Aodv, SecondSendUsesCachedRoute) {
 TEST(Aodv, RoutesExpireAfterLifetime) {
   rig r = rig::line(3);
   auto* aodv = dynamic_cast<aodv_router*>(r.route.get());
-  r.route->send(0, 2, 150, probe(1), 64);
+  r.route->send(0, 2, 150, probe(r, 1), 64);
   r.run_for(5.0);
   EXPECT_TRUE(aodv->has_route(0, 2));
   r.run_for(aodv->params().route_lifetime + 60.0);
@@ -130,7 +130,7 @@ TEST(Aodv, LearnRouteFromFloodEnablesReply) {
     EXPECT_EQ(self, 0u);
     ++got;
   });
-  r.route->send(3, 0, 151, probe(5), 64);
+  r.route->send(3, 0, 151, probe(r, 5), 64);
   r.run_for(5.0);
   EXPECT_EQ(got, 1);
   EXPECT_EQ(r.net->meter().counters(kind_rreq).tx_frames, 0u);
@@ -142,12 +142,12 @@ TEST(Aodv, RecoversWhenRelayNodeDies) {
   // Node 3 at (200,150): distance to 0 is 250, to 2 is ~250 — both in range.
   int got = 0;
   r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
-  r.route->send(0, 2, 150, probe(1), 64);
+  r.route->send(0, 2, 150, probe(r, 1), 64);
   r.run_for(10.0);
   EXPECT_EQ(got, 1);
   r.net->set_node_up(1, false);
   // Old route dies; a later send must find the alternate path via 3.
-  r.route->send(0, 2, 150, probe(2), 64);
+  r.route->send(0, 2, 150, probe(r, 2), 64);
   r.run_for(30.0);
   EXPECT_EQ(got, 2);
 }
@@ -156,7 +156,7 @@ TEST(Aodv, ExpandingRingReachesFarTargets) {
   rig r = rig::line(7);  // farther than rreq_ttl_start
   int got = 0;
   r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
-  r.route->send(0, 6, 150, probe(1), 64);
+  r.route->send(0, 6, 150, probe(r, 1), 64);
   r.run_for(30.0);
   EXPECT_EQ(got, 1);
   auto* aodv = dynamic_cast<aodv_router*>(r.route.get());
@@ -168,7 +168,7 @@ TEST(Aodv, PendingQueueCapDropsExcess) {
   auto* aodv = dynamic_cast<aodv_router*>(r.route.get());
   const std::size_t cap = aodv->params().pending_queue_cap;
   for (std::size_t i = 0; i < cap + 10; ++i) {
-    r.route->send(0, 1, 150, probe(static_cast<int>(i)), 64);
+    r.route->send(0, 1, 150, probe(r, static_cast<int>(i)), 64);
   }
   r.run_for(60.0);
   EXPECT_EQ(r.net->meter().drops(drop_reason::no_route), cap + 10);
@@ -178,7 +178,7 @@ TEST(OracleRouter, NoControlTraffic) {
   rig r = rig::line(5, 200.0, 250.0, true);
   int got = 0;
   r.route->set_delivery_handler([&](node_id, const packet&) { ++got; });
-  r.route->send(0, 4, 150, probe(1), 64);
+  r.route->send(0, 4, 150, probe(r, 1), 64);
   r.run_for(5.0);
   EXPECT_EQ(got, 1);
   EXPECT_EQ(r.net->meter().routing_tx_frames(), 0u);

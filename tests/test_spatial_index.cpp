@@ -9,6 +9,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "mobility/manhattan.hpp"
+#include "mobility/platoon.hpp"
 #include "mobility/random_walk.hpp"
 #include "mobility/random_waypoint.hpp"
 #include "net/network.hpp"
@@ -176,6 +178,9 @@ TEST(SpatialIndex, RebuildsOnlyWhenStale) {
         vec2{gen.uniform(0, 1500), gen.uniform(0, 1500)}));
   }
   radio& air = w.net.air();
+  // This test pins the *epoch* policy's rebuild schedule; the incremental
+  // policy exists precisely to avoid these rebuilds (see tests below).
+  air.set_grid_maintenance("epoch");
   // A burst of queries at one timestamp shares a single rebuild.
   for (node_id u = 0; u < w.net.size(); ++u) air.neighbors(u);
   EXPECT_EQ(air.index().rebuilds(), 1u);
@@ -207,9 +212,98 @@ TEST(SpatialIndex, OffTerrainPlacementsStayExact) {
   expect_all_agree(w.net);
 }
 
+TEST(SpatialIndex, IncrementalSkipsRebuildsUnderMobility) {
+  // The point of the incremental policy: across many small time steps the
+  // index serves slack-inflated queries from the same snapshot (or runs a
+  // delta pass), instead of the epoch policy's rebuild-per-timestamp —
+  // while returning exactly the oracle's neighbor lists throughout.
+  world w(1000, 1000, 200, 41);
+  random_waypoint_params wp;
+  wp.min_speed_mps = 1.0;
+  wp.max_speed_mps = 5.0;
+  for (int i = 0; i < 50; ++i) {
+    w.net.add_node(std::make_unique<random_waypoint>(
+        w.land, wp, w.sim.make_rng("mob", static_cast<std::uint64_t>(i))));
+  }
+  radio& air = w.net.air();
+  air.set_grid_maintenance("incremental");
+  int steps = 0;
+  for (int step = 0; step < 40; ++step) {
+    w.sim.run_until(w.sim.now() + 2.0);
+    air.neighbors(0);
+    ++steps;
+  }
+  // 5 m/s for 2 s = 10 m of drift vs a 100 m slack budget: most steps ride
+  // the slack, the rest are delta passes; the geometry never refits.
+  EXPECT_EQ(air.index().rebuilds(), 1u);
+  EXPECT_GT(air.index().delta_passes(), 0u);
+  EXPECT_LT(air.index().delta_passes(), static_cast<std::uint64_t>(steps));
+  expect_all_agree(w.net);
+}
+
+TEST(SpatialIndex, IncrementalMatchesNaiveUnderManhattan) {
+  // Manhattan traffic concentrates nodes onto street lines and turns them
+  // at intersections — lots of cell-boundary crossings, the worst case for
+  // incremental bucket moves.
+  world w(1200, 1200, 200, 43);
+  manhattan_params mp;
+  mp.street_spacing = 150.0;
+  mp.min_speed_mps = 5.0;
+  mp.max_speed_mps = 15.0;
+  for (int i = 0; i < 60; ++i) {
+    w.net.add_node(std::make_unique<manhattan_mobility>(
+        w.land, mp, w.sim.make_rng("mob", static_cast<std::uint64_t>(i))));
+  }
+  w.net.air().set_grid_maintenance("incremental");
+  for (int step = 0; step < 25; ++step) {
+    w.sim.run_until(w.sim.now() + 4.0);
+    expect_all_agree(w.net);
+  }
+  EXPECT_GT(w.net.air().index().cell_moves(), 0u);
+}
+
+TEST(SpatialIndex, IncrementalMatchesNaiveUnderPlatoon) {
+  // A platoon snakes the whole column across cells together; members far
+  // from the lead hold still, then accelerate — staleness accrues unevenly.
+  world w(1500, 1500, 250, 47);
+  platoon_params pp;
+  pp.lead.min_speed_mps = 5.0;
+  pp.lead.max_speed_mps = 12.0;
+  pp.lead.pause = 1.0;
+  pp.headway = 3.0;
+  const rng shared = w.sim.make_rng("platoon");
+  for (int i = 0; i < 24; ++i) {
+    w.net.add_node(
+        std::make_unique<platoon_member>(w.land, pp, i, rng(shared)));
+  }
+  w.net.air().set_grid_maintenance("incremental");
+  for (int step = 0; step < 25; ++step) {
+    w.sim.run_until(w.sim.now() + 5.0);
+    expect_all_agree(w.net);
+  }
+}
+
+TEST(SpatialIndex, MaintenanceModesAgree) {
+  world w(1000, 1000, 250, 53);
+  rng gen(61);
+  for (int i = 0; i < 100; ++i) {
+    w.net.add_node(std::make_unique<static_mobility>(
+        vec2{gen.uniform(0, 1000), gen.uniform(0, 1000)}));
+  }
+  radio& air = w.net.air();
+  air.set_neighbor_index("grid");
+  for (node_id u = 0; u < w.net.size(); ++u) {
+    air.set_grid_maintenance("incremental");
+    const auto inc = air.neighbors(u);
+    air.set_grid_maintenance("epoch");
+    EXPECT_EQ(air.neighbors(u), inc) << "node " << u;
+  }
+}
+
 TEST(SpatialIndex, UnknownModeThrows) {
   world w(100, 100, 50);
   EXPECT_THROW(w.net.air().set_neighbor_index("octree"), std::runtime_error);
+  EXPECT_THROW(w.net.air().set_grid_maintenance("psychic"), std::runtime_error);
 }
 
 }  // namespace

@@ -357,25 +357,26 @@ std::vector<finding> scan_text(const std::string& path, const std::string& text,
     }
   }
 
-  // --- DET006: raw pointers to pooled kernel event records -----------------
+  // --- DET006: raw pointers to pooled slab records --------------------------
   // The event kernel stores event records in a recycled slab pool
-  // (sim/event_queue's slot_meta + action slots), so a raw pointer to a
-  // pooled record is neither a stable identity (the slot is reused after
-  // release) nor deterministic (its address varies run to run under ASLR).
-  // Event identity must travel as the {slot index, generation} pair carried
-  // by event_handle. Legacy record spellings are matched so the rule keeps
-  // firing if the type is renamed back.
+  // (sim/event_queue's slot_meta + action slots), and the packet layer pools
+  // payload slots the same way (net/packet_pool's payload_slot), so a raw
+  // pointer to a pooled record is neither a stable identity (the slot is
+  // reused after release) nor deterministic (its address varies run to run
+  // under ASLR). Identity must travel as the {slot index, generation} pair
+  // carried by event_handle / payload_ptr. Legacy record spellings are
+  // matched so the rule keeps firing if a type is renamed back.
   static const std::regex det6(
-      R"(\b(slot_meta|event_slot|event_record|event_action)\s*\*)");
+      R"(\b(slot_meta|event_slot|event_record|event_action|payload_slot)\s*\*)");
   for (std::size_t i = 0; i < code.size(); ++i) {
     std::smatch m;
     if (std::regex_search(code[i], m, det6)) {
       report(i, "DET006",
-             "raw pointer to pooled kernel record '" + m[1].str() +
+             "raw pointer to pooled slab record '" + m[1].str() +
                  "': pool slots are recycled and their addresses vary under "
                  "ASLR, so pointer identity/ordering over them is "
-                 "nondeterministic — hold an event_handle {slot, generation} "
-                 "instead");
+                 "nondeterministic — hold a generation-checked handle "
+                 "(event_handle / payload_ptr) instead");
     }
   }
 

@@ -44,3 +44,7 @@ struct slot_meta;  // stand-in for the kernel's pooled event record type
 
 slot_meta* dangling_slot_;  // line 45: DET006 raw pointer to pooled record
 std::map<slot_meta*, int> slot_rank_;  // line 46: DET003 + DET006
+
+struct payload_slot;  // stand-in for the packet pool's pooled payload record
+
+payload_slot* stale_payload_;  // line 50: DET006 raw pointer to pooled payload
